@@ -1,0 +1,39 @@
+//! E1 (Figure 1): RBAC `exec(s, t)` mediation cost vs roles per subject.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use grbac_bench::fixtures::synthetic_rbac;
+use rand::Rng;
+use rand::SeedableRng;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_rbac_exec");
+    for roles_per_subject in [1usize, 4, 16, 64] {
+        let (system, subjects, transactions) =
+            synthetic_rbac(256, 4, 64, roles_per_subject, 11);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let pairs: Vec<_> = (0..1024)
+            .map(|_| {
+                (
+                    subjects[rng.gen_range(0..subjects.len())],
+                    transactions[rng.gen_range(0..transactions.len())],
+                )
+            })
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(roles_per_subject),
+            &pairs,
+            |b, pairs| {
+                let mut i = 0;
+                b.iter(|| {
+                    let (s, t) = pairs[i % pairs.len()];
+                    i += 1;
+                    std::hint::black_box(system.exec(s, t).expect("known ids"))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! E2 (Figure 2): role-hierarchy closure and seniority queries vs depth.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use grbac_bench::fixtures::deep_hierarchy;
+
+fn bench(c: &mut Criterion) {
+    let mut closure = c.benchmark_group("e2_closure");
+    for depth in [2usize, 8, 32, 64] {
+        let (engine, leaf, _root) = deep_hierarchy(depth);
+        closure.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, _| {
+            b.iter(|| std::hint::black_box(engine.roles().closure(leaf).expect("known role")));
+        });
+    }
+    closure.finish();
+
+    let mut seniority = c.benchmark_group("e2_is_specialization");
+    for depth in [2usize, 8, 32, 64] {
+        let (engine, leaf, root) = deep_hierarchy(depth);
+        seniority.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, _| {
+            b.iter(|| {
+                std::hint::black_box(
+                    engine
+                        .roles()
+                        .is_specialization_of(leaf, root)
+                        .expect("known roles"),
+                )
+            });
+        });
+    }
+    seniority.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! E3 (§5.1): cost of *building* the same policy intent in GRBAC vs a
+//! flat ACL as the household scales (policy size itself is reported by
+//! the `experiments` binary; here we measure administration cost).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use grbac_core::engine::Grbac;
+use grbac_core::rule::RuleDef;
+
+fn build_grbac(children: usize, devices: usize) -> Grbac {
+    let mut grbac = Grbac::new();
+    let child = grbac.declare_subject_role("child").expect("fresh engine");
+    let entertainment = grbac
+        .declare_object_role("entertainment_devices")
+        .expect("fresh engine");
+    let weekdays = grbac.declare_environment_role("weekdays").expect("fresh engine");
+    let free_time = grbac.declare_environment_role("free_time").expect("fresh engine");
+    let use_t = grbac.declare_transaction("use").expect("fresh engine");
+    for i in 0..children {
+        let s = grbac.declare_subject(format!("kid_{i}")).expect("unique");
+        grbac.assign_subject_role(s, child).expect("valid");
+    }
+    for i in 0..devices {
+        let o = grbac.declare_object(format!("dev_{i}")).expect("unique");
+        grbac.assign_object_role(o, entertainment).expect("valid");
+    }
+    grbac
+        .add_rule(
+            RuleDef::permit()
+                .subject_role(child)
+                .object_role(entertainment)
+                .transaction(use_t)
+                .when(weekdays)
+                .when(free_time),
+        )
+        .expect("valid");
+    grbac
+}
+
+fn build_acl(children: usize, devices: usize) -> rbac::acl::Acl {
+    let mut acl = rbac::acl::Acl::new();
+    for c in 0..children {
+        for d in 0..devices {
+            acl.grant(format!("kid_{c}"), format!("dev_{d}"), "use");
+        }
+    }
+    acl
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_policy_build");
+    for (children, devices) in [(4usize, 10usize), (16, 50), (32, 100)] {
+        let label = format!("{children}kids_{devices}devs");
+        group.bench_with_input(
+            BenchmarkId::new("grbac", &label),
+            &(children, devices),
+            |b, &(c_n, d_n)| b.iter(|| std::hint::black_box(build_grbac(c_n, d_n))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("acl", &label),
+            &(children, devices),
+            |b, &(c_n, d_n)| b.iter(|| std::hint::black_box(build_acl(c_n, d_n))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! E4 (§5.2): the partial-authentication path — Smart Floor evidence,
+//! context assembly, and a sensed-actor mediation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use grbac_core::confidence::AuthContext;
+use grbac_core::engine::{AccessRequest, Actor};
+use grbac_home::scenario::{
+    paper_confidence_threshold, paper_household, paper_smart_floor, weights,
+};
+use grbac_sense::evidence::Claim;
+
+fn bench(c: &mut Criterion) {
+    let mut home = paper_household().expect("fixture builds");
+    let vocab = *home.vocab();
+    home.engine_mut()
+        .set_default_min_confidence(paper_confidence_threshold());
+    let floor = paper_smart_floor(&home).expect("fixture builds");
+    let tv = home.device("tv").expect("installed").object();
+
+    c.bench_function("e4_floor_evidence", |b| {
+        b.iter(|| std::hint::black_box(floor.evidence_for_measurement(weights::ALICE)));
+    });
+
+    let evidence = floor.evidence_for_measurement(weights::ALICE);
+    c.bench_function("e4_context_assembly", |b| {
+        b.iter(|| {
+            let mut ctx = AuthContext::new();
+            for e in &evidence {
+                match e.claim {
+                    Claim::Identity(s) => ctx.claim_identity(s, e.confidence),
+                    Claim::RoleMembership(r) => ctx.claim_role(r, e.confidence),
+                }
+            }
+            std::hint::black_box(ctx)
+        });
+    });
+
+    let mut ctx = AuthContext::new();
+    for e in &evidence {
+        match e.claim {
+            Claim::Identity(s) => ctx.claim_identity(s, e.confidence),
+            Claim::RoleMembership(r) => ctx.claim_role(r, e.confidence),
+        }
+    }
+    let environment = home.environment_for(ctx.identity().map(|(s, _)| s));
+    let request = AccessRequest {
+        actor: Actor::Sensed(ctx),
+        transaction: vocab.operate,
+        object: tv,
+        environment,
+        timestamp: None,
+    };
+    let engine = home.engine();
+    c.bench_function("e4_sensed_mediation", |b| {
+        b.iter(|| std::hint::black_box(engine.decide(&request).expect("known ids")));
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

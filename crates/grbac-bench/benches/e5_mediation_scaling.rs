@@ -1,0 +1,57 @@
+//! E5 (§4.2.4): GRBAC mediation cost vs policy size, against the RBAC
+//! baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use grbac_bench::fixtures::{synthetic_grbac, synthetic_rbac, SyntheticConfig};
+use rand::Rng;
+use rand::SeedableRng;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_mediation");
+    for rules in [16usize, 128, 1024] {
+        let system = synthetic_grbac(&SyntheticConfig {
+            rules,
+            subject_roles: 32,
+            object_roles: 32,
+            environment_roles: 16,
+            ..Default::default()
+        });
+        let requests = system.requests(1024, 3, 3);
+        group.bench_with_input(
+            BenchmarkId::new("grbac", rules),
+            &requests,
+            |b, requests| {
+                let mut i = 0;
+                b.iter(|| {
+                    let request = &requests[i % requests.len()];
+                    i += 1;
+                    std::hint::black_box(system.engine.decide(request).expect("known ids"))
+                });
+            },
+        );
+
+        let (rbac_system, subjects, transactions) =
+            synthetic_rbac(32, rules.div_ceil(32), 32, 2, 3);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let pairs: Vec<_> = (0..1024)
+            .map(|_| {
+                (
+                    subjects[rng.gen_range(0..subjects.len())],
+                    transactions[rng.gen_range(0..transactions.len())],
+                )
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::new("rbac", rules), &pairs, |b, pairs| {
+            let mut i = 0;
+            b.iter(|| {
+                let (s, t) = pairs[i % pairs.len()];
+                i += 1;
+                std::hint::black_box(rbac_system.exec(s, t).expect("known ids"))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

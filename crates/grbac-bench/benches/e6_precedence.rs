@@ -1,0 +1,37 @@
+//! E6 (§4.1.2): conflict-resolution strategy overhead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use grbac_bench::fixtures::{synthetic_grbac, SyntheticConfig};
+use grbac_core::precedence::ConflictStrategy;
+
+fn bench(c: &mut Criterion) {
+    let system = synthetic_grbac(&SyntheticConfig {
+        rules: 256,
+        deny_fraction: 0.4,
+        ..Default::default()
+    });
+    let requests = system.requests(1024, 3, 5);
+    let mut engine = system.engine;
+
+    let mut group = c.benchmark_group("e6_strategy");
+    for strategy in ConflictStrategy::ALL {
+        engine.set_strategy(strategy);
+        let engine_ref = &engine;
+        group.bench_with_input(
+            BenchmarkId::from_parameter(strategy),
+            &requests,
+            |b, requests| {
+                let mut i = 0;
+                b.iter(|| {
+                    let request = &requests[i % requests.len()];
+                    i += 1;
+                    std::hint::black_box(engine_ref.decide(request).expect("known ids"))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

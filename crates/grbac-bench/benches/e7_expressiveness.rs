@@ -1,0 +1,62 @@
+//! E7 (§6): cost of the GRBAC encodings of related models — MLS
+//! decisions through role hierarchies vs the direct BLP monitor.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use grbac_mls::blp::{BlpMonitor, MlsOp};
+use grbac_mls::encode::MlsGrbac;
+use grbac_mls::level::{Classification, SecurityLevel};
+
+fn populated() -> (BlpMonitor, MlsGrbac, Vec<String>, Vec<String>) {
+    let levels: Vec<SecurityLevel> = Classification::ALL
+        .into_iter()
+        .flat_map(|c| {
+            [
+                SecurityLevel::new(c),
+                SecurityLevel::with_compartments(c, ["crypto"]),
+                SecurityLevel::with_compartments(c, ["crypto", "nuclear"]),
+            ]
+        })
+        .collect();
+    let mut blp = BlpMonitor::new();
+    let mut mls = MlsGrbac::new().expect("fresh engine");
+    let mut subjects = Vec::new();
+    let mut objects = Vec::new();
+    for (i, level) in levels.iter().enumerate() {
+        let s = format!("s{i}");
+        let o = format!("o{i}");
+        blp.set_clearance(s.clone(), level.clone());
+        blp.set_classification(o.clone(), level.clone());
+        mls.add_subject(&s, level).expect("unique");
+        mls.add_object(&o, level).expect("unique");
+        subjects.push(s);
+        objects.push(o);
+    }
+    (blp, mls, subjects, objects)
+}
+
+fn bench(c: &mut Criterion) {
+    let (blp, mls, subjects, objects) = populated();
+
+    c.bench_function("e7_blp_direct", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let s = &subjects[i % subjects.len()];
+            let o = &objects[(i * 7) % objects.len()];
+            i += 1;
+            std::hint::black_box(blp.decide(s, MlsOp::Read, o))
+        });
+    });
+
+    c.bench_function("e7_mls_in_grbac", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let s = &subjects[i % subjects.len()];
+            let o = &objects[(i * 7) % objects.len()];
+            i += 1;
+            std::hint::black_box(mls.decide(s, MlsOp::Read, o).expect("known principals"))
+        });
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! E8 (§4.2.2): event-bus publish and environment-snapshot throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use grbac_core::id::RoleId;
+use grbac_env::calendar::TimeExpr;
+use grbac_env::events::EventBus;
+use grbac_env::provider::{EnvCondition, EnvironmentContext, EnvironmentRoleProvider};
+use grbac_env::time::{Date, TimeOfDay, Timestamp};
+
+fn bench(c: &mut Criterion) {
+    let mut publish = c.benchmark_group("e8_publish");
+    for subscribers in [1usize, 8, 64] {
+        publish.bench_with_input(
+            BenchmarkId::from_parameter(subscribers),
+            &subscribers,
+            |b, &n| {
+                let mut bus = EventBus::new();
+                let subs: Vec<_> = (0..n).map(|_| bus.subscribe("sensor.")).collect();
+                let mut i: u32 = 0;
+                b.iter(|| {
+                    i = i.wrapping_add(1);
+                    bus.publish(
+                        format!("sensor.{}", i % 16),
+                        f64::from(i % 100),
+                        Timestamp::from_seconds(i64::from(i)),
+                    );
+                    // Drain periodically so queues stay bounded.
+                    if i.is_multiple_of(1024) {
+                        for &sub in &subs {
+                            std::hint::black_box(bus.poll(sub));
+                        }
+                    }
+                });
+            },
+        );
+    }
+    publish.finish();
+
+    let mut snapshot = c.benchmark_group("e8_snapshot");
+    for roles in [8usize, 64, 256] {
+        let mut provider = EnvironmentRoleProvider::new();
+        for i in 0..roles {
+            let condition = match i % 2 {
+                0 => EnvCondition::Time(TimeExpr::weekdays()),
+                _ => EnvCondition::Time(TimeExpr::between(
+                    TimeOfDay::hm((i % 24) as u8, 0).expect("valid hour"),
+                    TimeOfDay::hm(((i + 4) % 24) as u8, 0).expect("valid hour"),
+                )),
+            };
+            provider
+                .define(RoleId::from_raw(i as u64), condition)
+                .expect("unique roles");
+        }
+        let monday_noon = Timestamp::from_civil(
+            Date::new(2000, 1, 17).expect("valid date"),
+            TimeOfDay::hm(12, 0).expect("valid time"),
+        );
+        let ctx = EnvironmentContext::at(monday_noon);
+        snapshot.bench_with_input(BenchmarkId::from_parameter(roles), &roles, |b, _| {
+            b.iter(|| std::hint::black_box(provider.snapshot(&ctx)));
+        });
+    }
+    snapshot.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! E9 (§2): end-to-end Aware-Home request path and day replay.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use grbac_home::scenario::paper_household;
+use grbac_home::workload::{execute, generate, WorkloadConfig};
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("e9_single_request", |b| {
+        let mut home = paper_household().expect("fixture builds");
+        let vocab = *home.vocab();
+        let alice = home.person("alice").expect("resident").subject();
+        let tv = home.device("tv").expect("installed").object();
+        b.iter(|| {
+            std::hint::black_box(
+                home.request(alice, vocab.operate, tv).expect("known ids"),
+            )
+        });
+    });
+
+    c.bench_function("e9_one_day_replay", |b| {
+        b.iter_with_setup(
+            || {
+                let home = paper_household().expect("fixture builds");
+                let events = generate(
+                    &home,
+                    &WorkloadConfig {
+                        days: 1,
+                        requests_per_person_per_day: 20,
+                        move_probability: 0.3,
+                        seed: 2000,
+                    },
+                );
+                (home, events)
+            },
+            |(mut home, events)| {
+                std::hint::black_box(execute(&mut home, &events).expect("generated ids"))
+            },
+        );
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

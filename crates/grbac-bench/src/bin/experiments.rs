@@ -1,0 +1,838 @@
+//! The experiment harness: regenerates every table in EXPERIMENTS.md.
+//!
+//! ```text
+//! experiments [e1 e2 … e9 | all] [--json]
+//! ```
+//!
+//! Each experiment prints one or more tables; `--json` emits the same
+//! data as JSON for downstream tooling. Timings here use wall-clock
+//! loops sized for quick runs; the Criterion benches in `benches/`
+//! measure the same code paths with statistical rigor.
+
+use std::time::Instant;
+
+use grbac_bench::fixtures::{
+    deep_hierarchy, synthetic_grbac, synthetic_rbac, SyntheticConfig,
+};
+use grbac_bench::table::Table;
+use grbac_core::confidence::{AuthContext, Confidence};
+use grbac_core::engine::{AccessRequest, Grbac};
+use grbac_core::environment::EnvironmentSnapshot;
+use grbac_core::precedence::ConflictStrategy;
+use grbac_core::rule::RuleDef;
+use grbac_env::calendar::TimeExpr;
+use grbac_env::events::EventBus;
+use grbac_env::load::LoadMonitor;
+use grbac_env::periodic::PeriodicExpr;
+use grbac_env::provider::{EnvCondition, EnvironmentContext, EnvironmentRoleProvider};
+use grbac_env::time::{Date, Duration, TimeOfDay, Timestamp};
+use grbac_home::scenario::{
+    paper_confidence_threshold, paper_household, paper_smart_floor, weights,
+};
+use grbac_home::workload::{execute, generate, WorkloadConfig};
+use grbac_mls::blp::{BlpMonitor, MlsOp};
+use grbac_mls::encode::MlsGrbac;
+use grbac_mls::level::{Classification, SecurityLevel};
+use grbac_sense::evidence::Claim;
+use rand::Rng;
+use rand::SeedableRng;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let selected: Vec<&str> = args
+        .iter()
+        .filter(|a| a.as_str() != "--json")
+        .map(String::as_str)
+        .collect();
+    let run_all = selected.is_empty() || selected.contains(&"all");
+    let want = |name: &str| run_all || selected.contains(&name);
+
+    let mut tables = Vec::new();
+    if want("e1") {
+        tables.extend(e1_rbac_mediation());
+    }
+    if want("e2") {
+        tables.extend(e2_hierarchy());
+    }
+    if want("e3") {
+        tables.extend(e3_policy_size());
+    }
+    if want("e4") {
+        tables.extend(e4_partial_auth());
+    }
+    if want("e5") {
+        tables.extend(e5_mediation_scaling());
+    }
+    if want("e6") {
+        tables.extend(e6_precedence());
+    }
+    if want("e7") {
+        tables.extend(e7_expressiveness());
+    }
+    if want("e8") {
+        tables.extend(e8_env_events());
+    }
+    if want("e9") {
+        tables.extend(e9_aware_home());
+    }
+
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&tables).expect("tables serialize")
+        );
+    } else {
+        for table in &tables {
+            println!("{}", table.render());
+        }
+    }
+}
+
+fn ns_per_op(total: std::time::Duration, ops: usize) -> f64 {
+    total.as_nanos() as f64 / ops.max(1) as f64
+}
+
+/// E1 — Figure 1: the RBAC `exec(s, t)` rule, correctness + timing.
+fn e1_rbac_mediation() -> Vec<Table> {
+    let mut table = Table::new(
+        "E1 (Figure 1): RBAC exec(s,t) mediation vs roles per subject",
+        &["roles_per_subject", "checks", "grant_rate", "ns_per_check"],
+    );
+    for roles_per_subject in [1usize, 4, 16, 64] {
+        let (system, subjects, transactions) =
+            synthetic_rbac(256, 4, 64, roles_per_subject, 11);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let checks = 50_000;
+        let pairs: Vec<(rbac::SubjectId, rbac::TransactionId)> = (0..checks)
+            .map(|_| {
+                (
+                    subjects[rng.gen_range(0..subjects.len())],
+                    transactions[rng.gen_range(0..transactions.len())],
+                )
+            })
+            .collect();
+        let start = Instant::now();
+        let mut grants = 0u64;
+        for &(s, t) in &pairs {
+            if system.exec(s, t).expect("known ids") {
+                grants += 1;
+            }
+        }
+        let elapsed = start.elapsed();
+        table.row(&[
+            roles_per_subject.to_string(),
+            checks.to_string(),
+            format!("{:.3}", grants as f64 / checks as f64),
+            format!("{:.0}", ns_per_op(elapsed, checks)),
+        ]);
+    }
+    vec![table]
+}
+
+/// E2 — Figure 2: the example hierarchy (verified) + closure scaling.
+fn e2_hierarchy() -> Vec<Table> {
+    // Reproduce Figure 2 exactly and verify each drawn edge.
+    let mut engine = Grbac::new();
+    let home_user = engine.declare_subject_role("home_user").unwrap();
+    let family = engine.declare_subject_role("family_member").unwrap();
+    let parent = engine.declare_subject_role("parent").unwrap();
+    let child = engine.declare_subject_role("child").unwrap();
+    let guest = engine.declare_subject_role("authorized_guest").unwrap();
+    let service = engine.declare_subject_role("service_agent").unwrap();
+    let tech = engine.declare_subject_role("dishwasher_repair_tech").unwrap();
+    engine.specialize(family, home_user).unwrap();
+    engine.specialize(parent, family).unwrap();
+    engine.specialize(child, family).unwrap();
+    engine.specialize(guest, home_user).unwrap();
+    engine.specialize(service, guest).unwrap();
+    engine.specialize(tech, service).unwrap();
+
+    let mut fig2 = Table::new(
+        "E2 (Figure 2): example subject role hierarchy, relations verified",
+        &["relation", "holds"],
+    );
+    let relations = [
+        ("parent is-a family_member", parent, family),
+        ("child is-a family_member", child, family),
+        ("family_member is-a home_user", family, home_user),
+        ("authorized_guest is-a home_user", guest, home_user),
+        ("service_agent is-a authorized_guest", service, guest),
+        ("repair_tech is-a service_agent", tech, service),
+        ("repair_tech is-a home_user (transitive)", tech, home_user),
+        ("child is-a home_user (transitive)", child, home_user),
+    ];
+    for (name, a, b) in relations {
+        fig2.row(&[
+            name.to_owned(),
+            engine.roles().is_specialization_of(a, b).unwrap().to_string(),
+        ]);
+    }
+
+    let mut scaling = Table::new(
+        "E2: closure and seniority-query cost vs hierarchy depth",
+        &["depth", "closure_len", "ns_closure", "ns_is_specialization"],
+    );
+    for depth in [2usize, 4, 8, 16, 32, 64] {
+        let (engine, leaf, root) = deep_hierarchy(depth);
+        let iters = 20_000;
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(engine.roles().closure(leaf).unwrap());
+        }
+        let closure_ns = ns_per_op(start.elapsed(), iters);
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(engine.roles().is_specialization_of(leaf, root).unwrap());
+        }
+        let spec_ns = ns_per_op(start.elapsed(), iters);
+        scaling.row(&[
+            depth.to_string(),
+            depth.to_string(),
+            format!("{closure_ns:.0}"),
+            format!("{spec_ns:.0}"),
+        ]);
+    }
+    vec![fig2, scaling]
+}
+
+/// E3 — §5.1: policy size for the same intent in GRBAC / RBAC / ACL.
+fn e3_policy_size() -> Vec<Table> {
+    let mut table = Table::new(
+        "E3 (§5.1): rules needed for \"children may use entertainment devices on weekdays during free time\"",
+        &[
+            "children",
+            "devices",
+            "grbac_rules",
+            "rbac_authorizations",
+            "acl_entries",
+            "new_device_updates(grbac/rbac/acl)",
+        ],
+    );
+    for (children, devices) in [(2usize, 4usize), (4, 10), (8, 20), (16, 50), (32, 100)] {
+        // GRBAC: one rule regardless of household size.
+        let mut grbac = Grbac::new();
+        let child = grbac.declare_subject_role("child").unwrap();
+        let entertainment = grbac.declare_object_role("entertainment_devices").unwrap();
+        let weekdays = grbac.declare_environment_role("weekdays").unwrap();
+        let free_time = grbac.declare_environment_role("free_time").unwrap();
+        let use_t = grbac.declare_transaction("use").unwrap();
+        for i in 0..children {
+            let s = grbac.declare_subject(format!("kid_{i}")).unwrap();
+            grbac.assign_subject_role(s, child).unwrap();
+        }
+        for i in 0..devices {
+            let o = grbac.declare_object(format!("dev_{i}")).unwrap();
+            grbac.assign_object_role(o, entertainment).unwrap();
+        }
+        grbac
+            .add_rule(
+                RuleDef::permit()
+                    .subject_role(child)
+                    .object_role(entertainment)
+                    .transaction(use_t)
+                    .when(weekdays)
+                    .when(free_time),
+            )
+            .unwrap();
+        let grbac_rules = grbac.rules().len();
+
+        // RBAC (Figure 1): no object roles and no environment — one
+        // transaction per device, authorized to the child role. (Time
+        // cannot be expressed at all; the count below is therefore a
+        // *lower* bound on the real RBAC policy.)
+        let mut rbac_system = rbac::Rbac::new();
+        let child_role = rbac_system.declare_role("child").unwrap();
+        for i in 0..devices {
+            let t = rbac_system
+                .declare_transaction(format!("use_dev_{i}"))
+                .unwrap();
+            rbac_system.authorize_transaction(child_role, t).unwrap();
+        }
+        let rbac_auths = rbac_system.authorization_count();
+
+        // ACL: one entry per (child, device).
+        let mut acl = rbac::acl::Acl::new();
+        for c in 0..children {
+            for d in 0..devices {
+                acl.grant(format!("kid_{c}"), format!("dev_{d}"), "use");
+            }
+        }
+        let acl_entries = acl.len();
+
+        table.row(&[
+            children.to_string(),
+            devices.to_string(),
+            grbac_rules.to_string(),
+            rbac_auths.to_string(),
+            acl_entries.to_string(),
+            format!("1 / 1 / {children}"),
+        ]);
+    }
+    vec![table]
+}
+
+/// E4 — §5.2: identity vs role confidence acceptance under thresholds.
+fn e4_partial_auth() -> Vec<Table> {
+    let mut home = paper_household().unwrap();
+    let vocab = *home.vocab();
+    home.engine_mut()
+        .set_default_min_confidence(paper_confidence_threshold());
+    let floor = paper_smart_floor(&home).unwrap();
+    let alice = home.person("alice").unwrap().subject();
+    let tv = home.device("tv").unwrap().object();
+
+    // The paper's headline numbers, deterministically.
+    let mut headline = Table::new(
+        "E4 (§5.2): Smart Floor confidence for Alice's exact weight (threshold 90%)",
+        &["claim", "confidence", "meets_90%"],
+    );
+    let evidence = floor.evidence_for_measurement(weights::ALICE);
+    for e in &evidence {
+        let (claim, relevant) = match e.claim {
+            Claim::Identity(s) => (format!("identity: subject {s}"), s == alice),
+            Claim::RoleMembership(r) => {
+                (format!("role membership: {r} (child)"), r == vocab.child)
+            }
+        };
+        if relevant {
+            headline.row(&[
+                claim,
+                format!("{}", e.confidence),
+                e.confidence.meets(paper_confidence_threshold()).to_string(),
+            ]);
+        }
+    }
+
+    // Acceptance rates over noisy observations, per threshold.
+    let mut curve = Table::new(
+        "E4: grant rate for Alice -> TV vs policy threshold (2000 noisy floor readings each)",
+        &[
+            "threshold",
+            "identity_only_grant_rate",
+            "with_role_claim_grant_rate",
+        ],
+    );
+    let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+    let trials = 2_000u32;
+    // Pre-sample measurements once so every threshold sees identical
+    // evidence.
+    let measurements: Vec<Vec<grbac_sense::Evidence>> = (0..trials)
+        .map(|_| {
+            let noise = grbac_sense::stats::gaussian_sample(&mut rng, 0.0, 3.0);
+            floor.evidence_for_measurement(weights::ALICE + noise)
+        })
+        .collect();
+    for threshold_pct in [50u32, 60, 70, 80, 90, 95, 99] {
+        let threshold = Confidence::new(f64::from(threshold_pct) / 100.0).unwrap();
+        home.engine_mut().set_default_min_confidence(threshold);
+        let mut identity_grants = 0u32;
+        let mut role_grants = 0u32;
+        for evidence in &measurements {
+            let mut identity_ctx = AuthContext::new();
+            let mut full_ctx = AuthContext::new();
+            for e in evidence {
+                match e.claim {
+                    Claim::Identity(s) => {
+                        identity_ctx.claim_identity(s, e.confidence);
+                        full_ctx.claim_identity(s, e.confidence);
+                    }
+                    Claim::RoleMembership(r) => full_ctx.claim_role(r, e.confidence),
+                }
+            }
+            if home
+                .request_sensed(identity_ctx, vocab.operate, tv)
+                .unwrap()
+                .is_permitted()
+            {
+                identity_grants += 1;
+            }
+            if home
+                .request_sensed(full_ctx, vocab.operate, tv)
+                .unwrap()
+                .is_permitted()
+            {
+                role_grants += 1;
+            }
+        }
+        curve.row(&[
+            format!("{threshold_pct}%"),
+            format!("{:.3}", f64::from(identity_grants) / f64::from(trials)),
+            format!("{:.3}", f64::from(role_grants) / f64::from(trials)),
+        ]);
+    }
+    vec![headline, curve]
+}
+
+/// E5 — §4.2.4: GRBAC vs RBAC mediation cost as policy size grows.
+fn e5_mediation_scaling() -> Vec<Table> {
+    let mut table = Table::new(
+        "E5 (§4.2.4): mediation cost, GRBAC triple rule vs RBAC exec",
+        &["rules", "grbac_ns_per_decision", "rbac_ns_per_check", "ratio"],
+    );
+    for rules in [16usize, 64, 256, 1024] {
+        let system = synthetic_grbac(&SyntheticConfig {
+            rules,
+            subject_roles: 32,
+            object_roles: 32,
+            environment_roles: 16,
+            ..Default::default()
+        });
+        let requests = system.requests(20_000, 3, 3);
+        let start = Instant::now();
+        for request in &requests {
+            std::hint::black_box(system.engine.decide(request).expect("known ids"));
+        }
+        let grbac_ns = ns_per_op(start.elapsed(), requests.len());
+
+        // RBAC sized so authorization pairs ≈ rules.
+        let (rbac_system, subjects, transactions) =
+            synthetic_rbac(32, rules.div_ceil(32), 32, 2, 3);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let pairs: Vec<_> = (0..20_000)
+            .map(|_| {
+                (
+                    subjects[rng.gen_range(0..subjects.len())],
+                    transactions[rng.gen_range(0..transactions.len())],
+                )
+            })
+            .collect();
+        let start = Instant::now();
+        for &(s, t) in &pairs {
+            std::hint::black_box(rbac_system.exec(s, t).expect("known ids"));
+        }
+        let rbac_ns = ns_per_op(start.elapsed(), pairs.len());
+        table.row(&[
+            rules.to_string(),
+            format!("{grbac_ns:.0}"),
+            format!("{rbac_ns:.0}"),
+            format!("{:.1}x", grbac_ns / rbac_ns.max(1.0)),
+        ]);
+    }
+
+    // Ablation: the same policy size with flat vs deep role chains —
+    // quantifies what the hierarchy expansion costs per decision.
+    let mut ablation = Table::new(
+        "E5 ablation: hierarchy depth at a fixed 256-rule policy",
+        &["chain_depth", "grbac_ns_per_decision"],
+    );
+    for chain_depth in [1usize, 2, 4, 8, 16] {
+        let system = synthetic_grbac(&SyntheticConfig {
+            rules: 256,
+            subject_roles: 32,
+            object_roles: 32,
+            environment_roles: 16,
+            chain_depth,
+            ..Default::default()
+        });
+        let requests = system.requests(20_000, 3, 3);
+        let start = Instant::now();
+        for request in &requests {
+            std::hint::black_box(system.engine.decide(request).expect("known ids"));
+        }
+        ablation.row(&[
+            chain_depth.to_string(),
+            format!("{:.0}", ns_per_op(start.elapsed(), requests.len())),
+        ]);
+    }
+    vec![table, ablation]
+}
+
+/// E6 — §4.1.2: conflict-resolution strategies on the Bobby example.
+fn e6_precedence() -> Vec<Table> {
+    // Bobby possesses child ⊑ family_member; family may read the
+    // medical records, child may not.
+    let mut engine = Grbac::new();
+    let family = engine.declare_subject_role("family_member").unwrap();
+    let child = engine.declare_subject_role("child").unwrap();
+    engine.specialize(child, family).unwrap();
+    let records_role = engine.declare_object_role("medical_records").unwrap();
+    let read = engine.declare_transaction("read").unwrap();
+    let bobby = engine.declare_subject("bobby").unwrap();
+    engine.assign_subject_role(bobby, child).unwrap();
+    let records = engine.declare_object("family_medical_records").unwrap();
+    engine.assign_object_role(records, records_role).unwrap();
+    engine
+        .add_rule(
+            RuleDef::permit()
+                .named("family may read medical records")
+                .subject_role(family)
+                .object_role(records_role)
+                .transaction(read),
+        )
+        .unwrap();
+    engine
+        .add_rule(
+            RuleDef::deny()
+                .named("children may not read medical records")
+                .subject_role(child)
+                .object_role(records_role)
+                .transaction(read),
+        )
+        .unwrap();
+
+    let mut outcomes = Table::new(
+        "E6 (§4.1.2): Bobby reads the family medical records — outcome per strategy",
+        &["strategy", "decision", "winning_rule"],
+    );
+    let request = AccessRequest::by_subject(bobby, read, records, EnvironmentSnapshot::new());
+    for strategy in ConflictStrategy::ALL {
+        engine.set_strategy(strategy);
+        let decision = engine.decide(&request).unwrap();
+        let winner = decision
+            .winning_rule()
+            .map_or("none".to_owned(), |r| r.to_string());
+        outcomes.row(&[strategy.to_string(), decision.effect().to_string(), winner]);
+    }
+
+    // Strategy overhead on a conflict-heavy synthetic policy.
+    let mut timing = Table::new(
+        "E6: resolution overhead on a conflict-heavy policy (256 rules, 40% deny)",
+        &["strategy", "ns_per_decision", "grant_rate"],
+    );
+    let system = synthetic_grbac(&SyntheticConfig {
+        rules: 256,
+        deny_fraction: 0.4,
+        ..Default::default()
+    });
+    let requests = system.requests(20_000, 3, 5);
+    let mut engine = system.engine;
+    for strategy in ConflictStrategy::ALL {
+        engine.set_strategy(strategy);
+        let start = Instant::now();
+        let mut grants = 0u64;
+        for request in &requests {
+            if engine.decide(request).expect("known ids").is_permitted() {
+                grants += 1;
+            }
+        }
+        timing.row(&[
+            strategy.to_string(),
+            format!("{:.0}", ns_per_op(start.elapsed(), requests.len())),
+            format!("{:.3}", grants as f64 / requests.len() as f64),
+        ]);
+    }
+    vec![outcomes, timing]
+}
+
+/// E7 — §6: GRBAC subsumes MLS, temporal authorizations, and GACL
+/// load-based authorization.
+fn e7_expressiveness() -> Vec<Table> {
+    let mut table = Table::new(
+        "E7 (§6): related models encoded in GRBAC — decision equivalence",
+        &["encoding", "cases", "mismatches"],
+    );
+
+    // (a) MLS vs direct Bell-LaPadula, exhaustive over a compartmented
+    // lattice.
+    let levels: Vec<SecurityLevel> = {
+        let mut out = Vec::new();
+        for c in Classification::ALL {
+            out.push(SecurityLevel::new(c));
+            out.push(SecurityLevel::with_compartments(c, ["crypto"]));
+            out.push(SecurityLevel::with_compartments(c, ["nuclear"]));
+            out.push(SecurityLevel::with_compartments(c, ["crypto", "nuclear"]));
+        }
+        out
+    };
+    let mut blp = BlpMonitor::new();
+    let mut mls = MlsGrbac::new().unwrap();
+    for (i, level) in levels.iter().enumerate() {
+        blp.set_clearance(format!("s{i}"), level.clone());
+        blp.set_classification(format!("o{i}"), level.clone());
+        mls.add_subject(&format!("s{i}"), level).unwrap();
+        mls.add_object(&format!("o{i}"), level).unwrap();
+    }
+    let mut cases = 0u64;
+    let mut mismatches = 0u64;
+    for i in 0..levels.len() {
+        for j in 0..levels.len() {
+            for op in [MlsOp::Read, MlsOp::Write] {
+                cases += 1;
+                let direct = blp.decide(&format!("s{i}"), op, &format!("o{j}"));
+                let encoded = mls.decide(&format!("s{i}"), op, &format!("o{j}")).unwrap();
+                if direct != encoded {
+                    mismatches += 1;
+                }
+            }
+        }
+    }
+    table.row(&[
+        "Bell-LaPadula (read+write, 16-level lattice)".to_owned(),
+        cases.to_string(),
+        mismatches.to_string(),
+    ]);
+
+    // (b) Bertino-style periodic authorization as an environment role:
+    // office hours 9-17 daily, checked hourly over 90 days.
+    let anchor = Timestamp::from_civil(
+        Date::new(2000, 1, 3).unwrap(),
+        TimeOfDay::hm(9, 0).unwrap(),
+    );
+    let periodic = PeriodicExpr::daily(anchor, Duration::hours(8)).unwrap();
+    let mut engine = Grbac::new();
+    let role = engine.declare_environment_role("office_hours").unwrap();
+    let employee = engine.declare_subject_role("employee").unwrap();
+    let db_role = engine.declare_object_role("database").unwrap();
+    let query = engine.declare_transaction("query").unwrap();
+    let pat = engine.declare_subject("pat").unwrap();
+    engine.assign_subject_role(pat, employee).unwrap();
+    let db = engine.declare_object("salary_db").unwrap();
+    engine.assign_object_role(db, db_role).unwrap();
+    engine
+        .add_rule(
+            RuleDef::permit()
+                .subject_role(employee)
+                .object_role(db_role)
+                .transaction(query)
+                .when(role),
+        )
+        .unwrap();
+    let mut provider = EnvironmentRoleProvider::new();
+    provider
+        .define(role, EnvCondition::Time(TimeExpr::Periodic(periodic)))
+        .unwrap();
+    let mut cases = 0u64;
+    let mut mismatches = 0u64;
+    for hour in 0..(90 * 24) {
+        let ts = anchor + Duration::hours(hour);
+        let env = provider.snapshot(&EnvironmentContext::at(ts));
+        let decision = engine
+            .decide(&AccessRequest::by_subject(pat, query, db, env))
+            .unwrap();
+        cases += 1;
+        if decision.is_permitted() != periodic.contains(ts) {
+            mismatches += 1;
+        }
+    }
+    table.row(&[
+        "Bertino periodic authorization (90 days, hourly)".to_owned(),
+        cases.to_string(),
+        mismatches.to_string(),
+    ]);
+
+    // (c) GACL system-load gating: execute only when load <= 0.7.
+    let mut engine = Grbac::new();
+    let low_load = engine.declare_environment_role("capacity_available").unwrap();
+    let user = engine.declare_subject_role("user").unwrap();
+    let batch = engine.declare_object_role("batch_program").unwrap();
+    let exec_t = engine.declare_transaction("execute").unwrap();
+    let pat = engine.declare_subject("pat").unwrap();
+    engine.assign_subject_role(pat, user).unwrap();
+    let job = engine.declare_object("render_job").unwrap();
+    engine.assign_object_role(job, batch).unwrap();
+    engine
+        .add_rule(
+            RuleDef::permit()
+                .subject_role(user)
+                .object_role(batch)
+                .transaction(exec_t)
+                .when(low_load),
+        )
+        .unwrap();
+    let mut provider = EnvironmentRoleProvider::new();
+    provider
+        .define(low_load, EnvCondition::LoadAtMost(0.7))
+        .unwrap();
+    let mut cases = 0u64;
+    let mut mismatches = 0u64;
+    for load_pct in 0..=100 {
+        let load_value = f64::from(load_pct) / 100.0;
+        let mut monitor = LoadMonitor::with_window(1);
+        monitor.record(load_value);
+        let env =
+            provider.snapshot(&EnvironmentContext::at(Timestamp::EPOCH).with_load(&monitor));
+        let decision = engine
+            .decide(&AccessRequest::by_subject(pat, exec_t, job, env))
+            .unwrap();
+        cases += 1;
+        if decision.is_permitted() != (load_value <= 0.7) {
+            mismatches += 1;
+        }
+    }
+    table.row(&[
+        "GACL load-based authorization (0-100% load sweep)".to_owned(),
+        cases.to_string(),
+        mismatches.to_string(),
+    ]);
+
+    vec![table]
+}
+
+/// E8 — §4.2.2: trusted event system and snapshot throughput.
+fn e8_env_events() -> Vec<Table> {
+    let mut events_table = Table::new(
+        "E8 (§4.2.2): event bus publish throughput vs subscriber count",
+        &["subscribers", "events", "ns_per_publish"],
+    );
+    for subscribers in [1usize, 8, 64] {
+        let mut bus = EventBus::new();
+        let subs: Vec<_> = (0..subscribers).map(|_| bus.subscribe("sensor.")).collect();
+        let events = 100_000u32;
+        let start = Instant::now();
+        for i in 0..events {
+            bus.publish(
+                format!("sensor.{}", i % 16),
+                f64::from(i % 100),
+                Timestamp::from_seconds(i64::from(i)),
+            );
+        }
+        let elapsed = start.elapsed();
+        for sub in subs {
+            bus.poll(sub);
+        }
+        events_table.row(&[
+            subscribers.to_string(),
+            events.to_string(),
+            format!("{:.0}", ns_per_op(elapsed, events as usize)),
+        ]);
+    }
+
+    let mut snapshot_table = Table::new(
+        "E8: environment snapshot cost vs number of defined roles",
+        &["env_roles", "ns_per_snapshot", "active_fraction"],
+    );
+    for roles in [8usize, 64, 256] {
+        let mut provider = EnvironmentRoleProvider::new();
+        for i in 0..roles {
+            // Alternate a few condition shapes.
+            let condition = match i % 3 {
+                0 => EnvCondition::Time(TimeExpr::weekdays()),
+                1 => EnvCondition::Time(TimeExpr::between(
+                    TimeOfDay::hm((i % 24) as u8, 0).unwrap(),
+                    TimeOfDay::hm(((i + 4) % 24) as u8, 0).unwrap(),
+                )),
+                _ => EnvCondition::Flag(format!("flag_{i}")),
+            };
+            provider
+                .define(grbac_core::id::RoleId::from_raw(i as u64), condition)
+                .unwrap();
+        }
+        let monday_noon = Timestamp::from_civil(
+            Date::new(2000, 1, 17).unwrap(),
+            TimeOfDay::hm(12, 0).unwrap(),
+        );
+        let ctx = EnvironmentContext::at(monday_noon);
+        let iters = 10_000;
+        let start = Instant::now();
+        let mut active_total = 0usize;
+        for _ in 0..iters {
+            active_total += std::hint::black_box(provider.snapshot(&ctx)).len();
+        }
+        snapshot_table.row(&[
+            roles.to_string(),
+            format!("{:.0}", ns_per_op(start.elapsed(), iters)),
+            format!("{:.2}", active_total as f64 / (iters * roles) as f64),
+        ]);
+    }
+
+    // Ablation: the transition-scheduled SnapshotCache over a simulated
+    // day of minutely requests (time-only conditions, so the cache is
+    // exact).
+    let mut cache_table = Table::new(
+        "E8 ablation: snapshot cache over a day of minutely requests (64 time roles)",
+        &["mode", "ns_per_snapshot", "hit_rate"],
+    );
+    let mut provider = EnvironmentRoleProvider::new();
+    for i in 0..64usize {
+        let condition = match i % 2 {
+            0 => EnvCondition::Time(TimeExpr::weekdays()),
+            _ => EnvCondition::Time(TimeExpr::between(
+                TimeOfDay::hm((i % 24) as u8, 0).unwrap(),
+                TimeOfDay::hm(((i + 4) % 24) as u8, 0).unwrap(),
+            )),
+        };
+        provider
+            .define(grbac_core::id::RoleId::from_raw(i as u64), condition)
+            .unwrap();
+    }
+    let day_start = Timestamp::from_civil(
+        Date::new(2000, 1, 17).unwrap(),
+        TimeOfDay::hm(0, 0).unwrap(),
+    );
+    let minutes = 24 * 60;
+    let start = Instant::now();
+    for m in 0..minutes {
+        let ctx = EnvironmentContext::at(day_start + Duration::minutes(m));
+        std::hint::black_box(provider.snapshot(&ctx));
+    }
+    cache_table.row(&[
+        "uncached".to_owned(),
+        format!("{:.0}", ns_per_op(start.elapsed(), minutes as usize)),
+        "-".to_owned(),
+    ]);
+    let mut cache = grbac_env::cache::SnapshotCache::new();
+    let start = Instant::now();
+    for m in 0..minutes {
+        let ctx = EnvironmentContext::at(day_start + Duration::minutes(m));
+        std::hint::black_box(cache.snapshot(&provider, &ctx));
+    }
+    cache_table.row(&[
+        "cached".to_owned(),
+        format!("{:.0}", ns_per_op(start.elapsed(), minutes as usize)),
+        format!("{:.3}", cache.hit_rate()),
+    ]);
+
+    vec![events_table, snapshot_table, cache_table]
+}
+
+/// E9 — §2: a week in the Aware Home.
+fn e9_aware_home() -> Vec<Table> {
+    let mut table = Table::new(
+        "E9 (§2): simulated household activity under the paper's policy",
+        &["days", "requests", "grant_rate", "moves", "requests_per_sec"],
+    );
+    let mut final_stats = None;
+    let mut final_home = None;
+    for days in [1u32, 7] {
+        let mut home = paper_household().unwrap();
+        let events = generate(
+            &home,
+            &WorkloadConfig {
+                days,
+                requests_per_person_per_day: 50,
+                move_probability: 0.3,
+                seed: 2000,
+            },
+        );
+        let start = Instant::now();
+        let stats = execute(&mut home, &events).unwrap();
+        let elapsed = start.elapsed();
+        table.row(&[
+            days.to_string(),
+            stats.requests.to_string(),
+            format!("{:.3}", stats.grant_rate()),
+            stats.moves.to_string(),
+            format!("{:.0}", stats.requests as f64 / elapsed.as_secs_f64()),
+        ]);
+        final_stats = Some(stats);
+        final_home = Some(home);
+    }
+
+    // Per-resident breakdown of the 7-day run: the policy's shape made
+    // visible (parents granted broadly, the technician almost never).
+    let mut breakdown = Table::new(
+        "E9: per-resident outcomes over the 7-day run",
+        &["resident", "kind", "permits", "denies", "grant_rate"],
+    );
+    let stats = final_stats.expect("loop ran");
+    let home = final_home.expect("loop ran");
+    let mut people: Vec<_> = home.people().collect();
+    people.sort_by_key(|p| p.subject());
+    for person in people {
+        let (permits, denies) = stats
+            .by_subject
+            .get(&person.subject())
+            .copied()
+            .unwrap_or((0, 0));
+        let total = permits + denies;
+        breakdown.row(&[
+            person.name().to_owned(),
+            person.kind().to_string(),
+            permits.to_string(),
+            denies.to_string(),
+            format!("{:.3}", if total == 0 { 0.0 } else { permits as f64 / total as f64 }),
+        ]);
+    }
+    vec![table, breakdown]
+}

@@ -1,0 +1,12 @@
+//! # grbac-bench — shared fixtures for the experiment harness
+//!
+//! The Criterion benches (`benches/e*.rs`) and the `experiments` table
+//! binary both build their systems from this crate, so the measured
+//! configurations are identical everywhere. See EXPERIMENTS.md for the
+//! experiment-by-experiment index.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fixtures;
+pub mod table;

@@ -1,0 +1,518 @@
+//! Static policy analysis.
+//!
+//! The paper warns that GRBAC's generality "makes it even more
+//! susceptible to various types of policy conflicts and ambiguities"
+//! (§4.2.4) and pitches well-structured policies as the mitigation. This
+//! module provides the tooling: detecting permit/deny conflicts, rules
+//! shadowed under first-applicable resolution, and declared-but-unused
+//! roles — the "policy bugs" of §4.1.2.
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+use crate::engine::Grbac;
+use crate::id::{RoleId, RuleId};
+use crate::role::RoleKind;
+use crate::rule::{Effect, Rule, RoleSpec, TransactionSpec};
+
+/// A potential permit/deny conflict between two rules.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RuleConflict {
+    /// The permitting rule.
+    pub permit: RuleId,
+    /// The denying rule.
+    pub deny: RuleId,
+}
+
+/// A rule that can never fire under first-applicable resolution because
+/// an earlier rule matches every request it would match.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShadowedRule {
+    /// The earlier, covering rule.
+    pub by: RuleId,
+    /// The later rule that can never win.
+    pub rule: RuleId,
+}
+
+/// The result of a policy analysis pass.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PolicyReport {
+    /// Permit/deny rule pairs that can both match some request.
+    pub conflicts: Vec<RuleConflict>,
+    /// Rules unreachable under first-applicable resolution.
+    pub shadowed: Vec<ShadowedRule>,
+    /// Roles referenced by no rule (likely dead policy vocabulary).
+    pub unused_roles: BTreeSet<RoleId>,
+    /// Subject-role rules whose role has no members (dead rules today,
+    /// though they may come alive as users are assigned).
+    pub memberless_rules: Vec<RuleId>,
+}
+
+impl PolicyReport {
+    /// True if the analysis found nothing worth flagging.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.conflicts.is_empty()
+            && self.shadowed.is_empty()
+            && self.unused_roles.is_empty()
+            && self.memberless_rules.is_empty()
+    }
+}
+
+/// Runs every analysis over the engine's current policy.
+#[must_use]
+pub fn analyze(grbac: &Grbac) -> PolicyReport {
+    PolicyReport {
+        conflicts: find_conflicts(grbac),
+        shadowed: find_shadowed(grbac),
+        unused_roles: find_unused_roles(grbac),
+        memberless_rules: find_memberless_rules(grbac),
+    }
+}
+
+/// Finds permit/deny pairs that can match the same request.
+///
+/// Two rules can co-fire when every constrained position overlaps:
+/// role specs overlap when one is `Any` or the two roles have a common
+/// descendant (some entity could hold both); environment conjunctions
+/// never exclude each other (any set of environment roles can be active
+/// together); transactions overlap when either is `Any` or they are
+/// equal.
+#[must_use]
+pub fn find_conflicts(grbac: &Grbac) -> Vec<RuleConflict> {
+    let rules = grbac.rules();
+    let mut out = Vec::new();
+    for (i, a) in rules.iter().enumerate() {
+        for b in &rules[i + 1..] {
+            if a.effect() == b.effect() {
+                continue;
+            }
+            if rules_overlap(grbac, a, b) {
+                let (permit, deny) = if a.effect() == Effect::Permit {
+                    (a.id(), b.id())
+                } else {
+                    (b.id(), a.id())
+                };
+                out.push(RuleConflict { permit, deny });
+            }
+        }
+    }
+    out
+}
+
+/// Finds rules that a strictly earlier rule completely covers.
+#[must_use]
+pub fn find_shadowed(grbac: &Grbac) -> Vec<ShadowedRule> {
+    let rules = grbac.rules();
+    let mut out = Vec::new();
+    for (i, earlier) in rules.iter().enumerate() {
+        for later in &rules[i + 1..] {
+            if rule_covers(grbac, earlier, later) {
+                out.push(ShadowedRule {
+                    by: earlier.id(),
+                    rule: later.id(),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Roles (of any kind) referenced by no rule, directly or through the
+/// hierarchy: a role is "used" if some rule names it or names one of its
+/// generalizations (rules about `family_member` make `child` useful).
+#[must_use]
+pub fn find_unused_roles(grbac: &Grbac) -> BTreeSet<RoleId> {
+    let mut referenced = BTreeSet::new();
+    for rule in grbac.rules() {
+        if let RoleSpec::Is(r) = rule.subject_role() {
+            referenced.insert(r);
+        }
+        if let RoleSpec::Is(r) = rule.object_role() {
+            referenced.insert(r);
+        }
+        referenced.extend(rule.environment_roles().iter().copied());
+    }
+    grbac
+        .roles()
+        .iter()
+        .map(crate::role::Role::id)
+        .filter(|&id| {
+            // A role is used if its closure (itself or any generalization)
+            // intersects the referenced set.
+            grbac
+                .roles()
+                .closure(id)
+                .map(|closure| closure.is_disjoint(&referenced))
+                .unwrap_or(true)
+        })
+        .collect()
+}
+
+/// Rules constrained to a subject role that currently has no members
+/// (considering hierarchy: members of specializations count).
+#[must_use]
+pub fn find_memberless_rules(grbac: &Grbac) -> Vec<RuleId> {
+    grbac
+        .rules()
+        .iter()
+        .filter(|rule| {
+            let RoleSpec::Is(role) = rule.subject_role() else {
+                return false;
+            };
+            let hierarchy = grbac.roles().hierarchy(RoleKind::Subject);
+            let mut candidates = hierarchy.descendants(role);
+            candidates.insert(role);
+            candidates
+                .iter()
+                .all(|&r| grbac.assignments().subjects_in(r).is_empty())
+        })
+        .map(Rule::id)
+        .collect()
+}
+
+/// One cell of a [`decision_matrix`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MatrixCell {
+    /// The requesting subject.
+    pub subject: crate::id::SubjectId,
+    /// The target object.
+    pub object: crate::id::ObjectId,
+    /// The attempted transaction.
+    pub transaction: crate::id::TransactionId,
+    /// The outcome under the supplied environment.
+    pub effect: Effect,
+}
+
+/// Mediates every (subject × object × transaction) combination under
+/// one environment snapshot — the §5.1 "decision matrix" a homeowner
+/// would review to understand the policy's full reach.
+///
+/// Cells come out sorted by (subject, object, transaction). Intended
+/// for review tooling and tests; cost is the full cross product.
+#[must_use]
+pub fn decision_matrix(
+    grbac: &Grbac,
+    environment: &crate::environment::EnvironmentSnapshot,
+) -> Vec<MatrixCell> {
+    let mut subjects: Vec<_> = grbac.entities().subjects().map(|s| s.id()).collect();
+    subjects.sort_unstable();
+    let mut objects: Vec<_> = grbac.entities().objects().map(|o| o.id()).collect();
+    objects.sort_unstable();
+    let mut transactions: Vec<_> = grbac.entities().transactions().map(|t| t.id()).collect();
+    transactions.sort_unstable();
+
+    let mut cells = Vec::with_capacity(subjects.len() * objects.len() * transactions.len());
+    for &subject in &subjects {
+        for &object in &objects {
+            for &transaction in &transactions {
+                let request = crate::engine::AccessRequest::by_subject(
+                    subject,
+                    transaction,
+                    object,
+                    environment.clone(),
+                );
+                let effect = grbac
+                    .decide(&request)
+                    .map_or(Effect::Deny, |d| d.effect());
+                cells.push(MatrixCell {
+                    subject,
+                    object,
+                    transaction,
+                    effect,
+                });
+            }
+        }
+    }
+    cells
+}
+
+fn rules_overlap(grbac: &Grbac, a: &Rule, b: &Rule) -> bool {
+    transactions_overlap(a.transaction(), b.transaction())
+        && role_specs_overlap(grbac, RoleKind::Subject, a.subject_role(), b.subject_role())
+        && role_specs_overlap(grbac, RoleKind::Object, a.object_role(), b.object_role())
+}
+
+fn transactions_overlap(a: TransactionSpec, b: TransactionSpec) -> bool {
+    match (a, b) {
+        (TransactionSpec::Any, _) | (_, TransactionSpec::Any) => true,
+        (TransactionSpec::Is(x), TransactionSpec::Is(y)) => x == y,
+    }
+}
+
+fn role_specs_overlap(grbac: &Grbac, kind: RoleKind, a: RoleSpec, b: RoleSpec) -> bool {
+    match (a, b) {
+        (RoleSpec::Any, _) | (_, RoleSpec::Any) => true,
+        (RoleSpec::Is(x), RoleSpec::Is(y)) => {
+            grbac.roles().hierarchy(kind).have_common_descendant(x, y)
+        }
+    }
+}
+
+/// True when every request matching `later` also matches `earlier`.
+fn rule_covers(grbac: &Grbac, earlier: &Rule, later: &Rule) -> bool {
+    transaction_covers(earlier.transaction(), later.transaction())
+        && role_spec_covers(grbac, RoleKind::Subject, earlier.subject_role(), later.subject_role())
+        && role_spec_covers(grbac, RoleKind::Object, earlier.object_role(), later.object_role())
+        && env_covers(grbac, earlier.environment_roles(), later.environment_roles())
+        && confidence_covers(earlier, later)
+}
+
+fn transaction_covers(earlier: TransactionSpec, later: TransactionSpec) -> bool {
+    match (earlier, later) {
+        (TransactionSpec::Any, _) => true,
+        (TransactionSpec::Is(x), TransactionSpec::Is(y)) => x == y,
+        (TransactionSpec::Is(_), TransactionSpec::Any) => false,
+    }
+}
+
+fn role_spec_covers(grbac: &Grbac, kind: RoleKind, earlier: RoleSpec, later: RoleSpec) -> bool {
+    match (earlier, later) {
+        (RoleSpec::Any, _) => true,
+        (RoleSpec::Is(_), RoleSpec::Any) => false,
+        (RoleSpec::Is(e), RoleSpec::Is(l)) => {
+            // Anything possessing `l` also possesses everything in `l`'s
+            // closure; so `earlier` covers iff e is in that closure.
+            grbac.roles().hierarchy(kind).is_specialization_of(l, e)
+        }
+    }
+}
+
+fn env_covers(grbac: &Grbac, earlier: &[RoleId], later: &[RoleId]) -> bool {
+    // Every env requirement of `earlier` must be implied whenever all of
+    // `later`'s requirements hold: some later-role must specialize it.
+    let hierarchy = grbac.roles().hierarchy(RoleKind::Environment);
+    earlier.iter().all(|&e| {
+        later
+            .iter()
+            .any(|&l| hierarchy.is_specialization_of(l, e))
+    })
+}
+
+/// A permit rule with a *stricter* threshold than a later permit rule
+/// does not cover it (the later rule fires at lower confidences).
+fn confidence_covers(earlier: &Rule, later: &Rule) -> bool {
+    if earlier.effect() != Effect::Permit || later.effect() != Effect::Permit {
+        return true;
+    }
+    match (earlier.min_confidence(), later.min_confidence()) {
+        (None, _) => true, // engine default on both sides; conservative
+        (Some(_), None) => false,
+        (Some(e), Some(l)) => e <= l,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rule::RuleDef;
+
+    fn engine_with_hierarchy() -> (Grbac, RoleId, RoleId, RoleId) {
+        let mut g = Grbac::new();
+        let family = g.declare_subject_role("family_member").unwrap();
+        let child = g.declare_subject_role("child").unwrap();
+        g.specialize(child, family).unwrap();
+        let media = g.declare_object_role("media").unwrap();
+        (g, family, child, media)
+    }
+
+    #[test]
+    fn clean_policy_reports_clean() {
+        let (mut g, family, child, media) = engine_with_hierarchy();
+        let s = g.declare_subject("kid").unwrap();
+        g.assign_subject_role(s, child).unwrap();
+        g.add_rule(RuleDef::permit().subject_role(family).object_role(media))
+            .unwrap();
+        let report = analyze(&g);
+        // `child` is used through its generalization `family_member`.
+        assert!(report.conflicts.is_empty());
+        assert!(report.shadowed.is_empty());
+        assert!(!report.unused_roles.contains(&child));
+        assert!(report.memberless_rules.is_empty());
+    }
+
+    #[test]
+    fn detects_permit_deny_conflict_through_hierarchy() {
+        let (mut g, family, child, media) = engine_with_hierarchy();
+        let permit = g
+            .add_rule(RuleDef::permit().subject_role(family).object_role(media))
+            .unwrap();
+        let deny = g
+            .add_rule(RuleDef::deny().subject_role(child).object_role(media))
+            .unwrap();
+        let conflicts = find_conflicts(&g);
+        assert_eq!(conflicts, vec![RuleConflict { permit, deny }]);
+    }
+
+    #[test]
+    fn no_conflict_between_disjoint_sibling_roles() {
+        let (mut g, family, _child, media) = engine_with_hierarchy();
+        let parent = g.declare_subject_role("parent").unwrap();
+        g.specialize(parent, family).unwrap();
+        let guest = g.declare_subject_role("guest").unwrap();
+        g.add_rule(RuleDef::permit().subject_role(parent).object_role(media))
+            .unwrap();
+        g.add_rule(RuleDef::deny().subject_role(guest).object_role(media))
+            .unwrap();
+        assert!(find_conflicts(&g).is_empty());
+    }
+
+    #[test]
+    fn no_conflict_between_different_transactions() {
+        let (mut g, family, _child, media) = engine_with_hierarchy();
+        let read = g.declare_transaction("read").unwrap();
+        let write = g.declare_transaction("write").unwrap();
+        g.add_rule(
+            RuleDef::permit()
+                .subject_role(family)
+                .object_role(media)
+                .transaction(read),
+        )
+        .unwrap();
+        g.add_rule(
+            RuleDef::deny()
+                .subject_role(family)
+                .object_role(media)
+                .transaction(write),
+        )
+        .unwrap();
+        assert!(find_conflicts(&g).is_empty());
+    }
+
+    #[test]
+    fn detects_shadowed_rule() {
+        let (mut g, family, child, media) = engine_with_hierarchy();
+        let broad = g
+            .add_rule(RuleDef::permit().subject_role(family))
+            .unwrap();
+        let narrow = g
+            .add_rule(RuleDef::permit().subject_role(child).object_role(media))
+            .unwrap();
+        let shadowed = find_shadowed(&g);
+        assert_eq!(shadowed, vec![ShadowedRule { by: broad, rule: narrow }]);
+    }
+
+    #[test]
+    fn narrower_earlier_rule_does_not_shadow_broader_later() {
+        let (mut g, family, child, _media) = engine_with_hierarchy();
+        g.add_rule(RuleDef::permit().subject_role(child)).unwrap();
+        g.add_rule(RuleDef::permit().subject_role(family)).unwrap();
+        assert!(find_shadowed(&g).is_empty());
+    }
+
+    #[test]
+    fn env_constraints_affect_shadowing() {
+        let (mut g, family, _child, _media) = engine_with_hierarchy();
+        let weekdays = g.declare_environment_role("weekdays").unwrap();
+        let monday = g.declare_environment_role("monday").unwrap();
+        g.specialize(monday, weekdays).unwrap();
+
+        // earlier requires weekdays; later requires monday (stronger):
+        // every monday request is a weekdays request, so it IS shadowed.
+        let broad = g
+            .add_rule(RuleDef::permit().subject_role(family).when(weekdays))
+            .unwrap();
+        let narrow = g
+            .add_rule(RuleDef::permit().subject_role(family).when(monday))
+            .unwrap();
+        assert_eq!(
+            find_shadowed(&g),
+            vec![ShadowedRule { by: broad, rule: narrow }]
+        );
+
+        // The reverse order is not shadowing: a tuesday request matches
+        // the weekdays rule but not the monday rule.
+        let mut g2 = Grbac::new();
+        let family2 = g2.declare_subject_role("family_member").unwrap();
+        let weekdays2 = g2.declare_environment_role("weekdays").unwrap();
+        let monday2 = g2.declare_environment_role("monday").unwrap();
+        g2.specialize(monday2, weekdays2).unwrap();
+        g2.add_rule(RuleDef::permit().subject_role(family2).when(monday2))
+            .unwrap();
+        g2.add_rule(RuleDef::permit().subject_role(family2).when(weekdays2))
+            .unwrap();
+        assert!(find_shadowed(&g2).is_empty());
+    }
+
+    #[test]
+    fn stricter_confidence_does_not_shadow() {
+        let (mut g, family, _child, _media) = engine_with_hierarchy();
+        use crate::confidence::Confidence;
+        g.add_rule(
+            RuleDef::permit()
+                .subject_role(family)
+                .min_confidence(Confidence::new(0.99).unwrap()),
+        )
+        .unwrap();
+        g.add_rule(
+            RuleDef::permit()
+                .subject_role(family)
+                .min_confidence(Confidence::new(0.5).unwrap()),
+        )
+        .unwrap();
+        assert!(find_shadowed(&g).is_empty());
+    }
+
+    #[test]
+    fn decision_matrix_covers_cross_product() {
+        let (mut g, family, child, media) = engine_with_hierarchy();
+        let view = g.declare_transaction("view").unwrap();
+        let _edit = g.declare_transaction("edit").unwrap();
+        let kid = g.declare_subject("kid").unwrap();
+        g.assign_subject_role(kid, child).unwrap();
+        let guest = g.declare_subject("guest").unwrap();
+        let album = g.declare_object("album").unwrap();
+        g.assign_object_role(album, media).unwrap();
+        g.add_rule(
+            RuleDef::permit()
+                .subject_role(family)
+                .object_role(media)
+                .transaction(view),
+        )
+        .unwrap();
+
+        let matrix =
+            super::decision_matrix(&g, &crate::environment::EnvironmentSnapshot::new());
+        // 2 subjects × 1 object × 2 transactions.
+        assert_eq!(matrix.len(), 4);
+        let permits: Vec<_> = matrix
+            .iter()
+            .filter(|c| c.effect == Effect::Permit)
+            .collect();
+        assert_eq!(permits.len(), 1);
+        assert_eq!(permits[0].subject, kid);
+        assert_eq!(permits[0].transaction, view);
+        // The unassigned guest is denied everywhere.
+        assert!(matrix
+            .iter()
+            .filter(|c| c.subject == guest)
+            .all(|c| c.effect == Effect::Deny));
+    }
+
+    #[test]
+    fn unused_roles_found() {
+        let (mut g, family, child, media) = engine_with_hierarchy();
+        let lonely = g.declare_object_role("never_referenced").unwrap();
+        g.add_rule(RuleDef::permit().subject_role(family).object_role(media))
+            .unwrap();
+        let unused = find_unused_roles(&g);
+        assert!(unused.contains(&lonely));
+        assert!(!unused.contains(&family));
+        assert!(!unused.contains(&child), "used via generalization");
+        assert!(!unused.contains(&media));
+    }
+
+    #[test]
+    fn memberless_rules_found_and_resolved_by_descendants() {
+        let (mut g, family, child, media) = engine_with_hierarchy();
+        let rule = g
+            .add_rule(RuleDef::permit().subject_role(family).object_role(media))
+            .unwrap();
+        assert_eq!(find_memberless_rules(&g), vec![rule]);
+        // Assigning a member to the *specialization* resolves it.
+        let kid = g.declare_subject("kid").unwrap();
+        g.assign_subject_role(kid, child).unwrap();
+        assert!(find_memberless_rules(&g).is_empty());
+    }
+}

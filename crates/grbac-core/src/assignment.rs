@@ -1,0 +1,202 @@
+//! Role assignments: authorized role sets for subjects and objects.
+//!
+//! `R(s)` in Figure 1 — the *authorized role set* — generalizes in GRBAC
+//! to both subjects and objects. (Environment roles are not assigned;
+//! they *activate* based on system state, see the `grbac-env` crate.)
+
+use std::collections::{BTreeSet, HashMap};
+
+use serde::{Deserialize, Serialize};
+
+use crate::id::{ObjectId, RoleId, SubjectId};
+
+/// Subject-to-role and object-to-role assignment tables.
+///
+/// The tables store only *direct* assignments; hierarchy expansion
+/// (closure) is applied by the caller via
+/// [`RoleCatalog::expand`](crate::role::RoleCatalog::expand) so that
+/// assignment stays a cheap, pure bookkeeping structure.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Assignments {
+    #[serde(with = "crate::serde_pairs::hash")]
+    subject_roles: HashMap<SubjectId, BTreeSet<RoleId>>,
+    #[serde(with = "crate::serde_pairs::hash")]
+    object_roles: HashMap<ObjectId, BTreeSet<RoleId>>,
+    // Reverse indexes for membership queries and analysis.
+    #[serde(with = "crate::serde_pairs::hash")]
+    subjects_in_role: HashMap<RoleId, BTreeSet<SubjectId>>,
+    #[serde(with = "crate::serde_pairs::hash")]
+    objects_in_role: HashMap<RoleId, BTreeSet<ObjectId>>,
+}
+
+impl Assignments {
+    /// Creates empty assignment tables.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Grants `role` to `subject`. Returns true if newly added.
+    pub fn assign_subject(&mut self, subject: SubjectId, role: RoleId) -> bool {
+        let added = self.subject_roles.entry(subject).or_default().insert(role);
+        if added {
+            self.subjects_in_role.entry(role).or_default().insert(subject);
+        }
+        added
+    }
+
+    /// Revokes `role` from `subject`. Returns true if it was present.
+    pub fn revoke_subject(&mut self, subject: SubjectId, role: RoleId) -> bool {
+        let removed = self
+            .subject_roles
+            .get_mut(&subject)
+            .is_some_and(|s| s.remove(&role));
+        if removed {
+            if let Some(set) = self.subjects_in_role.get_mut(&role) {
+                set.remove(&subject);
+            }
+        }
+        removed
+    }
+
+    /// Maps `object` into `role`. Returns true if newly added.
+    pub fn assign_object(&mut self, object: ObjectId, role: RoleId) -> bool {
+        let added = self.object_roles.entry(object).or_default().insert(role);
+        if added {
+            self.objects_in_role.entry(role).or_default().insert(object);
+        }
+        added
+    }
+
+    /// Removes `object` from `role`. Returns true if it was present.
+    pub fn revoke_object(&mut self, object: ObjectId, role: RoleId) -> bool {
+        let removed = self
+            .object_roles
+            .get_mut(&object)
+            .is_some_and(|s| s.remove(&role));
+        if removed {
+            if let Some(set) = self.objects_in_role.get_mut(&role) {
+                set.remove(&object);
+            }
+        }
+        removed
+    }
+
+    /// Direct (unexpanded) authorized role set of a subject.
+    #[must_use]
+    pub fn subject_roles(&self, subject: SubjectId) -> BTreeSet<RoleId> {
+        self.subject_roles.get(&subject).cloned().unwrap_or_default()
+    }
+
+    /// Direct (unexpanded) role set of an object.
+    #[must_use]
+    pub fn object_roles(&self, object: ObjectId) -> BTreeSet<RoleId> {
+        self.object_roles.get(&object).cloned().unwrap_or_default()
+    }
+
+    /// True if `subject` is directly assigned `role`.
+    #[must_use]
+    pub fn subject_has(&self, subject: SubjectId, role: RoleId) -> bool {
+        self.subject_roles
+            .get(&subject)
+            .is_some_and(|s| s.contains(&role))
+    }
+
+    /// True if `object` is directly assigned `role`.
+    #[must_use]
+    pub fn object_has(&self, object: ObjectId, role: RoleId) -> bool {
+        self.object_roles
+            .get(&object)
+            .is_some_and(|s| s.contains(&role))
+    }
+
+    /// Subjects directly assigned to `role`.
+    #[must_use]
+    pub fn subjects_in(&self, role: RoleId) -> BTreeSet<SubjectId> {
+        self.subjects_in_role.get(&role).cloned().unwrap_or_default()
+    }
+
+    /// Objects directly assigned to `role`.
+    #[must_use]
+    pub fn objects_in(&self, role: RoleId) -> BTreeSet<ObjectId> {
+        self.objects_in_role.get(&role).cloned().unwrap_or_default()
+    }
+
+    /// Total number of subject-role assignment pairs.
+    #[must_use]
+    pub fn subject_assignment_count(&self) -> usize {
+        self.subject_roles.values().map(BTreeSet::len).sum()
+    }
+
+    /// Total number of object-role assignment pairs.
+    #[must_use]
+    pub fn object_assignment_count(&self) -> usize {
+        self.object_roles.values().map(BTreeSet::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(n: u64) -> SubjectId {
+        SubjectId::from_raw(n)
+    }
+    fn o(n: u64) -> ObjectId {
+        ObjectId::from_raw(n)
+    }
+    fn r(n: u64) -> RoleId {
+        RoleId::from_raw(n)
+    }
+
+    #[test]
+    fn assign_and_query_subject() {
+        let mut a = Assignments::new();
+        assert!(a.assign_subject(s(0), r(1)));
+        assert!(!a.assign_subject(s(0), r(1)), "re-assignment is a no-op");
+        assert!(a.subject_has(s(0), r(1)));
+        assert!(!a.subject_has(s(0), r(2)));
+        assert_eq!(a.subject_roles(s(0)), BTreeSet::from([r(1)]));
+        assert_eq!(a.subjects_in(r(1)), BTreeSet::from([s(0)]));
+    }
+
+    #[test]
+    fn revoke_subject_updates_both_indexes() {
+        let mut a = Assignments::new();
+        a.assign_subject(s(0), r(1));
+        assert!(a.revoke_subject(s(0), r(1)));
+        assert!(!a.revoke_subject(s(0), r(1)));
+        assert!(!a.subject_has(s(0), r(1)));
+        assert!(a.subjects_in(r(1)).is_empty());
+    }
+
+    #[test]
+    fn assign_and_revoke_object() {
+        let mut a = Assignments::new();
+        assert!(a.assign_object(o(0), r(5)));
+        assert!(a.object_has(o(0), r(5)));
+        assert_eq!(a.objects_in(r(5)), BTreeSet::from([o(0)]));
+        assert!(a.revoke_object(o(0), r(5)));
+        assert!(a.object_roles(o(0)).is_empty());
+    }
+
+    #[test]
+    fn counts() {
+        let mut a = Assignments::new();
+        a.assign_subject(s(0), r(0));
+        a.assign_subject(s(0), r(1));
+        a.assign_subject(s(1), r(0));
+        a.assign_object(o(0), r(2));
+        assert_eq!(a.subject_assignment_count(), 3);
+        assert_eq!(a.object_assignment_count(), 1);
+    }
+
+    #[test]
+    fn unassigned_entities_have_empty_sets() {
+        let a = Assignments::new();
+        assert!(a.subject_roles(s(9)).is_empty());
+        assert!(a.object_roles(o(9)).is_empty());
+        assert!(a.subjects_in(r(9)).is_empty());
+        assert!(a.objects_in(r(9)).is_empty());
+    }
+}

@@ -1,0 +1,222 @@
+//! Audit log: a bounded record of mediation outcomes.
+//!
+//! Security-sensitive homes need an account of who was granted what and
+//! when (§3's "data theft" concern cuts both ways — the household also
+//! wants to review access). The log is a fixed-capacity ring buffer so a
+//! chatty sensor network cannot exhaust memory.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+use crate::id::{ObjectId, RuleId, SubjectId, TransactionId};
+use crate::rule::Effect;
+
+/// One mediated request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AuditRecord {
+    /// Monotonic sequence number (never reused, survives eviction).
+    pub seq: u64,
+    /// The requesting subject, when identified.
+    pub subject: Option<SubjectId>,
+    /// The requested transaction.
+    pub transaction: TransactionId,
+    /// The target object.
+    pub object: ObjectId,
+    /// The outcome.
+    pub effect: Effect,
+    /// The rule that carried the decision, if any.
+    pub winning_rule: Option<RuleId>,
+    /// Caller-supplied timestamp (virtual seconds in the simulations);
+    /// `None` for untimed requests.
+    pub timestamp: Option<u64>,
+}
+
+/// Bounded, append-only log of [`AuditRecord`]s.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AuditLog {
+    records: VecDeque<AuditRecord>,
+    capacity: usize,
+    next_seq: u64,
+    permits: u64,
+    denies: u64,
+}
+
+impl AuditLog {
+    /// Default retention when none is specified.
+    pub const DEFAULT_CAPACITY: usize = 4096;
+
+    /// Creates a log retaining at most `capacity` records (the counters
+    /// keep counting after eviction). A zero capacity disables retention
+    /// but still counts.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            records: VecDeque::with_capacity(capacity.min(Self::DEFAULT_CAPACITY)),
+            capacity,
+            next_seq: 0,
+            permits: 0,
+            denies: 0,
+        }
+    }
+
+    /// Creates a log with [`Self::DEFAULT_CAPACITY`].
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_capacity(Self::DEFAULT_CAPACITY)
+    }
+
+    /// Appends a record, evicting the oldest when at capacity. Returns
+    /// the assigned sequence number.
+    pub fn record(
+        &mut self,
+        subject: Option<SubjectId>,
+        transaction: TransactionId,
+        object: ObjectId,
+        effect: Effect,
+        winning_rule: Option<RuleId>,
+        timestamp: Option<u64>,
+    ) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        match effect {
+            Effect::Permit => self.permits += 1,
+            Effect::Deny => self.denies += 1,
+        }
+        if self.capacity > 0 {
+            if self.records.len() == self.capacity {
+                self.records.pop_front();
+            }
+            self.records.push_back(AuditRecord {
+                seq,
+                subject,
+                transaction,
+                object,
+                effect,
+                winning_rule,
+                timestamp,
+            });
+        }
+        seq
+    }
+
+    /// Records currently retained, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &AuditRecord> {
+        self.records.iter()
+    }
+
+    /// Number of retained records.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if nothing is retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Total requests ever recorded (including evicted ones).
+    #[must_use]
+    pub fn total_recorded(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Total permits ever recorded.
+    #[must_use]
+    pub fn permit_count(&self) -> u64 {
+        self.permits
+    }
+
+    /// Total denies ever recorded.
+    #[must_use]
+    pub fn deny_count(&self) -> u64 {
+        self.denies
+    }
+
+    /// The most recent record, if any is retained.
+    #[must_use]
+    pub fn last(&self) -> Option<&AuditRecord> {
+        self.records.back()
+    }
+
+    /// Clears retained records (counters keep their totals).
+    pub fn clear(&mut self) {
+        self.records.clear();
+    }
+}
+
+impl Default for AuditLog {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(n: u64) -> TransactionId {
+        TransactionId::from_raw(n)
+    }
+    fn o(n: u64) -> ObjectId {
+        ObjectId::from_raw(n)
+    }
+
+    #[test]
+    fn records_and_counters() {
+        let mut log = AuditLog::new();
+        let s0 = log.record(None, t(0), o(0), Effect::Permit, None, None);
+        let s1 = log.record(None, t(0), o(1), Effect::Deny, Some(RuleId::from_raw(2)), Some(7));
+        assert_eq!((s0, s1), (0, 1));
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.permit_count(), 1);
+        assert_eq!(log.deny_count(), 1);
+        assert_eq!(log.total_recorded(), 2);
+        let last = log.last().unwrap();
+        assert_eq!(last.winning_rule, Some(RuleId::from_raw(2)));
+        assert_eq!(last.timestamp, Some(7));
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let mut log = AuditLog::with_capacity(2);
+        log.record(None, t(0), o(0), Effect::Permit, None, None);
+        log.record(None, t(0), o(1), Effect::Permit, None, None);
+        log.record(None, t(0), o(2), Effect::Deny, None, None);
+        assert_eq!(log.len(), 2);
+        let objects: Vec<ObjectId> = log.iter().map(|r| r.object).collect();
+        assert_eq!(objects, vec![o(1), o(2)]);
+        // counters include evicted entries
+        assert_eq!(log.total_recorded(), 3);
+        assert_eq!(log.permit_count(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_counts_without_retaining() {
+        let mut log = AuditLog::with_capacity(0);
+        log.record(None, t(0), o(0), Effect::Deny, None, None);
+        assert!(log.is_empty());
+        assert_eq!(log.deny_count(), 1);
+        assert_eq!(log.total_recorded(), 1);
+    }
+
+    #[test]
+    fn clear_keeps_totals() {
+        let mut log = AuditLog::new();
+        log.record(None, t(0), o(0), Effect::Permit, None, None);
+        log.clear();
+        assert!(log.is_empty());
+        assert_eq!(log.total_recorded(), 1);
+    }
+
+    #[test]
+    fn sequence_numbers_survive_eviction() {
+        let mut log = AuditLog::with_capacity(1);
+        log.record(None, t(0), o(0), Effect::Permit, None, None);
+        let seq = log.record(None, t(0), o(1), Effect::Permit, None, None);
+        assert_eq!(seq, 1);
+        assert_eq!(log.last().unwrap().seq, 1);
+    }
+}

@@ -1,0 +1,405 @@
+//! A name-based fluent builder for whole GRBAC systems.
+//!
+//! [`Grbac`]'s declaration API works with ids,
+//! which is right for programs but noisy for hand-written setups. The
+//! builder lets a policy be phrased entirely in names and resolves
+//! everything at [`GrbacBuilder::build`] time, reporting the first
+//! dangling reference:
+//!
+//! ```
+//! use grbac_core::builder::GrbacBuilder;
+//!
+//! # fn main() -> Result<(), grbac_core::GrbacError> {
+//! let engine = GrbacBuilder::new()
+//!     .subject_role("family_member")
+//!     .subject_role_extends("child", ["family_member"])
+//!     .object_role("entertainment_devices")
+//!     .environment_role("weekdays")
+//!     .environment_role("free_time")
+//!     .transaction("use")
+//!     .subject("alice", ["child"])
+//!     .object("tv", ["entertainment_devices"])
+//!     .permit("kids tv policy", |r| {
+//!         r.subject("child")
+//!             .object("entertainment_devices")
+//!             .transaction("use")
+//!             .when("weekdays")
+//!             .when("free_time")
+//!     })
+//!     .build()?;
+//! assert_eq!(engine.rules().len(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::confidence::Confidence;
+use crate::engine::Grbac;
+use crate::error::Result;
+use crate::role::RoleKind;
+use crate::rule::{Effect, RuleDef};
+
+/// Declarative, name-based construction of a [`Grbac`] engine.
+#[derive(Debug, Clone, Default)]
+pub struct GrbacBuilder {
+    roles: Vec<(RoleKind, String, Vec<String>)>,
+    subjects: Vec<(String, Vec<String>)>,
+    objects: Vec<(String, Vec<String>)>,
+    transactions: Vec<String>,
+    rules: Vec<NamedRule>,
+}
+
+/// A rule phrased in names, assembled via [`RuleSketch`].
+#[derive(Debug, Clone)]
+struct NamedRule {
+    effect: Effect,
+    name: String,
+    sketch: RuleSketch,
+}
+
+/// The name-based constraints of one rule.
+#[derive(Debug, Clone, Default)]
+pub struct RuleSketch {
+    subject_role: Option<String>,
+    object_role: Option<String>,
+    transaction: Option<String>,
+    when: Vec<String>,
+    min_confidence: Option<Confidence>,
+}
+
+impl RuleSketch {
+    /// Constrains the subject role by name.
+    #[must_use]
+    pub fn subject(mut self, role: impl Into<String>) -> Self {
+        self.subject_role = Some(role.into());
+        self
+    }
+
+    /// Constrains the object role by name.
+    #[must_use]
+    pub fn object(mut self, role: impl Into<String>) -> Self {
+        self.object_role = Some(role.into());
+        self
+    }
+
+    /// Constrains the transaction by name.
+    #[must_use]
+    pub fn transaction(mut self, transaction: impl Into<String>) -> Self {
+        self.transaction = Some(transaction.into());
+        self
+    }
+
+    /// Requires an environment role (conjunction) by name.
+    #[must_use]
+    pub fn when(mut self, role: impl Into<String>) -> Self {
+        self.when.push(role.into());
+        self
+    }
+
+    /// Requires a minimum subject-role confidence.
+    #[must_use]
+    pub fn min_confidence(mut self, confidence: Confidence) -> Self {
+        self.min_confidence = Some(confidence);
+        self
+    }
+}
+
+impl GrbacBuilder {
+    /// An empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a subject role.
+    #[must_use]
+    pub fn subject_role(mut self, name: impl Into<String>) -> Self {
+        self.roles.push((RoleKind::Subject, name.into(), Vec::new()));
+        self
+    }
+
+    /// Declares a subject role specializing earlier-declared roles.
+    #[must_use]
+    pub fn subject_role_extends(
+        mut self,
+        name: impl Into<String>,
+        extends: impl IntoIterator<Item = impl Into<String>>,
+    ) -> Self {
+        self.roles.push((
+            RoleKind::Subject,
+            name.into(),
+            extends.into_iter().map(Into::into).collect(),
+        ));
+        self
+    }
+
+    /// Declares an object role.
+    #[must_use]
+    pub fn object_role(mut self, name: impl Into<String>) -> Self {
+        self.roles.push((RoleKind::Object, name.into(), Vec::new()));
+        self
+    }
+
+    /// Declares an object role specializing earlier-declared roles.
+    #[must_use]
+    pub fn object_role_extends(
+        mut self,
+        name: impl Into<String>,
+        extends: impl IntoIterator<Item = impl Into<String>>,
+    ) -> Self {
+        self.roles.push((
+            RoleKind::Object,
+            name.into(),
+            extends.into_iter().map(Into::into).collect(),
+        ));
+        self
+    }
+
+    /// Declares an environment role.
+    #[must_use]
+    pub fn environment_role(mut self, name: impl Into<String>) -> Self {
+        self.roles
+            .push((RoleKind::Environment, name.into(), Vec::new()));
+        self
+    }
+
+    /// Declares a transaction.
+    #[must_use]
+    pub fn transaction(mut self, name: impl Into<String>) -> Self {
+        self.transactions.push(name.into());
+        self
+    }
+
+    /// Declares a subject and assigns the named subject roles.
+    #[must_use]
+    pub fn subject(
+        mut self,
+        name: impl Into<String>,
+        roles: impl IntoIterator<Item = impl Into<String>>,
+    ) -> Self {
+        self.subjects
+            .push((name.into(), roles.into_iter().map(Into::into).collect()));
+        self
+    }
+
+    /// Declares an object and maps it into the named object roles.
+    #[must_use]
+    pub fn object(
+        mut self,
+        name: impl Into<String>,
+        roles: impl IntoIterator<Item = impl Into<String>>,
+    ) -> Self {
+        self.objects
+            .push((name.into(), roles.into_iter().map(Into::into).collect()));
+        self
+    }
+
+    /// Adds a named permit rule.
+    #[must_use]
+    pub fn permit(
+        mut self,
+        name: impl Into<String>,
+        sketch: impl FnOnce(RuleSketch) -> RuleSketch,
+    ) -> Self {
+        self.rules.push(NamedRule {
+            effect: Effect::Permit,
+            name: name.into(),
+            sketch: sketch(RuleSketch::default()),
+        });
+        self
+    }
+
+    /// Adds a named deny rule.
+    #[must_use]
+    pub fn deny(
+        mut self,
+        name: impl Into<String>,
+        sketch: impl FnOnce(RuleSketch) -> RuleSketch,
+    ) -> Self {
+        self.rules.push(NamedRule {
+            effect: Effect::Deny,
+            name: name.into(),
+            sketch: sketch(RuleSketch::default()),
+        });
+        self
+    }
+
+    /// Resolves every name and assembles the engine.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::error::GrbacError::DuplicateName`] for repeated
+    /// declarations, and [`crate::error::GrbacError::UnknownRoleName`] /
+    /// [`crate::error::GrbacError::UnknownTransactionName`] for dangling
+    /// references (roles must be declared before the roles that extend
+    /// them).
+    pub fn build(self) -> Result<Grbac> {
+        let mut engine = Grbac::new();
+        for (kind, name, extends) in &self.roles {
+            let role = engine.roles_declare(*kind, name.clone())?;
+            for parent in extends {
+                let parent_id = engine.roles().find(*kind, parent)?;
+                engine.specialize(role, parent_id)?;
+            }
+        }
+        for name in &self.transactions {
+            engine.declare_transaction(name.clone())?;
+        }
+        for (name, roles) in &self.subjects {
+            let subject = engine.declare_subject(name.clone())?;
+            for role in roles {
+                let role_id = engine.roles().find(RoleKind::Subject, role)?;
+                engine.assign_subject_role(subject, role_id)?;
+            }
+        }
+        for (name, roles) in &self.objects {
+            let object = engine.declare_object(name.clone())?;
+            for role in roles {
+                let role_id = engine.roles().find(RoleKind::Object, role)?;
+                engine.assign_object_role(object, role_id)?;
+            }
+        }
+        for rule in &self.rules {
+            let mut def = RuleDef::new(rule.effect).named(rule.name.clone());
+            if let Some(role) = &rule.sketch.subject_role {
+                def = def.subject_role(engine.roles().find(RoleKind::Subject, role)?);
+            }
+            if let Some(role) = &rule.sketch.object_role {
+                def = def.object_role(engine.roles().find(RoleKind::Object, role)?);
+            }
+            if let Some(name) = &rule.sketch.transaction {
+                def = def.transaction(engine.entities().find_transaction(name)?);
+            }
+            for role in &rule.sketch.when {
+                def = def.when(engine.roles().find(RoleKind::Environment, role)?);
+            }
+            if let Some(confidence) = rule.sketch.min_confidence {
+                def = def.min_confidence(confidence);
+            }
+            engine.add_rule(def)?;
+        }
+        Ok(engine)
+    }
+}
+
+impl Grbac {
+    /// Kind-dispatched role declaration used by the builder.
+    fn roles_declare(&mut self, kind: RoleKind, name: String) -> Result<crate::id::RoleId> {
+        match kind {
+            RoleKind::Subject => self.declare_subject_role(name),
+            RoleKind::Object => self.declare_object_role(name),
+            RoleKind::Environment => self.declare_environment_role(name),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::AccessRequest;
+    use crate::environment::EnvironmentSnapshot;
+    use crate::error::GrbacError;
+
+    fn section51_via_builder() -> Grbac {
+        GrbacBuilder::new()
+            .subject_role("home_user")
+            .subject_role_extends("family_member", ["home_user"])
+            .subject_role_extends("child", ["family_member"])
+            .object_role("device")
+            .object_role_extends("entertainment_devices", ["device"])
+            .environment_role("weekdays")
+            .environment_role("free_time")
+            .transaction("use")
+            .subject("alice", ["child"])
+            .object("tv", ["entertainment_devices"])
+            .permit("kids tv policy", |r| {
+                r.subject("child")
+                    .object("entertainment_devices")
+                    .transaction("use")
+                    .when("weekdays")
+                    .when("free_time")
+            })
+            .deny("no midnight tv", |r| r.subject("child").object("device"))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builds_a_working_engine() {
+        let engine = section51_via_builder();
+        assert_eq!(engine.rules().len(), 2);
+        assert_eq!(engine.entities().subject_count(), 1);
+        assert_eq!(engine.roles().len(), 7);
+
+        // The hierarchy edges resolved: alice reaches home_user.
+        let alice = engine.entities().find_subject("alice").unwrap();
+        let home_user = engine.roles().find(RoleKind::Subject, "home_user").unwrap();
+        let closure = engine
+            .roles()
+            .expand(&engine.assignments().subject_roles(alice));
+        assert!(closure.contains(&home_user));
+    }
+
+    #[test]
+    fn built_engine_mediates_with_deny_overrides() {
+        let engine = section51_via_builder();
+        let alice = engine.entities().find_subject("alice").unwrap();
+        let tv = engine.entities().find_object("tv").unwrap();
+        let use_t = engine.entities().find_transaction("use").unwrap();
+        let weekdays = engine.roles().find(RoleKind::Environment, "weekdays").unwrap();
+        let free_time = engine.roles().find(RoleKind::Environment, "free_time").unwrap();
+        let env = EnvironmentSnapshot::from_active([weekdays, free_time]);
+        // The blanket deny wins under the default strategy.
+        let d = engine
+            .decide(&AccessRequest::by_subject(alice, use_t, tv, env))
+            .unwrap();
+        assert!(!d.is_permitted());
+    }
+
+    #[test]
+    fn dangling_references_error() {
+        let err = GrbacBuilder::new()
+            .subject("alice", ["ghost"])
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, GrbacError::UnknownRoleName { .. }));
+
+        let err = GrbacBuilder::new()
+            .subject_role("a")
+            .permit("r", |r| r.transaction("ghost"))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, GrbacError::UnknownTransactionName(_)));
+
+        let err = GrbacBuilder::new()
+            .subject_role_extends("child", ["ghost_parent"])
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, GrbacError::UnknownRoleName { .. }));
+    }
+
+    #[test]
+    fn confidence_thresholds_carry_through() {
+        let engine = GrbacBuilder::new()
+            .subject_role("child")
+            .permit("strict", |r| {
+                r.subject("child")
+                    .min_confidence(Confidence::new(0.9).unwrap())
+            })
+            .build()
+            .unwrap();
+        assert_eq!(
+            engine.rules()[0].min_confidence(),
+            Some(Confidence::new(0.9).unwrap())
+        );
+    }
+
+    #[test]
+    fn duplicate_declarations_error() {
+        let err = GrbacBuilder::new()
+            .subject_role("x")
+            .subject_role("x")
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, GrbacError::DuplicateName { .. }));
+    }
+}

@@ -1,0 +1,513 @@
+//! Role delegation: scoped, revocable authority transfer.
+//!
+//! §3's homeowner "will need to configure and manage security policies"
+//! — which in practice includes handing out authority: Mom lets the
+//! babysitter act as a `child_supervisor` for the evening; the
+//! technician gets `appliance_operator` for a visit. Delegation makes
+//! these grants first-class:
+//!
+//! * a **delegation rule** states *who may delegate what*: holders of
+//!   `delegator_role` may delegate `delegable` (or any specialization),
+//!   through chains of at most `max_depth` hops;
+//! * a **grant** records one act of delegation; revoking a grant
+//!   removes the delegated authority, **cascading** through any
+//!   re-delegations the recipient performed and dropping orphaned
+//!   session activations immediately (via
+//!   [`Grbac::revoke_subject_role`]).
+//!
+//! The delegator must possess the role themselves, and delegated
+//! assignments pass through the same static-SoD checks as direct ones.
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+use crate::engine::Grbac;
+use crate::error::{GrbacError, Result};
+use crate::id::{DelegationId, RoleId, SubjectId};
+use crate::role::RoleKind;
+
+/// Who may delegate what, and how deep re-delegation chains may grow.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DelegationRule {
+    /// The role whose holders may delegate.
+    pub delegator_role: RoleId,
+    /// The role that may be delegated (specializations included).
+    pub delegable: RoleId,
+    /// Maximum chain length: 1 = the original holder may delegate but
+    /// recipients may not re-delegate.
+    pub max_depth: u32,
+}
+
+/// One recorded act of delegation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DelegationGrant {
+    id: DelegationId,
+    from: SubjectId,
+    to: SubjectId,
+    role: RoleId,
+    /// 1 for a grant by an originally-authorized holder, +1 per
+    /// re-delegation hop.
+    depth: u32,
+}
+
+impl DelegationGrant {
+    /// The grant's identifier.
+    #[must_use]
+    pub fn id(&self) -> DelegationId {
+        self.id
+    }
+
+    /// Who delegated.
+    #[must_use]
+    pub fn from(&self) -> SubjectId {
+        self.from
+    }
+
+    /// Who received the role.
+    #[must_use]
+    pub fn to(&self) -> SubjectId {
+        self.to
+    }
+
+    /// The delegated role.
+    #[must_use]
+    pub fn role(&self) -> RoleId {
+        self.role
+    }
+
+    /// The grant's position in its delegation chain.
+    #[must_use]
+    pub fn depth(&self) -> u32 {
+        self.depth
+    }
+}
+
+/// The engine's delegation state: rules, live grants, and which
+/// `(subject, role)` assignments the delegation subsystem owns.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DelegationState {
+    rules: Vec<DelegationRule>,
+    grants: Vec<DelegationGrant>,
+    next_id: u64,
+    /// Assignments created by delegation (to be removed when the last
+    /// backing grant goes away). A later *direct* assignment of the
+    /// same pair transfers ownership away from the subsystem.
+    owned: BTreeSet<(SubjectId, RoleId)>,
+}
+
+impl DelegationState {
+    pub(crate) fn release_ownership(&mut self, subject: SubjectId, role: RoleId) {
+        self.owned.remove(&(subject, role));
+    }
+}
+
+impl Grbac {
+    /// Registers a delegation rule.
+    ///
+    /// # Errors
+    ///
+    /// [`GrbacError::InvalidDelegationDepth`] for `max_depth == 0`,
+    /// [`GrbacError::WrongRoleKind`] / [`GrbacError::UnknownRole`] for
+    /// bad role references (both positions must be subject roles).
+    pub fn add_delegation_rule(
+        &mut self,
+        delegator_role: RoleId,
+        delegable: RoleId,
+        max_depth: u32,
+    ) -> Result<()> {
+        if max_depth == 0 {
+            return Err(GrbacError::InvalidDelegationDepth);
+        }
+        self.roles().expect_kind(delegator_role, RoleKind::Subject)?;
+        self.roles().expect_kind(delegable, RoleKind::Subject)?;
+        self.delegation_mut().rules.push(DelegationRule {
+            delegator_role,
+            delegable,
+            max_depth,
+        });
+        Ok(())
+    }
+
+    /// `from` delegates `role` to `to`.
+    ///
+    /// Requirements, in order:
+    /// 1. some delegation rule covers `role` (directly or as a
+    ///    specialization of its `delegable`) with `from` holding the
+    ///    rule's `delegator_role`;
+    /// 2. `from` possesses `role` (directly or through the hierarchy);
+    /// 3. the chain depth stays within the rule's `max_depth` — if
+    ///    `from` holds `role` only through a delegation, the new grant
+    ///    sits one hop deeper;
+    /// 4. the assignment to `to` passes static separation of duty.
+    ///
+    /// # Errors
+    ///
+    /// [`GrbacError::NotAuthorizedToDelegate`],
+    /// [`GrbacError::DelegatorLacksRole`],
+    /// [`GrbacError::DelegationDepthExceeded`], or any assignment error
+    /// (unknown ids, SoD violations).
+    pub fn delegate(
+        &mut self,
+        from: SubjectId,
+        to: SubjectId,
+        role: RoleId,
+    ) -> Result<DelegationId> {
+        self.entities().subject(from)?;
+        self.entities().subject(to)?;
+        self.roles().expect_kind(role, RoleKind::Subject)?;
+
+        let from_possessed = self.roles().expand(&self.assignments().subject_roles(from));
+
+        // 1. Find the best covering rule.
+        let rule = self
+            .delegation()
+            .rules
+            .iter()
+            .filter(|rule| {
+                self.roles()
+                    .hierarchy(RoleKind::Subject)
+                    .is_specialization_of(role, rule.delegable)
+                    && from_possessed.contains(&rule.delegator_role)
+            })
+            .max_by_key(|rule| rule.max_depth)
+            .cloned()
+            .ok_or(GrbacError::NotAuthorizedToDelegate {
+                delegator: from,
+                role,
+            })?;
+
+        // 2. The delegator must hold the role.
+        if !from_possessed.contains(&role) {
+            return Err(GrbacError::DelegatorLacksRole {
+                delegator: from,
+                role,
+            });
+        }
+
+        // 3. Depth accounting: if `from` holds the role only via
+        //    grants, the new grant extends the deepest backing chain.
+        let depth = if self.delegation().owned.contains(&(from, role)) {
+            1 + self
+                .delegation()
+                .grants
+                .iter()
+                .filter(|g| g.to == from && g.role == role)
+                .map(|g| g.depth)
+                .max()
+                .unwrap_or(0)
+        } else {
+            1
+        };
+        if depth > rule.max_depth {
+            return Err(GrbacError::DelegationDepthExceeded {
+                max_depth: rule.max_depth,
+            });
+        }
+
+        // 4. Assign (static SoD enforced by the normal path). Track
+        //    ownership only if delegation actually created it.
+        let already_assigned = self.assignments().subject_has(to, role);
+        if !already_assigned {
+            self.assign_subject_role(to, role)?;
+            self.delegation_mut().owned.insert((to, role));
+        }
+
+        let id = DelegationId::from_raw(self.delegation().next_id);
+        let state = self.delegation_mut();
+        state.next_id += 1;
+        state.grants.push(DelegationGrant {
+            id,
+            from,
+            to,
+            role,
+            depth,
+        });
+        Ok(id)
+    }
+
+    /// Revokes a grant, cascading: if the recipient loses the role and
+    /// had re-delegated it, those grants are revoked too, transitively.
+    /// Orphaned session activations drop immediately.
+    ///
+    /// # Errors
+    ///
+    /// [`GrbacError::UnknownDelegation`].
+    pub fn revoke_delegation(&mut self, id: DelegationId) -> Result<()> {
+        let position = self
+            .delegation()
+            .grants
+            .iter()
+            .position(|g| g.id == id)
+            .ok_or(GrbacError::UnknownDelegation(id))?;
+        let grant = self.delegation_mut().grants.remove(position);
+        self.settle_after_revocation(grant.to, grant.role)?;
+        Ok(())
+    }
+
+    /// Drops the assignment if delegation owned it and no grant backs
+    /// it anymore, then cascades to grants the subject can no longer
+    /// stand behind.
+    fn settle_after_revocation(&mut self, subject: SubjectId, role: RoleId) -> Result<()> {
+        let still_backed = self
+            .delegation()
+            .grants
+            .iter()
+            .any(|g| g.to == subject && g.role == role);
+        if still_backed || !self.delegation().owned.contains(&(subject, role)) {
+            return Ok(());
+        }
+        self.delegation_mut().owned.remove(&(subject, role));
+        self.revoke_subject_role(subject, role)?;
+
+        // Cascade: grants made by this subject for roles it no longer
+        // possesses are now invalid.
+        let possessed = self.roles().expand(&self.assignments().subject_roles(subject));
+        let invalid: Vec<DelegationGrant> = self
+            .delegation()
+            .grants
+            .iter()
+            .filter(|g| g.from == subject && !possessed.contains(&g.role))
+            .cloned()
+            .collect();
+        for grant in invalid {
+            self.delegation_mut().grants.retain(|g| g.id != grant.id);
+            self.settle_after_revocation(grant.to, grant.role)?;
+        }
+        Ok(())
+    }
+
+    /// Live delegation grants, in grant order.
+    #[must_use]
+    pub fn delegations(&self) -> &[DelegationGrant] {
+        &self.delegation().grants
+    }
+
+    /// Registered delegation rules.
+    #[must_use]
+    pub fn delegation_rules(&self) -> &[DelegationRule] {
+        &self.delegation().rules
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::AccessRequest;
+    use crate::environment::EnvironmentSnapshot;
+    use crate::rule::RuleDef;
+    use crate::sod::{SodConstraint, SodKind};
+
+    struct Home {
+        g: Grbac,
+        parent: RoleId,
+        sitter_role: RoleId,
+        mom: SubjectId,
+        robin: SubjectId,
+        kim: SubjectId,
+    }
+
+    /// Mom (parent) may delegate `child_supervisor`; Robin and Kim are
+    /// potential babysitters.
+    fn home(max_depth: u32) -> Home {
+        let mut g = Grbac::new();
+        let parent = g.declare_subject_role("parent").unwrap();
+        let sitter_role = g.declare_subject_role("child_supervisor").unwrap();
+        let mom = g.declare_subject("mom").unwrap();
+        let robin = g.declare_subject("robin").unwrap();
+        let kim = g.declare_subject("kim").unwrap();
+        g.assign_subject_role(mom, parent).unwrap();
+        g.assign_subject_role(mom, sitter_role).unwrap();
+        g.add_delegation_rule(parent, sitter_role, max_depth).unwrap();
+        // Recipients of child_supervisor may re-delegate if the rule
+        // names their role too (added per-test when needed).
+        Home {
+            g,
+            parent,
+            sitter_role,
+            mom,
+            robin,
+            kim,
+        }
+    }
+
+    #[test]
+    fn basic_delegation_grants_the_role() {
+        let mut h = home(1);
+        assert!(!h.g.assignments().subject_has(h.robin, h.sitter_role));
+        let id = h.g.delegate(h.mom, h.robin, h.sitter_role).unwrap();
+        assert!(h.g.assignments().subject_has(h.robin, h.sitter_role));
+        assert_eq!(h.g.delegations().len(), 1);
+        assert_eq!(h.g.delegations()[0].id(), id);
+        assert_eq!(h.g.delegations()[0].depth(), 1);
+        assert_eq!(h.g.delegation_rules().len(), 1);
+    }
+
+    #[test]
+    fn unauthorized_delegators_rejected() {
+        let mut h = home(1);
+        // Robin holds no parent role.
+        assert!(matches!(
+            h.g.delegate(h.robin, h.kim, h.sitter_role),
+            Err(GrbacError::NotAuthorizedToDelegate { .. })
+        ));
+    }
+
+    #[test]
+    fn delegator_must_hold_the_role() {
+        let mut h = home(1);
+        // Dad is a parent but was never given child_supervisor.
+        let dad = h.g.declare_subject("dad").unwrap();
+        h.g.assign_subject_role(dad, h.parent).unwrap();
+        assert!(matches!(
+            h.g.delegate(dad, h.robin, h.sitter_role),
+            Err(GrbacError::DelegatorLacksRole { .. })
+        ));
+    }
+
+    #[test]
+    fn depth_limit_blocks_redelegation() {
+        let mut h = home(2);
+        // Allow supervisors to re-delegate (they hold sitter_role).
+        h.g.add_delegation_rule(h.sitter_role, h.sitter_role, 2).unwrap();
+        h.g.delegate(h.mom, h.robin, h.sitter_role).unwrap();
+        // Robin re-delegates to Kim at depth 2: fine.
+        h.g.delegate(h.robin, h.kim, h.sitter_role).unwrap();
+        // Kim cannot extend to depth 3.
+        let lee = h.g.declare_subject("lee").unwrap();
+        assert!(matches!(
+            h.g.delegate(h.kim, lee, h.sitter_role),
+            Err(GrbacError::DelegationDepthExceeded { max_depth: 2 })
+        ));
+    }
+
+    #[test]
+    fn revocation_cascades_through_redelegations() {
+        let mut h = home(3);
+        h.g.add_delegation_rule(h.sitter_role, h.sitter_role, 3).unwrap();
+        let to_robin = h.g.delegate(h.mom, h.robin, h.sitter_role).unwrap();
+        h.g.delegate(h.robin, h.kim, h.sitter_role).unwrap();
+        assert!(h.g.assignments().subject_has(h.kim, h.sitter_role));
+
+        // Revoking Mom->Robin strips Robin AND Kim.
+        h.g.revoke_delegation(to_robin).unwrap();
+        assert!(!h.g.assignments().subject_has(h.robin, h.sitter_role));
+        assert!(!h.g.assignments().subject_has(h.kim, h.sitter_role));
+        assert!(h.g.delegations().is_empty());
+    }
+
+    #[test]
+    fn revocation_spares_independently_backed_roles() {
+        let mut h = home(1);
+        // Kim is also directly assigned the role by the administrator.
+        h.g.assign_subject_role(h.kim, h.sitter_role).unwrap();
+        let grant = h.g.delegate(h.mom, h.kim, h.sitter_role).unwrap();
+        h.g.revoke_delegation(grant).unwrap();
+        assert!(
+            h.g.assignments().subject_has(h.kim, h.sitter_role),
+            "direct assignment is not owned by the delegation subsystem"
+        );
+    }
+
+    #[test]
+    fn two_grants_both_required_to_fall() {
+        let mut h = home(1);
+        let dad = h.g.declare_subject("dad").unwrap();
+        h.g.assign_subject_role(dad, h.parent).unwrap();
+        h.g.assign_subject_role(dad, h.sitter_role).unwrap();
+        let from_mom = h.g.delegate(h.mom, h.robin, h.sitter_role).unwrap();
+        let from_dad = h.g.delegate(dad, h.robin, h.sitter_role).unwrap();
+        h.g.revoke_delegation(from_mom).unwrap();
+        assert!(h.g.assignments().subject_has(h.robin, h.sitter_role));
+        h.g.revoke_delegation(from_dad).unwrap();
+        assert!(!h.g.assignments().subject_has(h.robin, h.sitter_role));
+    }
+
+    #[test]
+    fn delegated_roles_mediate_and_revocation_cuts_access() {
+        let mut h = home(1);
+        let tv_role = h.g.declare_object_role("tv_like").unwrap();
+        let operate = h.g.declare_transaction("operate").unwrap();
+        let tv = h.g.declare_object("tv").unwrap();
+        h.g.assign_object_role(tv, tv_role).unwrap();
+        h.g.add_rule(
+            RuleDef::permit()
+                .subject_role(h.sitter_role)
+                .object_role(tv_role)
+                .transaction(operate),
+        )
+        .unwrap();
+        let request =
+            AccessRequest::by_subject(h.robin, operate, tv, EnvironmentSnapshot::new());
+        assert!(!h.g.decide(&request).unwrap().is_permitted());
+
+        let grant = h.g.delegate(h.mom, h.robin, h.sitter_role).unwrap();
+        assert!(h.g.decide(&request).unwrap().is_permitted());
+
+        h.g.revoke_delegation(grant).unwrap();
+        assert!(!h.g.decide(&request).unwrap().is_permitted());
+    }
+
+    #[test]
+    fn delegation_respects_static_sod() {
+        let mut h = home(1);
+        let rival = h.g.declare_subject_role("rival_role").unwrap();
+        h.g.add_sod_constraint(
+            SodConstraint::mutual_exclusion("x", SodKind::Static, h.sitter_role, rival)
+                .unwrap(),
+        )
+        .unwrap();
+        h.g.assign_subject_role(h.robin, rival).unwrap();
+        assert!(matches!(
+            h.g.delegate(h.mom, h.robin, h.sitter_role),
+            Err(GrbacError::SodViolation { .. })
+        ));
+        assert!(h.g.delegations().is_empty(), "failed delegation leaves no grant");
+    }
+
+    #[test]
+    fn specializations_of_delegable_are_covered() {
+        let mut h = home(1);
+        let evening_sitter = h.g.declare_subject_role("evening_supervisor").unwrap();
+        h.g.specialize(evening_sitter, h.sitter_role).unwrap();
+        h.g.assign_subject_role(h.mom, evening_sitter).unwrap();
+        // The rule names child_supervisor; evening_supervisor
+        // specializes it and is therefore delegable too.
+        h.g.delegate(h.mom, h.robin, evening_sitter).unwrap();
+        assert!(h.g.assignments().subject_has(h.robin, evening_sitter));
+    }
+
+    #[test]
+    fn invalid_rules_rejected() {
+        let mut h = home(1);
+        assert!(matches!(
+            h.g.add_delegation_rule(h.parent, h.sitter_role, 0),
+            Err(GrbacError::InvalidDelegationDepth)
+        ));
+        let env = h.g.declare_environment_role("weekdays").unwrap();
+        assert!(matches!(
+            h.g.add_delegation_rule(h.parent, env, 1),
+            Err(GrbacError::WrongRoleKind { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_grant_revocation_errors() {
+        let mut h = home(1);
+        assert!(matches!(
+            h.g.revoke_delegation(DelegationId::from_raw(99)),
+            Err(GrbacError::UnknownDelegation(_))
+        ));
+    }
+
+    #[test]
+    fn direct_assignment_takes_ownership_from_delegation() {
+        let mut h = home(1);
+        let grant = h.g.delegate(h.mom, h.robin, h.sitter_role).unwrap();
+        // The administrator later assigns the role directly: ownership
+        // transfers, so revoking the delegation keeps the role.
+        h.g.assign_subject_role(h.robin, h.sitter_role).unwrap();
+        h.g.revoke_delegation(grant).unwrap();
+        assert!(h.g.assignments().subject_has(h.robin, h.sitter_role));
+    }
+}

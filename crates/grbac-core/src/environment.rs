@@ -1,0 +1,154 @@
+//! Environment snapshots: which environment roles are active *right now*.
+//!
+//! Environment roles are not assigned like subject/object roles — they
+//! *activate* when the system state they describe holds (§4.2.2). The
+//! engine is deliberately agnostic about how activation is determined: a
+//! trusted environment source (see the `grbac-env` crate) evaluates its
+//! conditions and hands the engine an [`EnvironmentSnapshot`] per request.
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+use crate::id::RoleId;
+
+/// The set of environment roles active at the moment of an access request.
+///
+/// Stores directly-active roles; the engine expands the set through the
+/// environment-role hierarchy, so a snapshot containing `monday` also
+/// satisfies a rule requiring `weekdays` when `monday` specializes it.
+///
+/// # Examples
+///
+/// ```
+/// use grbac_core::environment::EnvironmentSnapshot;
+/// use grbac_core::id::RoleId;
+///
+/// let weekdays = RoleId::from_raw(0);
+/// let snapshot = EnvironmentSnapshot::new().with_active(weekdays);
+/// assert!(snapshot.is_active(weekdays));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EnvironmentSnapshot {
+    active: BTreeSet<RoleId>,
+}
+
+impl EnvironmentSnapshot {
+    /// An empty snapshot: no environment role is active.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a snapshot from any collection of active role ids.
+    #[must_use]
+    pub fn from_active(roles: impl IntoIterator<Item = RoleId>) -> Self {
+        Self {
+            active: roles.into_iter().collect(),
+        }
+    }
+
+    /// Returns the snapshot with `role` added (builder style).
+    #[must_use]
+    pub fn with_active(mut self, role: RoleId) -> Self {
+        self.active.insert(role);
+        self
+    }
+
+    /// Marks a role active. Returns true if newly added.
+    pub fn activate(&mut self, role: RoleId) -> bool {
+        self.active.insert(role)
+    }
+
+    /// Marks a role inactive. Returns true if it was active.
+    pub fn deactivate(&mut self, role: RoleId) -> bool {
+        self.active.remove(&role)
+    }
+
+    /// True if `role` is directly active (no hierarchy expansion).
+    #[must_use]
+    pub fn is_active(&self, role: RoleId) -> bool {
+        self.active.contains(&role)
+    }
+
+    /// The directly-active role set.
+    #[must_use]
+    pub fn active(&self) -> &BTreeSet<RoleId> {
+        &self.active
+    }
+
+    /// Number of directly-active roles.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.active.len()
+    }
+
+    /// True if nothing is active.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.active.is_empty()
+    }
+
+    /// Merges another snapshot into this one.
+    pub fn merge(&mut self, other: &EnvironmentSnapshot) {
+        self.active.extend(other.active.iter().copied());
+    }
+}
+
+impl FromIterator<RoleId> for EnvironmentSnapshot {
+    fn from_iter<I: IntoIterator<Item = RoleId>>(iter: I) -> Self {
+        Self::from_active(iter)
+    }
+}
+
+impl Extend<RoleId> for EnvironmentSnapshot {
+    fn extend<I: IntoIterator<Item = RoleId>>(&mut self, iter: I) {
+        self.active.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: u64) -> RoleId {
+        RoleId::from_raw(n)
+    }
+
+    #[test]
+    fn activate_deactivate() {
+        let mut s = EnvironmentSnapshot::new();
+        assert!(s.is_empty());
+        assert!(s.activate(r(0)));
+        assert!(!s.activate(r(0)));
+        assert!(s.is_active(r(0)));
+        assert_eq!(s.len(), 1);
+        assert!(s.deactivate(r(0)));
+        assert!(!s.deactivate(r(0)));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn builders_and_collect() {
+        let a = EnvironmentSnapshot::from_active([r(0), r(1)]);
+        let b: EnvironmentSnapshot = [r(0), r(1)].into_iter().collect();
+        let c = EnvironmentSnapshot::new().with_active(r(0)).with_active(r(1));
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+    }
+
+    #[test]
+    fn merge_unions() {
+        let mut a = EnvironmentSnapshot::from_active([r(0)]);
+        let b = EnvironmentSnapshot::from_active([r(1)]);
+        a.merge(&b);
+        assert!(a.is_active(r(0)) && a.is_active(r(1)));
+    }
+
+    #[test]
+    fn extend_adds() {
+        let mut a = EnvironmentSnapshot::new();
+        a.extend([r(2), r(3)]);
+        assert_eq!(a.len(), 2);
+    }
+}

@@ -1,0 +1,189 @@
+//! Error type shared by every fallible operation in `grbac-core`.
+
+use crate::id::{ObjectId, RoleId, SessionId, SubjectId, TransactionId};
+use crate::role::RoleKind;
+
+/// Errors produced by GRBAC catalogs, sessions and the mediation engine.
+///
+/// Every public fallible function in this crate returns
+/// `Result<_, GrbacError>`; the variants carry enough context to render a
+/// precise diagnostic without access to the engine.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+#[allow(missing_docs)] // variant fields are self-describing; variants are documented
+pub enum GrbacError {
+    /// A role id was used that the catalog has never issued.
+    UnknownRole(RoleId),
+    /// A role name was looked up that is not declared for the given kind.
+    UnknownRoleName { kind: RoleKind, name: String },
+    /// A subject id was used that the catalog has never issued.
+    UnknownSubject(SubjectId),
+    /// An object id was used that the catalog has never issued.
+    UnknownObject(ObjectId),
+    /// A transaction id was used that the catalog has never issued.
+    UnknownTransaction(TransactionId),
+    /// A transaction name was looked up that is not declared.
+    UnknownTransactionName(String),
+    /// A session id was used that is not (or no longer) open.
+    UnknownSession(SessionId),
+    /// A name was declared twice within the same namespace.
+    DuplicateName { kind: &'static str, name: String },
+    /// Adding a specialization edge would create a cycle in the hierarchy.
+    HierarchyCycle { from: RoleId, to: RoleId },
+    /// A specialization edge was attempted between roles of different kinds.
+    KindMismatch {
+        role: RoleId,
+        expected: RoleKind,
+        found: RoleKind,
+    },
+    /// A role was used in a position reserved for a different role kind
+    /// (e.g. an environment role in a rule's subject-role slot).
+    WrongRoleKind {
+        role: RoleId,
+        expected: RoleKind,
+        found: RoleKind,
+    },
+    /// An assignment or activation would violate a separation-of-duty
+    /// constraint.
+    SodViolation {
+        constraint: String,
+        role: RoleId,
+    },
+    /// A subject tried to activate a role outside its authorized role set.
+    RoleNotAuthorized {
+        subject: SubjectId,
+        role: RoleId,
+    },
+    /// A confidence value outside `[0, 1]` was supplied.
+    InvalidConfidence(f64),
+    /// A separation-of-duty constraint was declared with an impossible
+    /// cardinality (e.g. `max_active = 0` or larger than the role set).
+    InvalidSodCardinality { constraint: String, max: usize, set: usize },
+    /// No delegation rule authorizes this subject to delegate this role.
+    NotAuthorizedToDelegate {
+        delegator: SubjectId,
+        role: RoleId,
+    },
+    /// The delegator does not themselves possess the role being
+    /// delegated.
+    DelegatorLacksRole {
+        delegator: SubjectId,
+        role: RoleId,
+    },
+    /// Re-delegating would exceed the rule's maximum chain depth.
+    DelegationDepthExceeded { max_depth: u32 },
+    /// A delegation id that was never issued or was already revoked.
+    UnknownDelegation(crate::id::DelegationId),
+    /// A delegation rule with a zero maximum depth can never be used.
+    InvalidDelegationDepth,
+}
+
+impl std::fmt::Display for GrbacError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::UnknownRole(id) => write!(f, "unknown role {id}"),
+            Self::UnknownRoleName { kind, name } => {
+                write!(f, "unknown {kind} role name {name:?}")
+            }
+            Self::UnknownSubject(id) => write!(f, "unknown subject {id}"),
+            Self::UnknownObject(id) => write!(f, "unknown object {id}"),
+            Self::UnknownTransaction(id) => write!(f, "unknown transaction {id}"),
+            Self::UnknownTransactionName(name) => {
+                write!(f, "unknown transaction name {name:?}")
+            }
+            Self::UnknownSession(id) => write!(f, "unknown session {id}"),
+            Self::DuplicateName { kind, name } => {
+                write!(f, "duplicate {kind} name {name:?}")
+            }
+            Self::HierarchyCycle { from, to } => write!(
+                f,
+                "specializing {from} from {to} would create a role hierarchy cycle"
+            ),
+            Self::KindMismatch {
+                role,
+                expected,
+                found,
+            } => write!(
+                f,
+                "role {role} has kind {found} but the hierarchy edge requires {expected}"
+            ),
+            Self::WrongRoleKind {
+                role,
+                expected,
+                found,
+            } => write!(
+                f,
+                "role {role} has kind {found} but this position requires a {expected} role"
+            ),
+            Self::SodViolation { constraint, role } => write!(
+                f,
+                "separation-of-duty constraint {constraint:?} forbids adding role {role}"
+            ),
+            Self::RoleNotAuthorized { subject, role } => write!(
+                f,
+                "subject {subject} is not authorized for role {role}"
+            ),
+            Self::InvalidConfidence(v) => {
+                write!(f, "confidence {v} is outside the unit interval")
+            }
+            Self::InvalidSodCardinality { constraint, max, set } => write!(
+                f,
+                "separation-of-duty constraint {constraint:?} allows {max} of a {set}-role set"
+            ),
+            Self::NotAuthorizedToDelegate { delegator, role } => write!(
+                f,
+                "subject {delegator} is not authorized to delegate role {role}"
+            ),
+            Self::DelegatorLacksRole { delegator, role } => write!(
+                f,
+                "subject {delegator} does not possess role {role} and so cannot delegate it"
+            ),
+            Self::DelegationDepthExceeded { max_depth } => write!(
+                f,
+                "re-delegation would exceed the maximum chain depth of {max_depth}"
+            ),
+            Self::UnknownDelegation(id) => write!(f, "unknown delegation {id}"),
+            Self::InvalidDelegationDepth => {
+                write!(f, "delegation rules require a maximum depth of at least 1")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GrbacError {}
+
+/// Convenient result alias used across the crate.
+pub type Result<T, E = GrbacError> = std::result::Result<T, E>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn error_is_send_sync() {
+        assert_send_sync::<GrbacError>();
+    }
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = GrbacError::UnknownRole(RoleId::from_raw(4));
+        assert_eq!(e.to_string(), "unknown role r4");
+        let e = GrbacError::DuplicateName {
+            kind: "subject role",
+            name: "child".into(),
+        };
+        assert!(e.to_string().contains("child"));
+        let e = GrbacError::InvalidConfidence(1.5);
+        assert!(e.to_string().contains("1.5"));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        let e: Box<dyn std::error::Error> = Box::new(GrbacError::UnknownSubject(
+            SubjectId::from_raw(0),
+        ));
+        assert!(e.source().is_none());
+    }
+}

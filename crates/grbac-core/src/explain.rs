@@ -1,0 +1,180 @@
+//! Decisions and their explanations.
+//!
+//! The paper's usability thesis — homeowners must be able to understand
+//! their policies — motivates returning not just permit/deny but a full
+//! account of *why*: which roles the requester was found to hold (and
+//! with what confidence), which rules matched, which rule won and under
+//! which conflict-resolution strategy.
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+use crate::confidence::Confidence;
+use crate::id::{RoleId, RuleId};
+use crate::precedence::ConflictStrategy;
+use crate::rule::Effect;
+
+/// A rule that matched a request, with the bindings that made it match.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MatchedRule {
+    /// The matching rule.
+    pub rule: RuleId,
+    /// The rule's effect.
+    pub effect: Effect,
+    /// Position of the rule in policy order (for first-applicable).
+    pub position: usize,
+    /// Confidence of the subject-role binding that satisfied the rule
+    /// ([`Confidence::FULL`] for session/trusted actors or `Any` specs).
+    pub subject_confidence: Confidence,
+    /// Shortest hierarchy distance from a directly-held subject role to
+    /// the rule's subject role (`0` = direct, `usize::MAX` = `Any` spec).
+    pub subject_distance: usize,
+    /// Same, for the object position.
+    pub object_distance: usize,
+    /// How many positions the rule constrains (tie-breaker).
+    pub constraint_count: usize,
+}
+
+impl MatchedRule {
+    /// Combined hierarchy distance used by the most-specific strategy;
+    /// saturating so `Any` specs never overflow.
+    #[must_use]
+    pub fn total_distance(&self) -> usize {
+        self.subject_distance.saturating_add(self.object_distance)
+    }
+}
+
+/// Why the engine reached its decision.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Reason {
+    /// No rule matched; the engine fell back to its default decision.
+    DefaultDecision,
+    /// Exactly one or more rules matched and the strategy picked a winner.
+    ResolvedBy(ConflictStrategy),
+    /// At least one permit rule would have matched but the subject-role
+    /// confidence fell short of the required threshold, and no other rule
+    /// carried the decision.
+    ConfidenceTooLow {
+        /// The threshold the best candidate failed to meet.
+        required: Confidence,
+        /// The confidence actually established.
+        achieved: Confidence,
+    },
+}
+
+/// The full account of a mediation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Explanation {
+    /// Hierarchy-expanded subject roles the requester was found to hold.
+    pub subject_roles: BTreeSet<RoleId>,
+    /// Hierarchy-expanded roles of the target object.
+    pub object_roles: BTreeSet<RoleId>,
+    /// Hierarchy-expanded environment roles active during the request.
+    pub environment_roles: BTreeSet<RoleId>,
+    /// Every rule that matched, in policy order.
+    pub matched: Vec<MatchedRule>,
+    /// The rule that carried the decision, if any.
+    pub winner: Option<RuleId>,
+    /// Why the decision came out the way it did.
+    pub reason: Reason,
+}
+
+/// The outcome of mediating one access request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Decision {
+    effect: Effect,
+    explanation: Explanation,
+}
+
+impl Decision {
+    /// Assembles a decision from its parts. Produced by the engine;
+    /// public so application layers and tests can synthesize decisions.
+    #[must_use]
+    pub fn new(effect: Effect, explanation: Explanation) -> Self {
+        Self { effect, explanation }
+    }
+
+    /// Permit or Deny.
+    #[must_use]
+    pub fn effect(&self) -> Effect {
+        self.effect
+    }
+
+    /// True if the request was permitted.
+    #[must_use]
+    pub fn is_permitted(&self) -> bool {
+        self.effect == Effect::Permit
+    }
+
+    /// The full explanation of the decision.
+    #[must_use]
+    pub fn explanation(&self) -> &Explanation {
+        &self.explanation
+    }
+
+    /// The winning rule, if one carried the decision.
+    #[must_use]
+    pub fn winning_rule(&self) -> Option<RuleId> {
+        self.explanation.winner
+    }
+}
+
+impl std::fmt::Display for Decision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.explanation.winner {
+            Some(rule) => write!(f, "{} (by {rule})", self.effect),
+            None => write!(f, "{} (default)", self.effect),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_explanation() -> Explanation {
+        Explanation {
+            subject_roles: BTreeSet::new(),
+            object_roles: BTreeSet::new(),
+            environment_roles: BTreeSet::new(),
+            matched: Vec::new(),
+            winner: None,
+            reason: Reason::DefaultDecision,
+        }
+    }
+
+    #[test]
+    fn decision_accessors() {
+        let d = Decision::new(Effect::Deny, sample_explanation());
+        assert!(!d.is_permitted());
+        assert_eq!(d.effect(), Effect::Deny);
+        assert_eq!(d.winning_rule(), None);
+        assert_eq!(d.to_string(), "deny (default)");
+    }
+
+    #[test]
+    fn decision_with_winner_displays_rule() {
+        let mut e = sample_explanation();
+        e.winner = Some(RuleId::from_raw(3));
+        e.reason = Reason::ResolvedBy(ConflictStrategy::DenyOverrides);
+        let d = Decision::new(Effect::Permit, e);
+        assert!(d.is_permitted());
+        assert_eq!(d.to_string(), "permit (by rule3)");
+    }
+
+    #[test]
+    fn total_distance_saturates() {
+        let m = MatchedRule {
+            rule: RuleId::from_raw(0),
+            effect: Effect::Permit,
+            position: 0,
+            subject_confidence: Confidence::FULL,
+            subject_distance: usize::MAX,
+            object_distance: 3,
+            constraint_count: 1,
+        };
+        assert_eq!(m.total_distance(), usize::MAX);
+    }
+}

@@ -1,0 +1,411 @@
+//! Role specialization hierarchies (§4.1.2 "Role Hierarchies").
+//!
+//! A [`RoleHierarchy`] is a directed acyclic graph over [`RoleId`]s where
+//! an edge `specific → general` means *specific is-a general*. Possession
+//! propagates upward: Figure 2's `Mom` is assigned `Parent`, and because
+//! `Parent → Family Member → Home User`, a rule written once against
+//! `Home User` covers `Mom` (and everyone else) without repetition.
+//!
+//! The structure is kind-agnostic; [`crate::role::RoleCatalog`] keeps one
+//! hierarchy per [`crate::role::RoleKind`] and enforces that edges never
+//! cross kinds.
+
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{GrbacError, Result};
+use crate::id::RoleId;
+
+/// A DAG of specialization edges over roles.
+///
+/// # Examples
+///
+/// ```
+/// use grbac_core::hierarchy::RoleHierarchy;
+/// use grbac_core::id::RoleId;
+///
+/// # fn main() -> Result<(), grbac_core::GrbacError> {
+/// let (child, family) = (RoleId::from_raw(0), RoleId::from_raw(1));
+/// let mut h = RoleHierarchy::new();
+/// h.add_role(child);
+/// h.add_role(family);
+/// h.add_specialization(child, family)?;
+/// assert!(h.is_specialization_of(child, family));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RoleHierarchy {
+    /// `generals[r]` = direct generalizations (parents) of `r`.
+    #[serde(with = "crate::serde_pairs::hash")]
+    generals: HashMap<RoleId, BTreeSet<RoleId>>,
+    /// `specifics[r]` = direct specializations (children) of `r`.
+    #[serde(with = "crate::serde_pairs::hash")]
+    specifics: HashMap<RoleId, BTreeSet<RoleId>>,
+}
+
+impl RoleHierarchy {
+    /// Creates an empty hierarchy.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a role with no edges. Idempotent.
+    pub fn add_role(&mut self, id: RoleId) {
+        self.generals.entry(id).or_default();
+        self.specifics.entry(id).or_default();
+    }
+
+    /// True if the role has been registered.
+    #[must_use]
+    pub fn contains(&self, id: RoleId) -> bool {
+        self.generals.contains_key(&id)
+    }
+
+    /// Number of registered roles.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.generals.len()
+    }
+
+    /// True if no roles are registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.generals.is_empty()
+    }
+
+    /// Number of specialization edges.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.generals.values().map(BTreeSet::len).sum()
+    }
+
+    /// Adds an edge meaning `specific` *is-a* `general`.
+    ///
+    /// Both endpoints are registered on demand. Self-edges and edges that
+    /// would create a cycle are rejected; duplicate edges are ignored.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GrbacError::HierarchyCycle`] if `general` already
+    /// (transitively) specializes `specific`, or if `specific == general`.
+    pub fn add_specialization(&mut self, specific: RoleId, general: RoleId) -> Result<()> {
+        if specific == general || self.is_specialization_of(general, specific) {
+            return Err(GrbacError::HierarchyCycle {
+                from: specific,
+                to: general,
+            });
+        }
+        self.add_role(specific);
+        self.add_role(general);
+        self.generals.get_mut(&specific).expect("just added").insert(general);
+        self.specifics.get_mut(&general).expect("just added").insert(specific);
+        Ok(())
+    }
+
+    /// Direct generalizations (parents) of a role.
+    #[must_use]
+    pub fn direct_generalizations(&self, id: RoleId) -> BTreeSet<RoleId> {
+        self.generals.get(&id).cloned().unwrap_or_default()
+    }
+
+    /// Direct specializations (children) of a role.
+    #[must_use]
+    pub fn direct_specializations(&self, id: RoleId) -> BTreeSet<RoleId> {
+        self.specifics.get(&id).cloned().unwrap_or_default()
+    }
+
+    /// Every role that `id` transitively specializes, excluding `id`.
+    #[must_use]
+    pub fn ancestors(&self, id: RoleId) -> BTreeSet<RoleId> {
+        let mut out = self.closure(id);
+        out.remove(&id);
+        out
+    }
+
+    /// Every role that transitively specializes `id`, excluding `id`.
+    #[must_use]
+    pub fn descendants(&self, id: RoleId) -> BTreeSet<RoleId> {
+        let mut out = BTreeSet::new();
+        let mut queue: VecDeque<RoleId> = self.direct_specializations(id).into_iter().collect();
+        while let Some(r) = queue.pop_front() {
+            if out.insert(r) {
+                queue.extend(self.direct_specializations(r));
+            }
+        }
+        out
+    }
+
+    /// The upward closure: `id` plus all its ancestors.
+    ///
+    /// This is the set of roles *possessed* by holding `id`. Unregistered
+    /// ids yield a singleton set, so callers can use closures uniformly.
+    #[must_use]
+    pub fn closure(&self, id: RoleId) -> BTreeSet<RoleId> {
+        let mut out = BTreeSet::new();
+        let mut queue = VecDeque::from([id]);
+        while let Some(r) = queue.pop_front() {
+            if out.insert(r) {
+                if let Some(parents) = self.generals.get(&r) {
+                    queue.extend(parents.iter().copied());
+                }
+            }
+        }
+        out
+    }
+
+    /// True if `specific` equals `general` or transitively specializes it.
+    #[must_use]
+    pub fn is_specialization_of(&self, specific: RoleId, general: RoleId) -> bool {
+        if specific == general {
+            return true;
+        }
+        // BFS upward from `specific`.
+        let mut seen = BTreeSet::new();
+        let mut queue = VecDeque::from([specific]);
+        while let Some(r) = queue.pop_front() {
+            if !seen.insert(r) {
+                continue;
+            }
+            if let Some(parents) = self.generals.get(&r) {
+                if parents.contains(&general) {
+                    return true;
+                }
+                queue.extend(parents.iter().copied());
+            }
+        }
+        false
+    }
+
+    /// Length of the shortest upward path from `specific` to `general`
+    /// (`Some(0)` when equal, `None` when unrelated).
+    ///
+    /// Used by the *most-specific* conflict-resolution strategy: a rule
+    /// matched through a shorter specialization path is considered more
+    /// specific than one matched through a longer path.
+    #[must_use]
+    pub fn distance_up(&self, specific: RoleId, general: RoleId) -> Option<usize> {
+        if specific == general {
+            return Some(0);
+        }
+        let mut seen = BTreeSet::from([specific]);
+        let mut frontier = VecDeque::from([(specific, 0usize)]);
+        while let Some((r, d)) = frontier.pop_front() {
+            if let Some(parents) = self.generals.get(&r) {
+                for &p in parents {
+                    if p == general {
+                        return Some(d + 1);
+                    }
+                    if seen.insert(p) {
+                        frontier.push_back((p, d + 1));
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Roles with no generalizations (the most general roles).
+    #[must_use]
+    pub fn maximal_roles(&self) -> BTreeSet<RoleId> {
+        self.generals
+            .iter()
+            .filter(|(_, parents)| parents.is_empty())
+            .map(|(&r, _)| r)
+            .collect()
+    }
+
+    /// Roles with no specializations (the most specific roles).
+    #[must_use]
+    pub fn minimal_roles(&self) -> BTreeSet<RoleId> {
+        self.specifics
+            .iter()
+            .filter(|(_, children)| children.is_empty())
+            .map(|(&r, _)| r)
+            .collect()
+    }
+
+    /// Maximum edge length of any upward chain starting at `id`.
+    #[must_use]
+    pub fn depth(&self, id: RoleId) -> usize {
+        self.direct_generalizations(id)
+            .iter()
+            .map(|&p| 1 + self.depth(p))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// True if `a` and `b` have a common descendant — i.e. some role whose
+    /// possession implies possessing both. Used by policy conflict
+    /// analysis: two rules keyed on `a` and `b` can fire for the same
+    /// request only when such a role (or an entity assigned both) exists.
+    #[must_use]
+    pub fn have_common_descendant(&self, a: RoleId, b: RoleId) -> bool {
+        if self.is_specialization_of(a, b) || self.is_specialization_of(b, a) {
+            return true;
+        }
+        let mut below_a = self.descendants(a);
+        below_a.insert(a);
+        let mut below_b = self.descendants(b);
+        below_b.insert(b);
+        below_a.intersection(&below_b).next().is_some()
+    }
+
+    /// Iterates over all registered roles in ascending id order.
+    pub fn roles(&self) -> impl Iterator<Item = RoleId> + '_ {
+        let mut ids: Vec<RoleId> = self.generals.keys().copied().collect();
+        ids.sort_unstable();
+        ids.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: u64) -> RoleId {
+        RoleId::from_raw(n)
+    }
+
+    /// Builds Figure 2's subject role hierarchy (roles only; user
+    /// assignment lives in the engine): specific → general edges.
+    fn figure2() -> (RoleHierarchy, [RoleId; 6]) {
+        let home_user = r(0);
+        let family = r(1);
+        let parent = r(2);
+        let child = r(3);
+        let guest = r(4);
+        let service = r(5);
+        let mut h = RoleHierarchy::new();
+        h.add_specialization(family, home_user).unwrap();
+        h.add_specialization(parent, family).unwrap();
+        h.add_specialization(child, family).unwrap();
+        h.add_specialization(guest, home_user).unwrap();
+        h.add_specialization(service, guest).unwrap();
+        (h, [home_user, family, parent, child, guest, service])
+    }
+
+    #[test]
+    fn empty_hierarchy() {
+        let h = RoleHierarchy::new();
+        assert!(h.is_empty());
+        assert_eq!(h.len(), 0);
+        assert_eq!(h.edge_count(), 0);
+        assert_eq!(h.closure(r(7)), BTreeSet::from([r(7)]));
+    }
+
+    #[test]
+    fn figure2_relations() {
+        let (h, [home_user, family, parent, child, guest, service]) = figure2();
+        assert!(h.is_specialization_of(parent, home_user));
+        assert!(h.is_specialization_of(child, family));
+        assert!(h.is_specialization_of(service, home_user));
+        assert!(!h.is_specialization_of(child, guest));
+        assert!(!h.is_specialization_of(family, parent));
+        assert_eq!(h.closure(child), BTreeSet::from([child, family, home_user]));
+        assert_eq!(h.ancestors(service), BTreeSet::from([guest, home_user]));
+        assert_eq!(
+            h.descendants(home_user),
+            BTreeSet::from([family, parent, child, guest, service])
+        );
+        assert_eq!(h.maximal_roles(), BTreeSet::from([home_user]));
+        assert_eq!(h.minimal_roles(), BTreeSet::from([parent, child, service]));
+    }
+
+    #[test]
+    fn self_edge_rejected() {
+        let mut h = RoleHierarchy::new();
+        assert!(matches!(
+            h.add_specialization(r(1), r(1)),
+            Err(GrbacError::HierarchyCycle { .. })
+        ));
+    }
+
+    #[test]
+    fn cycle_rejected() {
+        let mut h = RoleHierarchy::new();
+        h.add_specialization(r(1), r(2)).unwrap();
+        h.add_specialization(r(2), r(3)).unwrap();
+        assert!(matches!(
+            h.add_specialization(r(3), r(1)),
+            Err(GrbacError::HierarchyCycle { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_edge_is_idempotent() {
+        let mut h = RoleHierarchy::new();
+        h.add_specialization(r(1), r(2)).unwrap();
+        h.add_specialization(r(1), r(2)).unwrap();
+        assert_eq!(h.edge_count(), 1);
+    }
+
+    #[test]
+    fn multiple_inheritance_supported() {
+        // A DAG, not a tree: `nurse_parent` is both a `parent` and a
+        // `care_specialist`.
+        let (parent, care, nurse) = (r(0), r(1), r(2));
+        let mut h = RoleHierarchy::new();
+        h.add_specialization(nurse, parent).unwrap();
+        h.add_specialization(nurse, care).unwrap();
+        assert_eq!(h.closure(nurse), BTreeSet::from([nurse, parent, care]));
+    }
+
+    #[test]
+    fn distance_up_shortest_path() {
+        let (h, [home_user, family, _parent, child, _guest, service]) = figure2();
+        assert_eq!(h.distance_up(child, child), Some(0));
+        assert_eq!(h.distance_up(child, family), Some(1));
+        assert_eq!(h.distance_up(child, home_user), Some(2));
+        assert_eq!(h.distance_up(service, home_user), Some(2));
+        assert_eq!(h.distance_up(home_user, child), None);
+        assert_eq!(h.distance_up(child, service), None);
+    }
+
+    #[test]
+    fn distance_prefers_shortest_of_multiple_paths() {
+        // diamond: d → b → a, d → c → a, and a shortcut d → a.
+        let (a, b, c, d) = (r(0), r(1), r(2), r(3));
+        let mut h = RoleHierarchy::new();
+        h.add_specialization(b, a).unwrap();
+        h.add_specialization(c, a).unwrap();
+        h.add_specialization(d, b).unwrap();
+        h.add_specialization(d, c).unwrap();
+        h.add_specialization(d, a).unwrap();
+        assert_eq!(h.distance_up(d, a), Some(1));
+    }
+
+    #[test]
+    fn depth_measures_longest_chain() {
+        let (h, [home_user, _family, _parent, child, _guest, service]) = figure2();
+        assert_eq!(h.depth(home_user), 0);
+        assert_eq!(h.depth(child), 2);
+        assert_eq!(h.depth(service), 2);
+    }
+
+    #[test]
+    fn common_descendants() {
+        let (h, [home_user, family, parent, child, guest, service]) = figure2();
+        // comparable pairs have a common descendant trivially
+        assert!(h.have_common_descendant(child, family));
+        assert!(h.have_common_descendant(home_user, service));
+        // siblings with no shared children do not
+        assert!(!h.have_common_descendant(parent, child));
+        assert!(!h.have_common_descendant(family, guest));
+        // add a role that is both a child and a service agent
+        let mut h2 = h.clone();
+        let robot = r(9);
+        h2.add_specialization(robot, child).unwrap();
+        h2.add_specialization(robot, service).unwrap();
+        assert!(h2.have_common_descendant(family, guest));
+    }
+
+    #[test]
+    fn roles_iterates_sorted() {
+        let (h, _) = figure2();
+        let ids: Vec<RoleId> = h.roles().collect();
+        assert_eq!(ids, (0..6).map(r).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,207 @@
+//! Role precedence / conflict resolution (§4.1.2 "Role Precedence").
+//!
+//! When a subject possesses multiple roles, rules keyed on those roles
+//! can disagree — Bobby's `family_member` role may read the medical
+//! records his `child` role is denied. The paper surveys the standard
+//! resolutions ("give precedence to the role that denies", "…that
+//! allows", "some other predefined rule"); all of them are implemented
+//! here as [`ConflictStrategy`] variants, selectable per engine.
+
+use serde::{Deserialize, Serialize};
+
+use crate::explain::MatchedRule;
+use crate::rule::Effect;
+
+/// How the engine picks a winner among matching rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ConflictStrategy {
+    /// Any matching Deny rule wins (the paper's "precedence to the role
+    /// that denies access"). The safe default.
+    DenyOverrides,
+    /// Any matching Permit rule wins ("precedence to the role that
+    /// allows access").
+    PermitOverrides,
+    /// The earliest rule in policy order wins (the "predefined rule"
+    /// option; makes policies read top-to-bottom like a firewall).
+    FirstApplicable,
+    /// The rule matched through the shortest hierarchy path wins: a rule
+    /// about `child` beats a rule about `family_member` for a subject
+    /// directly assigned `child`. Ties break toward more-constrained
+    /// rules, then toward Deny, then toward policy order.
+    MostSpecific,
+}
+
+impl Default for ConflictStrategy {
+    /// Defaults to the fail-safe [`ConflictStrategy::DenyOverrides`].
+    fn default() -> Self {
+        ConflictStrategy::DenyOverrides
+    }
+}
+
+impl std::fmt::Display for ConflictStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ConflictStrategy::DenyOverrides => "deny-overrides",
+            ConflictStrategy::PermitOverrides => "permit-overrides",
+            ConflictStrategy::FirstApplicable => "first-applicable",
+            ConflictStrategy::MostSpecific => "most-specific",
+        })
+    }
+}
+
+impl ConflictStrategy {
+    /// All strategies, for sweeps and tests.
+    pub const ALL: [ConflictStrategy; 4] = [
+        ConflictStrategy::DenyOverrides,
+        ConflictStrategy::PermitOverrides,
+        ConflictStrategy::FirstApplicable,
+        ConflictStrategy::MostSpecific,
+    ];
+
+    /// Picks the winning match among `matches` (which must be in policy
+    /// order). Returns `None` when `matches` is empty.
+    #[must_use]
+    pub fn resolve<'a>(&self, matches: &'a [MatchedRule]) -> Option<&'a MatchedRule> {
+        if matches.is_empty() {
+            return None;
+        }
+        match self {
+            ConflictStrategy::DenyOverrides => matches
+                .iter()
+                .find(|m| m.effect == Effect::Deny)
+                .or_else(|| matches.first()),
+            ConflictStrategy::PermitOverrides => matches
+                .iter()
+                .find(|m| m.effect == Effect::Permit)
+                .or_else(|| matches.first()),
+            ConflictStrategy::FirstApplicable => matches.first(),
+            ConflictStrategy::MostSpecific => matches.iter().min_by(|a, b| {
+                a.total_distance()
+                    .cmp(&b.total_distance())
+                    // more constraints = more specific = preferred
+                    .then_with(|| b.constraint_count.cmp(&a.constraint_count))
+                    // deny beats permit on a full tie
+                    .then_with(|| specificity_effect_rank(a.effect).cmp(&specificity_effect_rank(b.effect)))
+                    // stable: earlier rule wins
+                    .then_with(|| a.position.cmp(&b.position))
+            }),
+        }
+    }
+}
+
+fn specificity_effect_rank(effect: Effect) -> u8 {
+    match effect {
+        Effect::Deny => 0,
+        Effect::Permit => 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::confidence::Confidence;
+    use crate::id::RuleId;
+
+    fn m(
+        id: u64,
+        position: usize,
+        effect: Effect,
+        subject_distance: usize,
+        object_distance: usize,
+        constraint_count: usize,
+    ) -> MatchedRule {
+        MatchedRule {
+            rule: RuleId::from_raw(id),
+            effect,
+            position,
+            subject_confidence: Confidence::FULL,
+            subject_distance,
+            object_distance,
+            constraint_count,
+        }
+    }
+
+    #[test]
+    fn empty_matches_resolve_to_none() {
+        for s in ConflictStrategy::ALL {
+            assert!(s.resolve(&[]).is_none());
+        }
+    }
+
+    #[test]
+    fn deny_overrides_prefers_deny() {
+        let matches = [
+            m(0, 0, Effect::Permit, 0, 0, 2),
+            m(1, 1, Effect::Deny, 5, 5, 1),
+        ];
+        let w = ConflictStrategy::DenyOverrides.resolve(&matches).unwrap();
+        assert_eq!(w.rule, RuleId::from_raw(1));
+    }
+
+    #[test]
+    fn deny_overrides_with_only_permits_takes_first() {
+        let matches = [m(0, 0, Effect::Permit, 0, 0, 1), m(1, 1, Effect::Permit, 0, 0, 1)];
+        let w = ConflictStrategy::DenyOverrides.resolve(&matches).unwrap();
+        assert_eq!(w.rule, RuleId::from_raw(0));
+    }
+
+    #[test]
+    fn permit_overrides_prefers_permit() {
+        let matches = [
+            m(0, 0, Effect::Deny, 0, 0, 2),
+            m(1, 1, Effect::Permit, 5, 5, 1),
+        ];
+        let w = ConflictStrategy::PermitOverrides.resolve(&matches).unwrap();
+        assert_eq!(w.rule, RuleId::from_raw(1));
+    }
+
+    #[test]
+    fn first_applicable_respects_policy_order() {
+        let matches = [
+            m(7, 0, Effect::Deny, 9, 9, 0),
+            m(3, 1, Effect::Permit, 0, 0, 9),
+        ];
+        let w = ConflictStrategy::FirstApplicable.resolve(&matches).unwrap();
+        assert_eq!(w.rule, RuleId::from_raw(7));
+    }
+
+    #[test]
+    fn most_specific_prefers_shorter_distance() {
+        // Bobby: rule about `child` (distance 0) vs rule about
+        // `family_member` (distance 1).
+        let matches = [
+            m(0, 0, Effect::Permit, 1, 0, 2), // family_member may read records
+            m(1, 1, Effect::Deny, 0, 0, 2),   // child may not
+        ];
+        let w = ConflictStrategy::MostSpecific.resolve(&matches).unwrap();
+        assert_eq!(w.rule, RuleId::from_raw(1));
+        assert_eq!(w.effect, Effect::Deny);
+    }
+
+    #[test]
+    fn most_specific_ties_break_to_more_constraints_then_deny() {
+        let matches = [
+            m(0, 0, Effect::Permit, 1, 1, 4),
+            m(1, 1, Effect::Deny, 1, 1, 2),
+        ];
+        let w = ConflictStrategy::MostSpecific.resolve(&matches).unwrap();
+        assert_eq!(w.rule, RuleId::from_raw(0), "more constraints wins the tie");
+
+        let matches = [
+            m(0, 0, Effect::Permit, 1, 1, 2),
+            m(1, 1, Effect::Deny, 1, 1, 2),
+        ];
+        let w = ConflictStrategy::MostSpecific.resolve(&matches).unwrap();
+        assert_eq!(w.effect, Effect::Deny, "deny wins a full tie");
+    }
+
+    #[test]
+    fn default_strategy_is_deny_overrides() {
+        assert_eq!(ConflictStrategy::default(), ConflictStrategy::DenyOverrides);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(ConflictStrategy::MostSpecific.to_string(), "most-specific");
+    }
+}

@@ -1,0 +1,83 @@
+//! Serde adapters that serialize maps as sequences of `(key, value)`
+//! pairs.
+//!
+//! The catalogs key their maps by typed ids (and one by a
+//! `(RoleKind, String)` tuple); self-describing formats like JSON only
+//! allow string map keys, so fields tagged
+//! `#[serde(with = "crate::serde_pairs::hash")]` round-trip as pair
+//! lists instead. This is what makes a whole
+//! [`Grbac`](crate::engine::Grbac) engine storable as a JSON document —
+//! the persistence story a real deployment needs.
+
+/// Adapter for `HashMap<K, V>` with non-string keys.
+pub mod hash {
+    use std::collections::HashMap;
+    use std::hash::Hash;
+
+    use serde::de::{Deserialize, Deserializer};
+    use serde::ser::{Serialize, Serializer};
+
+    /// Serializes the map as a sequence of pairs.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the underlying serializer reports.
+    pub fn serialize<K, V, S>(map: &HashMap<K, V>, serializer: S) -> Result<S::Ok, S::Error>
+    where
+        K: Serialize,
+        V: Serialize,
+        S: Serializer,
+    {
+        serializer.collect_seq(map.iter())
+    }
+
+    /// Deserializes a sequence of pairs back into a map.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the underlying deserializer reports.
+    pub fn deserialize<'de, K, V, D>(deserializer: D) -> Result<HashMap<K, V>, D::Error>
+    where
+        K: Deserialize<'de> + Eq + Hash,
+        V: Deserialize<'de>,
+        D: Deserializer<'de>,
+    {
+        Ok(Vec::<(K, V)>::deserialize(deserializer)?
+            .into_iter()
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    use serde::{Deserialize, Serialize};
+
+    use crate::id::RoleId;
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Wrapper {
+        #[serde(with = "crate::serde_pairs::hash")]
+        map: HashMap<RoleId, u32>,
+    }
+
+    #[test]
+    fn round_trips_through_json() {
+        let mut map = HashMap::new();
+        map.insert(RoleId::from_raw(0), 10);
+        map.insert(RoleId::from_raw(7), 70);
+        let wrapper = Wrapper { map };
+        let json = serde_json::to_string(&wrapper).expect("pairs serialize");
+        let back: Wrapper = serde_json::from_str(&json).expect("pairs deserialize");
+        assert_eq!(wrapper, back);
+    }
+
+    #[test]
+    fn empty_map_round_trips() {
+        let wrapper = Wrapper { map: HashMap::new() };
+        let json = serde_json::to_string(&wrapper).unwrap();
+        let back: Wrapper = serde_json::from_str(&json).unwrap();
+        assert_eq!(wrapper, back);
+    }
+}

@@ -1,0 +1,208 @@
+//! Sessions and role activation (§4.1.2 "Role Activation").
+//!
+//! A session is a subject's activation context: the subject declares
+//! which of its authorized roles are *active*, and only active roles are
+//! used to execute transactions. Activation is the enforcement point for
+//! dynamic separation of duty, and the paper's "active roles take
+//! precedence over inactive roles" resolution hinges on it.
+//!
+//! [`SessionManager`] stores raw sessions; the authorization and SoD
+//! checks are orchestrated by [`crate::engine::Grbac`], which owns the
+//! role catalog and assignment tables the checks need.
+
+use std::collections::{BTreeSet, HashMap};
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{GrbacError, Result};
+use crate::id::{IdAllocator, RoleId, SessionId, SubjectId};
+
+/// A subject's activation context.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Session {
+    id: SessionId,
+    subject: SubjectId,
+    active: BTreeSet<RoleId>,
+}
+
+impl Session {
+    /// The session's identifier.
+    #[must_use]
+    pub fn id(&self) -> SessionId {
+        self.id
+    }
+
+    /// The subject this session belongs to.
+    #[must_use]
+    pub fn subject(&self) -> SubjectId {
+        self.subject
+    }
+
+    /// The directly-activated role set (no hierarchy expansion).
+    #[must_use]
+    pub fn active_roles(&self) -> &BTreeSet<RoleId> {
+        &self.active
+    }
+
+    /// True if `role` is directly active in this session.
+    #[must_use]
+    pub fn is_active(&self, role: RoleId) -> bool {
+        self.active.contains(&role)
+    }
+
+    pub(crate) fn activate(&mut self, role: RoleId) -> bool {
+        self.active.insert(role)
+    }
+
+    pub(crate) fn deactivate(&mut self, role: RoleId) -> bool {
+        self.active.remove(&role)
+    }
+}
+
+/// Open sessions, keyed by [`SessionId`].
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SessionManager {
+    #[serde(with = "crate::serde_pairs::hash")]
+    sessions: HashMap<SessionId, Session>,
+    alloc: IdAllocator,
+}
+
+impl SessionManager {
+    /// Creates an empty manager.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Opens a session for `subject` with an empty active role set.
+    pub fn open(&mut self, subject: SubjectId) -> SessionId {
+        let id = SessionId::from_raw(self.alloc.next());
+        self.sessions.insert(
+            id,
+            Session {
+                id,
+                subject,
+                active: BTreeSet::new(),
+            },
+        );
+        id
+    }
+
+    /// Closes a session, returning it if it was open.
+    pub fn close(&mut self, id: SessionId) -> Option<Session> {
+        self.sessions.remove(&id)
+    }
+
+    /// Looks up an open session.
+    ///
+    /// # Errors
+    ///
+    /// [`GrbacError::UnknownSession`] if the session is not open.
+    pub fn session(&self, id: SessionId) -> Result<&Session> {
+        self.sessions.get(&id).ok_or(GrbacError::UnknownSession(id))
+    }
+
+    /// Mutable access for the engine's checked activation path.
+    pub(crate) fn session_mut(&mut self, id: SessionId) -> Result<&mut Session> {
+        self.sessions
+            .get_mut(&id)
+            .ok_or(GrbacError::UnknownSession(id))
+    }
+
+    /// Number of open sessions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// True if no sessions are open.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sessions.is_empty()
+    }
+
+    /// Iterates over open sessions in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = &Session> {
+        self.sessions.values()
+    }
+
+    /// All open sessions belonging to `subject`.
+    pub fn sessions_of(&self, subject: SubjectId) -> impl Iterator<Item = &Session> {
+        self.sessions.values().filter(move |s| s.subject == subject)
+    }
+
+    /// Mutable access to a subject's sessions (engine-internal: used to
+    /// drop activations when authorization is revoked).
+    pub(crate) fn sessions_of_mut(
+        &mut self,
+        subject: SubjectId,
+    ) -> impl Iterator<Item = &mut Session> {
+        self.sessions
+            .values_mut()
+            .filter(move |s| s.subject == subject)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(n: u64) -> SubjectId {
+        SubjectId::from_raw(n)
+    }
+    fn r(n: u64) -> RoleId {
+        RoleId::from_raw(n)
+    }
+
+    #[test]
+    fn open_query_close() {
+        let mut m = SessionManager::new();
+        let id = m.open(s(0));
+        assert_eq!(m.session(id).unwrap().subject(), s(0));
+        assert!(m.session(id).unwrap().active_roles().is_empty());
+        assert_eq!(m.len(), 1);
+        let closed = m.close(id).unwrap();
+        assert_eq!(closed.id(), id);
+        assert!(m.is_empty());
+        assert!(matches!(m.session(id), Err(GrbacError::UnknownSession(_))));
+    }
+
+    #[test]
+    fn activation_bookkeeping() {
+        let mut m = SessionManager::new();
+        let id = m.open(s(0));
+        let sess = m.session_mut(id).unwrap();
+        assert!(sess.activate(r(1)));
+        assert!(!sess.activate(r(1)), "double activation is a no-op");
+        assert!(sess.is_active(r(1)));
+        assert!(sess.deactivate(r(1)));
+        assert!(!sess.deactivate(r(1)));
+        assert!(!sess.is_active(r(1)));
+    }
+
+    #[test]
+    fn multiple_sessions_per_subject() {
+        let mut m = SessionManager::new();
+        let a = m.open(s(0));
+        let b = m.open(s(0));
+        let _c = m.open(s(1));
+        assert_ne!(a, b);
+        assert_eq!(m.sessions_of(s(0)).count(), 2);
+        assert_eq!(m.sessions_of(s(1)).count(), 1);
+        assert_eq!(m.iter().count(), 3);
+    }
+
+    #[test]
+    fn sessions_are_isolated() {
+        // The teller/account-holder example: the same subject can use the
+        // roles in *different* sessions without conflict.
+        let mut m = SessionManager::new();
+        let morning = m.open(s(0));
+        let evening = m.open(s(0));
+        m.session_mut(morning).unwrap().activate(r(0));
+        m.session_mut(evening).unwrap().activate(r(1));
+        assert!(m.session(morning).unwrap().is_active(r(0)));
+        assert!(!m.session(morning).unwrap().is_active(r(1)));
+        assert!(m.session(evening).unwrap().is_active(r(1)));
+    }
+}

@@ -1,0 +1,276 @@
+//! Separation of duty (§4.1.2).
+//!
+//! Two flavours, both generalized from pairs to role *sets* with a
+//! cardinality bound (the ANSI-RBAC style `(set, n)` form; the paper's
+//! pairwise teller/account-holder example is the `n = 1` two-role case):
+//!
+//! * **Static** SoD constrains the *authorized* role set: a subject may
+//!   never be assigned more than `max_concurrent` roles from the set.
+//! * **Dynamic** SoD constrains the *active* role set of a session: the
+//!   roles may be authorized together but not activated simultaneously.
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{GrbacError, Result};
+use crate::id::RoleId;
+
+/// Whether a constraint restricts authorization or activation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SodKind {
+    /// No subject may be *authorized* for too many of the roles.
+    Static,
+    /// No session may have too many of the roles *active* at once.
+    Dynamic,
+}
+
+impl std::fmt::Display for SodKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            SodKind::Static => "static",
+            SodKind::Dynamic => "dynamic",
+        })
+    }
+}
+
+/// A single separation-of-duty constraint.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SodConstraint {
+    name: String,
+    kind: SodKind,
+    roles: BTreeSet<RoleId>,
+    max_concurrent: usize,
+}
+
+impl SodConstraint {
+    /// Creates a constraint limiting a subject (static) or session
+    /// (dynamic) to at most `max_concurrent` roles from `roles`.
+    ///
+    /// # Errors
+    ///
+    /// [`GrbacError::InvalidSodCardinality`] when `max_concurrent` is zero
+    /// or not smaller than the size of the role set (such a constraint
+    /// would be vacuous or unsatisfiable).
+    pub fn new(
+        name: impl Into<String>,
+        kind: SodKind,
+        roles: impl IntoIterator<Item = RoleId>,
+        max_concurrent: usize,
+    ) -> Result<Self> {
+        let name = name.into();
+        let roles: BTreeSet<RoleId> = roles.into_iter().collect();
+        if max_concurrent == 0 || max_concurrent >= roles.len() {
+            return Err(GrbacError::InvalidSodCardinality {
+                constraint: name,
+                max: max_concurrent,
+                set: roles.len(),
+            });
+        }
+        Ok(Self {
+            name,
+            kind,
+            roles,
+            max_concurrent,
+        })
+    }
+
+    /// The classic mutual-exclusion pair: at most one of two roles.
+    ///
+    /// # Errors
+    ///
+    /// [`GrbacError::InvalidSodCardinality`] if `a == b` (a one-role set).
+    pub fn mutual_exclusion(
+        name: impl Into<String>,
+        kind: SodKind,
+        a: RoleId,
+        b: RoleId,
+    ) -> Result<Self> {
+        Self::new(name, kind, [a, b], 1)
+    }
+
+    /// The constraint's diagnostic name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Static or dynamic.
+    #[must_use]
+    pub fn kind(&self) -> SodKind {
+        self.kind
+    }
+
+    /// The constrained role set.
+    #[must_use]
+    pub fn roles(&self) -> &BTreeSet<RoleId> {
+        &self.roles
+    }
+
+    /// Maximum number of constrained roles held/active concurrently.
+    #[must_use]
+    pub fn max_concurrent(&self) -> usize {
+        self.max_concurrent
+    }
+
+    /// True if `held ∪ {candidate}` would violate this constraint.
+    ///
+    /// `held` should already be hierarchy-expanded by the caller so that
+    /// holding `teller_supervisor` (a specialization of `teller`) counts
+    /// as holding `teller`.
+    #[must_use]
+    pub fn violated_by(&self, held: &BTreeSet<RoleId>, candidate: RoleId) -> bool {
+        if !self.roles.contains(&candidate) && self.roles.intersection(held).count() <= self.max_concurrent {
+            // Fast path: candidate not constrained and held set already fine.
+            return false;
+        }
+        let mut hypothetical: BTreeSet<RoleId> = held.intersection(&self.roles).copied().collect();
+        if self.roles.contains(&candidate) {
+            hypothetical.insert(candidate);
+        }
+        hypothetical.len() > self.max_concurrent
+    }
+
+    /// True if the set itself (no candidate) violates the constraint.
+    #[must_use]
+    pub fn violated_by_set(&self, held: &BTreeSet<RoleId>) -> bool {
+        self.roles.intersection(held).count() > self.max_concurrent
+    }
+}
+
+/// An ordered collection of SoD constraints with bulk checks.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SodPolicy {
+    constraints: Vec<SodConstraint>,
+}
+
+impl SodPolicy {
+    /// Creates an empty policy.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a constraint.
+    pub fn add(&mut self, constraint: SodConstraint) {
+        self.constraints.push(constraint);
+    }
+
+    /// Iterates over the constraints in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &SodConstraint> {
+        self.constraints.iter()
+    }
+
+    /// Number of constraints.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// True if no constraints are registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.constraints.is_empty()
+    }
+
+    /// Checks that adding `candidate` to an (expanded) held set does not
+    /// violate any constraint of the given kind.
+    ///
+    /// # Errors
+    ///
+    /// [`GrbacError::SodViolation`] naming the first violated constraint.
+    pub fn check(
+        &self,
+        kind: SodKind,
+        held: &BTreeSet<RoleId>,
+        candidate: RoleId,
+    ) -> Result<()> {
+        for c in self.constraints.iter().filter(|c| c.kind == kind) {
+            if c.violated_by(held, candidate) {
+                return Err(GrbacError::SodViolation {
+                    constraint: c.name.clone(),
+                    role: candidate,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: u64) -> RoleId {
+        RoleId::from_raw(n)
+    }
+
+    #[test]
+    fn mutual_exclusion_pair() {
+        let c = SodConstraint::mutual_exclusion("teller-vs-holder", SodKind::Static, r(0), r(1))
+            .unwrap();
+        assert_eq!(c.max_concurrent(), 1);
+        assert!(!c.violated_by(&BTreeSet::new(), r(0)));
+        assert!(!c.violated_by(&BTreeSet::from([r(0)]), r(2)), "unrelated role ok");
+        assert!(c.violated_by(&BTreeSet::from([r(0)]), r(1)));
+        assert!(c.violated_by(&BTreeSet::from([r(1)]), r(0)));
+    }
+
+    #[test]
+    fn degenerate_cardinalities_rejected() {
+        assert!(matches!(
+            SodConstraint::new("zero", SodKind::Static, [r(0), r(1)], 0),
+            Err(GrbacError::InvalidSodCardinality { .. })
+        ));
+        assert!(SodConstraint::new("vacuous", SodKind::Static, [r(0), r(1)], 2).is_err());
+        assert!(SodConstraint::mutual_exclusion("same", SodKind::Static, r(3), r(3)).is_err());
+    }
+
+    #[test]
+    fn cardinality_constraint() {
+        // At most 2 of {auditor, approver, signer}.
+        let c = SodConstraint::new("finance", SodKind::Dynamic, [r(0), r(1), r(2)], 2).unwrap();
+        assert!(!c.violated_by(&BTreeSet::from([r(0)]), r(1)));
+        assert!(c.violated_by(&BTreeSet::from([r(0), r(1)]), r(2)));
+        assert!(!c.violated_by(&BTreeSet::from([r(0), r(1)]), r(9)));
+    }
+
+    #[test]
+    fn violated_by_set_checks_existing_sets() {
+        let c = SodConstraint::new("x", SodKind::Static, [r(0), r(1), r(2)], 1).unwrap();
+        assert!(!c.violated_by_set(&BTreeSet::from([r(0), r(7)])));
+        assert!(c.violated_by_set(&BTreeSet::from([r(0), r(1)])));
+    }
+
+    #[test]
+    fn policy_filters_by_kind() {
+        let mut p = SodPolicy::new();
+        p.add(SodConstraint::mutual_exclusion("static", SodKind::Static, r(0), r(1)).unwrap());
+        p.add(SodConstraint::mutual_exclusion("dynamic", SodKind::Dynamic, r(2), r(3)).unwrap());
+        assert_eq!(p.len(), 2);
+
+        // The static constraint does not block dynamic activation.
+        assert!(p.check(SodKind::Dynamic, &BTreeSet::from([r(0)]), r(1)).is_ok());
+        assert!(p.check(SodKind::Static, &BTreeSet::from([r(0)]), r(1)).is_err());
+        assert!(p.check(SodKind::Dynamic, &BTreeSet::from([r(2)]), r(3)).is_err());
+    }
+
+    #[test]
+    fn violation_error_names_constraint() {
+        let mut p = SodPolicy::new();
+        p.add(
+            SodConstraint::mutual_exclusion("teller-vs-holder", SodKind::Static, r(0), r(1))
+                .unwrap(),
+        );
+        let err = p
+            .check(SodKind::Static, &BTreeSet::from([r(0)]), r(1))
+            .unwrap_err();
+        match err {
+            GrbacError::SodViolation { constraint, role } => {
+                assert_eq!(constraint, "teller-vs-holder");
+                assert_eq!(role, r(1));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+}

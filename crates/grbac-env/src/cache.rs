@@ -1,0 +1,211 @@
+//! Snapshot caching keyed on time-transition scheduling.
+//!
+//! Evaluating every environment-role condition per request is wasteful
+//! when most conditions are time-based and time moves in long stable
+//! stretches ("weekdays ∧ free_time" holds for hours at a stretch).
+//! [`SnapshotCache`] stores the last snapshot per requesting subject
+//! together with its expiry — the provider's
+//! [`time_snapshot_valid_until`](crate::provider::EnvironmentRoleProvider::time_snapshot_valid_until)
+//! — and serves hits until the next time transition.
+//!
+//! Time is handled soundly by construction; **non-time** state
+//! (occupancy, load, state variables) is the caller's contract: call
+//! [`SnapshotCache::invalidate`] whenever such state changes (e.g. from
+//! an [`EventBus`](crate::events::EventBus) subscription or an
+//! occupancy update).
+
+use std::collections::HashMap;
+
+use grbac_core::environment::EnvironmentSnapshot;
+use grbac_core::id::SubjectId;
+
+use crate::provider::{EnvironmentContext, EnvironmentRoleProvider};
+use crate::time::Timestamp;
+
+#[derive(Debug, Clone)]
+struct CacheEntry {
+    snapshot: EnvironmentSnapshot,
+    computed_at: Timestamp,
+    valid_until: Option<Timestamp>,
+}
+
+/// A per-subject environment-snapshot cache with time-based expiry.
+#[derive(Debug, Clone, Default)]
+pub struct SnapshotCache {
+    entries: HashMap<Option<SubjectId>, CacheEntry>,
+    hits: u64,
+    misses: u64,
+}
+
+impl SnapshotCache {
+    /// Creates an empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the snapshot for this context, recomputing only when no
+    /// fresh entry exists. An entry is fresh for `ctx.now` in
+    /// `[computed_at, valid_until)`; queries that step backwards in
+    /// time recompute (the simulation clock is monotonic anyway).
+    pub fn snapshot(
+        &mut self,
+        provider: &EnvironmentRoleProvider,
+        ctx: &EnvironmentContext<'_>,
+    ) -> EnvironmentSnapshot {
+        let key = ctx.subject;
+        if let Some(entry) = self.entries.get(&key) {
+            let fresh = ctx.now >= entry.computed_at
+                && entry.valid_until.is_none_or(|until| ctx.now < until);
+            if fresh {
+                self.hits += 1;
+                return entry.snapshot.clone();
+            }
+        }
+        self.misses += 1;
+        let snapshot = provider.snapshot(ctx);
+        let valid_until = provider.time_snapshot_valid_until(ctx.now);
+        self.entries.insert(
+            key,
+            CacheEntry {
+                snapshot: snapshot.clone(),
+                computed_at: ctx.now,
+                valid_until,
+            },
+        );
+        snapshot
+    }
+
+    /// Drops every cached entry. Call when non-time environment state
+    /// changes (occupancy, load, state variables).
+    pub fn invalidate(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Cache hits so far.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses so far.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Hit fraction (0 when never queried).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calendar::TimeExpr;
+    use crate::provider::EnvCondition;
+    use crate::time::{Date, Duration, TimeOfDay};
+    use grbac_core::id::RoleId;
+
+    fn r(n: u64) -> RoleId {
+        RoleId::from_raw(n)
+    }
+
+    fn at(h: u8, m: u8) -> Timestamp {
+        Timestamp::from_civil(
+            Date::new(2000, 1, 17).unwrap(),
+            TimeOfDay::hm(h, m).unwrap(),
+        )
+    }
+
+    fn provider() -> EnvironmentRoleProvider {
+        let mut p = EnvironmentRoleProvider::new();
+        p.define(r(0), EnvCondition::Time(TimeExpr::weekdays())).unwrap();
+        p.define(
+            r(1),
+            EnvCondition::Time(TimeExpr::between(
+                TimeOfDay::hm(19, 0).unwrap(),
+                TimeOfDay::hm(22, 0).unwrap(),
+            )),
+        )
+        .unwrap();
+        p
+    }
+
+    #[test]
+    fn hits_within_a_stable_stretch() {
+        let p = provider();
+        let mut cache = SnapshotCache::new();
+        let first = cache.snapshot(&p, &EnvironmentContext::at(at(12, 0)));
+        let second = cache.snapshot(&p, &EnvironmentContext::at(at(14, 30)));
+        assert_eq!(first, second);
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert!((cache.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recomputes_after_a_transition() {
+        let p = provider();
+        let mut cache = SnapshotCache::new();
+        let noon = cache.snapshot(&p, &EnvironmentContext::at(at(12, 0)));
+        assert!(!noon.is_active(r(1)));
+        // 19:00 crosses the free_time opening: must recompute.
+        let evening = cache.snapshot(&p, &EnvironmentContext::at(at(19, 0)));
+        assert!(evening.is_active(r(1)));
+        assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn cached_results_match_uncached_across_a_day() {
+        let p = provider();
+        let mut cache = SnapshotCache::new();
+        let mut ts = at(0, 0);
+        for _ in 0..(24 * 12) {
+            let ctx = EnvironmentContext::at(ts);
+            assert_eq!(cache.snapshot(&p, &ctx), p.snapshot(&ctx), "at {ts}");
+            ts = ts + Duration::minutes(5);
+        }
+        assert!(cache.hits() > cache.misses(), "the cache should mostly hit");
+    }
+
+    #[test]
+    fn per_subject_entries_are_independent() {
+        use grbac_core::id::SubjectId;
+        let p = provider();
+        let mut cache = SnapshotCache::new();
+        let anon = EnvironmentContext::at(at(12, 0));
+        let alice = EnvironmentContext::at(at(12, 0)).with_subject(SubjectId::from_raw(0));
+        cache.snapshot(&p, &anon);
+        cache.snapshot(&p, &alice);
+        assert_eq!(cache.misses(), 2, "different keys, separate entries");
+        cache.snapshot(&p, &alice);
+        assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn invalidate_forces_recompute() {
+        let p = provider();
+        let mut cache = SnapshotCache::new();
+        cache.snapshot(&p, &EnvironmentContext::at(at(12, 0)));
+        cache.invalidate();
+        cache.snapshot(&p, &EnvironmentContext::at(at(12, 1)));
+        assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.hits(), 0);
+    }
+
+    #[test]
+    fn backwards_queries_recompute() {
+        let p = provider();
+        let mut cache = SnapshotCache::new();
+        cache.snapshot(&p, &EnvironmentContext::at(at(12, 0)));
+        cache.snapshot(&p, &EnvironmentContext::at(at(11, 0)));
+        assert_eq!(cache.misses(), 2);
+    }
+}

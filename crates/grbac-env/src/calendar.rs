@@ -1,0 +1,532 @@
+//! Calendar expressions: the vocabulary behind time-based environment
+//! roles (§4.2.2).
+//!
+//! The paper names roles like "Monday", "Weekends", or "Weekday mornings
+//! in July" — human-understandable aliases for sets of instants. A
+//! [`TimeExpr`] denotes such a set; an environment role bound to it is
+//! active exactly when the current timestamp is a member.
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+use crate::periodic::PeriodicExpr;
+use crate::time::{Date, TimeOfDay, Timestamp, Weekday};
+
+/// A predicate over instants: "is this timestamp inside the named
+/// period?"
+///
+/// Composes with [`TimeExpr::and`], [`TimeExpr::or`] and
+/// [`TimeExpr::negate`]; the paper's "Weekday mornings in July" is
+/// `weekdays().and(between(6:00, 12:00)).and(months([7]))`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TimeExpr {
+    /// Every instant.
+    Always,
+    /// No instant.
+    Never,
+    /// Instants falling on any of the listed weekdays.
+    DaysOfWeek(BTreeSet<Weekday>),
+    /// Instants whose wall-clock time lies in `[start, end)`. A range
+    /// with `end <= start` wraps midnight (22:00–06:00 = night).
+    TimeOfDayRange {
+        /// Inclusive start.
+        start: TimeOfDay,
+        /// Exclusive end.
+        end: TimeOfDay,
+    },
+    /// Instants whose date lies in `[start, end]` (inclusive).
+    DateRange {
+        /// First day of the range.
+        start: Date,
+        /// Last day of the range.
+        end: Date,
+    },
+    /// Instants in `[start, end)` of absolute time.
+    AbsoluteRange {
+        /// Inclusive start.
+        start: Timestamp,
+        /// Exclusive end.
+        end: Timestamp,
+    },
+    /// Instants whose month is listed (1 = January … 12 = December).
+    MonthsOfYear(BTreeSet<u8>),
+    /// A Bertino-style periodic authorization window.
+    Periodic(PeriodicExpr),
+    /// All sub-expressions hold.
+    All(Vec<TimeExpr>),
+    /// At least one sub-expression holds.
+    AnyOf(Vec<TimeExpr>),
+    /// The sub-expression does not hold.
+    Not(Box<TimeExpr>),
+}
+
+impl TimeExpr {
+    /// Monday–Friday: the §5.1 `weekdays` role ("12:01 a.m. Monday to
+    /// 11:59 p.m. Friday" — whole weekdays at second resolution).
+    #[must_use]
+    pub fn weekdays() -> Self {
+        TimeExpr::DaysOfWeek(Weekday::WORKDAYS.into_iter().collect())
+    }
+
+    /// Saturday–Sunday.
+    #[must_use]
+    pub fn weekend() -> Self {
+        TimeExpr::DaysOfWeek(Weekday::WEEKEND.into_iter().collect())
+    }
+
+    /// One specific weekday ("we can define a role corresponding to each
+    /// day of the week").
+    #[must_use]
+    pub fn on(day: Weekday) -> Self {
+        TimeExpr::DaysOfWeek(BTreeSet::from([day]))
+    }
+
+    /// A wall-clock window `[start, end)`; wraps midnight when
+    /// `end <= start`.
+    #[must_use]
+    pub fn between(start: TimeOfDay, end: TimeOfDay) -> Self {
+        TimeExpr::TimeOfDayRange { start, end }
+    }
+
+    /// A set of months (1–12); out-of-range values never match.
+    #[must_use]
+    pub fn months(months: impl IntoIterator<Item = u8>) -> Self {
+        TimeExpr::MonthsOfYear(months.into_iter().collect())
+    }
+
+    /// Conjunction (builder style).
+    #[must_use]
+    pub fn and(self, other: TimeExpr) -> Self {
+        match self {
+            TimeExpr::All(mut v) => {
+                v.push(other);
+                TimeExpr::All(v)
+            }
+            first => TimeExpr::All(vec![first, other]),
+        }
+    }
+
+    /// Disjunction (builder style).
+    #[must_use]
+    pub fn or(self, other: TimeExpr) -> Self {
+        match self {
+            TimeExpr::AnyOf(mut v) => {
+                v.push(other);
+                TimeExpr::AnyOf(v)
+            }
+            first => TimeExpr::AnyOf(vec![first, other]),
+        }
+    }
+
+    /// Complement (builder style).
+    #[must_use]
+    pub fn negate(self) -> Self {
+        TimeExpr::Not(Box::new(self))
+    }
+
+    /// The earliest instant strictly after `after` at which this
+    /// expression's [`contains`](Self::contains) value changes, or
+    /// `None` when the value never changes again.
+    ///
+    /// This is what makes environment-role snapshots cacheable: a
+    /// snapshot computed at `t` stays valid until the earliest
+    /// `next_transition` across the defined time conditions (see
+    /// [`crate::provider::EnvironmentRoleProvider::time_snapshot_valid_until`]).
+    ///
+    /// The search walks candidate boundary instants (midnights, window
+    /// edges, period boundaries) and is exact for every expression this
+    /// type can represent; composites inspect at most a bounded number
+    /// of candidates (a pathological expression alternating slower than
+    /// its candidates yields `None` after the bound).
+    #[must_use]
+    pub fn next_transition(&self, after: Timestamp) -> Option<Timestamp> {
+        let initial = self.contains(after);
+        let mut probe = after;
+        // Bound: a week of minute-level candidates would be 10k; real
+        // expressions transit within a handful of boundaries.
+        for _ in 0..10_000 {
+            let candidate = self.next_candidate(probe)?;
+            debug_assert!(candidate > probe);
+            if self.contains(candidate) != initial {
+                return Some(candidate);
+            }
+            probe = candidate;
+        }
+        None
+    }
+
+    /// The next candidate boundary strictly after `after` — an instant
+    /// at which this expression *might* change value. The value is
+    /// guaranteed constant on `(after, candidate)`.
+    fn next_candidate(&self, after: Timestamp) -> Option<Timestamp> {
+        match self {
+            TimeExpr::Always | TimeExpr::Never => None,
+            TimeExpr::DaysOfWeek(_) | TimeExpr::MonthsOfYear(_) => {
+                // Value changes only at midnight boundaries.
+                Some(next_midnight(after))
+            }
+            TimeExpr::TimeOfDayRange { start, end } => {
+                Some(next_time_of_day(after, *start).min(next_time_of_day(after, *end)))
+            }
+            TimeExpr::DateRange { start, end } => {
+                let begin = start.midnight();
+                let finish = end.plus_days(1).midnight();
+                if after < begin {
+                    Some(begin)
+                } else if after < finish {
+                    Some(finish)
+                } else {
+                    None
+                }
+            }
+            TimeExpr::AbsoluteRange { start, end } => {
+                if after < *start {
+                    Some(*start)
+                } else if after < *end {
+                    Some(*end)
+                } else {
+                    None
+                }
+            }
+            TimeExpr::Periodic(p) => {
+                if p.contains(after) {
+                    // Inside a window: its end is the next boundary
+                    // (valid even when the expression expires after it).
+                    let offset = after.since(p.anchor()).as_seconds();
+                    let into_window = offset.rem_euclid(p.period().as_seconds());
+                    Some(
+                        after
+                            + crate::time::Duration::seconds(
+                                p.duration().as_seconds() - into_window,
+                            ),
+                    )
+                } else {
+                    // Outside: the next window start (None once expired).
+                    p.next_window(after + crate::time::Duration::seconds(1))
+                }
+            }
+            TimeExpr::All(exprs) | TimeExpr::AnyOf(exprs) => exprs
+                .iter()
+                .filter_map(|e| e.next_candidate(after))
+                .min(),
+            TimeExpr::Not(expr) => expr.next_candidate(after),
+        }
+    }
+
+    /// True when `ts` is inside the denoted set of instants.
+    #[must_use]
+    pub fn contains(&self, ts: Timestamp) -> bool {
+        match self {
+            TimeExpr::Always => true,
+            TimeExpr::Never => false,
+            TimeExpr::DaysOfWeek(days) => days.contains(&ts.weekday()),
+            TimeExpr::TimeOfDayRange { start, end } => {
+                let t = ts.time_of_day();
+                if start < end {
+                    *start <= t && t < *end
+                } else {
+                    // Wraps midnight: [start, 24:00) ∪ [00:00, end).
+                    t >= *start || t < *end
+                }
+            }
+            TimeExpr::DateRange { start, end } => {
+                let d = ts.date();
+                *start <= d && d <= *end
+            }
+            TimeExpr::AbsoluteRange { start, end } => *start <= ts && ts < *end,
+            TimeExpr::MonthsOfYear(months) => months.contains(&ts.date().month()),
+            TimeExpr::Periodic(p) => p.contains(ts),
+            TimeExpr::All(exprs) => exprs.iter().all(|e| e.contains(ts)),
+            TimeExpr::AnyOf(exprs) => exprs.iter().any(|e| e.contains(ts)),
+            TimeExpr::Not(expr) => !expr.contains(ts),
+        }
+    }
+}
+
+/// The first midnight strictly after `after`.
+fn next_midnight(after: Timestamp) -> Timestamp {
+    after.date().plus_days(1).midnight()
+}
+
+/// The first occurrence of the wall-clock time `target` strictly after
+/// `after`.
+fn next_time_of_day(after: Timestamp, target: TimeOfDay) -> Timestamp {
+    let today = Timestamp::from_civil(after.date(), target);
+    if today > after {
+        today
+    } else {
+        Timestamp::from_civil(after.date().plus_days(1), target)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Duration;
+
+    fn at(date: (i32, u8, u8), time: (u8, u8)) -> Timestamp {
+        Timestamp::from_civil(
+            Date::new(date.0, date.1, date.2).unwrap(),
+            TimeOfDay::hm(time.0, time.1).unwrap(),
+        )
+    }
+
+    #[test]
+    fn always_and_never() {
+        assert!(TimeExpr::Always.contains(Timestamp::EPOCH));
+        assert!(!TimeExpr::Never.contains(Timestamp::EPOCH));
+    }
+
+    #[test]
+    fn weekdays_role() {
+        let weekdays = TimeExpr::weekdays();
+        assert!(weekdays.contains(at((2000, 1, 17), (12, 0))), "Monday");
+        assert!(weekdays.contains(at((2000, 1, 21), (23, 59))), "Friday night");
+        assert!(!weekdays.contains(at((2000, 1, 22), (12, 0))), "Saturday");
+        assert!(!weekdays.contains(at((2000, 1, 23), (12, 0))), "Sunday");
+    }
+
+    #[test]
+    fn weekend_is_complement_of_weekdays_on_days() {
+        let date = Date::new(2000, 1, 17).unwrap();
+        for offset in 0..7 {
+            let ts = date.plus_days(offset).midnight();
+            assert_ne!(
+                TimeExpr::weekdays().contains(ts),
+                TimeExpr::weekend().contains(ts)
+            );
+        }
+    }
+
+    #[test]
+    fn free_time_window() {
+        // §5.1: free time = 7 p.m. to 10 p.m.
+        let free_time = TimeExpr::between(
+            TimeOfDay::hm(19, 0).unwrap(),
+            TimeOfDay::hm(22, 0).unwrap(),
+        );
+        assert!(free_time.contains(at((2000, 1, 17), (19, 0))), "inclusive start");
+        assert!(free_time.contains(at((2000, 1, 17), (21, 59))));
+        assert!(!free_time.contains(at((2000, 1, 17), (22, 0))), "exclusive end");
+        assert!(!free_time.contains(at((2000, 1, 17), (18, 59))));
+    }
+
+    #[test]
+    fn midnight_wrapping_window() {
+        let night = TimeExpr::between(
+            TimeOfDay::hm(22, 0).unwrap(),
+            TimeOfDay::hm(6, 0).unwrap(),
+        );
+        assert!(night.contains(at((2000, 1, 17), (23, 30))));
+        assert!(night.contains(at((2000, 1, 17), (2, 0))));
+        assert!(!night.contains(at((2000, 1, 17), (12, 0))));
+        assert!(!night.contains(at((2000, 1, 17), (6, 0))), "exclusive end");
+        assert!(night.contains(at((2000, 1, 17), (22, 0))), "inclusive start");
+    }
+
+    #[test]
+    fn repairman_window() {
+        // §3: repairman has access on January 17, 2000 between 8am and 1pm.
+        let window = TimeExpr::DateRange {
+            start: Date::new(2000, 1, 17).unwrap(),
+            end: Date::new(2000, 1, 17).unwrap(),
+        }
+        .and(TimeExpr::between(
+            TimeOfDay::hm(8, 0).unwrap(),
+            TimeOfDay::hm(13, 0).unwrap(),
+        ));
+        assert!(window.contains(at((2000, 1, 17), (10, 0))));
+        assert!(!window.contains(at((2000, 1, 17), (13, 0))));
+        assert!(!window.contains(at((2000, 1, 18), (10, 0))), "next day");
+        assert!(!window.contains(at((2000, 1, 16), (10, 0))), "previous day");
+    }
+
+    #[test]
+    fn weekday_mornings_in_july() {
+        // The paper's showcase name: "Weekday mornings in July".
+        let expr = TimeExpr::weekdays()
+            .and(TimeExpr::between(
+                TimeOfDay::hm(6, 0).unwrap(),
+                TimeOfDay::hm(12, 0).unwrap(),
+            ))
+            .and(TimeExpr::months([7]));
+        assert!(expr.contains(at((2000, 7, 3), (8, 0))), "Mon Jul 3 2000, 8am");
+        assert!(!expr.contains(at((2000, 7, 1), (8, 0))), "Saturday");
+        assert!(!expr.contains(at((2000, 7, 3), (13, 0))), "afternoon");
+        assert!(!expr.contains(at((2000, 6, 30), (8, 0))), "June");
+    }
+
+    #[test]
+    fn absolute_range_half_open() {
+        let start = at((2000, 1, 1), (0, 0));
+        let end = at((2000, 1, 2), (0, 0));
+        let expr = TimeExpr::AbsoluteRange { start, end };
+        assert!(expr.contains(start));
+        assert!(expr.contains(end - Duration::seconds(1)));
+        assert!(!expr.contains(end));
+    }
+
+    #[test]
+    fn or_and_not_compose() {
+        let expr = TimeExpr::on(Weekday::Monday)
+            .or(TimeExpr::on(Weekday::Friday));
+        assert!(expr.contains(at((2000, 1, 17), (9, 0)))); // Monday
+        assert!(expr.contains(at((2000, 1, 21), (9, 0)))); // Friday
+        assert!(!expr.contains(at((2000, 1, 19), (9, 0)))); // Wednesday
+
+        let inverted = expr.negate();
+        assert!(!inverted.contains(at((2000, 1, 17), (9, 0))));
+        assert!(inverted.contains(at((2000, 1, 19), (9, 0))));
+    }
+
+    #[test]
+    fn and_flattens_into_all() {
+        let expr = TimeExpr::weekdays()
+            .and(TimeExpr::Always)
+            .and(TimeExpr::Always);
+        match expr {
+            TimeExpr::All(v) => assert_eq!(v.len(), 3),
+            other => panic!("expected All, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn months_out_of_range_never_match() {
+        let expr = TimeExpr::months([0, 13]);
+        assert!(!expr.contains(at((2000, 1, 1), (0, 0))));
+        assert!(!expr.contains(at((2000, 12, 31), (0, 0))));
+    }
+
+    #[test]
+    fn next_transition_for_windows() {
+        let free_time = TimeExpr::between(
+            TimeOfDay::hm(19, 0).unwrap(),
+            TimeOfDay::hm(22, 0).unwrap(),
+        );
+        // At noon: next change is 19:00 today.
+        let noon = at((2000, 1, 17), (12, 0));
+        assert_eq!(free_time.next_transition(noon), Some(at((2000, 1, 17), (19, 0))));
+        // At 20:00 (inside): next change is 22:00.
+        let evening = at((2000, 1, 17), (20, 0));
+        assert_eq!(free_time.next_transition(evening), Some(at((2000, 1, 17), (22, 0))));
+        // At 23:00: next change is 19:00 tomorrow.
+        let night = at((2000, 1, 17), (23, 0));
+        assert_eq!(free_time.next_transition(night), Some(at((2000, 1, 18), (19, 0))));
+    }
+
+    #[test]
+    fn next_transition_for_weekdays() {
+        // Wednesday noon: weekdays flips off at Saturday midnight.
+        let wednesday = at((2000, 1, 19), (12, 0));
+        assert_eq!(
+            TimeExpr::weekdays().next_transition(wednesday),
+            Some(at((2000, 1, 22), (0, 0)))
+        );
+        // Saturday: flips on at Monday midnight.
+        let saturday = at((2000, 1, 22), (12, 0));
+        assert_eq!(
+            TimeExpr::weekdays().next_transition(saturday),
+            Some(at((2000, 1, 24), (0, 0)))
+        );
+    }
+
+    #[test]
+    fn next_transition_constant_expressions() {
+        assert_eq!(TimeExpr::Always.next_transition(Timestamp::EPOCH), None);
+        assert_eq!(TimeExpr::Never.next_transition(Timestamp::EPOCH), None);
+        // An exhausted date range never changes again.
+        let past = TimeExpr::DateRange {
+            start: Date::new(1999, 1, 1).unwrap(),
+            end: Date::new(1999, 1, 2).unwrap(),
+        };
+        assert_eq!(past.next_transition(at((2000, 1, 1), (0, 0))), None);
+    }
+
+    #[test]
+    fn next_transition_of_composites() {
+        // weekdays ∧ free_time at Friday 20:00: flips off at 22:00
+        // (window end), not at midnight.
+        let expr = TimeExpr::weekdays().and(TimeExpr::between(
+            TimeOfDay::hm(19, 0).unwrap(),
+            TimeOfDay::hm(22, 0).unwrap(),
+        ));
+        let friday_evening = at((2000, 1, 21), (20, 0));
+        assert_eq!(
+            expr.next_transition(friday_evening),
+            Some(at((2000, 1, 21), (22, 0)))
+        );
+        // Saturday 20:00 (outside): next activation is Monday 19:00 —
+        // the walk must skip the inert Saturday/Sunday window edges.
+        let saturday_evening = at((2000, 1, 22), (20, 0));
+        assert_eq!(
+            expr.next_transition(saturday_evening),
+            Some(at((2000, 1, 24), (19, 0)))
+        );
+    }
+
+    #[test]
+    fn next_transition_periodic() {
+        let anchor = at((2000, 1, 3), (9, 0));
+        let p = PeriodicExpr::daily(anchor, Duration::hours(8)).unwrap();
+        let expr = TimeExpr::Periodic(p);
+        // Inside a window: the 17:00 end.
+        assert_eq!(
+            expr.next_transition(at((2000, 1, 4), (10, 0))),
+            Some(at((2000, 1, 4), (17, 0)))
+        );
+        // Outside: the next 09:00 start.
+        assert_eq!(
+            expr.next_transition(at((2000, 1, 4), (20, 0))),
+            Some(at((2000, 1, 5), (9, 0)))
+        );
+    }
+
+    #[test]
+    fn next_transition_agrees_with_contains_scan() {
+        // Cross-check against a brute-force minute scan over two days.
+        let exprs = [
+            TimeExpr::weekdays(),
+            TimeExpr::between(TimeOfDay::hm(19, 0).unwrap(), TimeOfDay::hm(22, 0).unwrap()),
+            TimeExpr::weekdays().and(TimeExpr::between(
+                TimeOfDay::hm(19, 0).unwrap(),
+                TimeOfDay::hm(22, 0).unwrap(),
+            )),
+            TimeExpr::weekend().or(TimeExpr::on(Weekday::Friday)),
+            TimeExpr::weekdays().negate(),
+        ];
+        let start = at((2000, 1, 21), (0, 0)); // Friday
+        for expr in &exprs {
+            let predicted = expr.next_transition(start);
+            let initial = expr.contains(start);
+            let mut scanned = None;
+            for minute in 1..(2 * 24 * 60) {
+                let ts = start + Duration::minutes(minute);
+                if expr.contains(ts) != initial {
+                    scanned = Some(ts);
+                    break;
+                }
+            }
+            if let Some(scan_hit) = scanned {
+                assert_eq!(predicted, Some(scan_hit), "for {expr:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn first_monday_of_month_via_composition() {
+        // "managers may edit salary data only on the first Monday of each
+        // month" — Monday ∧ day-of-month ≤ 7.
+        let first_week: Vec<TimeExpr> = (1..=12)
+            .filter_map(|m| {
+                let start = Date::new(2000, m, 1).ok()?;
+                let end = Date::new(2000, m, 7).ok()?;
+                Some(TimeExpr::DateRange { start, end })
+            })
+            .collect();
+        let expr = TimeExpr::on(Weekday::Monday).and(TimeExpr::AnyOf(first_week));
+        assert!(expr.contains(at((2000, 2, 7), (9, 0))), "Feb 7 2000 is the first Monday");
+        assert!(!expr.contains(at((2000, 2, 14), (9, 0))), "second Monday");
+        assert!(!expr.contains(at((2000, 2, 1), (9, 0))), "Tuesday Feb 1");
+    }
+}

@@ -1,0 +1,98 @@
+//! The virtual clock driving the simulated home's timeline.
+//!
+//! §4.2.2 requires "an accurate estimate of the current time" from a
+//! trusted source. In this reproduction the trusted source is a
+//! deterministic virtual clock that the simulation advances explicitly —
+//! experiments replay identically on every run.
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::{Duration, Timestamp};
+
+/// A monotonic simulated clock.
+///
+/// # Examples
+///
+/// ```
+/// use grbac_env::clock::VirtualClock;
+/// use grbac_env::time::{Duration, Timestamp};
+///
+/// let mut clock = VirtualClock::starting_at(Timestamp::EPOCH);
+/// clock.advance(Duration::hours(2));
+/// assert_eq!(clock.now(), Timestamp::EPOCH + Duration::hours(2));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VirtualClock {
+    now: Timestamp,
+}
+
+impl VirtualClock {
+    /// A clock starting at the given instant.
+    #[must_use]
+    pub fn starting_at(now: Timestamp) -> Self {
+        Self { now }
+    }
+
+    /// The current simulated instant.
+    #[must_use]
+    pub fn now(&self) -> Timestamp {
+        self.now
+    }
+
+    /// Advances the clock. Negative durations are clamped to zero so the
+    /// clock stays monotonic.
+    pub fn advance(&mut self, by: Duration) {
+        if by.is_positive() {
+            self.now = self.now + by;
+        }
+    }
+
+    /// Jumps directly to `instant` if it is not in the past; returns
+    /// whether the jump happened.
+    pub fn advance_to(&mut self, instant: Timestamp) -> bool {
+        if instant >= self.now {
+            self.now = instant;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+impl Default for VirtualClock {
+    /// Starts at the epoch.
+    fn default() -> Self {
+        Self::starting_at(Timestamp::EPOCH)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advances_monotonically() {
+        let mut c = VirtualClock::default();
+        c.advance(Duration::seconds(10));
+        assert_eq!(c.now().as_seconds(), 10);
+        c.advance(Duration::seconds(-100));
+        assert_eq!(c.now().as_seconds(), 10, "negative advance ignored");
+    }
+
+    #[test]
+    fn advance_to_refuses_the_past() {
+        let mut c = VirtualClock::starting_at(Timestamp::from_seconds(100));
+        assert!(!c.advance_to(Timestamp::from_seconds(50)));
+        assert_eq!(c.now().as_seconds(), 100);
+        assert!(c.advance_to(Timestamp::from_seconds(200)));
+        assert_eq!(c.now().as_seconds(), 200);
+    }
+
+    #[test]
+    fn zero_advance_is_allowed() {
+        let mut c = VirtualClock::default();
+        c.advance(Duration::ZERO);
+        assert_eq!(c.now(), Timestamp::EPOCH);
+        assert!(c.advance_to(Timestamp::EPOCH));
+    }
+}

@@ -1,0 +1,82 @@
+//! Error type for the environment substrate.
+
+/// Errors produced by the environment substrate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+#[allow(missing_docs)] // variant fields are self-describing; variants are documented
+pub enum EnvError {
+    /// A calendar date that does not exist (e.g. February 30).
+    InvalidDate { year: i32, month: u8, day: u8 },
+    /// A time of day outside 00:00:00–23:59:59.
+    InvalidTimeOfDay { hour: u8, minute: u8, second: u8 },
+    /// A periodic expression with a non-positive period or a duration
+    /// that is not shorter than the period.
+    InvalidPeriod { period_seconds: i64, duration_seconds: i64 },
+    /// A zone id that the topology has never issued.
+    UnknownZone(u64),
+    /// A zone name that is not declared.
+    UnknownZoneName(String),
+    /// A zone name was declared twice.
+    DuplicateZone(String),
+    /// Adding the containment edge would create a cycle.
+    ZoneCycle { inner: u64, outer: u64 },
+    /// An environment role was defined twice in one provider.
+    DuplicateRoleDefinition(grbac_core::id::RoleId),
+}
+
+impl std::fmt::Display for EnvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::InvalidDate { year, month, day } => {
+                write!(f, "invalid calendar date {year:04}-{month:02}-{day:02}")
+            }
+            Self::InvalidTimeOfDay { hour, minute, second } => {
+                write!(f, "invalid time of day {hour:02}:{minute:02}:{second:02}")
+            }
+            Self::InvalidPeriod {
+                period_seconds,
+                duration_seconds,
+            } => write!(
+                f,
+                "invalid periodic expression: duration {duration_seconds}s within period {period_seconds}s"
+            ),
+            Self::UnknownZone(id) => write!(f, "unknown zone z{id}"),
+            Self::UnknownZoneName(name) => write!(f, "unknown zone name {name:?}"),
+            Self::DuplicateZone(name) => write!(f, "duplicate zone name {name:?}"),
+            Self::ZoneCycle { inner, outer } => {
+                write!(f, "placing z{inner} inside z{outer} would create a containment cycle")
+            }
+            Self::DuplicateRoleDefinition(role) => {
+                write!(f, "environment role {role} is already defined in this provider")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EnvError {}
+
+/// Result alias for this crate.
+pub type Result<T, E = EnvError> = std::result::Result<T, E>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = EnvError::InvalidDate {
+            year: 2000,
+            month: 2,
+            day: 30,
+        };
+        assert_eq!(e.to_string(), "invalid calendar date 2000-02-30");
+        let e = EnvError::UnknownZoneName("attic".into());
+        assert!(e.to_string().contains("attic"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_error<E: std::error::Error>(_: E) {}
+        assert_error(EnvError::UnknownZone(3));
+    }
+}

@@ -1,0 +1,322 @@
+//! The trusted event system (§4.2.2).
+//!
+//! *"One effective approach … would be to use a trusted event system
+//! that is capable of generating events based on various system state
+//! changes."* This module provides exactly that substrate: a typed
+//! [`StateStore`] of named environment variables and an [`EventBus`]
+//! that records state-change events and delivers them to subscribers via
+//! per-subscription queues (poll-based, so the system stays
+//! deterministic and serializable).
+
+use std::collections::{HashMap, VecDeque};
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::Timestamp;
+
+/// A typed environment value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// A boolean flag (e.g. `front_door_locked`).
+    Bool(bool),
+    /// A numeric reading (e.g. `temperature_c`).
+    Number(f64),
+    /// A text state (e.g. `alarm_mode = "armed_home"`).
+    Text(String),
+}
+
+impl Value {
+    /// The boolean payload, if this is a `Bool`.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a `Number`.
+    #[must_use]
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The text payload, if this is a `Text`.
+    #[must_use]
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Value::Text(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(n: f64) -> Self {
+        Value::Number(n)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(t: &str) -> Self {
+        Value::Text(t.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(t: String) -> Self {
+        Value::Text(t)
+    }
+}
+
+/// The current value of every named environment variable.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct StateStore {
+    vars: HashMap<String, Value>,
+}
+
+impl StateStore {
+    /// Creates an empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets a variable, returning its previous value.
+    pub fn set(&mut self, name: impl Into<String>, value: impl Into<Value>) -> Option<Value> {
+        self.vars.insert(name.into(), value.into())
+    }
+
+    /// Reads a variable.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.vars.get(name)
+    }
+
+    /// Reads a boolean variable (false when absent or mistyped).
+    #[must_use]
+    pub fn flag(&self, name: &str) -> bool {
+        self.get(name).and_then(Value::as_bool).unwrap_or(false)
+    }
+
+    /// Reads a numeric variable.
+    #[must_use]
+    pub fn number(&self, name: &str) -> Option<f64> {
+        self.get(name).and_then(Value::as_number)
+    }
+
+    /// Number of known variables.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// True when no variables are set.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.vars.is_empty()
+    }
+}
+
+/// A state-change event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Event {
+    /// The topic (by convention, the variable name that changed).
+    pub topic: String,
+    /// The new value.
+    pub value: Value,
+    /// When it happened (simulated time).
+    pub at: Timestamp,
+}
+
+/// Identifier of an event subscription.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SubscriptionId(u64);
+
+/// The trusted event bus: publishes state changes, updates the
+/// [`StateStore`], and queues events for each matching subscription.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct EventBus {
+    state: StateStore,
+    subscriptions: HashMap<SubscriptionId, Subscription>,
+    next_subscription: u64,
+    published: u64,
+    delivered: u64,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Subscription {
+    /// Topic prefix filter; the empty string matches everything.
+    prefix: String,
+    queue: VecDeque<Event>,
+}
+
+impl EventBus {
+    /// Creates an empty bus.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current environment state.
+    #[must_use]
+    pub fn state(&self) -> &StateStore {
+        &self.state
+    }
+
+    /// Subscribes to every topic starting with `prefix` (the empty
+    /// prefix subscribes to everything).
+    pub fn subscribe(&mut self, prefix: impl Into<String>) -> SubscriptionId {
+        let id = SubscriptionId(self.next_subscription);
+        self.next_subscription += 1;
+        self.subscriptions.insert(
+            id,
+            Subscription {
+                prefix: prefix.into(),
+                queue: VecDeque::new(),
+            },
+        );
+        id
+    }
+
+    /// Cancels a subscription. Returns true if it existed.
+    pub fn unsubscribe(&mut self, id: SubscriptionId) -> bool {
+        self.subscriptions.remove(&id).is_some()
+    }
+
+    /// Publishes a state change: updates the store and enqueues the
+    /// event for matching subscribers. Returns how many subscribers
+    /// received it.
+    pub fn publish(
+        &mut self,
+        topic: impl Into<String>,
+        value: impl Into<Value>,
+        at: Timestamp,
+    ) -> usize {
+        let topic = topic.into();
+        let value = value.into();
+        self.state.set(topic.clone(), value.clone());
+        self.published += 1;
+        let mut receivers = 0;
+        for sub in self.subscriptions.values_mut() {
+            if topic.starts_with(&sub.prefix) {
+                sub.queue.push_back(Event {
+                    topic: topic.clone(),
+                    value: value.clone(),
+                    at,
+                });
+                receivers += 1;
+                self.delivered += 1;
+            }
+        }
+        receivers
+    }
+
+    /// Drains all pending events for a subscription (empty for unknown
+    /// ids — a cancelled subscription simply sees nothing).
+    pub fn poll(&mut self, id: SubscriptionId) -> Vec<Event> {
+        self.subscriptions
+            .get_mut(&id)
+            .map(|s| s.queue.drain(..).collect())
+            .unwrap_or_default()
+    }
+
+    /// Pending events for a subscription without draining.
+    #[must_use]
+    pub fn pending(&self, id: SubscriptionId) -> usize {
+        self.subscriptions.get(&id).map_or(0, |s| s.queue.len())
+    }
+
+    /// Total events ever published.
+    #[must_use]
+    pub fn published_count(&self) -> u64 {
+        self.published
+    }
+
+    /// Total event deliveries (events × matching subscribers).
+    #[must_use]
+    pub fn delivered_count(&self) -> u64 {
+        self.delivered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_accessors_and_conversions() {
+        assert_eq!(Value::from(true).as_bool(), Some(true));
+        assert_eq!(Value::from(1.5).as_number(), Some(1.5));
+        assert_eq!(Value::from("armed").as_text(), Some("armed"));
+        assert_eq!(Value::from("x".to_owned()).as_text(), Some("x"));
+        assert_eq!(Value::Bool(true).as_number(), None);
+        assert_eq!(Value::Number(0.0).as_text(), None);
+        assert_eq!(Value::Text(String::new()).as_bool(), None);
+    }
+
+    #[test]
+    fn state_store_basics() {
+        let mut s = StateStore::new();
+        assert!(s.is_empty());
+        assert_eq!(s.set("door_locked", true), None);
+        assert_eq!(s.set("door_locked", false), Some(Value::Bool(true)));
+        assert!(!s.flag("door_locked"));
+        assert!(!s.flag("missing"));
+        s.set("temperature_c", 21.5);
+        assert_eq!(s.number("temperature_c"), Some(21.5));
+        assert_eq!(s.number("door_locked"), None);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn publish_updates_state_and_queues() {
+        let mut bus = EventBus::new();
+        let all = bus.subscribe("");
+        let doors = bus.subscribe("door.");
+
+        assert_eq!(bus.publish("door.front", true, Timestamp::EPOCH), 2);
+        assert_eq!(bus.publish("temperature", 20.0, Timestamp::EPOCH), 1);
+
+        assert!(bus.state().flag("door.front"));
+        assert_eq!(bus.pending(all), 2);
+        assert_eq!(bus.pending(doors), 1);
+
+        let events = bus.poll(doors);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].topic, "door.front");
+        assert_eq!(bus.pending(doors), 0, "poll drains");
+
+        assert_eq!(bus.published_count(), 2);
+        assert_eq!(bus.delivered_count(), 3);
+    }
+
+    #[test]
+    fn unsubscribe_stops_delivery() {
+        let mut bus = EventBus::new();
+        let sub = bus.subscribe("");
+        assert!(bus.unsubscribe(sub));
+        assert!(!bus.unsubscribe(sub));
+        assert_eq!(bus.publish("x", 1.0, Timestamp::EPOCH), 0);
+        assert!(bus.poll(sub).is_empty());
+    }
+
+    #[test]
+    fn events_carry_timestamps() {
+        let mut bus = EventBus::new();
+        let sub = bus.subscribe("motion");
+        let at = Timestamp::from_seconds(1234);
+        bus.publish("motion.kitchen", true, at);
+        let events = bus.poll(sub);
+        assert_eq!(events[0].at, at);
+    }
+}

@@ -1,0 +1,74 @@
+//! # grbac-env — the environment substrate for GRBAC
+//!
+//! §4.2.2 of the GRBAC paper leaves two things "the subject of ongoing
+//! research": how the system securely collects environment state, and
+//! the interface by which policy writers bind environment roles to that
+//! state. This crate builds both, as a deterministic simulation:
+//!
+//! * [`time`] / [`clock`] — a civil-time library and virtual clock (no
+//!   OS clock, so experiments replay identically),
+//! * [`calendar`] — named time expressions ("weekdays", "free time",
+//!   "weekday mornings in July"),
+//! * [`periodic`] — Bertino-style periodic authorization windows,
+//! * [`location`] — the home's zone topology and occupant tracking,
+//! * [`load`] — GACL-style system-load monitoring,
+//! * [`events`] — the trusted event system (state store + event bus),
+//! * [`provider`] — [`provider::EnvironmentRoleProvider`], which
+//!   evaluates role definitions into the
+//!   [`EnvironmentSnapshot`](grbac_core::environment::EnvironmentSnapshot)s
+//!   the mediation engine consumes.
+//!
+//! ## Example: the §5.1 environment roles
+//!
+//! ```
+//! use grbac_core::id::RoleId;
+//! use grbac_env::calendar::TimeExpr;
+//! use grbac_env::provider::{EnvCondition, EnvironmentContext, EnvironmentRoleProvider};
+//! use grbac_env::time::{Date, TimeOfDay, Timestamp};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let weekdays = RoleId::from_raw(0);
+//! let free_time = RoleId::from_raw(1);
+//!
+//! let mut provider = EnvironmentRoleProvider::new();
+//! provider.define(weekdays, EnvCondition::Time(TimeExpr::weekdays()))?;
+//! provider.define(
+//!     free_time,
+//!     EnvCondition::Time(TimeExpr::between(
+//!         TimeOfDay::hm(19, 0)?,
+//!         TimeOfDay::hm(22, 0)?,
+//!     )),
+//! )?;
+//!
+//! // Monday, 8 p.m.: both roles are active.
+//! let monday_evening = Timestamp::from_civil(Date::new(2000, 1, 17)?, TimeOfDay::hm(20, 0)?);
+//! let snapshot = provider.snapshot(&EnvironmentContext::at(monday_evening));
+//! assert!(snapshot.is_active(weekdays) && snapshot.is_active(free_time));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod calendar;
+pub mod clock;
+pub mod error;
+pub mod events;
+pub mod load;
+pub mod location;
+pub mod periodic;
+pub mod provider;
+pub mod time;
+
+pub use cache::SnapshotCache;
+pub use calendar::TimeExpr;
+pub use clock::VirtualClock;
+pub use error::EnvError;
+pub use events::{Event, EventBus, StateStore, Value};
+pub use load::LoadMonitor;
+pub use location::{OccupancyTracker, Topology, ZoneId};
+pub use periodic::PeriodicExpr;
+pub use provider::{EnvCondition, EnvironmentContext, EnvironmentRoleProvider};
+pub use time::{Date, Duration, TimeOfDay, Timestamp, Weekday};

@@ -1,0 +1,137 @@
+//! System-load monitoring, after Woo & Lam's GACL (§6 related work):
+//! *"certain programs only can be executed when there is enough system
+//! capacity available to handle them adequately."*
+//!
+//! GRBAC subsumes load-based authorization with an environment role
+//! bound to a load predicate; experiment E7 exercises the encoding.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+/// A sliding-window load monitor (utilization samples in `[0, 1]`,
+/// values above 1 representing overload).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LoadMonitor {
+    window: VecDeque<f64>,
+    capacity: usize,
+}
+
+impl LoadMonitor {
+    /// Default window length.
+    pub const DEFAULT_WINDOW: usize = 60;
+
+    /// Creates a monitor averaging over the last `window` samples.
+    /// A zero window is promoted to 1.
+    #[must_use]
+    pub fn with_window(window: usize) -> Self {
+        Self {
+            window: VecDeque::new(),
+            capacity: window.max(1),
+        }
+    }
+
+    /// Creates a monitor with [`Self::DEFAULT_WINDOW`].
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_window(Self::DEFAULT_WINDOW)
+    }
+
+    /// Records a utilization sample (clamped below at 0; NaN ignored).
+    pub fn record(&mut self, sample: f64) {
+        if sample.is_nan() {
+            return;
+        }
+        if self.window.len() == self.capacity {
+            self.window.pop_front();
+        }
+        self.window.push_back(sample.max(0.0));
+    }
+
+    /// The most recent sample (0 when empty).
+    #[must_use]
+    pub fn current(&self) -> f64 {
+        self.window.back().copied().unwrap_or(0.0)
+    }
+
+    /// The window average (0 when empty).
+    #[must_use]
+    pub fn average(&self) -> f64 {
+        if self.window.is_empty() {
+            0.0
+        } else {
+            self.window.iter().sum::<f64>() / self.window.len() as f64
+        }
+    }
+
+    /// The window maximum (0 when empty).
+    #[must_use]
+    pub fn peak(&self) -> f64 {
+        self.window.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Number of samples currently in the window.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.window.len()
+    }
+
+    /// True when no samples have been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.window.is_empty()
+    }
+}
+
+impl Default for LoadMonitor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_monitor_reads_zero() {
+        let m = LoadMonitor::new();
+        assert_eq!(m.current(), 0.0);
+        assert_eq!(m.average(), 0.0);
+        assert_eq!(m.peak(), 0.0);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn averages_over_window() {
+        let mut m = LoadMonitor::with_window(3);
+        m.record(0.2);
+        m.record(0.4);
+        m.record(0.6);
+        assert!((m.average() - 0.4).abs() < 1e-12);
+        assert_eq!(m.current(), 0.6);
+        assert_eq!(m.peak(), 0.6);
+        // Window slides: the 0.2 falls out.
+        m.record(0.8);
+        assert!((m.average() - 0.6).abs() < 1e-12);
+        assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    fn rejects_nan_and_clamps_negative() {
+        let mut m = LoadMonitor::with_window(4);
+        m.record(f64::NAN);
+        assert!(m.is_empty());
+        m.record(-0.5);
+        assert_eq!(m.current(), 0.0);
+    }
+
+    #[test]
+    fn zero_window_promoted() {
+        let mut m = LoadMonitor::with_window(0);
+        m.record(0.5);
+        m.record(0.9);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.current(), 0.9);
+    }
+}

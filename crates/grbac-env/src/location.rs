@@ -1,0 +1,300 @@
+//! The home's spatial model: zones, containment and occupant tracking.
+//!
+//! §4.2.2: *"In the home, we can define location roles such as
+//! 'upstairs,' 'downstairs,' 'master bedroom,' etc."* — and §3's
+//! repairman is only authorized *while he is inside the home*. Zones
+//! form a containment forest (home → floor → room); an occupant placed
+//! in the kitchen is also inside the downstairs zone and the home.
+
+use std::collections::{BTreeSet, HashMap};
+
+use grbac_core::id::SubjectId;
+use serde::{Deserialize, Serialize};
+
+use crate::error::{EnvError, Result};
+
+/// Identifier of a spatial zone.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct ZoneId(u64);
+
+impl ZoneId {
+    /// Creates a zone id from a raw index (primarily for tests).
+    #[must_use]
+    pub const fn from_raw(raw: u64) -> Self {
+        Self(raw)
+    }
+
+    /// The raw index.
+    #[must_use]
+    pub const fn as_raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for ZoneId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "z{}", self.0)
+    }
+}
+
+/// The containment forest of zones.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Topology {
+    names: Vec<String>,
+    by_name: HashMap<String, ZoneId>,
+    parent: HashMap<ZoneId, ZoneId>,
+}
+
+impl Topology {
+    /// Creates an empty topology.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a top-level zone (e.g. the home itself, or the yard).
+    ///
+    /// # Errors
+    ///
+    /// [`EnvError::DuplicateZone`] on repeated names.
+    pub fn add_zone(&mut self, name: impl Into<String>) -> Result<ZoneId> {
+        let name = name.into();
+        if self.by_name.contains_key(&name) {
+            return Err(EnvError::DuplicateZone(name));
+        }
+        let id = ZoneId(self.names.len() as u64);
+        self.by_name.insert(name.clone(), id);
+        self.names.push(name);
+        Ok(id)
+    }
+
+    /// Declares a zone contained in `parent`.
+    ///
+    /// # Errors
+    ///
+    /// [`EnvError::DuplicateZone`] or [`EnvError::UnknownZone`].
+    pub fn add_zone_in(&mut self, name: impl Into<String>, parent: ZoneId) -> Result<ZoneId> {
+        self.check(parent)?;
+        let id = self.add_zone(name)?;
+        self.parent.insert(id, parent);
+        Ok(id)
+    }
+
+    fn check(&self, id: ZoneId) -> Result<()> {
+        if (id.0 as usize) < self.names.len() {
+            Ok(())
+        } else {
+            Err(EnvError::UnknownZone(id.0))
+        }
+    }
+
+    /// Looks a zone up by name.
+    ///
+    /// # Errors
+    ///
+    /// [`EnvError::UnknownZoneName`].
+    pub fn find(&self, name: &str) -> Result<ZoneId> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| EnvError::UnknownZoneName(name.to_owned()))
+    }
+
+    /// The zone's name.
+    #[must_use]
+    pub fn name(&self, id: ZoneId) -> Option<&str> {
+        self.names.get(id.0 as usize).map(String::as_str)
+    }
+
+    /// The immediate container, if any.
+    #[must_use]
+    pub fn parent(&self, id: ZoneId) -> Option<ZoneId> {
+        self.parent.get(&id).copied()
+    }
+
+    /// True when `inner` is `outer` or transitively contained in it.
+    #[must_use]
+    pub fn is_within(&self, inner: ZoneId, outer: ZoneId) -> bool {
+        let mut current = Some(inner);
+        while let Some(z) = current {
+            if z == outer {
+                return true;
+            }
+            current = self.parent(z);
+        }
+        false
+    }
+
+    /// `zone` plus all its transitive containers, innermost first.
+    #[must_use]
+    pub fn enclosing_zones(&self, zone: ZoneId) -> Vec<ZoneId> {
+        let mut out = Vec::new();
+        let mut current = Some(zone);
+        while let Some(z) = current {
+            out.push(z);
+            current = self.parent(z);
+        }
+        out
+    }
+
+    /// Number of declared zones.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when no zones are declared.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+/// Tracks where each subject currently is (fed by the home's sensors —
+/// here, by the simulation).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct OccupancyTracker {
+    positions: HashMap<SubjectId, ZoneId>,
+}
+
+impl OccupancyTracker {
+    /// Creates an empty tracker.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Places a subject in a zone (moving them if already placed).
+    pub fn place(&mut self, subject: SubjectId, zone: ZoneId) {
+        self.positions.insert(subject, zone);
+    }
+
+    /// Removes a subject from the premises. Returns their last zone.
+    pub fn remove(&mut self, subject: SubjectId) -> Option<ZoneId> {
+        self.positions.remove(&subject)
+    }
+
+    /// The subject's current innermost zone.
+    #[must_use]
+    pub fn location_of(&self, subject: SubjectId) -> Option<ZoneId> {
+        self.positions.get(&subject).copied()
+    }
+
+    /// True when the subject is in `zone` or any zone it contains.
+    #[must_use]
+    pub fn is_in(&self, subject: SubjectId, zone: ZoneId, topology: &Topology) -> bool {
+        self.location_of(subject)
+            .is_some_and(|at| topology.is_within(at, zone))
+    }
+
+    /// All subjects inside `zone` (including contained zones).
+    #[must_use]
+    pub fn occupants_of(&self, zone: ZoneId, topology: &Topology) -> BTreeSet<SubjectId> {
+        self.positions
+            .iter()
+            .filter(|(_, &at)| topology.is_within(at, zone))
+            .map(|(&s, _)| s)
+            .collect()
+    }
+
+    /// Number of tracked subjects.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// True when nobody is tracked.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(n: u64) -> SubjectId {
+        SubjectId::from_raw(n)
+    }
+
+    fn home() -> (Topology, ZoneId, ZoneId, ZoneId, ZoneId) {
+        let mut t = Topology::new();
+        let house = t.add_zone("home").unwrap();
+        let downstairs = t.add_zone_in("downstairs", house).unwrap();
+        let kitchen = t.add_zone_in("kitchen", downstairs).unwrap();
+        let upstairs = t.add_zone_in("upstairs", house).unwrap();
+        (t, house, downstairs, kitchen, upstairs)
+    }
+
+    #[test]
+    fn containment_is_transitive() {
+        let (t, house, downstairs, kitchen, upstairs) = home();
+        assert!(t.is_within(kitchen, kitchen));
+        assert!(t.is_within(kitchen, downstairs));
+        assert!(t.is_within(kitchen, house));
+        assert!(!t.is_within(kitchen, upstairs));
+        assert!(!t.is_within(house, kitchen));
+    }
+
+    #[test]
+    fn enclosing_zones_innermost_first() {
+        let (t, house, downstairs, kitchen, _up) = home();
+        assert_eq!(t.enclosing_zones(kitchen), vec![kitchen, downstairs, house]);
+        assert_eq!(t.enclosing_zones(house), vec![house]);
+    }
+
+    #[test]
+    fn lookups() {
+        let (t, house, _d, kitchen, _u) = home();
+        assert_eq!(t.find("kitchen").unwrap(), kitchen);
+        assert!(t.find("attic").is_err());
+        assert_eq!(t.name(kitchen), Some("kitchen"));
+        assert_eq!(t.parent(house), None);
+        assert_eq!(t.len(), 4);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn duplicate_and_unknown_zones_rejected() {
+        let mut t = Topology::new();
+        let a = t.add_zone("a").unwrap();
+        assert!(t.add_zone("a").is_err());
+        assert!(t.add_zone_in("b", ZoneId::from_raw(99)).is_err());
+        assert!(t.add_zone_in("b", a).is_ok());
+    }
+
+    #[test]
+    fn occupancy_tracking() {
+        let (t, house, downstairs, kitchen, upstairs) = home();
+        let mut occ = OccupancyTracker::new();
+        assert!(occ.is_empty());
+
+        occ.place(s(0), kitchen);
+        occ.place(s(1), upstairs);
+        assert_eq!(occ.location_of(s(0)), Some(kitchen));
+        assert!(occ.is_in(s(0), kitchen, &t));
+        assert!(occ.is_in(s(0), downstairs, &t));
+        assert!(occ.is_in(s(0), house, &t));
+        assert!(!occ.is_in(s(0), upstairs, &t));
+        assert!(!occ.is_in(s(9), house, &t), "untracked subject");
+
+        assert_eq!(occ.occupants_of(house, &t), BTreeSet::from([s(0), s(1)]));
+        assert_eq!(occ.occupants_of(kitchen, &t), BTreeSet::from([s(0)]));
+        assert_eq!(occ.len(), 2);
+    }
+
+    #[test]
+    fn movement_and_removal() {
+        let (t, house, _d, kitchen, upstairs) = home();
+        let mut occ = OccupancyTracker::new();
+        occ.place(s(0), kitchen);
+        occ.place(s(0), upstairs);
+        assert_eq!(occ.location_of(s(0)), Some(upstairs));
+        assert_eq!(occ.remove(s(0)), Some(upstairs));
+        assert_eq!(occ.remove(s(0)), None);
+        assert!(occ.occupants_of(house, &t).is_empty());
+    }
+}

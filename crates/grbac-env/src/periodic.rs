@@ -1,0 +1,229 @@
+//! Periodic authorization windows, after Bertino et al. (§6 related
+//! work: "supporting periodic authorizations and temporal reasoning in
+//! database access control").
+//!
+//! A [`PeriodicExpr`] denotes the instants inside a recurring window:
+//! starting at an anchor, a window of `duration` opens every `period`,
+//! optionally until an expiry. GRBAC subsumes this model by binding an
+//! environment role to the expression — experiment E7 demonstrates the
+//! equivalence.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{EnvError, Result};
+use crate::time::{Duration, Timestamp};
+
+/// A recurring window: `[anchor + k·period, anchor + k·period + duration)`
+/// for every `k ≥ 0`, clipped by an optional `until`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PeriodicExpr {
+    anchor: Timestamp,
+    period: Duration,
+    duration: Duration,
+    until: Option<Timestamp>,
+}
+
+impl PeriodicExpr {
+    /// Creates a periodic window.
+    ///
+    /// # Errors
+    ///
+    /// [`EnvError::InvalidPeriod`] unless `0 < duration <= period`.
+    pub fn new(
+        anchor: Timestamp,
+        period: Duration,
+        duration: Duration,
+        until: Option<Timestamp>,
+    ) -> Result<Self> {
+        if !duration.is_positive() || !period.is_positive() || duration > period {
+            return Err(EnvError::InvalidPeriod {
+                period_seconds: period.as_seconds(),
+                duration_seconds: duration.as_seconds(),
+            });
+        }
+        Ok(Self {
+            anchor,
+            period,
+            duration,
+            until,
+        })
+    }
+
+    /// A daily window of `duration` opening at `anchor`'s wall-clock
+    /// time.
+    ///
+    /// # Errors
+    ///
+    /// [`EnvError::InvalidPeriod`] if `duration` exceeds one day.
+    pub fn daily(anchor: Timestamp, duration: Duration) -> Result<Self> {
+        Self::new(anchor, Duration::days(1), duration, None)
+    }
+
+    /// A weekly window of `duration` opening at `anchor`.
+    ///
+    /// # Errors
+    ///
+    /// [`EnvError::InvalidPeriod`] if `duration` exceeds one week.
+    pub fn weekly(anchor: Timestamp, duration: Duration) -> Result<Self> {
+        Self::new(anchor, Duration::weeks(1), duration, None)
+    }
+
+    /// The first instant covered.
+    #[must_use]
+    pub fn anchor(self) -> Timestamp {
+        self.anchor
+    }
+
+    /// The recurrence interval.
+    #[must_use]
+    pub fn period(self) -> Duration {
+        self.period
+    }
+
+    /// The window length within each period.
+    #[must_use]
+    pub fn duration(self) -> Duration {
+        self.duration
+    }
+
+    /// The expiry, if any.
+    #[must_use]
+    pub fn until(self) -> Option<Timestamp> {
+        self.until
+    }
+
+    /// True when `ts` is inside some window of the recurrence.
+    #[must_use]
+    pub fn contains(self, ts: Timestamp) -> bool {
+        if ts < self.anchor {
+            return false;
+        }
+        if let Some(until) = self.until {
+            if ts >= until {
+                return false;
+            }
+        }
+        let offset = ts.since(self.anchor).as_seconds();
+        offset.rem_euclid(self.period.as_seconds()) < self.duration.as_seconds()
+    }
+
+    /// The start of the next window at or after `ts` (`None` when the
+    /// expression has expired by then).
+    #[must_use]
+    pub fn next_window(self, ts: Timestamp) -> Option<Timestamp> {
+        let candidate = if ts <= self.anchor {
+            self.anchor
+        } else {
+            let offset = ts.since(self.anchor).as_seconds();
+            let period = self.period.as_seconds();
+            let rem = offset.rem_euclid(period);
+            if rem < self.duration.as_seconds() {
+                // Inside a window: it started rem seconds ago.
+                ts - Duration::seconds(rem)
+            } else {
+                ts + Duration::seconds(period - rem)
+            }
+        };
+        match self.until {
+            Some(until) if candidate >= until => None,
+            _ => Some(candidate),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::{Date, TimeOfDay};
+
+    fn ts(date: (i32, u8, u8), time: (u8, u8)) -> Timestamp {
+        Timestamp::from_civil(
+            Date::new(date.0, date.1, date.2).unwrap(),
+            TimeOfDay::hm(time.0, time.1).unwrap(),
+        )
+    }
+
+    #[test]
+    fn validation() {
+        let anchor = Timestamp::EPOCH;
+        assert!(PeriodicExpr::new(anchor, Duration::days(1), Duration::ZERO, None).is_err());
+        assert!(PeriodicExpr::new(anchor, Duration::ZERO, Duration::hours(1), None).is_err());
+        assert!(
+            PeriodicExpr::new(anchor, Duration::hours(1), Duration::hours(2), None).is_err(),
+            "duration longer than period"
+        );
+        assert!(PeriodicExpr::new(anchor, Duration::hours(2), Duration::hours(2), None).is_ok());
+    }
+
+    #[test]
+    fn daily_window() {
+        // 9am–5pm office hours starting Jan 3 2000.
+        let p = PeriodicExpr::daily(ts((2000, 1, 3), (9, 0)), Duration::hours(8)).unwrap();
+        assert!(p.contains(ts((2000, 1, 3), (9, 0))));
+        assert!(p.contains(ts((2000, 1, 5), (16, 59))));
+        assert!(!p.contains(ts((2000, 1, 5), (17, 0))));
+        assert!(!p.contains(ts((2000, 1, 5), (8, 59))));
+        assert!(!p.contains(ts((2000, 1, 2), (12, 0))), "before the anchor");
+    }
+
+    #[test]
+    fn weekly_window() {
+        // Monday 8am for 5 hours, each week.
+        let p = PeriodicExpr::weekly(ts((2000, 1, 17), (8, 0)), Duration::hours(5)).unwrap();
+        assert!(p.contains(ts((2000, 1, 17), (10, 0))));
+        assert!(p.contains(ts((2000, 1, 24), (12, 59))), "next Monday");
+        assert!(!p.contains(ts((2000, 1, 24), (13, 0))));
+        assert!(!p.contains(ts((2000, 1, 18), (10, 0))), "Tuesday");
+    }
+
+    #[test]
+    fn until_expires() {
+        let p = PeriodicExpr::new(
+            ts((2000, 1, 3), (9, 0)),
+            Duration::days(1),
+            Duration::hours(1),
+            Some(ts((2000, 1, 10), (0, 0))),
+        )
+        .unwrap();
+        assert!(p.contains(ts((2000, 1, 9), (9, 30))));
+        assert!(!p.contains(ts((2000, 1, 10), (9, 30))), "expired");
+    }
+
+    #[test]
+    fn next_window_computation() {
+        let p = PeriodicExpr::daily(ts((2000, 1, 3), (9, 0)), Duration::hours(1)).unwrap();
+        // Before the anchor: the anchor itself.
+        assert_eq!(p.next_window(ts((2000, 1, 1), (0, 0))), Some(ts((2000, 1, 3), (9, 0))));
+        // Inside a window: the window's own start.
+        assert_eq!(
+            p.next_window(ts((2000, 1, 4), (9, 30))),
+            Some(ts((2000, 1, 4), (9, 0)))
+        );
+        // After a window: the next day's start.
+        assert_eq!(
+            p.next_window(ts((2000, 1, 4), (11, 0))),
+            Some(ts((2000, 1, 5), (9, 0)))
+        );
+    }
+
+    #[test]
+    fn next_window_respects_expiry() {
+        let p = PeriodicExpr::new(
+            ts((2000, 1, 3), (9, 0)),
+            Duration::days(1),
+            Duration::hours(1),
+            Some(ts((2000, 1, 4), (0, 0))),
+        )
+        .unwrap();
+        assert_eq!(p.next_window(ts((2000, 1, 5), (0, 0))), None);
+    }
+
+    #[test]
+    fn accessors() {
+        let p = PeriodicExpr::daily(Timestamp::EPOCH, Duration::hours(1)).unwrap();
+        assert_eq!(p.anchor(), Timestamp::EPOCH);
+        assert_eq!(p.period(), Duration::days(1));
+        assert_eq!(p.duration(), Duration::hours(1));
+        assert_eq!(p.until(), None);
+    }
+}

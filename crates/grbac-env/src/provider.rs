@@ -1,0 +1,481 @@
+//! Binding environment roles to environment state (§4.2.2).
+//!
+//! *"Some basic environment interface must exist, so that policy writers
+//! can associate their environment role definitions with actual system
+//! states."* That interface is [`EnvironmentRoleProvider`]: each
+//! environment role is defined by an [`EnvCondition`]; at request time
+//! the provider evaluates every definition against an
+//! [`EnvironmentContext`] and emits the
+//! [`grbac_core::environment::EnvironmentSnapshot`] that the mediation
+//! engine consumes.
+//!
+//! Conditions evaluate **fail-safe**: a condition that needs a substrate
+//! the context does not carry (e.g. a location predicate with no
+//! occupancy tracker) is simply false, so missing sensor data can only
+//! ever withhold environment roles, never grant them.
+
+use std::collections::HashMap;
+
+use grbac_core::environment::EnvironmentSnapshot;
+use grbac_core::id::{RoleId, SubjectId};
+use serde::{Deserialize, Serialize};
+
+use crate::calendar::TimeExpr;
+use crate::error::{EnvError, Result};
+use crate::events::StateStore;
+use crate::load::LoadMonitor;
+use crate::location::{OccupancyTracker, Topology, ZoneId};
+use crate::time::Timestamp;
+
+/// A predicate over environment state, defining when an environment role
+/// is active.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum EnvCondition {
+    /// Always active (useful as a neutral element).
+    Always,
+    /// The current time is inside the calendar expression.
+    Time(TimeExpr),
+    /// The *requesting subject* is inside the zone (or a contained
+    /// zone). Requires the context to carry a subject, topology and
+    /// occupancy tracker.
+    SubjectInZone(ZoneId),
+    /// At least one tracked subject is inside the zone.
+    ZoneOccupied(ZoneId),
+    /// Nobody is inside the zone (the "home unoccupied" roles that
+    /// drive utility management).
+    ZoneEmpty(ZoneId),
+    /// The load monitor's window average is at most the threshold
+    /// (Woo–Lam GACL-style capacity gating).
+    LoadAtMost(f64),
+    /// The load monitor's window average is at least the threshold.
+    LoadAtLeast(f64),
+    /// A boolean state variable is true.
+    Flag(String),
+    /// A numeric state variable is at least `min`.
+    NumberAtLeast {
+        /// Variable name.
+        name: String,
+        /// Inclusive lower bound.
+        min: f64,
+    },
+    /// A numeric state variable is at most `max`.
+    NumberAtMost {
+        /// Variable name.
+        name: String,
+        /// Inclusive upper bound.
+        max: f64,
+    },
+    /// Every sub-condition holds.
+    All(Vec<EnvCondition>),
+    /// At least one sub-condition holds.
+    AnyOf(Vec<EnvCondition>),
+    /// The sub-condition does not hold. **Caution:** negation inverts
+    /// the fail-safe default — `Not(SubjectInZone(…))` is *true* when no
+    /// occupancy data is available. Prefer positive predicates such as
+    /// [`EnvCondition::ZoneEmpty`].
+    Not(Box<EnvCondition>),
+}
+
+impl EnvCondition {
+    /// Conjunction (builder style).
+    #[must_use]
+    pub fn and(self, other: EnvCondition) -> Self {
+        match self {
+            EnvCondition::All(mut v) => {
+                v.push(other);
+                EnvCondition::All(v)
+            }
+            first => EnvCondition::All(vec![first, other]),
+        }
+    }
+
+    /// Disjunction (builder style).
+    #[must_use]
+    pub fn or(self, other: EnvCondition) -> Self {
+        match self {
+            EnvCondition::AnyOf(mut v) => {
+                v.push(other);
+                EnvCondition::AnyOf(v)
+            }
+            first => EnvCondition::AnyOf(vec![first, other]),
+        }
+    }
+
+    /// Evaluates the condition against a context (fail-safe: missing
+    /// substrate data yields false).
+    #[must_use]
+    pub fn evaluate(&self, ctx: &EnvironmentContext<'_>) -> bool {
+        match self {
+            EnvCondition::Always => true,
+            EnvCondition::Time(expr) => expr.contains(ctx.now),
+            EnvCondition::SubjectInZone(zone) => match (ctx.subject, ctx.topology, ctx.occupancy)
+            {
+                (Some(subject), Some(topology), Some(occupancy)) => {
+                    occupancy.is_in(subject, *zone, topology)
+                }
+                _ => false,
+            },
+            EnvCondition::ZoneOccupied(zone) => match (ctx.topology, ctx.occupancy) {
+                (Some(topology), Some(occupancy)) => {
+                    !occupancy.occupants_of(*zone, topology).is_empty()
+                }
+                _ => false,
+            },
+            EnvCondition::ZoneEmpty(zone) => match (ctx.topology, ctx.occupancy) {
+                (Some(topology), Some(occupancy)) => {
+                    occupancy.occupants_of(*zone, topology).is_empty()
+                }
+                _ => false,
+            },
+            EnvCondition::LoadAtMost(threshold) => {
+                ctx.load.is_some_and(|m| m.average() <= *threshold)
+            }
+            EnvCondition::LoadAtLeast(threshold) => {
+                ctx.load.is_some_and(|m| m.average() >= *threshold)
+            }
+            EnvCondition::Flag(name) => ctx.state.is_some_and(|s| s.flag(name)),
+            EnvCondition::NumberAtLeast { name, min } => ctx
+                .state
+                .and_then(|s| s.number(name))
+                .is_some_and(|v| v >= *min),
+            EnvCondition::NumberAtMost { name, max } => ctx
+                .state
+                .and_then(|s| s.number(name))
+                .is_some_and(|v| v <= *max),
+            EnvCondition::All(conds) => conds.iter().all(|c| c.evaluate(ctx)),
+            EnvCondition::AnyOf(conds) => conds.iter().any(|c| c.evaluate(ctx)),
+            EnvCondition::Not(cond) => !cond.evaluate(ctx),
+        }
+    }
+}
+
+/// Everything a condition may need at evaluation time. Build one per
+/// request with [`EnvironmentContext::at`] and the `with_*` setters.
+#[derive(Debug, Clone, Copy)]
+pub struct EnvironmentContext<'a> {
+    /// The current simulated time.
+    pub now: Timestamp,
+    /// The requesting subject (needed by [`EnvCondition::SubjectInZone`]).
+    pub subject: Option<SubjectId>,
+    /// The spatial model.
+    pub topology: Option<&'a Topology>,
+    /// Occupant positions.
+    pub occupancy: Option<&'a OccupancyTracker>,
+    /// The system-load monitor.
+    pub load: Option<&'a LoadMonitor>,
+    /// Named state variables.
+    pub state: Option<&'a StateStore>,
+}
+
+impl<'a> EnvironmentContext<'a> {
+    /// A context carrying only the current time.
+    #[must_use]
+    pub fn at(now: Timestamp) -> Self {
+        Self {
+            now,
+            subject: None,
+            topology: None,
+            occupancy: None,
+            load: None,
+            state: None,
+        }
+    }
+
+    /// Attaches the requesting subject.
+    #[must_use]
+    pub fn with_subject(mut self, subject: SubjectId) -> Self {
+        self.subject = Some(subject);
+        self
+    }
+
+    /// Attaches the spatial model and occupant positions.
+    #[must_use]
+    pub fn with_location(mut self, topology: &'a Topology, occupancy: &'a OccupancyTracker) -> Self {
+        self.topology = Some(topology);
+        self.occupancy = Some(occupancy);
+        self
+    }
+
+    /// Attaches the load monitor.
+    #[must_use]
+    pub fn with_load(mut self, load: &'a LoadMonitor) -> Self {
+        self.load = Some(load);
+        self
+    }
+
+    /// Attaches the state store.
+    #[must_use]
+    pub fn with_state(mut self, state: &'a StateStore) -> Self {
+        self.state = Some(state);
+        self
+    }
+}
+
+/// Maps environment roles to their activation conditions and produces
+/// per-request snapshots.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct EnvironmentRoleProvider {
+    definitions: HashMap<RoleId, EnvCondition>,
+}
+
+impl EnvironmentRoleProvider {
+    /// Creates an empty provider.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Defines when `role` is active.
+    ///
+    /// # Errors
+    ///
+    /// [`EnvError::DuplicateRoleDefinition`] if the role already has a
+    /// condition (use [`redefine`](Self::redefine) to replace).
+    pub fn define(&mut self, role: RoleId, condition: EnvCondition) -> Result<()> {
+        if self.definitions.contains_key(&role) {
+            return Err(EnvError::DuplicateRoleDefinition(role));
+        }
+        self.definitions.insert(role, condition);
+        Ok(())
+    }
+
+    /// Replaces (or sets) a role's condition.
+    pub fn redefine(&mut self, role: RoleId, condition: EnvCondition) {
+        self.definitions.insert(role, condition);
+    }
+
+    /// The condition defining `role`, if any.
+    #[must_use]
+    pub fn definition(&self, role: RoleId) -> Option<&EnvCondition> {
+        self.definitions.get(&role)
+    }
+
+    /// Number of defined roles.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.definitions.len()
+    }
+
+    /// True when no roles are defined.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.definitions.is_empty()
+    }
+
+    /// The earliest instant after `now` at which some *time-based*
+    /// condition changes value — i.e. how long a snapshot taken at
+    /// `now` remains valid absent location/load/state changes.
+    ///
+    /// Conditions that mix time with other predicates contribute their
+    /// time sub-expressions' transitions (conservative: a snapshot may
+    /// be invalidated early, never late). Returns `None` when no
+    /// defined condition depends on time.
+    #[must_use]
+    pub fn time_snapshot_valid_until(&self, now: Timestamp) -> Option<Timestamp> {
+        self.definitions
+            .values()
+            .filter_map(|cond| next_time_transition(cond, now))
+            .min()
+    }
+
+    /// Evaluates every definition and returns the set of active
+    /// environment roles for this request.
+    #[must_use]
+    pub fn snapshot(&self, ctx: &EnvironmentContext<'_>) -> EnvironmentSnapshot {
+        self.definitions
+            .iter()
+            .filter(|(_, cond)| cond.evaluate(ctx))
+            .map(|(&role, _)| role)
+            .collect()
+    }
+}
+
+/// The earliest time-driven transition within a condition tree.
+fn next_time_transition(cond: &EnvCondition, now: Timestamp) -> Option<Timestamp> {
+    match cond {
+        EnvCondition::Time(expr) => expr.next_transition(now),
+        EnvCondition::All(conds) | EnvCondition::AnyOf(conds) => {
+            conds.iter().filter_map(|c| next_time_transition(c, now)).min()
+        }
+        EnvCondition::Not(inner) => next_time_transition(inner, now),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::{Date, TimeOfDay};
+
+    fn r(n: u64) -> RoleId {
+        RoleId::from_raw(n)
+    }
+
+    fn at(date: (i32, u8, u8), time: (u8, u8)) -> Timestamp {
+        Timestamp::from_civil(
+            Date::new(date.0, date.1, date.2).unwrap(),
+            TimeOfDay::hm(time.0, time.1).unwrap(),
+        )
+    }
+
+    #[test]
+    fn time_conditions_drive_snapshots() {
+        let mut p = EnvironmentRoleProvider::new();
+        p.define(r(0), EnvCondition::Time(TimeExpr::weekdays())).unwrap();
+        p.define(
+            r(1),
+            EnvCondition::Time(TimeExpr::between(
+                TimeOfDay::hm(19, 0).unwrap(),
+                TimeOfDay::hm(22, 0).unwrap(),
+            )),
+        )
+        .unwrap();
+
+        // Monday 8pm: both roles active.
+        let snap = p.snapshot(&EnvironmentContext::at(at((2000, 1, 17), (20, 0))));
+        assert!(snap.is_active(r(0)) && snap.is_active(r(1)));
+
+        // Saturday 8pm: only free_time.
+        let snap = p.snapshot(&EnvironmentContext::at(at((2000, 1, 22), (20, 0))));
+        assert!(!snap.is_active(r(0)) && snap.is_active(r(1)));
+
+        // Monday noon: only weekdays.
+        let snap = p.snapshot(&EnvironmentContext::at(at((2000, 1, 17), (12, 0))));
+        assert!(snap.is_active(r(0)) && !snap.is_active(r(1)));
+    }
+
+    #[test]
+    fn duplicate_definitions_rejected_redefine_allowed() {
+        let mut p = EnvironmentRoleProvider::new();
+        p.define(r(0), EnvCondition::Always).unwrap();
+        assert!(matches!(
+            p.define(r(0), EnvCondition::Always),
+            Err(EnvError::DuplicateRoleDefinition(_))
+        ));
+        p.redefine(r(0), EnvCondition::Time(TimeExpr::Never));
+        assert_eq!(
+            p.definition(r(0)),
+            Some(&EnvCondition::Time(TimeExpr::Never))
+        );
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn location_conditions() {
+        let mut topology = Topology::new();
+        let home = topology.add_zone("home").unwrap();
+        let kitchen = topology.add_zone_in("kitchen", home).unwrap();
+        let bedroom = topology.add_zone_in("bedroom", home).unwrap();
+        let mut occupancy = OccupancyTracker::new();
+        let alice = SubjectId::from_raw(0);
+        occupancy.place(alice, kitchen);
+
+        let mut p = EnvironmentRoleProvider::new();
+        p.define(r(0), EnvCondition::SubjectInZone(kitchen)).unwrap();
+        p.define(r(1), EnvCondition::SubjectInZone(bedroom)).unwrap();
+        p.define(r(2), EnvCondition::ZoneOccupied(home)).unwrap();
+        p.define(r(3), EnvCondition::ZoneEmpty(bedroom)).unwrap();
+
+        let ctx = EnvironmentContext::at(Timestamp::EPOCH)
+            .with_subject(alice)
+            .with_location(&topology, &occupancy);
+        let snap = p.snapshot(&ctx);
+        assert!(snap.is_active(r(0)), "alice is in the kitchen");
+        assert!(!snap.is_active(r(1)));
+        assert!(snap.is_active(r(2)), "home is occupied");
+        assert!(snap.is_active(r(3)), "bedroom is empty");
+    }
+
+    #[test]
+    fn missing_substrate_fails_safe() {
+        let mut p = EnvironmentRoleProvider::new();
+        p.define(r(0), EnvCondition::SubjectInZone(ZoneId::from_raw(0)))
+            .unwrap();
+        p.define(r(1), EnvCondition::Flag("armed".into())).unwrap();
+        p.define(r(2), EnvCondition::LoadAtMost(0.5)).unwrap();
+        let snap = p.snapshot(&EnvironmentContext::at(Timestamp::EPOCH));
+        assert!(snap.is_empty(), "no substrate data activates nothing");
+    }
+
+    #[test]
+    fn load_conditions() {
+        let mut load = LoadMonitor::with_window(2);
+        load.record(0.2);
+        load.record(0.4);
+        let ctx = EnvironmentContext::at(Timestamp::EPOCH).with_load(&load);
+        assert!(EnvCondition::LoadAtMost(0.5).evaluate(&ctx));
+        assert!(!EnvCondition::LoadAtLeast(0.5).evaluate(&ctx));
+        assert!(EnvCondition::LoadAtLeast(0.3).evaluate(&ctx));
+    }
+
+    #[test]
+    fn state_conditions() {
+        let mut state = StateStore::new();
+        state.set("alarm_armed", true);
+        state.set("temperature_c", 19.0);
+        let ctx = EnvironmentContext::at(Timestamp::EPOCH).with_state(&state);
+        assert!(EnvCondition::Flag("alarm_armed".into()).evaluate(&ctx));
+        assert!(!EnvCondition::Flag("missing".into()).evaluate(&ctx));
+        assert!(EnvCondition::NumberAtLeast {
+            name: "temperature_c".into(),
+            min: 18.0
+        }
+        .evaluate(&ctx));
+        assert!(!EnvCondition::NumberAtMost {
+            name: "temperature_c".into(),
+            max: 18.0
+        }
+        .evaluate(&ctx));
+        assert!(!EnvCondition::NumberAtLeast {
+            name: "missing".into(),
+            min: 0.0
+        }
+        .evaluate(&ctx));
+    }
+
+    #[test]
+    fn snapshot_validity_window() {
+        let mut p = EnvironmentRoleProvider::new();
+        p.define(r(0), EnvCondition::Time(TimeExpr::weekdays())).unwrap();
+        p.define(
+            r(1),
+            EnvCondition::Time(TimeExpr::between(
+                TimeOfDay::hm(19, 0).unwrap(),
+                TimeOfDay::hm(22, 0).unwrap(),
+            ))
+            .and(EnvCondition::Flag("tv_allowed".into())),
+        )
+        .unwrap();
+        p.define(r(2), EnvCondition::ZoneOccupied(ZoneId::from_raw(0))).unwrap();
+
+        // Monday noon: the free_time window opens at 19:00 — before the
+        // weekday boundary — so that's when the snapshot goes stale.
+        let noon = at((2000, 1, 17), (12, 0));
+        assert_eq!(p.time_snapshot_valid_until(noon), Some(at((2000, 1, 17), (19, 0))));
+
+        // A provider with only non-time conditions has no time horizon.
+        let mut p2 = EnvironmentRoleProvider::new();
+        p2.define(r(0), EnvCondition::Flag("x".into())).unwrap();
+        p2.define(r(1), EnvCondition::LoadAtMost(0.5)).unwrap();
+        assert_eq!(p2.time_snapshot_valid_until(noon), None);
+    }
+
+    #[test]
+    fn boolean_composition() {
+        let weekday_evening = EnvCondition::Time(TimeExpr::weekdays()).and(EnvCondition::Time(
+            TimeExpr::between(TimeOfDay::hm(19, 0).unwrap(), TimeOfDay::hm(22, 0).unwrap()),
+        ));
+        let ctx = EnvironmentContext::at(at((2000, 1, 17), (20, 0)));
+        assert!(weekday_evening.evaluate(&ctx));
+        let ctx = EnvironmentContext::at(at((2000, 1, 22), (20, 0)));
+        assert!(!weekday_evening.evaluate(&ctx));
+
+        let weekend_or_evening = EnvCondition::Time(TimeExpr::weekend()).or(EnvCondition::Time(
+            TimeExpr::between(TimeOfDay::hm(19, 0).unwrap(), TimeOfDay::hm(22, 0).unwrap()),
+        ));
+        assert!(weekend_or_evening.evaluate(&ctx));
+
+        let not_weekend = EnvCondition::Not(Box::new(EnvCondition::Time(TimeExpr::weekend())));
+        assert!(!not_weekend.evaluate(&ctx));
+    }
+}

@@ -1,0 +1,531 @@
+//! Civil time for the simulated home: timestamps, dates, times of day
+//! and weekdays — implemented from first principles (proleptic Gregorian
+//! calendar, Howard Hinnant's `days_from_civil` algorithms) so the
+//! substrate has no clock or timezone dependencies and experiments are
+//! exactly reproducible.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{EnvError, Result};
+
+/// Seconds since the epoch `1970-01-01 00:00:00` of the simulated
+/// timeline (negative values reach before the epoch).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Timestamp(i64);
+
+/// A signed span of simulated time, in seconds.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Duration(i64);
+
+impl Duration {
+    /// Zero-length span.
+    pub const ZERO: Duration = Duration(0);
+
+    /// A span of whole seconds.
+    #[must_use]
+    pub const fn seconds(s: i64) -> Self {
+        Self(s)
+    }
+
+    /// A span of whole minutes.
+    #[must_use]
+    pub const fn minutes(m: i64) -> Self {
+        Self(m * 60)
+    }
+
+    /// A span of whole hours.
+    #[must_use]
+    pub const fn hours(h: i64) -> Self {
+        Self(h * 3600)
+    }
+
+    /// A span of whole days.
+    #[must_use]
+    pub const fn days(d: i64) -> Self {
+        Self(d * 86_400)
+    }
+
+    /// A span of whole weeks.
+    #[must_use]
+    pub const fn weeks(w: i64) -> Self {
+        Self(w * 7 * 86_400)
+    }
+
+    /// Total seconds in this span.
+    #[must_use]
+    pub const fn as_seconds(self) -> i64 {
+        self.0
+    }
+
+    /// True for spans of positive length.
+    #[must_use]
+    pub const fn is_positive(self) -> bool {
+        self.0 > 0
+    }
+}
+
+impl std::ops::Add for Duration {
+    type Output = Duration;
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0 + rhs.0)
+    }
+}
+
+impl std::ops::Sub for Duration {
+    type Output = Duration;
+    fn sub(self, rhs: Duration) -> Duration {
+        Duration(self.0 - rhs.0)
+    }
+}
+
+impl std::ops::Mul<i64> for Duration {
+    type Output = Duration;
+    fn mul(self, rhs: i64) -> Duration {
+        Duration(self.0 * rhs)
+    }
+}
+
+/// Days of the week, numbered Monday = 0 … Sunday = 6.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[allow(missing_docs)]
+pub enum Weekday {
+    Monday,
+    Tuesday,
+    Wednesday,
+    Thursday,
+    Friday,
+    Saturday,
+    Sunday,
+}
+
+impl Weekday {
+    /// All weekdays, Monday first.
+    pub const ALL: [Weekday; 7] = [
+        Weekday::Monday,
+        Weekday::Tuesday,
+        Weekday::Wednesday,
+        Weekday::Thursday,
+        Weekday::Friday,
+        Weekday::Saturday,
+        Weekday::Sunday,
+    ];
+
+    /// Monday through Friday — the paper's §5.1 `weekdays` role.
+    pub const WORKDAYS: [Weekday; 5] = [
+        Weekday::Monday,
+        Weekday::Tuesday,
+        Weekday::Wednesday,
+        Weekday::Thursday,
+        Weekday::Friday,
+    ];
+
+    /// Saturday and Sunday.
+    pub const WEEKEND: [Weekday; 2] = [Weekday::Saturday, Weekday::Sunday];
+
+    fn from_index(i: i64) -> Weekday {
+        Self::ALL[i.rem_euclid(7) as usize]
+    }
+}
+
+impl std::fmt::Display for Weekday {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Weekday::Monday => "Monday",
+            Weekday::Tuesday => "Tuesday",
+            Weekday::Wednesday => "Wednesday",
+            Weekday::Thursday => "Thursday",
+            Weekday::Friday => "Friday",
+            Weekday::Saturday => "Saturday",
+            Weekday::Sunday => "Sunday",
+        })
+    }
+}
+
+/// A calendar date in the proleptic Gregorian calendar.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Date {
+    year: i32,
+    month: u8,
+    day: u8,
+}
+
+impl Date {
+    /// Creates a date, validating month and day (leap years included).
+    ///
+    /// # Errors
+    ///
+    /// [`EnvError::InvalidDate`] for dates that do not exist.
+    pub fn new(year: i32, month: u8, day: u8) -> Result<Self> {
+        if !(1..=12).contains(&month) || day == 0 || day > days_in_month(year, month) {
+            return Err(EnvError::InvalidDate { year, month, day });
+        }
+        Ok(Self { year, month, day })
+    }
+
+    /// The year.
+    #[must_use]
+    pub fn year(self) -> i32 {
+        self.year
+    }
+
+    /// The month (1–12).
+    #[must_use]
+    pub fn month(self) -> u8 {
+        self.month
+    }
+
+    /// The day of the month (1-based).
+    #[must_use]
+    pub fn day(self) -> u8 {
+        self.day
+    }
+
+    /// Days since 1970-01-01 (may be negative).
+    #[must_use]
+    pub fn days_from_epoch(self) -> i64 {
+        days_from_civil(self.year, self.month, self.day)
+    }
+
+    /// The date a given number of epoch-days corresponds to.
+    #[must_use]
+    pub fn from_days(days: i64) -> Self {
+        let (year, month, day) = civil_from_days(days);
+        Self { year, month, day }
+    }
+
+    /// The weekday this date falls on.
+    #[must_use]
+    pub fn weekday(self) -> Weekday {
+        // 1970-01-01 was a Thursday (index 3 with Monday = 0).
+        Weekday::from_index(self.days_from_epoch() + 3)
+    }
+
+    /// Midnight at the start of this date.
+    #[must_use]
+    pub fn midnight(self) -> Timestamp {
+        Timestamp::from_seconds(self.days_from_epoch() * 86_400)
+    }
+
+    /// This date shifted by whole days.
+    #[must_use]
+    pub fn plus_days(self, days: i64) -> Self {
+        Self::from_days(self.days_from_epoch() + days)
+    }
+}
+
+impl std::fmt::Display for Date {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:04}-{:02}-{:02}", self.year, self.month, self.day)
+    }
+}
+
+/// A wall-clock time within a day, second resolution.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct TimeOfDay {
+    seconds: u32,
+}
+
+impl TimeOfDay {
+    /// Midnight (00:00:00).
+    pub const MIDNIGHT: TimeOfDay = TimeOfDay { seconds: 0 };
+
+    /// Creates a time of day.
+    ///
+    /// # Errors
+    ///
+    /// [`EnvError::InvalidTimeOfDay`] outside 00:00:00–23:59:59.
+    pub fn new(hour: u8, minute: u8, second: u8) -> Result<Self> {
+        if hour > 23 || minute > 59 || second > 59 {
+            return Err(EnvError::InvalidTimeOfDay { hour, minute, second });
+        }
+        Ok(Self {
+            seconds: u32::from(hour) * 3600 + u32::from(minute) * 60 + u32::from(second),
+        })
+    }
+
+    /// Creates an on-the-hour time.
+    ///
+    /// # Errors
+    ///
+    /// [`EnvError::InvalidTimeOfDay`] if `hour > 23`.
+    pub fn hm(hour: u8, minute: u8) -> Result<Self> {
+        Self::new(hour, minute, 0)
+    }
+
+    /// Seconds since midnight (0–86399).
+    #[must_use]
+    pub fn seconds_since_midnight(self) -> u32 {
+        self.seconds
+    }
+
+    /// The hour (0–23).
+    #[must_use]
+    pub fn hour(self) -> u8 {
+        (self.seconds / 3600) as u8
+    }
+
+    /// The minute (0–59).
+    #[must_use]
+    pub fn minute(self) -> u8 {
+        ((self.seconds / 60) % 60) as u8
+    }
+
+    /// The second (0–59).
+    #[must_use]
+    pub fn second(self) -> u8 {
+        (self.seconds % 60) as u8
+    }
+}
+
+impl std::fmt::Display for TimeOfDay {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:02}:{:02}:{:02}", self.hour(), self.minute(), self.second())
+    }
+}
+
+impl Timestamp {
+    /// The epoch itself: 1970-01-01 00:00:00.
+    pub const EPOCH: Timestamp = Timestamp(0);
+
+    /// A timestamp from raw epoch seconds.
+    #[must_use]
+    pub const fn from_seconds(seconds: i64) -> Self {
+        Self(seconds)
+    }
+
+    /// A timestamp from a date and time of day.
+    #[must_use]
+    pub fn from_civil(date: Date, time: TimeOfDay) -> Self {
+        Self(date.days_from_epoch() * 86_400 + i64::from(time.seconds_since_midnight()))
+    }
+
+    /// Raw epoch seconds.
+    #[must_use]
+    pub const fn as_seconds(self) -> i64 {
+        self.0
+    }
+
+    /// The calendar date this timestamp falls on.
+    #[must_use]
+    pub fn date(self) -> Date {
+        Date::from_days(self.0.div_euclid(86_400))
+    }
+
+    /// The wall-clock time within the day.
+    #[must_use]
+    pub fn time_of_day(self) -> TimeOfDay {
+        TimeOfDay {
+            seconds: self.0.rem_euclid(86_400) as u32,
+        }
+    }
+
+    /// The weekday this timestamp falls on.
+    #[must_use]
+    pub fn weekday(self) -> Weekday {
+        self.date().weekday()
+    }
+
+    /// Elapsed time from `earlier` to `self` (negative if reversed).
+    #[must_use]
+    pub fn since(self, earlier: Timestamp) -> Duration {
+        Duration(self.0 - earlier.0)
+    }
+}
+
+impl std::ops::Add<Duration> for Timestamp {
+    type Output = Timestamp;
+    fn add(self, rhs: Duration) -> Timestamp {
+        Timestamp(self.0 + rhs.as_seconds())
+    }
+}
+
+impl std::ops::Sub<Duration> for Timestamp {
+    type Output = Timestamp;
+    fn sub(self, rhs: Duration) -> Timestamp {
+        Timestamp(self.0 - rhs.as_seconds())
+    }
+}
+
+impl std::fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} {}", self.date(), self.time_of_day())
+    }
+}
+
+/// True for leap years in the proleptic Gregorian calendar.
+#[must_use]
+pub fn is_leap_year(year: i32) -> bool {
+    (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
+}
+
+/// Days in a month, accounting for leap years. Returns 0 for invalid
+/// months so callers can treat any day as out of range.
+#[must_use]
+pub fn days_in_month(year: i32, month: u8) -> u8 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 if is_leap_year(year) => 29,
+        2 => 28,
+        _ => 0,
+    }
+}
+
+/// Days since 1970-01-01 for a civil date (Hinnant's algorithm).
+fn days_from_civil(y: i32, m: u8, d: u8) -> i64 {
+    let y = i64::from(y) - i64::from(m <= 2);
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400;
+    let mp = if m > 2 { i64::from(m) - 3 } else { i64::from(m) + 9 };
+    let doy = (153 * mp + 2) / 5 + i64::from(d) - 1;
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    era * 146_097 + doe - 719_468
+}
+
+/// Civil date for days since 1970-01-01 (Hinnant's algorithm).
+fn civil_from_days(z: i64) -> (i32, u8, u8) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097;
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u8;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u8;
+    ((y + i64::from(m <= 2)) as i32, m, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_thursday() {
+        assert_eq!(Timestamp::EPOCH.weekday(), Weekday::Thursday);
+        assert_eq!(Timestamp::EPOCH.date(), Date::new(1970, 1, 1).unwrap());
+    }
+
+    #[test]
+    fn paper_repairman_date_is_a_monday() {
+        // §3: "January 17, 2000, between 8:00 a.m. and 1:00 p.m."
+        let date = Date::new(2000, 1, 17).unwrap();
+        assert_eq!(date.weekday(), Weekday::Monday);
+    }
+
+    #[test]
+    fn civil_round_trip_over_wide_range() {
+        // Every ~13 days across four centuries, plus the leap boundary.
+        let mut days = -200_000i64;
+        while days < 200_000 {
+            let date = Date::from_days(days);
+            assert_eq!(date.days_from_epoch(), days, "round trip for {date}");
+            days += 13;
+        }
+    }
+
+    #[test]
+    fn leap_years() {
+        assert!(is_leap_year(2000));
+        assert!(!is_leap_year(1900));
+        assert!(is_leap_year(1996));
+        assert!(!is_leap_year(1999));
+        assert_eq!(days_in_month(2000, 2), 29);
+        assert_eq!(days_in_month(1900, 2), 28);
+        assert_eq!(days_in_month(2000, 13), 0);
+    }
+
+    #[test]
+    fn invalid_dates_rejected() {
+        assert!(Date::new(2000, 2, 30).is_err());
+        assert!(Date::new(2000, 0, 1).is_err());
+        assert!(Date::new(2000, 13, 1).is_err());
+        assert!(Date::new(2001, 2, 29).is_err());
+        assert!(Date::new(2000, 2, 29).is_ok());
+    }
+
+    #[test]
+    fn time_of_day_validation_and_accessors() {
+        let t = TimeOfDay::new(19, 30, 15).unwrap();
+        assert_eq!((t.hour(), t.minute(), t.second()), (19, 30, 15));
+        assert_eq!(t.to_string(), "19:30:15");
+        assert!(TimeOfDay::new(24, 0, 0).is_err());
+        assert!(TimeOfDay::new(0, 60, 0).is_err());
+        assert!(TimeOfDay::new(0, 0, 60).is_err());
+    }
+
+    #[test]
+    fn timestamp_civil_round_trip() {
+        let date = Date::new(2000, 1, 17).unwrap();
+        let time = TimeOfDay::hm(8, 0).unwrap();
+        let ts = Timestamp::from_civil(date, time);
+        assert_eq!(ts.date(), date);
+        assert_eq!(ts.time_of_day(), time);
+        assert_eq!(ts.weekday(), Weekday::Monday);
+        assert_eq!(ts.to_string(), "2000-01-17 08:00:00");
+    }
+
+    #[test]
+    fn negative_timestamps_work() {
+        let ts = Timestamp::from_seconds(-1);
+        assert_eq!(ts.date(), Date::new(1969, 12, 31).unwrap());
+        assert_eq!(ts.time_of_day().to_string(), "23:59:59");
+        assert_eq!(ts.weekday(), Weekday::Wednesday);
+    }
+
+    #[test]
+    fn duration_arithmetic() {
+        assert_eq!(Duration::minutes(2), Duration::seconds(120));
+        assert_eq!(Duration::hours(1) + Duration::minutes(30), Duration::minutes(90));
+        assert_eq!(Duration::days(1) - Duration::hours(24), Duration::ZERO);
+        assert_eq!(Duration::weeks(1), Duration::days(7));
+        assert_eq!(Duration::minutes(3) * 2, Duration::minutes(6));
+        assert!(Duration::seconds(1).is_positive());
+        assert!(!Duration::ZERO.is_positive());
+    }
+
+    #[test]
+    fn timestamp_arithmetic() {
+        let ts = Timestamp::EPOCH + Duration::days(1);
+        assert_eq!(ts.date(), Date::new(1970, 1, 2).unwrap());
+        assert_eq!((ts - Duration::days(1)), Timestamp::EPOCH);
+        assert_eq!(ts.since(Timestamp::EPOCH), Duration::days(1));
+    }
+
+    #[test]
+    fn weekday_progression() {
+        let monday = Date::new(2000, 1, 17).unwrap();
+        let expected = [
+            Weekday::Monday,
+            Weekday::Tuesday,
+            Weekday::Wednesday,
+            Weekday::Thursday,
+            Weekday::Friday,
+            Weekday::Saturday,
+            Weekday::Sunday,
+            Weekday::Monday,
+        ];
+        for (i, &wd) in expected.iter().enumerate() {
+            assert_eq!(monday.plus_days(i as i64).weekday(), wd);
+        }
+    }
+
+    #[test]
+    fn plus_days_crosses_month_and_year() {
+        let nye = Date::new(1999, 12, 31).unwrap();
+        assert_eq!(nye.plus_days(1), Date::new(2000, 1, 1).unwrap());
+        let feb28 = Date::new(2000, 2, 28).unwrap();
+        assert_eq!(feb28.plus_days(1), Date::new(2000, 2, 29).unwrap());
+        assert_eq!(feb28.plus_days(2), Date::new(2000, 3, 1).unwrap());
+    }
+}

@@ -1,0 +1,262 @@
+//! Cyberfridge (§2, after Mankoff & Abowd's Domisilica): a refrigerator
+//! that tracks its contents, is queryable from anywhere, and reorders
+//! staples from a delivery service.
+//!
+//! Every operation is policy-gated: reading the inventory is a `read`
+//! on the fridge object, changing it is a `write`, so a household can
+//! let a food-delivery guest *read* the shopping list without being
+//! able to tamper with stock records.
+
+use std::collections::BTreeMap;
+
+use grbac_core::id::{ObjectId, SubjectId};
+
+use crate::apps::AppOutcome;
+use crate::error::{HomeError, Result};
+use crate::home::AwareHome;
+
+/// One tracked item.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Item {
+    /// Units currently in the fridge.
+    pub quantity: u32,
+    /// Reorder when quantity falls strictly below this.
+    pub reorder_threshold: u32,
+}
+
+/// A proposed reorder.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReorderProposal {
+    /// The item to reorder.
+    pub item: String,
+    /// Units to buy (tops the item back up to twice its threshold).
+    pub quantity: u32,
+}
+
+/// The Cyberfridge application.
+#[derive(Debug, Clone)]
+pub struct Cyberfridge {
+    fridge: ObjectId,
+    items: BTreeMap<String, Item>,
+}
+
+impl Cyberfridge {
+    /// Wraps the given fridge object.
+    #[must_use]
+    pub fn new(fridge: ObjectId) -> Self {
+        Self {
+            fridge,
+            items: BTreeMap::new(),
+        }
+    }
+
+    /// The fridge object this app manages.
+    #[must_use]
+    pub fn fridge(&self) -> ObjectId {
+        self.fridge
+    }
+
+    /// Stocks an item (provisioning; not policy-gated — this models the
+    /// fridge's own sensors noticing groceries).
+    pub fn stock(&mut self, name: impl Into<String>, quantity: u32, reorder_threshold: u32) {
+        self.items.insert(
+            name.into(),
+            Item {
+                quantity,
+                reorder_threshold,
+            },
+        );
+    }
+
+    /// Number of distinct items tracked.
+    #[must_use]
+    pub fn item_count(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Reads the full inventory, gated by the `read` transaction.
+    ///
+    /// # Errors
+    ///
+    /// [`HomeError::Grbac`] for unknown ids.
+    pub fn inventory(
+        &self,
+        home: &mut AwareHome,
+        by: SubjectId,
+    ) -> Result<AppOutcome<Vec<(String, Item)>>> {
+        let read = home.vocab().read;
+        let decision = home.request(by, read, self.fridge)?;
+        if !decision.is_permitted() {
+            return Ok(AppOutcome::Denied(Box::new(decision)));
+        }
+        Ok(AppOutcome::Granted(
+            self.items
+                .iter()
+                .map(|(name, item)| (name.clone(), item.clone()))
+                .collect(),
+        ))
+    }
+
+    /// Consumes units of an item, gated by the `write` transaction.
+    ///
+    /// # Errors
+    ///
+    /// [`HomeError::UnknownItem`] if the item is not tracked,
+    /// [`HomeError::Grbac`] for unknown ids.
+    pub fn consume(
+        &mut self,
+        home: &mut AwareHome,
+        by: SubjectId,
+        item: &str,
+        quantity: u32,
+    ) -> Result<AppOutcome<u32>> {
+        if !self.items.contains_key(item) {
+            return Err(HomeError::UnknownItem(item.to_owned()));
+        }
+        let write = home.vocab().write;
+        let decision = home.request(by, write, self.fridge)?;
+        if !decision.is_permitted() {
+            return Ok(AppOutcome::Denied(Box::new(decision)));
+        }
+        let entry = self.items.get_mut(item).expect("checked above");
+        entry.quantity = entry.quantity.saturating_sub(quantity);
+        Ok(AppOutcome::Granted(entry.quantity))
+    }
+
+    /// Items below their reorder threshold, gated by `read` (this is
+    /// what the food-delivery service interface sees).
+    ///
+    /// # Errors
+    ///
+    /// [`HomeError::Grbac`] for unknown ids.
+    pub fn reorder_proposals(
+        &self,
+        home: &mut AwareHome,
+        by: SubjectId,
+    ) -> Result<AppOutcome<Vec<ReorderProposal>>> {
+        let read = home.vocab().read;
+        let decision = home.request(by, read, self.fridge)?;
+        if !decision.is_permitted() {
+            return Ok(AppOutcome::Denied(Box::new(decision)));
+        }
+        Ok(AppOutcome::Granted(
+            self.items
+                .iter()
+                .filter(|(_, item)| item.quantity < item.reorder_threshold)
+                .map(|(name, item)| ReorderProposal {
+                    item: name.clone(),
+                    quantity: item.reorder_threshold * 2 - item.quantity,
+                })
+                .collect(),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::paper_household;
+    use grbac_core::rule::RuleDef;
+
+    /// Fixture: the paper household with fridge read/write rules —
+    /// family members read, parents write.
+    fn fridge_home() -> (AwareHome, Cyberfridge) {
+        let mut home = paper_household().unwrap();
+        let vocab = *home.vocab();
+        home.engine_mut()
+            .add_rule(
+                RuleDef::permit()
+                    .named("family reads fridge")
+                    .subject_role(vocab.family_member)
+                    .object_role(vocab.appliance)
+                    .transaction(vocab.read),
+            )
+            .unwrap();
+        home.engine_mut()
+            .add_rule(
+                RuleDef::permit()
+                    .named("parents update fridge")
+                    .subject_role(vocab.parent)
+                    .object_role(vocab.appliance)
+                    .transaction(vocab.write),
+            )
+            .unwrap();
+        let fridge = home.device("fridge").unwrap().object();
+        let mut app = Cyberfridge::new(fridge);
+        app.stock("milk", 2, 2);
+        app.stock("eggs", 12, 6);
+        app.stock("butter", 1, 1);
+        (home, app)
+    }
+
+    #[test]
+    fn family_can_read_inventory() {
+        let (mut home, app) = fridge_home();
+        let alice = home.person("alice").unwrap().subject();
+        let outcome = app.inventory(&mut home, alice).unwrap();
+        let items = outcome.granted().expect("granted");
+        assert_eq!(items.len(), 3);
+        assert_eq!(app.item_count(), 3);
+    }
+
+    #[test]
+    fn repair_technician_cannot_read_inventory() {
+        let (mut home, app) = fridge_home();
+        let tech = home.person("repair_technician").unwrap().subject();
+        let outcome = app.inventory(&mut home, tech).unwrap();
+        assert!(!outcome.is_granted());
+        assert!(outcome.denied().is_some());
+    }
+
+    #[test]
+    fn only_parents_can_consume() {
+        let (mut home, mut app) = fridge_home();
+        let mom = home.person("mom").unwrap().subject();
+        let alice = home.person("alice").unwrap().subject();
+
+        let outcome = app.consume(&mut home, mom, "eggs", 4).unwrap();
+        assert_eq!(outcome.granted(), Some(8));
+
+        let outcome = app.consume(&mut home, alice, "eggs", 4).unwrap();
+        assert!(!outcome.is_granted(), "children cannot write");
+    }
+
+    #[test]
+    fn consume_unknown_item_errors() {
+        let (mut home, mut app) = fridge_home();
+        let mom = home.person("mom").unwrap().subject();
+        assert!(matches!(
+            app.consume(&mut home, mom, "caviar", 1),
+            Err(HomeError::UnknownItem(_))
+        ));
+    }
+
+    #[test]
+    fn consume_saturates_at_zero() {
+        let (mut home, mut app) = fridge_home();
+        let mom = home.person("mom").unwrap().subject();
+        let outcome = app.consume(&mut home, mom, "butter", 99).unwrap();
+        assert_eq!(outcome.granted(), Some(0));
+    }
+
+    #[test]
+    fn reorder_proposals_flag_low_stock() {
+        let (mut home, mut app) = fridge_home();
+        let mom = home.person("mom").unwrap().subject();
+        // milk: 2 >= threshold 2, not flagged. Drop it to 1.
+        app.consume(&mut home, mom, "milk", 1).unwrap();
+        // butter: 1 >= 1 not flagged yet. Drop to 0.
+        app.consume(&mut home, mom, "butter", 1).unwrap();
+
+        let proposals = app.reorder_proposals(&mut home, mom).unwrap().granted().unwrap();
+        assert_eq!(proposals.len(), 2);
+        assert!(proposals.contains(&ReorderProposal {
+            item: "milk".into(),
+            quantity: 3, // 2*2 - 1
+        }));
+        assert!(proposals.contains(&ReorderProposal {
+            item: "butter".into(),
+            quantity: 2, // 1*2 - 0
+        }));
+    }
+}

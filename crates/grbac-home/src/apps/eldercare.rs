@@ -1,0 +1,308 @@
+//! Elder care (§2): monitoring an elderly resident's condition so they
+//! can stay home longer, with remote check-ins by relatives and care
+//! specialists.
+//!
+//! Two policy-gated surfaces:
+//!
+//! * **vital readings** — `read` on the medical monitor object (a
+//!   `sensitive_sensor`, so default-deny protects it),
+//! * **video check-in** (§3's camera example) — `view` on the bedroom
+//!   camera, with *quality tiers by authentication confidence*: strong
+//!   identification streams live video, weak identification yields only
+//!   a recent still image.
+
+use grbac_core::confidence::{AuthContext, Confidence};
+use grbac_core::id::{ObjectId, SubjectId};
+use grbac_core::rule::RuleDef;
+use grbac_env::time::Timestamp;
+
+use crate::apps::AppOutcome;
+use crate::error::Result;
+use crate::home::AwareHome;
+
+/// One vital-sign reading from the monitor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VitalReading {
+    /// When the reading was taken.
+    pub at: Timestamp,
+    /// Heart rate, beats per minute.
+    pub heart_rate_bpm: f64,
+    /// Body temperature, Celsius.
+    pub temperature_c: f64,
+}
+
+impl VitalReading {
+    /// True when the reading needs a caregiver's attention.
+    #[must_use]
+    pub fn is_alarming(&self) -> bool {
+        !(40.0..=120.0).contains(&self.heart_rate_bpm) || !(35.0..=38.5).contains(&self.temperature_c)
+    }
+}
+
+/// What a video check-in returned, by authentication strength (§3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckInQuality {
+    /// Strong identification: live streaming video.
+    LiveVideo,
+    /// Weak identification: a recent still image of reduced quality.
+    StillImage,
+}
+
+/// The elder-care application.
+#[derive(Debug, Clone)]
+pub struct ElderCare {
+    monitor: ObjectId,
+    camera: ObjectId,
+    readings: Vec<VitalReading>,
+}
+
+impl ElderCare {
+    /// Confidence required for live video.
+    pub const VIDEO_THRESHOLD: f64 = 0.90;
+    /// Confidence required for a still image.
+    pub const STILL_THRESHOLD: f64 = 0.60;
+
+    /// Wraps the monitor and camera objects.
+    #[must_use]
+    pub fn new(monitor: ObjectId, camera: ObjectId) -> Self {
+        Self {
+            monitor,
+            camera,
+            readings: Vec::new(),
+        }
+    }
+
+    /// Installs the check-in policy into the home: `care_specialist`s
+    /// and `parent`s (adult relatives) may view the camera — live video
+    /// at ≥ 90% confidence, still image at ≥ 60%.
+    ///
+    /// # Errors
+    ///
+    /// Underlying declaration errors.
+    pub fn install_policy(&self, home: &mut AwareHome) -> Result<()> {
+        let vocab = *home.vocab();
+        let video_threshold = Confidence::saturating(Self::VIDEO_THRESHOLD);
+        let still_threshold = Confidence::saturating(Self::STILL_THRESHOLD);
+        let engine = home.engine_mut();
+        for viewer in [vocab.care_specialist, vocab.parent] {
+            engine.add_rule(
+                RuleDef::permit()
+                    .named("live video for strongly-identified caregivers")
+                    .subject_role(viewer)
+                    .object_role(vocab.sensitive_sensor)
+                    .transaction(vocab.view)
+                    .min_confidence(video_threshold),
+            )?;
+            engine.add_rule(
+                RuleDef::permit()
+                    .named("still image for weakly-identified caregivers")
+                    .subject_role(viewer)
+                    .object_role(vocab.sensitive_sensor)
+                    .transaction(vocab.adjust) // the degraded-quality channel
+                    .min_confidence(still_threshold),
+            )?;
+            engine.add_rule(
+                RuleDef::permit()
+                    .named("caregivers read vitals")
+                    .subject_role(viewer)
+                    .object_role(vocab.sensitive_sensor)
+                    .transaction(vocab.read),
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Records a reading (the monitor's own sensing; not policy-gated).
+    pub fn record_reading(&mut self, reading: VitalReading) {
+        self.readings.push(reading);
+    }
+
+    /// Number of stored readings.
+    #[must_use]
+    pub fn reading_count(&self) -> usize {
+        self.readings.len()
+    }
+
+    /// Readings that need attention (the app's own alarm screen; not a
+    /// remote access, so not policy-gated).
+    #[must_use]
+    pub fn alarms(&self) -> Vec<VitalReading> {
+        self.readings.iter().copied().filter(VitalReading::is_alarming).collect()
+    }
+
+    /// Reads the latest vitals, gated by `read` on the monitor.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::error::HomeError::Grbac`] for unknown ids.
+    pub fn latest_vitals(
+        &self,
+        home: &mut AwareHome,
+        by: SubjectId,
+    ) -> Result<AppOutcome<Option<VitalReading>>> {
+        let read = home.vocab().read;
+        let decision = home.request(by, read, self.monitor)?;
+        if !decision.is_permitted() {
+            return Ok(AppOutcome::Denied(Box::new(decision)));
+        }
+        Ok(AppOutcome::Granted(self.readings.last().copied()))
+    }
+
+    /// A remote video check-in with sensed authentication: tries the
+    /// live-video channel first, then degrades to a still image — the
+    /// §3 "strong vs weak identification mechanism" behaviour.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::error::HomeError::Grbac`] for unknown ids.
+    pub fn check_in(
+        &self,
+        home: &mut AwareHome,
+        context: AuthContext,
+    ) -> Result<AppOutcome<CheckInQuality>> {
+        let vocab = *home.vocab();
+        let video = home.request_sensed(context.clone(), vocab.view, self.camera)?;
+        if video.is_permitted() {
+            return Ok(AppOutcome::Granted(CheckInQuality::LiveVideo));
+        }
+        let still = home.request_sensed(context, vocab.adjust, self.camera)?;
+        if still.is_permitted() {
+            return Ok(AppOutcome::Granted(CheckInQuality::StillImage));
+        }
+        Ok(AppOutcome::Denied(Box::new(still)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::person::PersonKind;
+    use crate::scenario::paper_household;
+
+    /// The paper household extended with Grandma, her monitor, and a
+    /// visiting nurse.
+    fn eldercare_home() -> (AwareHome, ElderCare, SubjectId, SubjectId) {
+        let mut home = paper_household().unwrap();
+        let vocab = *home.vocab();
+        let grandma = home.engine_mut().declare_subject("grandma").unwrap();
+        home.engine_mut().assign_subject_role(grandma, vocab.elder).unwrap();
+        let nurse = home.engine_mut().declare_subject("nurse").unwrap();
+        home.engine_mut()
+            .assign_subject_role(nurse, vocab.care_specialist)
+            .unwrap();
+        let monitor = home.engine_mut().declare_object("grandma_monitor").unwrap();
+        home.engine_mut()
+            .assign_object_role(monitor, vocab.sensitive_sensor)
+            .unwrap();
+        let camera = home.device("nursery_camera").unwrap().object();
+        let app = ElderCare::new(monitor, camera);
+        app.install_policy(&mut home).unwrap();
+        (home, app, grandma, nurse)
+    }
+
+    fn normal_reading(at: Timestamp) -> VitalReading {
+        VitalReading {
+            at,
+            heart_rate_bpm: 72.0,
+            temperature_c: 36.8,
+        }
+    }
+
+    #[test]
+    fn alarm_detection() {
+        assert!(!normal_reading(Timestamp::EPOCH).is_alarming());
+        let tachycardic = VitalReading {
+            at: Timestamp::EPOCH,
+            heart_rate_bpm: 150.0,
+            temperature_c: 36.8,
+        };
+        assert!(tachycardic.is_alarming());
+        let feverish = VitalReading {
+            at: Timestamp::EPOCH,
+            heart_rate_bpm: 80.0,
+            temperature_c: 39.5,
+        };
+        assert!(feverish.is_alarming());
+    }
+
+    #[test]
+    fn alarms_filter_readings() {
+        let (_home, mut app, _grandma, _nurse) = eldercare_home();
+        app.record_reading(normal_reading(Timestamp::EPOCH));
+        app.record_reading(VitalReading {
+            at: Timestamp::from_seconds(60),
+            heart_rate_bpm: 30.0,
+            temperature_c: 36.0,
+        });
+        assert_eq!(app.reading_count(), 2);
+        assert_eq!(app.alarms().len(), 1);
+    }
+
+    #[test]
+    fn nurse_reads_vitals_repairman_does_not() {
+        let (mut home, mut app, _grandma, nurse) = eldercare_home();
+        app.record_reading(normal_reading(home.now()));
+
+        let outcome = app.latest_vitals(&mut home, nurse).unwrap();
+        assert!(outcome.granted().unwrap().is_some());
+
+        let tech = home.person("repair_technician").unwrap().subject();
+        let outcome = app.latest_vitals(&mut home, tech).unwrap();
+        assert!(!outcome.is_granted());
+    }
+
+    #[test]
+    fn strong_identification_gets_live_video() {
+        let (mut home, app, _grandma, nurse) = eldercare_home();
+        let vocab = *home.vocab();
+        let mut ctx = AuthContext::new();
+        ctx.claim_identity(nurse, Confidence::new(0.95).unwrap());
+        // Role confidence must also clear the bar — the identity claim
+        // propagates to the care_specialist role at 95%.
+        let _ = vocab;
+        let outcome = app.check_in(&mut home, ctx).unwrap();
+        assert_eq!(outcome.granted(), Some(CheckInQuality::LiveVideo));
+    }
+
+    #[test]
+    fn weak_identification_degrades_to_still_image() {
+        let (mut home, app, _grandma, nurse) = eldercare_home();
+        let mut ctx = AuthContext::new();
+        ctx.claim_identity(nurse, Confidence::new(0.70).unwrap());
+        let outcome = app.check_in(&mut home, ctx).unwrap();
+        assert_eq!(outcome.granted(), Some(CheckInQuality::StillImage));
+    }
+
+    #[test]
+    fn very_weak_identification_is_denied() {
+        let (mut home, app, _grandma, nurse) = eldercare_home();
+        let mut ctx = AuthContext::new();
+        ctx.claim_identity(nurse, Confidence::new(0.40).unwrap());
+        let outcome = app.check_in(&mut home, ctx).unwrap();
+        assert!(!outcome.is_granted());
+    }
+
+    #[test]
+    fn unauthorized_roles_get_nothing_at_any_confidence() {
+        let (mut home, app, _grandma, _nurse) = eldercare_home();
+        let alice = home.person("alice").unwrap().subject();
+        let mut ctx = AuthContext::new();
+        ctx.claim_identity(alice, Confidence::FULL);
+        let outcome = app.check_in(&mut home, ctx).unwrap();
+        assert!(!outcome.is_granted(), "children are not caregivers");
+    }
+
+    #[test]
+    fn elder_kind_maps_to_elder_role() {
+        let (home, _app, grandma, _nurse) = eldercare_home();
+        let vocab = *home.vocab();
+        assert!(home.engine().assignments().subject_has(grandma, vocab.elder));
+        let closure = home
+            .engine()
+            .roles()
+            .expand(&home.engine().assignments().subject_roles(grandma));
+        assert!(closure.contains(&vocab.family_member));
+        // PersonKind::Elder maps to the same role through the vocabulary.
+        assert_eq!(vocab.role_for(PersonKind::Elder), vocab.elder);
+    }
+}

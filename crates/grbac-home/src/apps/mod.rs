@@ -1,0 +1,98 @@
+//! The motivating Aware Home applications (§2), implemented as GRBAC
+//! policy clients.
+//!
+//! Each application holds domain state (inventory, vital readings,
+//! heating preferences) but **never** bypasses the policy engine: every
+//! user-facing operation first asks the home for an access decision and
+//! surfaces denials via [`AppOutcome`].
+
+pub mod cyberfridge;
+pub mod eldercare;
+pub mod security;
+pub mod utility;
+
+use grbac_core::explain::Decision;
+
+/// The result of an application operation that is gated by policy.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AppOutcome<T> {
+    /// The policy permitted the operation; here is its result.
+    Granted(T),
+    /// The policy denied the operation (the decision explains why).
+    Denied(Box<Decision>),
+}
+
+impl<T> AppOutcome<T> {
+    /// True if the operation was permitted.
+    #[must_use]
+    pub fn is_granted(&self) -> bool {
+        matches!(self, AppOutcome::Granted(_))
+    }
+
+    /// The payload, if granted.
+    #[must_use]
+    pub fn granted(self) -> Option<T> {
+        match self {
+            AppOutcome::Granted(v) => Some(v),
+            AppOutcome::Denied(_) => None,
+        }
+    }
+
+    /// The denial decision, if denied.
+    #[must_use]
+    pub fn denied(self) -> Option<Decision> {
+        match self {
+            AppOutcome::Granted(_) => None,
+            AppOutcome::Denied(d) => Some(*d),
+        }
+    }
+
+    /// Maps the granted payload.
+    pub fn map<U>(self, f: impl FnOnce(T) -> U) -> AppOutcome<U> {
+        match self {
+            AppOutcome::Granted(v) => AppOutcome::Granted(f(v)),
+            AppOutcome::Denied(d) => AppOutcome::Denied(d),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grbac_core::explain::{Explanation, Reason};
+    use grbac_core::rule::Effect;
+
+    fn denied() -> AppOutcome<u32> {
+        AppOutcome::Denied(Box::new(Decision::new(
+            Effect::Deny,
+            Explanation {
+                subject_roles: Default::default(),
+                object_roles: Default::default(),
+                environment_roles: Default::default(),
+                matched: Vec::new(),
+                winner: None,
+                reason: Reason::DefaultDecision,
+            },
+        )))
+    }
+
+    #[test]
+    fn outcome_accessors() {
+        let g: AppOutcome<u32> = AppOutcome::Granted(7);
+        assert!(g.is_granted());
+        assert_eq!(g.clone().granted(), Some(7));
+        assert!(g.denied().is_none());
+
+        let d = denied();
+        assert!(!d.is_granted());
+        assert!(d.clone().granted().is_none());
+        assert!(d.denied().is_some());
+    }
+
+    #[test]
+    fn outcome_map() {
+        let g: AppOutcome<u32> = AppOutcome::Granted(7);
+        assert_eq!(g.map(|v| v * 2).granted(), Some(14));
+        assert!(!denied().map(|v| v * 2).is_granted());
+    }
+}

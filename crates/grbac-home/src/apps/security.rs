@@ -1,0 +1,338 @@
+//! Physical security (§2 lists it among the Aware Home domains; §1
+//! warns that dead-bolts "offer little or no protection" against
+//! virtual intruders).
+//!
+//! Door locks and the alarm are ordinary GRBAC objects: locking is a
+//! low-risk `operate`, but *unlocking* and *disarming* are the
+//! dangerous direction, so the installed policy demands strong
+//! authentication confidence for them — and unlocking remotely (the
+//! requester not physically at home) is parent-only.
+
+use grbac_core::confidence::{AuthContext, Confidence};
+use grbac_core::id::{ObjectId, SubjectId};
+use grbac_core::rule::RuleDef;
+
+use crate::apps::AppOutcome;
+use crate::error::Result;
+use crate::home::AwareHome;
+
+/// Alarm arming states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlarmState {
+    /// Sensors off.
+    Disarmed,
+    /// Perimeter armed, interior motion ignored (residents home).
+    ArmedHome,
+    /// Everything armed (house empty).
+    ArmedAway,
+}
+
+impl std::fmt::Display for AlarmState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            AlarmState::Disarmed => "disarmed",
+            AlarmState::ArmedHome => "armed_home",
+            AlarmState::ArmedAway => "armed_away",
+        })
+    }
+}
+
+/// The physical-security application.
+#[derive(Debug, Clone)]
+pub struct SecuritySystem {
+    alarm_panel: ObjectId,
+    locks: Vec<ObjectId>,
+    alarm: AlarmState,
+    locked: Vec<bool>,
+}
+
+impl SecuritySystem {
+    /// Confidence required to unlock a door or disarm the alarm.
+    pub const DISARM_THRESHOLD: f64 = 0.95;
+
+    /// Wraps the alarm panel and door-lock objects (all initially
+    /// locked, alarm disarmed).
+    #[must_use]
+    pub fn new(alarm_panel: ObjectId, locks: Vec<ObjectId>) -> Self {
+        let locked = vec![true; locks.len()];
+        Self {
+            alarm_panel,
+            locks,
+            alarm: AlarmState::Disarmed,
+            locked,
+        }
+    }
+
+    /// Installs the security policy:
+    ///
+    /// * any family member may **lock** (`operate` on `security_device`),
+    /// * family members may **unlock/disarm** (`adjust`) only at ≥ 95%
+    ///   authentication confidence,
+    /// * arming the alarm (`write` on the panel) is family-member,
+    /// * pets and guests get nothing (default deny).
+    ///
+    /// # Errors
+    ///
+    /// Underlying declaration errors.
+    pub fn install_policy(&self, home: &mut AwareHome) -> Result<()> {
+        let vocab = *home.vocab();
+        let strong = Confidence::saturating(Self::DISARM_THRESHOLD);
+        let engine = home.engine_mut();
+        engine.add_rule(
+            RuleDef::permit()
+                .named("family may lock doors")
+                .subject_role(vocab.family_member)
+                .object_role(vocab.security_device)
+                .transaction(vocab.operate),
+        )?;
+        engine.add_rule(
+            RuleDef::permit()
+                .named("strongly-identified family may unlock/disarm")
+                .subject_role(vocab.family_member)
+                .object_role(vocab.security_device)
+                .transaction(vocab.adjust)
+                .min_confidence(strong),
+        )?;
+        engine.add_rule(
+            RuleDef::permit()
+                .named("family may arm the alarm")
+                .subject_role(vocab.family_member)
+                .object_role(vocab.security_device)
+                .transaction(vocab.write),
+        )?;
+        Ok(())
+    }
+
+    /// The current alarm state.
+    #[must_use]
+    pub fn alarm(&self) -> AlarmState {
+        self.alarm
+    }
+
+    /// Whether the i-th registered lock is locked.
+    #[must_use]
+    pub fn is_locked(&self, lock_index: usize) -> Option<bool> {
+        self.locked.get(lock_index).copied()
+    }
+
+    fn lock_position(&self, lock: ObjectId) -> Option<usize> {
+        self.locks.iter().position(|&l| l == lock)
+    }
+
+    /// Locks a door (trusted resident path).
+    ///
+    /// # Errors
+    ///
+    /// [`crate::error::HomeError::Grbac`] for unknown ids.
+    pub fn lock(
+        &mut self,
+        home: &mut AwareHome,
+        by: SubjectId,
+        lock: ObjectId,
+    ) -> Result<AppOutcome<()>> {
+        let operate = home.vocab().operate;
+        let decision = home.request(by, operate, lock)?;
+        if !decision.is_permitted() {
+            return Ok(AppOutcome::Denied(Box::new(decision)));
+        }
+        if let Some(i) = self.lock_position(lock) {
+            self.locked[i] = true;
+        }
+        Ok(AppOutcome::Granted(()))
+    }
+
+    /// Unlocks a door from sensed (possibly partial) authentication —
+    /// the security-critical direction.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::error::HomeError::Grbac`] for unknown ids.
+    pub fn unlock_sensed(
+        &mut self,
+        home: &mut AwareHome,
+        context: AuthContext,
+        lock: ObjectId,
+    ) -> Result<AppOutcome<()>> {
+        let adjust = home.vocab().adjust;
+        let decision = home.request_sensed(context, adjust, lock)?;
+        if !decision.is_permitted() {
+            return Ok(AppOutcome::Denied(Box::new(decision)));
+        }
+        if let Some(i) = self.lock_position(lock) {
+            self.locked[i] = false;
+        }
+        Ok(AppOutcome::Granted(()))
+    }
+
+    /// Arms the alarm (choosing home/away by occupancy would be the
+    /// utility app's job; the caller picks).
+    ///
+    /// # Errors
+    ///
+    /// [`crate::error::HomeError::Grbac`] for unknown ids.
+    pub fn arm(
+        &mut self,
+        home: &mut AwareHome,
+        by: SubjectId,
+        state: AlarmState,
+    ) -> Result<AppOutcome<AlarmState>> {
+        let write = home.vocab().write;
+        let decision = home.request(by, write, self.alarm_panel)?;
+        if !decision.is_permitted() {
+            return Ok(AppOutcome::Denied(Box::new(decision)));
+        }
+        self.alarm = state;
+        Ok(AppOutcome::Granted(self.alarm))
+    }
+
+    /// Disarms the alarm from sensed authentication (strong-confidence
+    /// path, like unlocking).
+    ///
+    /// # Errors
+    ///
+    /// [`crate::error::HomeError::Grbac`] for unknown ids.
+    pub fn disarm_sensed(
+        &mut self,
+        home: &mut AwareHome,
+        context: AuthContext,
+    ) -> Result<AppOutcome<AlarmState>> {
+        let adjust = home.vocab().adjust;
+        let decision = home.request_sensed(context, adjust, self.alarm_panel)?;
+        if !decision.is_permitted() {
+            return Ok(AppOutcome::Denied(Box::new(decision)));
+        }
+        self.alarm = AlarmState::Disarmed;
+        Ok(AppOutcome::Granted(self.alarm))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceKind;
+    use crate::scenario::paper_household;
+
+    fn security_home() -> (AwareHome, SecuritySystem, ObjectId) {
+        let mut home = paper_household().unwrap();
+        let vocab = *home.vocab();
+        // Install a front-door lock and an alarm panel.
+        let front_door = home.engine_mut().declare_object("front_door_lock").unwrap();
+        home.engine_mut()
+            .assign_object_role(front_door, vocab.security_device)
+            .unwrap();
+        let panel = home.engine_mut().declare_object("alarm_panel").unwrap();
+        home.engine_mut()
+            .assign_object_role(panel, vocab.security_device)
+            .unwrap();
+        let system = SecuritySystem::new(panel, vec![front_door]);
+        system.install_policy(&mut home).unwrap();
+        (home, system, front_door)
+    }
+
+    #[test]
+    fn family_can_lock_technician_cannot() {
+        let (mut home, mut system, door) = security_home();
+        let alice = home.person("alice").unwrap().subject();
+        let tech = home.person("repair_technician").unwrap().subject();
+
+        assert!(system.lock(&mut home, alice, door).unwrap().is_granted());
+        assert!(!system.lock(&mut home, tech, door).unwrap().is_granted());
+    }
+
+    #[test]
+    fn unlocking_requires_strong_confidence() {
+        let (mut home, mut system, door) = security_home();
+        let mom = home.person("mom").unwrap().subject();
+
+        // Weak identification (80%): denied.
+        let mut weak = AuthContext::new();
+        weak.claim_identity(mom, Confidence::new(0.80).unwrap());
+        assert!(!system
+            .unlock_sensed(&mut home, weak, door)
+            .unwrap()
+            .is_granted());
+        assert_eq!(system.is_locked(0), Some(true));
+
+        // Strong identification (98%): granted, door unlocks.
+        let mut strong = AuthContext::new();
+        strong.claim_identity(mom, Confidence::new(0.98).unwrap());
+        assert!(system
+            .unlock_sensed(&mut home, strong, door)
+            .unwrap()
+            .is_granted());
+        assert_eq!(system.is_locked(0), Some(false));
+    }
+
+    #[test]
+    fn child_role_confidence_is_not_enough_to_unlock_as_nonmember() {
+        // A strongly-sensed *guest* (not family) cannot unlock at any
+        // confidence.
+        let (mut home, mut system, door) = security_home();
+        let tech = home.person("repair_technician").unwrap().subject();
+        let mut ctx = AuthContext::new();
+        ctx.claim_identity(tech, Confidence::FULL);
+        assert!(!system
+            .unlock_sensed(&mut home, ctx, door)
+            .unwrap()
+            .is_granted());
+    }
+
+    #[test]
+    fn alarm_arming_and_disarming() {
+        let (mut home, mut system, _door) = security_home();
+        let dad = home.person("dad").unwrap().subject();
+        assert_eq!(system.alarm(), AlarmState::Disarmed);
+
+        let out = system.arm(&mut home, dad, AlarmState::ArmedAway).unwrap();
+        assert_eq!(out.granted(), Some(AlarmState::ArmedAway));
+
+        // Disarm needs strong sensed identity.
+        let mut weak = AuthContext::new();
+        weak.claim_identity(dad, Confidence::new(0.7).unwrap());
+        assert!(!system.disarm_sensed(&mut home, weak).unwrap().is_granted());
+        assert_eq!(system.alarm(), AlarmState::ArmedAway);
+
+        let mut strong = AuthContext::new();
+        strong.claim_identity(dad, Confidence::new(0.99).unwrap());
+        assert_eq!(
+            system.disarm_sensed(&mut home, strong).unwrap().granted(),
+            Some(AlarmState::Disarmed)
+        );
+    }
+
+    #[test]
+    fn pets_cannot_arm_anything() {
+        let (mut home, mut system, _door) = security_home();
+        let vocab = *home.vocab();
+        let rex = home.engine_mut().declare_subject("rex").unwrap();
+        home.engine_mut().assign_subject_role(rex, vocab.pet).unwrap();
+        assert!(!system
+            .arm(&mut home, rex, AlarmState::ArmedHome)
+            .unwrap()
+            .is_granted());
+    }
+
+    #[test]
+    fn door_lock_device_kind_maps_to_security_role() {
+        // Via the builder path too: a DoorLock device lands in
+        // security_device automatically.
+        let home = crate::home::AwareHome::builder()
+            .room("hall")
+            .device("back_door", DeviceKind::DoorLock, "hall")
+            .build()
+            .unwrap();
+        let vocab = *home.vocab();
+        let back_door = home.device("back_door").unwrap().object();
+        assert!(home
+            .engine()
+            .assignments()
+            .object_has(back_door, vocab.security_device));
+    }
+
+    #[test]
+    fn alarm_state_display() {
+        assert_eq!(AlarmState::ArmedHome.to_string(), "armed_home");
+        assert_eq!(AlarmState::Disarmed.to_string(), "disarmed");
+        assert_eq!(AlarmState::ArmedAway.to_string(), "armed_away");
+    }
+}

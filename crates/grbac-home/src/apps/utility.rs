@@ -1,0 +1,273 @@
+//! Utility management (§2): heat the house only when residents are
+//! inside, make hot water around shower habits, and negotiate the best
+//! electricity rate.
+//!
+//! The planner *reads* environment roles (`home_occupied`,
+//! `home_empty`, time-of-day) to decide what the home should do; the
+//! *application* of a plan to the thermostat/water-heater is policy-
+//! gated by the `adjust` transaction on `utility_control` objects.
+
+use grbac_core::id::{ObjectId, SubjectId};
+use grbac_env::time::TimeOfDay;
+
+use crate::apps::AppOutcome;
+use crate::error::Result;
+use crate::home::AwareHome;
+
+/// Resident comfort preferences.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Preferences {
+    /// Target temperature when the home is occupied, °C.
+    pub comfort_temp_c: f64,
+    /// Setback temperature when the home is empty, °C.
+    pub away_temp_c: f64,
+    /// Start of the morning shower window.
+    pub shower_start: TimeOfDay,
+    /// End of the morning shower window.
+    pub shower_end: TimeOfDay,
+}
+
+impl Default for Preferences {
+    fn default() -> Self {
+        Self {
+            comfort_temp_c: 21.0,
+            away_temp_c: 15.0,
+            shower_start: TimeOfDay::MIDNIGHT,
+            shower_end: TimeOfDay::MIDNIGHT,
+        }
+    }
+}
+
+/// What the home should do right now.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UtilityPlan {
+    /// Thermostat target, °C.
+    pub target_temp_c: f64,
+    /// Whether the water heater should run.
+    pub hot_water_on: bool,
+}
+
+/// An electricity tariff offer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tariff {
+    /// The utility's name for the plan.
+    pub name: String,
+    /// Flat price, cents per kWh.
+    pub day_rate: f64,
+    /// Night price, cents per kWh (10 p.m.–6 a.m.).
+    pub night_rate: f64,
+}
+
+impl Tariff {
+    /// Expected daily cost for a usage profile split between day and
+    /// night kWh.
+    #[must_use]
+    pub fn daily_cost(&self, day_kwh: f64, night_kwh: f64) -> f64 {
+        self.day_rate * day_kwh + self.night_rate * night_kwh
+    }
+}
+
+/// The utility-management application.
+#[derive(Debug, Clone)]
+pub struct UtilityManager {
+    thermostat: ObjectId,
+    water_heater: Option<ObjectId>,
+    preferences: Preferences,
+}
+
+impl UtilityManager {
+    /// Wraps the thermostat (and optionally the water heater).
+    #[must_use]
+    pub fn new(thermostat: ObjectId, water_heater: Option<ObjectId>) -> Self {
+        Self {
+            thermostat,
+            water_heater,
+            preferences: Preferences::default(),
+        }
+    }
+
+    /// Sets preferences (builder style).
+    #[must_use]
+    pub fn with_preferences(mut self, preferences: Preferences) -> Self {
+        self.preferences = preferences;
+        self
+    }
+
+    /// The current preferences.
+    #[must_use]
+    pub fn preferences(&self) -> &Preferences {
+        &self.preferences
+    }
+
+    /// Decides what the home should do right now, from environment
+    /// roles alone: comfort temperature only while occupied, hot water
+    /// only in the shower window or while occupied in the evening.
+    #[must_use]
+    pub fn plan(&self, home: &AwareHome) -> UtilityPlan {
+        let vocab = *home.vocab();
+        let env = home.environment_for(None);
+        let occupied = env.is_active(vocab.home_occupied);
+
+        let target_temp_c = if occupied {
+            self.preferences.comfort_temp_c
+        } else {
+            self.preferences.away_temp_c
+        };
+
+        let now = home.now().time_of_day();
+        let in_shower_window = if self.preferences.shower_start < self.preferences.shower_end {
+            self.preferences.shower_start <= now && now < self.preferences.shower_end
+        } else {
+            false
+        };
+        let hot_water_on = in_shower_window || (occupied && env.is_active(vocab.free_time));
+
+        UtilityPlan {
+            target_temp_c,
+            hot_water_on,
+        }
+    }
+
+    /// Applies the current plan, gated by `adjust` on the thermostat
+    /// (the water heater is adjusted under the same authority).
+    ///
+    /// # Errors
+    ///
+    /// [`crate::error::HomeError::Grbac`] for unknown ids.
+    pub fn apply(&self, home: &mut AwareHome, by: SubjectId) -> Result<AppOutcome<UtilityPlan>> {
+        let adjust = home.vocab().adjust;
+        let decision = home.request(by, adjust, self.thermostat)?;
+        if !decision.is_permitted() {
+            return Ok(AppOutcome::Denied(Box::new(decision)));
+        }
+        if let Some(heater) = self.water_heater {
+            let decision = home.request(by, adjust, heater)?;
+            if !decision.is_permitted() {
+                return Ok(AppOutcome::Denied(Box::new(decision)));
+            }
+        }
+        Ok(AppOutcome::Granted(self.plan(home)))
+    }
+
+    /// Picks the cheapest tariff for a usage forecast — the §2
+    /// "negotiate the best possible electricity rates" feature.
+    /// Returns `None` for an empty offer list.
+    #[must_use]
+    pub fn negotiate<'a>(
+        &self,
+        offers: &'a [Tariff],
+        day_kwh: f64,
+        night_kwh: f64,
+    ) -> Option<&'a Tariff> {
+        offers.iter().min_by(|a, b| {
+            a.daily_cost(day_kwh, night_kwh)
+                .total_cmp(&b.daily_cost(day_kwh, night_kwh))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::paper_household;
+    use grbac_core::rule::RuleDef;
+    use grbac_env::time::Duration;
+
+    fn utility_home() -> (AwareHome, UtilityManager) {
+        let mut home = paper_household().unwrap();
+        let vocab = *home.vocab();
+        // Parents (already covered by the catch-all device rule for
+        // `operate`) get explicit `adjust` rights on utility controls.
+        home.engine_mut()
+            .add_rule(
+                RuleDef::permit()
+                    .named("parents adjust utilities")
+                    .subject_role(vocab.parent)
+                    .object_role(vocab.utility_control)
+                    .transaction(vocab.adjust),
+            )
+            .unwrap();
+        let thermostat = home.device("thermostat").unwrap().object();
+        let app = UtilityManager::new(thermostat, None).with_preferences(Preferences {
+            comfort_temp_c: 21.0,
+            away_temp_c: 15.0,
+            shower_start: TimeOfDay::hm(6, 30).unwrap(),
+            shower_end: TimeOfDay::hm(8, 0).unwrap(),
+        });
+        (home, app)
+    }
+
+    #[test]
+    fn plan_heats_only_when_occupied() {
+        let (mut home, app) = utility_home();
+        assert_eq!(app.plan(&home).target_temp_c, 21.0, "family is home");
+
+        // Everyone leaves.
+        let subjects: Vec<_> = home.people().map(|p| p.subject()).collect();
+        for s in subjects {
+            home.remove_from_home(s);
+        }
+        assert_eq!(app.plan(&home).target_temp_c, 15.0, "setback when empty");
+    }
+
+    #[test]
+    fn hot_water_follows_habits() {
+        let (mut home, app) = utility_home();
+        // Clock starts Monday 8 pm (free_time) with people home: on.
+        assert!(app.plan(&home).hot_water_on);
+        // 11 pm: off (outside both windows).
+        home.advance(Duration::hours(3));
+        assert!(!app.plan(&home).hot_water_on);
+        // 7 am next day: shower window, on even though free_time is not.
+        home.advance(Duration::hours(8));
+        assert!(app.plan(&home).hot_water_on);
+    }
+
+    #[test]
+    fn apply_is_policy_gated() {
+        let (mut home, app) = utility_home();
+        let mom = home.person("mom").unwrap().subject();
+        let alice = home.person("alice").unwrap().subject();
+
+        assert!(app.apply(&mut home, mom).unwrap().is_granted());
+        assert!(
+            !app.apply(&mut home, alice).unwrap().is_granted(),
+            "children cannot adjust the thermostat"
+        );
+    }
+
+    #[test]
+    fn negotiate_picks_cheapest_for_profile() {
+        let (_home, app) = utility_home();
+        let offers = vec![
+            Tariff {
+                name: "flat".into(),
+                day_rate: 10.0,
+                night_rate: 10.0,
+            },
+            Tariff {
+                name: "night_saver".into(),
+                day_rate: 12.0,
+                night_rate: 5.0,
+            },
+        ];
+        // Day-heavy usage prefers flat.
+        assert_eq!(app.negotiate(&offers, 20.0, 2.0).unwrap().name, "flat");
+        // Night-heavy usage prefers night_saver.
+        assert_eq!(
+            app.negotiate(&offers, 5.0, 15.0).unwrap().name,
+            "night_saver"
+        );
+        assert!(app.negotiate(&[], 1.0, 1.0).is_none());
+    }
+
+    #[test]
+    fn tariff_cost_arithmetic() {
+        let t = Tariff {
+            name: "x".into(),
+            day_rate: 10.0,
+            night_rate: 5.0,
+        };
+        assert!((t.daily_cost(2.0, 4.0) - 40.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,214 @@
+//! The Aware Home's device and document catalog.
+//!
+//! Each installed device is a GRBAC *object*; its [`DeviceKind`]
+//! determines the object roles it is born with (a television is an
+//! `entertainment_device`, which is a `device`, which is a `resource`).
+//! §5.1's point — "if the household were to purchase a new toy or
+//! entertainment device, they could simply map the device to the role" —
+//! is exactly this mapping.
+
+use grbac_core::id::ObjectId;
+use grbac_env::location::ZoneId;
+use serde::{Deserialize, Serialize};
+
+/// The kinds of devices the prototype home installs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum DeviceKind {
+    Television,
+    Vcr,
+    Stereo,
+    GameConsole,
+    Videophone,
+    Telephone,
+    Refrigerator,
+    Dishwasher,
+    Oven,
+    Stove,
+    WashingMachine,
+    Thermostat,
+    WaterHeater,
+    SecurityCamera,
+    MedicalMonitor,
+    Computer,
+    DoorLock,
+}
+
+impl DeviceKind {
+    /// All kinds, for sweeps.
+    pub const ALL: [DeviceKind; 17] = [
+        DeviceKind::Television,
+        DeviceKind::Vcr,
+        DeviceKind::Stereo,
+        DeviceKind::GameConsole,
+        DeviceKind::Videophone,
+        DeviceKind::Telephone,
+        DeviceKind::Refrigerator,
+        DeviceKind::Dishwasher,
+        DeviceKind::Oven,
+        DeviceKind::Stove,
+        DeviceKind::WashingMachine,
+        DeviceKind::Thermostat,
+        DeviceKind::WaterHeater,
+        DeviceKind::SecurityCamera,
+        DeviceKind::MedicalMonitor,
+        DeviceKind::Computer,
+        DeviceKind::DoorLock,
+    ];
+
+    /// True for the §5.1 "entertainment devices" (televisions, stereos
+    /// and home video games).
+    #[must_use]
+    pub fn is_entertainment(self) -> bool {
+        matches!(
+            self,
+            DeviceKind::Television | DeviceKind::Vcr | DeviceKind::Stereo | DeviceKind::GameConsole
+        )
+    }
+
+    /// True for household appliances.
+    #[must_use]
+    pub fn is_appliance(self) -> bool {
+        matches!(
+            self,
+            DeviceKind::Refrigerator
+                | DeviceKind::Dishwasher
+                | DeviceKind::Oven
+                | DeviceKind::Stove
+                | DeviceKind::WashingMachine
+        )
+    }
+
+    /// True for §3's "potentially dangerous appliances" children are
+    /// denied.
+    #[must_use]
+    pub fn is_dangerous(self) -> bool {
+        matches!(self, DeviceKind::Oven | DeviceKind::Stove)
+    }
+
+    /// True for communication devices (the videophone of §4.2.2).
+    #[must_use]
+    pub fn is_communication(self) -> bool {
+        matches!(self, DeviceKind::Videophone | DeviceKind::Telephone)
+    }
+
+    /// True for utility controls (heat / hot water management, §2).
+    #[must_use]
+    pub fn is_utility(self) -> bool {
+        matches!(self, DeviceKind::Thermostat | DeviceKind::WaterHeater)
+    }
+
+    /// True for privacy-sensitive sensors (cameras, medical monitors).
+    #[must_use]
+    pub fn is_sensitive_sensor(self) -> bool {
+        matches!(self, DeviceKind::SecurityCamera | DeviceKind::MedicalMonitor)
+    }
+}
+
+impl std::fmt::Display for DeviceKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            DeviceKind::Television => "television",
+            DeviceKind::Vcr => "vcr",
+            DeviceKind::Stereo => "stereo",
+            DeviceKind::GameConsole => "game console",
+            DeviceKind::Videophone => "videophone",
+            DeviceKind::Telephone => "telephone",
+            DeviceKind::Refrigerator => "refrigerator",
+            DeviceKind::Dishwasher => "dishwasher",
+            DeviceKind::Oven => "oven",
+            DeviceKind::Stove => "stove",
+            DeviceKind::WashingMachine => "washing machine",
+            DeviceKind::Thermostat => "thermostat",
+            DeviceKind::WaterHeater => "water heater",
+            DeviceKind::SecurityCamera => "security camera",
+            DeviceKind::MedicalMonitor => "medical monitor",
+            DeviceKind::Computer => "computer",
+            DeviceKind::DoorLock => "door lock",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One installed device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Device {
+    object: ObjectId,
+    name: String,
+    kind: DeviceKind,
+    room: ZoneId,
+}
+
+impl Device {
+    pub(crate) fn new(object: ObjectId, name: String, kind: DeviceKind, room: ZoneId) -> Self {
+        Self {
+            object,
+            name,
+            kind,
+            room,
+        }
+    }
+
+    /// The device's object id in the policy engine.
+    #[must_use]
+    pub fn object(&self) -> ObjectId {
+        self.object
+    }
+
+    /// The device's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// What kind of device this is.
+    #[must_use]
+    pub fn kind(&self) -> DeviceKind {
+        self.kind
+    }
+
+    /// The room it is installed in.
+    #[must_use]
+    pub fn room(&self) -> ZoneId {
+        self.room
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_predicates() {
+        assert!(DeviceKind::Television.is_entertainment());
+        assert!(DeviceKind::GameConsole.is_entertainment());
+        assert!(!DeviceKind::Refrigerator.is_entertainment());
+        assert!(DeviceKind::Refrigerator.is_appliance());
+        assert!(DeviceKind::Oven.is_dangerous());
+        assert!(!DeviceKind::Dishwasher.is_dangerous());
+        assert!(DeviceKind::Videophone.is_communication());
+        assert!(DeviceKind::Thermostat.is_utility());
+        assert!(DeviceKind::SecurityCamera.is_sensitive_sensor());
+    }
+
+    #[test]
+    fn every_kind_has_a_display_name() {
+        for kind in DeviceKind::ALL {
+            assert!(!kind.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn device_accessors() {
+        let d = Device::new(
+            ObjectId::from_raw(1),
+            "living room tv".into(),
+            DeviceKind::Television,
+            ZoneId::from_raw(0),
+        );
+        assert_eq!(d.object(), ObjectId::from_raw(1));
+        assert_eq!(d.name(), "living room tv");
+        assert_eq!(d.kind(), DeviceKind::Television);
+        assert_eq!(d.room(), ZoneId::from_raw(0));
+    }
+}

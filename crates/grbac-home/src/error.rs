@@ -1,0 +1,77 @@
+//! Error type for the Aware Home simulation.
+
+use grbac_core::GrbacError;
+use grbac_env::EnvError;
+
+/// Errors produced while building or driving the simulated home.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+#[allow(missing_docs)] // variant fields are self-describing; variants are documented
+pub enum HomeError {
+    /// An underlying access-control error.
+    Grbac(GrbacError),
+    /// An underlying environment-substrate error.
+    Env(EnvError),
+    /// A person name was used that is not part of the household.
+    UnknownPerson(String),
+    /// A device name was used that is not installed.
+    UnknownDevice(String),
+    /// A room name was used that does not exist.
+    UnknownRoom(String),
+    /// An item was not found in an application's inventory.
+    UnknownItem(String),
+}
+
+impl std::fmt::Display for HomeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Grbac(e) => write!(f, "access control error: {e}"),
+            Self::Env(e) => write!(f, "environment error: {e}"),
+            Self::UnknownPerson(name) => write!(f, "unknown person {name:?}"),
+            Self::UnknownDevice(name) => write!(f, "unknown device {name:?}"),
+            Self::UnknownRoom(name) => write!(f, "unknown room {name:?}"),
+            Self::UnknownItem(name) => write!(f, "unknown inventory item {name:?}"),
+        }
+    }
+}
+
+impl std::error::Error for HomeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Grbac(e) => Some(e),
+            Self::Env(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GrbacError> for HomeError {
+    fn from(e: GrbacError) -> Self {
+        Self::Grbac(e)
+    }
+}
+
+impl From<EnvError> for HomeError {
+    fn from(e: EnvError) -> Self {
+        Self::Env(e)
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T, E = HomeError> = std::result::Result<T, E>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_sources() {
+        use std::error::Error;
+        let e = HomeError::from(GrbacError::InvalidConfidence(2.0));
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("access control"));
+        let e = HomeError::UnknownPerson("zelda".into());
+        assert!(e.source().is_none());
+        assert!(e.to_string().contains("zelda"));
+    }
+}

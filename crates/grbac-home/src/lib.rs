@@ -1,0 +1,49 @@
+//! # grbac-home — the Aware Home simulation
+//!
+//! The GRBAC paper is motivated by Georgia Tech's Aware Home (§2): an
+//! instrumented house whose applications — remote appliance control,
+//! elder care, inventory management, utility management — all need
+//! role-based, environment-aware access control. This crate builds that
+//! home as a deterministic simulation:
+//!
+//! * [`home`] — [`home::AwareHome`]: one façade wiring the GRBAC engine
+//!   to the environment substrate (clock, rooms, occupancy, load,
+//!   events) with a standard role vocabulary,
+//! * [`person`] / [`device`] — the household and device catalog,
+//! * [`scenario`] — the paper's §5 household, assembled verbatim,
+//! * [`apps`] — the §2 applications (Cyberfridge, elder care, utility
+//!   management) as policy clients,
+//! * [`workload`] — seeded day-scale activity generation for the
+//!   experiments.
+//!
+//! ## Example
+//!
+//! ```
+//! use grbac_home::scenario::paper_household;
+//!
+//! # fn main() -> Result<(), grbac_home::HomeError> {
+//! let mut home = paper_household()?;
+//! let vocab = *home.vocab();
+//! let alice = home.person("alice")?.subject();
+//! let tv = home.device("tv")?.object();
+//! // Monday 8 p.m. — inside weekdays ∧ free_time: permitted.
+//! assert!(home.request(alice, vocab.operate, tv)?.is_permitted());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod apps;
+pub mod device;
+pub mod error;
+pub mod home;
+pub mod person;
+pub mod scenario;
+pub mod workload;
+
+pub use device::{Device, DeviceKind};
+pub use error::HomeError;
+pub use home::{AwareHome, HomeBuilder, HomeVocabulary};
+pub use person::{Person, PersonKind};

@@ -1,0 +1,101 @@
+//! Residents, guests and pets of the Aware Home.
+
+use grbac_core::id::SubjectId;
+use serde::{Deserialize, Serialize};
+
+/// The coarse categories §3 names: "resident" or "guest", "adult" or
+/// "child", "or even a pet".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PersonKind {
+    /// An adult resident (maps to the `parent` subject role in the
+    /// default household vocabulary).
+    Adult,
+    /// A child resident.
+    Child,
+    /// An elderly resident (a family member with care needs — the
+    /// elder-care application's focus).
+    Elder,
+    /// An authorized guest (babysitter, visiting relative).
+    Guest,
+    /// A visiting service agent (the dishwasher repair technician).
+    ServiceAgent,
+    /// A pet.
+    Pet,
+}
+
+impl std::fmt::Display for PersonKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            PersonKind::Adult => "adult",
+            PersonKind::Child => "child",
+            PersonKind::Elder => "elder",
+            PersonKind::Guest => "guest",
+            PersonKind::ServiceAgent => "service agent",
+            PersonKind::Pet => "pet",
+        })
+    }
+}
+
+/// One member of the household (or visitor).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Person {
+    subject: SubjectId,
+    name: String,
+    kind: PersonKind,
+    weight_kg: f64,
+}
+
+impl Person {
+    pub(crate) fn new(subject: SubjectId, name: String, kind: PersonKind, weight_kg: f64) -> Self {
+        Self {
+            subject,
+            name,
+            kind,
+            weight_kg,
+        }
+    }
+
+    /// The person's subject id in the policy engine.
+    #[must_use]
+    pub fn subject(&self) -> SubjectId {
+        self.subject
+    }
+
+    /// The person's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The person's kind.
+    #[must_use]
+    pub fn kind(&self) -> PersonKind {
+        self.kind
+    }
+
+    /// The person's true weight (ground truth for the Smart Floor).
+    #[must_use]
+    pub fn weight_kg(&self) -> f64 {
+        self.weight_kg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let p = Person::new(SubjectId::from_raw(0), "alice".into(), PersonKind::Child, 42.6);
+        assert_eq!(p.subject(), SubjectId::from_raw(0));
+        assert_eq!(p.name(), "alice");
+        assert_eq!(p.kind(), PersonKind::Child);
+        assert_eq!(p.weight_kg(), 42.6);
+    }
+
+    #[test]
+    fn kind_display() {
+        assert_eq!(PersonKind::ServiceAgent.to_string(), "service agent");
+        assert_eq!(PersonKind::Pet.to_string(), "pet");
+    }
+}

@@ -1,0 +1,145 @@
+//! The direct Bell–LaPadula reference monitor.
+//!
+//! The ground truth for experiment E7: a straight implementation of the
+//! two BLP properties over subject clearances and object
+//! classifications,
+//!
+//! * **simple security** ("no read up"): `read` iff the subject's
+//!   clearance dominates the object's classification,
+//! * **\*-property** ("no write down"): `write` iff the object's
+//!   classification dominates the subject's clearance.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::level::SecurityLevel;
+
+/// The two MLS operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MlsOp {
+    /// Observation.
+    Read,
+    /// Modification (blind append is a write in this model).
+    Write,
+}
+
+/// A direct BLP monitor over string-named subjects and objects.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct BlpMonitor {
+    clearances: HashMap<String, SecurityLevel>,
+    classifications: HashMap<String, SecurityLevel>,
+}
+
+impl BlpMonitor {
+    /// Creates an empty monitor.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets a subject's clearance (replacing any previous one).
+    pub fn set_clearance(&mut self, subject: impl Into<String>, level: SecurityLevel) {
+        self.clearances.insert(subject.into(), level);
+    }
+
+    /// Sets an object's classification (replacing any previous one).
+    pub fn set_classification(&mut self, object: impl Into<String>, level: SecurityLevel) {
+        self.classifications.insert(object.into(), level);
+    }
+
+    /// A subject's clearance.
+    #[must_use]
+    pub fn clearance(&self, subject: &str) -> Option<&SecurityLevel> {
+        self.clearances.get(subject)
+    }
+
+    /// An object's classification.
+    #[must_use]
+    pub fn classification(&self, object: &str) -> Option<&SecurityLevel> {
+        self.classifications.get(object)
+    }
+
+    /// The BLP decision. Unknown subjects or objects are denied.
+    #[must_use]
+    pub fn decide(&self, subject: &str, op: MlsOp, object: &str) -> bool {
+        let (Some(clearance), Some(classification)) = (
+            self.clearances.get(subject),
+            self.classifications.get(object),
+        ) else {
+            return false;
+        };
+        match op {
+            MlsOp::Read => clearance.dominates(classification),
+            MlsOp::Write => classification.dominates(clearance),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::level::Classification;
+
+    fn monitor() -> BlpMonitor {
+        let mut m = BlpMonitor::new();
+        m.set_clearance("analyst", SecurityLevel::new(Classification::Secret));
+        m.set_clearance("general", SecurityLevel::new(Classification::TopSecret));
+        m.set_classification("memo", SecurityLevel::new(Classification::Confidential));
+        m.set_classification("war_plan", SecurityLevel::new(Classification::TopSecret));
+        m
+    }
+
+    #[test]
+    fn no_read_up() {
+        let m = monitor();
+        assert!(m.decide("analyst", MlsOp::Read, "memo"), "read down ok");
+        assert!(!m.decide("analyst", MlsOp::Read, "war_plan"), "no read up");
+        assert!(m.decide("general", MlsOp::Read, "war_plan"), "equal level reads");
+    }
+
+    #[test]
+    fn no_write_down() {
+        let m = monitor();
+        assert!(!m.decide("analyst", MlsOp::Write, "memo"), "no write down");
+        assert!(m.decide("analyst", MlsOp::Write, "war_plan"), "write up ok");
+        assert!(m.decide("general", MlsOp::Write, "war_plan"), "equal level writes");
+        assert!(!m.decide("general", MlsOp::Write, "memo"));
+    }
+
+    #[test]
+    fn compartments_constrain_both_directions() {
+        let mut m = BlpMonitor::new();
+        m.set_clearance(
+            "spy",
+            SecurityLevel::with_compartments(Classification::TopSecret, ["crypto"]),
+        );
+        m.set_classification(
+            "nuclear_doc",
+            SecurityLevel::with_compartments(Classification::Secret, ["nuclear"]),
+        );
+        assert!(!m.decide("spy", MlsOp::Read, "nuclear_doc"), "no need-to-know");
+        assert!(!m.decide("spy", MlsOp::Write, "nuclear_doc"), "incomparable");
+    }
+
+    #[test]
+    fn unknown_principals_denied() {
+        let m = monitor();
+        assert!(!m.decide("ghost", MlsOp::Read, "memo"));
+        assert!(!m.decide("analyst", MlsOp::Read, "ghost_file"));
+    }
+
+    #[test]
+    fn accessors() {
+        let m = monitor();
+        assert_eq!(
+            m.clearance("analyst"),
+            Some(&SecurityLevel::new(Classification::Secret))
+        );
+        assert_eq!(
+            m.classification("memo"),
+            Some(&SecurityLevel::new(Classification::Confidential))
+        );
+        assert_eq!(m.clearance("ghost"), None);
+    }
+}

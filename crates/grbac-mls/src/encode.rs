@@ -1,0 +1,316 @@
+//! Multilevel security *expressed in GRBAC* — the §6 claim "the GRBAC
+//! model can be used to implement multilevel access control".
+//!
+//! ## The encoding
+//!
+//! For every security level `L` in use, four roles:
+//!
+//! * `cleared_L` (subject role, **hierarchical**): `cleared_A`
+//!   specializes `cleared_B` whenever `A dominates B`, so a subject
+//!   assigned `cleared_A` *possesses* `cleared_B` for every dominated
+//!   level — exactly the set of levels it may read.
+//! * `at_L` (subject role, **flat**): the subject's exact level; never
+//!   propagates, used by the write rules.
+//! * `classified_L` (object role, **flat**): the object's exact level.
+//! * `writable_L` (object role, **hierarchical**): `writable_A`
+//!   specializes `writable_B` whenever `A dominates B`, so an object at
+//!   `A` is *writable at* every level `A` dominates.
+//!
+//! Two rules per level close the loop:
+//!
+//! * `permit read  (cleared_L,   classified_L)` — fires iff the
+//!   subject's clearance dominates the object's level: simple security.
+//! * `permit write (at_L,        writable_L)` — fires iff the object's
+//!   level dominates the subject's exact level: the *-property.
+//!
+//! [`MlsGrbac::decide`] is therefore decision-for-decision equivalent
+//! to [`BlpMonitor`](crate::blp::BlpMonitor); experiment E7 verifies
+//! the equivalence over randomized lattices, and a property test keeps
+//! it honest.
+
+use std::collections::HashMap;
+
+use grbac_core::engine::{AccessRequest, Grbac};
+use grbac_core::environment::EnvironmentSnapshot;
+use grbac_core::id::{ObjectId, RoleId, SubjectId, TransactionId};
+use grbac_core::rule::RuleDef;
+
+use crate::blp::MlsOp;
+use crate::error::{MlsError, Result};
+use crate::level::SecurityLevel;
+
+#[derive(Debug, Clone, Copy)]
+struct LevelRoles {
+    cleared: RoleId,
+    at: RoleId,
+    classified: RoleId,
+    writable: RoleId,
+}
+
+/// An MLS system realized entirely as GRBAC roles and rules.
+#[derive(Debug)]
+pub struct MlsGrbac {
+    engine: Grbac,
+    read: TransactionId,
+    write: TransactionId,
+    levels: HashMap<SecurityLevel, LevelRoles>,
+    level_list: Vec<SecurityLevel>,
+    subjects: HashMap<String, SubjectId>,
+    objects: HashMap<String, ObjectId>,
+}
+
+impl MlsGrbac {
+    /// Creates an empty system (no levels, no principals).
+    ///
+    /// # Errors
+    ///
+    /// Never in practice; declaration of the two base transactions
+    /// cannot collide in a fresh engine.
+    pub fn new() -> Result<Self> {
+        let mut engine = Grbac::new();
+        let read = engine.declare_transaction("mls_read")?;
+        let write = engine.declare_transaction("mls_write")?;
+        Ok(Self {
+            engine,
+            read,
+            write,
+            levels: HashMap::new(),
+            level_list: Vec::new(),
+            subjects: HashMap::new(),
+            objects: HashMap::new(),
+        })
+    }
+
+    /// The underlying GRBAC engine (for analysis and statistics).
+    #[must_use]
+    pub fn engine(&self) -> &Grbac {
+        &self.engine
+    }
+
+    /// Number of distinct levels materialized so far.
+    #[must_use]
+    pub fn level_count(&self) -> usize {
+        self.level_list.len()
+    }
+
+    /// Registers a subject with a clearance.
+    ///
+    /// # Errors
+    ///
+    /// Duplicate subject names or engine declaration failures.
+    pub fn add_subject(&mut self, name: &str, clearance: &SecurityLevel) -> Result<SubjectId> {
+        if self.subjects.contains_key(name) {
+            return Err(MlsError::DuplicatePrincipal(name.to_owned()));
+        }
+        let roles = self.ensure_level(clearance)?;
+        let subject = self.engine.declare_subject(name)?;
+        self.engine.assign_subject_role(subject, roles.cleared)?;
+        self.engine.assign_subject_role(subject, roles.at)?;
+        self.subjects.insert(name.to_owned(), subject);
+        Ok(subject)
+    }
+
+    /// Registers an object with a classification.
+    ///
+    /// # Errors
+    ///
+    /// Duplicate object names or engine declaration failures.
+    pub fn add_object(&mut self, name: &str, classification: &SecurityLevel) -> Result<ObjectId> {
+        if self.objects.contains_key(name) {
+            return Err(MlsError::DuplicatePrincipal(name.to_owned()));
+        }
+        let roles = self.ensure_level(classification)?;
+        let object = self.engine.declare_object(name)?;
+        self.engine.assign_object_role(object, roles.classified)?;
+        self.engine.assign_object_role(object, roles.writable)?;
+        self.objects.insert(name.to_owned(), object);
+        Ok(object)
+    }
+
+    /// The MLS decision via GRBAC mediation. Unknown principals are
+    /// denied, mirroring the direct monitor.
+    ///
+    /// # Errors
+    ///
+    /// Internal engine errors only (ids are managed by this type).
+    pub fn decide(&self, subject: &str, op: MlsOp, object: &str) -> Result<bool> {
+        let (Some(&subject), Some(&object)) =
+            (self.subjects.get(subject), self.objects.get(object))
+        else {
+            return Ok(false);
+        };
+        let transaction = match op {
+            MlsOp::Read => self.read,
+            MlsOp::Write => self.write,
+        };
+        let decision = self.engine.decide(&AccessRequest::by_subject(
+            subject,
+            transaction,
+            object,
+            EnvironmentSnapshot::new(),
+        ))?;
+        Ok(decision.is_permitted())
+    }
+
+    /// Materializes the four roles, hierarchy edges and two rules for a
+    /// level on first use.
+    fn ensure_level(&mut self, level: &SecurityLevel) -> Result<LevelRoles> {
+        if let Some(&roles) = self.levels.get(level) {
+            return Ok(roles);
+        }
+        let suffix = level.canonical_name();
+        let cleared = self.engine.declare_subject_role(format!("cleared_{suffix}"))?;
+        let at = self.engine.declare_subject_role(format!("at_{suffix}"))?;
+        let classified = self.engine.declare_object_role(format!("classified_{suffix}"))?;
+        let writable = self.engine.declare_object_role(format!("writable_{suffix}"))?;
+        let roles = LevelRoles {
+            cleared,
+            at,
+            classified,
+            writable,
+        };
+
+        // Dominance edges against every existing level, both directions.
+        for existing in &self.level_list {
+            let other = self.levels[existing];
+            if level.dominates(existing) {
+                self.engine.specialize(cleared, other.cleared)?;
+                self.engine.specialize(writable, other.writable)?;
+            }
+            if existing.dominates(level) {
+                self.engine.specialize(other.cleared, cleared)?;
+                self.engine.specialize(other.writable, writable)?;
+            }
+        }
+
+        // The two per-level rules.
+        self.engine.add_rule(
+            RuleDef::permit()
+                .named(format!("simple security at {level}"))
+                .subject_role(cleared)
+                .object_role(classified)
+                .transaction(self.read),
+        )?;
+        self.engine.add_rule(
+            RuleDef::permit()
+                .named(format!("star property at {level}"))
+                .subject_role(at)
+                .object_role(writable)
+                .transaction(self.write),
+        )?;
+
+        self.levels.insert(level.clone(), roles);
+        self.level_list.push(level.clone());
+        Ok(roles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blp::BlpMonitor;
+    use crate::level::{Classification, SecurityLevel};
+
+    fn basic_system() -> MlsGrbac {
+        let mut mls = MlsGrbac::new().unwrap();
+        mls.add_subject("analyst", &SecurityLevel::new(Classification::Secret))
+            .unwrap();
+        mls.add_subject("general", &SecurityLevel::new(Classification::TopSecret))
+            .unwrap();
+        mls.add_object("memo", &SecurityLevel::new(Classification::Confidential))
+            .unwrap();
+        mls.add_object("war_plan", &SecurityLevel::new(Classification::TopSecret))
+            .unwrap();
+        mls
+    }
+
+    #[test]
+    fn no_read_up_no_write_down() {
+        let mls = basic_system();
+        assert!(mls.decide("analyst", MlsOp::Read, "memo").unwrap());
+        assert!(!mls.decide("analyst", MlsOp::Read, "war_plan").unwrap());
+        assert!(!mls.decide("analyst", MlsOp::Write, "memo").unwrap());
+        assert!(mls.decide("analyst", MlsOp::Write, "war_plan").unwrap());
+        assert!(mls.decide("general", MlsOp::Read, "war_plan").unwrap());
+        assert!(mls.decide("general", MlsOp::Write, "war_plan").unwrap());
+    }
+
+    #[test]
+    fn unknown_principals_denied() {
+        let mls = basic_system();
+        assert!(!mls.decide("ghost", MlsOp::Read, "memo").unwrap());
+        assert!(!mls.decide("analyst", MlsOp::Read, "ghost").unwrap());
+    }
+
+    #[test]
+    fn duplicates_rejected() {
+        let mut mls = basic_system();
+        assert!(matches!(
+            mls.add_subject("analyst", &SecurityLevel::new(Classification::Secret)),
+            Err(MlsError::DuplicatePrincipal(_))
+        ));
+        assert!(mls
+            .add_object("memo", &SecurityLevel::new(Classification::Secret))
+            .is_err());
+    }
+
+    #[test]
+    fn levels_are_materialized_once() {
+        let mut mls = MlsGrbac::new().unwrap();
+        let secret = SecurityLevel::new(Classification::Secret);
+        mls.add_subject("a", &secret).unwrap();
+        mls.add_subject("b", &secret).unwrap();
+        mls.add_object("x", &secret).unwrap();
+        assert_eq!(mls.level_count(), 1);
+        // 4 roles, 2 rules for the single level.
+        assert_eq!(mls.engine().rules().len(), 2);
+    }
+
+    /// Exhaustive equivalence with the direct monitor over every pair
+    /// of a small but compartment-rich level set.
+    #[test]
+    fn equivalent_to_direct_blp_exhaustively() {
+        let levels: Vec<SecurityLevel> = {
+            let mut out = Vec::new();
+            for c in Classification::ALL {
+                out.push(SecurityLevel::new(c));
+                out.push(SecurityLevel::with_compartments(c, ["crypto"]));
+                out.push(SecurityLevel::with_compartments(c, ["nuclear"]));
+                out.push(SecurityLevel::with_compartments(c, ["crypto", "nuclear"]));
+            }
+            out
+        };
+
+        let mut blp = BlpMonitor::new();
+        let mut mls = MlsGrbac::new().unwrap();
+        for (i, level) in levels.iter().enumerate() {
+            let subject = format!("s{i}");
+            let object = format!("o{i}");
+            blp.set_clearance(subject.clone(), level.clone());
+            blp.set_classification(object.clone(), level.clone());
+            mls.add_subject(&subject, level).unwrap();
+            mls.add_object(&object, level).unwrap();
+        }
+
+        let mut checked = 0;
+        for i in 0..levels.len() {
+            for j in 0..levels.len() {
+                let subject = format!("s{i}");
+                let object = format!("o{j}");
+                for op in [MlsOp::Read, MlsOp::Write] {
+                    assert_eq!(
+                        blp.decide(&subject, op, &object),
+                        mls.decide(&subject, op, &object).unwrap(),
+                        "mismatch for {} {op:?} {} (levels {} / {})",
+                        subject,
+                        object,
+                        levels[i],
+                        levels[j],
+                    );
+                    checked += 1;
+                }
+            }
+        }
+        assert_eq!(checked, levels.len() * levels.len() * 2);
+    }
+}

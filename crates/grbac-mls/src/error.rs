@@ -1,0 +1,55 @@
+//! Error type for the MLS crates.
+
+use grbac_core::GrbacError;
+
+/// Errors from building or querying the MLS-in-GRBAC encoding.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum MlsError {
+    /// A subject or object name registered twice.
+    DuplicatePrincipal(String),
+    /// An underlying engine error.
+    Engine(GrbacError),
+}
+
+impl std::fmt::Display for MlsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::DuplicatePrincipal(name) => write!(f, "duplicate principal {name:?}"),
+            Self::Engine(e) => write!(f, "engine error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MlsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Engine(e) => Some(e),
+            Self::DuplicatePrincipal(_) => None,
+        }
+    }
+}
+
+impl From<GrbacError> for MlsError {
+    fn from(e: GrbacError) -> Self {
+        Self::Engine(e)
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T, E = MlsError> = std::result::Result<T, E>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = MlsError::DuplicatePrincipal("x".into());
+        assert!(e.to_string().contains('x'));
+        assert!(e.source().is_none());
+        let e = MlsError::from(GrbacError::InvalidConfidence(9.0));
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,208 @@
+//! Security levels and the dominance lattice.
+//!
+//! A level is a classification rank plus a set of compartments;
+//! `A dominates B` iff `rank(A) ≥ rank(B)` and `compartments(A) ⊇
+//! compartments(B)`. Levels form a lattice (meet/join provided for
+//! completeness), and only *dominance* is needed by the monitors.
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+/// Hierarchical classification ranks, in increasing sensitivity.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum Classification {
+    /// Publicly releasable.
+    Unclassified,
+    /// Limited distribution.
+    Confidential,
+    /// Serious-damage tier.
+    Secret,
+    /// Grave-damage tier.
+    TopSecret,
+}
+
+impl Classification {
+    /// All ranks, lowest first.
+    pub const ALL: [Classification; 4] = [
+        Classification::Unclassified,
+        Classification::Confidential,
+        Classification::Secret,
+        Classification::TopSecret,
+    ];
+}
+
+impl std::fmt::Display for Classification {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Classification::Unclassified => "unclassified",
+            Classification::Confidential => "confidential",
+            Classification::Secret => "secret",
+            Classification::TopSecret => "top_secret",
+        })
+    }
+}
+
+/// A point in the MLS lattice: rank plus compartments.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SecurityLevel {
+    classification: Classification,
+    compartments: BTreeSet<String>,
+}
+
+impl SecurityLevel {
+    /// A level with no compartments.
+    #[must_use]
+    pub fn new(classification: Classification) -> Self {
+        Self {
+            classification,
+            compartments: BTreeSet::new(),
+        }
+    }
+
+    /// A level with compartments.
+    #[must_use]
+    pub fn with_compartments(
+        classification: Classification,
+        compartments: impl IntoIterator<Item = impl Into<String>>,
+    ) -> Self {
+        Self {
+            classification,
+            compartments: compartments.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// The hierarchical rank.
+    #[must_use]
+    pub fn classification(&self) -> Classification {
+        self.classification
+    }
+
+    /// The compartment set.
+    #[must_use]
+    pub fn compartments(&self) -> &BTreeSet<String> {
+        &self.compartments
+    }
+
+    /// True iff this level dominates `other`.
+    #[must_use]
+    pub fn dominates(&self, other: &SecurityLevel) -> bool {
+        self.classification >= other.classification
+            && self.compartments.is_superset(&other.compartments)
+    }
+
+    /// The least upper bound (join): max rank, union of compartments.
+    #[must_use]
+    pub fn join(&self, other: &SecurityLevel) -> SecurityLevel {
+        SecurityLevel {
+            classification: self.classification.max(other.classification),
+            compartments: self.compartments.union(&other.compartments).cloned().collect(),
+        }
+    }
+
+    /// The greatest lower bound (meet): min rank, intersection.
+    #[must_use]
+    pub fn meet(&self, other: &SecurityLevel) -> SecurityLevel {
+        SecurityLevel {
+            classification: self.classification.min(other.classification),
+            compartments: self
+                .compartments
+                .intersection(&other.compartments)
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// A canonical, filesystem-safe name for the level — used as the
+    /// role-name suffix in the GRBAC encoding.
+    #[must_use]
+    pub fn canonical_name(&self) -> String {
+        if self.compartments.is_empty() {
+            self.classification.to_string()
+        } else {
+            let list: Vec<&str> = self.compartments.iter().map(String::as_str).collect();
+            format!("{}__{}", self.classification, list.join("_"))
+        }
+    }
+}
+
+impl std::fmt::Display for SecurityLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.compartments.is_empty() {
+            write!(f, "{}", self.classification)
+        } else {
+            let list: Vec<&str> = self.compartments.iter().map(String::as_str).collect();
+            write!(f, "{} {{{}}}", self.classification, list.join(", "))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn level(c: Classification, comps: &[&str]) -> SecurityLevel {
+        SecurityLevel::with_compartments(c, comps.iter().copied())
+    }
+
+    #[test]
+    fn rank_ordering() {
+        assert!(Classification::TopSecret > Classification::Secret);
+        assert!(Classification::Confidential > Classification::Unclassified);
+    }
+
+    #[test]
+    fn dominance_requires_rank_and_compartments() {
+        let ts_crypto = level(Classification::TopSecret, &["crypto"]);
+        let s_crypto = level(Classification::Secret, &["crypto"]);
+        let s_nuclear = level(Classification::Secret, &["nuclear"]);
+        let s_plain = level(Classification::Secret, &[]);
+
+        assert!(ts_crypto.dominates(&s_crypto));
+        assert!(ts_crypto.dominates(&s_plain));
+        assert!(!ts_crypto.dominates(&s_nuclear), "missing compartment");
+        assert!(!s_crypto.dominates(&ts_crypto), "lower rank");
+        assert!(s_crypto.dominates(&s_crypto), "reflexive");
+        // Incomparable pair.
+        assert!(!s_crypto.dominates(&s_nuclear));
+        assert!(!s_nuclear.dominates(&s_crypto));
+    }
+
+    #[test]
+    fn join_and_meet_are_lattice_ops() {
+        let a = level(Classification::Secret, &["crypto"]);
+        let b = level(Classification::Confidential, &["nuclear"]);
+        let j = a.join(&b);
+        assert_eq!(j.classification(), Classification::Secret);
+        assert_eq!(j.compartments().len(), 2);
+        assert!(j.dominates(&a) && j.dominates(&b));
+        let m = a.meet(&b);
+        assert_eq!(m.classification(), Classification::Confidential);
+        assert!(m.compartments().is_empty());
+        assert!(a.dominates(&m) && b.dominates(&m));
+    }
+
+    #[test]
+    fn canonical_names() {
+        assert_eq!(
+            SecurityLevel::new(Classification::Secret).canonical_name(),
+            "secret"
+        );
+        assert_eq!(
+            level(Classification::TopSecret, &["nuclear", "crypto"]).canonical_name(),
+            "top_secret__crypto_nuclear",
+            "compartments are sorted"
+        );
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            level(Classification::Secret, &["crypto"]).to_string(),
+            "secret {crypto}"
+        );
+        assert_eq!(SecurityLevel::new(Classification::Unclassified).to_string(), "unclassified");
+    }
+}

@@ -1,0 +1,41 @@
+//! # grbac-mls — Bell–LaPadula multilevel security in GRBAC
+//!
+//! §6 of the GRBAC paper claims: *"The GRBAC model can be used to
+//! implement multilevel access control, but the converse is not true."*
+//! This crate substantiates the first half constructively:
+//!
+//! * [`level`] — security levels (rank + compartments) and the
+//!   dominance lattice,
+//! * [`blp`] — a direct Bell–LaPadula reference monitor (simple
+//!   security + *-property), the ground truth,
+//! * [`encode`] — [`encode::MlsGrbac`]: the same policy realized
+//!   entirely as GRBAC roles, hierarchies and rules, decision-for-
+//!   decision equivalent to the direct monitor (experiment E7).
+//!
+//! ```
+//! use grbac_mls::blp::MlsOp;
+//! use grbac_mls::encode::MlsGrbac;
+//! use grbac_mls::level::{Classification, SecurityLevel};
+//!
+//! # fn main() -> Result<(), grbac_mls::MlsError> {
+//! let mut mls = MlsGrbac::new()?;
+//! mls.add_subject("analyst", &SecurityLevel::new(Classification::Secret))?;
+//! mls.add_object("war_plan", &SecurityLevel::new(Classification::TopSecret))?;
+//! assert!(!mls.decide("analyst", MlsOp::Read, "war_plan")?, "no read up");
+//! assert!(mls.decide("analyst", MlsOp::Write, "war_plan")?, "write up ok");
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod blp;
+pub mod encode;
+pub mod error;
+pub mod level;
+
+pub use blp::{BlpMonitor, MlsOp};
+pub use encode::MlsGrbac;
+pub use error::MlsError;
+pub use level::{Classification, SecurityLevel};

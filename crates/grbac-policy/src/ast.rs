@@ -1,0 +1,155 @@
+//! The policy language's abstract syntax.
+//!
+//! A [`Program`] is a list of statements; statements declare roles,
+//! entities, transactions, and environment-role time bindings, or state
+//! allow/deny rules. The surface syntax is designed to read as the
+//! paper writes its policies:
+//!
+//! ```text
+//! subject role child extends family_member;
+//! object role entertainment_devices;
+//! environment role weekdays = weekdays;
+//! environment role free_time = between 19:00 and 22:00;
+//! transaction operate;
+//!
+//! subject alice is child;
+//! object tv is entertainment_devices;
+//!
+//! "kids tv policy":
+//! allow child to operate entertainment_devices
+//!     when weekdays and free_time;
+//! ```
+
+use grbac_core::role::RoleKind;
+use serde::{Deserialize, Serialize};
+
+/// A parsed policy.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Program {
+    /// The statements, in source order.
+    pub statements: Vec<Stmt>,
+}
+
+/// One policy statement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Stmt {
+    /// `subject role child extends family_member;`
+    RoleDecl {
+        /// Which namespace the role lives in.
+        kind: RoleKind,
+        /// The role's name.
+        name: String,
+        /// Roles this one specializes.
+        extends: Vec<String>,
+        /// Time binding for environment roles
+        /// (`environment role weekdays = weekdays;`).
+        binding: Option<TimeSpec>,
+    },
+    /// `subject alice is child, scout;`
+    SubjectDecl {
+        /// The subject's name.
+        name: String,
+        /// Subject roles assigned to them.
+        roles: Vec<String>,
+    },
+    /// `object tv is entertainment_devices;`
+    ObjectDecl {
+        /// The object's name.
+        name: String,
+        /// Object roles it is mapped into.
+        roles: Vec<String>,
+    },
+    /// `transaction operate;`
+    TransactionDecl {
+        /// The transaction's name.
+        name: String,
+    },
+    /// `allow child to operate entertainment_devices when … ;`
+    Rule(RuleStmt),
+    /// `exclude teller and account_holder dynamically;`
+    SodDecl {
+        /// True for static exclusion, false for dynamic.
+        static_kind: bool,
+        /// First excluded role.
+        first: String,
+        /// Second excluded role.
+        second: String,
+    },
+    /// `allow parent to delegate child_supervisor depth 2;`
+    DelegationDecl {
+        /// The role whose holders may delegate.
+        delegator: String,
+        /// The role they may delegate.
+        delegable: String,
+        /// Maximum chain depth.
+        depth: u32,
+    },
+}
+
+/// An allow/deny rule statement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RuleStmt {
+    /// An optional quoted label preceding the rule.
+    pub label: Option<String>,
+    /// True for `allow`, false for `deny`.
+    pub allow: bool,
+    /// The subject role, or `None` for `anyone`.
+    pub subject_role: Option<String>,
+    /// The transaction, or `None` for `do anything`.
+    pub transaction: Option<String>,
+    /// The object role, or `None` for `anything`.
+    pub object_role: Option<String>,
+    /// Environment roles that must all be active.
+    pub when: Vec<String>,
+    /// Required confidence, percent (0–100).
+    pub confidence_percent: Option<f64>,
+}
+
+/// A time expression binding for an environment role.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TimeSpec {
+    /// `always`
+    Always,
+    /// `never`
+    Never,
+    /// `weekdays`
+    Weekdays,
+    /// `weekend`
+    Weekend,
+    /// `on monday`
+    On(String),
+    /// `between 19:00 and 22:00`
+    Between {
+        /// Start hour/minute.
+        start: (u8, u8),
+        /// End hour/minute.
+        end: (u8, u8),
+    },
+    /// Conjunction: `weekdays and between 19:00 and 22:00`.
+    All(Vec<TimeSpec>),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn program_default_is_empty() {
+        assert!(Program::default().statements.is_empty());
+    }
+
+    #[test]
+    fn rule_statements_compare_structurally() {
+        let stmt = Stmt::Rule(RuleStmt {
+            label: Some("kids tv".into()),
+            allow: true,
+            subject_role: Some("child".into()),
+            transaction: Some("operate".into()),
+            object_role: Some("entertainment_devices".into()),
+            when: vec!["weekdays".into(), "free_time".into()],
+            confidence_percent: Some(90.0),
+        });
+        let cloned = stmt.clone();
+        assert_eq!(stmt, cloned);
+    }
+}

@@ -1,0 +1,125 @@
+//! Error type for the policy language.
+
+use grbac_core::GrbacError;
+use grbac_env::EnvError;
+
+/// A source position (1-based line and column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Position {
+    /// Line number, starting at 1.
+    pub line: u32,
+    /// Column number, starting at 1.
+    pub column: u32,
+}
+
+impl std::fmt::Display for Position {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.line, self.column)
+    }
+}
+
+/// Errors from lexing, parsing or compiling a policy.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+#[allow(missing_docs)] // variant fields are self-describing; variants are documented
+pub enum PolicyError {
+    /// An unexpected character in the source.
+    UnexpectedChar { at: Position, found: char },
+    /// A string literal without a closing quote.
+    UnterminatedString { at: Position },
+    /// A malformed clock time (expected `HH:MM`).
+    InvalidTime { at: Position, text: String },
+    /// The parser expected something else here.
+    UnexpectedToken {
+        at: Position,
+        expected: &'static str,
+        found: String,
+    },
+    /// Input ended mid-statement.
+    UnexpectedEnd { expected: &'static str },
+    /// A name was referenced before being declared.
+    Undeclared { at: Position, kind: &'static str, name: String },
+    /// A confidence percentage outside 0–100.
+    InvalidConfidence { at: Position, value: f64 },
+    /// An unknown weekday name in `on <day>`.
+    UnknownWeekday { at: Position, name: String },
+    /// An error surfaced by the engine while compiling.
+    Engine(GrbacError),
+    /// An error surfaced by the environment substrate while compiling.
+    Env(EnvError),
+}
+
+impl std::fmt::Display for PolicyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::UnexpectedChar { at, found } => {
+                write!(f, "{at}: unexpected character {found:?}")
+            }
+            Self::UnterminatedString { at } => write!(f, "{at}: unterminated string literal"),
+            Self::InvalidTime { at, text } => {
+                write!(f, "{at}: invalid clock time {text:?} (expected HH:MM)")
+            }
+            Self::UnexpectedToken { at, expected, found } => {
+                write!(f, "{at}: expected {expected}, found {found}")
+            }
+            Self::UnexpectedEnd { expected } => {
+                write!(f, "unexpected end of policy, expected {expected}")
+            }
+            Self::Undeclared { at, kind, name } => {
+                write!(f, "{at}: {kind} {name:?} has not been declared")
+            }
+            Self::InvalidConfidence { at, value } => {
+                write!(f, "{at}: confidence {value}% is outside 0-100")
+            }
+            Self::UnknownWeekday { at, name } => write!(f, "{at}: unknown weekday {name:?}"),
+            Self::Engine(e) => write!(f, "engine error: {e}"),
+            Self::Env(e) => write!(f, "environment error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PolicyError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Engine(e) => Some(e),
+            Self::Env(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GrbacError> for PolicyError {
+    fn from(e: GrbacError) -> Self {
+        Self::Engine(e)
+    }
+}
+
+impl From<EnvError> for PolicyError {
+    fn from(e: EnvError) -> Self {
+        Self::Env(e)
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T, E = PolicyError> = std::result::Result<T, E>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn positions_display() {
+        let p = Position { line: 3, column: 14 };
+        assert_eq!(p.to_string(), "3:14");
+    }
+
+    #[test]
+    fn messages_carry_context() {
+        let e = PolicyError::Undeclared {
+            at: Position { line: 1, column: 1 },
+            kind: "subject role",
+            name: "chidl".into(),
+        };
+        assert!(e.to_string().contains("chidl"));
+    }
+}

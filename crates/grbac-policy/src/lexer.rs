@@ -1,0 +1,298 @@
+//! The policy language lexer.
+//!
+//! Hand-rolled, position-tracking, with `#`-to-end-of-line comments.
+//! A number followed by `:` and two more digits lexes as a clock time
+//! (`19:00`), so the parser never has to re-assemble times.
+
+use crate::error::{PolicyError, Position, Result};
+use crate::token::{Token, TokenKind};
+
+/// Lexes a complete policy source into tokens.
+///
+/// # Errors
+///
+/// [`PolicyError::UnexpectedChar`], [`PolicyError::UnterminatedString`]
+/// or [`PolicyError::InvalidTime`] with positions.
+pub fn lex(source: &str) -> Result<Vec<Token>> {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: u32,
+    column: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(source: &'a str) -> Self {
+        Self {
+            chars: source.chars().peekable(),
+            line: 1,
+            column: 1,
+        }
+    }
+
+    fn position(&self) -> Position {
+        Position {
+            line: self.line,
+            column: self.column,
+        }
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next()?;
+        if c == '\n' {
+            self.line += 1;
+            self.column = 1;
+        } else {
+            self.column += 1;
+        }
+        Some(c)
+    }
+
+    fn run(mut self) -> Result<Vec<Token>> {
+        let mut tokens = Vec::new();
+        while let Some(&c) = self.chars.peek() {
+            let at = self.position();
+            match c {
+                ' ' | '\t' | '\r' | '\n' => {
+                    self.bump();
+                }
+                '#' => {
+                    while let Some(&c) = self.chars.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                ';' => {
+                    self.bump();
+                    tokens.push(Token {
+                        kind: TokenKind::Semicolon,
+                        at,
+                    });
+                }
+                ',' => {
+                    self.bump();
+                    tokens.push(Token {
+                        kind: TokenKind::Comma,
+                        at,
+                    });
+                }
+                ':' => {
+                    self.bump();
+                    tokens.push(Token {
+                        kind: TokenKind::Colon,
+                        at,
+                    });
+                }
+                '=' => {
+                    self.bump();
+                    tokens.push(Token {
+                        kind: TokenKind::Equals,
+                        at,
+                    });
+                }
+                '%' => {
+                    self.bump();
+                    tokens.push(Token {
+                        kind: TokenKind::Percent,
+                        at,
+                    });
+                }
+                '"' => {
+                    self.bump();
+                    let mut text = String::new();
+                    loop {
+                        match self.bump() {
+                            Some('"') => break,
+                            Some(c) => text.push(c),
+                            None => return Err(PolicyError::UnterminatedString { at }),
+                        }
+                    }
+                    tokens.push(Token {
+                        kind: TokenKind::Str(text),
+                        at,
+                    });
+                }
+                c if c.is_ascii_digit() => {
+                    tokens.push(self.number_or_time(at)?);
+                }
+                c if c.is_ascii_alphabetic() || c == '_' => {
+                    let mut ident = String::new();
+                    while let Some(&c) = self.chars.peek() {
+                        if c.is_ascii_alphanumeric() || c == '_' {
+                            ident.push(c);
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    tokens.push(Token {
+                        kind: TokenKind::Ident(ident),
+                        at,
+                    });
+                }
+                found => {
+                    return Err(PolicyError::UnexpectedChar { at, found });
+                }
+            }
+        }
+        Ok(tokens)
+    }
+
+    fn number_or_time(&mut self, at: Position) -> Result<Token> {
+        let mut digits = String::new();
+        while let Some(&c) = self.chars.peek() {
+            if c.is_ascii_digit() {
+                digits.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        // `HH:MM` — a colon followed by a digit promotes to a time.
+        if self.chars.peek() == Some(&':') {
+            let mut lookahead = self.chars.clone();
+            lookahead.next();
+            if lookahead.peek().is_some_and(char::is_ascii_digit) {
+                self.bump(); // the ':'
+                let mut minutes = String::new();
+                while let Some(&c) = self.chars.peek() {
+                    if c.is_ascii_digit() {
+                        minutes.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                let text = format!("{digits}:{minutes}");
+                let hour: u8 = digits
+                    .parse()
+                    .map_err(|_| PolicyError::InvalidTime { at, text: text.clone() })?;
+                let minute: u8 = minutes
+                    .parse()
+                    .map_err(|_| PolicyError::InvalidTime { at, text: text.clone() })?;
+                if minutes.len() != 2 || hour > 23 || minute > 59 {
+                    return Err(PolicyError::InvalidTime { at, text });
+                }
+                return Ok(Token {
+                    kind: TokenKind::Time { hour, minute },
+                    at,
+                });
+            }
+        }
+        // Optional fraction.
+        if self.chars.peek() == Some(&'.') {
+            digits.push('.');
+            self.bump();
+            while let Some(&c) = self.chars.peek() {
+                if c.is_ascii_digit() {
+                    digits.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        let value: f64 = digits.parse().map_err(|_| PolicyError::InvalidTime {
+            at,
+            text: digits.clone(),
+        })?;
+        Ok(Token {
+            kind: TokenKind::Number(value),
+            at,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(source: &str) -> Vec<TokenKind> {
+        lex(source).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_the_flagship_rule() {
+        let toks = kinds("allow child to operate entertainment_devices when weekdays and free_time;");
+        assert_eq!(toks.len(), 10);
+        assert_eq!(toks[0], TokenKind::Ident("allow".into()));
+        assert_eq!(toks[4], TokenKind::Ident("entertainment_devices".into()));
+        assert_eq!(toks[9], TokenKind::Semicolon);
+    }
+
+    #[test]
+    fn lexes_times_and_numbers() {
+        assert_eq!(
+            kinds("19:00 90 87.5"),
+            vec![
+                TokenKind::Time { hour: 19, minute: 0 },
+                TokenKind::Number(90.0),
+                TokenKind::Number(87.5),
+            ]
+        );
+    }
+
+    #[test]
+    fn distinguishes_time_from_label_colon() {
+        // `"x": allow` — the colon after a string is a Colon token, and
+        // `90:` followed by non-digit stays Number + Colon.
+        assert_eq!(
+            kinds("\"x\": 90: y"),
+            vec![
+                TokenKind::Str("x".into()),
+                TokenKind::Colon,
+                TokenKind::Number(90.0),
+                TokenKind::Colon,
+                TokenKind::Ident("y".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_whitespace_skipped() {
+        let toks = kinds("# a comment\nallow # trailing\n deny");
+        assert_eq!(
+            toks,
+            vec![TokenKind::Ident("allow".into()), TokenKind::Ident("deny".into())]
+        );
+    }
+
+    #[test]
+    fn positions_track_lines() {
+        let toks = lex("a\n  b").unwrap();
+        assert_eq!((toks[0].at.line, toks[0].at.column), (1, 1));
+        assert_eq!((toks[1].at.line, toks[1].at.column), (2, 3));
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(matches!(
+            lex("allow @"),
+            Err(PolicyError::UnexpectedChar { found: '@', .. })
+        ));
+        assert!(matches!(
+            lex("\"open"),
+            Err(PolicyError::UnterminatedString { .. })
+        ));
+        assert!(matches!(lex("25:00"), Err(PolicyError::InvalidTime { .. })));
+        assert!(matches!(lex("19:60"), Err(PolicyError::InvalidTime { .. })));
+        assert!(matches!(lex("19:5"), Err(PolicyError::InvalidTime { .. })));
+    }
+
+    #[test]
+    fn punctuation() {
+        assert_eq!(
+            kinds("; , = %"),
+            vec![
+                TokenKind::Semicolon,
+                TokenKind::Comma,
+                TokenKind::Equals,
+                TokenKind::Percent,
+            ]
+        );
+    }
+}

@@ -1,0 +1,65 @@
+//! # grbac-policy — a human-readable policy language for GRBAC
+//!
+//! The paper's central usability claim (§3, §6) is that homeowners who
+//! are not security experts must be able to read and write their own
+//! policies, with "human-understandable names" for times and roles —
+//! unlike the "very technical" authorization languages of prior work.
+//! This crate is that surface: a small language whose statements read
+//! the way the paper writes its policies.
+//!
+//! ```text
+//! subject role child extends family_member;
+//! object role entertainment_devices;
+//! environment role weekdays = weekdays;
+//! environment role free_time = between 19:00 and 22:00;
+//! transaction operate;
+//!
+//! subject bobby is child;
+//! object tv is entertainment_devices;
+//!
+//! "kids tv policy":
+//! allow child to operate entertainment_devices when weekdays and free_time;
+//! ```
+//!
+//! Pipeline: [`parser::parse`] → [`ast::Program`] →
+//! [`compile::compile`] → a ready
+//! [`Grbac`](grbac_core::engine::Grbac) engine plus the
+//! [`EnvironmentRoleProvider`](grbac_env::provider::EnvironmentRoleProvider)
+//! holding time bindings. [`print::print`] renders an AST back to
+//! canonical text and round-trips exactly.
+//!
+//! ```
+//! use grbac_policy::{compile, parse};
+//!
+//! # fn main() -> Result<(), grbac_policy::PolicyError> {
+//! let program = parse(
+//!     "subject role child;
+//!      object role entertainment_devices;
+//!      transaction operate;
+//!      subject bobby is child;
+//!      object tv is entertainment_devices;
+//!      allow child to operate entertainment_devices;",
+//! )?;
+//! let compiled = compile(&program)?;
+//! assert_eq!(compiled.engine.rules().len(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod compile;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod print;
+pub mod token;
+
+pub use ast::{Program, RuleStmt, Stmt, TimeSpec};
+pub use compile::{compile, compile_into, CompiledPolicy};
+pub use error::{PolicyError, Position};
+pub use lexer::lex;
+pub use parser::parse;
+pub use print::print;

@@ -1,0 +1,633 @@
+//! Recursive-descent parser for the policy language.
+//!
+//! Grammar (EBNF, `IDENT`/`STR`/`NUMBER`/`TIME` from the lexer):
+//!
+//! ```text
+//! program     := stmt*
+//! stmt        := roledecl | subjectdecl | objectdecl | transdecl | rule
+//! roledecl    := kind "role" IDENT ["extends" IDENT {"," IDENT}]
+//!                ["=" timespec] ";"
+//! kind        := "subject" | "object" | "environment"
+//! subjectdecl := "subject" IDENT "is" IDENT {"," IDENT} ";"
+//! objectdecl  := "object" IDENT "is" IDENT {"," IDENT} ";"
+//! transdecl   := "transaction" IDENT ";"
+//! rule        := [STR ":"] ("allow" | "deny") subjspec
+//!                "to" verbspec objspec
+//!                ["when" IDENT {"and" IDENT}]
+//!                ["with" "confidence" NUMBER "%"] ";"
+//! subjspec    := "anyone" | IDENT
+//! verbspec    := "do" "anything" | IDENT
+//! objspec     := "anything" | IDENT
+//! soddecl     := "exclude" IDENT "and" IDENT
+//!                ("statically" | "dynamically") ";"
+//! delegdecl   := "allow" IDENT "to" "delegate" IDENT ["depth" NUMBER] ";"
+//! timespec    := timeatom {"and" timeatom}
+//! timeatom    := "always" | "never" | "weekdays" | "weekend"
+//!              | "on" IDENT | "between" TIME "and" TIME
+//! ```
+
+use grbac_core::role::RoleKind;
+
+use crate::ast::{Program, RuleStmt, Stmt, TimeSpec};
+use crate::error::{PolicyError, Position, Result};
+use crate::lexer::lex;
+use crate::token::{Token, TokenKind};
+
+/// Parses a complete policy source.
+///
+/// # Errors
+///
+/// Any lexing error, or [`PolicyError::UnexpectedToken`] /
+/// [`PolicyError::UnexpectedEnd`] with positions.
+pub fn parse(source: &str) -> Result<Program> {
+    let tokens = lex(source)?;
+    Parser { tokens, index: 0 }.program()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    index: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.index)
+    }
+
+    fn peek2(&self) -> Option<&Token> {
+        self.tokens.get(self.index + 1)
+    }
+
+    fn next(&mut self, expected: &'static str) -> Result<Token> {
+        let token = self
+            .tokens
+            .get(self.index)
+            .cloned()
+            .ok_or(PolicyError::UnexpectedEnd { expected })?;
+        self.index += 1;
+        Ok(token)
+    }
+
+    fn error(token: &Token, expected: &'static str) -> PolicyError {
+        PolicyError::UnexpectedToken {
+            at: token.at,
+            expected,
+            found: token.kind.to_string(),
+        }
+    }
+
+    fn ident(&mut self, expected: &'static str) -> Result<(String, Position)> {
+        let token = self.next(expected)?;
+        match token.kind {
+            TokenKind::Ident(name) => Ok((name, token.at)),
+            _ => Err(Self::error(&token, expected)),
+        }
+    }
+
+    fn keyword(&mut self, word: &'static str) -> Result<()> {
+        let token = self.next(word)?;
+        match &token.kind {
+            TokenKind::Ident(name) if name == word => Ok(()),
+            _ => Err(Self::error(&token, word)),
+        }
+    }
+
+    fn punct(&mut self, kind: &TokenKind, expected: &'static str) -> Result<()> {
+        let token = self.next(expected)?;
+        if &token.kind == kind {
+            Ok(())
+        } else {
+            Err(Self::error(&token, expected))
+        }
+    }
+
+    fn peek_is_ident(&self, word: &str) -> bool {
+        matches!(self.peek(), Some(Token { kind: TokenKind::Ident(name), .. }) if name == word)
+    }
+
+    fn program(mut self) -> Result<Program> {
+        let mut statements = Vec::new();
+        while self.peek().is_some() {
+            statements.push(self.statement()?);
+        }
+        Ok(Program { statements })
+    }
+
+    fn statement(&mut self) -> Result<Stmt> {
+        let token = self.peek().cloned().ok_or(PolicyError::UnexpectedEnd {
+            expected: "a statement",
+        })?;
+        match &token.kind {
+            TokenKind::Str(_) => self.rule(),
+            TokenKind::Ident(word) => match word.as_str() {
+                "allow" | "deny" => self.rule(),
+                "exclude" => self.sod_decl(),
+                "transaction" => self.transaction_decl(),
+                "environment" => self.role_decl(RoleKind::Environment),
+                "subject" | "object" => {
+                    let kind = if word == "subject" {
+                        RoleKind::Subject
+                    } else {
+                        RoleKind::Object
+                    };
+                    if matches!(self.peek2(), Some(Token { kind: TokenKind::Ident(w), .. }) if w == "role")
+                    {
+                        self.role_decl(kind)
+                    } else {
+                        self.entity_decl(kind)
+                    }
+                }
+                _ => Err(Self::error(&token, "a statement keyword")),
+            },
+            _ => Err(Self::error(&token, "a statement")),
+        }
+    }
+
+    fn role_decl(&mut self, kind: RoleKind) -> Result<Stmt> {
+        // Consume the kind keyword, then `role`.
+        self.next("role kind")?;
+        self.keyword("role")?;
+        let (name, _) = self.ident("a role name")?;
+        let mut extends = Vec::new();
+        if self.peek_is_ident("extends") {
+            self.next("extends")?;
+            loop {
+                let (parent, _) = self.ident("a role name")?;
+                extends.push(parent);
+                if matches!(self.peek(), Some(Token { kind: TokenKind::Comma, .. })) {
+                    self.next(",")?;
+                } else {
+                    break;
+                }
+            }
+        }
+        let mut binding = None;
+        if matches!(self.peek(), Some(Token { kind: TokenKind::Equals, .. })) {
+            let eq = self.next("=")?;
+            if kind != RoleKind::Environment {
+                return Err(PolicyError::UnexpectedToken {
+                    at: eq.at,
+                    expected: "; (only environment roles take time bindings)",
+                    found: "=".to_owned(),
+                });
+            }
+            binding = Some(self.time_spec()?);
+        }
+        self.punct(&TokenKind::Semicolon, ";")?;
+        Ok(Stmt::RoleDecl {
+            kind,
+            name,
+            extends,
+            binding,
+        })
+    }
+
+    fn entity_decl(&mut self, kind: RoleKind) -> Result<Stmt> {
+        self.next("entity kind")?;
+        let (name, _) = self.ident("an entity name")?;
+        self.keyword("is")?;
+        let mut roles = Vec::new();
+        loop {
+            let (role, _) = self.ident("a role name")?;
+            roles.push(role);
+            if matches!(self.peek(), Some(Token { kind: TokenKind::Comma, .. })) {
+                self.next(",")?;
+            } else {
+                break;
+            }
+        }
+        self.punct(&TokenKind::Semicolon, ";")?;
+        Ok(match kind {
+            RoleKind::Subject => Stmt::SubjectDecl { name, roles },
+            _ => Stmt::ObjectDecl { name, roles },
+        })
+    }
+
+    fn transaction_decl(&mut self) -> Result<Stmt> {
+        self.keyword("transaction")?;
+        let (name, _) = self.ident("a transaction name")?;
+        self.punct(&TokenKind::Semicolon, ";")?;
+        Ok(Stmt::TransactionDecl { name })
+    }
+
+    fn rule(&mut self) -> Result<Stmt> {
+        let mut label = None;
+        if let Some(Token { kind: TokenKind::Str(text), .. }) = self.peek() {
+            label = Some(text.clone());
+            self.next("a rule label")?;
+            self.punct(&TokenKind::Colon, ":")?;
+        }
+        let (word, at) = self.ident("allow or deny")?;
+        let allow = match word.as_str() {
+            "allow" => true,
+            "deny" => false,
+            _ => {
+                return Err(PolicyError::UnexpectedToken {
+                    at,
+                    expected: "allow or deny",
+                    found: word,
+                })
+            }
+        };
+        // subject spec
+        let (subject_word, _) = self.ident("a subject role or `anyone`")?;
+        let subject_role = if subject_word == "anyone" {
+            None
+        } else {
+            Some(subject_word)
+        };
+        self.keyword("to")?;
+        // verb spec — `delegate` diverts into a delegation declaration.
+        let (verb_word, verb_at) = self.ident("a transaction or `do anything`")?;
+        if verb_word == "delegate" {
+            if !allow || label.is_some() {
+                return Err(PolicyError::UnexpectedToken {
+                    at: verb_at,
+                    expected: "a transaction (only plain `allow` statements may delegate)",
+                    found: "delegate".to_owned(),
+                });
+            }
+            let Some(delegator) = subject_role else {
+                return Err(PolicyError::UnexpectedToken {
+                    at: verb_at,
+                    expected: "a delegator role (not `anyone`)",
+                    found: "delegate".to_owned(),
+                });
+            };
+            let (delegable, _) = self.ident("a delegable role name")?;
+            let mut depth = 1u32;
+            if self.peek_is_ident("depth") {
+                self.next("depth")?;
+                let token = self.next("a depth")?;
+                let TokenKind::Number(value) = token.kind else {
+                    return Err(Self::error(&token, "a depth"));
+                };
+                if value < 1.0 || value.fract() != 0.0 || value > f64::from(u32::MAX) {
+                    return Err(Self::error(&token, "a positive whole depth"));
+                }
+                depth = value as u32;
+            }
+            self.punct(&TokenKind::Semicolon, ";")?;
+            return Ok(Stmt::DelegationDecl {
+                delegator,
+                delegable,
+                depth,
+            });
+        }
+        let transaction = if verb_word == "do" {
+            self.keyword("anything")?;
+            None
+        } else {
+            Some(verb_word)
+        };
+        // object spec
+        let (object_word, _) = self.ident("an object role or `anything`")?;
+        let object_role = if object_word == "anything" {
+            None
+        } else {
+            Some(object_word)
+        };
+        // when clause
+        let mut when = Vec::new();
+        if self.peek_is_ident("when") {
+            self.next("when")?;
+            loop {
+                let (role, _) = self.ident("an environment role name")?;
+                when.push(role);
+                if self.peek_is_ident("and") {
+                    self.next("and")?;
+                } else {
+                    break;
+                }
+            }
+        }
+        // confidence clause
+        let mut confidence_percent = None;
+        if self.peek_is_ident("with") {
+            self.next("with")?;
+            self.keyword("confidence")?;
+            let token = self.next("a percentage")?;
+            let TokenKind::Number(value) = token.kind else {
+                return Err(Self::error(&token, "a percentage"));
+            };
+            self.punct(&TokenKind::Percent, "%")?;
+            if !(0.0..=100.0).contains(&value) {
+                return Err(PolicyError::InvalidConfidence { at: token.at, value });
+            }
+            confidence_percent = Some(value);
+        }
+        self.punct(&TokenKind::Semicolon, ";")?;
+        Ok(Stmt::Rule(RuleStmt {
+            label,
+            allow,
+            subject_role,
+            transaction,
+            object_role,
+            when,
+            confidence_percent,
+        }))
+    }
+
+    fn sod_decl(&mut self) -> Result<Stmt> {
+        self.keyword("exclude")?;
+        let (first, _) = self.ident("a role name")?;
+        self.keyword("and")?;
+        let (second, _) = self.ident("a role name")?;
+        let (kind_word, at) = self.ident("`statically` or `dynamically`")?;
+        let static_kind = match kind_word.as_str() {
+            "statically" => true,
+            "dynamically" => false,
+            _ => {
+                return Err(PolicyError::UnexpectedToken {
+                    at,
+                    expected: "`statically` or `dynamically`",
+                    found: kind_word,
+                })
+            }
+        };
+        self.punct(&TokenKind::Semicolon, ";")?;
+        Ok(Stmt::SodDecl {
+            static_kind,
+            first,
+            second,
+        })
+    }
+
+    fn time_spec(&mut self) -> Result<TimeSpec> {
+        let mut atoms = vec![self.time_atom()?];
+        while self.peek_is_ident("and") {
+            self.next("and")?;
+            atoms.push(self.time_atom()?);
+        }
+        Ok(if atoms.len() == 1 {
+            atoms.pop().expect("one atom")
+        } else {
+            TimeSpec::All(atoms)
+        })
+    }
+
+    fn time_atom(&mut self) -> Result<TimeSpec> {
+        let (word, at) = self.ident("a time expression")?;
+        match word.as_str() {
+            "always" => Ok(TimeSpec::Always),
+            "never" => Ok(TimeSpec::Never),
+            "weekdays" => Ok(TimeSpec::Weekdays),
+            "weekend" => Ok(TimeSpec::Weekend),
+            "on" => {
+                let (day, _) = self.ident("a weekday name")?;
+                Ok(TimeSpec::On(day))
+            }
+            "between" => {
+                let token = self.next("a clock time")?;
+                let TokenKind::Time { hour, minute } = token.kind else {
+                    return Err(Self::error(&token, "a clock time"));
+                };
+                let start = (hour, minute);
+                self.keyword("and")?;
+                let token = self.next("a clock time")?;
+                let TokenKind::Time { hour, minute } = token.kind else {
+                    return Err(Self::error(&token, "a clock time"));
+                };
+                Ok(TimeSpec::Between {
+                    start,
+                    end: (hour, minute),
+                })
+            }
+            _ => Err(PolicyError::UnexpectedToken {
+                at,
+                expected: "a time expression",
+                found: word,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_flagship_rule() {
+        let program = parse(
+            "allow child to operate entertainment_devices when weekdays and free_time;",
+        )
+        .unwrap();
+        assert_eq!(program.statements.len(), 1);
+        let Stmt::Rule(rule) = &program.statements[0] else {
+            panic!("expected a rule");
+        };
+        assert!(rule.allow);
+        assert_eq!(rule.subject_role.as_deref(), Some("child"));
+        assert_eq!(rule.transaction.as_deref(), Some("operate"));
+        assert_eq!(rule.object_role.as_deref(), Some("entertainment_devices"));
+        assert_eq!(rule.when, vec!["weekdays", "free_time"]);
+        assert_eq!(rule.confidence_percent, None);
+    }
+
+    #[test]
+    fn parses_labels_wildcards_and_confidence() {
+        let program = parse(
+            "\"strict tv\": deny anyone to do anything anything with confidence 90%;",
+        )
+        .unwrap();
+        let Stmt::Rule(rule) = &program.statements[0] else {
+            panic!("expected a rule");
+        };
+        assert_eq!(rule.label.as_deref(), Some("strict tv"));
+        assert!(!rule.allow);
+        assert_eq!(rule.subject_role, None);
+        assert_eq!(rule.transaction, None);
+        assert_eq!(rule.object_role, None);
+        assert_eq!(rule.confidence_percent, Some(90.0));
+    }
+
+    #[test]
+    fn parses_role_declarations() {
+        let program = parse(
+            "subject role child extends family_member;\n\
+             object role entertainment_devices;\n\
+             environment role free_time = between 19:00 and 22:00;\n\
+             environment role school_night = weekdays and between 21:00 and 6:00;",
+        )
+        .unwrap();
+        assert_eq!(program.statements.len(), 4);
+        assert_eq!(
+            program.statements[0],
+            Stmt::RoleDecl {
+                kind: RoleKind::Subject,
+                name: "child".into(),
+                extends: vec!["family_member".into()],
+                binding: None,
+            }
+        );
+        let Stmt::RoleDecl { binding: Some(TimeSpec::Between { start, end }), .. } =
+            &program.statements[2]
+        else {
+            panic!("expected a bound environment role");
+        };
+        assert_eq!((*start, *end), ((19, 0), (22, 0)));
+        let Stmt::RoleDecl { binding: Some(TimeSpec::All(atoms)), .. } = &program.statements[3]
+        else {
+            panic!("expected a conjunction");
+        };
+        assert_eq!(atoms.len(), 2);
+    }
+
+    #[test]
+    fn parses_entities_and_transactions() {
+        let program = parse(
+            "transaction operate;\n\
+             subject alice is child;\n\
+             subject rex is pet, friendly;\n\
+             object tv is entertainment_devices;",
+        )
+        .unwrap();
+        assert_eq!(
+            program.statements[1],
+            Stmt::SubjectDecl {
+                name: "alice".into(),
+                roles: vec!["child".into()],
+            }
+        );
+        assert_eq!(
+            program.statements[2],
+            Stmt::SubjectDecl {
+                name: "rex".into(),
+                roles: vec!["pet".into(), "friendly".into()],
+            }
+        );
+        assert_eq!(
+            program.statements[3],
+            Stmt::ObjectDecl {
+                name: "tv".into(),
+                roles: vec!["entertainment_devices".into()],
+            }
+        );
+    }
+
+    #[test]
+    fn parses_time_atoms() {
+        let program = parse(
+            "environment role a = always;\n\
+             environment role n = never;\n\
+             environment role w = weekend;\n\
+             environment role m = on monday;",
+        )
+        .unwrap();
+        let bindings: Vec<&TimeSpec> = program
+            .statements
+            .iter()
+            .filter_map(|s| match s {
+                Stmt::RoleDecl { binding: Some(b), .. } => Some(b),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            bindings,
+            vec![
+                &TimeSpec::Always,
+                &TimeSpec::Never,
+                &TimeSpec::Weekend,
+                &TimeSpec::On("monday".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_bindings_on_subject_roles() {
+        let err = parse("subject role child = always;").unwrap_err();
+        assert!(matches!(err, PolicyError::UnexpectedToken { .. }));
+    }
+
+    #[test]
+    fn rejects_bad_confidence() {
+        let err = parse("allow child to operate anything with confidence 150%;").unwrap_err();
+        assert!(matches!(err, PolicyError::InvalidConfidence { value, .. } if value == 150.0));
+    }
+
+    #[test]
+    fn rejects_truncated_input() {
+        assert!(matches!(
+            parse("allow child to"),
+            Err(PolicyError::UnexpectedEnd { .. })
+        ));
+        assert!(matches!(
+            parse("allow child operate tv;"),
+            Err(PolicyError::UnexpectedToken { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_unknown_statement() {
+        assert!(matches!(
+            parse("frobnicate x;"),
+            Err(PolicyError::UnexpectedToken { .. })
+        ));
+    }
+
+    #[test]
+    fn parses_sod_declarations() {
+        let program = parse(
+            "exclude teller and account_holder dynamically;\n\
+             exclude auditor and approver statically;",
+        )
+        .unwrap();
+        assert_eq!(
+            program.statements[0],
+            Stmt::SodDecl {
+                static_kind: false,
+                first: "teller".into(),
+                second: "account_holder".into(),
+            }
+        );
+        assert_eq!(
+            program.statements[1],
+            Stmt::SodDecl {
+                static_kind: true,
+                first: "auditor".into(),
+                second: "approver".into(),
+            }
+        );
+        assert!(parse("exclude a and b sideways;").is_err());
+    }
+
+    #[test]
+    fn parses_delegation_declarations() {
+        let program = parse(
+            "allow parent to delegate child_supervisor depth 2;\n\
+             allow parent to delegate appliance_operator;",
+        )
+        .unwrap();
+        assert_eq!(
+            program.statements[0],
+            Stmt::DelegationDecl {
+                delegator: "parent".into(),
+                delegable: "child_supervisor".into(),
+                depth: 2,
+            }
+        );
+        assert_eq!(
+            program.statements[1],
+            Stmt::DelegationDecl {
+                delegator: "parent".into(),
+                delegable: "appliance_operator".into(),
+                depth: 1,
+            }
+        );
+    }
+
+    #[test]
+    fn delegation_rejects_deny_labels_and_anyone() {
+        assert!(parse("deny parent to delegate x;").is_err());
+        assert!(parse("\"l\": allow parent to delegate x;").is_err());
+        assert!(parse("allow anyone to delegate x;").is_err());
+        assert!(parse("allow parent to delegate x depth 0;").is_err());
+        assert!(parse("allow parent to delegate x depth 1.5;").is_err());
+    }
+
+    #[test]
+    fn comments_are_ignored() {
+        let program = parse("# the kids policy\nallow child to operate anything;").unwrap();
+        assert_eq!(program.statements.len(), 1);
+    }
+}

@@ -1,0 +1,172 @@
+//! Pretty-printer: AST back to canonical policy text.
+//!
+//! `parse(print(program))` reproduces `program` exactly (a property
+//! test in `tests/` checks this), which makes the printer safe to use
+//! for policy editing round-trips — the usability story of §3 depends
+//! on users being able to read back what the system stored.
+
+use std::fmt::Write as _;
+
+use grbac_core::role::RoleKind;
+
+use crate::ast::{Program, RuleStmt, Stmt, TimeSpec};
+
+/// Renders a program as canonical policy text.
+#[must_use]
+pub fn print(program: &Program) -> String {
+    let mut out = String::new();
+    for stmt in &program.statements {
+        print_stmt(&mut out, stmt);
+    }
+    out
+}
+
+fn print_stmt(out: &mut String, stmt: &Stmt) {
+    match stmt {
+        Stmt::RoleDecl {
+            kind,
+            name,
+            extends,
+            binding,
+        } => {
+            let kind_word = match kind {
+                RoleKind::Subject => "subject",
+                RoleKind::Object => "object",
+                RoleKind::Environment => "environment",
+            };
+            let _ = write!(out, "{kind_word} role {name}");
+            if !extends.is_empty() {
+                let _ = write!(out, " extends {}", extends.join(", "));
+            }
+            if let Some(spec) = binding {
+                let _ = write!(out, " = {}", render_time(spec));
+            }
+            out.push_str(";\n");
+        }
+        Stmt::SubjectDecl { name, roles } => {
+            let _ = writeln!(out, "subject {name} is {};", roles.join(", "));
+        }
+        Stmt::ObjectDecl { name, roles } => {
+            let _ = writeln!(out, "object {name} is {};", roles.join(", "));
+        }
+        Stmt::TransactionDecl { name } => {
+            let _ = writeln!(out, "transaction {name};");
+        }
+        Stmt::Rule(rule) => print_rule(out, rule),
+        Stmt::SodDecl {
+            static_kind,
+            first,
+            second,
+        } => {
+            let kind = if *static_kind { "statically" } else { "dynamically" };
+            let _ = writeln!(out, "exclude {first} and {second} {kind};");
+        }
+        Stmt::DelegationDecl {
+            delegator,
+            delegable,
+            depth,
+        } => {
+            let _ = writeln!(out, "allow {delegator} to delegate {delegable} depth {depth};");
+        }
+    }
+}
+
+fn print_rule(out: &mut String, rule: &RuleStmt) {
+    if let Some(label) = &rule.label {
+        let _ = writeln!(out, "{label:?}:");
+    }
+    out.push_str(if rule.allow { "allow " } else { "deny " });
+    match &rule.subject_role {
+        Some(role) => out.push_str(role),
+        None => out.push_str("anyone"),
+    }
+    out.push_str(" to ");
+    match &rule.transaction {
+        Some(t) => out.push_str(t),
+        None => out.push_str("do anything"),
+    }
+    out.push(' ');
+    match &rule.object_role {
+        Some(role) => out.push_str(role),
+        None => out.push_str("anything"),
+    }
+    if !rule.when.is_empty() {
+        let _ = write!(out, " when {}", rule.when.join(" and "));
+    }
+    if let Some(percent) = rule.confidence_percent {
+        let _ = write!(out, " with confidence {percent}%");
+    }
+    out.push_str(";\n");
+}
+
+fn render_time(spec: &TimeSpec) -> String {
+    match spec {
+        TimeSpec::Always => "always".to_owned(),
+        TimeSpec::Never => "never".to_owned(),
+        TimeSpec::Weekdays => "weekdays".to_owned(),
+        TimeSpec::Weekend => "weekend".to_owned(),
+        TimeSpec::On(day) => format!("on {day}"),
+        TimeSpec::Between { start, end } => format!(
+            "between {:02}:{:02} and {:02}:{:02}",
+            start.0, start.1, end.0, end.1
+        ),
+        TimeSpec::All(atoms) => atoms
+            .iter()
+            .map(render_time)
+            .collect::<Vec<_>>()
+            .join(" and "),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn round_trip(source: &str) {
+        let program = parse(source).unwrap();
+        let printed = print(&program);
+        let reparsed = parse(&printed).unwrap_or_else(|e| {
+            panic!("printed policy failed to parse: {e}\n---\n{printed}")
+        });
+        assert_eq!(program, reparsed, "round trip changed the AST:\n{printed}");
+    }
+
+    #[test]
+    fn round_trips_declarations() {
+        round_trip(
+            "subject role child extends family_member;\n\
+             object role entertainment_devices;\n\
+             environment role weekdays = weekdays;\n\
+             environment role free_time = between 19:00 and 22:00;\n\
+             environment role school_night = weekdays and between 21:00 and 6:00;\n\
+             environment role m = on monday;\n\
+             transaction operate;\n\
+             subject alice is child;\n\
+             object tv is entertainment_devices;",
+        );
+    }
+
+    #[test]
+    fn round_trips_rules() {
+        round_trip(
+            "subject role child; object role tv_like; environment role e = always; transaction operate;\n\
+             \"kids tv policy\": allow child to operate tv_like when e;\n\
+             deny anyone to do anything anything;\n\
+             allow child to do anything tv_like with confidence 90%;",
+        );
+    }
+
+    #[test]
+    fn printed_form_is_stable() {
+        let program = parse("allow  anyone   to do anything  anything ;").unwrap();
+        assert_eq!(print(&program), "allow anyone to do anything anything;\n");
+    }
+
+    #[test]
+    fn labels_are_quoted() {
+        let program = parse("\"a b\": deny anyone to do anything anything;").unwrap();
+        let printed = print(&program);
+        assert!(printed.starts_with("\"a b\":\n"));
+    }
+}

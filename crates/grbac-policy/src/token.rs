@@ -1,0 +1,72 @@
+//! Tokens of the policy language.
+
+use crate::error::Position;
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What kind of token.
+    pub kind: TokenKind,
+    /// Where it starts in the source.
+    pub at: Position,
+}
+
+/// The token kinds of the policy language.
+///
+/// Keywords are ordinary identifiers promoted by the parser, so policy
+/// authors may still use words like `role` inside quoted rule labels.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// An identifier or keyword: `child`, `allow`, `weekdays`.
+    Ident(String),
+    /// A quoted rule label: `"kids tv policy"`.
+    Str(String),
+    /// A number: `90`, `87.5`.
+    Number(f64),
+    /// A clock time: `19:00`.
+    Time {
+        /// Hour, 0–23 (validated by the compiler).
+        hour: u8,
+        /// Minute, 0–59 (validated by the compiler).
+        minute: u8,
+    },
+    /// `;`
+    Semicolon,
+    /// `,`
+    Comma,
+    /// `:`
+    Colon,
+    /// `=`
+    Equals,
+    /// `%`
+    Percent,
+}
+
+impl std::fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "{s}"),
+            TokenKind::Str(s) => write!(f, "{s:?}"),
+            TokenKind::Number(n) => write!(f, "{n}"),
+            TokenKind::Time { hour, minute } => write!(f, "{hour:02}:{minute:02}"),
+            TokenKind::Semicolon => f.write_str(";"),
+            TokenKind::Comma => f.write_str(","),
+            TokenKind::Colon => f.write_str(":"),
+            TokenKind::Equals => f.write_str("="),
+            TokenKind::Percent => f.write_str("%"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(TokenKind::Ident("allow".into()).to_string(), "allow");
+        assert_eq!(TokenKind::Str("x".into()).to_string(), "\"x\"");
+        assert_eq!(TokenKind::Time { hour: 19, minute: 0 }.to_string(), "19:00");
+        assert_eq!(TokenKind::Percent.to_string(), "%");
+    }
+}

@@ -1,0 +1,205 @@
+//! The authenticator: sensor array → [`AuthContext`].
+//!
+//! This is the glue between the sensing substrate and the mediation
+//! engine: it runs every sensor over a presence, fuses the evidence per
+//! claim, and emits the [`AuthContext`] that
+//! [`Actor::Sensed`](grbac_core::engine::Actor) carries into
+//! [`Grbac::decide`](grbac_core::engine::Grbac::decide).
+
+use grbac_core::confidence::AuthContext;
+use rand::RngCore;
+
+use crate::evidence::{Claim, Evidence};
+use crate::fusion::{fuse_evidence, FusionStrategy};
+use crate::sensor::{Presence, Sensor};
+
+/// A heterogeneous sensor array with a fusion strategy.
+pub struct Authenticator {
+    sensors: Vec<Box<dyn Sensor>>,
+    strategy: FusionStrategy,
+}
+
+impl Authenticator {
+    /// Creates an empty authenticator with the given fusion strategy.
+    #[must_use]
+    pub fn new(strategy: FusionStrategy) -> Self {
+        Self {
+            sensors: Vec::new(),
+            strategy,
+        }
+    }
+
+    /// Adds a sensor to the array (builder style).
+    #[must_use]
+    pub fn with_sensor(mut self, sensor: Box<dyn Sensor>) -> Self {
+        self.sensors.push(sensor);
+        self
+    }
+
+    /// Adds a sensor to the array.
+    pub fn add_sensor(&mut self, sensor: Box<dyn Sensor>) {
+        self.sensors.push(sensor);
+    }
+
+    /// Number of sensors in the array.
+    #[must_use]
+    pub fn sensor_count(&self) -> usize {
+        self.sensors.len()
+    }
+
+    /// The fusion strategy in use.
+    #[must_use]
+    pub fn strategy(&self) -> FusionStrategy {
+        self.strategy
+    }
+
+    /// Runs every sensor over the presence and returns the raw evidence.
+    pub fn collect_evidence(&self, presence: &Presence, rng: &mut dyn RngCore) -> Vec<Evidence> {
+        let mut evidence = Vec::new();
+        for sensor in &self.sensors {
+            evidence.extend(sensor.observe(presence, rng));
+        }
+        evidence
+    }
+
+    /// Observes, fuses, and builds the authentication context.
+    pub fn authenticate(&self, presence: &Presence, rng: &mut dyn RngCore) -> AuthContext {
+        let evidence = self.collect_evidence(presence, rng);
+        self.context_from_evidence(&evidence)
+    }
+
+    /// Builds a context from pre-collected evidence (used by experiments
+    /// that sweep deterministic measurements).
+    #[must_use]
+    pub fn context_from_evidence(&self, evidence: &[Evidence]) -> AuthContext {
+        let fused = fuse_evidence(evidence, self.strategy);
+        let mut ctx = AuthContext::new();
+        for (claim, confidence) in fused {
+            match claim {
+                Claim::Identity(subject) => ctx.claim_identity(subject, confidence),
+                Claim::RoleMembership(role) => ctx.claim_role(role, confidence),
+            }
+        }
+        ctx
+    }
+}
+
+impl std::fmt::Debug for Authenticator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Authenticator")
+            .field("sensors", &self.sensors.iter().map(|s| s.name()).collect::<Vec<_>>())
+            .field("strategy", &self.strategy)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::face::FaceRecognizer;
+    use crate::floor::SmartFloor;
+    use crate::voice::VoiceRecognizer;
+    use grbac_core::confidence::Confidence;
+    use grbac_core::id::{RoleId, SubjectId};
+    use rand::SeedableRng;
+
+    fn s(n: u64) -> SubjectId {
+        SubjectId::from_raw(n)
+    }
+    fn r(n: u64) -> RoleId {
+        RoleId::from_raw(n)
+    }
+
+    fn household_authenticator() -> Authenticator {
+        let mut floor = SmartFloor::new(3.0).unwrap();
+        floor.enroll(s(0), 42.6).unwrap();
+        floor.enroll(s(1), 38.0).unwrap();
+        floor.enroll(s(2), 61.0).unwrap();
+        floor.enroll(s(3), 84.0).unwrap();
+        floor.add_role_band(r(0), 20.0, 50.0).unwrap();
+
+        let mut face = FaceRecognizer::new(0.9).unwrap();
+        let mut voice = VoiceRecognizer::new(0.7).unwrap();
+        for i in 0..4 {
+            face.enroll(s(i)).unwrap();
+            voice.enroll(s(i)).unwrap();
+        }
+
+        Authenticator::new(FusionStrategy::NoisyOr)
+            .with_sensor(Box::new(floor))
+            .with_sensor(Box::new(face))
+            .with_sensor(Box::new(voice))
+    }
+
+    #[test]
+    fn builder_and_accessors() {
+        let auth = household_authenticator();
+        assert_eq!(auth.sensor_count(), 3);
+        assert_eq!(auth.strategy(), FusionStrategy::NoisyOr);
+        let dbg = format!("{auth:?}");
+        assert!(dbg.contains("smart_floor"));
+        assert!(dbg.contains("face_recognition"));
+    }
+
+    #[test]
+    fn authenticate_produces_identity_and_role_claims() {
+        let auth = household_authenticator();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        // Alice walks up: face visible, silent.
+        let presence = Presence::walking(s(0), 42.6);
+        let ctx = auth.authenticate(&presence, &mut rng);
+        assert!(ctx.identity().is_some());
+        assert!(ctx.role_confidence(r(0)) > Confidence::ZERO);
+    }
+
+    #[test]
+    fn more_modalities_increase_identity_confidence() {
+        let auth = household_authenticator();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        // Face hidden and silent: only the floor contributes.
+        let floor_only = Presence::walking(s(3), 84.0).face_hidden();
+        // Everything available.
+        let all = Presence::walking(s(3), 84.0).speaking();
+        let mut floor_conf = 0.0f64;
+        let mut all_conf = 0.0f64;
+        for _ in 0..100 {
+            let ctx = auth.authenticate(&floor_only, &mut rng);
+            if let Some((id, c)) = ctx.identity() {
+                if id == s(3) {
+                    floor_conf += c.value();
+                }
+            }
+            let ctx = auth.authenticate(&all, &mut rng);
+            if let Some((id, c)) = ctx.identity() {
+                if id == s(3) {
+                    all_conf += c.value();
+                }
+            }
+        }
+        assert!(
+            all_conf > floor_conf,
+            "fused={all_conf:.1} floor-only={floor_conf:.1}"
+        );
+    }
+
+    #[test]
+    fn context_from_evidence_is_deterministic() {
+        use crate::evidence::Evidence;
+        let auth = Authenticator::new(FusionStrategy::NoisyOr);
+        let evidence = vec![
+            Evidence::identity("face", s(0), Confidence::new(0.9).unwrap()),
+            Evidence::role("floor", r(0), Confidence::new(0.98).unwrap()),
+        ];
+        let ctx = auth.context_from_evidence(&evidence);
+        assert_eq!(ctx.identity().unwrap().0, s(0));
+        assert_eq!(ctx.role_confidence(r(0)).value(), 0.98);
+    }
+
+    #[test]
+    fn empty_authenticator_yields_empty_context() {
+        let auth = Authenticator::new(FusionStrategy::Max);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let ctx = auth.authenticate(&Presence::walking(s(0), 50.0), &mut rng);
+        assert!(ctx.is_empty());
+    }
+}

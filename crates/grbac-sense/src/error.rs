@@ -1,0 +1,57 @@
+//! Error type for the sensing substrate.
+
+use grbac_core::id::{RoleId, SubjectId};
+
+/// Errors produced while configuring sensors and authenticators.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+#[allow(missing_docs)] // variant fields are self-describing; variants are documented
+pub enum SenseError {
+    /// A sensor parameter outside its valid range (e.g. accuracy ∉ \[0,1\]).
+    InvalidParameter { name: &'static str, value: f64 },
+    /// A subject was enrolled twice in the same sensor.
+    AlreadyEnrolled(SubjectId),
+    /// A role band overlaps an existing band for the same role.
+    DuplicateRoleBand(RoleId),
+    /// A weight band with `min >= max`.
+    InvalidBand { min_kg: f64, max_kg: f64 },
+}
+
+impl std::fmt::Display for SenseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::InvalidParameter { name, value } => {
+                write!(f, "sensor parameter {name} has invalid value {value}")
+            }
+            Self::AlreadyEnrolled(s) => write!(f, "subject {s} is already enrolled"),
+            Self::DuplicateRoleBand(r) => write!(f, "role {r} already has a weight band"),
+            Self::InvalidBand { min_kg, max_kg } => {
+                write!(f, "invalid weight band [{min_kg}, {max_kg}]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SenseError {}
+
+/// Result alias for this crate.
+pub type Result<T, E = SenseError> = std::result::Result<T, E>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = SenseError::InvalidParameter {
+            name: "accuracy",
+            value: 1.5,
+        };
+        assert!(e.to_string().contains("accuracy"));
+        let e = SenseError::InvalidBand {
+            min_kg: 50.0,
+            max_kg: 10.0,
+        };
+        assert!(e.to_string().contains("50"));
+    }
+}

@@ -1,0 +1,77 @@
+//! Authentication evidence: what a sensor believes, and how strongly.
+//!
+//! §5.2's key observation is that a sensor can make two different kinds
+//! of claims about the same observation: *"this is Alice"* (identity)
+//! and *"this is one of the children"* (role membership) — often with
+//! very different confidence. [`Claim`] captures both kinds;
+//! [`Evidence`] is one claim from one sensor.
+
+use grbac_core::confidence::Confidence;
+use grbac_core::id::{RoleId, SubjectId};
+use serde::{Deserialize, Serialize};
+
+/// What a piece of evidence asserts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Claim {
+    /// The observed person is this specific subject.
+    Identity(SubjectId),
+    /// The observed person holds this subject role.
+    RoleMembership(RoleId),
+}
+
+/// One claim from one sensor, with the sensor's confidence in it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Evidence {
+    /// Which sensor produced the evidence (diagnostic name).
+    pub sensor: String,
+    /// The claim being made.
+    pub claim: Claim,
+    /// How certain the sensor is.
+    pub confidence: Confidence,
+}
+
+impl Evidence {
+    /// Convenience constructor for an identity claim.
+    #[must_use]
+    pub fn identity(sensor: impl Into<String>, subject: SubjectId, confidence: Confidence) -> Self {
+        Self {
+            sensor: sensor.into(),
+            claim: Claim::Identity(subject),
+            confidence,
+        }
+    }
+
+    /// Convenience constructor for a role-membership claim.
+    #[must_use]
+    pub fn role(sensor: impl Into<String>, role: RoleId, confidence: Confidence) -> Self {
+        Self {
+            sensor: sensor.into(),
+            claim: Claim::RoleMembership(role),
+            confidence,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let e = Evidence::identity("floor", SubjectId::from_raw(0), Confidence::FULL);
+        assert_eq!(e.sensor, "floor");
+        assert_eq!(e.claim, Claim::Identity(SubjectId::from_raw(0)));
+
+        let e = Evidence::role("floor", RoleId::from_raw(3), Confidence::ZERO);
+        assert_eq!(e.claim, Claim::RoleMembership(RoleId::from_raw(3)));
+    }
+
+    #[test]
+    fn claims_are_hashable_keys() {
+        use std::collections::HashMap;
+        let mut m: HashMap<Claim, u32> = HashMap::new();
+        m.insert(Claim::Identity(SubjectId::from_raw(1)), 1);
+        m.insert(Claim::RoleMembership(RoleId::from_raw(1)), 2);
+        assert_eq!(m.len(), 2);
+    }
+}

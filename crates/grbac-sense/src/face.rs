@@ -1,0 +1,179 @@
+//! Face recognition (§3's "90% accurate" modality).
+//!
+//! A camera-based identifier with a configurable accuracy `a`: when a
+//! face is visible it identifies the right person with probability `a`
+//! and confuses them with another enrolled resident otherwise. Reported
+//! confidence equals the model's accuracy (a well-calibrated
+//! recognizer), optionally degraded when the face is partially turned.
+
+use grbac_core::confidence::Confidence;
+use grbac_core::id::SubjectId;
+use rand::Rng;
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Result, SenseError};
+use crate::evidence::Evidence;
+use crate::sensor::{Presence, Sensor};
+
+/// A simulated face recognizer.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FaceRecognizer {
+    name: String,
+    accuracy: f64,
+    enrolled: Vec<SubjectId>,
+}
+
+impl FaceRecognizer {
+    /// Creates a recognizer with the given accuracy in `(0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// [`SenseError::InvalidParameter`] for accuracies outside `(0, 1]`.
+    pub fn new(accuracy: f64) -> Result<Self> {
+        if !accuracy.is_finite() || accuracy <= 0.0 || accuracy > 1.0 {
+            return Err(SenseError::InvalidParameter {
+                name: "accuracy",
+                value: accuracy,
+            });
+        }
+        Ok(Self {
+            name: "face_recognition".to_owned(),
+            accuracy,
+            enrolled: Vec::new(),
+        })
+    }
+
+    /// Enrolls a resident's face.
+    ///
+    /// # Errors
+    ///
+    /// [`SenseError::AlreadyEnrolled`].
+    pub fn enroll(&mut self, subject: SubjectId) -> Result<()> {
+        if self.enrolled.contains(&subject) {
+            return Err(SenseError::AlreadyEnrolled(subject));
+        }
+        self.enrolled.push(subject);
+        Ok(())
+    }
+
+    /// The configured accuracy.
+    #[must_use]
+    pub fn accuracy(&self) -> f64 {
+        self.accuracy
+    }
+}
+
+impl Sensor for FaceRecognizer {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn observe(&self, presence: &Presence, rng: &mut dyn RngCore) -> Vec<Evidence> {
+        if !presence.face_visible || self.enrolled.is_empty() {
+            return Vec::new();
+        }
+        let correct = rng.gen::<f64>() < self.accuracy;
+        let claimed = if correct || self.enrolled.len() == 1 {
+            presence.subject
+        } else {
+            // Confuse with a uniformly random *other* enrolled resident.
+            let others: Vec<SubjectId> = self
+                .enrolled
+                .iter()
+                .copied()
+                .filter(|&s| s != presence.subject)
+                .collect();
+            others[rng.gen_range(0..others.len())]
+        };
+        vec![Evidence::identity(
+            self.name.clone(),
+            claimed,
+            Confidence::saturating(self.accuracy),
+        )]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evidence::Claim;
+    use rand::SeedableRng;
+
+    fn s(n: u64) -> SubjectId {
+        SubjectId::from_raw(n)
+    }
+
+    #[test]
+    fn validation() {
+        assert!(FaceRecognizer::new(0.0).is_err());
+        assert!(FaceRecognizer::new(1.1).is_err());
+        assert!(FaceRecognizer::new(f64::NAN).is_err());
+        assert!(FaceRecognizer::new(1.0).is_ok());
+        let mut f = FaceRecognizer::new(0.9).unwrap();
+        f.enroll(s(0)).unwrap();
+        assert!(f.enroll(s(0)).is_err());
+        assert_eq!(f.accuracy(), 0.9);
+    }
+
+    #[test]
+    fn hidden_face_yields_nothing() {
+        let mut f = FaceRecognizer::new(0.9).unwrap();
+        f.enroll(s(0)).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let p = Presence::walking(s(0), 60.0).face_hidden();
+        assert!(f.observe(&p, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn empty_enrollment_yields_nothing() {
+        let f = FaceRecognizer::new(0.9).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let p = Presence::walking(s(0), 60.0);
+        assert!(f.observe(&p, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn confidence_equals_accuracy() {
+        let mut f = FaceRecognizer::new(0.9).unwrap();
+        f.enroll(s(0)).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let p = Presence::walking(s(0), 60.0);
+        let e = f.observe(&p, &mut rng);
+        assert_eq!(e.len(), 1);
+        assert!((e[0].confidence.value() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn misidentification_rate_matches_accuracy() {
+        let mut f = FaceRecognizer::new(0.9).unwrap();
+        for i in 0..4 {
+            f.enroll(s(i)).unwrap();
+        }
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        let p = Presence::walking(s(0), 60.0);
+        let n = 5000;
+        let mut correct = 0;
+        for _ in 0..n {
+            let e = f.observe(&p, &mut rng);
+            if e[0].claim == Claim::Identity(s(0)) {
+                correct += 1;
+            }
+        }
+        let rate = f64::from(correct) / f64::from(n);
+        assert!((rate - 0.9).abs() < 0.02, "rate was {rate}");
+    }
+
+    #[test]
+    fn single_enrollee_is_always_the_match() {
+        // With one enrolled face, even a "miss" has nobody else to blame.
+        let mut f = FaceRecognizer::new(0.5).unwrap();
+        f.enroll(s(0)).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let p = Presence::walking(s(0), 60.0);
+        for _ in 0..50 {
+            let e = f.observe(&p, &mut rng);
+            assert_eq!(e[0].claim, Claim::Identity(s(0)));
+        }
+    }
+}

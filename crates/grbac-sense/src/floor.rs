@@ -1,0 +1,336 @@
+//! The Smart Floor (§5.2, after Orr et al.'s "smart carpet").
+//!
+//! The floor senses a person's weight (with Gaussian noise) and makes
+//! two kinds of claims:
+//!
+//! * **identity** — a Bayesian posterior over enrolled residents given
+//!   the measured weight (plus an "unknown person" outlier hypothesis,
+//!   which keeps confidence honestly below 1),
+//! * **role membership** — the probability that the *true* weight falls
+//!   inside a configured role band (e.g. children weigh 20–50 kg).
+//!
+//! This reproduces the paper's Alice scenario quantitatively: an
+//! 11-year-old at 94 lb (~42.6 kg) close to another resident's weight
+//! yields mediocre identity confidence, while the child band yields high
+//! role confidence.
+
+use std::collections::BTreeMap;
+
+use grbac_core::confidence::Confidence;
+use grbac_core::id::{RoleId, SubjectId};
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Result, SenseError};
+use crate::evidence::Evidence;
+use crate::sensor::{Presence, Sensor};
+use crate::stats::{gaussian_sample, normal_pdf, normal_prob_in};
+
+/// A weight band associated with a subject role.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RoleBand {
+    /// The subject role the band authenticates into.
+    pub role: RoleId,
+    /// Inclusive lower bound, kilograms.
+    pub min_kg: f64,
+    /// Inclusive upper bound, kilograms.
+    pub max_kg: f64,
+}
+
+/// The Smart Floor sensor model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SmartFloor {
+    name: String,
+    /// Measurement noise (standard deviation, kg).
+    noise_sigma: f64,
+    /// Enrolled residents and their official weights.
+    enrolled: BTreeMap<SubjectId, f64>,
+    /// Role weight bands.
+    bands: Vec<RoleBand>,
+    /// Prior likelihood weight of the "unknown person" hypothesis.
+    outlier_weight: f64,
+}
+
+impl SmartFloor {
+    /// Default measurement noise, kg.
+    pub const DEFAULT_NOISE_SIGMA: f64 = 3.0;
+
+    /// Creates a floor with the given measurement noise.
+    ///
+    /// # Errors
+    ///
+    /// [`SenseError::InvalidParameter`] for non-positive or NaN sigma.
+    pub fn new(noise_sigma: f64) -> Result<Self> {
+        if !noise_sigma.is_finite() || noise_sigma <= 0.0 {
+            return Err(SenseError::InvalidParameter {
+                name: "noise_sigma",
+                value: noise_sigma,
+            });
+        }
+        Ok(Self {
+            name: "smart_floor".to_owned(),
+            noise_sigma,
+            enrolled: BTreeMap::new(),
+            bands: Vec::new(),
+            // Uniform "unknown person" density over a ~200 kg range,
+            // comparable in scale to the Gaussian densities it competes
+            // with. Calibrated so an ambiguous measurement (Alice vs
+            // Bobby, 4.6 kg apart at σ = 3) lands near the paper's 75%.
+            outlier_weight: 0.005,
+        })
+    }
+
+    /// Enrolls a resident with their official weight.
+    ///
+    /// # Errors
+    ///
+    /// [`SenseError::AlreadyEnrolled`] or
+    /// [`SenseError::InvalidParameter`] for a non-positive weight.
+    pub fn enroll(&mut self, subject: SubjectId, weight_kg: f64) -> Result<()> {
+        if !weight_kg.is_finite() || weight_kg <= 0.0 {
+            return Err(SenseError::InvalidParameter {
+                name: "weight_kg",
+                value: weight_kg,
+            });
+        }
+        if self.enrolled.contains_key(&subject) {
+            return Err(SenseError::AlreadyEnrolled(subject));
+        }
+        self.enrolled.insert(subject, weight_kg);
+        Ok(())
+    }
+
+    /// Adds a role weight band ("children weigh 20–50 kg").
+    ///
+    /// # Errors
+    ///
+    /// [`SenseError::InvalidBand`] for empty bands,
+    /// [`SenseError::DuplicateRoleBand`] if the role already has one.
+    pub fn add_role_band(&mut self, role: RoleId, min_kg: f64, max_kg: f64) -> Result<()> {
+        if min_kg >= max_kg || !min_kg.is_finite() || !max_kg.is_finite() {
+            return Err(SenseError::InvalidBand { min_kg, max_kg });
+        }
+        if self.bands.iter().any(|b| b.role == role) {
+            return Err(SenseError::DuplicateRoleBand(role));
+        }
+        self.bands.push(RoleBand { role, min_kg, max_kg });
+        Ok(())
+    }
+
+    /// Number of enrolled residents.
+    #[must_use]
+    pub fn enrolled_count(&self) -> usize {
+        self.enrolled.len()
+    }
+
+    /// Deterministic core: the evidence produced for a given *measured*
+    /// weight. Exposed so experiments can sweep measured weights without
+    /// sampling noise.
+    #[must_use]
+    pub fn evidence_for_measurement(&self, measured_kg: f64) -> Vec<Evidence> {
+        let mut out = Vec::new();
+
+        // Identity posterior over enrolled residents + outlier hypothesis.
+        if !self.enrolled.is_empty() {
+            let outlier = self.outlier_weight;
+            let likelihoods: Vec<(SubjectId, f64)> = self
+                .enrolled
+                .iter()
+                .map(|(&s, &w)| (s, normal_pdf(measured_kg, w, self.noise_sigma)))
+                .collect();
+            let total: f64 = likelihoods.iter().map(|(_, l)| l).sum::<f64>() + outlier;
+            if total > 0.0 {
+                if let Some(&(best, best_l)) = likelihoods
+                    .iter()
+                    .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite likelihoods"))
+                {
+                    let posterior = best_l / total;
+                    out.push(Evidence::identity(
+                        self.name.clone(),
+                        best,
+                        Confidence::saturating(posterior),
+                    ));
+                }
+            }
+        }
+
+        // Role bands: probability the true weight is inside the band.
+        for band in &self.bands {
+            let p = normal_prob_in(measured_kg, self.noise_sigma, band.min_kg, band.max_kg);
+            out.push(Evidence::role(
+                self.name.clone(),
+                band.role,
+                Confidence::saturating(p),
+            ));
+        }
+        out
+    }
+}
+
+impl Sensor for SmartFloor {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn observe(&self, presence: &Presence, rng: &mut dyn RngCore) -> Vec<Evidence> {
+        let measured = gaussian_sample(rng, presence.weight_kg, self.noise_sigma);
+        self.evidence_for_measurement(measured)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evidence::Claim;
+    use rand::SeedableRng;
+
+    fn s(n: u64) -> SubjectId {
+        SubjectId::from_raw(n)
+    }
+    fn r(n: u64) -> RoleId {
+        RoleId::from_raw(n)
+    }
+
+    /// The §5.2 household: Alice (42.6 kg ≈ 94 lb), Bobby (38 kg),
+    /// Mom (61 kg), Dad (84 kg); child band 20–50 kg.
+    fn paper_floor() -> SmartFloor {
+        let mut floor = SmartFloor::new(3.0).unwrap();
+        floor.enroll(s(0), 42.6).unwrap(); // Alice
+        floor.enroll(s(1), 38.0).unwrap(); // Bobby
+        floor.enroll(s(2), 61.0).unwrap(); // Mom
+        floor.enroll(s(3), 84.0).unwrap(); // Dad
+        floor.add_role_band(r(0), 20.0, 50.0).unwrap(); // child
+        floor
+    }
+
+    #[test]
+    fn validation() {
+        assert!(SmartFloor::new(0.0).is_err());
+        assert!(SmartFloor::new(f64::NAN).is_err());
+        let mut floor = SmartFloor::new(1.0).unwrap();
+        floor.enroll(s(0), 50.0).unwrap();
+        assert!(matches!(
+            floor.enroll(s(0), 60.0),
+            Err(SenseError::AlreadyEnrolled(_))
+        ));
+        assert!(floor.enroll(s(1), -1.0).is_err());
+        floor.enroll(s(1), 60.0).unwrap();
+        floor.add_role_band(r(0), 20.0, 50.0).unwrap();
+        assert!(matches!(
+            floor.add_role_band(r(0), 0.0, 1.0),
+            Err(SenseError::DuplicateRoleBand(_))
+        ));
+        assert!(floor.add_role_band(r(1), 50.0, 20.0).is_err());
+        assert_eq!(floor.enrolled_count(), 2);
+    }
+
+    #[test]
+    fn alice_scenario_role_beats_identity() {
+        // Measuring exactly Alice's weight: Bobby (38 kg) is close, so
+        // identity confidence is well below the 90% policy bar, while
+        // the child band (20–50 kg) is nearly certain.
+        let floor = paper_floor();
+        let evidence = floor.evidence_for_measurement(42.6);
+
+        let identity = evidence
+            .iter()
+            .find(|e| matches!(e.claim, Claim::Identity(_)))
+            .expect("identity claim present");
+        assert_eq!(identity.claim, Claim::Identity(s(0)), "best match is Alice");
+        assert!(
+            identity.confidence.value() < 0.90,
+            "identity {} should miss the 90% bar",
+            identity.confidence
+        );
+        assert!(identity.confidence.value() > 0.4, "but it is not garbage");
+
+        let role = evidence
+            .iter()
+            .find(|e| e.claim == Claim::RoleMembership(r(0)))
+            .expect("role claim present");
+        assert!(
+            role.confidence.value() > 0.90,
+            "child-role confidence {} should clear the 90% bar",
+            role.confidence
+        );
+        assert!(role.confidence > identity.confidence);
+    }
+
+    #[test]
+    fn adult_weight_matches_adult_identity_not_child_band() {
+        let floor = paper_floor();
+        let evidence = floor.evidence_for_measurement(84.0);
+        let identity = evidence
+            .iter()
+            .find(|e| matches!(e.claim, Claim::Identity(_)))
+            .unwrap();
+        assert_eq!(identity.claim, Claim::Identity(s(3)), "Dad");
+        assert!(identity.confidence.value() > 0.9, "84 kg is unambiguous");
+        let role = evidence
+            .iter()
+            .find(|e| e.claim == Claim::RoleMembership(r(0)))
+            .unwrap();
+        assert!(role.confidence.value() < 0.01, "Dad is no child");
+    }
+
+    #[test]
+    fn band_boundary_measurement_is_uncertain() {
+        let floor = paper_floor();
+        let evidence = floor.evidence_for_measurement(50.0);
+        let role = evidence
+            .iter()
+            .find(|e| e.claim == Claim::RoleMembership(r(0)))
+            .unwrap();
+        // Half the noise mass lies outside the band at its edge.
+        assert!((role.confidence.value() - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn empty_floor_emits_no_identity() {
+        let mut floor = SmartFloor::new(2.0).unwrap();
+        floor.add_role_band(r(0), 20.0, 50.0).unwrap();
+        let evidence = floor.evidence_for_measurement(40.0);
+        assert!(evidence
+            .iter()
+            .all(|e| !matches!(e.claim, Claim::Identity(_))));
+        assert_eq!(evidence.len(), 1);
+    }
+
+    #[test]
+    fn observe_is_reproducible_under_seed() {
+        let floor = paper_floor();
+        let presence = Presence::walking(s(0), 42.6);
+        let mut rng1 = rand::rngs::StdRng::seed_from_u64(7);
+        let mut rng2 = rand::rngs::StdRng::seed_from_u64(7);
+        assert_eq!(
+            floor.observe(&presence, &mut rng1),
+            floor.observe(&presence, &mut rng2)
+        );
+    }
+
+    #[test]
+    fn observe_noise_shifts_measurements() {
+        // Across many observations of Alice, identity should usually be
+        // Alice, occasionally Bobby (their weights are 4.6 kg apart with
+        // σ = 3).
+        let floor = paper_floor();
+        let presence = Presence::walking(s(0), 42.6);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let mut alice = 0;
+        let mut bobby = 0;
+        for _ in 0..200 {
+            let evidence = floor.observe(&presence, &mut rng);
+            match evidence
+                .iter()
+                .find(|e| matches!(e.claim, Claim::Identity(_)))
+                .map(|e| e.claim)
+            {
+                Some(Claim::Identity(id)) if id == s(0) => alice += 1,
+                Some(Claim::Identity(id)) if id == s(1) => bobby += 1,
+                _ => {}
+            }
+        }
+        assert!(alice > bobby, "alice={alice} bobby={bobby}");
+        assert!(bobby > 0, "some confusion with Bobby is expected");
+    }
+}

@@ -1,0 +1,172 @@
+//! Combining evidence from multiple sensors into one belief.
+//!
+//! §3: *"If one type of sensor can identify a subject with a higher
+//! degree of accuracy than another, then the system should permit the
+//! definition of security policies that account for the difference."*
+//! Fusion is where multiple imperfect modalities (70% voice, 90% face,
+//! a weight posterior) become a single per-claim confidence.
+
+use std::collections::HashMap;
+
+use grbac_core::confidence::Confidence;
+use serde::{Deserialize, Serialize};
+
+use crate::evidence::{Claim, Evidence};
+
+/// How to combine several confidences for the *same* claim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FusionStrategy {
+    /// Treat the sensors as independent: `1 - Π(1 - cᵢ)`. The natural
+    /// choice when modalities fail independently; fused confidence never
+    /// drops below the best single sensor.
+    NoisyOr,
+    /// Trust only the most confident sensor.
+    Max,
+    /// Trust only the least confident sensor (paranoid: every modality
+    /// must agree strongly).
+    Min,
+    /// The arithmetic mean.
+    Average,
+}
+
+impl Default for FusionStrategy {
+    /// Defaults to [`FusionStrategy::NoisyOr`].
+    fn default() -> Self {
+        FusionStrategy::NoisyOr
+    }
+}
+
+impl std::fmt::Display for FusionStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            FusionStrategy::NoisyOr => "noisy-or",
+            FusionStrategy::Max => "max",
+            FusionStrategy::Min => "min",
+            FusionStrategy::Average => "average",
+        })
+    }
+}
+
+impl FusionStrategy {
+    /// All strategies, for sweeps.
+    pub const ALL: [FusionStrategy; 4] = [
+        FusionStrategy::NoisyOr,
+        FusionStrategy::Max,
+        FusionStrategy::Min,
+        FusionStrategy::Average,
+    ];
+
+    /// Fuses a non-empty slice of confidences (returns
+    /// [`Confidence::ZERO`] for an empty slice).
+    #[must_use]
+    pub fn fuse(&self, confidences: &[Confidence]) -> Confidence {
+        if confidences.is_empty() {
+            return Confidence::ZERO;
+        }
+        match self {
+            FusionStrategy::NoisyOr => {
+                // Seed with the first element (not ZERO) so a single
+                // input passes through bit-exactly: `1-(1-c)` differs
+                // from `c` in the last ulp.
+                let mut iter = confidences.iter();
+                let first = *iter.next().expect("checked nonempty above");
+                iter.fold(first, |acc, &c| acc.combine_independent(c))
+            }
+            FusionStrategy::Max => confidences
+                .iter()
+                .fold(Confidence::ZERO, |acc, &c| acc.max(c)),
+            FusionStrategy::Min => confidences
+                .iter()
+                .fold(Confidence::FULL, |acc, &c| acc.min(c)),
+            FusionStrategy::Average => {
+                let sum: f64 = confidences.iter().map(|c| c.value()).sum();
+                Confidence::saturating(sum / confidences.len() as f64)
+            }
+        }
+    }
+}
+
+/// Groups evidence by claim and fuses each group.
+#[must_use]
+pub fn fuse_evidence(
+    evidence: &[Evidence],
+    strategy: FusionStrategy,
+) -> HashMap<Claim, Confidence> {
+    let mut grouped: HashMap<Claim, Vec<Confidence>> = HashMap::new();
+    for e in evidence {
+        grouped.entry(e.claim).or_default().push(e.confidence);
+    }
+    grouped
+        .into_iter()
+        .map(|(claim, confidences)| (claim, strategy.fuse(&confidences)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grbac_core::id::{RoleId, SubjectId};
+
+    fn c(v: f64) -> Confidence {
+        Confidence::new(v).unwrap()
+    }
+
+    #[test]
+    fn empty_input_is_zero() {
+        for s in FusionStrategy::ALL {
+            assert_eq!(s.fuse(&[]), Confidence::ZERO, "{s}");
+        }
+    }
+
+    #[test]
+    fn single_input_is_identity() {
+        for s in FusionStrategy::ALL {
+            assert_eq!(s.fuse(&[c(0.7)]), c(0.7), "{s}");
+        }
+    }
+
+    #[test]
+    fn noisy_or_accumulates() {
+        let fused = FusionStrategy::NoisyOr.fuse(&[c(0.7), c(0.9)]);
+        assert!((fused.value() - 0.97).abs() < 1e-12);
+        // Never below the best single input.
+        assert!(fused >= c(0.9));
+    }
+
+    #[test]
+    fn max_min_average() {
+        let inputs = [c(0.7), c(0.9), c(0.5)];
+        assert_eq!(FusionStrategy::Max.fuse(&inputs), c(0.9));
+        assert_eq!(FusionStrategy::Min.fuse(&inputs), c(0.5));
+        assert!((FusionStrategy::Average.fuse(&inputs).value() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fuse_evidence_groups_by_claim() {
+        let alice = SubjectId::from_raw(0);
+        let child = RoleId::from_raw(0);
+        let evidence = vec![
+            Evidence::identity("face", alice, c(0.9)),
+            Evidence::identity("voice", alice, c(0.7)),
+            Evidence::role("floor", child, c(0.98)),
+        ];
+        let fused = fuse_evidence(&evidence, FusionStrategy::NoisyOr);
+        assert_eq!(fused.len(), 2);
+        let id = fused[&Claim::Identity(alice)];
+        assert!((id.value() - 0.97).abs() < 1e-12);
+        assert_eq!(fused[&Claim::RoleMembership(child)], c(0.98));
+    }
+
+    #[test]
+    fn conflicting_identities_stay_separate_claims() {
+        let alice = SubjectId::from_raw(0);
+        let bobby = SubjectId::from_raw(1);
+        let evidence = vec![
+            Evidence::identity("face", alice, c(0.9)),
+            Evidence::identity("floor", bobby, c(0.6)),
+        ];
+        let fused = fuse_evidence(&evidence, FusionStrategy::NoisyOr);
+        assert_eq!(fused.len(), 2, "disagreeing sensors produce two claims");
+        assert!(fused[&Claim::Identity(alice)] > fused[&Claim::Identity(bobby)]);
+    }
+}

@@ -1,0 +1,163 @@
+//! Explicit authentication: a PIN keypad.
+//!
+//! §3 concedes that sometimes implicit sensing is not enough ("access
+//! control without authentication is usually impossible"); the keypad
+//! is the deliberate, intrusive fallback — a correct PIN yields a
+//! full-confidence identity claim, a wrong PIN yields nothing. It is
+//! not a [`Sensor`](crate::sensor::Sensor) (it observes codes, not
+//! presences) but produces the same [`Evidence`] currency so its
+//! output fuses with the implicit modalities.
+
+use std::collections::HashMap;
+
+use grbac_core::confidence::Confidence;
+use grbac_core::id::SubjectId;
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Result, SenseError};
+use crate::evidence::Evidence;
+
+/// A PIN keypad with per-resident codes and lockout after repeated
+/// failures.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Keypad {
+    name: String,
+    codes: HashMap<String, SubjectId>,
+    failed_attempts: u32,
+    lockout_threshold: u32,
+}
+
+impl Keypad {
+    /// Failures allowed before the keypad locks out.
+    pub const DEFAULT_LOCKOUT: u32 = 5;
+
+    /// Creates an empty keypad.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            name: "keypad".to_owned(),
+            codes: HashMap::new(),
+            failed_attempts: 0,
+            lockout_threshold: Self::DEFAULT_LOCKOUT,
+        }
+    }
+
+    /// Registers a resident's PIN.
+    ///
+    /// # Errors
+    ///
+    /// [`SenseError::AlreadyEnrolled`] if the PIN is taken (PINs must
+    /// uniquely identify a resident).
+    pub fn enroll(&mut self, subject: SubjectId, pin: impl Into<String>) -> Result<()> {
+        let pin = pin.into();
+        if let Some(&existing) = self.codes.get(&pin) {
+            return Err(SenseError::AlreadyEnrolled(existing));
+        }
+        self.codes.insert(pin, subject);
+        Ok(())
+    }
+
+    /// True once too many wrong PINs have been entered.
+    #[must_use]
+    pub fn is_locked_out(&self) -> bool {
+        self.failed_attempts >= self.lockout_threshold
+    }
+
+    /// Consecutive failures so far.
+    #[must_use]
+    pub fn failed_attempts(&self) -> u32 {
+        self.failed_attempts
+    }
+
+    /// Resets the failure counter (an administrator action).
+    pub fn reset_lockout(&mut self) {
+        self.failed_attempts = 0;
+    }
+
+    /// Tries a PIN. A correct PIN yields one full-confidence identity
+    /// claim and resets the failure counter; a wrong PIN (or a locked
+    /// keypad) yields nothing.
+    pub fn enter_pin(&mut self, pin: &str) -> Vec<Evidence> {
+        if self.is_locked_out() {
+            return Vec::new();
+        }
+        match self.codes.get(pin) {
+            Some(&subject) => {
+                self.failed_attempts = 0;
+                vec![Evidence::identity(
+                    self.name.clone(),
+                    subject,
+                    Confidence::FULL,
+                )]
+            }
+            None => {
+                self.failed_attempts += 1;
+                Vec::new()
+            }
+        }
+    }
+}
+
+impl Default for Keypad {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evidence::Claim;
+
+    fn s(n: u64) -> SubjectId {
+        SubjectId::from_raw(n)
+    }
+
+    #[test]
+    fn correct_pin_yields_full_confidence() {
+        let mut pad = Keypad::new();
+        pad.enroll(s(0), "1234").unwrap();
+        let evidence = pad.enter_pin("1234");
+        assert_eq!(evidence.len(), 1);
+        assert_eq!(evidence[0].claim, Claim::Identity(s(0)));
+        assert_eq!(evidence[0].confidence, Confidence::FULL);
+    }
+
+    #[test]
+    fn wrong_pin_yields_nothing_and_counts() {
+        let mut pad = Keypad::new();
+        pad.enroll(s(0), "1234").unwrap();
+        assert!(pad.enter_pin("0000").is_empty());
+        assert_eq!(pad.failed_attempts(), 1);
+        // A correct entry resets the counter.
+        pad.enter_pin("1234");
+        assert_eq!(pad.failed_attempts(), 0);
+    }
+
+    #[test]
+    fn lockout_after_repeated_failures() {
+        let mut pad = Keypad::new();
+        pad.enroll(s(0), "1234").unwrap();
+        for _ in 0..Keypad::DEFAULT_LOCKOUT {
+            pad.enter_pin("9999");
+        }
+        assert!(pad.is_locked_out());
+        // Even the right PIN is ignored now.
+        assert!(pad.enter_pin("1234").is_empty());
+        pad.reset_lockout();
+        assert!(!pad.is_locked_out());
+        assert_eq!(pad.enter_pin("1234").len(), 1);
+    }
+
+    #[test]
+    fn duplicate_pins_rejected() {
+        let mut pad = Keypad::new();
+        pad.enroll(s(0), "1234").unwrap();
+        assert!(matches!(
+            pad.enroll(s(1), "1234"),
+            Err(SenseError::AlreadyEnrolled(subject)) if subject == s(0)
+        ));
+        // Different PIN for the same person is fine (a backup code).
+        assert!(pad.enroll(s(0), "5678").is_ok());
+    }
+}

@@ -1,0 +1,70 @@
+//! # grbac-sense — partial authentication for GRBAC
+//!
+//! §3 and §5.2 of the GRBAC paper hinge on *partial authentication*:
+//! sensors identify residents implicitly, each with its own accuracy
+//! (the paper's figures: face recognition 90%, voice 70%, and a Smart
+//! Floor that knows Alice at 75% but "a child" at 98%). This crate
+//! builds that sensing stack as calibrated stochastic models:
+//!
+//! * [`sensor`] — the [`sensor::Sensor`] trait and [`sensor::Presence`]
+//!   ground truth,
+//! * [`floor`] — the Smart Floor: Gaussian weight measurement, Bayesian
+//!   identity posterior, per-role weight bands,
+//! * [`face`] / [`voice`] — accuracy-calibrated recognizers,
+//! * [`fusion`] — per-claim evidence combination (noisy-or, max, min,
+//!   average),
+//! * [`authenticator`] — sensor array → [`grbac_core::AuthContext`],
+//! * [`stats`] — the Gaussian/erf helpers behind the models.
+//!
+//! The access-control engine never sees ground truth — only claims with
+//! confidences — exactly as a deployed system would.
+//!
+//! ## Example: authenticating Alice into the `child` role
+//!
+//! ```
+//! use grbac_core::id::{RoleId, SubjectId};
+//! use grbac_sense::floor::SmartFloor;
+//! use grbac_sense::fusion::FusionStrategy;
+//! use grbac_sense::authenticator::Authenticator;
+//! use grbac_sense::sensor::Presence;
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), grbac_sense::SenseError> {
+//! let alice = SubjectId::from_raw(0);
+//! let child = RoleId::from_raw(0);
+//!
+//! let mut floor = SmartFloor::new(3.0)?;
+//! floor.enroll(alice, 42.6)?; // ~94 lb
+//! floor.add_role_band(child, 20.0, 50.0)?;
+//!
+//! let auth = Authenticator::new(FusionStrategy::NoisyOr).with_sensor(Box::new(floor));
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let ctx = auth.authenticate(&Presence::walking(alice, 42.6), &mut rng);
+//! assert!(ctx.role_confidence(child).value() > 0.5);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod authenticator;
+pub mod error;
+pub mod evidence;
+pub mod face;
+pub mod floor;
+pub mod fusion;
+pub mod keypad;
+pub mod sensor;
+pub mod stats;
+pub mod voice;
+
+pub use authenticator::Authenticator;
+pub use error::SenseError;
+pub use evidence::{Claim, Evidence};
+pub use face::FaceRecognizer;
+pub use floor::SmartFloor;
+pub use fusion::FusionStrategy;
+pub use keypad::Keypad;
+pub use sensor::{Presence, Sensor};
+pub use voice::VoiceRecognizer;

@@ -1,0 +1,107 @@
+//! The sensor abstraction and the ground truth it observes.
+//!
+//! Physical sensors are replaced by stochastic models (see DESIGN.md's
+//! substitution table): each sensor observes a [`Presence`] — the
+//! simulation's ground truth about who is physically there — and emits
+//! [`Evidence`] with model-derived confidence. The access-control stack
+//! never sees the ground truth, only the evidence, exactly as in a real
+//! deployment.
+
+use grbac_core::id::SubjectId;
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+use crate::evidence::Evidence;
+
+/// Ground truth about the person a sensor is currently observing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Presence {
+    /// Who is actually there.
+    pub subject: SubjectId,
+    /// Their true body weight in kilograms (for the Smart Floor).
+    pub weight_kg: f64,
+    /// Whether their face is visible to cameras.
+    pub face_visible: bool,
+    /// Whether they spoke recently (for voice recognition).
+    pub spoke_recently: bool,
+}
+
+impl Presence {
+    /// A presence with a given weight, face visible and silent — the
+    /// common case for walking up to a device.
+    #[must_use]
+    pub fn walking(subject: SubjectId, weight_kg: f64) -> Self {
+        Self {
+            subject,
+            weight_kg,
+            face_visible: true,
+            spoke_recently: false,
+        }
+    }
+
+    /// Marks the face as hidden (builder style).
+    #[must_use]
+    pub fn face_hidden(mut self) -> Self {
+        self.face_visible = false;
+        self
+    }
+
+    /// Marks the person as having spoken (builder style).
+    #[must_use]
+    pub fn speaking(mut self) -> Self {
+        self.spoke_recently = true;
+        self
+    }
+}
+
+/// A simulated identification sensor.
+///
+/// Object-safe so an authenticator can hold a heterogeneous sensor
+/// array; randomness comes in through the `rng` parameter so runs are
+/// reproducible under a seeded generator.
+pub trait Sensor {
+    /// The sensor's diagnostic name (appears in evidence).
+    fn name(&self) -> &str;
+
+    /// Observes a presence and returns zero or more pieces of evidence.
+    fn observe(&self, presence: &Presence, rng: &mut dyn RngCore) -> Vec<Evidence>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grbac_core::confidence::Confidence;
+
+    struct NullSensor;
+
+    impl Sensor for NullSensor {
+        fn name(&self) -> &str {
+            "null"
+        }
+
+        fn observe(&self, presence: &Presence, _rng: &mut dyn RngCore) -> Vec<Evidence> {
+            vec![Evidence::identity("null", presence.subject, Confidence::ZERO)]
+        }
+    }
+
+    #[test]
+    fn presence_builders() {
+        let p = Presence::walking(SubjectId::from_raw(0), 94.0);
+        assert!(p.face_visible);
+        assert!(!p.spoke_recently);
+        let p = p.face_hidden().speaking();
+        assert!(!p.face_visible);
+        assert!(p.spoke_recently);
+    }
+
+    #[test]
+    fn sensors_are_object_safe() {
+        use rand::SeedableRng;
+        let sensors: Vec<Box<dyn Sensor>> = vec![Box::new(NullSensor)];
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let p = Presence::walking(SubjectId::from_raw(1), 70.0);
+        let evidence = sensors[0].observe(&p, &mut rng);
+        assert_eq!(evidence.len(), 1);
+        assert_eq!(sensors[0].name(), "null");
+    }
+}

@@ -1,0 +1,117 @@
+//! Small statistics helpers used by the sensor models: Gaussian
+//! sampling (Box–Muller) and the standard normal CDF
+//! (Abramowitz–Stegun 7.1.26 erf approximation, |error| < 1.5e-7).
+
+use rand::Rng;
+use rand::RngCore;
+
+/// The error function, via Abramowitz & Stegun formula 7.1.26.
+#[must_use]
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+/// The standard normal cumulative distribution function Φ.
+#[must_use]
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+/// Probability that a normal variable with the given mean and standard
+/// deviation falls inside `[lo, hi]`. Degenerate σ ≤ 0 collapses to a
+/// point mass at the mean.
+#[must_use]
+pub fn normal_prob_in(mean: f64, sigma: f64, lo: f64, hi: f64) -> f64 {
+    if hi < lo {
+        return 0.0;
+    }
+    if sigma <= 0.0 {
+        return if (lo..=hi).contains(&mean) { 1.0 } else { 0.0 };
+    }
+    normal_cdf((hi - mean) / sigma) - normal_cdf((lo - mean) / sigma)
+}
+
+/// The normal density (unnormalized use is fine for likelihood ratios).
+#[must_use]
+pub fn normal_pdf(x: f64, mean: f64, sigma: f64) -> f64 {
+    if sigma <= 0.0 {
+        return if x == mean { f64::INFINITY } else { 0.0 };
+    }
+    let z = (x - mean) / sigma;
+    (-0.5 * z * z).exp() / (sigma * (2.0 * std::f64::consts::PI).sqrt())
+}
+
+/// One sample from N(mean, sigma²) via Box–Muller.
+pub fn gaussian_sample(rng: &mut dyn RngCore, mean: f64, sigma: f64) -> f64 {
+    if sigma <= 0.0 {
+        return mean;
+    }
+    // Avoid ln(0) by nudging u1 away from zero.
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    mean + sigma * z
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn erf_known_values() {
+        assert!((erf(0.0)).abs() < 1e-7);
+        assert!((erf(1.0) - 0.842_700_79).abs() < 1e-6);
+        assert!((erf(-1.0) + 0.842_700_79).abs() < 1e-6);
+        assert!((erf(3.0) - 0.999_977_91).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cdf_symmetry_and_bounds() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-9);
+        assert!((normal_cdf(1.96) - 0.975).abs() < 1e-3);
+        assert!(normal_cdf(-8.0) < 1e-9);
+        assert!(normal_cdf(8.0) > 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn prob_in_interval() {
+        // ~68.3% within one sigma.
+        let p = normal_prob_in(0.0, 1.0, -1.0, 1.0);
+        assert!((p - 0.6827).abs() < 1e-3);
+        // Degenerate sigma.
+        assert_eq!(normal_prob_in(5.0, 0.0, 4.0, 6.0), 1.0);
+        assert_eq!(normal_prob_in(5.0, 0.0, 6.0, 7.0), 0.0);
+        // Inverted interval.
+        assert_eq!(normal_prob_in(0.0, 1.0, 1.0, -1.0), 0.0);
+    }
+
+    #[test]
+    fn pdf_peaks_at_mean() {
+        assert!(normal_pdf(0.0, 0.0, 1.0) > normal_pdf(1.0, 0.0, 1.0));
+        assert!(normal_pdf(94.0, 94.0, 2.0) > normal_pdf(80.0, 94.0, 2.0));
+    }
+
+    #[test]
+    fn gaussian_sample_statistics() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| gaussian_sample(&mut rng, 10.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean was {mean}");
+        assert!((var - 4.0).abs() < 0.2, "variance was {var}");
+    }
+
+    #[test]
+    fn degenerate_sigma_returns_mean() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        assert_eq!(gaussian_sample(&mut rng, 3.0, 0.0), 3.0);
+    }
+}

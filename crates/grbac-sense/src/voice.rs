@@ -1,0 +1,249 @@
+//! Voice recognition (§3's "70% accurate" modality).
+//!
+//! Same calibrated-accuracy model as
+//! [`FaceRecognizer`](crate::face::FaceRecognizer) but gated on the
+//! person having spoken recently, and with an extra *speaker role* hook:
+//! pitch statistics let the model place a speaker into a coarse subject
+//! role (e.g. `child`) with higher confidence than a specific identity,
+//! mirroring the Smart Floor's role bands.
+
+use grbac_core::confidence::Confidence;
+use grbac_core::id::{RoleId, SubjectId};
+use rand::Rng;
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Result, SenseError};
+use crate::evidence::Evidence;
+use crate::sensor::{Presence, Sensor};
+
+/// A simulated speaker recognizer.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VoiceRecognizer {
+    name: String,
+    accuracy: f64,
+    enrolled: Vec<SubjectId>,
+    /// Coarse role classification: `(role, subjects in it, accuracy)`.
+    role_models: Vec<RoleVoiceModel>,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct RoleVoiceModel {
+    role: RoleId,
+    members: Vec<SubjectId>,
+    accuracy: f64,
+}
+
+impl VoiceRecognizer {
+    /// Creates a recognizer with identity accuracy in `(0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// [`SenseError::InvalidParameter`].
+    pub fn new(accuracy: f64) -> Result<Self> {
+        if !accuracy.is_finite() || accuracy <= 0.0 || accuracy > 1.0 {
+            return Err(SenseError::InvalidParameter {
+                name: "accuracy",
+                value: accuracy,
+            });
+        }
+        Ok(Self {
+            name: "voice_recognition".to_owned(),
+            accuracy,
+            enrolled: Vec::new(),
+            role_models: Vec::new(),
+        })
+    }
+
+    /// Enrolls a resident's voice print.
+    ///
+    /// # Errors
+    ///
+    /// [`SenseError::AlreadyEnrolled`].
+    pub fn enroll(&mut self, subject: SubjectId) -> Result<()> {
+        if self.enrolled.contains(&subject) {
+            return Err(SenseError::AlreadyEnrolled(subject));
+        }
+        self.enrolled.push(subject);
+        Ok(())
+    }
+
+    /// Registers a coarse voice model for a role (e.g. children's voices
+    /// recognizable as "a child" with 95% accuracy).
+    ///
+    /// # Errors
+    ///
+    /// [`SenseError::InvalidParameter`] for accuracies outside `(0, 1]`,
+    /// [`SenseError::DuplicateRoleBand`] if the role already has a model.
+    pub fn add_role_model(
+        &mut self,
+        role: RoleId,
+        members: impl IntoIterator<Item = SubjectId>,
+        accuracy: f64,
+    ) -> Result<()> {
+        if !accuracy.is_finite() || accuracy <= 0.0 || accuracy > 1.0 {
+            return Err(SenseError::InvalidParameter {
+                name: "role_accuracy",
+                value: accuracy,
+            });
+        }
+        if self.role_models.iter().any(|m| m.role == role) {
+            return Err(SenseError::DuplicateRoleBand(role));
+        }
+        self.role_models.push(RoleVoiceModel {
+            role,
+            members: members.into_iter().collect(),
+            accuracy,
+        });
+        Ok(())
+    }
+
+    /// The configured identity accuracy.
+    #[must_use]
+    pub fn accuracy(&self) -> f64 {
+        self.accuracy
+    }
+}
+
+impl Sensor for VoiceRecognizer {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn observe(&self, presence: &Presence, rng: &mut dyn RngCore) -> Vec<Evidence> {
+        if !presence.spoke_recently {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        if !self.enrolled.is_empty() {
+            let correct = rng.gen::<f64>() < self.accuracy;
+            let claimed = if correct || self.enrolled.len() == 1 {
+                presence.subject
+            } else {
+                let others: Vec<SubjectId> = self
+                    .enrolled
+                    .iter()
+                    .copied()
+                    .filter(|&s| s != presence.subject)
+                    .collect();
+                others[rng.gen_range(0..others.len())]
+            };
+            out.push(Evidence::identity(
+                self.name.clone(),
+                claimed,
+                Confidence::saturating(self.accuracy),
+            ));
+        }
+        for model in &self.role_models {
+            if model.members.contains(&presence.subject) {
+                // The speaker genuinely belongs to the role: the coarse
+                // classifier fires with its accuracy as confidence.
+                out.push(Evidence::role(
+                    self.name.clone(),
+                    model.role,
+                    Confidence::saturating(model.accuracy),
+                ));
+            } else if rng.gen::<f64>() > model.accuracy {
+                // False positive on a non-member.
+                out.push(Evidence::role(
+                    self.name.clone(),
+                    model.role,
+                    Confidence::saturating(model.accuracy),
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evidence::Claim;
+    use rand::SeedableRng;
+
+    fn s(n: u64) -> SubjectId {
+        SubjectId::from_raw(n)
+    }
+    fn r(n: u64) -> RoleId {
+        RoleId::from_raw(n)
+    }
+
+    #[test]
+    fn validation() {
+        assert!(VoiceRecognizer::new(0.0).is_err());
+        assert!(VoiceRecognizer::new(2.0).is_err());
+        let mut v = VoiceRecognizer::new(0.7).unwrap();
+        assert_eq!(v.accuracy(), 0.7);
+        v.enroll(s(0)).unwrap();
+        assert!(v.enroll(s(0)).is_err());
+        v.add_role_model(r(0), [s(0)], 0.95).unwrap();
+        assert!(v.add_role_model(r(0), [s(0)], 0.9).is_err());
+        assert!(v.add_role_model(r(1), [s(0)], 0.0).is_err());
+    }
+
+    #[test]
+    fn silence_yields_nothing() {
+        let mut v = VoiceRecognizer::new(0.7).unwrap();
+        v.enroll(s(0)).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let p = Presence::walking(s(0), 60.0);
+        assert!(v.observe(&p, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn identity_confidence_is_seventy_percent() {
+        let mut v = VoiceRecognizer::new(0.7).unwrap();
+        v.enroll(s(0)).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let p = Presence::walking(s(0), 60.0).speaking();
+        let e = v.observe(&p, &mut rng);
+        assert_eq!(e.len(), 1);
+        assert!((e[0].confidence.value() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn role_model_fires_for_members() {
+        let mut v = VoiceRecognizer::new(0.7).unwrap();
+        v.add_role_model(r(0), [s(0), s(1)], 0.95).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let p = Presence::walking(s(0), 40.0).speaking();
+        let e = v.observe(&p, &mut rng);
+        assert_eq!(e.len(), 1);
+        assert_eq!(e[0].claim, Claim::RoleMembership(r(0)));
+        assert!((e[0].confidence.value() - 0.95).abs() < 1e-12);
+    }
+
+    #[test]
+    fn role_model_rarely_fires_for_non_members() {
+        let mut v = VoiceRecognizer::new(0.7).unwrap();
+        v.add_role_model(r(0), [s(1)], 0.95).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let p = Presence::walking(s(0), 80.0).speaking();
+        let fires = (0..2000)
+            .filter(|_| !v.observe(&p, &mut rng).is_empty())
+            .count();
+        let rate = fires as f64 / 2000.0;
+        assert!((rate - 0.05).abs() < 0.02, "false-positive rate {rate}");
+    }
+
+    #[test]
+    fn misidentification_rate_matches_accuracy() {
+        let mut v = VoiceRecognizer::new(0.7).unwrap();
+        for i in 0..3 {
+            v.enroll(s(i)).unwrap();
+        }
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        let p = Presence::walking(s(0), 60.0).speaking();
+        let n = 5000;
+        let correct = (0..n)
+            .filter(|_| {
+                v.observe(&p, &mut rng)
+                    .iter()
+                    .any(|e| e.claim == Claim::Identity(s(0)))
+            })
+            .count();
+        let rate = correct as f64 / f64::from(n);
+        assert!((rate - 0.7).abs() < 0.02, "rate was {rate}");
+    }
+}

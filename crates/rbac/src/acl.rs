@@ -1,0 +1,157 @@
+//! A plain access-control-list baseline.
+//!
+//! The most primitive comparator for the expressiveness experiments
+//! (E3): one entry per `(subject, object, operation)` triple, no roles,
+//! no environment. Demonstrates how policy size explodes without role
+//! indirection — the paper's core usability argument.
+
+use std::collections::{BTreeSet, HashMap};
+
+use serde::{Deserialize, Serialize};
+
+/// One positive ACL entry.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct AclEntry {
+    /// The subject's name.
+    pub subject: String,
+    /// The object's name.
+    pub object: String,
+    /// The operation's name.
+    pub operation: String,
+}
+
+/// A flat access-control list over string-named entities.
+///
+/// # Examples
+///
+/// ```
+/// use rbac::acl::Acl;
+///
+/// let mut acl = Acl::new();
+/// acl.grant("alice", "tv", "use");
+/// assert!(acl.is_allowed("alice", "tv", "use"));
+/// assert!(!acl.is_allowed("bobby", "tv", "use"));
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Acl {
+    entries: BTreeSet<AclEntry>,
+    by_subject: HashMap<String, usize>,
+}
+
+impl Acl {
+    /// Creates an empty list.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Grants `operation` on `object` to `subject`. Returns true if the
+    /// entry is new.
+    pub fn grant(
+        &mut self,
+        subject: impl Into<String>,
+        object: impl Into<String>,
+        operation: impl Into<String>,
+    ) -> bool {
+        let entry = AclEntry {
+            subject: subject.into(),
+            object: object.into(),
+            operation: operation.into(),
+        };
+        let subject_key = entry.subject.clone();
+        let added = self.entries.insert(entry);
+        if added {
+            *self.by_subject.entry(subject_key).or_insert(0) += 1;
+        }
+        added
+    }
+
+    /// Revokes an entry. Returns true if it existed.
+    pub fn revoke(&mut self, subject: &str, object: &str, operation: &str) -> bool {
+        let entry = AclEntry {
+            subject: subject.to_owned(),
+            object: object.to_owned(),
+            operation: operation.to_owned(),
+        };
+        let removed = self.entries.remove(&entry);
+        if removed {
+            if let Some(n) = self.by_subject.get_mut(subject) {
+                *n -= 1;
+            }
+        }
+        removed
+    }
+
+    /// True if the exact triple is granted.
+    #[must_use]
+    pub fn is_allowed(&self, subject: &str, object: &str, operation: &str) -> bool {
+        self.entries.contains(&AclEntry {
+            subject: subject.to_owned(),
+            object: object.to_owned(),
+            operation: operation.to_owned(),
+        })
+    }
+
+    /// Total number of entries — the "policy size" metric for E3.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the list is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of entries naming `subject`.
+    #[must_use]
+    pub fn entries_for(&self, subject: &str) -> usize {
+        self.by_subject.get(subject).copied().unwrap_or(0)
+    }
+
+    /// Iterates over entries in sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = &AclEntry> {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grant_and_check() {
+        let mut acl = Acl::new();
+        assert!(acl.grant("alice", "tv", "use"));
+        assert!(!acl.grant("alice", "tv", "use"), "duplicate ignored");
+        assert!(acl.is_allowed("alice", "tv", "use"));
+        assert!(!acl.is_allowed("alice", "tv", "repair"));
+        assert!(!acl.is_allowed("alice", "vcr", "use"));
+        assert_eq!(acl.len(), 1);
+        assert_eq!(acl.entries_for("alice"), 1);
+    }
+
+    #[test]
+    fn revoke() {
+        let mut acl = Acl::new();
+        acl.grant("alice", "tv", "use");
+        assert!(acl.revoke("alice", "tv", "use"));
+        assert!(!acl.revoke("alice", "tv", "use"));
+        assert!(acl.is_empty());
+        assert_eq!(acl.entries_for("alice"), 0);
+    }
+
+    #[test]
+    fn policy_size_scales_with_cross_product() {
+        // 3 children × 4 devices × 1 op = 12 entries; GRBAC needs 1 rule.
+        let mut acl = Acl::new();
+        for kid in ["alice", "bobby", "carol"] {
+            for dev in ["tv", "vcr", "stereo", "game_console"] {
+                acl.grant(kid, dev, "use");
+            }
+        }
+        assert_eq!(acl.len(), 12);
+        assert_eq!(acl.iter().count(), 12);
+    }
+}

@@ -1,0 +1,559 @@
+//! The traditional RBAC reference monitor — Figure 1, verbatim.
+//!
+//! ```text
+//! exec(s, t) = true iff ∃ role r : r ∈ R(s), t ∈ T(r)
+//! ```
+//!
+//! plus the §4.1.2 extensions: role hierarchies (inheritance expands
+//! `R(s)` and `T(r)`), sessions with role activation, and static/dynamic
+//! separation of duty.
+
+use std::collections::{BTreeSet, HashMap};
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{RbacError, Result};
+use crate::hierarchy::Hierarchy;
+use crate::model::{RoleId, SessionId, SubjectId, TransactionId};
+use crate::sod::{SodConstraint, SodKind, SodPolicy};
+
+/// A complete traditional-RBAC system: catalogs, `R(s)`, `T(r)` and the
+/// `exec` mediation rule.
+///
+/// # Examples
+///
+/// ```
+/// use rbac::Rbac;
+///
+/// # fn main() -> Result<(), rbac::RbacError> {
+/// let mut bank = Rbac::new();
+/// let teller = bank.declare_role("teller")?;
+/// let deposit = bank.declare_transaction("execute_deposit")?;
+/// bank.authorize_transaction(teller, deposit)?;
+///
+/// let pat = bank.declare_subject("pat")?;
+/// bank.assign_role(pat, teller)?;
+/// assert!(bank.exec(pat, deposit)?);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Rbac {
+    subject_names: HashMap<String, SubjectId>,
+    subjects: Vec<String>,
+    role_names: HashMap<String, RoleId>,
+    roles: Vec<String>,
+    transaction_names: HashMap<String, TransactionId>,
+    transactions: Vec<String>,
+    /// `R(s)`: the authorized role set for each subject (direct only).
+    authorized_roles: HashMap<SubjectId, BTreeSet<RoleId>>,
+    /// `T(r)`: the authorized transaction set for each role (direct only).
+    authorized_transactions: HashMap<RoleId, BTreeSet<TransactionId>>,
+    hierarchy: Hierarchy,
+    sod: SodPolicy,
+    sessions: HashMap<SessionId, SessionState>,
+    next_session: u64,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct SessionState {
+    subject: SubjectId,
+    active: BTreeSet<RoleId>,
+}
+
+impl Rbac {
+    /// Creates an empty system.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    // ------------------------------------------------------------------
+    // Declarations
+    // ------------------------------------------------------------------
+
+    /// Declares a subject.
+    ///
+    /// # Errors
+    ///
+    /// [`RbacError::DuplicateName`] on repeated names.
+    pub fn declare_subject(&mut self, name: impl Into<String>) -> Result<SubjectId> {
+        let name = name.into();
+        if self.subject_names.contains_key(&name) {
+            return Err(RbacError::DuplicateName {
+                kind: "subject",
+                name,
+            });
+        }
+        let id = SubjectId::from_raw(self.subjects.len() as u64);
+        self.subject_names.insert(name.clone(), id);
+        self.subjects.push(name);
+        Ok(id)
+    }
+
+    /// Declares a role.
+    ///
+    /// # Errors
+    ///
+    /// [`RbacError::DuplicateName`] on repeated names.
+    pub fn declare_role(&mut self, name: impl Into<String>) -> Result<RoleId> {
+        let name = name.into();
+        if self.role_names.contains_key(&name) {
+            return Err(RbacError::DuplicateName { kind: "role", name });
+        }
+        let id = RoleId::from_raw(self.roles.len() as u64);
+        self.role_names.insert(name.clone(), id);
+        self.roles.push(name);
+        Ok(id)
+    }
+
+    /// Declares a transaction.
+    ///
+    /// # Errors
+    ///
+    /// [`RbacError::DuplicateName`] on repeated names.
+    pub fn declare_transaction(&mut self, name: impl Into<String>) -> Result<TransactionId> {
+        let name = name.into();
+        if self.transaction_names.contains_key(&name) {
+            return Err(RbacError::DuplicateName {
+                kind: "transaction",
+                name,
+            });
+        }
+        let id = TransactionId::from_raw(self.transactions.len() as u64);
+        self.transaction_names.insert(name.clone(), id);
+        self.transactions.push(name);
+        Ok(id)
+    }
+
+    fn check_subject(&self, id: SubjectId) -> Result<()> {
+        if (id.as_raw() as usize) < self.subjects.len() {
+            Ok(())
+        } else {
+            Err(RbacError::UnknownSubject(id))
+        }
+    }
+
+    fn check_role(&self, id: RoleId) -> Result<()> {
+        if (id.as_raw() as usize) < self.roles.len() {
+            Ok(())
+        } else {
+            Err(RbacError::UnknownRole(id))
+        }
+    }
+
+    fn check_transaction(&self, id: TransactionId) -> Result<()> {
+        if (id.as_raw() as usize) < self.transactions.len() {
+            Ok(())
+        } else {
+            Err(RbacError::UnknownTransaction(id))
+        }
+    }
+
+    /// Subject name lookup.
+    #[must_use]
+    pub fn subject_name(&self, id: SubjectId) -> Option<&str> {
+        self.subjects.get(id.as_raw() as usize).map(String::as_str)
+    }
+
+    /// Role name lookup.
+    #[must_use]
+    pub fn role_name(&self, id: RoleId) -> Option<&str> {
+        self.roles.get(id.as_raw() as usize).map(String::as_str)
+    }
+
+    /// Number of declared roles.
+    #[must_use]
+    pub fn role_count(&self) -> usize {
+        self.roles.len()
+    }
+
+    /// Number of declared subjects.
+    #[must_use]
+    pub fn subject_count(&self) -> usize {
+        self.subjects.len()
+    }
+
+    /// Number of declared transactions.
+    #[must_use]
+    pub fn transaction_count(&self) -> usize {
+        self.transactions.len()
+    }
+
+    /// Number of `(role, transaction)` authorization pairs (direct).
+    #[must_use]
+    pub fn authorization_count(&self) -> usize {
+        self.authorized_transactions.values().map(BTreeSet::len).sum()
+    }
+
+    // ------------------------------------------------------------------
+    // R(s) and T(r)
+    // ------------------------------------------------------------------
+
+    /// Adds `role` to `R(subject)`, enforcing static SoD over the
+    /// hierarchy-expanded result.
+    ///
+    /// # Errors
+    ///
+    /// Unknown ids or [`RbacError::SodViolation`].
+    pub fn assign_role(&mut self, subject: SubjectId, role: RoleId) -> Result<()> {
+        self.check_subject(subject)?;
+        self.check_role(role)?;
+        let held = self
+            .hierarchy
+            .expand(self.authorized_roles.get(&subject).into_iter().flatten());
+        for candidate in self.hierarchy.closure(role) {
+            self.sod.check(SodKind::Static, &held, candidate)?;
+        }
+        self.authorized_roles.entry(subject).or_default().insert(role);
+        Ok(())
+    }
+
+    /// Removes `role` from `R(subject)`.
+    ///
+    /// # Errors
+    ///
+    /// Unknown ids.
+    pub fn revoke_role(&mut self, subject: SubjectId, role: RoleId) -> Result<()> {
+        self.check_subject(subject)?;
+        self.check_role(role)?;
+        if let Some(set) = self.authorized_roles.get_mut(&subject) {
+            set.remove(&role);
+        }
+        Ok(())
+    }
+
+    /// Adds `transaction` to `T(role)`.
+    ///
+    /// # Errors
+    ///
+    /// Unknown ids.
+    pub fn authorize_transaction(&mut self, role: RoleId, transaction: TransactionId) -> Result<()> {
+        self.check_role(role)?;
+        self.check_transaction(transaction)?;
+        self.authorized_transactions
+            .entry(role)
+            .or_default()
+            .insert(transaction);
+        Ok(())
+    }
+
+    /// `R(s)`: the hierarchy-expanded authorized role set.
+    ///
+    /// # Errors
+    ///
+    /// [`RbacError::UnknownSubject`].
+    pub fn authorized_roles(&self, subject: SubjectId) -> Result<BTreeSet<RoleId>> {
+        self.check_subject(subject)?;
+        Ok(self
+            .hierarchy
+            .expand(self.authorized_roles.get(&subject).into_iter().flatten()))
+    }
+
+    /// `T(r)`: the transaction set, including transactions inherited from
+    /// senior roles.
+    ///
+    /// # Errors
+    ///
+    /// [`RbacError::UnknownRole`].
+    pub fn authorized_transactions(&self, role: RoleId) -> Result<BTreeSet<TransactionId>> {
+        self.check_role(role)?;
+        let mut out = BTreeSet::new();
+        for r in self.hierarchy.closure(role) {
+            out.extend(self.authorized_transactions.get(&r).into_iter().flatten());
+        }
+        Ok(out)
+    }
+
+    // ------------------------------------------------------------------
+    // Hierarchy and SoD
+    // ------------------------------------------------------------------
+
+    /// Records that `junior` inherits the authorizations of `senior`.
+    ///
+    /// # Errors
+    ///
+    /// Unknown ids or [`RbacError::HierarchyCycle`].
+    pub fn add_inheritance(&mut self, junior: RoleId, senior: RoleId) -> Result<()> {
+        self.check_role(junior)?;
+        self.check_role(senior)?;
+        self.hierarchy.add_inheritance(junior, senior)
+    }
+
+    /// Registers a separation-of-duty constraint.
+    pub fn add_sod_constraint(&mut self, constraint: SodConstraint) {
+        self.sod.add(constraint);
+    }
+
+    // ------------------------------------------------------------------
+    // Sessions (role activation)
+    // ------------------------------------------------------------------
+
+    /// Opens a session with an empty active role set.
+    ///
+    /// # Errors
+    ///
+    /// [`RbacError::UnknownSubject`].
+    pub fn open_session(&mut self, subject: SubjectId) -> Result<SessionId> {
+        self.check_subject(subject)?;
+        let id = SessionId::from_raw(self.next_session);
+        self.next_session += 1;
+        self.sessions.insert(
+            id,
+            SessionState {
+                subject,
+                active: BTreeSet::new(),
+            },
+        );
+        Ok(id)
+    }
+
+    /// Activates a role in a session: it must be in the subject's
+    /// expanded `R(s)` and pass dynamic SoD.
+    ///
+    /// # Errors
+    ///
+    /// Unknown session, [`RbacError::RoleNotAuthorized`] or
+    /// [`RbacError::SodViolation`].
+    pub fn activate_role(&mut self, session: SessionId, role: RoleId) -> Result<()> {
+        self.check_role(role)?;
+        let state = self
+            .sessions
+            .get(&session)
+            .ok_or(RbacError::UnknownSession(session))?;
+        let subject = state.subject;
+        let authorized = self.authorized_roles(subject)?;
+        if !authorized.contains(&role) {
+            return Err(RbacError::RoleNotAuthorized { subject, role });
+        }
+        let active = self.hierarchy.expand(&state.active);
+        for candidate in self.hierarchy.closure(role) {
+            self.sod.check(SodKind::Dynamic, &active, candidate)?;
+        }
+        self.sessions
+            .get_mut(&session)
+            .expect("checked above")
+            .active
+            .insert(role);
+        Ok(())
+    }
+
+    /// Deactivates a role (no-op if inactive).
+    ///
+    /// # Errors
+    ///
+    /// [`RbacError::UnknownSession`].
+    pub fn deactivate_role(&mut self, session: SessionId, role: RoleId) -> Result<()> {
+        self.sessions
+            .get_mut(&session)
+            .ok_or(RbacError::UnknownSession(session))?
+            .active
+            .remove(&role);
+        Ok(())
+    }
+
+    /// Closes a session.
+    ///
+    /// # Errors
+    ///
+    /// [`RbacError::UnknownSession`].
+    pub fn close_session(&mut self, session: SessionId) -> Result<()> {
+        self.sessions
+            .remove(&session)
+            .map(|_| ())
+            .ok_or(RbacError::UnknownSession(session))
+    }
+
+    // ------------------------------------------------------------------
+    // Mediation — Figure 1
+    // ------------------------------------------------------------------
+
+    /// `exec(s, t)`: true iff some role in `R(s)` authorizes `t`.
+    ///
+    /// # Errors
+    ///
+    /// Unknown subject or transaction.
+    pub fn exec(&self, subject: SubjectId, transaction: TransactionId) -> Result<bool> {
+        self.check_transaction(transaction)?;
+        let roles = self.authorized_roles(subject)?;
+        Ok(self.roles_authorize(&roles, transaction))
+    }
+
+    /// Session-scoped mediation: only *active* roles count.
+    ///
+    /// # Errors
+    ///
+    /// Unknown session or transaction.
+    pub fn exec_in_session(
+        &self,
+        session: SessionId,
+        transaction: TransactionId,
+    ) -> Result<bool> {
+        self.check_transaction(transaction)?;
+        let state = self
+            .sessions
+            .get(&session)
+            .ok_or(RbacError::UnknownSession(session))?;
+        let roles = self.hierarchy.expand(&state.active);
+        Ok(self.roles_authorize(&roles, transaction))
+    }
+
+    fn roles_authorize(&self, roles: &BTreeSet<RoleId>, transaction: TransactionId) -> bool {
+        roles.iter().any(|r| {
+            self.authorized_transactions
+                .get(r)
+                .is_some_and(|ts| ts.contains(&transaction))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bank() -> (Rbac, SubjectId, RoleId, RoleId, TransactionId, TransactionId) {
+        let mut b = Rbac::new();
+        let teller = b.declare_role("teller").unwrap();
+        let holder = b.declare_role("account_holder").unwrap();
+        let deposit = b.declare_transaction("execute_deposit").unwrap();
+        let authorize = b.declare_transaction("authorize_deposit").unwrap();
+        b.authorize_transaction(teller, deposit).unwrap();
+        b.authorize_transaction(holder, authorize).unwrap();
+        let pat = b.declare_subject("pat").unwrap();
+        (b, pat, teller, holder, deposit, authorize)
+    }
+
+    #[test]
+    fn figure1_exec_rule() {
+        let (mut b, pat, teller, _holder, deposit, authorize) = bank();
+        assert!(!b.exec(pat, deposit).unwrap(), "no role yet");
+        b.assign_role(pat, teller).unwrap();
+        assert!(b.exec(pat, deposit).unwrap());
+        assert!(!b.exec(pat, authorize).unwrap());
+    }
+
+    #[test]
+    fn revoke_removes_authorization() {
+        let (mut b, pat, teller, _h, deposit, _a) = bank();
+        b.assign_role(pat, teller).unwrap();
+        b.revoke_role(pat, teller).unwrap();
+        assert!(!b.exec(pat, deposit).unwrap());
+    }
+
+    #[test]
+    fn hierarchy_inherits_transactions() {
+        let mut b = Rbac::new();
+        let manager = b.declare_role("manager").unwrap();
+        let dept = b.declare_role("department_manager").unwrap();
+        b.add_inheritance(dept, manager).unwrap();
+        let sign = b.declare_transaction("sign_form").unwrap();
+        b.authorize_transaction(manager, sign).unwrap();
+        let sue = b.declare_subject("sue").unwrap();
+        b.assign_role(sue, dept).unwrap();
+        assert!(b.exec(sue, sign).unwrap());
+        assert!(b.authorized_transactions(dept).unwrap().contains(&sign));
+        assert!(b.authorized_roles(sue).unwrap().contains(&manager));
+    }
+
+    #[test]
+    fn static_sod_blocks_assignment() {
+        let (mut b, pat, teller, holder, _d, _a) = bank();
+        b.add_sod_constraint(
+            SodConstraint::mutual_exclusion("tvh", SodKind::Static, teller, holder).unwrap(),
+        );
+        b.assign_role(pat, teller).unwrap();
+        assert!(matches!(
+            b.assign_role(pat, holder),
+            Err(RbacError::SodViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn dynamic_sod_blocks_coactivation_but_allows_separate_sessions() {
+        let (mut b, pat, teller, holder, deposit, authorize) = bank();
+        b.add_sod_constraint(
+            SodConstraint::mutual_exclusion("tvh", SodKind::Dynamic, teller, holder).unwrap(),
+        );
+        b.assign_role(pat, teller).unwrap();
+        b.assign_role(pat, holder).unwrap();
+
+        let work = b.open_session(pat).unwrap();
+        b.activate_role(work, teller).unwrap();
+        assert!(matches!(
+            b.activate_role(work, holder),
+            Err(RbacError::SodViolation { .. })
+        ));
+        assert!(b.exec_in_session(work, deposit).unwrap());
+        assert!(!b.exec_in_session(work, authorize).unwrap());
+
+        // A different interval (session): acting as account holder is fine.
+        let personal = b.open_session(pat).unwrap();
+        b.activate_role(personal, holder).unwrap();
+        assert!(b.exec_in_session(personal, authorize).unwrap());
+    }
+
+    #[test]
+    fn activation_requires_authorized_role() {
+        let (mut b, pat, teller, _h, _d, _a) = bank();
+        let session = b.open_session(pat).unwrap();
+        assert!(matches!(
+            b.activate_role(session, teller),
+            Err(RbacError::RoleNotAuthorized { .. })
+        ));
+    }
+
+    #[test]
+    fn deactivation_revokes_session_rights() {
+        let (mut b, pat, teller, _h, deposit, _a) = bank();
+        b.assign_role(pat, teller).unwrap();
+        let session = b.open_session(pat).unwrap();
+        b.activate_role(session, teller).unwrap();
+        assert!(b.exec_in_session(session, deposit).unwrap());
+        b.deactivate_role(session, teller).unwrap();
+        assert!(!b.exec_in_session(session, deposit).unwrap());
+    }
+
+    #[test]
+    fn closed_sessions_reject_mediation() {
+        let (mut b, pat, _t, _h, deposit, _a) = bank();
+        let session = b.open_session(pat).unwrap();
+        b.close_session(session).unwrap();
+        assert!(matches!(
+            b.exec_in_session(session, deposit),
+            Err(RbacError::UnknownSession(_))
+        ));
+        assert!(b.close_session(session).is_err());
+    }
+
+    #[test]
+    fn unknown_ids_rejected_everywhere() {
+        let (b, _pat, _t, _h, _d, _a) = bank();
+        let ghost = SubjectId::from_raw(99);
+        assert!(b.exec(ghost, TransactionId::from_raw(0)).is_err());
+        assert!(b
+            .exec(SubjectId::from_raw(0), TransactionId::from_raw(99))
+            .is_err());
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut b = Rbac::new();
+        b.declare_role("x").unwrap();
+        assert!(b.declare_role("x").is_err());
+        b.declare_subject("x").unwrap();
+        assert!(b.declare_subject("x").is_err());
+        b.declare_transaction("x").unwrap();
+        assert!(b.declare_transaction("x").is_err());
+    }
+
+    #[test]
+    fn counts_track_declarations() {
+        let (b, ..) = bank();
+        assert_eq!(b.subject_count(), 1);
+        assert_eq!(b.role_count(), 2);
+        assert_eq!(b.transaction_count(), 2);
+        assert_eq!(b.authorization_count(), 2);
+        assert_eq!(b.subject_name(SubjectId::from_raw(0)), Some("pat"));
+        assert_eq!(b.role_name(RoleId::from_raw(0)), Some("teller"));
+    }
+}

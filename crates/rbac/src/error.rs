@@ -1,0 +1,76 @@
+//! Error type for the traditional-RBAC baseline.
+
+use crate::model::{RoleId, SessionId, SubjectId, TransactionId};
+
+/// Errors produced by the RBAC catalogs and mediation functions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+#[allow(missing_docs)] // variant fields are self-describing; variants are documented
+pub enum RbacError {
+    /// A subject id was used that was never issued.
+    UnknownSubject(SubjectId),
+    /// A role id was used that was never issued.
+    UnknownRole(RoleId),
+    /// A transaction id was used that was never issued.
+    UnknownTransaction(TransactionId),
+    /// A session id was used that is not open.
+    UnknownSession(SessionId),
+    /// A name was declared twice within a namespace.
+    DuplicateName { kind: &'static str, name: String },
+    /// A hierarchy edge would create a cycle.
+    HierarchyCycle { from: RoleId, to: RoleId },
+    /// An assignment or activation violates separation of duty.
+    SodViolation { constraint: String, role: RoleId },
+    /// A subject tried to activate a role it is not authorized for.
+    RoleNotAuthorized { subject: SubjectId, role: RoleId },
+    /// A separation-of-duty constraint has an impossible cardinality.
+    InvalidSodCardinality { constraint: String, max: usize, set: usize },
+}
+
+impl std::fmt::Display for RbacError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::UnknownSubject(id) => write!(f, "unknown subject {id}"),
+            Self::UnknownRole(id) => write!(f, "unknown role {id}"),
+            Self::UnknownTransaction(id) => write!(f, "unknown transaction {id}"),
+            Self::UnknownSession(id) => write!(f, "unknown session {id}"),
+            Self::DuplicateName { kind, name } => write!(f, "duplicate {kind} name {name:?}"),
+            Self::HierarchyCycle { from, to } => {
+                write!(f, "edge {from} -> {to} would create a cycle")
+            }
+            Self::SodViolation { constraint, role } => write!(
+                f,
+                "separation-of-duty constraint {constraint:?} forbids role {role}"
+            ),
+            Self::RoleNotAuthorized { subject, role } => {
+                write!(f, "subject {subject} is not authorized for role {role}")
+            }
+            Self::InvalidSodCardinality { constraint, max, set } => write!(
+                f,
+                "constraint {constraint:?} allows {max} of a {set}-role set"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RbacError {}
+
+/// Result alias for this crate.
+pub type Result<T, E = RbacError> = std::result::Result<T, E>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = RbacError::UnknownRole(RoleId::from_raw(2));
+        assert_eq!(e.to_string(), "unknown role r2");
+    }
+
+    #[test]
+    fn implements_error_trait() {
+        fn takes_error<E: std::error::Error>(_: E) {}
+        takes_error(RbacError::UnknownSubject(SubjectId::from_raw(0)));
+    }
+}

@@ -1,0 +1,145 @@
+//! Role hierarchies for traditional RBAC (§4.1.2).
+//!
+//! An edge `junior → senior` (e.g. `department_manager → manager`) means
+//! the junior role inherits every authorization of the senior role: in
+//! Figure 1 terms, `T(junior) ⊇ T(senior)` after expansion.
+
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{RbacError, Result};
+use crate::model::RoleId;
+
+/// A DAG of inheritance edges over RBAC roles.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Hierarchy {
+    parents: HashMap<RoleId, BTreeSet<RoleId>>,
+    children: HashMap<RoleId, BTreeSet<RoleId>>,
+}
+
+impl Hierarchy {
+    /// Creates an empty hierarchy.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an inheritance edge: `junior` inherits from `senior`.
+    ///
+    /// # Errors
+    ///
+    /// [`RbacError::HierarchyCycle`] on self-edges or cycles.
+    pub fn add_inheritance(&mut self, junior: RoleId, senior: RoleId) -> Result<()> {
+        if junior == senior || self.inherits_from(senior, junior) {
+            return Err(RbacError::HierarchyCycle {
+                from: junior,
+                to: senior,
+            });
+        }
+        self.parents.entry(junior).or_default().insert(senior);
+        self.children.entry(senior).or_default().insert(junior);
+        Ok(())
+    }
+
+    /// True if `junior` equals `senior` or transitively inherits from it.
+    #[must_use]
+    pub fn inherits_from(&self, junior: RoleId, senior: RoleId) -> bool {
+        if junior == senior {
+            return true;
+        }
+        let mut seen = BTreeSet::new();
+        let mut queue = VecDeque::from([junior]);
+        while let Some(r) = queue.pop_front() {
+            if !seen.insert(r) {
+                continue;
+            }
+            if let Some(ps) = self.parents.get(&r) {
+                if ps.contains(&senior) {
+                    return true;
+                }
+                queue.extend(ps.iter().copied());
+            }
+        }
+        false
+    }
+
+    /// `role` plus every role it transitively inherits from.
+    #[must_use]
+    pub fn closure(&self, role: RoleId) -> BTreeSet<RoleId> {
+        let mut out = BTreeSet::new();
+        let mut queue = VecDeque::from([role]);
+        while let Some(r) = queue.pop_front() {
+            if out.insert(r) {
+                if let Some(ps) = self.parents.get(&r) {
+                    queue.extend(ps.iter().copied());
+                }
+            }
+        }
+        out
+    }
+
+    /// The union of [`closure`](Self::closure) over a role set.
+    #[must_use]
+    pub fn expand<'a>(&self, roles: impl IntoIterator<Item = &'a RoleId>) -> BTreeSet<RoleId> {
+        let mut out = BTreeSet::new();
+        for &r in roles {
+            out.extend(self.closure(r));
+        }
+        out
+    }
+
+    /// Number of inheritance edges.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.parents.values().map(BTreeSet::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: u64) -> RoleId {
+        RoleId::from_raw(n)
+    }
+
+    #[test]
+    fn inheritance_chain() {
+        let mut h = Hierarchy::new();
+        h.add_inheritance(r(2), r(1)).unwrap();
+        h.add_inheritance(r(1), r(0)).unwrap();
+        assert!(h.inherits_from(r(2), r(0)));
+        assert!(h.inherits_from(r(2), r(2)));
+        assert!(!h.inherits_from(r(0), r(2)));
+        assert_eq!(h.closure(r(2)), BTreeSet::from([r(0), r(1), r(2)]));
+    }
+
+    #[test]
+    fn cycles_rejected() {
+        let mut h = Hierarchy::new();
+        h.add_inheritance(r(1), r(0)).unwrap();
+        assert!(h.add_inheritance(r(0), r(1)).is_err());
+        assert!(h.add_inheritance(r(3), r(3)).is_err());
+    }
+
+    #[test]
+    fn expand_unions() {
+        let mut h = Hierarchy::new();
+        h.add_inheritance(r(1), r(0)).unwrap();
+        h.add_inheritance(r(3), r(2)).unwrap();
+        assert_eq!(
+            h.expand(&[r(1), r(3)]),
+            BTreeSet::from([r(0), r(1), r(2), r(3)])
+        );
+    }
+
+    #[test]
+    fn edge_count_counts_unique_edges() {
+        let mut h = Hierarchy::new();
+        h.add_inheritance(r(1), r(0)).unwrap();
+        h.add_inheritance(r(1), r(0)).unwrap();
+        h.add_inheritance(r(2), r(0)).unwrap();
+        assert_eq!(h.edge_count(), 2);
+    }
+}

@@ -1,0 +1,52 @@
+//! # rbac — traditional Role-Based Access Control (Figure 1 baseline)
+//!
+//! A faithful, standalone implementation of the RBAC model exactly as
+//! summarized in Figure 1 of *"Generalized Role-Based Access Control for
+//! Securing Future Applications"*:
+//!
+//! ```text
+//! Subject S      a user of the system
+//! Role R         a categorization primitive for subjects
+//! Transaction T  a series of one or more accesses to one or more objects
+//! R(s)           the authorized role set for subject s
+//! T(r)           the authorized transaction set for role r
+//!
+//! exec(s, t) = true iff ∃ role r : r ∈ R(s), t ∈ T(r)
+//! ```
+//!
+//! plus the §4.1.2 constructs: role hierarchies, sessions with role
+//! activation, and static/dynamic separation of duty. A flat [`acl::Acl`]
+//! baseline is included for the expressiveness experiments.
+//!
+//! This crate deliberately does **not** depend on `grbac-core`: it is
+//! the independent comparator used in every GRBAC-vs-RBAC experiment.
+//!
+//! ```
+//! use rbac::Rbac;
+//!
+//! # fn main() -> Result<(), rbac::RbacError> {
+//! let mut system = Rbac::new();
+//! let role = system.declare_role("family_member")?;
+//! let t = system.declare_transaction("read_family_calendar")?;
+//! system.authorize_transaction(role, t)?;
+//! let mom = system.declare_subject("mom")?;
+//! system.assign_role(mom, role)?;
+//! assert!(system.exec(mom, t)?);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod acl;
+pub mod engine;
+pub mod error;
+pub mod hierarchy;
+pub mod model;
+pub mod sod;
+
+pub use engine::Rbac;
+pub use error::RbacError;
+pub use model::{RoleId, SessionId, SubjectId, TransactionId};
+pub use sod::{SodConstraint, SodKind};

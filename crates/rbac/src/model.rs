@@ -1,0 +1,81 @@
+//! Identifiers and definitions from Figure 1 of the GRBAC paper.
+//!
+//! ```text
+//! Subject S      a user of the system
+//! Role R         a categorization primitive for subjects
+//! Transaction T  a series of one or more accesses to one or more objects
+//! R(s)           the authorized role set for subject s
+//! T(r)           the authorized transaction set for role r
+//! exec(s, t)     true iff subject s is authorized to execute t
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! define_id {
+    ($(#[$meta:meta])* $name:ident, $prefix:literal) => {
+        $(#[$meta])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(u64);
+
+        impl $name {
+            /// Creates an identifier from a raw index.
+            #[must_use]
+            pub const fn from_raw(raw: u64) -> Self {
+                Self(raw)
+            }
+
+            /// The raw index backing this identifier.
+            #[must_use]
+            pub const fn as_raw(self) -> u64 {
+                self.0
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// A user of the system.
+    SubjectId,
+    "s"
+);
+define_id!(
+    /// A categorization primitive for subjects.
+    RoleId,
+    "r"
+);
+define_id!(
+    /// A named series of accesses to objects.
+    TransactionId,
+    "t"
+);
+define_id!(
+    /// A subject's activation context.
+    SessionId,
+    "sess"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_prefixes() {
+        assert_eq!(SubjectId::from_raw(1).to_string(), "s1");
+        assert_eq!(RoleId::from_raw(2).to_string(), "r2");
+        assert_eq!(TransactionId::from_raw(3).to_string(), "t3");
+        assert_eq!(SessionId::from_raw(4).to_string(), "sess4");
+    }
+
+    #[test]
+    fn round_trip() {
+        assert_eq!(RoleId::from_raw(5).as_raw(), 5);
+    }
+}

@@ -1,0 +1,175 @@
+//! Separation of duty for the RBAC baseline (§4.1.2).
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{RbacError, Result};
+use crate::model::RoleId;
+
+/// Static (authorization-time) or dynamic (activation-time) exclusion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SodKind {
+    /// A subject may never be *authorized* for the conflicting roles.
+    Static,
+    /// The conflicting roles may never be *active* in one session.
+    Dynamic,
+}
+
+/// A mutual-exclusion constraint over a role set.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SodConstraint {
+    name: String,
+    kind: SodKind,
+    roles: BTreeSet<RoleId>,
+    max_concurrent: usize,
+}
+
+impl SodConstraint {
+    /// At most `max_concurrent` of `roles` may be held/active together.
+    ///
+    /// # Errors
+    ///
+    /// [`RbacError::InvalidSodCardinality`] for vacuous or unsatisfiable
+    /// cardinalities.
+    pub fn new(
+        name: impl Into<String>,
+        kind: SodKind,
+        roles: impl IntoIterator<Item = RoleId>,
+        max_concurrent: usize,
+    ) -> Result<Self> {
+        let name = name.into();
+        let roles: BTreeSet<RoleId> = roles.into_iter().collect();
+        if max_concurrent == 0 || max_concurrent >= roles.len() {
+            return Err(RbacError::InvalidSodCardinality {
+                constraint: name,
+                max: max_concurrent,
+                set: roles.len(),
+            });
+        }
+        Ok(Self {
+            name,
+            kind,
+            roles,
+            max_concurrent,
+        })
+    }
+
+    /// The teller/account-holder pair: at most one of two roles.
+    ///
+    /// # Errors
+    ///
+    /// [`RbacError::InvalidSodCardinality`] if `a == b`.
+    pub fn mutual_exclusion(
+        name: impl Into<String>,
+        kind: SodKind,
+        a: RoleId,
+        b: RoleId,
+    ) -> Result<Self> {
+        Self::new(name, kind, [a, b], 1)
+    }
+
+    /// Constraint name (for diagnostics).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Static or dynamic.
+    #[must_use]
+    pub fn kind(&self) -> SodKind {
+        self.kind
+    }
+
+    /// True if `held ∪ {candidate}` violates the constraint.
+    #[must_use]
+    pub fn violated_by(&self, held: &BTreeSet<RoleId>, candidate: RoleId) -> bool {
+        let mut constrained: BTreeSet<RoleId> =
+            held.intersection(&self.roles).copied().collect();
+        if self.roles.contains(&candidate) {
+            constrained.insert(candidate);
+        }
+        constrained.len() > self.max_concurrent
+    }
+}
+
+/// An ordered set of constraints with a bulk check.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SodPolicy {
+    constraints: Vec<SodConstraint>,
+}
+
+impl SodPolicy {
+    /// Creates an empty policy.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a constraint.
+    pub fn add(&mut self, constraint: SodConstraint) {
+        self.constraints.push(constraint);
+    }
+
+    /// Number of constraints.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// True if there are no constraints.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.constraints.is_empty()
+    }
+
+    /// Checks `candidate` against all constraints of `kind`.
+    ///
+    /// # Errors
+    ///
+    /// [`RbacError::SodViolation`] naming the violated constraint.
+    pub fn check(&self, kind: SodKind, held: &BTreeSet<RoleId>, candidate: RoleId) -> Result<()> {
+        for c in self.constraints.iter().filter(|c| c.kind == kind) {
+            if c.violated_by(held, candidate) {
+                return Err(RbacError::SodViolation {
+                    constraint: c.name.clone(),
+                    role: candidate,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: u64) -> RoleId {
+        RoleId::from_raw(n)
+    }
+
+    #[test]
+    fn pairwise_exclusion() {
+        let c =
+            SodConstraint::mutual_exclusion("teller-holder", SodKind::Static, r(0), r(1)).unwrap();
+        assert!(!c.violated_by(&BTreeSet::new(), r(0)));
+        assert!(c.violated_by(&BTreeSet::from([r(0)]), r(1)));
+    }
+
+    #[test]
+    fn invalid_cardinalities() {
+        assert!(SodConstraint::new("x", SodKind::Static, [r(0), r(1)], 0).is_err());
+        assert!(SodConstraint::new("x", SodKind::Static, [r(0), r(1)], 2).is_err());
+    }
+
+    #[test]
+    fn policy_check_by_kind() {
+        let mut p = SodPolicy::new();
+        p.add(SodConstraint::mutual_exclusion("d", SodKind::Dynamic, r(0), r(1)).unwrap());
+        assert!(p.check(SodKind::Static, &BTreeSet::from([r(0)]), r(1)).is_ok());
+        assert!(p.check(SodKind::Dynamic, &BTreeSet::from([r(0)]), r(1)).is_err());
+        assert!(!p.is_empty());
+        assert_eq!(p.len(), 1);
+    }
+}

@@ -1,0 +1,103 @@
+//! The full Aware Home: the paper's §5 household living a simulated
+//! evening, with the Cyberfridge and utility-management applications
+//! from §2 running against the same policy engine.
+//!
+//! Run with: `cargo run --example aware_home`
+
+use grbac::core::rule::RuleDef;
+use grbac::env::time::Duration;
+use grbac::home::apps::cyberfridge::Cyberfridge;
+use grbac::home::apps::utility::{Preferences, UtilityManager};
+use grbac::home::scenario::paper_household;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The §5 household: Mom, Dad, Alice, Bobby, the repair technician,
+    // ten devices, and the paper's four policy rules. The clock starts
+    // Monday, January 17, 2000 at 8:00 p.m.
+    let mut home = paper_household()?;
+    let vocab = *home.vocab();
+    println!("household: {} people, {} devices", home.people().count(), home.devices().count());
+    println!("time now : {}", home.now());
+
+    let alice = home.person("alice")?.subject();
+    let mom = home.person("mom")?.subject();
+    let tv = home.device("tv")?.object();
+    let oven = home.device("oven")?.object();
+
+    // --- The evening unfolds. ---
+    let d = home.request(alice, vocab.operate, tv)?;
+    println!("\n[20:00] alice turns on the tv          -> {d}");
+
+    let d = home.request(alice, vocab.operate, oven)?;
+    println!("[20:05] alice tries the oven           -> {d} (dangerous appliance)");
+
+    let d = home.request(mom, vocab.operate, oven)?;
+    println!("[20:05] mom uses the oven              -> {d}");
+
+    home.advance(Duration::hours(2) + Duration::minutes(30)); // 22:30
+    let d = home.request(alice, vocab.operate, tv)?;
+    println!("[22:30] alice tries the tv after hours -> {d}");
+
+    // --- Cyberfridge (§2): inventory management over the same policy. ---
+    home.engine_mut().add_rule(
+        RuleDef::permit()
+            .named("family reads the fridge inventory")
+            .subject_role(vocab.family_member)
+            .object_role(vocab.appliance)
+            .transaction(vocab.read),
+    )?;
+    home.engine_mut().add_rule(
+        RuleDef::permit()
+            .named("parents update the fridge")
+            .subject_role(vocab.parent)
+            .object_role(vocab.appliance)
+            .transaction(vocab.write),
+    )?;
+
+    let mut fridge = Cyberfridge::new(home.device("fridge")?.object());
+    fridge.stock("milk", 1, 2);
+    fridge.stock("eggs", 12, 6);
+
+    let inventory = fridge.inventory(&mut home, alice)?;
+    println!("\ncyberfridge: alice reads inventory     -> granted={}", inventory.is_granted());
+    let proposals = fridge
+        .reorder_proposals(&mut home, mom)?
+        .granted()
+        .expect("parents can read");
+    for p in &proposals {
+        println!("cyberfridge: reorder {} x{}", p.item, p.quantity);
+    }
+    let tech = home.person("repair_technician")?.subject();
+    let denied = fridge.inventory(&mut home, tech)?;
+    println!("cyberfridge: technician reads inventory-> granted={}", denied.is_granted());
+
+    // --- Utility management (§2): occupancy-aware heating. ---
+    home.engine_mut().add_rule(
+        RuleDef::permit()
+            .named("parents adjust utilities")
+            .subject_role(vocab.parent)
+            .object_role(vocab.utility_control)
+            .transaction(vocab.adjust),
+    )?;
+    let utility = UtilityManager::new(home.device("thermostat")?.object(), None)
+        .with_preferences(Preferences::default());
+    let plan = utility.plan(&home);
+    println!("\nutility: occupied home plan            -> target {}°C", plan.target_temp_c);
+
+    let everyone: Vec<_> = home.people().map(|p| p.subject()).collect();
+    for person in everyone {
+        home.remove_from_home(person);
+    }
+    let plan = utility.plan(&home);
+    println!("utility: empty home plan               -> target {}°C", plan.target_temp_c);
+
+    // --- The audit trail saw everything. ---
+    let audit = home.engine().audit();
+    println!(
+        "\naudit: {} requests recorded ({} permits, {} denies)",
+        audit.total_recorded(),
+        audit.permit_count(),
+        audit.deny_count()
+    );
+    Ok(())
+}

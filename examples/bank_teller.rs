@@ -1,0 +1,106 @@
+//! Separation of duty (§4.1.2): the paper's bank example.
+//!
+//! A bank employee who also holds a checking account must never act as
+//! teller and account holder *at the same time* (dynamic SoD), and no
+//! one may ever be both auditor and approver at all (static SoD). This
+//! example walks both constraint kinds plus role activation, and shows
+//! the same mechanics carrying over into the home (babysitter vs.
+//! grocery-delivery agent).
+//!
+//! Run with: `cargo run --example bank_teller`
+
+use grbac::core::prelude::*;
+use grbac::core::Grbac;
+
+fn main() -> Result<(), GrbacError> {
+    let mut bank = Grbac::new();
+
+    // Roles and transactions.
+    let teller = bank.declare_subject_role("teller")?;
+    let holder = bank.declare_subject_role("account_holder")?;
+    let auditor = bank.declare_subject_role("auditor")?;
+    let approver = bank.declare_subject_role("loan_approver")?;
+    let account_role = bank.declare_object_role("customer_account")?;
+    let execute = bank.declare_transaction("execute_deposit")?;
+    let authorize = bank.declare_transaction("authorize_deposit")?;
+
+    bank.add_rule(
+        RuleDef::permit()
+            .named("tellers execute deposits")
+            .subject_role(teller)
+            .object_role(account_role)
+            .transaction(execute),
+    )?;
+    bank.add_rule(
+        RuleDef::permit()
+            .named("account holders authorize deposits")
+            .subject_role(holder)
+            .object_role(account_role)
+            .transaction(authorize),
+    )?;
+
+    // Dynamic SoD: teller and account_holder never active together.
+    bank.add_sod_constraint(SodConstraint::mutual_exclusion(
+        "teller vs account holder",
+        SodKind::Dynamic,
+        teller,
+        holder,
+    )?)?;
+    // Static SoD: auditor and approver never even co-authorized.
+    bank.add_sod_constraint(SodConstraint::mutual_exclusion(
+        "auditor vs approver",
+        SodKind::Static,
+        auditor,
+        approver,
+    )?)?;
+
+    // Pat is both an employee and a customer — fine as *authorized* roles.
+    let pat = bank.declare_subject("pat")?;
+    bank.assign_subject_role(pat, teller)?;
+    bank.assign_subject_role(pat, holder)?;
+    let account = bank.declare_object("pats_account")?;
+    bank.assign_object_role(account, account_role)?;
+
+    // Working session: pat activates teller.
+    let work = bank.open_session(pat)?;
+    bank.activate_role(work, teller)?;
+    println!("work session: teller activated");
+
+    // Activating account_holder in the same session violates DSoD.
+    match bank.activate_role(work, holder) {
+        Err(GrbacError::SodViolation { constraint, .. }) => {
+            println!("work session: account_holder blocked by {constraint:?}");
+        }
+        other => panic!("expected an SoD violation, got {other:?}"),
+    }
+
+    // Mediation follows the session's active set.
+    let env = EnvironmentSnapshot::new();
+    let d = bank.decide(&AccessRequest::by_session(work, execute, account, env.clone()))?;
+    println!("work session: execute_deposit  -> {d}");
+    assert!(d.is_permitted());
+    let d = bank.decide(&AccessRequest::by_session(work, authorize, account, env.clone()))?;
+    println!("work session: authorize_deposit -> {d}");
+    assert!(!d.is_permitted());
+
+    // After hours, a *different* session may act as account holder —
+    // "only when he assumes both roles simultaneously is it possible
+    // for him to abuse the system."
+    let personal = bank.open_session(pat)?;
+    bank.activate_role(personal, holder)?;
+    let d = bank.decide(&AccessRequest::by_session(personal, authorize, account, env))?;
+    println!("personal session: authorize_deposit -> {d}");
+    assert!(d.is_permitted());
+
+    // Static SoD bites at assignment time.
+    bank.assign_subject_role(pat, auditor)?;
+    match bank.assign_subject_role(pat, approver) {
+        Err(GrbacError::SodViolation { constraint, .. }) => {
+            println!("assignment: loan_approver blocked by {constraint:?}");
+        }
+        other => panic!("expected an SoD violation, got {other:?}"),
+    }
+
+    println!("\nall separation-of-duty constraints held.");
+    Ok(())
+}

@@ -1,0 +1,86 @@
+//! Partial authentication (§5.2): Alice, the Smart Floor, and the 90%
+//! policy.
+//!
+//! The Smart Floor measures Alice's weight, identifies her *as Alice*
+//! with only ~75% confidence (Bobby's weight is close), but places her
+//! *in the child role* with ~99% confidence. Under a 90% threshold,
+//! identity-based access fails while role-based access succeeds — the
+//! paper's key scenario, reproduced end to end through real sensor
+//! models and the real mediation engine.
+//!
+//! Run with: `cargo run --example partial_auth`
+
+use grbac::core::confidence::AuthContext;
+use grbac::home::scenario::{
+    paper_confidence_threshold, paper_household, paper_smart_floor, weights,
+};
+use grbac::sense::evidence::Claim;
+use grbac::sense::fusion::FusionStrategy;
+use grbac::sense::{Authenticator, FaceRecognizer, Presence, VoiceRecognizer};
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut home = paper_household()?;
+    let vocab = *home.vocab();
+    home.engine_mut()
+        .set_default_min_confidence(paper_confidence_threshold());
+
+    let alice = home.person("alice")?.subject();
+    let tv = home.device("tv")?.object();
+    let floor = paper_smart_floor(&home)?;
+
+    // --- The deterministic heart of §5.2. ---
+    println!("Smart Floor reading at Alice's exact weight ({} kg):", weights::ALICE);
+    let evidence = floor.evidence_for_measurement(weights::ALICE);
+    let mut identity_ctx = AuthContext::new();
+    let mut full_ctx = AuthContext::new();
+    for e in &evidence {
+        match e.claim {
+            Claim::Identity(s) => {
+                println!("  identity claim  : subject {s} at {}", e.confidence);
+                identity_ctx.claim_identity(s, e.confidence);
+                full_ctx.claim_identity(s, e.confidence);
+            }
+            Claim::RoleMembership(r) => {
+                println!("  role claim      : role {r} (child) at {}", e.confidence);
+                full_ctx.claim_role(r, e.confidence);
+            }
+        }
+    }
+
+    let d = home.request_sensed(identity_ctx, vocab.operate, tv)?;
+    println!("\nidentity-only request (90% policy)  -> {d}");
+    assert!(!d.is_permitted(), "75% identity misses the 90% bar");
+
+    let d = home.request_sensed(full_ctx, vocab.operate, tv)?;
+    println!("with the child-role claim           -> {d}");
+    assert!(d.is_permitted(), "the 99% role claim clears the bar");
+
+    // --- Multi-sensor fusion: floor + face + voice. ---
+    let mut face = FaceRecognizer::new(0.90)?;
+    let mut voice = VoiceRecognizer::new(0.70)?;
+    for person in home.people() {
+        face.enroll(person.subject())?;
+        voice.enroll(person.subject())?;
+    }
+    let authenticator = Authenticator::new(FusionStrategy::NoisyOr)
+        .with_sensor(Box::new(paper_smart_floor(&home)?))
+        .with_sensor(Box::new(face))
+        .with_sensor(Box::new(voice));
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2000);
+    let presence = Presence::walking(alice, weights::ALICE).speaking();
+    let mut grants = 0;
+    let trials = 200;
+    for _ in 0..trials {
+        let ctx = authenticator.authenticate(&presence, &mut rng);
+        if home.request_sensed(ctx, vocab.operate, tv)?.is_permitted() {
+            grants += 1;
+        }
+    }
+    println!(
+        "\nfused floor+face+voice over {trials} trials -> granted {grants} ({}%)",
+        grants * 100 / trials
+    );
+    Ok(())
+}

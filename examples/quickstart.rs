@@ -1,0 +1,71 @@
+//! Quickstart: the §5.1 policy in under a minute.
+//!
+//! Builds the paper's flagship example — *"any child can use
+//! entertainment devices on weekdays during free time"* — as one GRBAC
+//! rule, then mediates a few requests at different times.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use grbac::core::prelude::*;
+
+fn main() -> Result<(), GrbacError> {
+    let mut home = Grbac::new();
+
+    // 1. Vocabulary: roles of all three kinds, one transaction.
+    let child = home.declare_subject_role("child")?;
+    let parent = home.declare_subject_role("parent")?;
+    let entertainment = home.declare_object_role("entertainment_devices")?;
+    let weekdays = home.declare_environment_role("weekdays")?;
+    let free_time = home.declare_environment_role("free_time")?;
+    let use_t = home.declare_transaction("use")?;
+
+    // 2. Entities.
+    let alice = home.declare_subject("alice")?;
+    let mom = home.declare_subject("mom")?;
+    home.assign_subject_role(alice, child)?;
+    home.assign_subject_role(mom, parent)?;
+    let tv = home.declare_object("living_room_tv")?;
+    home.assign_object_role(tv, entertainment)?;
+
+    // 3. The policy: exactly one rule.
+    home.add_rule(
+        RuleDef::permit()
+            .named("any child can use entertainment devices on weekdays during free time")
+            .subject_role(child)
+            .object_role(entertainment)
+            .transaction(use_t)
+            .when(weekdays)
+            .when(free_time),
+    )?;
+
+    // 4. Mediate. The environment snapshot says which environment roles
+    //    are active right now (grbac-env computes these from a clock;
+    //    here we set them by hand).
+    let tuesday_evening = EnvironmentSnapshot::from_active([weekdays, free_time]);
+    let tuesday_noon = EnvironmentSnapshot::from_active([weekdays]);
+
+    let decision = home.decide(&AccessRequest::by_subject(
+        alice,
+        use_t,
+        tv,
+        tuesday_evening.clone(),
+    ))?;
+    println!("alice -> tv, Tuesday 8pm : {decision}");
+    assert!(decision.is_permitted());
+
+    let decision = home.decide(&AccessRequest::by_subject(alice, use_t, tv, tuesday_noon))?;
+    println!("alice -> tv, Tuesday noon: {decision}");
+    assert!(!decision.is_permitted());
+
+    // Mom holds `parent`, not `child`: the rule does not apply, and the
+    // engine falls back to deny-by-default.
+    let decision = home.decide(&AccessRequest::by_subject(mom, use_t, tv, tuesday_evening))?;
+    println!("mom   -> tv, Tuesday 8pm : {decision}");
+    assert!(!decision.is_permitted());
+
+    println!("\nExplanation for the last decision:");
+    println!("  subject roles held : {:?}", decision.explanation().subject_roles);
+    println!("  rules matched      : {}", decision.explanation().matched.len());
+    println!("  reason             : {:?}", decision.explanation().reason);
+    Ok(())
+}

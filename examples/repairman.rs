@@ -1,0 +1,88 @@
+//! The §3 repairman: *"a repairman has access to the refrigerator only
+//! while he is inside the home on January 17, 2000, between 8:00 a.m.
+//! and 1:00 p.m."* — one environment role combining date, time-of-day
+//! and physical presence.
+//!
+//! Run with: `cargo run --example repairman`
+
+use grbac::core::rule::RuleDef;
+use grbac::env::calendar::TimeExpr;
+use grbac::env::provider::EnvCondition;
+use grbac::env::time::{Date, Duration, TimeOfDay, Timestamp};
+use grbac::home::{AwareHome, DeviceKind, PersonKind};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Build a home whose clock starts just before the service window.
+    let visit_day = Date::new(2000, 1, 17)?;
+    let mut home = AwareHome::builder()
+        .starting_at(Timestamp::from_civil(visit_day, TimeOfDay::hm(7, 30)?))
+        .room("kitchen")
+        .person("mom", PersonKind::Adult, 61.0, "kitchen")
+        .person("technician", PersonKind::ServiceAgent, 78.0, "kitchen")
+        .device("dishwasher", DeviceKind::Dishwasher, "kitchen")
+        .build()?;
+    let vocab = *home.vocab();
+
+    // One environment role captures the whole §3 sentence.
+    let visit_window = home.define_environment_role(
+        "repair_visit_window",
+        EnvCondition::Time(
+            TimeExpr::DateRange {
+                start: visit_day,
+                end: visit_day,
+            }
+            .and(TimeExpr::between(TimeOfDay::hm(8, 0)?, TimeOfDay::hm(13, 0)?)),
+        )
+        .and(EnvCondition::SubjectInZone(home.home_zone())),
+    )?;
+
+    home.engine_mut().add_rule(
+        RuleDef::permit()
+            .named("repairman access during the scheduled visit")
+            .subject_role(vocab.service_agent)
+            .object_role(vocab.appliance)
+            .transaction(vocab.repair)
+            .when(visit_window),
+    )?;
+
+    let technician = home.person("technician")?.subject();
+    let dishwasher = home.device("dishwasher")?.object();
+
+    // 07:30 — too early.
+    let d = home.request(technician, vocab.repair, dishwasher)?;
+    println!("{} tech -> dishwasher: {d}", home.now());
+    assert!(!d.is_permitted());
+
+    // 09:00 — inside the window, inside the home.
+    home.advance(Duration::minutes(90));
+    let d = home.request(technician, vocab.repair, dishwasher)?;
+    println!("{} tech -> dishwasher: {d}", home.now());
+    assert!(d.is_permitted());
+
+    // 10:00 — steps outside (a remote attack with his credentials would
+    // look exactly like this): the presence condition fails.
+    home.advance(Duration::hours(1));
+    home.remove_from_home(technician);
+    let d = home.request(technician, vocab.repair, dishwasher)?;
+    println!("{} tech -> dishwasher (outside): {d}", home.now());
+    assert!(!d.is_permitted());
+
+    // Back inside at 10:05.
+    home.advance(Duration::minutes(5));
+    home.place(technician, home.room("kitchen")?);
+    let d = home.request(technician, vocab.repair, dishwasher)?;
+    println!("{} tech -> dishwasher: {d}", home.now());
+    assert!(d.is_permitted());
+
+    // 13:00 — the window closes.
+    home.advance(Duration::hours(3));
+    let d = home.request(technician, vocab.repair, dishwasher)?;
+    println!("{} tech -> dishwasher: {d}", home.now());
+    assert!(!d.is_permitted());
+
+    // And the window never lets him touch anything but appliances:
+    let d = home.request(technician, vocab.operate, dishwasher)?;
+    println!("{} tech operates dishwasher (not repair): {d}", home.now());
+    assert!(!d.is_permitted());
+    Ok(())
+}

@@ -1,0 +1,31 @@
+//! # grbac — Generalized Role-Based Access Control (facade crate)
+//!
+//! One-stop re-export of the full GRBAC reproduction suite. Downstream
+//! users depend on this crate and get:
+//!
+//! * [`core`] — the GRBAC model and mediation engine,
+//! * [`rbac`] — the traditional-RBAC / ACL baselines (Figure 1),
+//! * [`env`](mod@env) — the environment substrate (clock, calendar, location,
+//!   load, events),
+//! * [`sense`] — partial-authentication sensors and fusion,
+//! * [`home`] — the Aware Home simulation and motivating applications,
+//! * [`policy`] — the human-readable policy language,
+//! * [`mls`] — Bell–LaPadula multilevel security expressed in GRBAC.
+//!
+//! See the individual crates for detailed documentation, and the
+//! repository's `examples/` directory for runnable scenarios.
+
+#![forbid(unsafe_code)]
+
+pub use grbac_core as core;
+pub use grbac_env as env;
+pub use grbac_home as home;
+pub use grbac_mls as mls;
+pub use grbac_policy as policy;
+pub use grbac_sense as sense;
+pub use rbac;
+
+/// The most commonly needed items from every crate in the suite.
+pub mod prelude {
+    pub use grbac_core::prelude::*;
+}

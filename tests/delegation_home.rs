@@ -1,0 +1,155 @@
+//! Delegation in the Aware Home: Mom hands the babysitter supervised
+//! authority for the evening and takes it back afterwards — the
+//! §3 "manage security policies … easily" story with revocable grants.
+
+use grbac::core::prelude::*;
+use grbac::home::scenario::paper_household;
+use grbac::home::PersonKind;
+
+#[test]
+fn babysitter_evening_with_revocable_authority() {
+    let mut home = paper_household().unwrap();
+    let vocab = *home.vocab();
+
+    // A supervisor role: may operate entertainment devices and the
+    // videophone any time (to reach the parents).
+    let supervisor = home
+        .engine_mut()
+        .declare_subject_role("child_supervisor")
+        .unwrap();
+    home.engine_mut()
+        .add_rule(
+            RuleDef::permit()
+                .named("supervisors run the evening")
+                .subject_role(supervisor)
+                .object_role(vocab.entertainment_device),
+        )
+        .unwrap();
+    home.engine_mut()
+        .add_rule(
+            RuleDef::permit()
+                .subject_role(supervisor)
+                .object_role(vocab.communication_device),
+        )
+        .unwrap();
+
+    // Parents hold and may delegate the role (no re-delegation).
+    let mom = home.person("mom").unwrap().subject();
+    home.engine_mut().assign_subject_role(mom, supervisor).unwrap();
+    home.engine_mut()
+        .add_delegation_rule(vocab.parent, supervisor, 1)
+        .unwrap();
+
+    // The babysitter arrives.
+    let robin = home.engine_mut().declare_subject("robin").unwrap();
+    home.engine_mut()
+        .assign_subject_role(robin, vocab.authorized_guest)
+        .unwrap();
+    let tv = home.device("tv").unwrap().object();
+    let videophone = home.device("videophone").unwrap().object();
+
+    // Before the delegation: a guest gets nothing.
+    assert!(!home.request(robin, vocab.operate, tv).unwrap().is_permitted());
+
+    let grant = home.engine_mut().delegate(mom, robin, supervisor).unwrap();
+    assert!(home.request(robin, vocab.operate, tv).unwrap().is_permitted());
+    assert!(home
+        .request(robin, vocab.operate, videophone)
+        .unwrap()
+        .is_permitted());
+
+    // Robin cannot pass the authority on (max_depth 1).
+    let friend = home.engine_mut().declare_subject("friend").unwrap();
+    assert!(matches!(
+        home.engine_mut().delegate(robin, friend, supervisor),
+        Err(GrbacError::DelegationDepthExceeded { .. })
+            | Err(GrbacError::NotAuthorizedToDelegate { .. })
+    ));
+
+    // Parents come home; the grant is revoked; access stops at once,
+    // even for a session Robin still has open.
+    let session = home.engine_mut().open_session(robin).unwrap();
+    home.engine_mut().activate_role(session, supervisor).unwrap();
+    home.engine_mut().revoke_delegation(grant).unwrap();
+    assert!(!home.request(robin, vocab.operate, tv).unwrap().is_permitted());
+    assert!(
+        !home
+            .engine()
+            .sessions()
+            .session(session)
+            .unwrap()
+            .is_active(supervisor),
+        "revocation deactivated the session role"
+    );
+}
+
+#[test]
+fn delegation_to_a_service_agent_is_scoped_by_rules() {
+    // Delegating `appliance_operator` to the repair technician only
+    // grants what the role's rules grant — the technician still cannot
+    // watch TV.
+    let mut home = paper_household().unwrap();
+    let vocab = *home.vocab();
+    let operator = home
+        .engine_mut()
+        .declare_subject_role("appliance_operator")
+        .unwrap();
+    home.engine_mut()
+        .add_rule(
+            RuleDef::permit()
+                .subject_role(operator)
+                .object_role(vocab.appliance)
+                .transaction(vocab.operate),
+        )
+        .unwrap();
+    let mom = home.person("mom").unwrap().subject();
+    home.engine_mut().assign_subject_role(mom, operator).unwrap();
+    home.engine_mut()
+        .add_delegation_rule(vocab.parent, operator, 1)
+        .unwrap();
+
+    let tech = home.person("repair_technician").unwrap().subject();
+    home.engine_mut().delegate(mom, tech, operator).unwrap();
+
+    let dishwasher = home.device("dishwasher").unwrap().object();
+    let tv = home.device("tv").unwrap().object();
+    assert!(home
+        .request(tech, vocab.operate, dishwasher)
+        .unwrap()
+        .is_permitted());
+    assert!(!home.request(tech, vocab.operate, tv).unwrap().is_permitted());
+}
+
+#[test]
+fn pets_cannot_receive_dangerous_delegations_under_sod() {
+    let mut home = paper_household().unwrap();
+    let vocab = *home.vocab();
+    let operator = home
+        .engine_mut()
+        .declare_subject_role("appliance_operator")
+        .unwrap();
+    // A (whimsical but structural) constraint: pets may never be
+    // appliance operators.
+    home.engine_mut()
+        .add_sod_constraint(
+            SodConstraint::mutual_exclusion("paws off", SodKind::Static, vocab.pet, operator)
+                .unwrap(),
+        )
+        .unwrap();
+    let mom = home.person("mom").unwrap().subject();
+    home.engine_mut().assign_subject_role(mom, operator).unwrap();
+    home.engine_mut()
+        .add_delegation_rule(vocab.parent, operator, 1)
+        .unwrap();
+
+    let rex = home.engine_mut().declare_subject("rex").unwrap();
+    home.engine_mut().assign_subject_role(rex, vocab.pet).unwrap();
+    assert!(matches!(
+        home.engine_mut().delegate(mom, rex, operator),
+        Err(GrbacError::SodViolation { .. })
+    ));
+
+    // Adding a person of kind Pet through the builder gets the same
+    // role and the same protection.
+    assert_eq!(vocab.role_for(PersonKind::Pet), vocab.pet);
+}

@@ -1,0 +1,255 @@
+//! End-to-end reproductions of every scenario the paper narrates,
+//! exercised through the facade crate across all subsystems.
+
+use grbac::core::prelude::*;
+use grbac::env::time::{Date, Duration, TimeOfDay, Timestamp};
+use grbac::home::scenario::{
+    paper_confidence_threshold, paper_household, paper_smart_floor, weights,
+};
+use grbac::home::{AwareHome, DeviceKind, PersonKind};
+use grbac::sense::evidence::Claim;
+
+/// Figure 2: every user in the example hierarchy reaches `home_user`.
+#[test]
+fn figure2_all_residents_are_home_users() {
+    let home = paper_household().unwrap();
+    let vocab = *home.vocab();
+    for person in home.people() {
+        let closure = home
+            .engine()
+            .roles()
+            .expand(&home.engine().assignments().subject_roles(person.subject()));
+        assert!(
+            closure.contains(&vocab.home_user),
+            "{} should transitively be a home_user",
+            person.name()
+        );
+    }
+}
+
+/// §5.1: the one-rule entertainment policy, across the full week.
+#[test]
+fn section_5_1_entertainment_policy_over_a_week() {
+    // Clock starts Monday 8 p.m.; step in 12-hour increments for a week
+    // and verify the policy's truth table against first principles.
+    let mut home = paper_household().unwrap();
+    let vocab = *home.vocab();
+    let alice = home.person("alice").unwrap().subject();
+    let tv = home.device("tv").unwrap().object();
+
+    for step in 0..14 {
+        if step > 0 {
+            home.advance(Duration::hours(12));
+        }
+        let now = home.now();
+        let weekday = matches!(
+            now.weekday(),
+            grbac::env::time::Weekday::Monday
+                | grbac::env::time::Weekday::Tuesday
+                | grbac::env::time::Weekday::Wednesday
+                | grbac::env::time::Weekday::Thursday
+                | grbac::env::time::Weekday::Friday
+        );
+        let tod = now.time_of_day();
+        let free_time = tod >= TimeOfDay::hm(19, 0).unwrap() && tod < TimeOfDay::hm(22, 0).unwrap();
+        let expected = weekday && free_time;
+        let decision = home.request(alice, vocab.operate, tv).unwrap();
+        assert_eq!(
+            decision.is_permitted(),
+            expected,
+            "at {now}: weekday={weekday} free_time={free_time}"
+        );
+    }
+}
+
+/// §5.1: "if the household were to purchase a new toy or entertainment
+/// device, they could simply map the device to the role."
+#[test]
+fn new_device_is_covered_by_mapping_alone() {
+    let mut home = paper_household().unwrap();
+    let vocab = *home.vocab();
+    let alice = home.person("alice").unwrap().subject();
+
+    // A new game console arrives; one object declaration + one role
+    // mapping, zero rule changes.
+    let new_console = home.engine_mut().declare_object("new_console").unwrap();
+    home.engine_mut()
+        .assign_object_role(new_console, vocab.entertainment_device)
+        .unwrap();
+
+    let rules_before = home.engine().rules().len();
+    let decision = home.request(alice, vocab.operate, new_console).unwrap();
+    assert!(decision.is_permitted(), "Monday 8pm, policy covers it");
+    assert_eq!(home.engine().rules().len(), rules_before);
+}
+
+/// §5.2: the complete partial-authentication story with the real floor.
+#[test]
+fn section_5_2_partial_authentication() {
+    let mut home = paper_household().unwrap();
+    let vocab = *home.vocab();
+    home.engine_mut()
+        .set_default_min_confidence(paper_confidence_threshold());
+    let floor = paper_smart_floor(&home).unwrap();
+    let alice = home.person("alice").unwrap().subject();
+    let tv = home.device("tv").unwrap().object();
+
+    let evidence = floor.evidence_for_measurement(weights::ALICE);
+
+    // The floor's identity posterior for Alice sits in the 60–90% band
+    // (the paper quotes 75%), below the 90% policy.
+    let identity = evidence
+        .iter()
+        .find_map(|e| match e.claim {
+            Claim::Identity(s) if s == alice => Some(e.confidence),
+            _ => None,
+        })
+        .expect("alice is the best match at her exact weight");
+    assert!(identity.value() > 0.6 && identity.value() < 0.9);
+
+    // The child-role confidence clears it (the paper quotes 98%).
+    let role = evidence
+        .iter()
+        .find_map(|e| match e.claim {
+            Claim::RoleMembership(r) if r == vocab.child => Some(e.confidence),
+            _ => None,
+        })
+        .expect("child band claim present");
+    assert!(role.value() > 0.95);
+
+    // End-to-end: identity-only denied, role-claim granted.
+    let mut identity_only = AuthContext::new();
+    identity_only.claim_identity(alice, identity);
+    let d = home
+        .request_sensed(identity_only.clone(), vocab.operate, tv)
+        .unwrap();
+    assert!(!d.is_permitted());
+    assert!(matches!(
+        d.explanation().reason,
+        Reason::ConfidenceTooLow { .. }
+    ));
+
+    let mut with_role = identity_only;
+    with_role.claim_role(vocab.child, role);
+    let d = home.request_sensed(with_role, vocab.operate, tv).unwrap();
+    assert!(d.is_permitted());
+}
+
+/// §3: positive and negative rights — adults everything, children denied
+/// dangerous appliances — plus the precedence story.
+#[test]
+fn section_3_positive_and_negative_rights() {
+    let mut home = paper_household().unwrap();
+    let vocab = *home.vocab();
+    let mom = home.person("mom").unwrap().subject();
+    let alice = home.person("alice").unwrap().subject();
+    let oven = home.device("oven").unwrap().object();
+    let fridge = home.device("fridge").unwrap().object();
+
+    assert!(home.request(mom, vocab.operate, oven).unwrap().is_permitted());
+    assert!(home.request(mom, vocab.operate, fridge).unwrap().is_permitted());
+    // Children: denied the oven; the fridge is a plain appliance and no
+    // rule covers children operating appliances, so default-deny.
+    let d = home.request(alice, vocab.operate, oven).unwrap();
+    assert!(!d.is_permitted());
+    assert!(
+        d.winning_rule().is_some(),
+        "an explicit deny rule, not the default"
+    );
+}
+
+/// §4.2.2: the videophone-in-the-kitchen location policy.
+#[test]
+fn videophone_only_from_the_kitchen() {
+    let mut home = paper_household().unwrap();
+    let vocab = *home.vocab();
+    let kitchen = home.room("kitchen").unwrap();
+    let in_kitchen = home.define_location_role("in_kitchen", kitchen).unwrap();
+    home.engine_mut()
+        .add_rule(
+            RuleDef::permit()
+                .named("children may use the videophone while in the kitchen")
+                .subject_role(vocab.child)
+                .object_role(vocab.communication_device)
+                .transaction(vocab.operate)
+                .when(in_kitchen),
+        )
+        .unwrap();
+
+    let alice = home.person("alice").unwrap().subject();
+    let videophone = home.device("videophone").unwrap().object();
+
+    // Alice starts in the living room.
+    assert!(!home
+        .request(alice, vocab.operate, videophone)
+        .unwrap()
+        .is_permitted());
+    home.place(alice, kitchen);
+    assert!(home
+        .request(alice, vocab.operate, videophone)
+        .unwrap()
+        .is_permitted());
+    // Moving upstairs revokes it again.
+    let upstairs = home.room("upstairs").unwrap();
+    home.place(alice, upstairs);
+    assert!(!home
+        .request(alice, vocab.operate, videophone)
+        .unwrap()
+        .is_permitted());
+}
+
+/// The audit log captures the §5 evening faithfully.
+#[test]
+fn audit_log_reflects_mediated_evening() {
+    let mut home = paper_household().unwrap();
+    let vocab = *home.vocab();
+    let alice = home.person("alice").unwrap().subject();
+    let tv = home.device("tv").unwrap().object();
+    let oven = home.device("oven").unwrap().object();
+
+    home.request(alice, vocab.operate, tv).unwrap(); // permit
+    home.request(alice, vocab.operate, oven).unwrap(); // deny
+    home.advance(Duration::hours(3));
+    home.request(alice, vocab.operate, tv).unwrap(); // deny (after hours)
+
+    let audit = home.engine().audit();
+    assert_eq!(audit.total_recorded(), 3);
+    assert_eq!(audit.permit_count(), 1);
+    assert_eq!(audit.deny_count(), 2);
+    let records: Vec<_> = audit.iter().collect();
+    assert_eq!(records[0].subject, Some(alice));
+    assert!(records[2].timestamp.unwrap() > records[0].timestamp.unwrap());
+}
+
+/// A second household built from scratch (not the fixture) behaves
+/// identically — the builder path itself is sound.
+#[test]
+fn custom_household_from_builder() {
+    let start = Timestamp::from_civil(
+        Date::new(2026, 7, 6).unwrap(), // a Monday
+        TimeOfDay::hm(20, 0).unwrap(),
+    );
+    let mut home = AwareHome::builder()
+        .starting_at(start)
+        .room("den")
+        .person("kai", PersonKind::Child, 30.0, "den")
+        .device("projector", DeviceKind::Television, "den")
+        .build()
+        .unwrap();
+    let vocab = *home.vocab();
+    home.engine_mut()
+        .add_rule(
+            RuleDef::permit()
+                .subject_role(vocab.child)
+                .object_role(vocab.entertainment_device)
+                .when(vocab.weekdays)
+                .when(vocab.free_time),
+        )
+        .unwrap();
+    let kai = home.person("kai").unwrap().subject();
+    let projector = home.device("projector").unwrap().object();
+    assert!(home
+        .request(kai, vocab.operate, projector)
+        .unwrap()
+        .is_permitted());
+}

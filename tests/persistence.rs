@@ -1,0 +1,111 @@
+//! Persistence: a home must be able to save and reload its policy.
+//! The entire engine state serializes with serde; reloading preserves
+//! every decision, session, and audit counter.
+
+use grbac::core::prelude::*;
+use grbac::core::Grbac;
+
+fn section51_engine() -> (Grbac, AccessRequest, AccessRequest) {
+    let mut g = Grbac::new();
+    let family = g.declare_subject_role("family_member").unwrap();
+    let child = g.declare_subject_role("child").unwrap();
+    g.specialize(child, family).unwrap();
+    let entertainment = g.declare_object_role("entertainment_devices").unwrap();
+    let weekdays = g.declare_environment_role("weekdays").unwrap();
+    let free_time = g.declare_environment_role("free_time").unwrap();
+    let use_t = g.declare_transaction("use").unwrap();
+    let alice = g.declare_subject("alice").unwrap();
+    g.assign_subject_role(alice, child).unwrap();
+    let mom = g.declare_subject("mom").unwrap();
+    g.assign_subject_role(mom, family).unwrap();
+    let tv = g.declare_object("tv").unwrap();
+    g.assign_object_role(tv, entertainment).unwrap();
+    g.add_rule(
+        RuleDef::permit()
+            .named("kids tv policy")
+            .subject_role(child)
+            .object_role(entertainment)
+            .transaction(use_t)
+            .when(weekdays)
+            .when(free_time)
+            .min_confidence(Confidence::new(0.9).unwrap()),
+    )
+    .unwrap();
+    g.add_rule(RuleDef::deny().subject_role(family).object_role(entertainment).when(weekdays))
+        .unwrap();
+    let auditor = g.declare_subject_role("auditor").unwrap();
+    g.add_sod_constraint(
+        SodConstraint::mutual_exclusion("demo", SodKind::Dynamic, child, auditor).unwrap(),
+    )
+    .unwrap();
+
+    let env = EnvironmentSnapshot::from_active([weekdays, free_time]);
+    let granted = AccessRequest::by_subject(alice, use_t, tv, env.clone());
+    let denied = AccessRequest::by_subject(mom, use_t, tv, env);
+    (g, granted, denied)
+}
+
+#[test]
+fn json_round_trip_preserves_decisions() {
+    let (engine, child_request, mom_request) = section51_engine();
+    let json = serde_json::to_string(&engine).expect("engine serializes");
+    let reloaded: Grbac = serde_json::from_str(&json).expect("engine deserializes");
+
+    for request in [&child_request, &mom_request] {
+        let before = engine.decide(request).unwrap();
+        let after = reloaded.decide(request).unwrap();
+        assert_eq!(before, after, "decision changed across persistence");
+    }
+}
+
+#[test]
+fn round_trip_preserves_configuration() {
+    let (mut engine, _, _) = section51_engine();
+    engine.set_strategy(ConflictStrategy::MostSpecific);
+    engine.set_default_effect(Effect::Permit);
+    engine.set_default_min_confidence(Confidence::new(0.75).unwrap());
+
+    let json = serde_json::to_string(&engine).unwrap();
+    let reloaded: Grbac = serde_json::from_str(&json).unwrap();
+    assert_eq!(reloaded.strategy(), ConflictStrategy::MostSpecific);
+    assert_eq!(reloaded.default_effect(), Effect::Permit);
+    assert_eq!(
+        reloaded.default_min_confidence(),
+        Confidence::new(0.75).unwrap()
+    );
+    assert_eq!(reloaded.rules().len(), engine.rules().len());
+    assert_eq!(reloaded.sod().len(), engine.sod().len());
+}
+
+#[test]
+fn round_trip_preserves_sessions_and_audit() {
+    let (mut engine, child_request, _) = section51_engine();
+    let alice = engine.entities().find_subject("alice").unwrap();
+    let child = engine.roles().find(RoleKind::Subject, "child").unwrap();
+    let session = engine.open_session(alice).unwrap();
+    engine.activate_role(session, child).unwrap();
+    engine.check(&child_request).unwrap();
+    engine.check(&child_request).unwrap();
+
+    let json = serde_json::to_string(&engine).unwrap();
+    let mut reloaded: Grbac = serde_json::from_str(&json).unwrap();
+
+    // The open session survives and still mediates.
+    let s = reloaded.sessions().session(session).unwrap();
+    assert!(s.is_active(child));
+    // Audit counters survive.
+    assert_eq!(reloaded.audit().total_recorded(), 2);
+    // New ids continue from where the old engine left off — no reuse.
+    let new_subject = reloaded.declare_subject("new_resident").unwrap();
+    assert!(engine.entities().subject(new_subject).is_err());
+}
+
+#[test]
+fn id_allocation_continues_after_reload() {
+    let mut engine = Grbac::new();
+    let r0 = engine.declare_subject_role("a").unwrap();
+    let json = serde_json::to_string(&engine).unwrap();
+    let mut reloaded: Grbac = serde_json::from_str(&json).unwrap();
+    let r1 = reloaded.declare_subject_role("b").unwrap();
+    assert_ne!(r0, r1, "reloaded engines must not reissue ids");
+}

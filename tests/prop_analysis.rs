@@ -1,0 +1,195 @@
+//! Soundness of the static policy analysis, checked against the live
+//! engine over random policies: what the analyzer promises must hold
+//! for every request the engine can see.
+
+use grbac::core::analysis;
+use grbac::core::id::RoleId;
+use grbac::core::prelude::*;
+use proptest::prelude::*;
+
+const SUBJECT_ROLES: u64 = 6;
+const OBJECT_ROLES: u64 = 3;
+const ENV_ROLES: u64 = 3;
+
+/// `(permit, subject_role, object_role, env_roles)`.
+type RuleTuple = (bool, Option<u64>, Option<u64>, Vec<u64>);
+
+#[derive(Debug, Clone)]
+struct Spec {
+    edges: Vec<(u64, u64)>,
+    rules: Vec<RuleTuple>,
+}
+
+fn spec() -> impl Strategy<Value = Spec> {
+    let edges = prop::collection::vec(
+        (1..SUBJECT_ROLES).prop_flat_map(|hi| (Just(hi), 0..hi)),
+        0..8,
+    );
+    let rules = prop::collection::vec(
+        (
+            any::<bool>(),
+            prop::option::of(0..SUBJECT_ROLES),
+            prop::option::of(0..OBJECT_ROLES),
+            prop::collection::vec(0..ENV_ROLES, 0..2),
+        ),
+        0..10,
+    );
+    (edges, rules).prop_map(|(edges, rules)| Spec { edges, rules })
+}
+
+struct Built {
+    engine: Grbac,
+    subject_roles: Vec<RoleId>,
+    object_roles: Vec<RoleId>,
+    env_roles: Vec<RoleId>,
+    transaction: grbac::core::id::TransactionId,
+}
+
+fn build(spec: &Spec) -> Built {
+    let mut engine = Grbac::new();
+    let subject_roles: Vec<RoleId> = (0..SUBJECT_ROLES)
+        .map(|i| engine.declare_subject_role(format!("sr{i}")).unwrap())
+        .collect();
+    for &(specific, general) in &spec.edges {
+        engine
+            .specialize(subject_roles[specific as usize], subject_roles[general as usize])
+            .unwrap();
+    }
+    let object_roles: Vec<RoleId> = (0..OBJECT_ROLES)
+        .map(|i| engine.declare_object_role(format!("or{i}")).unwrap())
+        .collect();
+    let env_roles: Vec<RoleId> = (0..ENV_ROLES)
+        .map(|i| engine.declare_environment_role(format!("er{i}")).unwrap())
+        .collect();
+    let transaction = engine.declare_transaction("t").unwrap();
+    for (permit, subject, object, env) in &spec.rules {
+        let mut def = if *permit { RuleDef::permit() } else { RuleDef::deny() };
+        if let Some(r) = subject {
+            def = def.subject_role(subject_roles[*r as usize]);
+        }
+        if let Some(r) = object {
+            def = def.object_role(object_roles[*r as usize]);
+        }
+        for &e in env {
+            def = def.when(env_roles[e as usize]);
+        }
+        engine.add_rule(def).unwrap();
+    }
+    Built {
+        engine,
+        subject_roles,
+        object_roles,
+        env_roles,
+        transaction,
+    }
+}
+
+/// Every single-role subject/object combination, with every environment
+/// role active (the most match-friendly snapshot).
+fn exhaustive_requests(built: &mut Built) -> Vec<AccessRequest> {
+    let mut requests = Vec::new();
+    let env: EnvironmentSnapshot = built.env_roles.iter().copied().collect();
+    for (si, &srole) in built.subject_roles.clone().iter().enumerate() {
+        let subject = built.engine.declare_subject(format!("s{si}")).unwrap();
+        built.engine.assign_subject_role(subject, srole).unwrap();
+        for (oi, &orole) in built.object_roles.clone().iter().enumerate() {
+            let object_name = format!("o{si}_{oi}");
+            let object = built.engine.declare_object(object_name).unwrap();
+            built.engine.assign_object_role(object, orole).unwrap();
+            requests.push(AccessRequest::by_subject(
+                subject,
+                built.transaction,
+                object,
+                env.clone(),
+            ));
+        }
+    }
+    requests
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// If the analyzer reports no conflicts, no request can match both
+    /// a permit and a deny rule.
+    #[test]
+    fn no_reported_conflicts_means_no_mixed_matches(s in spec()) {
+        let mut built = build(&s);
+        let report = analysis::analyze(&built.engine);
+        prop_assume!(report.conflicts.is_empty());
+        for request in exhaustive_requests(&mut built) {
+            let d = built.engine.decide(&request).unwrap();
+            let permits = d
+                .explanation()
+                .matched
+                .iter()
+                .filter(|m| m.effect == Effect::Permit)
+                .count();
+            let denies = d.explanation().matched.len() - permits;
+            prop_assert!(
+                permits == 0 || denies == 0,
+                "conflict-free policy produced a mixed match: {:?}",
+                d.explanation().matched
+            );
+        }
+    }
+
+    /// A rule the analyzer calls shadowed never wins under
+    /// first-applicable resolution.
+    #[test]
+    fn shadowed_rules_never_win_first_applicable(s in spec()) {
+        let mut built = build(&s);
+        built.engine.set_strategy(ConflictStrategy::FirstApplicable);
+        let shadowed: std::collections::BTreeSet<_> = analysis::find_shadowed(&built.engine)
+            .into_iter()
+            .map(|sh| sh.rule)
+            .collect();
+        prop_assume!(!shadowed.is_empty());
+        for request in exhaustive_requests(&mut built) {
+            let d = built.engine.decide(&request).unwrap();
+            if let Some(winner) = d.winning_rule() {
+                prop_assert!(
+                    !shadowed.contains(&winner),
+                    "shadowed rule {winner} won a first-applicable decision"
+                );
+            }
+        }
+    }
+
+    /// Memberless rules can never produce a winner (no subject holds the
+    /// role), for the engine state at analysis time.
+    #[test]
+    fn memberless_rules_never_match(s in spec()) {
+        let built = build(&s);
+        // Note: analysis runs *before* exhaustive_requests assigns
+        // subjects, so every subject-constrained rule is memberless now.
+        let memberless = analysis::find_memberless_rules(&built.engine);
+        let expected: Vec<_> = built
+            .engine
+            .rules()
+            .iter()
+            .filter(|r| !r.subject_role().is_any())
+            .map(|r| r.id())
+            .collect();
+        prop_assert_eq!(memberless, expected);
+    }
+
+    /// `find_unused_roles` never flags a role that some rule references
+    /// directly.
+    #[test]
+    fn unused_roles_are_truly_unreferenced(s in spec()) {
+        let built = build(&s);
+        let unused = analysis::find_unused_roles(&built.engine);
+        for rule in built.engine.rules() {
+            if let grbac::core::rule::RoleSpec::Is(r) = rule.subject_role() {
+                prop_assert!(!unused.contains(&r));
+            }
+            if let grbac::core::rule::RoleSpec::Is(r) = rule.object_role() {
+                prop_assert!(!unused.contains(&r));
+            }
+            for &r in rule.environment_roles() {
+                prop_assert!(!unused.contains(&r));
+            }
+        }
+    }
+}

@@ -1,0 +1,348 @@
+//! Property-based tests over the core GRBAC data structures and the
+//! mediation engine.
+
+use std::collections::BTreeSet;
+
+use grbac::core::hierarchy::RoleHierarchy;
+use grbac::core::id::RoleId;
+use grbac::core::prelude::*;
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// Hierarchy invariants
+// ---------------------------------------------------------------------
+
+/// Random DAG edges: only `specific > general` by index, so the input
+/// is acyclic by construction and every edge must be accepted.
+fn dag_edges(roles: usize, max_edges: usize) -> impl Strategy<Value = Vec<(u64, u64)>> {
+    prop::collection::vec(
+        (1..roles as u64).prop_flat_map(|hi| (Just(hi), 0..hi)),
+        0..max_edges,
+    )
+}
+
+fn build_hierarchy(edges: &[(u64, u64)]) -> RoleHierarchy {
+    let mut h = RoleHierarchy::new();
+    for &(specific, general) in edges {
+        h.add_specialization(RoleId::from_raw(specific), RoleId::from_raw(general))
+            .expect("edges are acyclic by construction");
+    }
+    h
+}
+
+proptest! {
+    /// The closure always contains the role itself and is closed under
+    /// taking generalizations.
+    #[test]
+    fn closure_is_reflexive_and_transitively_closed(
+        edges in dag_edges(24, 64),
+        probe in 0..24u64,
+    ) {
+        let h = build_hierarchy(&edges);
+        let role = RoleId::from_raw(probe);
+        let closure = h.closure(role);
+        prop_assert!(closure.contains(&role));
+        for &member in &closure {
+            for parent in h.direct_generalizations(member) {
+                prop_assert!(closure.contains(&parent),
+                    "closure missing parent {parent} of {member}");
+            }
+        }
+    }
+
+    /// `is_specialization_of(a, b)` agrees with membership of `b` in
+    /// `closure(a)`, and `distance_up` is `Some` exactly when related.
+    #[test]
+    fn seniority_queries_agree(
+        edges in dag_edges(16, 48),
+        a in 0..16u64,
+        b in 0..16u64,
+    ) {
+        let h = build_hierarchy(&edges);
+        let (ra, rb) = (RoleId::from_raw(a), RoleId::from_raw(b));
+        let related = h.is_specialization_of(ra, rb);
+        prop_assert_eq!(related, h.closure(ra).contains(&rb));
+        prop_assert_eq!(related, h.distance_up(ra, rb).is_some());
+    }
+
+    /// Ancestors and descendants are converse relations.
+    #[test]
+    fn ancestors_descendants_converse(
+        edges in dag_edges(16, 48),
+        a in 0..16u64,
+        b in 0..16u64,
+    ) {
+        let h = build_hierarchy(&edges);
+        let (ra, rb) = (RoleId::from_raw(a), RoleId::from_raw(b));
+        prop_assert_eq!(
+            h.ancestors(ra).contains(&rb),
+            h.descendants(rb).contains(&ra)
+        );
+    }
+
+    /// Any edge that would close a cycle is rejected and leaves the
+    /// hierarchy unchanged.
+    #[test]
+    fn cycles_always_rejected(edges in dag_edges(12, 36)) {
+        let mut h = build_hierarchy(&edges);
+        let snapshot = h.clone();
+        // Try to invert every existing relation; all must fail.
+        for role in 0..12u64 {
+            let specific = RoleId::from_raw(role);
+            for ancestor in h.ancestors(specific) {
+                prop_assert!(h.add_specialization(ancestor, specific).is_err());
+            }
+        }
+        prop_assert_eq!(h, snapshot);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Confidence invariants
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// Construction accepts exactly the unit interval.
+    #[test]
+    fn confidence_construction(v in -1.0f64..2.0) {
+        let result = Confidence::new(v);
+        prop_assert_eq!(result.is_ok(), (0.0..=1.0).contains(&v));
+        let saturated = Confidence::saturating(v);
+        prop_assert!((0.0..=1.0).contains(&saturated.value()));
+    }
+
+    /// Noisy-or is commutative, monotone, and bounded by its inputs.
+    #[test]
+    fn noisy_or_properties(a in 0.0f64..=1.0, b in 0.0f64..=1.0) {
+        let (ca, cb) = (Confidence::saturating(a), Confidence::saturating(b));
+        let ab = ca.combine_independent(cb);
+        let ba = cb.combine_independent(ca);
+        prop_assert!((ab.value() - ba.value()).abs() < 1e-12);
+        prop_assert!(ab >= ca.max(cb));
+        prop_assert!(ab.value() <= 1.0);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Engine invariants over random policies
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct PolicySpec {
+    chain_edges: Vec<(u64, u64)>, // subject-role DAG (acyclic indices)
+    rules: Vec<RuleSpec>,
+    subject_role: u64,
+    object_role: u64,
+    env_active: Vec<u64>,
+}
+
+#[derive(Debug, Clone)]
+struct RuleSpec {
+    permit: bool,
+    subject_role: Option<u64>,
+    object_role: Option<u64>,
+    env: Vec<u64>,
+}
+
+const SUBJECT_ROLES: u64 = 8;
+const OBJECT_ROLES: u64 = 4;
+const ENV_ROLES: u64 = 4;
+
+fn rule_spec() -> impl Strategy<Value = RuleSpec> {
+    (
+        any::<bool>(),
+        prop::option::of(0..SUBJECT_ROLES),
+        prop::option::of(0..OBJECT_ROLES),
+        prop::collection::vec(0..ENV_ROLES, 0..2),
+    )
+        .prop_map(|(permit, subject_role, object_role, env)| RuleSpec {
+            permit,
+            subject_role,
+            object_role,
+            env,
+        })
+}
+
+fn policy_spec() -> impl Strategy<Value = PolicySpec> {
+    (
+        dag_edges(SUBJECT_ROLES as usize, 12),
+        prop::collection::vec(rule_spec(), 0..12),
+        0..SUBJECT_ROLES,
+        0..OBJECT_ROLES,
+        prop::collection::vec(0..ENV_ROLES, 0..3),
+    )
+        .prop_map(|(chain_edges, rules, subject_role, object_role, env_active)| PolicySpec {
+            chain_edges,
+            rules,
+            subject_role,
+            object_role,
+            env_active,
+        })
+}
+
+struct BuiltPolicy {
+    engine: Grbac,
+    request: AccessRequest,
+    subject_roles: Vec<RoleId>,
+}
+
+fn build_policy(spec: &PolicySpec) -> BuiltPolicy {
+    let mut engine = Grbac::new();
+    let subject_roles: Vec<RoleId> = (0..SUBJECT_ROLES)
+        .map(|i| engine.declare_subject_role(format!("sr{i}")).unwrap())
+        .collect();
+    for &(specific, general) in &spec.chain_edges {
+        engine
+            .specialize(subject_roles[specific as usize], subject_roles[general as usize])
+            .unwrap();
+    }
+    let object_roles: Vec<RoleId> = (0..OBJECT_ROLES)
+        .map(|i| engine.declare_object_role(format!("or{i}")).unwrap())
+        .collect();
+    let env_roles: Vec<RoleId> = (0..ENV_ROLES)
+        .map(|i| engine.declare_environment_role(format!("er{i}")).unwrap())
+        .collect();
+    let transaction = engine.declare_transaction("t").unwrap();
+
+    for (i, rule) in spec.rules.iter().enumerate() {
+        let mut def = if rule.permit {
+            RuleDef::permit()
+        } else {
+            RuleDef::deny()
+        };
+        def = def.named(format!("rule{i}"));
+        if let Some(r) = rule.subject_role {
+            def = def.subject_role(subject_roles[r as usize]);
+        }
+        if let Some(r) = rule.object_role {
+            def = def.object_role(object_roles[r as usize]);
+        }
+        for &e in &rule.env {
+            def = def.when(env_roles[e as usize]);
+        }
+        engine.add_rule(def).unwrap();
+    }
+
+    let subject = engine.declare_subject("s").unwrap();
+    engine
+        .assign_subject_role(subject, subject_roles[spec.subject_role as usize])
+        .unwrap();
+    let object = engine.declare_object("o").unwrap();
+    engine
+        .assign_object_role(object, object_roles[spec.object_role as usize])
+        .unwrap();
+    let env: EnvironmentSnapshot = spec
+        .env_active
+        .iter()
+        .map(|&e| env_roles[e as usize])
+        .collect();
+    let request = AccessRequest::by_subject(subject, transaction, object, env);
+    BuiltPolicy {
+        engine,
+        request,
+        subject_roles,
+    }
+}
+
+proptest! {
+    /// Mediation is deterministic.
+    #[test]
+    fn decide_is_deterministic(spec in policy_spec()) {
+        let built = build_policy(&spec);
+        let a = built.engine.decide(&built.request).unwrap();
+        let b = built.engine.decide(&built.request).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Under deny-overrides, a permit decision implies no deny rule
+    /// matched; under permit-overrides, the dual holds.
+    #[test]
+    fn override_strategies_honor_their_bias(spec in policy_spec()) {
+        let mut built = build_policy(&spec);
+        built.engine.set_strategy(ConflictStrategy::DenyOverrides);
+        let d = built.engine.decide(&built.request).unwrap();
+        if d.is_permitted() && d.winning_rule().is_some() {
+            prop_assert!(d.explanation().matched.iter().all(|m| m.effect == Effect::Permit));
+        }
+        built.engine.set_strategy(ConflictStrategy::PermitOverrides);
+        let d = built.engine.decide(&built.request).unwrap();
+        if !d.is_permitted() && d.winning_rule().is_some() {
+            prop_assert!(d.explanation().matched.iter().all(|m| m.effect == Effect::Deny));
+        }
+    }
+
+    /// The winner is always one of the matched rules, and every matched
+    /// rule references roles the requester actually holds.
+    #[test]
+    fn winner_comes_from_matches(spec in policy_spec()) {
+        let built = build_policy(&spec);
+        let d = built.engine.decide(&built.request).unwrap();
+        if let Some(winner) = d.winning_rule() {
+            prop_assert!(d.explanation().matched.iter().any(|m| m.rule == winner));
+        } else {
+            prop_assert!(d.explanation().matched.is_empty() || d.winning_rule().is_none());
+        }
+    }
+
+    /// Activating *more* environment roles can only grow the matched
+    /// rule set (environment constraints are positive conjunctions).
+    #[test]
+    fn environment_is_monotone_for_matching(spec in policy_spec()) {
+        let built = build_policy(&spec);
+        let d_small = built.engine.decide(&built.request).unwrap();
+
+        let mut bigger = built.request.clone();
+        let mut env = bigger.environment.clone();
+        for role in built.engine.roles().iter_kind(RoleKind::Environment) {
+            env.activate(role.id());
+        }
+        bigger.environment = env;
+        let d_big = built.engine.decide(&bigger).unwrap();
+
+        let small_matches: BTreeSet<RuleId> =
+            d_small.explanation().matched.iter().map(|m| m.rule).collect();
+        let big_matches: BTreeSet<RuleId> =
+            d_big.explanation().matched.iter().map(|m| m.rule).collect();
+        prop_assert!(small_matches.is_subset(&big_matches));
+    }
+
+    /// Assigning an *additional* subject role never shrinks the matched
+    /// rule set (possession is monotone).
+    #[test]
+    fn possession_is_monotone_for_matching(spec in policy_spec(), extra in 0..SUBJECT_ROLES) {
+        let mut built = build_policy(&spec);
+        let d_before = built.engine.decide(&built.request).unwrap();
+        let subject = match built.request.actor {
+            Actor::Subject(s) => s,
+            _ => unreachable!("requests are built with subject actors"),
+        };
+        built
+            .engine
+            .assign_subject_role(subject, built.subject_roles[extra as usize])
+            .unwrap();
+        let d_after = built.engine.decide(&built.request).unwrap();
+
+        let before: BTreeSet<RuleId> =
+            d_before.explanation().matched.iter().map(|m| m.rule).collect();
+        let after: BTreeSet<RuleId> =
+            d_after.explanation().matched.iter().map(|m| m.rule).collect();
+        prop_assert!(before.is_subset(&after));
+    }
+
+    /// A session with all authorized roles active decides exactly like
+    /// the plain subject actor.
+    #[test]
+    fn full_session_equals_subject_actor(spec in policy_spec()) {
+        let mut built = build_policy(&spec);
+        let subject = match built.request.actor {
+            Actor::Subject(s) => s,
+            _ => unreachable!(),
+        };
+        let session = built.engine.open_session_with_all_roles(subject).unwrap();
+        let mut session_request = built.request.clone();
+        session_request.actor = Actor::Session(session);
+        let by_subject = built.engine.decide(&built.request).unwrap();
+        let by_session = built.engine.decide(&session_request).unwrap();
+        prop_assert_eq!(by_subject.effect(), by_session.effect());
+    }
+}

@@ -1,0 +1,168 @@
+//! Property tests over delegation: random sequences of delegate/revoke
+//! operations must preserve the subsystem's invariants.
+
+use grbac::core::id::{DelegationId, RoleId, SubjectId};
+use grbac::core::Grbac;
+use proptest::prelude::*;
+
+const SUBJECTS: u64 = 5;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Delegate from subject a to subject b.
+    Delegate { from: u64, to: u64 },
+    /// Revoke the n-th live grant (modulo the current count).
+    Revoke { index: usize },
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            3 => (0..SUBJECTS, 0..SUBJECTS).prop_map(|(from, to)| Op::Delegate { from, to }),
+            2 => (0usize..16).prop_map(|index| Op::Revoke { index }),
+        ],
+        0..24,
+    )
+}
+
+struct World {
+    engine: Grbac,
+    subjects: Vec<SubjectId>,
+    parent: RoleId,
+    sitter: RoleId,
+}
+
+/// Subject 0 is the original authority: a parent holding the sitter
+/// role; parents may delegate sitter with chain depth 3, and sitters
+/// may re-delegate.
+fn world() -> World {
+    let mut engine = Grbac::new();
+    let parent = engine.declare_subject_role("parent").unwrap();
+    let sitter = engine.declare_subject_role("sitter").unwrap();
+    let subjects: Vec<SubjectId> = (0..SUBJECTS)
+        .map(|i| engine.declare_subject(format!("s{i}")).unwrap())
+        .collect();
+    engine.assign_subject_role(subjects[0], parent).unwrap();
+    engine.assign_subject_role(subjects[0], sitter).unwrap();
+    engine.add_delegation_rule(parent, sitter, 3).unwrap();
+    engine.add_delegation_rule(sitter, sitter, 3).unwrap();
+    World {
+        engine,
+        subjects,
+        parent,
+        sitter,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn delegation_invariants_hold_under_random_operations(ops in ops()) {
+        let mut w = world();
+        for op in &ops {
+            match *op {
+                Op::Delegate { from, to } => {
+                    // May legitimately fail (unauthorized, lacks role,
+                    // depth); failures must not corrupt state.
+                    let _ = w.engine.delegate(
+                        w.subjects[from as usize],
+                        w.subjects[to as usize],
+                        w.sitter,
+                    );
+                }
+                Op::Revoke { index } => {
+                    let grants = w.engine.delegations();
+                    if !grants.is_empty() {
+                        let id = grants[index % grants.len()].id();
+                        w.engine.revoke_delegation(id).unwrap();
+                    }
+                }
+            }
+
+            // Invariant 1: every live grant's delegator still possesses
+            // the role (cascade keeps this true).
+            for grant in w.engine.delegations() {
+                let possessed = w
+                    .engine
+                    .roles()
+                    .expand(&w.engine.assignments().subject_roles(grant.from()));
+                prop_assert!(
+                    possessed.contains(&grant.role()),
+                    "grant {} from {} survives without possession",
+                    grant.id(),
+                    grant.from()
+                );
+                // Invariant 2: recipients of live grants hold the role.
+                prop_assert!(w
+                    .engine
+                    .assignments()
+                    .subject_has(grant.to(), grant.role()));
+                // Invariant 3: depth bounds respected.
+                prop_assert!(grant.depth() >= 1 && grant.depth() <= 3);
+            }
+
+            // Invariant 4: subjects other than the original authority
+            // hold `sitter` only while some live grant backs them.
+            for (i, &subject) in w.subjects.iter().enumerate().skip(1) {
+                let holds = w.engine.assignments().subject_has(subject, w.sitter);
+                let backed = w
+                    .engine
+                    .delegations()
+                    .iter()
+                    .any(|g| g.to() == subject && g.role() == w.sitter);
+                prop_assert_eq!(
+                    holds, backed,
+                    "subject s{} holds={} backed={}",
+                    i, holds, backed
+                );
+            }
+
+            // Invariant 5: the original authority never loses its own
+            // direct roles.
+            prop_assert!(w.engine.assignments().subject_has(w.subjects[0], w.parent));
+            prop_assert!(w.engine.assignments().subject_has(w.subjects[0], w.sitter));
+        }
+    }
+
+    /// Revoking everything always returns the world to its initial
+    /// assignment state, regardless of operation order.
+    #[test]
+    fn full_revocation_restores_initial_state(ops in ops()) {
+        let mut w = world();
+        for op in &ops {
+            if let Op::Delegate { from, to } = *op {
+                let _ = w.engine.delegate(
+                    w.subjects[from as usize],
+                    w.subjects[to as usize],
+                    w.sitter,
+                );
+            }
+        }
+        // Revoke until no grants remain (cascades may clear several per
+        // call).
+        while let Some(grant) = w.engine.delegations().first() {
+            let id = grant.id();
+            w.engine.revoke_delegation(id).unwrap();
+        }
+        for &subject in &w.subjects[1..] {
+            prop_assert!(!w.engine.assignments().subject_has(subject, w.sitter));
+        }
+        prop_assert!(w.engine.assignments().subject_has(w.subjects[0], w.sitter));
+    }
+}
+
+#[test]
+fn revoking_twice_errors() {
+    let mut w = world();
+    let id = w
+        .engine
+        .delegate(w.subjects[0], w.subjects[1], w.sitter)
+        .unwrap();
+    w.engine.revoke_delegation(id).unwrap();
+    assert!(w.engine.revoke_delegation(id).is_err());
+    assert!(w
+        .engine
+        .revoke_delegation(DelegationId::from_raw(999))
+        .is_err());
+}

@@ -1,0 +1,116 @@
+//! Property-based tests over the environment substrate: civil time,
+//! calendar expressions and periodic windows.
+
+use grbac::env::calendar::TimeExpr;
+use grbac::env::periodic::PeriodicExpr;
+use grbac::env::time::{Date, Duration, TimeOfDay, Timestamp, Weekday};
+use proptest::prelude::*;
+
+fn timestamps() -> impl Strategy<Value = Timestamp> {
+    // ±100 years around the epoch, second resolution.
+    (-3_155_760_000i64..3_155_760_000).prop_map(Timestamp::from_seconds)
+}
+
+fn times_of_day() -> impl Strategy<Value = TimeOfDay> {
+    (0u8..24, 0u8..60, 0u8..60)
+        .prop_map(|(h, m, s)| TimeOfDay::new(h, m, s).expect("ranges are valid"))
+}
+
+proptest! {
+    /// Civil decomposition round-trips through `from_civil`.
+    #[test]
+    fn timestamp_civil_round_trip(ts in timestamps()) {
+        let rebuilt = Timestamp::from_civil(ts.date(), ts.time_of_day());
+        prop_assert_eq!(ts, rebuilt);
+    }
+
+    /// Day arithmetic shifts the date by exactly one and advances the
+    /// weekday cyclically, leaving the time of day unchanged.
+    #[test]
+    fn one_day_shift(ts in timestamps()) {
+        let tomorrow = ts + Duration::days(1);
+        prop_assert_eq!(tomorrow.time_of_day(), ts.time_of_day());
+        prop_assert_eq!(
+            tomorrow.date().days_from_epoch(),
+            ts.date().days_from_epoch() + 1
+        );
+        let today_idx = Weekday::ALL.iter().position(|&w| w == ts.weekday()).unwrap();
+        prop_assert_eq!(tomorrow.weekday(), Weekday::ALL[(today_idx + 1) % 7]);
+    }
+
+    /// Dates constructed from valid components round-trip through the
+    /// epoch-day representation.
+    #[test]
+    fn date_round_trip(year in -400i32..2400, month in 1u8..=12, day in 1u8..=28) {
+        let date = Date::new(year, month, day).expect("day <= 28 always valid");
+        prop_assert_eq!(Date::from_days(date.days_from_epoch()), date);
+    }
+
+    /// `weekdays` and `weekend` partition every instant.
+    #[test]
+    fn weekday_weekend_partition(ts in timestamps()) {
+        prop_assert_ne!(
+            TimeExpr::weekdays().contains(ts),
+            TimeExpr::weekend().contains(ts)
+        );
+    }
+
+    /// Negation is an exact complement; conjunction and disjunction
+    /// behave pointwise.
+    #[test]
+    fn boolean_structure(ts in timestamps(), start in times_of_day(), end in times_of_day()) {
+        let window = TimeExpr::between(start, end);
+        let inside = window.contains(ts);
+        prop_assert_eq!(window.clone().negate().contains(ts), !inside);
+        let both = window.clone().and(TimeExpr::weekdays());
+        prop_assert_eq!(both.contains(ts), inside && TimeExpr::weekdays().contains(ts));
+        let either = window.clone().or(TimeExpr::weekend());
+        prop_assert_eq!(either.contains(ts), inside || TimeExpr::weekend().contains(ts));
+    }
+
+    /// A wall-clock window and its reverse partition the day (except
+    /// the degenerate equal-endpoint case, which wraps to full-day).
+    #[test]
+    fn window_and_reverse_cover_day(ts in timestamps(), a in times_of_day(), b in times_of_day()) {
+        prop_assume!(a != b);
+        let forward = TimeExpr::between(a, b);
+        let reverse = TimeExpr::between(b, a);
+        prop_assert_ne!(forward.contains(ts), reverse.contains(ts));
+    }
+
+    /// Periodic windows: membership is period-invariant, and
+    /// `next_window` returns a window start whose instant is contained.
+    #[test]
+    fn periodic_structure(
+        anchor in timestamps(),
+        period_hours in 1i64..96,
+        duty_pct in 1i64..100,
+        probe_offset in 0i64..1_000_000,
+    ) {
+        let period = Duration::hours(period_hours);
+        let duration = Duration::seconds(
+            (period.as_seconds() * duty_pct / 100).max(1),
+        );
+        let p = PeriodicExpr::new(anchor, period, duration, None).expect("valid by construction");
+        let probe = anchor + Duration::seconds(probe_offset);
+        // Period invariance.
+        prop_assert_eq!(p.contains(probe), p.contains(probe + period));
+        // The next window start is contained and not after... the probe
+        // when the probe is already inside.
+        let next = p.next_window(probe).expect("no expiry");
+        prop_assert!(p.contains(next));
+        if p.contains(probe) {
+            prop_assert!(next <= probe);
+        } else {
+            prop_assert!(next > probe);
+        }
+    }
+}
+
+#[test]
+fn leap_day_dates_are_valid_only_in_leap_years() {
+    assert!(Date::new(2000, 2, 29).is_ok());
+    assert!(Date::new(1900, 2, 29).is_err());
+    assert!(Date::new(2004, 2, 29).is_ok());
+    assert!(Date::new(2003, 2, 29).is_err());
+}

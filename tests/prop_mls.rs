@@ -1,0 +1,94 @@
+//! Property-based equivalence of the GRBAC encoding of Bell–LaPadula
+//! with the direct reference monitor, over random lattices.
+
+use grbac::mls::{BlpMonitor, Classification, MlsGrbac, MlsOp, SecurityLevel};
+use proptest::prelude::*;
+
+const COMPARTMENTS: [&str; 3] = ["crypto", "nuclear", "humint"];
+
+fn security_level() -> impl Strategy<Value = SecurityLevel> {
+    (0usize..4, prop::collection::btree_set(0usize..3, 0..=3)).prop_map(|(rank, comps)| {
+        SecurityLevel::with_compartments(
+            Classification::ALL[rank],
+            comps.into_iter().map(|i| COMPARTMENTS[i]),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Dominance is a partial order: reflexive, antisymmetric on
+    /// distinct levels, transitive.
+    #[test]
+    fn dominance_is_a_partial_order(
+        a in security_level(),
+        b in security_level(),
+        c in security_level(),
+    ) {
+        prop_assert!(a.dominates(&a));
+        if a.dominates(&b) && b.dominates(&a) {
+            prop_assert_eq!(&a, &b);
+        }
+        if a.dominates(&b) && b.dominates(&c) {
+            prop_assert!(a.dominates(&c));
+        }
+    }
+
+    /// Join is the least upper bound; meet the greatest lower bound.
+    #[test]
+    fn join_meet_bounds(a in security_level(), b in security_level()) {
+        let j = a.join(&b);
+        prop_assert!(j.dominates(&a) && j.dominates(&b));
+        let m = a.meet(&b);
+        prop_assert!(a.dominates(&m) && b.dominates(&m));
+    }
+
+    /// The GRBAC encoding agrees with the direct monitor on every
+    /// subject/object pair of a random population, for both operations.
+    #[test]
+    fn grbac_encoding_matches_blp(
+        clearances in prop::collection::vec(security_level(), 1..6),
+        classifications in prop::collection::vec(security_level(), 1..6),
+    ) {
+        let mut direct = BlpMonitor::new();
+        let mut encoded = MlsGrbac::new().expect("fresh engine");
+        for (i, level) in clearances.iter().enumerate() {
+            direct.set_clearance(format!("s{i}"), level.clone());
+            encoded.add_subject(&format!("s{i}"), level).expect("unique");
+        }
+        for (i, level) in classifications.iter().enumerate() {
+            direct.set_classification(format!("o{i}"), level.clone());
+            encoded.add_object(&format!("o{i}"), level).expect("unique");
+        }
+        for (i, clearance) in clearances.iter().enumerate() {
+            for (j, classification) in classifications.iter().enumerate() {
+                for op in [MlsOp::Read, MlsOp::Write] {
+                    let subject = format!("s{i}");
+                    let object = format!("o{j}");
+                    prop_assert_eq!(
+                        direct.decide(&subject, op, &object),
+                        encoded.decide(&subject, op, &object).expect("known"),
+                        "op {:?} on clearance {} vs classification {}",
+                        op,
+                        clearance,
+                        classification,
+                    );
+                }
+            }
+        }
+    }
+
+    /// Read and write agree simultaneously only at exactly-equal levels.
+    #[test]
+    fn read_write_both_allowed_iff_equal(
+        clearance in security_level(),
+        classification in security_level(),
+    ) {
+        let mut direct = BlpMonitor::new();
+        direct.set_clearance("s", clearance.clone());
+        direct.set_classification("o", classification.clone());
+        let both = direct.decide("s", MlsOp::Read, "o") && direct.decide("s", MlsOp::Write, "o");
+        prop_assert_eq!(both, clearance == classification);
+    }
+}

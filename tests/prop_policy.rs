@@ -1,0 +1,163 @@
+//! Property-based round-trip tests for the policy language:
+//! `parse(print(program)) == program` over generated ASTs.
+
+use grbac::core::role::RoleKind;
+use grbac::policy::{parse, print, Program, RuleStmt, Stmt, TimeSpec};
+use proptest::prelude::*;
+
+/// Identifiers that avoid the language's keywords.
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,10}".prop_filter("not a keyword", |s| {
+        !matches!(
+            s.as_str(),
+            "subject"
+                | "object"
+                | "environment"
+                | "role"
+                | "extends"
+                | "is"
+                | "transaction"
+                | "allow"
+                | "deny"
+                | "to"
+                | "do"
+                | "anyone"
+                | "anything"
+                | "when"
+                | "and"
+                | "with"
+                | "confidence"
+                | "always"
+                | "never"
+                | "weekdays"
+                | "weekend"
+                | "on"
+                | "between"
+                | "exclude"
+                | "statically"
+                | "dynamically"
+                | "delegate"
+                | "depth"
+        )
+    })
+}
+
+fn role_kind() -> impl Strategy<Value = RoleKind> {
+    prop_oneof![
+        Just(RoleKind::Subject),
+        Just(RoleKind::Object),
+        Just(RoleKind::Environment),
+    ]
+}
+
+fn time_atom() -> impl Strategy<Value = TimeSpec> {
+    prop_oneof![
+        Just(TimeSpec::Always),
+        Just(TimeSpec::Never),
+        Just(TimeSpec::Weekdays),
+        Just(TimeSpec::Weekend),
+        ident().prop_map(TimeSpec::On),
+        ((0u8..24, 0u8..60), (0u8..24, 0u8..60))
+            .prop_map(|(start, end)| TimeSpec::Between { start, end }),
+    ]
+}
+
+fn time_spec() -> impl Strategy<Value = TimeSpec> {
+    prop_oneof![
+        3 => time_atom(),
+        1 => prop::collection::vec(time_atom(), 2..4).prop_map(TimeSpec::All),
+    ]
+}
+
+/// Rule labels must survive `{:?}` quoting: printable, no quotes or
+/// backslashes.
+fn label() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9 _.-]{1,20}"
+}
+
+fn rule_stmt() -> impl Strategy<Value = RuleStmt> {
+    (
+        prop::option::of(label()),
+        any::<bool>(),
+        prop::option::of(ident()),
+        prop::option::of(ident()),
+        prop::option::of(ident()),
+        prop::collection::vec(ident(), 0..3),
+        prop::option::of(0u32..=100),
+    )
+        .prop_map(
+            |(label, allow, subject_role, transaction, object_role, when, confidence)| RuleStmt {
+                label,
+                allow,
+                subject_role,
+                transaction,
+                object_role,
+                when,
+                confidence_percent: confidence.map(f64::from),
+            },
+        )
+}
+
+fn stmt() -> impl Strategy<Value = Stmt> {
+    prop_oneof![
+        (role_kind(), ident(), prop::collection::vec(ident(), 0..3)).prop_flat_map(
+            |(kind, name, extends)| {
+                // Only environment roles may carry bindings.
+                let binding = if kind == RoleKind::Environment {
+                    prop::option::of(time_spec()).boxed()
+                } else {
+                    Just(None).boxed()
+                };
+                binding.prop_map(move |binding| Stmt::RoleDecl {
+                    kind,
+                    name: name.clone(),
+                    extends: extends.clone(),
+                    binding,
+                })
+            }
+        ),
+        (ident(), prop::collection::vec(ident(), 1..4))
+            .prop_map(|(name, roles)| Stmt::SubjectDecl { name, roles }),
+        (ident(), prop::collection::vec(ident(), 1..4))
+            .prop_map(|(name, roles)| Stmt::ObjectDecl { name, roles }),
+        ident().prop_map(|name| Stmt::TransactionDecl { name }),
+        rule_stmt().prop_map(Stmt::Rule),
+        (any::<bool>(), ident(), ident()).prop_map(|(static_kind, first, second)| {
+            Stmt::SodDecl {
+                static_kind,
+                first,
+                second,
+            }
+        }),
+        (ident(), ident(), 1u32..10).prop_map(|(delegator, delegable, depth)| {
+            Stmt::DelegationDecl {
+                delegator,
+                delegable,
+                depth,
+            }
+        }),
+    ]
+}
+
+fn program() -> impl Strategy<Value = Program> {
+    prop::collection::vec(stmt(), 0..12).prop_map(|statements| Program { statements })
+}
+
+proptest! {
+    /// The printer and parser are exact inverses on ASTs.
+    #[test]
+    fn print_parse_round_trip(p in program()) {
+        let text = print(&p);
+        let reparsed = parse(&text)
+            .unwrap_or_else(|e| panic!("printed policy failed to parse: {e}\n{text}"));
+        prop_assert_eq!(p, reparsed);
+    }
+
+    /// Printing is idempotent: the canonical form prints to itself.
+    #[test]
+    fn print_is_idempotent(p in program()) {
+        let once = print(&p);
+        let twice = print(&parse(&once).expect("canonical text parses"));
+        prop_assert_eq!(once, twice);
+    }
+}

@@ -1,0 +1,194 @@
+//! §6's first claim, as a property: *"Traditional RBAC is essentially
+//! GRBAC with subject roles only."*
+//!
+//! For random RBAC systems, embed the policy into GRBAC (subject roles
+//! only; object and environment positions unconstrained) and verify
+//! `exec(s, t)` agrees with GRBAC mediation on every (subject,
+//! transaction) pair — hierarchy included.
+
+use grbac::core::engine::AccessRequest;
+use grbac::core::environment::EnvironmentSnapshot;
+use grbac::core::Grbac;
+use proptest::prelude::*;
+use rbac::Rbac;
+
+const ROLES: u64 = 6;
+const TRANSACTIONS: u64 = 5;
+const SUBJECTS: u64 = 4;
+
+#[derive(Debug, Clone)]
+struct RbacSpec {
+    /// `junior → senior` inheritance edges (acyclic: junior > senior).
+    edges: Vec<(u64, u64)>,
+    /// `(role, transaction)` authorizations.
+    authorizations: Vec<(u64, u64)>,
+    /// `(subject, role)` assignments.
+    assignments: Vec<(u64, u64)>,
+}
+
+fn rbac_spec() -> impl Strategy<Value = RbacSpec> {
+    (
+        prop::collection::vec((1..ROLES).prop_flat_map(|hi| (Just(hi), 0..hi)), 0..8),
+        prop::collection::vec((0..ROLES, 0..TRANSACTIONS), 0..12),
+        prop::collection::vec((0..SUBJECTS, 0..ROLES), 0..8),
+    )
+        .prop_map(|(edges, authorizations, assignments)| RbacSpec {
+            edges,
+            authorizations,
+            assignments,
+        })
+}
+
+fn build_rbac(spec: &RbacSpec) -> (Rbac, Vec<rbac::SubjectId>, Vec<rbac::TransactionId>) {
+    let mut system = Rbac::new();
+    let roles: Vec<_> = (0..ROLES)
+        .map(|i| system.declare_role(format!("r{i}")).unwrap())
+        .collect();
+    let transactions: Vec<_> = (0..TRANSACTIONS)
+        .map(|i| system.declare_transaction(format!("t{i}")).unwrap())
+        .collect();
+    let subjects: Vec<_> = (0..SUBJECTS)
+        .map(|i| system.declare_subject(format!("s{i}")).unwrap())
+        .collect();
+    for &(junior, senior) in &spec.edges {
+        system
+            .add_inheritance(roles[junior as usize], roles[senior as usize])
+            .unwrap();
+    }
+    for &(role, transaction) in &spec.authorizations {
+        system
+            .authorize_transaction(roles[role as usize], transactions[transaction as usize])
+            .unwrap();
+    }
+    for &(subject, role) in &spec.assignments {
+        system
+            .assign_role(subjects[subject as usize], roles[role as usize])
+            .unwrap();
+    }
+    (system, subjects, transactions)
+}
+
+/// Embeds the same policy into GRBAC: RBAC roles become subject roles
+/// (RBAC `junior inherits senior` means the junior *possesses* the
+/// senior's authorizations, which is GRBAC `junior specializes
+/// senior`); each `(role, transaction)` authorization becomes a permit
+/// rule with unconstrained object and environment positions; a single
+/// dummy object stands in for RBAC's object-free requests.
+fn embed_into_grbac(
+    spec: &RbacSpec,
+) -> (
+    Grbac,
+    Vec<grbac::core::id::SubjectId>,
+    Vec<grbac::core::id::TransactionId>,
+    grbac::core::id::ObjectId,
+) {
+    let mut engine = Grbac::new();
+    let roles: Vec<_> = (0..ROLES)
+        .map(|i| engine.declare_subject_role(format!("r{i}")).unwrap())
+        .collect();
+    let transactions: Vec<_> = (0..TRANSACTIONS)
+        .map(|i| engine.declare_transaction(format!("t{i}")).unwrap())
+        .collect();
+    let subjects: Vec<_> = (0..SUBJECTS)
+        .map(|i| engine.declare_subject(format!("s{i}")).unwrap())
+        .collect();
+    for &(junior, senior) in &spec.edges {
+        engine
+            .specialize(roles[junior as usize], roles[senior as usize])
+            .unwrap();
+    }
+    for &(role, transaction) in &spec.authorizations {
+        engine
+            .add_rule(
+                grbac::core::rule::RuleDef::permit()
+                    .subject_role(roles[role as usize])
+                    .transaction(transactions[transaction as usize]),
+            )
+            .unwrap();
+    }
+    for &(subject, role) in &spec.assignments {
+        engine
+            .assign_subject_role(subjects[subject as usize], roles[role as usize])
+            .unwrap();
+    }
+    let dummy = engine.declare_object("dummy").unwrap();
+    (engine, subjects, transactions, dummy)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// `exec(s, t)` in RBAC equals GRBAC mediation of the embedded
+    /// policy for every (subject, transaction) pair.
+    #[test]
+    fn rbac_is_grbac_with_subject_roles_only(spec in rbac_spec()) {
+        let (rbac_system, rbac_subjects, rbac_transactions) = build_rbac(&spec);
+        let (grbac_system, grbac_subjects, grbac_transactions, dummy) =
+            embed_into_grbac(&spec);
+
+        for si in 0..SUBJECTS as usize {
+            for ti in 0..TRANSACTIONS as usize {
+                let expected = rbac_system
+                    .exec(rbac_subjects[si], rbac_transactions[ti])
+                    .unwrap();
+                let decision = grbac_system
+                    .decide(&AccessRequest::by_subject(
+                        grbac_subjects[si],
+                        grbac_transactions[ti],
+                        dummy,
+                        EnvironmentSnapshot::new(),
+                    ))
+                    .unwrap();
+                prop_assert_eq!(
+                    expected,
+                    decision.is_permitted(),
+                    "subject {} transaction {} disagree",
+                    si,
+                    ti
+                );
+            }
+        }
+    }
+
+    /// The embedding also preserves session semantics: a session with
+    /// one activated role matches RBAC's session-scoped `exec`.
+    #[test]
+    fn session_semantics_survive_embedding(
+        spec in rbac_spec(),
+        active_role in 0..ROLES,
+        subject in 0..SUBJECTS,
+        transaction in 0..TRANSACTIONS,
+    ) {
+        // Only meaningful when the subject is authorized for the role.
+        let mut with_assignment = spec.clone();
+        with_assignment.assignments.push((subject, active_role));
+
+        let (mut rbac_system, rbac_subjects, rbac_transactions) =
+            build_rbac(&with_assignment);
+        let (mut grbac_system, grbac_subjects, grbac_transactions, dummy) =
+            embed_into_grbac(&with_assignment);
+
+        let rbac_session = rbac_system.open_session(rbac_subjects[subject as usize]).unwrap();
+        let rbac_role = rbac::RoleId::from_raw(active_role);
+        rbac_system.activate_role(rbac_session, rbac_role).unwrap();
+
+        let grbac_session = grbac_system
+            .open_session(grbac_subjects[subject as usize])
+            .unwrap();
+        let grbac_role = grbac::core::id::RoleId::from_raw(active_role);
+        grbac_system.activate_role(grbac_session, grbac_role).unwrap();
+
+        let expected = rbac_system
+            .exec_in_session(rbac_session, rbac_transactions[transaction as usize])
+            .unwrap();
+        let decision = grbac_system
+            .decide(&AccessRequest::by_session(
+                grbac_session,
+                grbac_transactions[transaction as usize],
+                dummy,
+                EnvironmentSnapshot::new(),
+            ))
+            .unwrap();
+        prop_assert_eq!(expected, decision.is_permitted());
+    }
+}

@@ -1,0 +1,165 @@
+//! Property-based tests over the sensing substrate: posterior and band
+//! probabilities are well-formed, fusion strategies respect their
+//! bounds, and the authenticator's contexts are consistent with the
+//! evidence that produced them.
+
+use grbac::core::confidence::Confidence;
+use grbac::core::id::{RoleId, SubjectId};
+use grbac::sense::evidence::{Claim, Evidence};
+use grbac::sense::fusion::{fuse_evidence, FusionStrategy};
+use grbac::sense::{Authenticator, SmartFloor};
+use proptest::prelude::*;
+
+fn s(n: u64) -> SubjectId {
+    SubjectId::from_raw(n)
+}
+fn r(n: u64) -> RoleId {
+    RoleId::from_raw(n)
+}
+
+proptest! {
+    /// Smart Floor evidence is always well-formed: confidences in
+    /// [0, 1], at most one identity claim, one claim per role band.
+    #[test]
+    fn floor_evidence_is_well_formed(
+        weights in prop::collection::vec(20.0f64..150.0, 1..6),
+        measured in -50.0f64..300.0,
+        sigma in 0.5f64..10.0,
+    ) {
+        let mut floor = SmartFloor::new(sigma).expect("positive sigma");
+        for (i, &w) in weights.iter().enumerate() {
+            floor.enroll(s(i as u64), w).expect("positive weights");
+        }
+        floor.add_role_band(r(0), 20.0, 50.0).expect("valid band");
+        floor.add_role_band(r(1), 50.0, 150.0).expect("valid band");
+
+        let evidence = floor.evidence_for_measurement(measured);
+        let identities = evidence
+            .iter()
+            .filter(|e| matches!(e.claim, Claim::Identity(_)))
+            .count();
+        prop_assert!(identities <= 1);
+        let roles = evidence
+            .iter()
+            .filter(|e| matches!(e.claim, Claim::RoleMembership(_)))
+            .count();
+        prop_assert_eq!(roles, 2);
+        for e in &evidence {
+            prop_assert!((0.0..=1.0).contains(&e.confidence.value()));
+        }
+    }
+
+    /// The identity posterior peaks at the enrolled weight: measuring a
+    /// resident's exact weight always yields at least the confidence of
+    /// measuring anything 10+ kg away.
+    #[test]
+    fn posterior_peaks_at_enrolled_weight(
+        weight in 30.0f64..120.0,
+        offset in 10.0f64..60.0,
+    ) {
+        let mut floor = SmartFloor::new(3.0).expect("valid sigma");
+        floor.enroll(s(0), weight).expect("valid weight");
+
+        let exact = identity_confidence(&floor.evidence_for_measurement(weight));
+        let far = identity_confidence(&floor.evidence_for_measurement(weight + offset));
+        prop_assert!(exact >= far, "exact {exact:?} vs far {far:?}");
+    }
+
+    /// Widening a role band never decreases the membership probability.
+    #[test]
+    fn band_probability_is_monotone_in_width(
+        measured in 0.0f64..200.0,
+        lo in 20.0f64..60.0,
+        width in 1.0f64..40.0,
+        widen in 1.0f64..40.0,
+    ) {
+        let narrow = band_confidence(measured, lo, lo + width);
+        let wide = band_confidence(measured, lo - widen, lo + width + widen);
+        prop_assert!(wide >= narrow - 1e-12, "wide {wide} narrow {narrow}");
+    }
+
+    /// Every fusion strategy stays within [min input, max input] —
+    /// except noisy-or, which may exceed the max but never 1.
+    #[test]
+    fn fusion_respects_bounds(
+        confidences in prop::collection::vec(0.0f64..=1.0, 1..6),
+    ) {
+        let inputs: Vec<Confidence> =
+            confidences.iter().map(|&c| Confidence::saturating(c)).collect();
+        let max = inputs.iter().copied().fold(Confidence::ZERO, Confidence::max);
+        let min = inputs.iter().copied().fold(Confidence::FULL, Confidence::min);
+        for strategy in FusionStrategy::ALL {
+            let fused = strategy.fuse(&inputs);
+            prop_assert!((0.0..=1.0).contains(&fused.value()), "{strategy}");
+            match strategy {
+                FusionStrategy::NoisyOr => prop_assert!(fused >= max),
+                FusionStrategy::Max => prop_assert_eq!(fused, max),
+                FusionStrategy::Min => prop_assert_eq!(fused, min),
+                FusionStrategy::Average => {
+                    prop_assert!(fused >= min && fused <= max);
+                }
+            }
+        }
+    }
+
+    /// `fuse_evidence` partitions by claim: each distinct claim appears
+    /// exactly once in the output, and singleton claims pass through
+    /// unchanged under every strategy.
+    #[test]
+    fn fuse_evidence_partitions_claims(
+        role_ids in prop::collection::btree_set(0u64..8, 1..5),
+        confidence in 0.0f64..=1.0,
+    ) {
+        let evidence: Vec<Evidence> = role_ids
+            .iter()
+            .map(|&id| Evidence::role("sensor", r(id), Confidence::saturating(confidence)))
+            .collect();
+        for strategy in FusionStrategy::ALL {
+            let fused = fuse_evidence(&evidence, strategy);
+            prop_assert_eq!(fused.len(), role_ids.len(), "{}", strategy);
+            for (_, c) in fused {
+                prop_assert_eq!(c, Confidence::saturating(confidence));
+            }
+        }
+    }
+
+    /// The authenticator's context reports exactly the fused values for
+    /// the evidence it was given.
+    #[test]
+    fn authenticator_context_matches_fused_evidence(
+        id_conf in 0.01f64..=1.0,
+        role_conf in 0.01f64..=1.0,
+    ) {
+        let auth = Authenticator::new(FusionStrategy::NoisyOr);
+        let evidence = vec![
+            Evidence::identity("a", s(0), Confidence::saturating(id_conf)),
+            Evidence::role("a", r(0), Confidence::saturating(role_conf)),
+            Evidence::role("b", r(0), Confidence::saturating(role_conf)),
+        ];
+        let ctx = auth.context_from_evidence(&evidence);
+        prop_assert_eq!(ctx.identity().map(|(subject, _)| subject), Some(s(0)));
+        let expected = Confidence::saturating(role_conf)
+            .combine_independent(Confidence::saturating(role_conf));
+        prop_assert!((ctx.role_confidence(r(0)).value() - expected.value()).abs() < 1e-12);
+    }
+}
+
+fn identity_confidence(evidence: &[Evidence]) -> Option<Confidence> {
+    evidence.iter().find_map(|e| match e.claim {
+        Claim::Identity(_) => Some(e.confidence),
+        Claim::RoleMembership(_) => None,
+    })
+}
+
+fn band_confidence(measured: f64, lo: f64, hi: f64) -> f64 {
+    let mut floor = SmartFloor::new(3.0).expect("valid sigma");
+    floor.add_role_band(r(0), lo, hi).expect("valid band");
+    floor
+        .evidence_for_measurement(measured)
+        .into_iter()
+        .find_map(|e| match e.claim {
+            Claim::RoleMembership(_) => Some(e.confidence.value()),
+            Claim::Identity(_) => None,
+        })
+        .expect("band claim present")
+}
