@@ -1,5 +1,9 @@
 //! E5 (§4.2.4): GRBAC mediation cost vs policy size, against the RBAC
-//! baseline.
+//! baseline, plus the compiled-index ablation: `grbac` is the default
+//! `decide()` (compiled mediation index), `scan` is the retained
+//! reference full-policy scan (`decide_naive()`), and `batch` is
+//! `decide_batch()` over the whole request set (reported per batch;
+//! divide by the request count for per-decision cost).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use grbac_bench::fixtures::{synthetic_grbac, synthetic_rbac, SyntheticConfig};
@@ -8,7 +12,7 @@ use rand::SeedableRng;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e5_mediation");
-    for rules in [16usize, 128, 1024] {
+    for rules in [16usize, 128, 1024, 4096] {
         let system = synthetic_grbac(&SyntheticConfig {
             rules,
             subject_roles: 32,
@@ -27,6 +31,27 @@ fn bench(c: &mut Criterion) {
                     i += 1;
                     std::hint::black_box(system.engine.decide(request).expect("known ids"))
                 });
+            },
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("scan", rules),
+            &requests,
+            |b, requests| {
+                let mut i = 0;
+                b.iter(|| {
+                    let request = &requests[i % requests.len()];
+                    i += 1;
+                    std::hint::black_box(system.engine.decide_naive(request).expect("known ids"))
+                });
+            },
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("batch", rules),
+            &requests,
+            |b, requests| {
+                b.iter(|| std::hint::black_box(system.engine.decide_batch(requests)));
             },
         );
 

@@ -122,6 +122,20 @@ impl Assignments {
         self.objects_in_role.get(&role).cloned().unwrap_or_default()
     }
 
+    /// Iterates over every subject that has (or once had) a direct
+    /// assignment, with its current direct role set. Order is
+    /// unspecified; used by the compiled index to precompute
+    /// hierarchy expansions.
+    pub fn subjects_with_roles(&self) -> impl Iterator<Item = (SubjectId, &BTreeSet<RoleId>)> {
+        self.subject_roles.iter().map(|(&id, roles)| (id, roles))
+    }
+
+    /// Iterates over every object that has (or once had) a direct
+    /// assignment, with its current direct role set.
+    pub fn objects_with_roles(&self) -> impl Iterator<Item = (ObjectId, &BTreeSet<RoleId>)> {
+        self.object_roles.iter().map(|(&id, roles)| (id, roles))
+    }
+
     /// Total number of subject-role assignment pairs.
     #[must_use]
     pub fn subject_assignment_count(&self) -> usize {

@@ -48,7 +48,9 @@
 //! # }
 //! ```
 
+use std::borrow::Cow;
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
@@ -60,6 +62,7 @@ use crate::environment::EnvironmentSnapshot;
 use crate::error::{GrbacError, Result};
 use crate::explain::{Decision, Explanation, MatchedRule, Reason};
 use crate::id::{IdAllocator, ObjectId, RoleId, RuleId, SessionId, SubjectId, TransactionId};
+use crate::index::{CachedExpansion, CompiledIndex, IndexCell};
 use crate::precedence::ConflictStrategy;
 use crate::role::{RoleCatalog, RoleKind};
 use crate::rule::{Effect, Rule, RuleDef, RoleSpec, TransactionSpec};
@@ -171,6 +174,14 @@ pub struct Grbac {
     audit: AuditLog,
     #[serde(default)]
     delegation: crate::delegation::DelegationState,
+    /// Bumped by every mutation that can change a decision (roles,
+    /// hierarchy edges, assignments, rules); keys the compiled index.
+    #[serde(skip)]
+    generation: u64,
+    /// Lazily-built compiled mediation index (derived state — never
+    /// serialized, rebuilt on demand after deserialization or cloning).
+    #[serde(skip)]
+    index: IndexCell,
 }
 
 impl Default for Grbac {
@@ -199,7 +210,23 @@ impl Grbac {
             default_min_confidence: Confidence::FULL,
             audit: AuditLog::new(),
             delegation: crate::delegation::DelegationState::default(),
+            generation: 0,
+            index: IndexCell::default(),
         }
+    }
+
+    /// Marks decision-relevant state as changed so the next mediation
+    /// rebuilds the compiled index.
+    fn touch(&mut self) {
+        self.generation = self.generation.wrapping_add(1);
+    }
+
+    /// The compiled index for the current generation, building it if a
+    /// mutation (or deserialization) invalidated the cached one.
+    fn compiled(&self) -> Arc<CompiledIndex> {
+        self.index.get_or_build(self.generation, || {
+            CompiledIndex::build(&self.roles, &self.assignments, &self.rules)
+        })
     }
 
     pub(crate) fn delegation(&self) -> &crate::delegation::DelegationState {
@@ -220,7 +247,9 @@ impl Grbac {
     ///
     /// [`GrbacError::DuplicateName`] on repeated names.
     pub fn declare_subject_role(&mut self, name: impl Into<String>) -> Result<RoleId> {
-        self.roles.declare(name, RoleKind::Subject)
+        let id = self.roles.declare(name, RoleKind::Subject)?;
+        self.touch();
+        Ok(id)
     }
 
     /// Declares an object role.
@@ -229,7 +258,9 @@ impl Grbac {
     ///
     /// [`GrbacError::DuplicateName`] on repeated names.
     pub fn declare_object_role(&mut self, name: impl Into<String>) -> Result<RoleId> {
-        self.roles.declare(name, RoleKind::Object)
+        let id = self.roles.declare(name, RoleKind::Object)?;
+        self.touch();
+        Ok(id)
     }
 
     /// Declares an environment role.
@@ -238,7 +269,9 @@ impl Grbac {
     ///
     /// [`GrbacError::DuplicateName`] on repeated names.
     pub fn declare_environment_role(&mut self, name: impl Into<String>) -> Result<RoleId> {
-        self.roles.declare(name, RoleKind::Environment)
+        let id = self.roles.declare(name, RoleKind::Environment)?;
+        self.touch();
+        Ok(id)
     }
 
     /// Declares a subject (user).
@@ -274,7 +307,9 @@ impl Grbac {
     ///
     /// See [`RoleCatalog::specialize`].
     pub fn specialize(&mut self, specific: RoleId, general: RoleId) -> Result<()> {
-        self.roles.specialize(specific, general)
+        self.roles.specialize(specific, general)?;
+        self.touch();
+        Ok(())
     }
 
     // ------------------------------------------------------------------
@@ -299,6 +334,7 @@ impl Grbac {
         // delegation-created assignment of the same pair, so revoking
         // that delegation later will not strip an administrator grant.
         self.delegation.release_ownership(subject, role);
+        self.touch();
         Ok(())
     }
 
@@ -327,6 +363,7 @@ impl Grbac {
                 session.deactivate(r);
             }
         }
+        self.touch();
         Ok(())
     }
 
@@ -339,6 +376,7 @@ impl Grbac {
         self.entities.object(object)?;
         self.roles.expect_kind(role, RoleKind::Object)?;
         self.assignments.assign_object(object, role);
+        self.touch();
         Ok(())
     }
 
@@ -351,6 +389,7 @@ impl Grbac {
         self.entities.object(object)?;
         self.roles.role(role)?;
         self.assignments.revoke_object(object, role);
+        self.touch();
         Ok(())
     }
 
@@ -509,6 +548,7 @@ impl Grbac {
         }
         let id = RuleId::from_raw(self.rule_alloc.next());
         self.rules.push(Rule::from_def(id, def));
+        self.touch();
         Ok(id)
     }
 
@@ -516,7 +556,11 @@ impl Grbac {
     pub fn remove_rule(&mut self, id: RuleId) -> bool {
         let before = self.rules.len();
         self.rules.retain(|r| r.id() != id);
-        self.rules.len() != before
+        let removed = self.rules.len() != before;
+        if removed {
+            self.touch();
+        }
+        removed
     }
 
     /// The registered rules in policy order.
@@ -614,10 +658,212 @@ impl Grbac {
 
     /// Mediates a request without recording it (pure; `&self`).
     ///
+    /// Runs on the compiled mediation index: candidate rules come from
+    /// the transaction-keyed rule index, role expansions from cached
+    /// bitset closures. The outcome is identical to the retained
+    /// reference scan ([`decide_naive`](Self::decide_naive)) — the
+    /// `prop_index` differential suite holds the two paths equal.
+    ///
     /// # Errors
     ///
     /// Unknown session/subject/object/transaction ids in the request.
     pub fn decide(&self, request: &AccessRequest) -> Result<Decision> {
+        let index = self.compiled();
+        self.decide_with_index(request, &index)
+    }
+
+    /// Mediates a batch of requests against one snapshot of the
+    /// compiled index, amortizing the generation check and (with the
+    /// `parallel` feature) fanning the work across OS threads.
+    ///
+    /// Results are returned in request order; each element is exactly
+    /// what [`decide`](Self::decide) would have returned for that
+    /// request.
+    #[must_use]
+    pub fn decide_batch(&self, requests: &[AccessRequest]) -> Vec<Result<Decision>> {
+        let index = self.compiled();
+        #[cfg(feature = "parallel")]
+        {
+            let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+            // Below ~32 requests the spawn overhead dominates.
+            if threads > 1 && requests.len() >= 32 {
+                let chunk = requests.len().div_ceil(threads);
+                let index = &index;
+                return std::thread::scope(|scope| {
+                    let workers: Vec<_> = requests
+                        .chunks(chunk)
+                        .map(|part| {
+                            scope.spawn(move || {
+                                part.iter()
+                                    .map(|request| self.decide_with_index(request, index))
+                                    .collect::<Vec<_>>()
+                            })
+                        })
+                        .collect();
+                    workers
+                        .into_iter()
+                        .flat_map(|worker| worker.join().expect("decide worker panicked"))
+                        .collect()
+                });
+            }
+        }
+        requests
+            .iter()
+            .map(|request| self.decide_with_index(request, &index))
+            .collect()
+    }
+
+    /// The compiled mediation path shared by [`decide`](Self::decide)
+    /// and [`decide_batch`](Self::decide_batch).
+    fn decide_with_index(&self, request: &AccessRequest, index: &CompiledIndex) -> Result<Decision> {
+        self.entities.transaction(request.transaction)?;
+        self.entities.object(request.object)?;
+
+        // 1. The requester's roles: cached expansions for trusted
+        //    subjects, per-request closure merges for sessions and
+        //    sensed contexts.
+        let subject = self.subject_view(&request.actor, index)?;
+
+        // 2. Object roles from the cache; environment expanded per
+        //    request (activation state is not generation-tracked).
+        let object = index.object(request.object);
+        let environment = index
+            .closures
+            .expand(request.environment.active().iter().copied());
+
+        // 3. Match candidate rules in policy order.
+        let candidates = index.rules.candidates(request.transaction);
+        let mut matched = Vec::with_capacity(candidates.len());
+        let mut confidence_near_miss: Option<(Confidence, Confidence)> = None;
+        for position in candidates {
+            let rule = &self.rules[position];
+            let object_distance = match rule.object_role() {
+                RoleSpec::Any => usize::MAX,
+                RoleSpec::Is(ro) => {
+                    if !object.contains(ro) {
+                        continue;
+                    }
+                    index.closures.min_distance(&object.direct, ro)
+                }
+            };
+            if !environment.covers(index.rules.env_mask(position)) {
+                continue;
+            }
+            let (subject_distance, subject_confidence) = match rule.subject_role() {
+                RoleSpec::Any => (usize::MAX, Confidence::FULL),
+                RoleSpec::Is(rs) => {
+                    let Some(confidence) = subject.confidence(rs) else {
+                        continue;
+                    };
+                    let distance = index.closures.min_distance(subject.direct(), rs);
+                    if rule.effect() == Effect::Permit {
+                        let required = rule.min_confidence().unwrap_or(self.default_min_confidence);
+                        if !confidence.meets(required) {
+                            // Track the closest miss for the explanation.
+                            let better = confidence_near_miss
+                                .is_none_or(|(_, achieved)| confidence > achieved);
+                            if better {
+                                confidence_near_miss = Some((required, confidence));
+                            }
+                            continue;
+                        }
+                    }
+                    (distance, confidence)
+                }
+            };
+            matched.push(MatchedRule {
+                rule: rule.id(),
+                effect: rule.effect(),
+                position,
+                subject_confidence,
+                subject_distance,
+                object_distance,
+                constraint_count: rule.constraint_count(),
+            });
+        }
+
+        // 4. Resolve conflicts and build the decision, reusing the
+        //    already-expanded role sets for the explanation.
+        let winner = self.strategy.resolve(&matched);
+        let (effect, winner_id, reason) = match winner {
+            Some(w) => (w.effect, Some(w.rule), Reason::ResolvedBy(self.strategy)),
+            None => {
+                let reason = match confidence_near_miss {
+                    Some((required, achieved)) => Reason::ConfidenceTooLow { required, achieved },
+                    None => Reason::DefaultDecision,
+                };
+                (self.default_effect, None, reason)
+            }
+        };
+        Ok(Decision::new(
+            effect,
+            Explanation {
+                subject_roles: subject.into_roles(),
+                object_roles: object.expanded.clone(),
+                environment_roles: environment.expanded,
+                matched,
+                winner: winner_id,
+                reason,
+            },
+        ))
+    }
+
+    /// Builds the requester's role view for the compiled path,
+    /// mirroring [`subject_bindings`](Self::subject_bindings) exactly:
+    /// fully-trusted actors see their (cached) expansion at full
+    /// confidence, sensed actors get the identity/claim max-merge.
+    fn subject_view<'a>(&self, actor: &Actor, index: &'a CompiledIndex) -> Result<SubjectView<'a>> {
+        match actor {
+            Actor::Session(id) => {
+                let session = self.sessions.session(*id)?;
+                Ok(SubjectView::Full(Cow::Owned(
+                    index
+                        .closures
+                        .expand(session.active_roles().iter().copied()),
+                )))
+            }
+            Actor::Subject(id) => {
+                self.entities.subject(*id)?;
+                Ok(SubjectView::Full(Cow::Borrowed(index.subject(*id))))
+            }
+            Actor::Sensed(ctx) => {
+                let mut direct = BTreeSet::new();
+                let mut conf = BTreeMap::new();
+                // Identity-derived roles inherit the identity confidence.
+                if let Some((subject, identity_conf)) = ctx.identity() {
+                    if self.entities.subject(subject).is_ok() {
+                        let cached = index.subject(subject);
+                        direct.extend(cached.direct.iter().copied());
+                        for &role in &cached.expanded {
+                            upgrade(&mut conf, role, identity_conf);
+                        }
+                    }
+                }
+                // Direct role claims may exceed the identity confidence —
+                // the §5.2 mechanism. Claims about undeclared roles are
+                // ignored.
+                for (role, claim_conf) in ctx.role_claims() {
+                    if index.closures.is_declared(role) {
+                        direct.insert(role);
+                        for implied in index.closures.closure_members(role) {
+                            upgrade(&mut conf, implied, claim_conf);
+                        }
+                    }
+                }
+                Ok(SubjectView::Mixed { direct, conf })
+            }
+        }
+    }
+
+    /// Reference mediation path: the original full-policy scan with
+    /// per-request BFS expansions. Kept (not cfg-gated) so the
+    /// differential property suite and the E5 benchmark can hold the
+    /// compiled path to byte-identical decisions.
+    ///
+    /// # Errors
+    ///
+    /// Unknown session/subject/object/transaction ids in the request.
+    pub fn decide_naive(&self, request: &AccessRequest) -> Result<Decision> {
         self.entities.transaction(request.transaction)?;
         self.entities.object(request.object)?;
 
@@ -874,6 +1120,52 @@ fn upgrade(conf: &mut BTreeMap<RoleId, Confidence>, role: RoleId, confidence: Co
     conf.entry(role)
         .and_modify(|c| *c = (*c).max(confidence))
         .or_insert(confidence);
+}
+
+/// The requester's roles as seen by the compiled mediation path.
+///
+/// Fully-trusted actors (sessions, logged-in subjects) hold their
+/// entire expansion at [`Confidence::FULL`], so a bitset membership
+/// test replaces the role→confidence map the naive path builds; only
+/// sensed actors need per-role confidences.
+enum SubjectView<'a> {
+    /// Every expanded role at full confidence; borrows the cached
+    /// expansion for [`Actor::Subject`], owns a fresh one for
+    /// [`Actor::Session`].
+    Full(Cow<'a, CachedExpansion>),
+    /// Sensed actor: direct roles plus the max-merged confidence map.
+    Mixed {
+        direct: BTreeSet<RoleId>,
+        conf: BTreeMap<RoleId, Confidence>,
+    },
+}
+
+impl SubjectView<'_> {
+    /// The confidence at which the requester holds `role`, if at all.
+    fn confidence(&self, role: RoleId) -> Option<Confidence> {
+        match self {
+            SubjectView::Full(expansion) => expansion.contains(role).then_some(Confidence::FULL),
+            SubjectView::Mixed { conf, .. } => conf.get(&role).copied(),
+        }
+    }
+
+    /// The direct (unexpanded) role set, for specificity distances.
+    fn direct(&self) -> &BTreeSet<RoleId> {
+        match self {
+            SubjectView::Full(expansion) => &expansion.direct,
+            SubjectView::Mixed { direct, .. } => direct,
+        }
+    }
+
+    /// The expanded role set for the explanation, reusing the already
+    /// computed expansion instead of rebuilding it per request.
+    fn into_roles(self) -> BTreeSet<RoleId> {
+        match self {
+            SubjectView::Full(Cow::Borrowed(expansion)) => expansion.expanded.clone(),
+            SubjectView::Full(Cow::Owned(expansion)) => expansion.expanded,
+            SubjectView::Mixed { conf, .. } => conf.keys().copied().collect(),
+        }
+    }
 }
 
 #[cfg(test)]

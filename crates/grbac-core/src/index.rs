@@ -1,0 +1,549 @@
+//! Compiled mediation index: precomputed role closures, a
+//! transaction-keyed rule index, and cached entity expansions.
+//!
+//! [`Grbac::decide`](crate::engine::Grbac::decide) answers each request
+//! by (1) hierarchy-expanding the requester's, object's and
+//! environment's role sets and (2) scanning the policy for applicable
+//! rules. Done naively — breadth-first searches per expansion, a full
+//! rule scan per request — mediation cost grows with policy size even
+//! when almost no rule can apply (the Aware Home's policy mentions
+//! `use` rules when the request is `unlock`). This module compiles the
+//! engine's slow-moving state into flat lookup structures so the
+//! per-request path touches only candidate rules and never re-walks
+//! the hierarchy:
+//!
+//! * [`RoleClosures`] — per-role upward-closure **bitsets** over the
+//!   dense role-id space, plus sorted `(ancestor, distance)` rows that
+//!   answer [`distance_up`](crate::hierarchy::RoleHierarchy::distance_up)
+//!   queries by binary search instead of BFS;
+//! * [`RuleIndex`] — rule positions bucketed by their
+//!   [`TransactionSpec`](crate::rule::TransactionSpec): an exact bucket
+//!   per transaction plus one `Any` bucket, merged in policy order so
+//!   conflict resolution sees the same sequence the naive scan
+//!   produces;
+//! * [`CachedExpansion`] — hierarchy-expanded role sets (as both
+//!   `BTreeSet` and bitset) for every assigned subject and object.
+//!
+//! The index is **derived state**: it is rebuilt lazily (behind
+//! [`IndexCell`]) whenever the engine's generation counter says roles,
+//! assignments or rules changed, is skipped by serialization, and must
+//! never influence a decision — `tests/prop_index.rs` holds the engine
+//! to that by comparing every compiled decision against the retained
+//! naive scan.
+
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::sync::{Arc, RwLock};
+
+use crate::assignment::Assignments;
+use crate::id::{ObjectId, RoleId, SubjectId, TransactionId};
+use crate::role::RoleCatalog;
+use crate::rule::{Rule, TransactionSpec};
+
+/// Precomputed upward closures and pairwise upward distances for every
+/// declared role, laid out over the dense role-id space (role ids are
+/// allocated sequentially and never retired, so `id.as_raw()` doubles
+/// as a dense index).
+#[derive(Debug)]
+pub(crate) struct RoleClosures {
+    role_count: usize,
+    /// Words per bitset row.
+    words: usize,
+    /// `role_count` rows of `words` words; row `r` holds closure(r).
+    closure_bits: Vec<u64>,
+    /// Row `r`: `(ancestor_raw, distance)` sorted by ancestor id.
+    /// Always contains `(r, 0)` — a role is in its own closure.
+    ancestors: Vec<Vec<(u32, u32)>>,
+}
+
+impl RoleClosures {
+    fn build(catalog: &RoleCatalog) -> Self {
+        let role_count = catalog
+            .iter()
+            .map(|role| role.id().as_raw() as usize + 1)
+            .max()
+            .unwrap_or(0);
+        let words = role_count.div_ceil(64);
+        let mut closure_bits = vec![0u64; role_count * words];
+        let mut ancestors = vec![Vec::new(); role_count];
+
+        for role in catalog.iter() {
+            let raw = role.id().as_raw() as usize;
+            let hierarchy = catalog.hierarchy(role.kind());
+            // BFS upward, recording the shortest distance to each
+            // ancestor — the same walk RoleHierarchy::distance_up does
+            // per query, performed once here.
+            let mut dist: HashMap<RoleId, u32> = HashMap::new();
+            dist.insert(role.id(), 0);
+            let mut frontier = VecDeque::from([role.id()]);
+            while let Some(current) = frontier.pop_front() {
+                let next = dist[&current] + 1;
+                for general in hierarchy.direct_generalizations(current) {
+                    dist.entry(general).or_insert_with(|| {
+                        frontier.push_back(general);
+                        next
+                    });
+                }
+            }
+            let mut row: Vec<(u32, u32)> = dist
+                .into_iter()
+                .map(|(ancestor, d)| (ancestor.as_raw() as u32, d))
+                .collect();
+            row.sort_unstable();
+            for &(ancestor, _) in &row {
+                closure_bits[raw * words + ancestor as usize / 64] |= 1 << (ancestor % 64);
+            }
+            ancestors[raw] = row;
+        }
+
+        Self {
+            role_count,
+            words,
+            closure_bits,
+            ancestors,
+        }
+    }
+
+    /// Number of dense role slots (max raw id + 1 at build time).
+    #[cfg(test)]
+    pub(crate) fn role_count(&self) -> usize {
+        self.role_count
+    }
+
+    /// Words per bitset row.
+    pub(crate) fn words(&self) -> usize {
+        self.words
+    }
+
+    /// True if `role` was declared at build time. Role ids are
+    /// allocated densely with no retirement, so this is a bound check.
+    pub(crate) fn is_declared(&self, role: RoleId) -> bool {
+        (role.as_raw() as usize) < self.role_count
+    }
+
+    /// Members of `role`'s upward closure (the role itself included),
+    /// in ascending id order; empty for undeclared roles.
+    pub(crate) fn closure_members(&self, role: RoleId) -> impl Iterator<Item = RoleId> + '_ {
+        let row: &[(u32, u32)] = if self.is_declared(role) {
+            &self.ancestors[role.as_raw() as usize]
+        } else {
+            &[]
+        };
+        row.iter().map(|&(raw, _)| RoleId::from_raw(u64::from(raw)))
+    }
+
+    /// Shortest upward distance from `specific` to `general`;
+    /// `Some(0)` when equal, `None` when unrelated or undeclared.
+    pub(crate) fn distance_up(&self, specific: RoleId, general: RoleId) -> Option<usize> {
+        if !self.is_declared(specific) {
+            return None;
+        }
+        let row = &self.ancestors[specific.as_raw() as usize];
+        let target = general.as_raw() as u32;
+        row.binary_search_by_key(&target, |&(ancestor, _)| ancestor)
+            .ok()
+            .map(|i| row[i].1 as usize)
+    }
+
+    /// Shortest upward distance from any role in `direct` to `target`
+    /// (`usize::MAX` when unrelated), mirroring the naive
+    /// `min_distance` helper.
+    pub(crate) fn min_distance(&self, direct: &BTreeSet<RoleId>, target: RoleId) -> usize {
+        direct
+            .iter()
+            .filter_map(|&held| self.distance_up(held, target))
+            .min()
+            .unwrap_or(usize::MAX)
+    }
+
+    /// Hierarchy-expands `roles` into a sorted set and a bitset,
+    /// skipping undeclared ids exactly like
+    /// [`RoleCatalog::expand`](crate::role::RoleCatalog::expand).
+    pub(crate) fn expand(&self, roles: impl IntoIterator<Item = RoleId>) -> CachedExpansion {
+        let mut direct = BTreeSet::new();
+        let mut bits = vec![0u64; self.words];
+        for role in roles {
+            if !self.is_declared(role) {
+                continue;
+            }
+            direct.insert(role);
+            let raw = role.as_raw() as usize;
+            for (word, row_word) in bits
+                .iter_mut()
+                .zip(&self.closure_bits[raw * self.words..(raw + 1) * self.words])
+            {
+                *word |= row_word;
+            }
+        }
+        let mut expanded = BTreeSet::new();
+        for (index, &word) in bits.iter().enumerate() {
+            let mut remaining = word;
+            while remaining != 0 {
+                let bit = remaining.trailing_zeros() as u64;
+                expanded.insert(RoleId::from_raw(index as u64 * 64 + bit));
+                remaining &= remaining - 1;
+            }
+        }
+        CachedExpansion {
+            direct,
+            expanded,
+            bits,
+        }
+    }
+}
+
+/// A role set with its hierarchy expansion, in both ordered-set form
+/// (for explanations and confidence lookups) and bitset form (for
+/// subset tests against rule masks).
+#[derive(Debug, Clone)]
+pub(crate) struct CachedExpansion {
+    /// The direct (unexpanded) roles.
+    pub(crate) direct: BTreeSet<RoleId>,
+    /// The upward closure of `direct`.
+    pub(crate) expanded: BTreeSet<RoleId>,
+    /// `expanded` as a bitset over the dense role space.
+    pub(crate) bits: Vec<u64>,
+}
+
+impl CachedExpansion {
+    /// True if the expansion contains `role`.
+    pub(crate) fn contains(&self, role: RoleId) -> bool {
+        let raw = role.as_raw() as usize;
+        let word = raw / 64;
+        word < self.bits.len() && self.bits[word] & (1 << (raw % 64)) != 0
+    }
+
+    /// True if every bit of `mask` is set in this expansion.
+    pub(crate) fn covers(&self, mask: &[u64]) -> bool {
+        debug_assert_eq!(mask.len(), self.bits.len());
+        mask.iter()
+            .zip(&self.bits)
+            .all(|(required, held)| required & !held == 0)
+    }
+}
+
+/// Rule positions bucketed by transaction, plus per-rule environment
+/// masks, so `decide` visits only rules that could match the request's
+/// transaction and tests their environment guard in `O(words)`.
+#[derive(Debug)]
+pub(crate) struct RuleIndex {
+    /// Positions of rules with `TransactionSpec::Is(t)`, keyed by raw
+    /// transaction id, each ascending.
+    exact: HashMap<u64, Vec<u32>>,
+    /// Positions of rules with `TransactionSpec::Any`, ascending.
+    any_bucket: Vec<u32>,
+    /// `rules.len()` rows of `words` words: row `p` is the bitset of
+    /// rule `p`'s (expanded-by-nothing, direct) environment roles.
+    env_masks: Vec<u64>,
+    words: usize,
+}
+
+impl RuleIndex {
+    fn build(rules: &[Rule], words: usize) -> Self {
+        let mut exact: HashMap<u64, Vec<u32>> = HashMap::new();
+        let mut any_bucket = Vec::new();
+        let mut env_masks = vec![0u64; rules.len() * words];
+        for (position, rule) in rules.iter().enumerate() {
+            match rule.transaction() {
+                TransactionSpec::Is(t) => {
+                    exact.entry(t.as_raw()).or_default().push(position as u32);
+                }
+                TransactionSpec::Any => any_bucket.push(position as u32),
+            }
+            for &env in rule.environment_roles() {
+                let raw = env.as_raw() as usize;
+                env_masks[position * words + raw / 64] |= 1 << (raw % 64);
+            }
+        }
+        Self {
+            exact,
+            any_bucket,
+            env_masks,
+            words,
+        }
+    }
+
+    /// Rule positions that could match `transaction`, in policy order —
+    /// the exact bucket merged with the `Any` bucket.
+    pub(crate) fn candidates(&self, transaction: TransactionId) -> Candidates<'_> {
+        Candidates {
+            exact: self
+                .exact
+                .get(&transaction.as_raw())
+                .map_or(&[][..], Vec::as_slice),
+            any: &self.any_bucket,
+        }
+    }
+
+    /// The environment-role bitset of the rule at `position`.
+    pub(crate) fn env_mask(&self, position: usize) -> &[u64] {
+        &self.env_masks[position * self.words..(position + 1) * self.words]
+    }
+}
+
+/// Position-ordered merge of a transaction's exact bucket with the
+/// `Any` bucket.
+pub(crate) struct Candidates<'a> {
+    exact: &'a [u32],
+    any: &'a [u32],
+}
+
+impl Candidates<'_> {
+    /// Upper bound on matches — used to size the `matched` vector.
+    pub(crate) fn len(&self) -> usize {
+        self.exact.len() + self.any.len()
+    }
+}
+
+impl Iterator for Candidates<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        let next = match (self.exact.first(), self.any.first()) {
+            (Some(&e), Some(&a)) => {
+                if e < a {
+                    self.exact = &self.exact[1..];
+                    e
+                } else {
+                    self.any = &self.any[1..];
+                    a
+                }
+            }
+            (Some(&e), None) => {
+                self.exact = &self.exact[1..];
+                e
+            }
+            (None, Some(&a)) => {
+                self.any = &self.any[1..];
+                a
+            }
+            (None, None) => return None,
+        };
+        Some(next as usize)
+    }
+}
+
+/// Everything `decide` needs that depends only on roles, assignments
+/// and rules — rebuilt as a unit when any of those change.
+#[derive(Debug)]
+pub(crate) struct CompiledIndex {
+    pub(crate) closures: RoleClosures,
+    pub(crate) rules: RuleIndex,
+    subjects: HashMap<u64, CachedExpansion>,
+    objects: HashMap<u64, CachedExpansion>,
+    /// Returned for entities with no assignments, so lookups are
+    /// infallible and bitset-sized correctly.
+    empty: CachedExpansion,
+}
+
+impl CompiledIndex {
+    pub(crate) fn build(catalog: &RoleCatalog, assignments: &Assignments, rules: &[Rule]) -> Self {
+        let closures = RoleClosures::build(catalog);
+        let rule_index = RuleIndex::build(rules, closures.words());
+        let subjects = assignments
+            .subjects_with_roles()
+            .map(|(id, roles)| (id.as_raw(), closures.expand(roles.iter().copied())))
+            .collect();
+        let objects = assignments
+            .objects_with_roles()
+            .map(|(id, roles)| (id.as_raw(), closures.expand(roles.iter().copied())))
+            .collect();
+        let empty = CachedExpansion {
+            direct: BTreeSet::new(),
+            expanded: BTreeSet::new(),
+            bits: vec![0u64; closures.words()],
+        };
+        Self {
+            closures,
+            rules: rule_index,
+            subjects,
+            objects,
+            empty,
+        }
+    }
+
+    /// The cached expansion of a subject's authorized role set.
+    pub(crate) fn subject(&self, id: SubjectId) -> &CachedExpansion {
+        self.subjects.get(&id.as_raw()).unwrap_or(&self.empty)
+    }
+
+    /// The cached expansion of an object's role set.
+    pub(crate) fn object(&self, id: ObjectId) -> &CachedExpansion {
+        self.objects.get(&id.as_raw()).unwrap_or(&self.empty)
+    }
+}
+
+/// Lazily-built, generation-checked holder of the [`CompiledIndex`].
+///
+/// The engine bumps its generation counter in every `&mut self` method
+/// that touches roles, assignments or rules; `decide` (`&self`) asks
+/// the cell for an index matching the current generation and rebuilds
+/// on mismatch. Interior mutability keeps mediation `&self`-pure, and
+/// the `Arc` lets `decide_batch` workers share one build.
+pub(crate) struct IndexCell {
+    slot: RwLock<Option<(u64, Arc<CompiledIndex>)>>,
+}
+
+impl IndexCell {
+    /// Returns the index for `generation`, building it at most once
+    /// per generation under contention.
+    pub(crate) fn get_or_build(
+        &self,
+        generation: u64,
+        build: impl FnOnce() -> CompiledIndex,
+    ) -> Arc<CompiledIndex> {
+        if let Some((built_for, index)) = self
+            .slot
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .as_ref()
+        {
+            if *built_for == generation {
+                return Arc::clone(index);
+            }
+        }
+        let mut slot = self
+            .slot
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        // Double-check: another thread may have rebuilt while we
+        // waited for the write lock.
+        if let Some((built_for, index)) = slot.as_ref() {
+            if *built_for == generation {
+                return Arc::clone(index);
+            }
+        }
+        let index = Arc::new(build());
+        *slot = Some((generation, Arc::clone(&index)));
+        index
+    }
+}
+
+impl Default for IndexCell {
+    fn default() -> Self {
+        Self {
+            slot: RwLock::new(None),
+        }
+    }
+}
+
+impl Clone for IndexCell {
+    fn clone(&self) -> Self {
+        // The index is pure derived state keyed by generation, so
+        // sharing the Arc with the clone is safe and skips a rebuild.
+        Self {
+            slot: RwLock::new(
+                self.slot
+                    .read()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .clone(),
+            ),
+        }
+    }
+}
+
+impl std::fmt::Debug for IndexCell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = match self
+            .slot
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .as_ref()
+        {
+            Some((generation, _)) => format!("built@{generation}"),
+            None => "empty".to_owned(),
+        };
+        f.debug_struct("IndexCell").field("state", &state).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::role::RoleKind;
+
+    fn catalog_with_chain() -> (RoleCatalog, [RoleId; 4]) {
+        let mut catalog = RoleCatalog::new();
+        let home_user = catalog.declare("home_user", RoleKind::Subject).unwrap();
+        let family = catalog.declare("family", RoleKind::Subject).unwrap();
+        let parent = catalog.declare("parent", RoleKind::Subject).unwrap();
+        let device = catalog.declare("device", RoleKind::Object).unwrap();
+        catalog.specialize(family, home_user).unwrap();
+        catalog.specialize(parent, family).unwrap();
+        (catalog, [home_user, family, parent, device])
+    }
+
+    #[test]
+    fn closures_match_catalog_expansion() {
+        let (catalog, [home_user, family, parent, device]) = catalog_with_chain();
+        let closures = RoleClosures::build(&catalog);
+        assert_eq!(closures.role_count(), 4);
+        for role in [home_user, family, parent, device] {
+            let expansion = closures.expand([role]);
+            assert_eq!(
+                expansion.expanded,
+                catalog.expand(&BTreeSet::from([role])),
+                "closure mismatch for {role}"
+            );
+            for member in &expansion.expanded {
+                assert!(expansion.contains(*member));
+            }
+        }
+    }
+
+    #[test]
+    fn distances_match_hierarchy_bfs() {
+        let (catalog, [home_user, family, parent, device]) = catalog_with_chain();
+        let closures = RoleClosures::build(&catalog);
+        let hierarchy = catalog.hierarchy(RoleKind::Subject);
+        for &a in &[home_user, family, parent] {
+            for &b in &[home_user, family, parent] {
+                assert_eq!(
+                    closures.distance_up(a, b),
+                    hierarchy.distance_up(a, b),
+                    "distance mismatch {a} -> {b}"
+                );
+            }
+        }
+        assert_eq!(closures.distance_up(parent, parent), Some(0));
+        assert_eq!(closures.distance_up(parent, home_user), Some(2));
+        assert_eq!(closures.distance_up(home_user, parent), None);
+        assert_eq!(closures.distance_up(device, home_user), None);
+        assert_eq!(closures.distance_up(RoleId::from_raw(99), parent), None);
+    }
+
+    #[test]
+    fn expansion_skips_undeclared_roles() {
+        let (catalog, [_, family, ..]) = catalog_with_chain();
+        let closures = RoleClosures::build(&catalog);
+        let expansion = closures.expand([family, RoleId::from_raw(77)]);
+        assert!(!expansion.direct.contains(&RoleId::from_raw(77)));
+        assert!(!expansion.contains(RoleId::from_raw(77)));
+        assert_eq!(
+            expansion.expanded,
+            catalog.expand(&BTreeSet::from([family, RoleId::from_raw(77)]))
+        );
+    }
+
+    #[test]
+    fn candidates_merge_preserves_policy_order() {
+        let candidates = Candidates {
+            exact: &[1, 4, 6],
+            any: &[0, 5],
+        };
+        assert_eq!(candidates.len(), 5);
+        let order: Vec<usize> = candidates.collect();
+        assert_eq!(order, vec![0, 1, 4, 5, 6]);
+    }
+
+    #[test]
+    fn index_cell_rebuilds_only_on_generation_change() {
+        let (catalog, _) = catalog_with_chain();
+        let assignments = Assignments::new();
+        let cell = IndexCell::default();
+        let first = cell.get_or_build(3, || CompiledIndex::build(&catalog, &assignments, &[]));
+        let second = cell.get_or_build(3, || panic!("same generation must reuse the index"));
+        assert!(Arc::ptr_eq(&first, &second));
+        let third = cell.get_or_build(4, || CompiledIndex::build(&catalog, &assignments, &[]));
+        assert!(!Arc::ptr_eq(&first, &third));
+    }
+}

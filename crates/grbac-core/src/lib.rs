@@ -89,6 +89,7 @@ pub mod error;
 pub mod explain;
 pub mod hierarchy;
 pub mod id;
+mod index;
 pub mod precedence;
 pub mod role;
 pub mod rule;

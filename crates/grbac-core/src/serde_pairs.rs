@@ -14,37 +14,46 @@ pub mod hash {
     use std::collections::HashMap;
     use std::hash::Hash;
 
-    use serde::de::{Deserialize, Deserializer};
-    use serde::ser::{Serialize, Serializer};
+    use serde::{Deserialize, Error, Serialize, Value};
 
     /// Serializes the map as a sequence of pairs.
-    ///
-    /// # Errors
-    ///
-    /// Whatever the underlying serializer reports.
-    pub fn serialize<K, V, S>(map: &HashMap<K, V>, serializer: S) -> Result<S::Ok, S::Error>
+    pub fn to_value<K, V>(map: &HashMap<K, V>) -> Value
     where
         K: Serialize,
         V: Serialize,
-        S: Serializer,
     {
-        serializer.collect_seq(map.iter())
+        Value::Seq(
+            map.iter()
+                .map(|(k, v)| Value::Seq(vec![k.to_value(), v.to_value()]))
+                .collect(),
+        )
     }
 
     /// Deserializes a sequence of pairs back into a map.
     ///
     /// # Errors
     ///
-    /// Whatever the underlying deserializer reports.
-    pub fn deserialize<'de, K, V, D>(deserializer: D) -> Result<HashMap<K, V>, D::Error>
+    /// Rejects values that are not sequences of two-element sequences,
+    /// or whose elements fail their own deserialization.
+    pub fn from_value<K, V>(value: &Value) -> Result<HashMap<K, V>, Error>
     where
-        K: Deserialize<'de> + Eq + Hash,
-        V: Deserialize<'de>,
-        D: Deserializer<'de>,
+        K: Deserialize + Eq + Hash,
+        V: Deserialize,
     {
-        Ok(Vec::<(K, V)>::deserialize(deserializer)?
-            .into_iter()
-            .collect())
+        let items = value
+            .as_seq()
+            .ok_or_else(|| Error::expected("pair sequence", value))?;
+        let mut map = HashMap::with_capacity(items.len());
+        for item in items {
+            let pair = item
+                .as_seq()
+                .ok_or_else(|| Error::expected("(key, value) pair", item))?;
+            if pair.len() != 2 {
+                return Err(Error::expected("(key, value) pair", item));
+            }
+            map.insert(K::from_value(&pair[0])?, V::from_value(&pair[1])?);
+        }
+        Ok(map)
     }
 }
 

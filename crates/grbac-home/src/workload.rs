@@ -5,6 +5,7 @@
 //! benches replay against a home. Generation is seeded and fully
 //! deterministic.
 
+use grbac_core::engine::{AccessRequest, Actor};
 use grbac_core::id::{ObjectId, SubjectId, TransactionId};
 use grbac_env::location::ZoneId;
 use grbac_env::time::{Duration, Timestamp};
@@ -199,26 +200,79 @@ pub fn execute(home: &mut AwareHome, events: &[WorkloadEvent]) -> crate::error::
                 ..
             } => {
                 let decision = home.request(*subject, *transaction, *object)?;
-                stats.requests += 1;
-                let subject_entry = stats.by_subject.entry(*subject).or_insert((0, 0));
-                let permitted = decision.is_permitted();
-                if permitted {
-                    stats.permits += 1;
-                    subject_entry.0 += 1;
-                } else {
-                    stats.denies += 1;
-                    subject_entry.1 += 1;
-                }
-                let txn_entry = stats.by_transaction.entry(*transaction).or_insert((0, 0));
-                if permitted {
-                    txn_entry.0 += 1;
-                } else {
-                    txn_entry.1 += 1;
-                }
+                record(&mut stats, *subject, *transaction, decision.is_permitted());
             }
         }
     }
     Ok(stats)
+}
+
+/// Replays a workload in two phases: first walk the timeline applying
+/// movements and capturing each request with the environment snapshot
+/// it would have seen, then mediate the whole set with
+/// [`Grbac::decide_batch`](grbac_core::engine::Grbac::decide_batch).
+///
+/// Decisions (and therefore stats) are identical to [`execute`]'s —
+/// snapshots freeze the environment at capture time — but mediation
+/// runs against one compiled-index snapshot and, with grbac-core's
+/// `parallel` feature, across threads. Unlike [`execute`], nothing is
+/// recorded in the audit log.
+///
+/// # Errors
+///
+/// Propagates mediation errors (unknown ids — impossible for workloads
+/// generated from the same home).
+pub fn execute_batched(
+    home: &mut AwareHome,
+    events: &[WorkloadEvent],
+) -> crate::error::Result<WorkloadStats> {
+    let mut stats = WorkloadStats::default();
+    let mut requests = Vec::new();
+    let mut keys = Vec::new();
+    for event in events {
+        home.advance_to(event.at());
+        match event {
+            WorkloadEvent::Move { subject, zone, .. } => {
+                home.place(*subject, *zone);
+                stats.moves += 1;
+            }
+            WorkloadEvent::Request {
+                subject,
+                transaction,
+                object,
+                ..
+            } => {
+                requests.push(AccessRequest {
+                    actor: Actor::Subject(*subject),
+                    transaction: *transaction,
+                    object: *object,
+                    environment: home.environment_for(Some(*subject)),
+                    timestamp: Some(event.at().as_seconds().max(0) as u64),
+                });
+                keys.push((*subject, *transaction));
+            }
+        }
+    }
+    let decisions = home.engine().decide_batch(&requests);
+    for (decision, (subject, transaction)) in decisions.into_iter().zip(keys) {
+        record(&mut stats, subject, transaction, decision?.is_permitted());
+    }
+    Ok(stats)
+}
+
+fn record(stats: &mut WorkloadStats, subject: SubjectId, transaction: TransactionId, permitted: bool) {
+    stats.requests += 1;
+    let subject_entry = stats.by_subject.entry(subject).or_insert((0, 0));
+    let txn_entry = stats.by_transaction.entry(transaction).or_insert((0, 0));
+    if permitted {
+        stats.permits += 1;
+        subject_entry.0 += 1;
+        txn_entry.0 += 1;
+    } else {
+        stats.denies += 1;
+        subject_entry.1 += 1;
+        txn_entry.1 += 1;
+    }
 }
 
 #[cfg(test)]
@@ -309,6 +363,22 @@ mod tests {
         assert!(stats.grant_rate() > 0.0 && stats.grant_rate() < 1.0);
         // The audit log saw everything.
         assert_eq!(home.engine().audit().total_recorded(), stats.requests);
+    }
+
+    #[test]
+    fn batched_replay_matches_sequential() {
+        let events = generate(
+            &paper_household().unwrap(),
+            &WorkloadConfig {
+                days: 2,
+                requests_per_person_per_day: 12,
+                move_probability: 0.4,
+                seed: 11,
+            },
+        );
+        let sequential = execute(&mut paper_household().unwrap(), &events).unwrap();
+        let batched = execute_batched(&mut paper_household().unwrap(), &events).unwrap();
+        assert_eq!(sequential, batched);
     }
 
     #[test]

@@ -1,0 +1,263 @@
+//! Offline stand-in for `criterion`: enough of the API for this
+//! workspace's `harness = false` benches to build and produce useful
+//! wall-clock numbers (median over fixed-size samples after a short
+//! warm-up). No statistical analysis, baselines, or HTML reports.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const WARMUP: Duration = Duration::from_millis(25);
+const SAMPLE_TARGET: Duration = Duration::from_millis(20);
+const SAMPLES: usize = 11;
+
+/// Benchmark driver handed to the functions named in
+/// [`criterion_group!`].
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    #[must_use]
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_and_report(name, |b| routine(b));
+        self
+    }
+}
+
+/// Named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_and_report(&format!("{}/{}", self.name, id.label), |b| routine(b));
+        self
+    }
+
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_and_report(&format!("{}/{}", self.name, id.label), |b| {
+            routine(b, input);
+        });
+        self
+    }
+
+    /// Accepted for compatibility; sampling here is fixed-size.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    #[must_use]
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{parameter}", function_name.into()),
+        }
+    }
+
+    #[must_use]
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(label: &str) -> Self {
+        BenchmarkId {
+            label: label.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        BenchmarkId { label }
+    }
+}
+
+/// Runs the measured routine; populated by [`Bencher::iter`].
+#[derive(Debug, Default)]
+pub struct Bencher {
+    median_ns: f64,
+}
+
+impl Bencher {
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        // Warm up and estimate the per-iteration cost.
+        let warmup_start = Instant::now();
+        let mut warmup_iters: u64 = 0;
+        while warmup_start.elapsed() < WARMUP {
+            black_box(routine());
+            warmup_iters += 1;
+        }
+        let per_iter_ns =
+            warmup_start.elapsed().as_nanos() as f64 / warmup_iters.max(1) as f64;
+
+        // Size batches so one sample lasts roughly SAMPLE_TARGET.
+        let batch = (SAMPLE_TARGET.as_nanos() as f64 / per_iter_ns.max(1.0))
+            .ceil()
+            .min(10_000_000.0) as u64;
+        let batch = batch.max(1);
+
+        let mut samples = [0f64; SAMPLES];
+        for sample in &mut samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            *sample = start.elapsed().as_nanos() as f64 / batch as f64;
+        }
+        samples.sort_by(f64::total_cmp);
+        self.median_ns = samples[SAMPLES / 2];
+    }
+
+    /// Like [`Bencher::iter`], but runs `setup` before every timed
+    /// call of `routine`; setup time is excluded from the measurement.
+    pub fn iter_with_setup<I, O, S, F>(&mut self, mut setup: S, mut routine: F)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        // Warm up and estimate the per-iteration cost (routine only).
+        let mut warmup_spent = Duration::ZERO;
+        let mut warmup_iters: u64 = 0;
+        while warmup_spent < WARMUP {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            warmup_spent += start.elapsed();
+            warmup_iters += 1;
+        }
+        let per_iter_ns = warmup_spent.as_nanos() as f64 / warmup_iters.max(1) as f64;
+
+        // Per-sample batches sized as in `iter`, but capped: each
+        // iteration pays an untimed setup, so keep total work sane.
+        let batch = (SAMPLE_TARGET.as_nanos() as f64 / per_iter_ns.max(1.0))
+            .ceil()
+            .min(10_000.0) as u64;
+        let batch = batch.max(1);
+
+        let mut samples = [0f64; SAMPLES];
+        for sample in &mut samples {
+            let mut spent = Duration::ZERO;
+            for _ in 0..batch {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                spent += start.elapsed();
+            }
+            *sample = spent.as_nanos() as f64 / batch as f64;
+        }
+        samples.sort_by(f64::total_cmp);
+        self.median_ns = samples[SAMPLES / 2];
+    }
+}
+
+fn run_and_report(name: &str, routine: impl FnOnce(&mut Bencher)) {
+    let mut bencher = Bencher::default();
+    routine(&mut bencher);
+    println!("{name:<50} time: [{}]", format_ns(bencher.median_ns));
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let _ = $config;
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // cargo bench passes `--bench` (and any user filters);
+            // this harness runs everything regardless.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_fn(c: &mut Criterion) {
+        let mut group = c.benchmark_group("group");
+        let input = 21u64;
+        group.bench_with_input(BenchmarkId::new("double", input), &input, |b, &n| {
+            b.iter(|| n * 2);
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(input), &input, |b, &n| {
+            b.iter(|| n + 1);
+        });
+        group.finish();
+        c.bench_function("free", |b| b.iter(|| 1 + 1));
+    }
+
+    criterion_group!(benches, bench_fn);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

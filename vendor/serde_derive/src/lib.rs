@@ -1,0 +1,500 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates impls of the vendored `serde::Serialize` /
+//! `serde::Deserialize` traits (value-based, see `vendor/serde`) for
+//! non-generic structs and enums. Supported field attributes:
+//!
+//! * `#[serde(default)]` — missing field deserializes via `Default`;
+//! * `#[serde(skip)]` — field is not serialized and deserializes via
+//!   `Default`;
+//! * `#[serde(with = "path")]` — `path::to_value` / `path::from_value`
+//!   are used instead of the trait methods.
+//!
+//! Implemented over raw `proc_macro` token streams because `syn` and
+//! `quote` are unavailable in this registry-less build environment.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Per-field serde attributes.
+#[derive(Default, Clone)]
+struct FieldAttrs {
+    default: bool,
+    skip: bool,
+    with: Option<String>,
+}
+
+/// The shape of a struct body or enum variant payload.
+enum Fields {
+    Unit,
+    Tuple(Vec<FieldAttrs>),
+    Named(Vec<(String, FieldAttrs)>),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item).parse().expect("generated Serialize impl parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_deserialize(&item)
+            .parse()
+            .expect("generated Deserialize impl parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().expect("compile_error parses")
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+
+    skip_attributes(&tokens, &mut pos);
+    skip_visibility(&tokens, &mut pos);
+
+    let keyword = expect_ident(&tokens, &mut pos)?;
+    let name = expect_ident(&tokens, &mut pos)?;
+
+    if matches!(&tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde_derive (vendored) does not support generic type `{name}`"
+        ));
+    }
+
+    match keyword.as_str() {
+        "struct" => {
+            let fields = match tokens.get(pos) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    parse_named_fields(g.stream())?
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    parse_tuple_fields(g.stream())?
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => {
+                    return Err(format!(
+                        "unsupported struct body for `{name}`: {other:?}"
+                    ))
+                }
+            };
+            Ok(Item::Struct { name, fields })
+        }
+        "enum" => {
+            let body = match tokens.get(pos) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => return Err(format!("unsupported enum body for `{name}`: {other:?}")),
+            };
+            Ok(Item::Enum {
+                name,
+                variants: parse_variants(body)?,
+            })
+        }
+        other => Err(format!("cannot derive serde impls for `{other}` items")),
+    }
+}
+
+fn skip_attributes(tokens: &[TokenTree], pos: &mut usize) {
+    while matches!(tokens.get(*pos), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *pos += 1; // '#'
+        if matches!(tokens.get(*pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+        {
+            *pos += 1;
+        }
+    }
+}
+
+/// Collects serde attributes while skipping all attributes at `pos`.
+fn take_attributes(tokens: &[TokenTree], pos: &mut usize) -> Result<FieldAttrs, String> {
+    let mut attrs = FieldAttrs::default();
+    while matches!(tokens.get(*pos), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *pos += 1; // '#'
+        let Some(TokenTree::Group(group)) = tokens.get(*pos) else {
+            return Err("malformed attribute".to_owned());
+        };
+        *pos += 1;
+        let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+        if !matches!(inner.first(), Some(TokenTree::Ident(i)) if i.to_string() == "serde") {
+            continue;
+        }
+        let Some(TokenTree::Group(args)) = inner.get(1) else {
+            continue;
+        };
+        parse_serde_args(args.stream(), &mut attrs)?;
+    }
+    Ok(attrs)
+}
+
+fn parse_serde_args(stream: TokenStream, attrs: &mut FieldAttrs) -> Result<(), String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        let key = expect_ident(&tokens, &mut pos)?;
+        match key.as_str() {
+            "default" => attrs.default = true,
+            "skip" | "skip_serializing" | "skip_deserializing" => attrs.skip = true,
+            "with" => {
+                if !matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+                    return Err("expected `=` after `with`".to_owned());
+                }
+                pos += 1;
+                let Some(TokenTree::Literal(lit)) = tokens.get(pos) else {
+                    return Err("expected a string literal after `with =`".to_owned());
+                };
+                pos += 1;
+                let raw = lit.to_string();
+                let path = raw.trim_matches('"').to_owned();
+                if path.is_empty() || raw.len() < 2 {
+                    return Err("empty `with` path".to_owned());
+                }
+                attrs.with = Some(path);
+            }
+            other => {
+                return Err(format!(
+                    "unsupported serde attribute `{other}` in vendored serde_derive"
+                ))
+            }
+        }
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+    }
+    Ok(())
+}
+
+fn skip_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    if matches!(tokens.get(*pos), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        *pos += 1;
+        if matches!(tokens.get(*pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *pos += 1;
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], pos: &mut usize) -> Result<String, String> {
+    match tokens.get(*pos) {
+        Some(TokenTree::Ident(i)) => {
+            *pos += 1;
+            Ok(i.to_string())
+        }
+        other => Err(format!("expected identifier, got {other:?}")),
+    }
+}
+
+/// Skips one type, tracking `<`/`>` nesting, stopping at a top-level `,`.
+fn skip_type(tokens: &[TokenTree], pos: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(token) = tokens.get(*pos) {
+        if let TokenTree::Punct(p) = token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+        *pos += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Fields, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut fields = Vec::new();
+    while pos < tokens.len() {
+        let attrs = take_attributes(&tokens, &mut pos)?;
+        skip_visibility(&tokens, &mut pos);
+        let name = expect_ident(&tokens, &mut pos)?;
+        if !matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ':') {
+            return Err(format!("expected `:` after field `{name}`"));
+        }
+        pos += 1;
+        skip_type(&tokens, &mut pos);
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+        fields.push((name, attrs));
+    }
+    Ok(Fields::Named(fields))
+}
+
+fn parse_tuple_fields(stream: TokenStream) -> Result<Fields, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut fields = Vec::new();
+    while pos < tokens.len() {
+        let attrs = take_attributes(&tokens, &mut pos)?;
+        skip_visibility(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        skip_type(&tokens, &mut pos);
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+        fields.push(attrs);
+    }
+    Ok(Fields::Tuple(fields))
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut variants = Vec::new();
+    while pos < tokens.len() {
+        skip_attributes(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut pos)?;
+        let fields = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                parse_tuple_fields(g.stream())?
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                parse_named_fields(g.stream())?
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an optional discriminant (`= expr`) up to the next comma.
+        while pos < tokens.len()
+            && !matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',')
+        {
+            pos += 1;
+        }
+        if pos < tokens.len() {
+            pos += 1; // ','
+        }
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------
+
+fn ser_expr(expr: &str, attrs: &FieldAttrs) -> String {
+    match &attrs.with {
+        Some(path) => format!("{path}::to_value({expr})"),
+        None => format!("::serde::Serialize::to_value({expr})"),
+    }
+}
+
+fn de_expr(expr: &str, attrs: &FieldAttrs) -> String {
+    match &attrs.with {
+        Some(path) => format!("{path}::from_value({expr})?"),
+        None => format!("::serde::Deserialize::from_value({expr})?"),
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => "::serde::Value::Null".to_owned(),
+                Fields::Tuple(attrs) if attrs.len() == 1 => ser_expr("&self.0", &attrs[0]),
+                Fields::Tuple(attrs) => {
+                    let items: Vec<String> = attrs
+                        .iter()
+                        .enumerate()
+                        .map(|(i, a)| ser_expr(&format!("&self.{i}"), a))
+                        .collect();
+                    format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+                }
+                Fields::Named(named) => {
+                    let mut pushes = String::new();
+                    for (field, attrs) in named {
+                        if attrs.skip {
+                            continue;
+                        }
+                        let value = ser_expr(&format!("&self.{field}"), attrs);
+                        pushes.push_str(&format!(
+                            "__fields.push(({field:?}.to_string(), {value}));\n"
+                        ));
+                    }
+                    format!(
+                        "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n{pushes}::serde::Value::Map(__fields)"
+                    )
+                }
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n fn to_value(&self) -> ::serde::Value {{\n {body}\n }}\n}}\n"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for variant in variants {
+                let v = &variant.name;
+                match &variant.fields {
+                    Fields::Unit => {
+                        arms.push_str(&format!(
+                            "{name}::{v} => ::serde::Value::Str({v:?}.to_string()),\n"
+                        ));
+                    }
+                    Fields::Tuple(attrs) => {
+                        let binders: Vec<String> =
+                            (0..attrs.len()).map(|i| format!("__f{i}")).collect();
+                        let payload = if attrs.len() == 1 {
+                            ser_expr("__f0", &attrs[0])
+                        } else {
+                            let items: Vec<String> = attrs
+                                .iter()
+                                .enumerate()
+                                .map(|(i, a)| ser_expr(&format!("__f{i}"), a))
+                                .collect();
+                            format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{v}({}) => ::serde::Value::Map(vec![({v:?}.to_string(), {payload})]),\n",
+                            binders.join(", ")
+                        ));
+                    }
+                    Fields::Named(named) => {
+                        let binders: Vec<String> =
+                            named.iter().map(|(f, _)| f.clone()).collect();
+                        let items: Vec<String> = named
+                            .iter()
+                            .map(|(f, a)| {
+                                format!("({f:?}.to_string(), {})", ser_expr(f, a))
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {} }} => ::serde::Value::Map(vec![({v:?}.to_string(), ::serde::Value::Map(vec![{}]))]),\n",
+                            binders.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n fn to_value(&self) -> ::serde::Value {{\n #[allow(unused_variables)]\n match self {{\n {arms} }}\n }}\n}}\n"
+            )
+        }
+    }
+}
+
+fn gen_named_constructor(
+    type_path: &str,
+    named: &[(String, FieldAttrs)],
+    source: &str,
+) -> String {
+    let mut fields = String::new();
+    for (field, attrs) in named {
+        if attrs.skip {
+            fields.push_str(&format!("{field}: ::std::default::Default::default(),\n"));
+            continue;
+        }
+        let parse = de_expr("__v", attrs);
+        let missing = if attrs.default {
+            "::std::default::Default::default()".to_owned()
+        } else {
+            format!(
+                "return Err(::serde::Error::custom(concat!(\"missing field `\", {field:?}, \"`\")))"
+            )
+        };
+        fields.push_str(&format!(
+            "{field}: match {source}.get({field:?}) {{ Some(__v) => {parse}, None => {missing} }},\n"
+        ));
+    }
+    format!("{type_path} {{\n{fields}}}")
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => format!(
+                    "match __value {{ ::serde::Value::Null => Ok({name}), _ => Err(::serde::Error::expected(\"null\", __value)) }}"
+                ),
+                Fields::Tuple(attrs) if attrs.len() == 1 => {
+                    format!("Ok({name}({}))", de_expr("__value", &attrs[0]))
+                }
+                Fields::Tuple(attrs) => {
+                    let n = attrs.len();
+                    let items: Vec<String> = attrs
+                        .iter()
+                        .enumerate()
+                        .map(|(i, a)| de_expr(&format!("&__items[{i}]"), a))
+                        .collect();
+                    format!(
+                        "let __items = __value.as_seq().ok_or_else(|| ::serde::Error::expected(\"array\", __value))?;\n\
+                         if __items.len() != {n} {{ return Err(::serde::Error::custom(\"wrong tuple arity\")); }}\n\
+                         Ok({name}({}))",
+                        items.join(", ")
+                    )
+                }
+                Fields::Named(named) => {
+                    let ctor = gen_named_constructor(name, named, "__value");
+                    format!(
+                        "if __value.as_map().is_none() {{ return Err(::serde::Error::expected(\"object\", __value)); }}\nOk({ctor})"
+                    )
+                }
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n fn from_value(__value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n {body}\n }}\n}}\n"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for variant in variants {
+                let v = &variant.name;
+                match &variant.fields {
+                    Fields::Unit => {
+                        unit_arms.push_str(&format!("{v:?} => Ok({name}::{v}),\n"));
+                    }
+                    Fields::Tuple(attrs) if attrs.len() == 1 => {
+                        tagged_arms.push_str(&format!(
+                            "{v:?} => Ok({name}::{v}({})),\n",
+                            de_expr("__payload", &attrs[0])
+                        ));
+                    }
+                    Fields::Tuple(attrs) => {
+                        let n = attrs.len();
+                        let items: Vec<String> = attrs
+                            .iter()
+                            .enumerate()
+                            .map(|(i, a)| de_expr(&format!("&__items[{i}]"), a))
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "{v:?} => {{\n let __items = __payload.as_seq().ok_or_else(|| ::serde::Error::expected(\"array\", __payload))?;\n if __items.len() != {n} {{ return Err(::serde::Error::custom(\"wrong variant arity\")); }}\n Ok({name}::{v}({}))\n }}\n",
+                            items.join(", ")
+                        ));
+                    }
+                    Fields::Named(named) => {
+                        let ctor =
+                            gen_named_constructor(&format!("{name}::{v}"), named, "__payload");
+                        tagged_arms.push_str(&format!("{v:?} => Ok({ctor}),\n"));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n fn from_value(__value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n #[allow(unused_variables)]\n match __value {{\n ::serde::Value::Str(__s) => match __s.as_str() {{\n {unit_arms} __other => Err(::serde::Error::custom(format!(\"unknown variant `{{__other}}` of {name}\"))),\n }},\n ::serde::Value::Map(__tagged) if __tagged.len() == 1 => {{\n let (__tag, __payload) = &__tagged[0];\n match __tag.as_str() {{\n {tagged_arms} __other => Err(::serde::Error::custom(format!(\"unknown variant `{{__other}}` of {name}\"))),\n }}\n }},\n _ => Err(::serde::Error::expected(\"enum representation\", __value)),\n }}\n }}\n}}\n"
+            )
+        }
+    }
+}
