@@ -8,8 +8,7 @@ use rand::SeedableRng;
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e1_rbac_exec");
     for roles_per_subject in [1usize, 4, 16, 64] {
-        let (system, subjects, transactions) =
-            synthetic_rbac(256, 4, 64, roles_per_subject, 11);
+        let (system, subjects, transactions) = synthetic_rbac(256, 4, 64, roles_per_subject, 11);
         let mut rng = rand::rngs::StdRng::seed_from_u64(5);
         let pairs: Vec<_> = (0..1024)
             .map(|_| {

@@ -12,8 +12,12 @@ fn build_grbac(children: usize, devices: usize) -> Grbac {
     let entertainment = grbac
         .declare_object_role("entertainment_devices")
         .expect("fresh engine");
-    let weekdays = grbac.declare_environment_role("weekdays").expect("fresh engine");
-    let free_time = grbac.declare_environment_role("free_time").expect("fresh engine");
+    let weekdays = grbac
+        .declare_environment_role("weekdays")
+        .expect("fresh engine");
+    let free_time = grbac
+        .declare_environment_role("free_time")
+        .expect("fresh engine");
     let use_t = grbac.declare_transaction("use").expect("fresh engine");
     for i in 0..children {
         let s = grbac.declare_subject(format!("kid_{i}")).expect("unique");

@@ -34,18 +34,14 @@ fn bench(c: &mut Criterion) {
             },
         );
 
-        group.bench_with_input(
-            BenchmarkId::new("scan", rules),
-            &requests,
-            |b, requests| {
-                let mut i = 0;
-                b.iter(|| {
-                    let request = &requests[i % requests.len()];
-                    i += 1;
-                    std::hint::black_box(system.engine.decide_naive(request).expect("known ids"))
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("scan", rules), &requests, |b, requests| {
+            let mut i = 0;
+            b.iter(|| {
+                let request = &requests[i % requests.len()];
+                i += 1;
+                std::hint::black_box(system.engine.decide_naive(request).expect("known ids"))
+            });
+        });
 
         group.bench_with_input(
             BenchmarkId::new("batch", rules),

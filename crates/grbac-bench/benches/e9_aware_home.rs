@@ -10,11 +10,7 @@ fn bench(c: &mut Criterion) {
         let vocab = *home.vocab();
         let alice = home.person("alice").expect("resident").subject();
         let tv = home.device("tv").expect("installed").object();
-        b.iter(|| {
-            std::hint::black_box(
-                home.request(alice, vocab.operate, tv).expect("known ids"),
-            )
-        });
+        b.iter(|| std::hint::black_box(home.request(alice, vocab.operate, tv).expect("known ids")));
     });
 
     c.bench_function("e9_one_day_replay", |b| {

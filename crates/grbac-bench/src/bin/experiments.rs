@@ -11,9 +11,7 @@
 
 use std::time::Instant;
 
-use grbac_bench::fixtures::{
-    deep_hierarchy, synthetic_grbac, synthetic_rbac, SyntheticConfig,
-};
+use grbac_bench::fixtures::{deep_hierarchy, synthetic_grbac, synthetic_rbac, SyntheticConfig};
 use grbac_bench::table::Table;
 use grbac_core::confidence::{AuthContext, Confidence};
 use grbac_core::engine::{AccessRequest, Grbac};
@@ -76,6 +74,9 @@ fn main() {
     if want("e9") {
         tables.extend(e9_aware_home());
     }
+    if want("e10") {
+        tables.extend(e10_telemetry_overhead());
+    }
 
     if json {
         println!(
@@ -100,8 +101,7 @@ fn e1_rbac_mediation() -> Vec<Table> {
         &["roles_per_subject", "checks", "grant_rate", "ns_per_check"],
     );
     for roles_per_subject in [1usize, 4, 16, 64] {
-        let (system, subjects, transactions) =
-            synthetic_rbac(256, 4, 64, roles_per_subject, 11);
+        let (system, subjects, transactions) = synthetic_rbac(256, 4, 64, roles_per_subject, 11);
         let mut rng = rand::rngs::StdRng::seed_from_u64(5);
         let checks = 50_000;
         let pairs: Vec<(rbac::SubjectId, rbac::TransactionId)> = (0..checks)
@@ -140,7 +140,9 @@ fn e2_hierarchy() -> Vec<Table> {
     let child = engine.declare_subject_role("child").unwrap();
     let guest = engine.declare_subject_role("authorized_guest").unwrap();
     let service = engine.declare_subject_role("service_agent").unwrap();
-    let tech = engine.declare_subject_role("dishwasher_repair_tech").unwrap();
+    let tech = engine
+        .declare_subject_role("dishwasher_repair_tech")
+        .unwrap();
     engine.specialize(family, home_user).unwrap();
     engine.specialize(parent, family).unwrap();
     engine.specialize(child, family).unwrap();
@@ -165,7 +167,11 @@ fn e2_hierarchy() -> Vec<Table> {
     for (name, a, b) in relations {
         fig2.row(&[
             name.to_owned(),
-            engine.roles().is_specialization_of(a, b).unwrap().to_string(),
+            engine
+                .roles()
+                .is_specialization_of(a, b)
+                .unwrap()
+                .to_string(),
         ]);
     }
 
@@ -291,9 +297,7 @@ fn e4_partial_auth() -> Vec<Table> {
     for e in &evidence {
         let (claim, relevant) = match e.claim {
             Claim::Identity(s) => (format!("identity: subject {s}"), s == alice),
-            Claim::RoleMembership(r) => {
-                (format!("role membership: {r} (child)"), r == vocab.child)
-            }
+            Claim::RoleMembership(r) => (format!("role membership: {r} (child)"), r == vocab.child),
         };
         if relevant {
             headline.row(&[
@@ -368,7 +372,12 @@ fn e4_partial_auth() -> Vec<Table> {
 fn e5_mediation_scaling() -> Vec<Table> {
     let mut table = Table::new(
         "E5 (§4.2.4): mediation cost, GRBAC triple rule vs RBAC exec",
-        &["rules", "grbac_ns_per_decision", "rbac_ns_per_check", "ratio"],
+        &[
+            "rules",
+            "grbac_ns_per_decision",
+            "rbac_ns_per_check",
+            "ratio",
+        ],
     );
     for rules in [16usize, 64, 256, 1024] {
         let system = synthetic_grbac(&SyntheticConfig {
@@ -565,10 +574,8 @@ fn e7_expressiveness() -> Vec<Table> {
 
     // (b) Bertino-style periodic authorization as an environment role:
     // office hours 9-17 daily, checked hourly over 90 days.
-    let anchor = Timestamp::from_civil(
-        Date::new(2000, 1, 3).unwrap(),
-        TimeOfDay::hm(9, 0).unwrap(),
-    );
+    let anchor =
+        Timestamp::from_civil(Date::new(2000, 1, 3).unwrap(), TimeOfDay::hm(9, 0).unwrap());
     let periodic = PeriodicExpr::daily(anchor, Duration::hours(8)).unwrap();
     let mut engine = Grbac::new();
     let role = engine.declare_environment_role("office_hours").unwrap();
@@ -613,7 +620,9 @@ fn e7_expressiveness() -> Vec<Table> {
 
     // (c) GACL system-load gating: execute only when load <= 0.7.
     let mut engine = Grbac::new();
-    let low_load = engine.declare_environment_role("capacity_available").unwrap();
+    let low_load = engine
+        .declare_environment_role("capacity_available")
+        .unwrap();
     let user = engine.declare_subject_role("user").unwrap();
     let batch = engine.declare_object_role("batch_program").unwrap();
     let exec_t = engine.declare_transaction("execute").unwrap();
@@ -640,8 +649,7 @@ fn e7_expressiveness() -> Vec<Table> {
         let load_value = f64::from(load_pct) / 100.0;
         let mut monitor = LoadMonitor::with_window(1);
         monitor.record(load_value);
-        let env =
-            provider.snapshot(&EnvironmentContext::at(Timestamp::EPOCH).with_load(&monitor));
+        let env = provider.snapshot(&EnvironmentContext::at(Timestamp::EPOCH).with_load(&monitor));
         let decision = engine
             .decide(&AccessRequest::by_subject(pat, exec_t, job, env))
             .unwrap();
@@ -776,11 +784,94 @@ fn e8_env_events() -> Vec<Table> {
     vec![events_table, snapshot_table, cache_table]
 }
 
+/// E10 — telemetry overhead: `decide()` cost with the registry live.
+///
+/// One build measures one configuration; run the binary twice and
+/// compare the `ns_per_decision` columns:
+///
+/// ```text
+/// cargo run --release -p grbac-bench --bin experiments e10
+/// cargo run --release -p grbac-bench --bin experiments \
+///     --features grbac-core/telemetry-off e10
+/// ```
+fn e10_telemetry_overhead() -> Vec<Table> {
+    let telemetry = if grbac_core::telemetry::ENABLED {
+        "on (default)"
+    } else {
+        "off (telemetry-off)"
+    };
+    let mut table = Table::new(
+        "E10: mediation cost with the telemetry registry compiled in/out",
+        &[
+            "telemetry",
+            "rules",
+            "ns_per_decision",
+            "ns_per_traced_decision",
+        ],
+    );
+    for rules in [256usize, 1024] {
+        let system = synthetic_grbac(&SyntheticConfig {
+            rules,
+            subject_roles: 32,
+            object_roles: 32,
+            environment_roles: 16,
+            ..Default::default()
+        });
+        let requests = system.requests(20_000, 3, 3);
+        // Warm the compiled index so both loops measure steady state,
+        // and take the fastest of several repetitions: scheduler noise
+        // only ever slows a run down, so the minimum is the stable
+        // estimate of the true per-decision cost.
+        system.engine.decide(&requests[0]).expect("known ids");
+        let best_of = |f: &dyn Fn()| {
+            (0..5)
+                .map(|_| {
+                    let start = Instant::now();
+                    f();
+                    start.elapsed()
+                })
+                .min()
+                .expect("nonempty")
+        };
+
+        let plain_ns = ns_per_op(
+            best_of(&|| {
+                for request in &requests {
+                    std::hint::black_box(system.engine.decide(request).expect("known ids"));
+                }
+            }),
+            requests.len(),
+        );
+        let traced_ns = ns_per_op(
+            best_of(&|| {
+                for request in &requests {
+                    std::hint::black_box(system.engine.decide_traced(request).expect("known ids"));
+                }
+            }),
+            requests.len(),
+        );
+
+        table.row(&[
+            telemetry.to_owned(),
+            rules.to_string(),
+            format!("{plain_ns:.0}"),
+            format!("{traced_ns:.0}"),
+        ]);
+    }
+    vec![table]
+}
+
 /// E9 — §2: a week in the Aware Home.
 fn e9_aware_home() -> Vec<Table> {
     let mut table = Table::new(
         "E9 (§2): simulated household activity under the paper's policy",
-        &["days", "requests", "grant_rate", "moves", "requests_per_sec"],
+        &[
+            "days",
+            "requests",
+            "grant_rate",
+            "moves",
+            "requests_per_sec",
+        ],
     );
     let mut final_stats = None;
     let mut final_home = None;
@@ -831,7 +922,14 @@ fn e9_aware_home() -> Vec<Table> {
             person.kind().to_string(),
             permits.to_string(),
             denies.to_string(),
-            format!("{:.3}", if total == 0 { 0.0 } else { permits as f64 / total as f64 }),
+            format!(
+                "{:.3}",
+                if total == 0 {
+                    0.0
+                } else {
+                    permits as f64 / total as f64
+                }
+            ),
         ]);
     }
     vec![table, breakdown]

@@ -142,13 +142,19 @@ pub fn synthetic_grbac(config: &SyntheticConfig) -> SyntheticGrbac {
             .expect("unique");
         if i % config.chain_depth.max(1) != 0 {
             if let Some(&previous) = subject_roles.last() {
-                engine.specialize(role, previous).expect("acyclic by construction");
+                engine
+                    .specialize(role, previous)
+                    .expect("acyclic by construction");
             }
         }
         subject_roles.push(role);
     }
     let object_roles: Vec<RoleId> = (0..config.object_roles)
-        .map(|i| engine.declare_object_role(format!("or_{i}")).expect("unique"))
+        .map(|i| {
+            engine
+                .declare_object_role(format!("or_{i}"))
+                .expect("unique")
+        })
         .collect();
     let environment_roles: Vec<RoleId> = (0..config.environment_roles)
         .map(|i| {
@@ -158,7 +164,11 @@ pub fn synthetic_grbac(config: &SyntheticConfig) -> SyntheticGrbac {
         })
         .collect();
     let transactions: Vec<TransactionId> = (0..config.transactions)
-        .map(|i| engine.declare_transaction(format!("t_{i}")).expect("unique"))
+        .map(|i| {
+            engine
+                .declare_transaction(format!("t_{i}"))
+                .expect("unique")
+        })
         .collect();
 
     for i in 0..config.rules {

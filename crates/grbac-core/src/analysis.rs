@@ -14,7 +14,7 @@ use serde::{Deserialize, Serialize};
 use crate::engine::Grbac;
 use crate::id::{RoleId, RuleId};
 use crate::role::RoleKind;
-use crate::rule::{Effect, Rule, RoleSpec, TransactionSpec};
+use crate::rule::{Effect, RoleSpec, Rule, TransactionSpec};
 
 /// A potential permit/deny conflict between two rules.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -213,9 +213,7 @@ pub fn decision_matrix(
                     object,
                     environment.clone(),
                 );
-                let effect = grbac
-                    .decide(&request)
-                    .map_or(Effect::Deny, |d| d.effect());
+                let effect = grbac.decide(&request).map_or(Effect::Deny, |d| d.effect());
                 cells.push(MatrixCell {
                     subject,
                     object,
@@ -253,9 +251,23 @@ fn role_specs_overlap(grbac: &Grbac, kind: RoleKind, a: RoleSpec, b: RoleSpec) -
 /// True when every request matching `later` also matches `earlier`.
 fn rule_covers(grbac: &Grbac, earlier: &Rule, later: &Rule) -> bool {
     transaction_covers(earlier.transaction(), later.transaction())
-        && role_spec_covers(grbac, RoleKind::Subject, earlier.subject_role(), later.subject_role())
-        && role_spec_covers(grbac, RoleKind::Object, earlier.object_role(), later.object_role())
-        && env_covers(grbac, earlier.environment_roles(), later.environment_roles())
+        && role_spec_covers(
+            grbac,
+            RoleKind::Subject,
+            earlier.subject_role(),
+            later.subject_role(),
+        )
+        && role_spec_covers(
+            grbac,
+            RoleKind::Object,
+            earlier.object_role(),
+            later.object_role(),
+        )
+        && env_covers(
+            grbac,
+            earlier.environment_roles(),
+            later.environment_roles(),
+        )
         && confidence_covers(earlier, later)
 }
 
@@ -283,11 +295,9 @@ fn env_covers(grbac: &Grbac, earlier: &[RoleId], later: &[RoleId]) -> bool {
     // Every env requirement of `earlier` must be implied whenever all of
     // `later`'s requirements hold: some later-role must specialize it.
     let hierarchy = grbac.roles().hierarchy(RoleKind::Environment);
-    earlier.iter().all(|&e| {
-        later
-            .iter()
-            .any(|&l| hierarchy.is_specialization_of(l, e))
-    })
+    earlier
+        .iter()
+        .all(|&e| later.iter().any(|&l| hierarchy.is_specialization_of(l, e)))
 }
 
 /// A permit rule with a *stricter* threshold than a later permit rule
@@ -383,14 +393,18 @@ mod tests {
     #[test]
     fn detects_shadowed_rule() {
         let (mut g, family, child, media) = engine_with_hierarchy();
-        let broad = g
-            .add_rule(RuleDef::permit().subject_role(family))
-            .unwrap();
+        let broad = g.add_rule(RuleDef::permit().subject_role(family)).unwrap();
         let narrow = g
             .add_rule(RuleDef::permit().subject_role(child).object_role(media))
             .unwrap();
         let shadowed = find_shadowed(&g);
-        assert_eq!(shadowed, vec![ShadowedRule { by: broad, rule: narrow }]);
+        assert_eq!(
+            shadowed,
+            vec![ShadowedRule {
+                by: broad,
+                rule: narrow
+            }]
+        );
     }
 
     #[test]
@@ -418,7 +432,10 @@ mod tests {
             .unwrap();
         assert_eq!(
             find_shadowed(&g),
-            vec![ShadowedRule { by: broad, rule: narrow }]
+            vec![ShadowedRule {
+                by: broad,
+                rule: narrow
+            }]
         );
 
         // The reverse order is not shadowing: a tuesday request matches
@@ -472,8 +489,7 @@ mod tests {
         )
         .unwrap();
 
-        let matrix =
-            super::decision_matrix(&g, &crate::environment::EnvironmentSnapshot::new());
+        let matrix = super::decision_matrix(&g, &crate::environment::EnvironmentSnapshot::new());
         // 2 subjects × 1 object × 2 transactions.
         assert_eq!(matrix.len(), 4);
         let permits: Vec<_> = matrix

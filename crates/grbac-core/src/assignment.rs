@@ -40,7 +40,10 @@ impl Assignments {
     pub fn assign_subject(&mut self, subject: SubjectId, role: RoleId) -> bool {
         let added = self.subject_roles.entry(subject).or_default().insert(role);
         if added {
-            self.subjects_in_role.entry(role).or_default().insert(subject);
+            self.subjects_in_role
+                .entry(role)
+                .or_default()
+                .insert(subject);
         }
         added
     }
@@ -85,7 +88,10 @@ impl Assignments {
     /// Direct (unexpanded) authorized role set of a subject.
     #[must_use]
     pub fn subject_roles(&self, subject: SubjectId) -> BTreeSet<RoleId> {
-        self.subject_roles.get(&subject).cloned().unwrap_or_default()
+        self.subject_roles
+            .get(&subject)
+            .cloned()
+            .unwrap_or_default()
     }
 
     /// Direct (unexpanded) role set of an object.
@@ -113,7 +119,10 @@ impl Assignments {
     /// Subjects directly assigned to `role`.
     #[must_use]
     pub fn subjects_in(&self, role: RoleId) -> BTreeSet<SubjectId> {
-        self.subjects_in_role.get(&role).cloned().unwrap_or_default()
+        self.subjects_in_role
+            .get(&role)
+            .cloned()
+            .unwrap_or_default()
     }
 
     /// Objects directly assigned to `role`.

@@ -40,6 +40,10 @@ pub struct AuditLog {
     next_seq: u64,
     permits: u64,
     denies: u64,
+    /// Records dropped by the ring buffer (defaults to 0 when loading
+    /// logs serialized before the counter existed).
+    #[serde(default)]
+    evictions: u64,
 }
 
 impl AuditLog {
@@ -57,6 +61,7 @@ impl AuditLog {
             next_seq: 0,
             permits: 0,
             denies: 0,
+            evictions: 0,
         }
     }
 
@@ -86,6 +91,7 @@ impl AuditLog {
         if self.capacity > 0 {
             if self.records.len() == self.capacity {
                 self.records.pop_front();
+                self.evictions += 1;
             }
             self.records.push_back(AuditRecord {
                 seq,
@@ -135,6 +141,14 @@ impl AuditLog {
         self.denies
     }
 
+    /// Records evicted by the ring buffer (excludes records that were
+    /// never retained under a zero capacity, and records dropped by
+    /// [`clear`](Self::clear)).
+    #[must_use]
+    pub fn evicted_count(&self) -> u64 {
+        self.evictions
+    }
+
     /// The most recent record, if any is retained.
     #[must_use]
     pub fn last(&self) -> Option<&AuditRecord> {
@@ -168,7 +182,14 @@ mod tests {
     fn records_and_counters() {
         let mut log = AuditLog::new();
         let s0 = log.record(None, t(0), o(0), Effect::Permit, None, None);
-        let s1 = log.record(None, t(0), o(1), Effect::Deny, Some(RuleId::from_raw(2)), Some(7));
+        let s1 = log.record(
+            None,
+            t(0),
+            o(1),
+            Effect::Deny,
+            Some(RuleId::from_raw(2)),
+            Some(7),
+        );
         assert_eq!((s0, s1), (0, 1));
         assert_eq!(log.len(), 2);
         assert_eq!(log.permit_count(), 1);
@@ -191,6 +212,44 @@ mod tests {
         // counters include evicted entries
         assert_eq!(log.total_recorded(), 3);
         assert_eq!(log.permit_count(), 2);
+        assert_eq!(log.evicted_count(), 1);
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_totals_past_eviction() {
+        let mut log = AuditLog::with_capacity(2);
+        log.record(None, t(0), o(0), Effect::Permit, None, None);
+        log.record(None, t(0), o(1), Effect::Deny, None, Some(3));
+        log.record(
+            None,
+            t(1),
+            o(2),
+            Effect::Permit,
+            Some(RuleId::from_raw(1)),
+            Some(4),
+        );
+        assert_eq!(log.evicted_count(), 1);
+
+        let json = serde_json::to_string(&log).unwrap();
+        let restored: AuditLog = serde_json::from_str(&json).unwrap();
+
+        // Retained records survive verbatim…
+        assert_eq!(restored.len(), 2);
+        assert_eq!(
+            restored.iter().collect::<Vec<_>>(),
+            log.iter().collect::<Vec<_>>()
+        );
+        // …and so do the running totals the records alone cannot carry.
+        assert_eq!(restored.total_recorded(), 3);
+        assert_eq!(restored.permit_count(), 2);
+        assert_eq!(restored.deny_count(), 1);
+        assert_eq!(restored.evicted_count(), 1);
+        // Sequence numbering continues where the original left off.
+        let mut restored = restored;
+        assert_eq!(
+            restored.record(None, t(0), o(0), Effect::Deny, None, None),
+            3
+        );
     }
 
     #[test]

@@ -113,7 +113,8 @@ impl GrbacBuilder {
     /// Declares a subject role.
     #[must_use]
     pub fn subject_role(mut self, name: impl Into<String>) -> Self {
-        self.roles.push((RoleKind::Subject, name.into(), Vec::new()));
+        self.roles
+            .push((RoleKind::Subject, name.into(), Vec::new()));
         self
     }
 
@@ -345,8 +346,14 @@ mod tests {
         let alice = engine.entities().find_subject("alice").unwrap();
         let tv = engine.entities().find_object("tv").unwrap();
         let use_t = engine.entities().find_transaction("use").unwrap();
-        let weekdays = engine.roles().find(RoleKind::Environment, "weekdays").unwrap();
-        let free_time = engine.roles().find(RoleKind::Environment, "free_time").unwrap();
+        let weekdays = engine
+            .roles()
+            .find(RoleKind::Environment, "weekdays")
+            .unwrap();
+        let free_time = engine
+            .roles()
+            .find(RoleKind::Environment, "free_time")
+            .unwrap();
         let env = EnvironmentSnapshot::from_active([weekdays, free_time]);
         // The blanket deny wins under the default strategy.
         let d = engine

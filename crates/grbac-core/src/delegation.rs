@@ -119,7 +119,8 @@ impl Grbac {
         if max_depth == 0 {
             return Err(GrbacError::InvalidDelegationDepth);
         }
-        self.roles().expect_kind(delegator_role, RoleKind::Subject)?;
+        self.roles()
+            .expect_kind(delegator_role, RoleKind::Subject)?;
         self.roles().expect_kind(delegable, RoleKind::Subject)?;
         self.delegation_mut().rules.push(DelegationRule {
             delegator_role,
@@ -262,7 +263,9 @@ impl Grbac {
 
         // Cascade: grants made by this subject for roles it no longer
         // possesses are now invalid.
-        let possessed = self.roles().expand(&self.assignments().subject_roles(subject));
+        let possessed = self
+            .roles()
+            .expand(&self.assignments().subject_roles(subject));
         let invalid: Vec<DelegationGrant> = self
             .delegation()
             .grants
@@ -318,7 +321,8 @@ mod tests {
         let kim = g.declare_subject("kim").unwrap();
         g.assign_subject_role(mom, parent).unwrap();
         g.assign_subject_role(mom, sitter_role).unwrap();
-        g.add_delegation_rule(parent, sitter_role, max_depth).unwrap();
+        g.add_delegation_rule(parent, sitter_role, max_depth)
+            .unwrap();
         // Recipients of child_supervisor may re-delegate if the rule
         // names their role too (added per-test when needed).
         Home {
@@ -369,7 +373,8 @@ mod tests {
     fn depth_limit_blocks_redelegation() {
         let mut h = home(2);
         // Allow supervisors to re-delegate (they hold sitter_role).
-        h.g.add_delegation_rule(h.sitter_role, h.sitter_role, 2).unwrap();
+        h.g.add_delegation_rule(h.sitter_role, h.sitter_role, 2)
+            .unwrap();
         h.g.delegate(h.mom, h.robin, h.sitter_role).unwrap();
         // Robin re-delegates to Kim at depth 2: fine.
         h.g.delegate(h.robin, h.kim, h.sitter_role).unwrap();
@@ -384,7 +389,8 @@ mod tests {
     #[test]
     fn revocation_cascades_through_redelegations() {
         let mut h = home(3);
-        h.g.add_delegation_rule(h.sitter_role, h.sitter_role, 3).unwrap();
+        h.g.add_delegation_rule(h.sitter_role, h.sitter_role, 3)
+            .unwrap();
         let to_robin = h.g.delegate(h.mom, h.robin, h.sitter_role).unwrap();
         h.g.delegate(h.robin, h.kim, h.sitter_role).unwrap();
         assert!(h.g.assignments().subject_has(h.kim, h.sitter_role));
@@ -437,8 +443,7 @@ mod tests {
                 .transaction(operate),
         )
         .unwrap();
-        let request =
-            AccessRequest::by_subject(h.robin, operate, tv, EnvironmentSnapshot::new());
+        let request = AccessRequest::by_subject(h.robin, operate, tv, EnvironmentSnapshot::new());
         assert!(!h.g.decide(&request).unwrap().is_permitted());
 
         let grant = h.g.delegate(h.mom, h.robin, h.sitter_role).unwrap();
@@ -453,8 +458,7 @@ mod tests {
         let mut h = home(1);
         let rival = h.g.declare_subject_role("rival_role").unwrap();
         h.g.add_sod_constraint(
-            SodConstraint::mutual_exclusion("x", SodKind::Static, h.sitter_role, rival)
-                .unwrap(),
+            SodConstraint::mutual_exclusion("x", SodKind::Static, h.sitter_role, rival).unwrap(),
         )
         .unwrap();
         h.g.assign_subject_role(h.robin, rival).unwrap();
@@ -462,7 +466,10 @@ mod tests {
             h.g.delegate(h.mom, h.robin, h.sitter_role),
             Err(GrbacError::SodViolation { .. })
         ));
-        assert!(h.g.delegations().is_empty(), "failed delegation leaves no grant");
+        assert!(
+            h.g.delegations().is_empty(),
+            "failed delegation leaves no grant"
+        );
     }
 
     #[test]

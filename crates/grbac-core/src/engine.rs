@@ -51,6 +51,7 @@
 use std::borrow::Cow;
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
+use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
 
@@ -65,9 +66,12 @@ use crate::id::{IdAllocator, ObjectId, RoleId, RuleId, SessionId, SubjectId, Tra
 use crate::index::{CachedExpansion, CompiledIndex, IndexCell};
 use crate::precedence::ConflictStrategy;
 use crate::role::{RoleCatalog, RoleKind};
-use crate::rule::{Effect, Rule, RuleDef, RoleSpec, TransactionSpec};
+use crate::rule::{Effect, RoleSpec, Rule, RuleDef, TransactionSpec};
 use crate::session::SessionManager;
 use crate::sod::{SodConstraint, SodKind, SodPolicy};
+use crate::telemetry::{
+    DecisionTrace, MetricsRegistry, MetricsSnapshot, NoTrace, Stage, TraceCollector, TraceSink,
+};
 
 /// Who is asking: the three authentication postures GRBAC supports.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -182,6 +186,13 @@ pub struct Grbac {
     /// serialized, rebuilt on demand after deserialization or cloning).
     #[serde(skip)]
     index: IndexCell,
+    /// Telemetry registry (operational state — never serialized; a
+    /// deserialized engine starts with fresh zeroes). Engine clones
+    /// share the same registry, as do `decide_batch` workers and any
+    /// environment providers attached via
+    /// `EnvironmentRoleProvider::attach_metrics`.
+    #[serde(skip)]
+    metrics: Arc<MetricsRegistry>,
 }
 
 impl Default for Grbac {
@@ -212,6 +223,7 @@ impl Grbac {
             delegation: crate::delegation::DelegationState::default(),
             generation: 0,
             index: IndexCell::default(),
+            metrics: Arc::new(MetricsRegistry::new()),
         }
     }
 
@@ -224,7 +236,7 @@ impl Grbac {
     /// The compiled index for the current generation, building it if a
     /// mutation (or deserialization) invalidated the cached one.
     fn compiled(&self) -> Arc<CompiledIndex> {
-        self.index.get_or_build(self.generation, || {
+        self.index.get_or_build(self.generation, &self.metrics, || {
             CompiledIndex::build(&self.roles, &self.assignments, &self.rules)
         })
     }
@@ -412,7 +424,9 @@ impl Grbac {
         match constraint.kind() {
             SodKind::Static => {
                 for subject in self.entities.subjects() {
-                    let held = self.roles.expand(&self.assignments.subject_roles(subject.id()));
+                    let held = self
+                        .roles
+                        .expand(&self.assignments.subject_roles(subject.id()));
                     if constraint.violated_by_set(&held) {
                         return Err(GrbacError::SodViolation {
                             constraint: constraint.name().to_owned(),
@@ -650,6 +664,52 @@ impl Grbac {
     /// Clears retained audit records (totals are preserved).
     pub fn clear_audit(&mut self) {
         self.audit.clear();
+        self.sync_audit_gauges();
+    }
+
+    /// The engine's telemetry registry.
+    ///
+    /// Clone the `Arc` to publish external counters (environment
+    /// providers, workload drivers) into the same registry the engine
+    /// updates during mediation.
+    #[must_use]
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
+    /// Replaces the telemetry registry, e.g. to aggregate several
+    /// engines into one registry. Readings accumulated in the old
+    /// registry are left behind, not transferred.
+    pub fn set_metrics(&mut self, metrics: Arc<MetricsRegistry>) {
+        self.metrics = metrics;
+    }
+
+    /// A point-in-time snapshot of the registry with per-transaction
+    /// series labelled by declared transaction names (raw ids for
+    /// transactions no longer in the catalog). Export it with a
+    /// [`PrometheusExporter`](crate::telemetry::PrometheusExporter) or
+    /// [`JsonExporter`](crate::telemetry::JsonExporter), or diff two
+    /// snapshots with [`MetricsSnapshot::delta`].
+    #[must_use]
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot_with(|raw| {
+            self.entities
+                .transaction(TransactionId::from_raw(raw))
+                .map_or_else(|_| raw.to_string(), |t| t.name().to_owned())
+        })
+    }
+
+    /// Mirrors the audit log's running totals into the registry's
+    /// gauges, so exporters see audit state that survives eviction and
+    /// [`clear_audit`](Self::clear_audit) just like the log's own
+    /// counters do.
+    fn sync_audit_gauges(&self) {
+        self.metrics
+            .audit_permit_total
+            .set(self.audit.permit_count());
+        self.metrics.audit_deny_total.set(self.audit.deny_count());
+        self.metrics.audit_evictions.set(self.audit.evicted_count());
+        self.metrics.audit_retained.set(self.audit.len() as u64);
     }
 
     // ------------------------------------------------------------------
@@ -669,7 +729,27 @@ impl Grbac {
     /// Unknown session/subject/object/transaction ids in the request.
     pub fn decide(&self, request: &AccessRequest) -> Result<Decision> {
         let index = self.compiled();
-        self.decide_with_index(request, &index)
+        self.decide_with_index(request, &index, &mut NoTrace)
+    }
+
+    /// Mediates a request and records a stage-by-stage
+    /// [`DecisionTrace`] (per-stage wall-clock nanoseconds and item
+    /// counts) alongside the decision.
+    ///
+    /// The traced path is the *same* monomorphized mediation code as
+    /// [`decide`](Self::decide) — only the [`TraceSink`] differs — so
+    /// the decision is identical on identical input; the
+    /// `prop_telemetry` property suite holds the two equal.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`decide`](Self::decide).
+    pub fn decide_traced(&self, request: &AccessRequest) -> Result<(Decision, DecisionTrace)> {
+        let index = self.compiled();
+        let started = Instant::now();
+        let mut sink = TraceCollector::default();
+        let decision = self.decide_with_index(request, &index, &mut sink)?;
+        Ok((decision, sink.finish(started)))
     }
 
     /// Mediates a batch of requests against one snapshot of the
@@ -682,9 +762,12 @@ impl Grbac {
     #[must_use]
     pub fn decide_batch(&self, requests: &[AccessRequest]) -> Vec<Result<Decision>> {
         let index = self.compiled();
+        self.metrics.batch_calls.inc();
+        self.metrics.batch_size.observe(requests.len() as u64);
         #[cfg(feature = "parallel")]
         {
-            let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+            let threads =
+                std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
             // Below ~32 requests the spawn overhead dominates.
             if threads > 1 && requests.len() >= 32 {
                 let chunk = requests.len().div_ceil(threads);
@@ -695,7 +778,9 @@ impl Grbac {
                         .map(|part| {
                             scope.spawn(move || {
                                 part.iter()
-                                    .map(|request| self.decide_with_index(request, index))
+                                    .map(|request| {
+                                        self.decide_with_index(request, index, &mut NoTrace)
+                                    })
                                     .collect::<Vec<_>>()
                             })
                         })
@@ -709,30 +794,103 @@ impl Grbac {
         }
         requests
             .iter()
-            .map(|request| self.decide_with_index(request, &index))
+            .map(|request| self.decide_with_index(request, &index, &mut NoTrace))
             .collect()
     }
 
-    /// The compiled mediation path shared by [`decide`](Self::decide)
-    /// and [`decide_batch`](Self::decide_batch).
-    fn decide_with_index(&self, request: &AccessRequest, index: &CompiledIndex) -> Result<Decision> {
+    /// The compiled mediation path shared by [`decide`](Self::decide),
+    /// [`decide_batch`](Self::decide_batch) and
+    /// [`decide_traced`](Self::decide_traced): runs [`Self::mediate`]
+    /// and publishes the outcome (effect counters, per-transaction
+    /// rule-match counts, sampled latency) into the registry. All
+    /// counters are atomics, so parallel batch workers record exactly
+    /// what sequential calls would.
+    fn decide_with_index<S: TraceSink>(
+        &self,
+        request: &AccessRequest,
+        index: &CompiledIndex,
+        sink: &mut S,
+    ) -> Result<Decision> {
+        let timer = self.metrics.decide_timer();
+        let result = self.mediate(request, index, sink);
+        match &result {
+            Ok(decision) => {
+                match decision.effect() {
+                    Effect::Permit => self.metrics.decisions_permit.inc(),
+                    Effect::Deny => self.metrics.decisions_deny.inc(),
+                }
+                self.metrics.rule_matches_by_transaction.add(
+                    request.transaction.as_raw(),
+                    decision.explanation().matched.len() as u64,
+                );
+            }
+            Err(_) => self.metrics.decide_errors.inc(),
+        }
+        self.metrics.observe_decide_latency(timer);
+        result
+    }
+
+    /// The mediation algorithm itself, generic over a [`TraceSink`]:
+    /// with [`NoTrace`] every `enter`/`exit` call compiles away, with a
+    /// [`TraceCollector`] the same code yields a [`DecisionTrace`] —
+    /// the traced and untraced paths cannot diverge.
+    fn mediate<S: TraceSink>(
+        &self,
+        request: &AccessRequest,
+        index: &CompiledIndex,
+        sink: &mut S,
+    ) -> Result<Decision> {
         self.entities.transaction(request.transaction)?;
         self.entities.object(request.object)?;
 
         // 1. The requester's roles: cached expansions for trusted
         //    subjects, per-request closure merges for sessions and
         //    sensed contexts.
+        let span = sink.enter(Stage::SubjectExpansion);
         let subject = self.subject_view(&request.actor, index)?;
+        sink.exit(
+            Stage::SubjectExpansion,
+            span,
+            if S::ACTIVE {
+                subject.role_count() as u64
+            } else {
+                0
+            },
+        );
 
         // 2. Object roles from the cache; environment expanded per
         //    request (activation state is not generation-tracked).
+        let span = sink.enter(Stage::ObjectExpansion);
         let object = index.object(request.object);
+        self.metrics.closure_cache_hits.inc();
+        sink.exit(
+            Stage::ObjectExpansion,
+            span,
+            if S::ACTIVE {
+                object.expanded.len() as u64
+            } else {
+                0
+            },
+        );
+        let span = sink.enter(Stage::EnvironmentEvaluation);
         let environment = index
             .closures
             .expand(request.environment.active().iter().copied());
+        self.metrics.closure_cache_misses.inc();
+        sink.exit(
+            Stage::EnvironmentEvaluation,
+            span,
+            if S::ACTIVE {
+                environment.expanded.len() as u64
+            } else {
+                0
+            },
+        );
 
         // 3. Match candidate rules in policy order.
+        let span = sink.enter(Stage::CandidateMerge);
         let candidates = index.rules.candidates(request.transaction);
+        let candidate_count = candidates.len() as u64;
         let mut matched = Vec::with_capacity(candidates.len());
         let mut confidence_near_miss: Option<(Confidence, Confidence)> = None;
         for position in candidates {
@@ -781,9 +939,11 @@ impl Grbac {
                 constraint_count: rule.constraint_count(),
             });
         }
+        sink.exit(Stage::CandidateMerge, span, candidate_count);
 
         // 4. Resolve conflicts and build the decision, reusing the
         //    already-expanded role sets for the explanation.
+        let span = sink.enter(Stage::PrecedenceResolution);
         let winner = self.strategy.resolve(&matched);
         let (effect, winner_id, reason) = match winner {
             Some(w) => (w.effect, Some(w.rule), Reason::ResolvedBy(self.strategy)),
@@ -795,6 +955,7 @@ impl Grbac {
                 (self.default_effect, None, reason)
             }
         };
+        sink.exit(Stage::PrecedenceResolution, span, matched.len() as u64);
         Ok(Decision::new(
             effect,
             Explanation {
@@ -816,6 +977,9 @@ impl Grbac {
         match actor {
             Actor::Session(id) => {
                 let session = self.sessions.session(*id)?;
+                // Activation state is per-session, not generation-keyed,
+                // so the expansion is computed per request.
+                self.metrics.closure_cache_misses.inc();
                 Ok(SubjectView::Full(Cow::Owned(
                     index
                         .closures
@@ -824,9 +988,11 @@ impl Grbac {
             }
             Actor::Subject(id) => {
                 self.entities.subject(*id)?;
+                self.metrics.closure_cache_hits.inc();
                 Ok(SubjectView::Full(Cow::Borrowed(index.subject(*id))))
             }
             Actor::Sensed(ctx) => {
+                self.metrics.closure_cache_misses.inc();
                 let mut direct = BTreeSet::new();
                 let mut conf = BTreeMap::new();
                 // Identity-derived roles inherit the identity confidence.
@@ -981,7 +1147,39 @@ impl Grbac {
             decision.winning_rule(),
             request.timestamp,
         );
+        self.sync_audit_gauges();
         Ok(decision)
+    }
+
+    /// Mediates a batch and records every successful decision in the
+    /// audit log, in request order — the batched equivalent of calling
+    /// [`check`](Self::check) per request. Audit records, sequence
+    /// numbers and metrics come out identical to the sequential path
+    /// (including under the `parallel` feature: decision metrics are
+    /// atomics updated by the workers, audit records are appended in
+    /// request order afterwards).
+    pub fn check_batch(&mut self, requests: &[AccessRequest]) -> Vec<Result<Decision>> {
+        let decisions = self.decide_batch(requests);
+        for (request, result) in requests.iter().zip(&decisions) {
+            if let Ok(decision) = result {
+                let subject = match &request.actor {
+                    // The decide succeeded, so the session exists.
+                    Actor::Session(s) => self.sessions.session(*s).ok().map(|sess| sess.subject()),
+                    Actor::Subject(s) => Some(*s),
+                    Actor::Sensed(ctx) => ctx.identity().map(|(s, _)| s),
+                };
+                self.audit.record(
+                    subject,
+                    request.transaction,
+                    request.object,
+                    decision.effect(),
+                    decision.winning_rule(),
+                    request.timestamp,
+                );
+            }
+        }
+        self.sync_audit_gauges();
+        decisions
     }
 
     /// Renders a decision as plain language with all ids resolved to
@@ -1154,6 +1352,14 @@ impl SubjectView<'_> {
         match self {
             SubjectView::Full(expansion) => &expansion.direct,
             SubjectView::Mixed { direct, .. } => direct,
+        }
+    }
+
+    /// Number of expanded roles the requester holds (trace item count).
+    fn role_count(&self) -> usize {
+        match self {
+            SubjectView::Full(expansion) => expansion.expanded.len(),
+            SubjectView::Mixed { conf, .. } => conf.len(),
         }
     }
 
@@ -1331,8 +1537,12 @@ mod tests {
     #[test]
     fn permit_overrides_flips_the_outcome() {
         let (mut g, f) = section51();
-        g.add_rule(RuleDef::deny().subject_role(f.child).object_role(f.entertainment))
-            .unwrap();
+        g.add_rule(
+            RuleDef::deny()
+                .subject_role(f.child)
+                .object_role(f.entertainment),
+        )
+        .unwrap();
         g.set_strategy(ConflictStrategy::PermitOverrides);
         let env = EnvironmentSnapshot::from_active([f.weekdays, f.free_time]);
         let d = g
@@ -1349,7 +1559,12 @@ mod tests {
 
         // Nothing active: deny.
         let d = g
-            .decide(&AccessRequest::by_session(session, f.use_t, f.tv, env.clone()))
+            .decide(&AccessRequest::by_session(
+                session,
+                f.use_t,
+                f.tv,
+                env.clone(),
+            ))
             .unwrap();
         assert!(!d.is_permitted());
 
@@ -1472,8 +1687,12 @@ mod tests {
     fn deny_rules_apply_even_at_low_confidence() {
         let (mut g, f) = section51();
         g.set_default_min_confidence(Confidence::new(0.90).unwrap());
-        g.add_rule(RuleDef::deny().subject_role(f.child).object_role(f.entertainment))
-            .unwrap();
+        g.add_rule(
+            RuleDef::deny()
+                .subject_role(f.child)
+                .object_role(f.entertainment),
+        )
+        .unwrap();
         let mut ctx = AuthContext::new();
         ctx.claim_role(f.child, Confidence::new(0.30).unwrap());
         let env = EnvironmentSnapshot::from_active([f.weekdays, f.free_time]);
@@ -1639,7 +1858,12 @@ mod tests {
         g.activate_role(session, f.child).unwrap();
         let env = EnvironmentSnapshot::from_active([f.weekdays, f.free_time]);
         assert!(g
-            .decide(&AccessRequest::by_session(session, f.use_t, f.tv, env.clone()))
+            .decide(&AccessRequest::by_session(
+                session,
+                f.use_t,
+                f.tv,
+                env.clone()
+            ))
             .unwrap()
             .is_permitted());
 
@@ -1715,7 +1939,10 @@ mod tests {
             .decide(&AccessRequest::by_sensed(ctx, f.use_t, f.tv, env))
             .unwrap();
         let text = g.render_decision(&d);
-        assert!(text.contains("confidence 75.0% below the required 90.0%"), "{text}");
+        assert!(
+            text.contains("confidence 75.0% below the required 90.0%"),
+            "{text}"
+        );
     }
 
     #[test]

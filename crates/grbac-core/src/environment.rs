@@ -132,7 +132,9 @@ mod tests {
     fn builders_and_collect() {
         let a = EnvironmentSnapshot::from_active([r(0), r(1)]);
         let b: EnvironmentSnapshot = [r(0), r(1)].into_iter().collect();
-        let c = EnvironmentSnapshot::new().with_active(r(0)).with_active(r(1));
+        let c = EnvironmentSnapshot::new()
+            .with_active(r(0))
+            .with_active(r(1));
         assert_eq!(a, b);
         assert_eq!(b, c);
     }

@@ -45,31 +45,23 @@ pub enum GrbacError {
     },
     /// An assignment or activation would violate a separation-of-duty
     /// constraint.
-    SodViolation {
-        constraint: String,
-        role: RoleId,
-    },
+    SodViolation { constraint: String, role: RoleId },
     /// A subject tried to activate a role outside its authorized role set.
-    RoleNotAuthorized {
-        subject: SubjectId,
-        role: RoleId,
-    },
+    RoleNotAuthorized { subject: SubjectId, role: RoleId },
     /// A confidence value outside `[0, 1]` was supplied.
     InvalidConfidence(f64),
     /// A separation-of-duty constraint was declared with an impossible
     /// cardinality (e.g. `max_active = 0` or larger than the role set).
-    InvalidSodCardinality { constraint: String, max: usize, set: usize },
-    /// No delegation rule authorizes this subject to delegate this role.
-    NotAuthorizedToDelegate {
-        delegator: SubjectId,
-        role: RoleId,
+    InvalidSodCardinality {
+        constraint: String,
+        max: usize,
+        set: usize,
     },
+    /// No delegation rule authorizes this subject to delegate this role.
+    NotAuthorizedToDelegate { delegator: SubjectId, role: RoleId },
     /// The delegator does not themselves possess the role being
     /// delegated.
-    DelegatorLacksRole {
-        delegator: SubjectId,
-        role: RoleId,
-    },
+    DelegatorLacksRole { delegator: SubjectId, role: RoleId },
     /// Re-delegating would exceed the rule's maximum chain depth.
     DelegationDepthExceeded { max_depth: u32 },
     /// A delegation id that was never issued or was already revoked.
@@ -119,14 +111,17 @@ impl std::fmt::Display for GrbacError {
                 f,
                 "separation-of-duty constraint {constraint:?} forbids adding role {role}"
             ),
-            Self::RoleNotAuthorized { subject, role } => write!(
-                f,
-                "subject {subject} is not authorized for role {role}"
-            ),
+            Self::RoleNotAuthorized { subject, role } => {
+                write!(f, "subject {subject} is not authorized for role {role}")
+            }
             Self::InvalidConfidence(v) => {
                 write!(f, "confidence {v} is outside the unit interval")
             }
-            Self::InvalidSodCardinality { constraint, max, set } => write!(
+            Self::InvalidSodCardinality {
+                constraint,
+                max,
+                set,
+            } => write!(
                 f,
                 "separation-of-duty constraint {constraint:?} allows {max} of a {set}-role set"
             ),
@@ -181,9 +176,8 @@ mod tests {
 
     #[test]
     fn implements_std_error() {
-        let e: Box<dyn std::error::Error> = Box::new(GrbacError::UnknownSubject(
-            SubjectId::from_raw(0),
-        ));
+        let e: Box<dyn std::error::Error> =
+            Box::new(GrbacError::UnknownSubject(SubjectId::from_raw(0)));
         assert!(e.source().is_none());
     }
 }

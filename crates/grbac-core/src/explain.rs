@@ -93,7 +93,10 @@ impl Decision {
     /// public so application layers and tests can synthesize decisions.
     #[must_use]
     pub fn new(effect: Effect, explanation: Explanation) -> Self {
-        Self { effect, explanation }
+        Self {
+            effect,
+            explanation,
+        }
     }
 
     /// Permit or Deny.

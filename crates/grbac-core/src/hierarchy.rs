@@ -100,8 +100,14 @@ impl RoleHierarchy {
         }
         self.add_role(specific);
         self.add_role(general);
-        self.generals.get_mut(&specific).expect("just added").insert(general);
-        self.specifics.get_mut(&general).expect("just added").insert(specific);
+        self.generals
+            .get_mut(&specific)
+            .expect("just added")
+            .insert(general);
+        self.specifics
+            .get_mut(&general)
+            .expect("just added")
+            .insert(specific);
         Ok(())
     }
 

@@ -38,6 +38,7 @@ use crate::assignment::Assignments;
 use crate::id::{ObjectId, RoleId, SubjectId, TransactionId};
 use crate::role::RoleCatalog;
 use crate::rule::{Rule, TransactionSpec};
+use crate::telemetry::MetricsRegistry;
 
 /// Precomputed upward closures and pairwise upward distances for every
 /// declared role, laid out over the dense role-id space (role ids are
@@ -104,7 +105,6 @@ impl RoleClosures {
     }
 
     /// Number of dense role slots (max raw id + 1 at build time).
-    #[cfg(test)]
     pub(crate) fn role_count(&self) -> usize {
         self.role_count
     }
@@ -278,6 +278,22 @@ impl RuleIndex {
     pub(crate) fn env_mask(&self, position: usize) -> &[u64] {
         &self.env_masks[position * self.words..(position + 1) * self.words]
     }
+
+    /// Number of non-empty buckets (exact transactions plus the `Any`
+    /// bucket when populated).
+    fn bucket_count(&self) -> usize {
+        self.exact.len() + usize::from(!self.any_bucket.is_empty())
+    }
+
+    /// Size of the largest bucket.
+    fn max_bucket(&self) -> usize {
+        self.exact
+            .values()
+            .map(Vec::len)
+            .chain([self.any_bucket.len()])
+            .max()
+            .unwrap_or(0)
+    }
 }
 
 /// Position-ordered merge of a transaction's exact bucket with the
@@ -370,6 +386,15 @@ impl CompiledIndex {
     pub(crate) fn object(&self, id: ObjectId) -> &CachedExpansion {
         self.objects.get(&id.as_raw()).unwrap_or(&self.empty)
     }
+
+    /// Publishes the index's shape into the registry's gauges.
+    fn publish_shape(&self, metrics: &MetricsRegistry) {
+        metrics.index_roles.set(self.closures.role_count() as u64);
+        metrics
+            .index_rule_buckets
+            .set(self.rules.bucket_count() as u64);
+        metrics.index_max_bucket.set(self.rules.max_bucket() as u64);
+    }
 }
 
 /// Lazily-built, generation-checked holder of the [`CompiledIndex`].
@@ -385,10 +410,13 @@ pub(crate) struct IndexCell {
 
 impl IndexCell {
     /// Returns the index for `generation`, building it at most once
-    /// per generation under contention.
+    /// per generation under contention. Generation hits count into
+    /// `index_cache_hits`; rebuilds count into `index_rebuilds` and
+    /// `index_rebuild_ns`.
     pub(crate) fn get_or_build(
         &self,
         generation: u64,
+        metrics: &MetricsRegistry,
         build: impl FnOnce() -> CompiledIndex,
     ) -> Arc<CompiledIndex> {
         if let Some((built_for, index)) = self
@@ -398,6 +426,7 @@ impl IndexCell {
             .as_ref()
         {
             if *built_for == generation {
+                metrics.index_cache_hits.inc();
                 return Arc::clone(index);
             }
         }
@@ -409,10 +438,17 @@ impl IndexCell {
         // waited for the write lock.
         if let Some((built_for, index)) = slot.as_ref() {
             if *built_for == generation {
+                metrics.index_cache_hits.inc();
                 return Arc::clone(index);
             }
         }
+        let rebuild_started = std::time::Instant::now();
         let index = Arc::new(build());
+        metrics.index_rebuilds.inc();
+        metrics
+            .index_rebuild_ns
+            .add(u64::try_from(rebuild_started.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        index.publish_shape(metrics);
         *slot = Some((generation, Arc::clone(&index)));
         index
     }
@@ -540,10 +576,22 @@ mod tests {
         let (catalog, _) = catalog_with_chain();
         let assignments = Assignments::new();
         let cell = IndexCell::default();
-        let first = cell.get_or_build(3, || CompiledIndex::build(&catalog, &assignments, &[]));
-        let second = cell.get_or_build(3, || panic!("same generation must reuse the index"));
+        let metrics = MetricsRegistry::new();
+        let first = cell.get_or_build(3, &metrics, || {
+            CompiledIndex::build(&catalog, &assignments, &[])
+        });
+        let second = cell.get_or_build(3, &metrics, || {
+            panic!("same generation must reuse the index")
+        });
         assert!(Arc::ptr_eq(&first, &second));
-        let third = cell.get_or_build(4, || CompiledIndex::build(&catalog, &assignments, &[]));
+        let third = cell.get_or_build(4, &metrics, || {
+            CompiledIndex::build(&catalog, &assignments, &[])
+        });
         assert!(!Arc::ptr_eq(&first, &third));
+        if crate::telemetry::ENABLED {
+            assert_eq!(metrics.index_rebuilds.get(), 2);
+            assert_eq!(metrics.index_cache_hits.get(), 1);
+            assert_eq!(metrics.index_roles.get(), 4);
+        }
     }
 }

@@ -72,6 +72,7 @@
 //! | [`explain`] | §3 (usability) | decisions with full explanations |
 //! | [`analysis`] | §4.2.4 | conflict/shadowing/dead-role detection |
 //! | [`audit`] | §3 | bounded decision log |
+//! | [`telemetry`] | §3 (operability) | metrics registry, decision traces, exporters |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -96,6 +97,7 @@ pub mod rule;
 pub mod serde_pairs;
 pub mod session;
 pub mod sod;
+pub mod telemetry;
 
 pub use builder::GrbacBuilder;
 pub use confidence::{AuthContext, Confidence};
@@ -106,6 +108,9 @@ pub use explain::{Decision, Explanation, Reason};
 pub use precedence::ConflictStrategy;
 pub use role::RoleKind;
 pub use rule::{Effect, Rule, RuleDef};
+pub use telemetry::{
+    DecisionTrace, Exporter, JsonExporter, MetricsRegistry, MetricsSnapshot, PrometheusExporter,
+};
 
 /// The most commonly needed items, importable with one `use`.
 pub mod prelude {

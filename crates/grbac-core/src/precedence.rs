@@ -81,7 +81,9 @@ impl ConflictStrategy {
                     // more constraints = more specific = preferred
                     .then_with(|| b.constraint_count.cmp(&a.constraint_count))
                     // deny beats permit on a full tie
-                    .then_with(|| specificity_effect_rank(a.effect).cmp(&specificity_effect_rank(b.effect)))
+                    .then_with(|| {
+                        specificity_effect_rank(a.effect).cmp(&specificity_effect_rank(b.effect))
+                    })
                     // stable: earlier rule wins
                     .then_with(|| a.position.cmp(&b.position))
             }),
@@ -140,7 +142,10 @@ mod tests {
 
     #[test]
     fn deny_overrides_with_only_permits_takes_first() {
-        let matches = [m(0, 0, Effect::Permit, 0, 0, 1), m(1, 1, Effect::Permit, 0, 0, 1)];
+        let matches = [
+            m(0, 0, Effect::Permit, 0, 0, 1),
+            m(1, 1, Effect::Permit, 0, 0, 1),
+        ];
         let w = ConflictStrategy::DenyOverrides.resolve(&matches).unwrap();
         assert_eq!(w.rule, RuleId::from_raw(0));
     }

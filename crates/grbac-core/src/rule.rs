@@ -373,7 +373,9 @@ mod tests {
     fn rule_accessors() {
         let rule = Rule::from_def(
             RuleId::from_raw(7),
-            RuleDef::deny().named("no dangerous appliances").subject_role(r(0)),
+            RuleDef::deny()
+                .named("no dangerous appliances")
+                .subject_role(r(0)),
         );
         assert_eq!(rule.id(), RuleId::from_raw(7));
         assert_eq!(rule.name(), Some("no dangerous appliances"));

@@ -84,7 +84,9 @@ mod tests {
 
     #[test]
     fn empty_map_round_trips() {
-        let wrapper = Wrapper { map: HashMap::new() };
+        let wrapper = Wrapper {
+            map: HashMap::new(),
+        };
         let json = serde_json::to_string(&wrapper).unwrap();
         let back: Wrapper = serde_json::from_str(&json).unwrap();
         assert_eq!(wrapper, back);

@@ -120,7 +120,9 @@ impl SodConstraint {
     /// as holding `teller`.
     #[must_use]
     pub fn violated_by(&self, held: &BTreeSet<RoleId>, candidate: RoleId) -> bool {
-        if !self.roles.contains(&candidate) && self.roles.intersection(held).count() <= self.max_concurrent {
+        if !self.roles.contains(&candidate)
+            && self.roles.intersection(held).count() <= self.max_concurrent
+        {
             // Fast path: candidate not constrained and held set already fine.
             return false;
         }
@@ -179,12 +181,7 @@ impl SodPolicy {
     /// # Errors
     ///
     /// [`GrbacError::SodViolation`] naming the first violated constraint.
-    pub fn check(
-        &self,
-        kind: SodKind,
-        held: &BTreeSet<RoleId>,
-        candidate: RoleId,
-    ) -> Result<()> {
+    pub fn check(&self, kind: SodKind, held: &BTreeSet<RoleId>, candidate: RoleId) -> Result<()> {
         for c in self.constraints.iter().filter(|c| c.kind == kind) {
             if c.violated_by(held, candidate) {
                 return Err(GrbacError::SodViolation {
@@ -211,7 +208,10 @@ mod tests {
             .unwrap();
         assert_eq!(c.max_concurrent(), 1);
         assert!(!c.violated_by(&BTreeSet::new(), r(0)));
-        assert!(!c.violated_by(&BTreeSet::from([r(0)]), r(2)), "unrelated role ok");
+        assert!(
+            !c.violated_by(&BTreeSet::from([r(0)]), r(2)),
+            "unrelated role ok"
+        );
         assert!(c.violated_by(&BTreeSet::from([r(0)]), r(1)));
         assert!(c.violated_by(&BTreeSet::from([r(1)]), r(0)));
     }
@@ -250,9 +250,15 @@ mod tests {
         assert_eq!(p.len(), 2);
 
         // The static constraint does not block dynamic activation.
-        assert!(p.check(SodKind::Dynamic, &BTreeSet::from([r(0)]), r(1)).is_ok());
-        assert!(p.check(SodKind::Static, &BTreeSet::from([r(0)]), r(1)).is_err());
-        assert!(p.check(SodKind::Dynamic, &BTreeSet::from([r(2)]), r(3)).is_err());
+        assert!(p
+            .check(SodKind::Dynamic, &BTreeSet::from([r(0)]), r(1))
+            .is_ok());
+        assert!(p
+            .check(SodKind::Static, &BTreeSet::from([r(0)]), r(1))
+            .is_err());
+        assert!(p
+            .check(SodKind::Dynamic, &BTreeSet::from([r(2)]), r(3))
+            .is_err());
     }
 
     #[test]

@@ -1,0 +1,294 @@
+//! Rendering a [`MetricsSnapshot`] for external consumption.
+//!
+//! Both exporters are zero-dependency: the Prometheus exporter emits
+//! the text exposition format by hand, and the JSON exporter writes
+//! JSON directly (escaping is the only subtlety) so it works even when
+//! the snapshot is consumed somewhere without the vendored
+//! `serde_json`. Both render the *same* snapshot — a test in this
+//! module holds them to identical contents.
+
+use std::fmt::Write as _;
+
+use super::metrics::MetricsSnapshot;
+
+/// Renders a [`MetricsSnapshot`] into some textual wire format.
+pub trait Exporter {
+    /// The MIME content type of [`Self::export`]'s output.
+    fn content_type(&self) -> &'static str;
+
+    /// Renders the snapshot.
+    fn export(&self, snapshot: &MetricsSnapshot) -> String;
+}
+
+/// The Prometheus text exposition format (version 0.0.4).
+///
+/// Counters render as `# TYPE <name> counter` plus a sample; gauges
+/// likewise; histograms render cumulative `_bucket{le="…"}` samples
+/// plus `_sum` and `_count`; keyed families render one labelled sample
+/// per key.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PrometheusExporter;
+
+impl Exporter for PrometheusExporter {
+    fn content_type(&self) -> &'static str {
+        "text/plain; version=0.0.4"
+    }
+
+    fn export(&self, snapshot: &MetricsSnapshot) -> String {
+        let mut out = String::new();
+        for (name, value) in &snapshot.counters {
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {value}");
+        }
+        for (name, value) in &snapshot.gauges {
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {value}");
+        }
+        for (name, histogram) in &snapshot.histograms {
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            let mut cumulative = 0u64;
+            for (bound, count) in histogram.bounds.iter().zip(&histogram.counts) {
+                cumulative += count;
+                if *bound == u64::MAX {
+                    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+                } else {
+                    let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {cumulative}");
+                }
+            }
+            let _ = writeln!(out, "{name}_sum {}", histogram.sum);
+            let _ = writeln!(out, "{name}_count {}", histogram.count);
+        }
+        for (name, family) in &snapshot.keyed {
+            let _ = writeln!(out, "# TYPE {name} counter");
+            for (key, value) in &family.values {
+                let _ = writeln!(
+                    out,
+                    "{name}{{{}=\"{}\"}} {value}",
+                    family.label,
+                    escape_label(key)
+                );
+            }
+        }
+        out
+    }
+}
+
+/// A compact JSON rendering of the snapshot.
+///
+/// The layout mirrors [`MetricsSnapshot`]'s fields: top-level objects
+/// `counters`, `gauges`, `histograms` (each with `bounds`, `counts`,
+/// `sum`, `count`), and `keyed` (each with `label` and `values`).
+/// Metric names are the JSON object keys — plain nested objects, not
+/// pair lists — so any JSON consumer can index straight into a series.
+/// Keys appear in sorted order, matching the snapshot's `BTreeMap`s.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JsonExporter;
+
+impl Exporter for JsonExporter {
+    fn content_type(&self) -> &'static str {
+        "application/json"
+    }
+
+    fn export(&self, snapshot: &MetricsSnapshot) -> String {
+        let mut out = String::from("{");
+
+        out.push_str("\"counters\":{");
+        push_entries(&mut out, snapshot.counters.iter(), |out, (name, value)| {
+            let _ = write!(out, "{}:{value}", json_string(name));
+        });
+        out.push_str("},");
+
+        out.push_str("\"gauges\":{");
+        push_entries(&mut out, snapshot.gauges.iter(), |out, (name, value)| {
+            let _ = write!(out, "{}:{value}", json_string(name));
+        });
+        out.push_str("},");
+
+        out.push_str("\"histograms\":{");
+        push_entries(
+            &mut out,
+            snapshot.histograms.iter(),
+            |out, (name, histogram)| {
+                let _ = write!(out, "{}:{{\"bounds\":[", json_string(name));
+                push_entries(out, histogram.bounds.iter(), |out, bound| {
+                    let _ = write!(out, "{bound}");
+                });
+                out.push_str("],\"counts\":[");
+                push_entries(out, histogram.counts.iter(), |out, count| {
+                    let _ = write!(out, "{count}");
+                });
+                let _ = write!(
+                    out,
+                    "],\"sum\":{},\"count\":{}}}",
+                    histogram.sum, histogram.count
+                );
+            },
+        );
+        out.push_str("},");
+
+        out.push_str("\"keyed\":{");
+        push_entries(&mut out, snapshot.keyed.iter(), |out, (name, family)| {
+            let _ = write!(
+                out,
+                "{}:{{\"label\":{},\"values\":{{",
+                json_string(name),
+                json_string(&family.label)
+            );
+            push_entries(out, family.values.iter(), |out, (key, value)| {
+                let _ = write!(out, "{}:{value}", json_string(key));
+            });
+            out.push_str("}}");
+        });
+        out.push_str("}}");
+
+        out
+    }
+}
+
+/// Writes comma-separated entries through `write_one`.
+fn push_entries<I: Iterator>(
+    out: &mut String,
+    entries: I,
+    write_one: impl Fn(&mut String, I::Item),
+) {
+    for (index, entry) in entries.enumerate() {
+        if index > 0 {
+            out.push(',');
+        }
+        write_one(out, entry);
+    }
+}
+
+/// A JSON string literal with the mandatory escapes.
+fn json_string(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len() + 2);
+    out.push('"');
+    for c in raw.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Escapes a Prometheus label value (`\`, `"`, newline).
+fn escape_label(raw: &str) -> String {
+    raw.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::metrics::MetricsRegistry;
+    use super::*;
+
+    fn populated_snapshot() -> MetricsSnapshot {
+        let registry = MetricsRegistry::new();
+        registry.decisions_permit.add(3);
+        registry.decisions_deny.add(1);
+        registry.audit_retained.set(4);
+        registry.batch_size.observe(10);
+        registry.rule_matches_by_transaction.add(2, 5);
+        registry.snapshot_with(|raw| format!("tx{raw}"))
+    }
+
+    #[test]
+    fn prometheus_renders_every_series() {
+        let text = PrometheusExporter.export(&populated_snapshot());
+        if crate::telemetry::ENABLED {
+            assert!(text.contains("# TYPE grbac_decisions_permit_total counter"));
+            assert!(text.contains("grbac_decisions_permit_total 3"));
+            assert!(text.contains("grbac_audit_retained 4"));
+            assert!(text.contains("grbac_batch_size_bucket{le=\"16\"} 1"));
+            assert!(text.contains("grbac_batch_size_bucket{le=\"+Inf\"} 1"));
+            assert!(text.contains("grbac_batch_size_sum 10"));
+            assert!(text.contains("grbac_rule_matches_total{transaction=\"tx2\"} 5"));
+        }
+        // Every line is a comment or `name[{labels}] value`.
+        for line in text.lines() {
+            assert!(
+                line.starts_with('#') || line.rsplit_once(' ').is_some(),
+                "malformed line: {line}"
+            );
+        }
+    }
+
+    /// Navigates one key into a parsed JSON object.
+    fn field<'a>(value: &'a serde_json::Value, key: &str) -> &'a serde_json::Value {
+        match value {
+            serde_json::Value::Map(fields) => fields
+                .iter()
+                .find(|(name, _)| name == key)
+                .map(|(_, value)| value)
+                .unwrap_or_else(|| panic!("missing field `{key}`")),
+            other => panic!("expected object at `{key}`, got {other:?}"),
+        }
+    }
+
+    /// Reads a parsed JSON number as `u64`.
+    fn uint(value: &serde_json::Value) -> u64 {
+        match value {
+            serde_json::Value::UInt(u) => *u,
+            serde_json::Value::Int(i) if *i >= 0 => *i as u64,
+            other => panic!("expected unsigned number, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn json_parses_and_agrees_with_prometheus() {
+        let snapshot = populated_snapshot();
+        let json = JsonExporter.export(&snapshot);
+        let parsed: serde_json::Value =
+            serde_json::from_str(&json).expect("exporter emits valid JSON");
+        if crate::telemetry::ENABLED {
+            assert_eq!(
+                uint(field(
+                    field(&parsed, "counters"),
+                    "grbac_decisions_permit_total"
+                )),
+                3
+            );
+            assert_eq!(
+                uint(field(field(&parsed, "gauges"), "grbac_audit_retained")),
+                4
+            );
+            let family = field(field(&parsed, "keyed"), "grbac_rule_matches_total");
+            assert_eq!(uint(field(field(family, "values"), "tx2")), 5);
+        }
+        // Same snapshot → the same counter values in both formats.
+        let text = PrometheusExporter.export(&snapshot);
+        for (name, value) in &snapshot.counters {
+            assert!(text.contains(&format!("{name} {value}")));
+            assert_eq!(uint(field(field(&parsed, "counters"), name)), *value);
+        }
+        for (name, histogram) in &snapshot.histograms {
+            let parsed_hist = field(field(&parsed, "histograms"), name);
+            assert_eq!(uint(field(parsed_hist, "sum")), histogram.sum);
+            assert_eq!(uint(field(parsed_hist, "count")), histogram.count);
+            assert!(text.contains(&format!("{name}_sum {}", histogram.sum)));
+            assert!(text.contains(&format!("{name}_count {}", histogram.count)));
+        }
+    }
+
+    #[test]
+    fn json_escapes_hostile_labels() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(escape_label("say \"hi\"\n"), "say \\\"hi\\\"\\n");
+    }
+
+    #[test]
+    fn content_types() {
+        assert_eq!(JsonExporter.content_type(), "application/json");
+        assert!(PrometheusExporter.content_type().starts_with("text/plain"));
+    }
+}

@@ -1,0 +1,696 @@
+//! Lock-cheap metric primitives and the engine-wide registry.
+//!
+//! Every hot-path update is one relaxed atomic RMW; the only lock in
+//! the module is the [`KeyedCounter`]'s `RwLock`, taken in read mode
+//! on every update and in write mode only when a new key widens the
+//! dense slot table. Under the `telemetry-off` feature all update
+//! methods compile to no-ops (readings stay zero).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+use super::ENABLED;
+
+/// A monotonically increasing counter (relaxed atomic).
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A zeroed counter.
+    #[must_use]
+    pub const fn new() -> Self {
+        Self(AtomicU64::new(0))
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        if ENABLED {
+            self.0.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// The current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins gauge (relaxed atomic store).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A zeroed gauge.
+    #[must_use]
+    pub const fn new() -> Self {
+        Self(AtomicU64::new(0))
+    }
+
+    /// Overwrites the value.
+    pub fn set(&self, value: u64) {
+        if ENABLED {
+            self.0.store(value, Ordering::Relaxed);
+        }
+    }
+
+    /// The current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket histogram over `u64` observations.
+///
+/// Bucket bounds are inclusive upper limits; the final bound must be
+/// `u64::MAX` so every observation lands somewhere. Observation is a
+/// short linear scan plus three relaxed atomics — no locks, no
+/// allocation.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: &'static [u64],
+    buckets: Vec<AtomicU64>,
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    /// Creates a histogram over the given inclusive upper bounds.
+    ///
+    /// # Panics
+    ///
+    /// If `bounds` is empty, unsorted, or does not end in `u64::MAX`.
+    #[must_use]
+    pub fn new(bounds: &'static [u64]) -> Self {
+        assert!(
+            bounds.last() == Some(&u64::MAX),
+            "histogram bounds must end in u64::MAX"
+        );
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        Self {
+            bounds,
+            buckets: bounds.iter().map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, value: u64) {
+        if !ENABLED {
+            return;
+        }
+        let slot = self.bounds.partition_point(|&bound| bound < value);
+        self.buckets[slot].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of observations so far.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of the histogram state.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.bounds.to_vec(),
+            counts: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            sum: self.sum.load(Ordering::Relaxed),
+            count: self.count.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Inclusive upper bucket bounds (last is `u64::MAX`).
+    pub bounds: Vec<u64>,
+    /// Observations per bucket (same length as `bounds`).
+    pub counts: Vec<u64>,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Total observations.
+    pub count: u64,
+}
+
+impl HistogramSnapshot {
+    /// This snapshot minus an earlier one (saturating per field).
+    #[must_use]
+    pub fn delta(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let counts = if self.bounds == earlier.bounds {
+            self.counts
+                .iter()
+                .zip(&earlier.counts)
+                .map(|(now, was)| now.saturating_sub(*was))
+                .collect()
+        } else {
+            self.counts.clone()
+        };
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            counts,
+            sum: self.sum.saturating_sub(earlier.sum),
+            count: self.count.saturating_sub(earlier.count),
+        }
+    }
+
+    /// Mean observed value (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// Counters keyed by a dense `u64` id (transaction ids in practice).
+///
+/// The update path takes the slot table's read lock and performs one
+/// relaxed atomic add; the write lock is taken only when a key beyond
+/// the current table length appears for the first time.
+#[derive(Debug, Default)]
+pub struct KeyedCounter {
+    slots: RwLock<Vec<AtomicU64>>,
+}
+
+impl KeyedCounter {
+    /// An empty keyed counter.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` to the counter for `key`.
+    pub fn add(&self, key: u64, n: u64) {
+        if !ENABLED {
+            return;
+        }
+        let index = key as usize;
+        {
+            let slots = self
+                .slots
+                .read()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            if let Some(slot) = slots.get(index) {
+                slot.fetch_add(n, Ordering::Relaxed);
+                return;
+            }
+        }
+        let mut slots = self
+            .slots
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if slots.len() <= index {
+            slots.resize_with(index + 1, AtomicU64::default);
+        }
+        slots[index].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The counter for `key` (0 if never touched).
+    #[must_use]
+    pub fn get(&self, key: u64) -> u64 {
+        self.slots
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(key as usize)
+            .map_or(0, |slot| slot.load(Ordering::Relaxed))
+    }
+
+    /// All non-zero `(key, value)` pairs, ascending by key.
+    #[must_use]
+    pub fn snapshot(&self) -> BTreeMap<u64, u64> {
+        self.slots
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .iter()
+            .enumerate()
+            .filter_map(|(key, slot)| {
+                let value = slot.load(Ordering::Relaxed);
+                (value > 0).then_some((key as u64, value))
+            })
+            .collect()
+    }
+}
+
+/// Decision latencies in nanoseconds: 128 ns … 4 ms, then overflow.
+static LATENCY_BOUNDS_NS: &[u64] = &[
+    128,
+    256,
+    512,
+    1_024,
+    2_048,
+    4_096,
+    8_192,
+    16_384,
+    32_768,
+    65_536,
+    131_072,
+    262_144,
+    524_288,
+    1_048_576,
+    4_194_304,
+    u64::MAX,
+];
+
+/// Batch sizes: 1 … 64k requests, then overflow.
+static BATCH_BOUNDS: &[u64] = &[
+    1,
+    2,
+    4,
+    8,
+    16,
+    32,
+    64,
+    128,
+    256,
+    512,
+    1_024,
+    4_096,
+    16_384,
+    65_536,
+    u64::MAX,
+];
+
+/// The engine-wide metrics registry.
+///
+/// One registry is created per [`Grbac`](crate::engine::Grbac) and
+/// shared by reference-count: engine clones, `decide_batch` workers,
+/// and the `grbac-env` providers attached via
+/// `EnvironmentRoleProvider::attach_metrics` all publish into the same
+/// instance. All fields are public so call sites (and downstream
+/// crates) can update them directly.
+#[derive(Debug)]
+#[allow(clippy::struct_field_names)]
+pub struct MetricsRegistry {
+    /// Decisions that resolved to `Permit`.
+    pub decisions_permit: Counter,
+    /// Decisions that resolved to `Deny`.
+    pub decisions_deny: Counter,
+    /// Mediation calls that failed (unknown ids in the request).
+    pub decide_errors: Counter,
+    /// Sampled `decide()` latency in nanoseconds (one observation per
+    /// [`Self::LATENCY_SAMPLE`] decisions).
+    pub decide_latency_ns: Histogram,
+    /// Matched (applicable) rules per request transaction, keyed by
+    /// raw transaction id.
+    pub rule_matches_by_transaction: KeyedCounter,
+    /// Compiled-index rebuilds (generation misses).
+    pub index_rebuilds: Counter,
+    /// Total nanoseconds spent rebuilding the compiled index.
+    pub index_rebuild_ns: Counter,
+    /// Mediations served by an already-built index (generation hits).
+    pub index_cache_hits: Counter,
+    /// Role expansions served from the compiled index (trusted-subject
+    /// and object expansions).
+    pub closure_cache_hits: Counter,
+    /// Role expansions computed per request (session actives, sensed
+    /// claim merges, environment snapshots).
+    pub closure_cache_misses: Counter,
+    /// `decide_batch()` invocations.
+    pub batch_calls: Counter,
+    /// Requests per `decide_batch()` call.
+    pub batch_size: Histogram,
+    /// Audit permits ever recorded (survives eviction and clears).
+    pub audit_permit_total: Gauge,
+    /// Audit denies ever recorded (survives eviction and clears).
+    pub audit_deny_total: Gauge,
+    /// Audit records evicted by the ring buffer.
+    pub audit_evictions: Gauge,
+    /// Audit records currently retained.
+    pub audit_retained: Gauge,
+    /// Declared roles in the current compiled index.
+    pub index_roles: Gauge,
+    /// Transaction-keyed rule buckets in the current compiled index.
+    pub index_rule_buckets: Gauge,
+    /// Largest rule bucket in the current compiled index.
+    pub index_max_bucket: Gauge,
+    /// Environment-provider snapshot evaluations (polls).
+    pub env_polls: Counter,
+    /// Environment roles that flipped inactive → active between polls.
+    pub env_role_activations: Counter,
+    /// Environment roles that flipped active → inactive between polls.
+    pub env_role_deactivations: Counter,
+    /// Round-robin sample selector for `decide_timer`.
+    decide_sample: AtomicU64,
+}
+
+impl MetricsRegistry {
+    /// One in this many decisions is latency-sampled (power of two).
+    pub const LATENCY_SAMPLE: u64 = 8;
+
+    /// A zeroed registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            decisions_permit: Counter::new(),
+            decisions_deny: Counter::new(),
+            decide_errors: Counter::new(),
+            decide_latency_ns: Histogram::new(LATENCY_BOUNDS_NS),
+            rule_matches_by_transaction: KeyedCounter::new(),
+            index_rebuilds: Counter::new(),
+            index_rebuild_ns: Counter::new(),
+            index_cache_hits: Counter::new(),
+            closure_cache_hits: Counter::new(),
+            closure_cache_misses: Counter::new(),
+            batch_calls: Counter::new(),
+            batch_size: Histogram::new(BATCH_BOUNDS),
+            audit_permit_total: Gauge::new(),
+            audit_deny_total: Gauge::new(),
+            audit_evictions: Gauge::new(),
+            audit_retained: Gauge::new(),
+            index_roles: Gauge::new(),
+            index_rule_buckets: Gauge::new(),
+            index_max_bucket: Gauge::new(),
+            env_polls: Counter::new(),
+            env_role_activations: Counter::new(),
+            env_role_deactivations: Counter::new(),
+            decide_sample: AtomicU64::new(0),
+        }
+    }
+
+    /// Starts a latency sample for one decision: `Some(now)` for one
+    /// in [`Self::LATENCY_SAMPLE`] calls, `None` otherwise (and always
+    /// `None` with telemetry off). Sampling keeps the common decide
+    /// path free of clock reads.
+    #[must_use]
+    pub fn decide_timer(&self) -> Option<Instant> {
+        if !ENABLED {
+            return None;
+        }
+        (self.decide_sample.fetch_add(1, Ordering::Relaxed) & (Self::LATENCY_SAMPLE - 1) == 0)
+            .then(Instant::now)
+    }
+
+    /// Completes a latency sample started by [`Self::decide_timer`].
+    pub fn observe_decide_latency(&self, timer: Option<Instant>) {
+        if let Some(start) = timer {
+            self.decide_latency_ns
+                .observe(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        }
+    }
+
+    /// A point-in-time snapshot with raw-id transaction labels.
+    ///
+    /// Use [`Grbac::metrics_snapshot`](crate::engine::Grbac::metrics_snapshot)
+    /// to resolve transaction ids to their declared names.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.snapshot_with(|raw| raw.to_string())
+    }
+
+    /// Like [`Self::snapshot`], labelling per-transaction series with
+    /// `transaction_label(raw_id)`.
+    #[must_use]
+    pub fn snapshot_with(&self, transaction_label: impl Fn(u64) -> String) -> MetricsSnapshot {
+        let mut counters = BTreeMap::new();
+        for (name, counter) in [
+            ("grbac_decisions_permit_total", &self.decisions_permit),
+            ("grbac_decisions_deny_total", &self.decisions_deny),
+            ("grbac_decide_errors_total", &self.decide_errors),
+            ("grbac_index_rebuilds_total", &self.index_rebuilds),
+            ("grbac_index_rebuild_ns_total", &self.index_rebuild_ns),
+            ("grbac_index_cache_hits_total", &self.index_cache_hits),
+            ("grbac_closure_cache_hits_total", &self.closure_cache_hits),
+            (
+                "grbac_closure_cache_misses_total",
+                &self.closure_cache_misses,
+            ),
+            ("grbac_batch_calls_total", &self.batch_calls),
+            ("grbac_env_polls_total", &self.env_polls),
+            (
+                "grbac_env_role_activations_total",
+                &self.env_role_activations,
+            ),
+            (
+                "grbac_env_role_deactivations_total",
+                &self.env_role_deactivations,
+            ),
+        ] {
+            counters.insert(name.to_owned(), counter.get());
+        }
+
+        let mut gauges = BTreeMap::new();
+        for (name, gauge) in [
+            ("grbac_audit_permit_total", &self.audit_permit_total),
+            ("grbac_audit_deny_total", &self.audit_deny_total),
+            ("grbac_audit_evictions", &self.audit_evictions),
+            ("grbac_audit_retained", &self.audit_retained),
+            ("grbac_index_roles", &self.index_roles),
+            ("grbac_index_rule_buckets", &self.index_rule_buckets),
+            ("grbac_index_max_bucket", &self.index_max_bucket),
+        ] {
+            gauges.insert(name.to_owned(), gauge.get());
+        }
+
+        let mut histograms = BTreeMap::new();
+        histograms.insert(
+            "grbac_decide_latency_ns".to_owned(),
+            self.decide_latency_ns.snapshot(),
+        );
+        histograms.insert("grbac_batch_size".to_owned(), self.batch_size.snapshot());
+
+        let rule_matches = self
+            .rule_matches_by_transaction
+            .snapshot()
+            .into_iter()
+            .map(|(raw, value)| (transaction_label(raw), value))
+            .collect();
+        let mut keyed = BTreeMap::new();
+        keyed.insert(
+            "grbac_rule_matches_total".to_owned(),
+            KeyedSnapshot {
+                label: "transaction".to_owned(),
+                values: rule_matches,
+            },
+        );
+
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+            keyed,
+        }
+    }
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One labelled counter family in a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KeyedSnapshot {
+    /// The label key (e.g. `transaction`).
+    pub label: String,
+    /// Label value → counter value.
+    pub values: BTreeMap<String, u64>,
+}
+
+/// A point-in-time copy of a [`MetricsRegistry`], ready for export or
+/// diffing.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Monotonic counters by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauges by name.
+    pub gauges: BTreeMap<String, u64>,
+    /// Histograms by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Labelled counter families by name.
+    pub keyed: BTreeMap<String, KeyedSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// This snapshot minus an `earlier` one: counters, histograms and
+    /// keyed series subtract (saturating); gauges keep this snapshot's
+    /// value (a gauge is a level, not a rate).
+    #[must_use]
+    pub fn delta(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(name, &value)| {
+                let was = earlier.counters.get(name).copied().unwrap_or(0);
+                (name.clone(), value.saturating_sub(was))
+            })
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(name, histogram)| {
+                let diffed = match earlier.histograms.get(name) {
+                    Some(was) => histogram.delta(was),
+                    None => histogram.clone(),
+                };
+                (name.clone(), diffed)
+            })
+            .collect();
+        let keyed = self
+            .keyed
+            .iter()
+            .map(|(name, family)| {
+                let values = family
+                    .values
+                    .iter()
+                    .map(|(label, &value)| {
+                        let was = earlier
+                            .keyed
+                            .get(name)
+                            .and_then(|f| f.values.get(label))
+                            .copied()
+                            .unwrap_or(0);
+                        (label.clone(), value.saturating_sub(was))
+                    })
+                    .collect();
+                (
+                    name.clone(),
+                    KeyedSnapshot {
+                        label: family.label.clone(),
+                        values,
+                    },
+                )
+            })
+            .collect();
+        MetricsSnapshot {
+            counters,
+            gauges: self.gauges.clone(),
+            histograms,
+            keyed,
+        }
+    }
+
+    /// Convenience: a counter's value (0 when absent).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Convenience: a gauge's value (0 when absent).
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> u64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges() {
+        let registry = MetricsRegistry::new();
+        registry.decisions_permit.inc();
+        registry.decisions_permit.add(2);
+        registry.audit_retained.set(7);
+        if super::ENABLED {
+            assert_eq!(registry.decisions_permit.get(), 3);
+            assert_eq!(registry.audit_retained.get(), 7);
+        } else {
+            assert_eq!(registry.decisions_permit.get(), 0);
+            assert_eq!(registry.audit_retained.get(), 0);
+        }
+    }
+
+    #[test]
+    fn histogram_buckets_values() {
+        let histogram = Histogram::new(&[10, 100, u64::MAX]);
+        histogram.observe(5);
+        histogram.observe(10);
+        histogram.observe(50);
+        histogram.observe(1_000);
+        let snap = histogram.snapshot();
+        if super::ENABLED {
+            assert_eq!(snap.counts, vec![2, 1, 1]);
+            assert_eq!(snap.count, 4);
+            assert_eq!(snap.sum, 1_065);
+            assert!((snap.mean() - 266.25).abs() < f64::EPSILON);
+        } else {
+            assert_eq!(snap.count, 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must end in u64::MAX")]
+    fn histogram_rejects_unbounded_tails() {
+        let _ = Histogram::new(&[10, 100]);
+    }
+
+    #[test]
+    fn keyed_counter_widens_on_demand() {
+        let keyed = KeyedCounter::new();
+        keyed.add(3, 2);
+        keyed.add(0, 1);
+        keyed.add(3, 1);
+        if super::ENABLED {
+            assert_eq!(keyed.get(3), 3);
+            assert_eq!(keyed.get(0), 1);
+            assert_eq!(keyed.get(9), 0);
+            assert_eq!(keyed.snapshot(), BTreeMap::from([(0, 1), (3, 3)]));
+        } else {
+            assert!(keyed.snapshot().is_empty());
+        }
+    }
+
+    #[test]
+    fn snapshot_delta_subtracts_counters_keeps_gauges() {
+        let registry = MetricsRegistry::new();
+        registry.decisions_permit.add(5);
+        registry.audit_retained.set(2);
+        let before = registry.snapshot();
+        registry.decisions_permit.add(3);
+        registry.audit_retained.set(9);
+        registry.rule_matches_by_transaction.add(1, 4);
+        let after = registry.snapshot();
+        let delta = after.delta(&before);
+        if super::ENABLED {
+            assert_eq!(delta.counter("grbac_decisions_permit_total"), 3);
+            assert_eq!(delta.gauge("grbac_audit_retained"), 9);
+            assert_eq!(delta.keyed["grbac_rule_matches_total"].values["1"], 4);
+        } else {
+            assert_eq!(delta.counter("grbac_decisions_permit_total"), 0);
+        }
+    }
+
+    #[test]
+    fn latency_sampling_is_one_in_n() {
+        let registry = MetricsRegistry::new();
+        let sampled = (0..64)
+            .filter(|_| {
+                let timer = registry.decide_timer();
+                registry.observe_decide_latency(timer);
+                timer.is_some()
+            })
+            .count() as u64;
+        if super::ENABLED {
+            assert_eq!(sampled, 64 / MetricsRegistry::LATENCY_SAMPLE);
+            assert_eq!(registry.decide_latency_ns.count(), sampled);
+        } else {
+            assert_eq!(sampled, 0);
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Concurrency coverage for the generation-keyed index cell: many
+//! threads deciding against a freshly-invalidated engine must trigger
+//! exactly one compiled-index rebuild per generation, and the
+//! `index_rebuilds` counter must agree. Runs under the default build
+//! and (in CI) under the `parallel` feature, where `decide_batch`
+//! itself also fans out across threads.
+
+use std::sync::Barrier;
+
+use grbac_core::prelude::*;
+use grbac_core::telemetry;
+
+struct Home {
+    g: Grbac,
+    alice: SubjectId,
+    tv: ObjectId,
+    use_t: TransactionId,
+}
+
+fn household() -> Home {
+    let mut g = Grbac::new();
+    let child = g.declare_subject_role("child").unwrap();
+    let entertainment = g.declare_object_role("entertainment").unwrap();
+    let use_t = g.declare_transaction("use").unwrap();
+    let alice = g.declare_subject("alice").unwrap();
+    g.assign_subject_role(alice, child).unwrap();
+    let tv = g.declare_object("tv").unwrap();
+    g.assign_object_role(tv, entertainment).unwrap();
+    g.add_rule(
+        RuleDef::permit()
+            .subject_role(child)
+            .object_role(entertainment)
+            .transaction(use_t),
+    )
+    .unwrap();
+    Home {
+        g,
+        alice,
+        tv,
+        use_t,
+    }
+}
+
+#[test]
+fn concurrent_decides_rebuild_at_most_once_per_generation() {
+    const THREADS: usize = 8;
+    const GENERATIONS: usize = 5;
+
+    let mut home = household();
+    let request =
+        AccessRequest::by_subject(home.alice, home.use_t, home.tv, EnvironmentSnapshot::new());
+
+    let rebuilds_before = home.g.metrics().index_rebuilds.get();
+    for generation in 0..GENERATIONS {
+        // Invalidate the index, then race THREADS deciders at it.
+        home.g
+            .declare_subject_role(format!("gen{generation}"))
+            .unwrap();
+        let engine = &home.g;
+        let barrier = Barrier::new(THREADS);
+        std::thread::scope(|scope| {
+            for _ in 0..THREADS {
+                scope.spawn(|| {
+                    barrier.wait();
+                    for _ in 0..4 {
+                        let decision = engine.decide(&request).unwrap();
+                        assert!(decision.is_permitted());
+                    }
+                });
+            }
+        });
+    }
+
+    if telemetry::ENABLED {
+        let rebuilds = home.g.metrics().index_rebuilds.get() - rebuilds_before;
+        assert_eq!(
+            rebuilds, GENERATIONS as u64,
+            "expected one rebuild per generation"
+        );
+        // Every other decide was served by the built index.
+        assert!(home.g.metrics().index_cache_hits.get() > 0);
+    }
+}
+
+#[test]
+fn concurrent_batches_share_one_rebuild() {
+    let mut home = household();
+    let request =
+        AccessRequest::by_subject(home.alice, home.use_t, home.tv, EnvironmentSnapshot::new());
+    // Large enough to cross decide_batch's parallel threshold (32).
+    let batch: Vec<AccessRequest> = (0..64).map(|_| request.clone()).collect();
+
+    home.g.declare_subject_role("invalidate").unwrap();
+    let rebuilds_before = home.g.metrics().index_rebuilds.get();
+    let engine = &home.g;
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            scope.spawn(|| {
+                for result in engine.decide_batch(&batch) {
+                    assert!(result.unwrap().is_permitted());
+                }
+            });
+        }
+    });
+
+    if telemetry::ENABLED {
+        let rebuilds = home.g.metrics().index_rebuilds.get() - rebuilds_before;
+        assert_eq!(rebuilds, 1, "four racing batches must share one rebuild");
+        assert_eq!(
+            home.g.metrics().decisions_permit.get(),
+            4 * 64,
+            "every batched decision must be counted exactly once"
+        );
+    }
+}

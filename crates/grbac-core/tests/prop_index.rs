@@ -79,7 +79,14 @@ fn build_model(rng: &mut StdRng) -> Model {
     }
 
     for _ in 0..rng.gen_range(0..=15usize) {
-        add_random_rule(rng, &mut g, &subject_roles, &object_roles, &env_roles, &transactions);
+        add_random_rule(
+            rng,
+            &mut g,
+            &subject_roles,
+            &object_roles,
+            &env_roles,
+            &transactions,
+        );
     }
 
     g.set_strategy(pick(

@@ -1,0 +1,197 @@
+//! Engine-level telemetry integration: audit parity between `check`
+//! and `check_batch`, audit gauges that survive eviction and clears,
+//! exporter agreement on a live engine's snapshot, and trace output.
+
+use grbac_core::prelude::*;
+use grbac_core::telemetry::{self, Exporter, JsonExporter, PrometheusExporter, Stage};
+
+struct Home {
+    g: Grbac,
+    alice: SubjectId,
+    mom: SubjectId,
+    tv: ObjectId,
+    use_t: TransactionId,
+    weekdays: RoleId,
+    free_time: RoleId,
+}
+
+/// The §5.1 household: child may use entertainment devices on weekday
+/// free time; everything else denies by default.
+fn household() -> Home {
+    let mut g = Grbac::new();
+    let parent = g.declare_subject_role("parent").unwrap();
+    let child = g.declare_subject_role("child").unwrap();
+    let entertainment = g.declare_object_role("entertainment").unwrap();
+    let weekdays = g.declare_environment_role("weekdays").unwrap();
+    let free_time = g.declare_environment_role("free_time").unwrap();
+    let use_t = g.declare_transaction("use").unwrap();
+
+    let alice = g.declare_subject("alice").unwrap();
+    let mom = g.declare_subject("mom").unwrap();
+    g.assign_subject_role(alice, child).unwrap();
+    g.assign_subject_role(mom, parent).unwrap();
+    let tv = g.declare_object("tv").unwrap();
+    g.assign_object_role(tv, entertainment).unwrap();
+
+    g.add_rule(
+        RuleDef::permit()
+            .subject_role(child)
+            .object_role(entertainment)
+            .transaction(use_t)
+            .when(weekdays)
+            .when(free_time),
+    )
+    .unwrap();
+
+    Home {
+        g,
+        alice,
+        mom,
+        tv,
+        use_t,
+        weekdays,
+        free_time,
+    }
+}
+
+fn requests(home: &Home) -> Vec<AccessRequest> {
+    let evening = EnvironmentSnapshot::from_active([home.weekdays, home.free_time]);
+    let school = EnvironmentSnapshot::from_active([home.weekdays]);
+    (0..8)
+        .flat_map(|i| {
+            [
+                AccessRequest::by_subject(home.alice, home.use_t, home.tv, evening.clone())
+                    .at(i * 10),
+                AccessRequest::by_subject(home.alice, home.use_t, home.tv, school.clone())
+                    .at(i * 10 + 1),
+                AccessRequest::by_subject(home.mom, home.use_t, home.tv, evening.clone())
+                    .at(i * 10 + 2),
+            ]
+        })
+        .collect()
+}
+
+#[test]
+fn check_batch_audits_identically_to_sequential_check() {
+    let mut sequential_home = household();
+    let mut batched_home = household();
+    let batch = requests(&batched_home);
+
+    let sequential_decisions: Vec<Decision> = requests(&sequential_home)
+        .iter()
+        .map(|request| sequential_home.g.check(request).unwrap())
+        .collect();
+    let batched_decisions: Vec<Decision> = batched_home
+        .g
+        .check_batch(&batch)
+        .into_iter()
+        .map(Result::unwrap)
+        .collect();
+    assert_eq!(batched_decisions, sequential_decisions);
+
+    // Audit records are identical, field for field, in request order…
+    let sequential_records: Vec<_> = sequential_home.g.audit().iter().cloned().collect();
+    let batched_records: Vec<_> = batched_home.g.audit().iter().cloned().collect();
+    assert_eq!(batched_records, sequential_records);
+    assert_eq!(batched_records.len(), batch.len());
+
+    // …and sequence numbers are strictly monotonic.
+    for pair in batched_records.windows(2) {
+        assert!(pair[0].seq < pair[1].seq, "seq order broken: {pair:?}");
+    }
+
+    if telemetry::ENABLED {
+        // The decision counters and audit gauges agree with the
+        // sequential engine's; only batch accounting differs.
+        let sequential_snapshot = sequential_home.g.metrics_snapshot();
+        let batched_snapshot = batched_home.g.metrics_snapshot();
+        for name in [
+            "grbac_decisions_permit_total",
+            "grbac_decisions_deny_total",
+            "grbac_decide_errors_total",
+        ] {
+            assert_eq!(
+                batched_snapshot.counter(name),
+                sequential_snapshot.counter(name),
+                "{name} diverged"
+            );
+        }
+        for name in [
+            "grbac_audit_permit_total",
+            "grbac_audit_deny_total",
+            "grbac_audit_retained",
+        ] {
+            assert_eq!(
+                batched_snapshot.gauge(name),
+                sequential_snapshot.gauge(name),
+                "{name} diverged"
+            );
+        }
+        assert_eq!(batched_snapshot.counter("grbac_batch_calls_total"), 1);
+        assert_eq!(sequential_snapshot.counter("grbac_batch_calls_total"), 0);
+    }
+}
+
+#[test]
+fn audit_gauges_survive_eviction_and_clear() {
+    let mut home = household();
+    for request in requests(&home) {
+        home.g.check(&request).unwrap();
+    }
+    let permits = home.g.audit().permit_count();
+    let denies = home.g.audit().deny_count();
+    assert_eq!(permits + denies, 24);
+
+    home.g.clear_audit();
+    if telemetry::ENABLED {
+        let snapshot = home.g.metrics_snapshot();
+        // The gauges mirror the log's running totals, which survive
+        // clear_audit() even though no records remain.
+        assert_eq!(snapshot.gauge("grbac_audit_permit_total"), permits);
+        assert_eq!(snapshot.gauge("grbac_audit_deny_total"), denies);
+        assert_eq!(snapshot.gauge("grbac_audit_retained"), 0);
+    }
+    assert!(home.g.audit().is_empty());
+    assert_eq!(home.g.audit().permit_count(), permits);
+}
+
+#[test]
+fn exporters_render_the_same_live_snapshot() {
+    let mut home = household();
+    for request in requests(&home) {
+        home.g.check(&request).unwrap();
+    }
+    let snapshot = home.g.metrics_snapshot();
+    let text = PrometheusExporter.export(&snapshot);
+    let json = JsonExporter.export(&snapshot);
+    for (name, value) in &snapshot.counters {
+        assert!(text.contains(&format!("{name} {value}")), "missing {name}");
+        assert!(
+            json.contains(&format!("\"{name}\":{value}")),
+            "missing {name}"
+        );
+    }
+    if telemetry::ENABLED {
+        // Per-transaction series are labelled with declared names.
+        assert!(text.contains("grbac_rule_matches_total{transaction=\"use\"}"));
+        assert!(json.contains("\"use\":"));
+    }
+}
+
+#[test]
+fn traces_expose_the_pipeline() {
+    let home = household();
+    let evening = EnvironmentSnapshot::from_active([home.weekdays, home.free_time]);
+    let request = AccessRequest::by_subject(home.alice, home.use_t, home.tv, evening);
+    let (decision, trace) = home.g.decide_traced(&request).unwrap();
+    assert!(decision.is_permitted());
+    assert_eq!(trace.stages.len(), 5);
+    // Exactly one candidate rule exists and it matched.
+    assert_eq!(trace.stage(Stage::CandidateMerge).unwrap().items, 1);
+    assert_eq!(trace.stage(Stage::PrecedenceResolution).unwrap().items, 1);
+    // weekdays + free_time active.
+    assert_eq!(trace.stage(Stage::EnvironmentEvaluation).unwrap().items, 2);
+    let rendered = trace.render();
+    assert!(rendered.contains("candidate_merge"));
+    assert!(rendered.contains("total"));
+}

@@ -127,7 +127,8 @@ mod tests {
 
     fn provider() -> EnvironmentRoleProvider {
         let mut p = EnvironmentRoleProvider::new();
-        p.define(r(0), EnvCondition::Time(TimeExpr::weekdays())).unwrap();
+        p.define(r(0), EnvCondition::Time(TimeExpr::weekdays()))
+            .unwrap();
         p.define(
             r(1),
             EnvCondition::Time(TimeExpr::between(

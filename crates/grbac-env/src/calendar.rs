@@ -206,10 +206,9 @@ impl TimeExpr {
                     p.next_window(after + crate::time::Duration::seconds(1))
                 }
             }
-            TimeExpr::All(exprs) | TimeExpr::AnyOf(exprs) => exprs
-                .iter()
-                .filter_map(|e| e.next_candidate(after))
-                .min(),
+            TimeExpr::All(exprs) | TimeExpr::AnyOf(exprs) => {
+                exprs.iter().filter_map(|e| e.next_candidate(after)).min()
+            }
             TimeExpr::Not(expr) => expr.next_candidate(after),
         }
     }
@@ -282,7 +281,10 @@ mod tests {
     fn weekdays_role() {
         let weekdays = TimeExpr::weekdays();
         assert!(weekdays.contains(at((2000, 1, 17), (12, 0))), "Monday");
-        assert!(weekdays.contains(at((2000, 1, 21), (23, 59))), "Friday night");
+        assert!(
+            weekdays.contains(at((2000, 1, 21), (23, 59))),
+            "Friday night"
+        );
         assert!(!weekdays.contains(at((2000, 1, 22), (12, 0))), "Saturday");
         assert!(!weekdays.contains(at((2000, 1, 23), (12, 0))), "Sunday");
     }
@@ -302,27 +304,31 @@ mod tests {
     #[test]
     fn free_time_window() {
         // §5.1: free time = 7 p.m. to 10 p.m.
-        let free_time = TimeExpr::between(
-            TimeOfDay::hm(19, 0).unwrap(),
-            TimeOfDay::hm(22, 0).unwrap(),
+        let free_time =
+            TimeExpr::between(TimeOfDay::hm(19, 0).unwrap(), TimeOfDay::hm(22, 0).unwrap());
+        assert!(
+            free_time.contains(at((2000, 1, 17), (19, 0))),
+            "inclusive start"
         );
-        assert!(free_time.contains(at((2000, 1, 17), (19, 0))), "inclusive start");
         assert!(free_time.contains(at((2000, 1, 17), (21, 59))));
-        assert!(!free_time.contains(at((2000, 1, 17), (22, 0))), "exclusive end");
+        assert!(
+            !free_time.contains(at((2000, 1, 17), (22, 0))),
+            "exclusive end"
+        );
         assert!(!free_time.contains(at((2000, 1, 17), (18, 59))));
     }
 
     #[test]
     fn midnight_wrapping_window() {
-        let night = TimeExpr::between(
-            TimeOfDay::hm(22, 0).unwrap(),
-            TimeOfDay::hm(6, 0).unwrap(),
-        );
+        let night = TimeExpr::between(TimeOfDay::hm(22, 0).unwrap(), TimeOfDay::hm(6, 0).unwrap());
         assert!(night.contains(at((2000, 1, 17), (23, 30))));
         assert!(night.contains(at((2000, 1, 17), (2, 0))));
         assert!(!night.contains(at((2000, 1, 17), (12, 0))));
         assert!(!night.contains(at((2000, 1, 17), (6, 0))), "exclusive end");
-        assert!(night.contains(at((2000, 1, 17), (22, 0))), "inclusive start");
+        assert!(
+            night.contains(at((2000, 1, 17), (22, 0))),
+            "inclusive start"
+        );
     }
 
     #[test]
@@ -351,7 +357,10 @@ mod tests {
                 TimeOfDay::hm(12, 0).unwrap(),
             ))
             .and(TimeExpr::months([7]));
-        assert!(expr.contains(at((2000, 7, 3), (8, 0))), "Mon Jul 3 2000, 8am");
+        assert!(
+            expr.contains(at((2000, 7, 3), (8, 0))),
+            "Mon Jul 3 2000, 8am"
+        );
         assert!(!expr.contains(at((2000, 7, 1), (8, 0))), "Saturday");
         assert!(!expr.contains(at((2000, 7, 3), (13, 0))), "afternoon");
         assert!(!expr.contains(at((2000, 6, 30), (8, 0))), "June");
@@ -369,8 +378,7 @@ mod tests {
 
     #[test]
     fn or_and_not_compose() {
-        let expr = TimeExpr::on(Weekday::Monday)
-            .or(TimeExpr::on(Weekday::Friday));
+        let expr = TimeExpr::on(Weekday::Monday).or(TimeExpr::on(Weekday::Friday));
         assert!(expr.contains(at((2000, 1, 17), (9, 0)))); // Monday
         assert!(expr.contains(at((2000, 1, 21), (9, 0)))); // Friday
         assert!(!expr.contains(at((2000, 1, 19), (9, 0)))); // Wednesday
@@ -400,19 +408,26 @@ mod tests {
 
     #[test]
     fn next_transition_for_windows() {
-        let free_time = TimeExpr::between(
-            TimeOfDay::hm(19, 0).unwrap(),
-            TimeOfDay::hm(22, 0).unwrap(),
-        );
+        let free_time =
+            TimeExpr::between(TimeOfDay::hm(19, 0).unwrap(), TimeOfDay::hm(22, 0).unwrap());
         // At noon: next change is 19:00 today.
         let noon = at((2000, 1, 17), (12, 0));
-        assert_eq!(free_time.next_transition(noon), Some(at((2000, 1, 17), (19, 0))));
+        assert_eq!(
+            free_time.next_transition(noon),
+            Some(at((2000, 1, 17), (19, 0)))
+        );
         // At 20:00 (inside): next change is 22:00.
         let evening = at((2000, 1, 17), (20, 0));
-        assert_eq!(free_time.next_transition(evening), Some(at((2000, 1, 17), (22, 0))));
+        assert_eq!(
+            free_time.next_transition(evening),
+            Some(at((2000, 1, 17), (22, 0)))
+        );
         // At 23:00: next change is 19:00 tomorrow.
         let night = at((2000, 1, 17), (23, 0));
-        assert_eq!(free_time.next_transition(night), Some(at((2000, 1, 18), (19, 0))));
+        assert_eq!(
+            free_time.next_transition(night),
+            Some(at((2000, 1, 18), (19, 0)))
+        );
     }
 
     #[test]
@@ -525,7 +540,10 @@ mod tests {
             })
             .collect();
         let expr = TimeExpr::on(Weekday::Monday).and(TimeExpr::AnyOf(first_week));
-        assert!(expr.contains(at((2000, 2, 7), (9, 0))), "Feb 7 2000 is the first Monday");
+        assert!(
+            expr.contains(at((2000, 2, 7), (9, 0))),
+            "Feb 7 2000 is the first Monday"
+        );
         assert!(!expr.contains(at((2000, 2, 14), (9, 0))), "second Monday");
         assert!(!expr.contains(at((2000, 2, 1), (9, 0))), "Tuesday Feb 1");
     }

@@ -11,7 +11,10 @@ pub enum EnvError {
     InvalidTimeOfDay { hour: u8, minute: u8, second: u8 },
     /// A periodic expression with a non-positive period or a duration
     /// that is not shorter than the period.
-    InvalidPeriod { period_seconds: i64, duration_seconds: i64 },
+    InvalidPeriod {
+        period_seconds: i64,
+        duration_seconds: i64,
+    },
     /// A zone id that the topology has never issued.
     UnknownZone(u64),
     /// A zone name that is not declared.

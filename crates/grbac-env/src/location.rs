@@ -14,9 +14,7 @@ use serde::{Deserialize, Serialize};
 use crate::error::{EnvError, Result};
 
 /// Identifier of a spatial zone.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ZoneId(u64);
 
 impl ZoneId {

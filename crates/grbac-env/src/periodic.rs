@@ -193,7 +193,10 @@ mod tests {
     fn next_window_computation() {
         let p = PeriodicExpr::daily(ts((2000, 1, 3), (9, 0)), Duration::hours(1)).unwrap();
         // Before the anchor: the anchor itself.
-        assert_eq!(p.next_window(ts((2000, 1, 1), (0, 0))), Some(ts((2000, 1, 3), (9, 0))));
+        assert_eq!(
+            p.next_window(ts((2000, 1, 1), (0, 0))),
+            Some(ts((2000, 1, 3), (9, 0)))
+        );
         // Inside a window: the window's own start.
         assert_eq!(
             p.next_window(ts((2000, 1, 4), (9, 30))),

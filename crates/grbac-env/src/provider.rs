@@ -14,10 +14,12 @@
 //! occupancy tracker) is simply false, so missing sensor data can only
 //! ever withhold environment roles, never grant them.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
+use std::sync::{Arc, Mutex};
 
 use grbac_core::environment::EnvironmentSnapshot;
 use grbac_core::id::{RoleId, SubjectId};
+use grbac_core::telemetry::MetricsRegistry;
 use serde::{Deserialize, Serialize};
 
 use crate::calendar::TimeExpr;
@@ -108,8 +110,7 @@ impl EnvCondition {
         match self {
             EnvCondition::Always => true,
             EnvCondition::Time(expr) => expr.contains(ctx.now),
-            EnvCondition::SubjectInZone(zone) => match (ctx.subject, ctx.topology, ctx.occupancy)
-            {
+            EnvCondition::SubjectInZone(zone) => match (ctx.subject, ctx.topology, ctx.occupancy) {
                 (Some(subject), Some(topology), Some(occupancy)) => {
                     occupancy.is_in(subject, *zone, topology)
                 }
@@ -190,7 +191,11 @@ impl<'a> EnvironmentContext<'a> {
 
     /// Attaches the spatial model and occupant positions.
     #[must_use]
-    pub fn with_location(mut self, topology: &'a Topology, occupancy: &'a OccupancyTracker) -> Self {
+    pub fn with_location(
+        mut self,
+        topology: &'a Topology,
+        occupancy: &'a OccupancyTracker,
+    ) -> Self {
         self.topology = Some(topology);
         self.occupancy = Some(occupancy);
         self
@@ -211,11 +216,55 @@ impl<'a> EnvironmentContext<'a> {
     }
 }
 
+/// Telemetry attachment for a provider: the shared registry plus the
+/// previously-active role set, so successive polls can be diffed into
+/// activation/deactivation flap counters.
+#[derive(Debug)]
+struct ProviderTelemetry {
+    metrics: Arc<MetricsRegistry>,
+    last_active: Mutex<BTreeSet<RoleId>>,
+}
+
+impl Clone for ProviderTelemetry {
+    fn clone(&self) -> Self {
+        Self {
+            metrics: Arc::clone(&self.metrics),
+            last_active: Mutex::new(
+                self.last_active
+                    .lock()
+                    .map(|set| set.clone())
+                    .unwrap_or_default(),
+            ),
+        }
+    }
+}
+
+impl ProviderTelemetry {
+    /// Counts one poll and the role-set churn relative to the last one.
+    fn record_poll(&self, active: &EnvironmentSnapshot) {
+        self.metrics.env_polls.inc();
+        let current = active.active();
+        let Ok(mut last) = self.last_active.lock() else {
+            return;
+        };
+        let activations = current.difference(&last).count() as u64;
+        let deactivations = last.difference(current).count() as u64;
+        self.metrics.env_role_activations.add(activations);
+        self.metrics.env_role_deactivations.add(deactivations);
+        *last = current.clone();
+    }
+}
+
 /// Maps environment roles to their activation conditions and produces
 /// per-request snapshots.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct EnvironmentRoleProvider {
     definitions: HashMap<RoleId, EnvCondition>,
+    /// Optional metrics attachment (see [`attach_metrics`]
+    /// (Self::attach_metrics)); never serialized — a deserialized
+    /// provider starts unattached.
+    #[serde(skip)]
+    telemetry: Option<ProviderTelemetry>,
 }
 
 impl EnvironmentRoleProvider {
@@ -278,15 +327,35 @@ impl EnvironmentRoleProvider {
             .min()
     }
 
+    /// Publishes provider activity into `metrics`: every
+    /// [`snapshot`](Self::snapshot) increments `grbac_env_polls_total`,
+    /// and the role-set churn between consecutive polls feeds the
+    /// `grbac_env_role_activations_total` /
+    /// `grbac_env_role_deactivations_total` flap counters. Attach the
+    /// mediation engine's own registry (`Grbac::metrics`) so
+    /// environment dynamics and decision counters land in one exported
+    /// snapshot.
+    pub fn attach_metrics(&mut self, metrics: Arc<MetricsRegistry>) {
+        self.telemetry = Some(ProviderTelemetry {
+            metrics,
+            last_active: Mutex::new(BTreeSet::new()),
+        });
+    }
+
     /// Evaluates every definition and returns the set of active
     /// environment roles for this request.
     #[must_use]
     pub fn snapshot(&self, ctx: &EnvironmentContext<'_>) -> EnvironmentSnapshot {
-        self.definitions
+        let snapshot: EnvironmentSnapshot = self
+            .definitions
             .iter()
             .filter(|(_, cond)| cond.evaluate(ctx))
             .map(|(&role, _)| role)
-            .collect()
+            .collect();
+        if let Some(telemetry) = &self.telemetry {
+            telemetry.record_poll(&snapshot);
+        }
+        snapshot
     }
 }
 
@@ -294,9 +363,10 @@ impl EnvironmentRoleProvider {
 fn next_time_transition(cond: &EnvCondition, now: Timestamp) -> Option<Timestamp> {
     match cond {
         EnvCondition::Time(expr) => expr.next_transition(now),
-        EnvCondition::All(conds) | EnvCondition::AnyOf(conds) => {
-            conds.iter().filter_map(|c| next_time_transition(c, now)).min()
-        }
+        EnvCondition::All(conds) | EnvCondition::AnyOf(conds) => conds
+            .iter()
+            .filter_map(|c| next_time_transition(c, now))
+            .min(),
         EnvCondition::Not(inner) => next_time_transition(inner, now),
         _ => None,
     }
@@ -321,7 +391,8 @@ mod tests {
     #[test]
     fn time_conditions_drive_snapshots() {
         let mut p = EnvironmentRoleProvider::new();
-        p.define(r(0), EnvCondition::Time(TimeExpr::weekdays())).unwrap();
+        p.define(r(0), EnvCondition::Time(TimeExpr::weekdays()))
+            .unwrap();
         p.define(
             r(1),
             EnvCondition::Time(TimeExpr::between(
@@ -371,8 +442,10 @@ mod tests {
         occupancy.place(alice, kitchen);
 
         let mut p = EnvironmentRoleProvider::new();
-        p.define(r(0), EnvCondition::SubjectInZone(kitchen)).unwrap();
-        p.define(r(1), EnvCondition::SubjectInZone(bedroom)).unwrap();
+        p.define(r(0), EnvCondition::SubjectInZone(kitchen))
+            .unwrap();
+        p.define(r(1), EnvCondition::SubjectInZone(bedroom))
+            .unwrap();
         p.define(r(2), EnvCondition::ZoneOccupied(home)).unwrap();
         p.define(r(3), EnvCondition::ZoneEmpty(bedroom)).unwrap();
 
@@ -436,7 +509,8 @@ mod tests {
     #[test]
     fn snapshot_validity_window() {
         let mut p = EnvironmentRoleProvider::new();
-        p.define(r(0), EnvCondition::Time(TimeExpr::weekdays())).unwrap();
+        p.define(r(0), EnvCondition::Time(TimeExpr::weekdays()))
+            .unwrap();
         p.define(
             r(1),
             EnvCondition::Time(TimeExpr::between(
@@ -446,18 +520,76 @@ mod tests {
             .and(EnvCondition::Flag("tv_allowed".into())),
         )
         .unwrap();
-        p.define(r(2), EnvCondition::ZoneOccupied(ZoneId::from_raw(0))).unwrap();
+        p.define(r(2), EnvCondition::ZoneOccupied(ZoneId::from_raw(0)))
+            .unwrap();
 
         // Monday noon: the free_time window opens at 19:00 — before the
         // weekday boundary — so that's when the snapshot goes stale.
         let noon = at((2000, 1, 17), (12, 0));
-        assert_eq!(p.time_snapshot_valid_until(noon), Some(at((2000, 1, 17), (19, 0))));
+        assert_eq!(
+            p.time_snapshot_valid_until(noon),
+            Some(at((2000, 1, 17), (19, 0)))
+        );
 
         // A provider with only non-time conditions has no time horizon.
         let mut p2 = EnvironmentRoleProvider::new();
         p2.define(r(0), EnvCondition::Flag("x".into())).unwrap();
         p2.define(r(1), EnvCondition::LoadAtMost(0.5)).unwrap();
         assert_eq!(p2.time_snapshot_valid_until(noon), None);
+    }
+
+    #[test]
+    fn attached_metrics_count_polls_and_flaps() {
+        use grbac_core::telemetry;
+
+        let mut p = EnvironmentRoleProvider::new();
+        p.define(r(0), EnvCondition::Time(TimeExpr::weekdays()))
+            .unwrap();
+        p.define(
+            r(1),
+            EnvCondition::Time(TimeExpr::between(
+                TimeOfDay::hm(19, 0).unwrap(),
+                TimeOfDay::hm(22, 0).unwrap(),
+            )),
+        )
+        .unwrap();
+        let metrics = Arc::new(MetricsRegistry::default());
+        p.attach_metrics(Arc::clone(&metrics));
+
+        // Monday 8pm (both on) → Saturday 8pm (weekdays off) →
+        // Monday noon (free_time off, weekdays back on).
+        let _ = p.snapshot(&EnvironmentContext::at(at((2000, 1, 17), (20, 0))));
+        let _ = p.snapshot(&EnvironmentContext::at(at((2000, 1, 22), (20, 0))));
+        let _ = p.snapshot(&EnvironmentContext::at(at((2000, 1, 24), (12, 0))));
+
+        if telemetry::ENABLED {
+            assert_eq!(metrics.env_polls.get(), 3);
+            // +2 (first poll), then +0, then +1 (weekdays returns).
+            assert_eq!(metrics.env_role_activations.get(), 3);
+            // weekdays drops, then free_time drops.
+            assert_eq!(metrics.env_role_deactivations.get(), 2);
+        }
+
+        // Cloning carries the attachment and its diff base.
+        let clone = p.clone();
+        let _ = clone.snapshot(&EnvironmentContext::at(at((2000, 1, 24), (12, 0))));
+        if telemetry::ENABLED {
+            assert_eq!(metrics.env_polls.get(), 4);
+            assert_eq!(metrics.env_role_activations.get(), 3, "no churn on re-poll");
+        }
+
+        // serde round-trips drop the attachment (it is runtime state).
+        let json = serde_json::to_string(&p).unwrap();
+        let revived: EnvironmentRoleProvider = serde_json::from_str(&json).unwrap();
+        assert_eq!(revived.len(), 2);
+        let _ = revived.snapshot(&EnvironmentContext::at(at((2000, 1, 17), (20, 0))));
+        if telemetry::ENABLED {
+            assert_eq!(
+                metrics.env_polls.get(),
+                4,
+                "detached provider records nothing"
+            );
+        }
     }
 
     #[test]

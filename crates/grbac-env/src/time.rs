@@ -90,9 +90,7 @@ impl std::ops::Mul<i64> for Duration {
 }
 
 /// Days of the week, numbered Monday = 0 … Sunday = 6.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[allow(missing_docs)]
 pub enum Weekday {
     Monday,
@@ -148,9 +146,7 @@ impl std::fmt::Display for Weekday {
 }
 
 /// A calendar date in the proleptic Gregorian calendar.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Date {
     year: i32,
     month: u8,
@@ -246,7 +242,11 @@ impl TimeOfDay {
     /// [`EnvError::InvalidTimeOfDay`] outside 00:00:00–23:59:59.
     pub fn new(hour: u8, minute: u8, second: u8) -> Result<Self> {
         if hour > 23 || minute > 59 || second > 59 {
-            return Err(EnvError::InvalidTimeOfDay { hour, minute, second });
+            return Err(EnvError::InvalidTimeOfDay {
+                hour,
+                minute,
+                second,
+            });
         }
         Ok(Self {
             seconds: u32::from(hour) * 3600 + u32::from(minute) * 60 + u32::from(second),
@@ -289,7 +289,13 @@ impl TimeOfDay {
 
 impl std::fmt::Display for TimeOfDay {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{:02}:{:02}:{:02}", self.hour(), self.minute(), self.second())
+        write!(
+            f,
+            "{:02}:{:02}:{:02}",
+            self.hour(),
+            self.minute(),
+            self.second()
+        )
     }
 }
 
@@ -386,7 +392,11 @@ fn days_from_civil(y: i32, m: u8, d: u8) -> i64 {
     let y = i64::from(y) - i64::from(m <= 2);
     let era = if y >= 0 { y } else { y - 399 } / 400;
     let yoe = y - era * 400;
-    let mp = if m > 2 { i64::from(m) - 3 } else { i64::from(m) + 9 };
+    let mp = if m > 2 {
+        i64::from(m) - 3
+    } else {
+        i64::from(m) + 9
+    };
     let doy = (153 * mp + 2) / 5 + i64::from(d) - 1;
     let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
     era * 146_097 + doe - 719_468
@@ -486,7 +496,10 @@ mod tests {
     #[test]
     fn duration_arithmetic() {
         assert_eq!(Duration::minutes(2), Duration::seconds(120));
-        assert_eq!(Duration::hours(1) + Duration::minutes(30), Duration::minutes(90));
+        assert_eq!(
+            Duration::hours(1) + Duration::minutes(30),
+            Duration::minutes(90)
+        );
         assert_eq!(Duration::days(1) - Duration::hours(24), Duration::ZERO);
         assert_eq!(Duration::weeks(1), Duration::days(7));
         assert_eq!(Duration::minutes(3) * 2, Duration::minutes(6));

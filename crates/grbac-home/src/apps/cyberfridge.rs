@@ -248,7 +248,11 @@ mod tests {
         // butter: 1 >= 1 not flagged yet. Drop to 0.
         app.consume(&mut home, mom, "butter", 1).unwrap();
 
-        let proposals = app.reorder_proposals(&mut home, mom).unwrap().granted().unwrap();
+        let proposals = app
+            .reorder_proposals(&mut home, mom)
+            .unwrap()
+            .granted()
+            .unwrap();
         assert_eq!(proposals.len(), 2);
         assert!(proposals.contains(&ReorderProposal {
             item: "milk".into(),

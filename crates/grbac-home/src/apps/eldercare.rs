@@ -35,7 +35,8 @@ impl VitalReading {
     /// True when the reading needs a caregiver's attention.
     #[must_use]
     pub fn is_alarming(&self) -> bool {
-        !(40.0..=120.0).contains(&self.heart_rate_bpm) || !(35.0..=38.5).contains(&self.temperature_c)
+        !(40.0..=120.0).contains(&self.heart_rate_bpm)
+            || !(35.0..=38.5).contains(&self.temperature_c)
     }
 }
 
@@ -127,7 +128,11 @@ impl ElderCare {
     /// remote access, so not policy-gated).
     #[must_use]
     pub fn alarms(&self) -> Vec<VitalReading> {
-        self.readings.iter().copied().filter(VitalReading::is_alarming).collect()
+        self.readings
+            .iter()
+            .copied()
+            .filter(VitalReading::is_alarming)
+            .collect()
     }
 
     /// Reads the latest vitals, gated by `read` on the monitor.
@@ -185,7 +190,9 @@ mod tests {
         let mut home = paper_household().unwrap();
         let vocab = *home.vocab();
         let grandma = home.engine_mut().declare_subject("grandma").unwrap();
-        home.engine_mut().assign_subject_role(grandma, vocab.elder).unwrap();
+        home.engine_mut()
+            .assign_subject_role(grandma, vocab.elder)
+            .unwrap();
         let nurse = home.engine_mut().declare_subject("nurse").unwrap();
         home.engine_mut()
             .assign_subject_role(nurse, vocab.care_specialist)
@@ -296,7 +303,10 @@ mod tests {
     fn elder_kind_maps_to_elder_role() {
         let (home, _app, grandma, _nurse) = eldercare_home();
         let vocab = *home.vocab();
-        assert!(home.engine().assignments().subject_has(grandma, vocab.elder));
+        assert!(home
+            .engine()
+            .assignments()
+            .subject_has(grandma, vocab.elder));
         let closure = home
             .engine()
             .roles()

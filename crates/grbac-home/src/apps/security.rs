@@ -305,7 +305,9 @@ mod tests {
         let (mut home, mut system, _door) = security_home();
         let vocab = *home.vocab();
         let rex = home.engine_mut().declare_subject("rex").unwrap();
-        home.engine_mut().assign_subject_role(rex, vocab.pet).unwrap();
+        home.engine_mut()
+            .assign_subject_role(rex, vocab.pet)
+            .unwrap();
         assert!(!system
             .arm(&mut home, rex, AlarmState::ArmedHome)
             .unwrap()

@@ -101,7 +101,10 @@ impl DeviceKind {
     /// True for privacy-sensitive sensors (cameras, medical monitors).
     #[must_use]
     pub fn is_sensitive_sensor(self) -> bool {
-        matches!(self, DeviceKind::SecurityCamera | DeviceKind::MedicalMonitor)
+        matches!(
+            self,
+            DeviceKind::SecurityCamera | DeviceKind::MedicalMonitor
+        )
     }
 }
 

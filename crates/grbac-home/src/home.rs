@@ -13,6 +13,7 @@
 //! ```
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use grbac_core::confidence::AuthContext;
 use grbac_core::engine::{AccessRequest, Actor, Grbac};
@@ -404,7 +405,8 @@ impl HomeBuilder {
         weight_kg: f64,
         room: impl Into<String>,
     ) -> Self {
-        self.people.push((name.into(), kind, weight_kg, room.into()));
+        self.people
+            .push((name.into(), kind, weight_kg, room.into()));
         self
     }
 
@@ -507,16 +509,17 @@ impl HomeBuilder {
             free_time,
             EnvCondition::Time(TimeExpr::between(seven_pm, ten_pm)),
         )?;
-        provider.define(
-            night,
-            EnvCondition::Time(TimeExpr::between(ten_pm, six_am)),
-        )?;
+        provider.define(night, EnvCondition::Time(TimeExpr::between(ten_pm, six_am)))?;
         provider.define(
             daytime,
             EnvCondition::Time(TimeExpr::between(six_am, ten_pm)),
         )?;
         provider.define(home_occupied, EnvCondition::ZoneOccupied(home_zone))?;
         provider.define(home_empty, EnvCondition::ZoneEmpty(home_zone))?;
+        // One registry for the whole home: provider polls and role flaps
+        // land next to the engine's decision counters, so a single
+        // exported snapshot covers the full mediation pipeline.
+        provider.attach_metrics(Arc::clone(engine.metrics()));
 
         // --- Transactions. ---
         let operate = engine.declare_transaction("operate")?;
@@ -619,7 +622,10 @@ mod tests {
     use grbac_env::time::Date;
 
     fn monday_8pm() -> Timestamp {
-        Timestamp::from_civil(Date::new(2000, 1, 17).unwrap(), TimeOfDay::hm(20, 0).unwrap())
+        Timestamp::from_civil(
+            Date::new(2000, 1, 17).unwrap(),
+            TimeOfDay::hm(20, 0).unwrap(),
+        )
     }
 
     fn small_home() -> AwareHome {
@@ -717,8 +723,14 @@ mod tests {
         let bobby = home.person("bobby").unwrap().subject();
         let oven = home.device("oven").unwrap().object();
 
-        assert!(home.request(mom, vocab.operate, oven).unwrap().is_permitted());
-        assert!(!home.request(bobby, vocab.operate, oven).unwrap().is_permitted());
+        assert!(home
+            .request(mom, vocab.operate, oven)
+            .unwrap()
+            .is_permitted());
+        assert!(!home
+            .request(bobby, vocab.operate, oven)
+            .unwrap()
+            .is_permitted());
     }
 
     #[test]
@@ -742,10 +754,16 @@ mod tests {
         let tv = home.device("tv").unwrap().object();
 
         // Bobby starts in the living room: denied.
-        assert!(!home.request(bobby, vocab.operate, tv).unwrap().is_permitted());
+        assert!(!home
+            .request(bobby, vocab.operate, tv)
+            .unwrap()
+            .is_permitted());
         // Move him to the kitchen: granted.
         home.place(bobby, kitchen);
-        assert!(home.request(bobby, vocab.operate, tv).unwrap().is_permitted());
+        assert!(home
+            .request(bobby, vocab.operate, tv)
+            .unwrap()
+            .is_permitted());
     }
 
     #[test]
@@ -802,6 +820,44 @@ mod tests {
         ctx.claim_role(vocab.child, grbac_core::Confidence::new(0.98).unwrap());
         let d = home.request_sensed(ctx, vocab.operate, tv).unwrap();
         assert!(d.is_permitted());
+    }
+
+    #[test]
+    fn provider_polls_flow_into_engine_metrics() {
+        use grbac_core::telemetry;
+
+        let mut home = small_home();
+        let vocab = *home.vocab();
+        home.engine_mut()
+            .add_rule(
+                RuleDef::permit()
+                    .subject_role(vocab.child)
+                    .object_role(vocab.entertainment_device)
+                    .when(vocab.free_time),
+            )
+            .unwrap();
+        let bobby = home.person("bobby").unwrap().subject();
+        let tv = home.device("tv").unwrap().object();
+
+        home.request(bobby, vocab.operate, tv).unwrap();
+        // Past bedtime: free_time deactivates, night activates.
+        home.advance(Duration::hours(3));
+        home.request(bobby, vocab.operate, tv).unwrap();
+
+        if telemetry::ENABLED {
+            let snapshot = home.engine().metrics_snapshot();
+            assert_eq!(snapshot.counter("grbac_env_polls_total"), 2);
+            // Poll 1 activates weekdays/free_time/daytime/home_occupied;
+            // poll 2 swaps {free_time, daytime} for {night}.
+            assert_eq!(snapshot.counter("grbac_env_role_activations_total"), 5);
+            assert_eq!(snapshot.counter("grbac_env_role_deactivations_total"), 2);
+            // The same snapshot carries the decisions those polls fed.
+            assert_eq!(
+                snapshot.counter("grbac_decisions_permit_total")
+                    + snapshot.counter("grbac_decisions_deny_total"),
+                2
+            );
+        }
     }
 
     #[test]

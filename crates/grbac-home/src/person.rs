@@ -86,7 +86,12 @@ mod tests {
 
     #[test]
     fn accessors() {
-        let p = Person::new(SubjectId::from_raw(0), "alice".into(), PersonKind::Child, 42.6);
+        let p = Person::new(
+            SubjectId::from_raw(0),
+            "alice".into(),
+            PersonKind::Child,
+            42.6,
+        );
         assert_eq!(p.subject(), SubjectId::from_raw(0));
         assert_eq!(p.name(), "alice");
         assert_eq!(p.kind(), PersonKind::Child);

@@ -99,7 +99,10 @@ pub fn paper_household() -> Result<AwareHome> {
                 start: Date::new(2000, 1, 17)?,
                 end: Date::new(2000, 1, 17)?,
             }
-            .and(TimeExpr::between(TimeOfDay::hm(8, 0)?, TimeOfDay::hm(13, 0)?)),
+            .and(TimeExpr::between(
+                TimeOfDay::hm(8, 0)?,
+                TimeOfDay::hm(13, 0)?,
+            )),
         )
         .and(EnvCondition::SubjectInZone(home.home_zone())),
     )?;
@@ -197,7 +200,9 @@ mod tests {
         assert!(engine.assignments().subject_has(alice, vocab.child));
         assert!(engine.assignments().subject_has(tech, vocab.service_agent));
         // Closure reaches home_user for everyone.
-        let closure = engine.roles().expand(&engine.assignments().subject_roles(alice));
+        let closure = engine
+            .roles()
+            .expand(&engine.assignments().subject_roles(alice));
         assert!(closure.contains(&vocab.home_user));
         assert!(closure.contains(&vocab.family_member));
     }
@@ -210,10 +215,16 @@ mod tests {
         let tv = home.device("tv").unwrap().object();
 
         // Monday 8 pm: yes.
-        assert!(home.request(alice, vocab.operate, tv).unwrap().is_permitted());
+        assert!(home
+            .request(alice, vocab.operate, tv)
+            .unwrap()
+            .is_permitted());
         // 10:30 pm: no.
         home.advance(Duration::minutes(150));
-        assert!(!home.request(alice, vocab.operate, tv).unwrap().is_permitted());
+        assert!(!home
+            .request(alice, vocab.operate, tv)
+            .unwrap()
+            .is_permitted());
     }
 
     #[test]
@@ -225,7 +236,10 @@ mod tests {
         let oven = home.device("oven").unwrap().object();
         home.advance(Duration::hours(5)); // 1 am
         assert!(home.request(mom, vocab.operate, tv).unwrap().is_permitted());
-        assert!(home.request(mom, vocab.operate, oven).unwrap().is_permitted());
+        assert!(home
+            .request(mom, vocab.operate, oven)
+            .unwrap()
+            .is_permitted());
     }
 
     #[test]
@@ -246,7 +260,10 @@ mod tests {
         let vocab = *home.vocab();
         let tech = home.person("repair_technician").unwrap().subject();
         let dishwasher = home.device("dishwasher").unwrap().object();
-        assert!(!home.request(tech, vocab.repair, dishwasher).unwrap().is_permitted());
+        assert!(!home
+            .request(tech, vocab.repair, dishwasher)
+            .unwrap()
+            .is_permitted());
 
         // ...but inside the window (rebuild starting at 10 am) it works.
         let mut home = paper_household().unwrap();
@@ -263,7 +280,11 @@ mod tests {
         let tech = home.person("repair_technician").unwrap().subject();
         home.remove_from_home(tech);
         let env = home.environment_for(Some(tech));
-        let window = home.engine().roles().find(grbac_core::RoleKind::Environment, "repair_visit_window").unwrap();
+        let window = home
+            .engine()
+            .roles()
+            .find(grbac_core::RoleKind::Environment, "repair_visit_window")
+            .unwrap();
         assert!(!env.is_active(window));
     }
 
@@ -273,7 +294,10 @@ mod tests {
         let vocab = *home.vocab();
         let tech = home.person("repair_technician").unwrap().subject();
         let tv = home.device("tv").unwrap().object();
-        assert!(!home.request(tech, vocab.operate, tv).unwrap().is_permitted());
+        assert!(!home
+            .request(tech, vocab.operate, tv)
+            .unwrap()
+            .is_permitted());
         assert!(!home.request(tech, vocab.repair, tv).unwrap().is_permitted());
     }
 

@@ -184,7 +184,10 @@ pub fn generate(home: &AwareHome, config: &WorkloadConfig) -> Vec<WorkloadEvent>
 ///
 /// Propagates mediation errors (unknown ids — impossible for workloads
 /// generated from the same home).
-pub fn execute(home: &mut AwareHome, events: &[WorkloadEvent]) -> crate::error::Result<WorkloadStats> {
+pub fn execute(
+    home: &mut AwareHome,
+    events: &[WorkloadEvent],
+) -> crate::error::Result<WorkloadStats> {
     let mut stats = WorkloadStats::default();
     for event in events {
         home.advance_to(event.at());
@@ -210,13 +213,14 @@ pub fn execute(home: &mut AwareHome, events: &[WorkloadEvent]) -> crate::error::
 /// Replays a workload in two phases: first walk the timeline applying
 /// movements and capturing each request with the environment snapshot
 /// it would have seen, then mediate the whole set with
-/// [`Grbac::decide_batch`](grbac_core::engine::Grbac::decide_batch).
+/// [`Grbac::check_batch`](grbac_core::engine::Grbac::check_batch).
 ///
-/// Decisions (and therefore stats) are identical to [`execute`]'s —
-/// snapshots freeze the environment at capture time — but mediation
-/// runs against one compiled-index snapshot and, with grbac-core's
-/// `parallel` feature, across threads. Unlike [`execute`], nothing is
-/// recorded in the audit log.
+/// Decisions, stats, audit records and telemetry are identical to
+/// [`execute`]'s — snapshots freeze the environment at capture time,
+/// and `check_batch` appends audit records in request order exactly as
+/// the sequential path does — but mediation runs against one
+/// compiled-index snapshot and, with grbac-core's `parallel` feature,
+/// across threads.
 ///
 /// # Errors
 ///
@@ -253,14 +257,19 @@ pub fn execute_batched(
             }
         }
     }
-    let decisions = home.engine().decide_batch(&requests);
+    let decisions = home.engine_mut().check_batch(&requests);
     for (decision, (subject, transaction)) in decisions.into_iter().zip(keys) {
         record(&mut stats, subject, transaction, decision?.is_permitted());
     }
     Ok(stats)
 }
 
-fn record(stats: &mut WorkloadStats, subject: SubjectId, transaction: TransactionId, permitted: bool) {
+fn record(
+    stats: &mut WorkloadStats,
+    subject: SubjectId,
+    transaction: TransactionId,
+    permitted: bool,
+) {
     stats.requests += 1;
     let subject_entry = stats.by_subject.entry(subject).or_insert((0, 0));
     let txn_entry = stats.by_transaction.entry(transaction).or_insert((0, 0));
@@ -293,15 +302,33 @@ mod tests {
     #[test]
     fn different_seeds_differ() {
         let home = paper_household().unwrap();
-        let a = generate(&home, &WorkloadConfig { seed: 1, ..Default::default() });
-        let b = generate(&home, &WorkloadConfig { seed: 2, ..Default::default() });
+        let a = generate(
+            &home,
+            &WorkloadConfig {
+                seed: 1,
+                ..Default::default()
+            },
+        );
+        let b = generate(
+            &home,
+            &WorkloadConfig {
+                seed: 2,
+                ..Default::default()
+            },
+        );
         assert_ne!(a, b);
     }
 
     #[test]
     fn events_are_time_ordered() {
         let home = paper_household().unwrap();
-        let events = generate(&home, &WorkloadConfig { days: 2, ..Default::default() });
+        let events = generate(
+            &home,
+            &WorkloadConfig {
+                days: 2,
+                ..Default::default()
+            },
+        );
         assert!(events.windows(2).all(|w| w[0].at() <= w[1].at()));
     }
 
@@ -376,9 +403,24 @@ mod tests {
                 seed: 11,
             },
         );
-        let sequential = execute(&mut paper_household().unwrap(), &events).unwrap();
-        let batched = execute_batched(&mut paper_household().unwrap(), &events).unwrap();
+        let mut sequential_home = paper_household().unwrap();
+        let mut batched_home = paper_household().unwrap();
+        let sequential = execute(&mut sequential_home, &events).unwrap();
+        let batched = execute_batched(&mut batched_home, &events).unwrap();
         assert_eq!(sequential, batched);
+        // check_batch gives the batched replay the same audit trail.
+        assert_eq!(
+            batched_home.engine().audit().total_recorded(),
+            sequential_home.engine().audit().total_recorded(),
+        );
+        assert_eq!(
+            batched.requests,
+            batched_home.engine().audit().total_recorded()
+        );
+        assert_eq!(
+            batched_home.engine().audit().permit_count(),
+            sequential_home.engine().audit().permit_count(),
+        );
     }
 
     #[test]

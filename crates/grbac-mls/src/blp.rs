@@ -95,7 +95,10 @@ mod tests {
         let m = monitor();
         assert!(m.decide("analyst", MlsOp::Read, "memo"), "read down ok");
         assert!(!m.decide("analyst", MlsOp::Read, "war_plan"), "no read up");
-        assert!(m.decide("general", MlsOp::Read, "war_plan"), "equal level reads");
+        assert!(
+            m.decide("general", MlsOp::Read, "war_plan"),
+            "equal level reads"
+        );
     }
 
     #[test]
@@ -103,7 +106,10 @@ mod tests {
         let m = monitor();
         assert!(!m.decide("analyst", MlsOp::Write, "memo"), "no write down");
         assert!(m.decide("analyst", MlsOp::Write, "war_plan"), "write up ok");
-        assert!(m.decide("general", MlsOp::Write, "war_plan"), "equal level writes");
+        assert!(
+            m.decide("general", MlsOp::Write, "war_plan"),
+            "equal level writes"
+        );
         assert!(!m.decide("general", MlsOp::Write, "memo"));
     }
 
@@ -118,8 +124,14 @@ mod tests {
             "nuclear_doc",
             SecurityLevel::with_compartments(Classification::Secret, ["nuclear"]),
         );
-        assert!(!m.decide("spy", MlsOp::Read, "nuclear_doc"), "no need-to-know");
-        assert!(!m.decide("spy", MlsOp::Write, "nuclear_doc"), "incomparable");
+        assert!(
+            !m.decide("spy", MlsOp::Read, "nuclear_doc"),
+            "no need-to-know"
+        );
+        assert!(
+            !m.decide("spy", MlsOp::Write, "nuclear_doc"),
+            "incomparable"
+        );
     }
 
     #[test]

@@ -159,10 +159,16 @@ impl MlsGrbac {
             return Ok(roles);
         }
         let suffix = level.canonical_name();
-        let cleared = self.engine.declare_subject_role(format!("cleared_{suffix}"))?;
+        let cleared = self
+            .engine
+            .declare_subject_role(format!("cleared_{suffix}"))?;
         let at = self.engine.declare_subject_role(format!("at_{suffix}"))?;
-        let classified = self.engine.declare_object_role(format!("classified_{suffix}"))?;
-        let writable = self.engine.declare_object_role(format!("writable_{suffix}"))?;
+        let classified = self
+            .engine
+            .declare_object_role(format!("classified_{suffix}"))?;
+        let writable = self
+            .engine
+            .declare_object_role(format!("writable_{suffix}"))?;
         let roles = LevelRoles {
             cleared,
             at,

@@ -10,9 +10,7 @@ use std::collections::BTreeSet;
 use serde::{Deserialize, Serialize};
 
 /// Hierarchical classification ranks, in increasing sensitivity.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Classification {
     /// Publicly releasable.
     Unclassified,
@@ -98,7 +96,11 @@ impl SecurityLevel {
     pub fn join(&self, other: &SecurityLevel) -> SecurityLevel {
         SecurityLevel {
             classification: self.classification.max(other.classification),
-            compartments: self.compartments.union(&other.compartments).cloned().collect(),
+            compartments: self
+                .compartments
+                .union(&other.compartments)
+                .cloned()
+                .collect(),
         }
     }
 
@@ -203,6 +205,9 @@ mod tests {
             level(Classification::Secret, &["crypto"]).to_string(),
             "secret {crypto}"
         );
-        assert_eq!(SecurityLevel::new(Classification::Unclassified).to_string(), "unclassified");
+        assert_eq!(
+            SecurityLevel::new(Classification::Unclassified).to_string(),
+            "unclassified"
+        );
     }
 }

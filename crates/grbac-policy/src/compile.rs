@@ -82,28 +82,26 @@ pub fn compile_into(
             Stmt::SubjectDecl { name, roles } => {
                 let subject = engine.declare_subject(name.clone())?;
                 for role in roles {
-                    let role_id = engine
-                        .roles()
-                        .find(RoleKind::Subject, role)
-                        .map_err(|_| PolicyError::Undeclared {
+                    let role_id = engine.roles().find(RoleKind::Subject, role).map_err(|_| {
+                        PolicyError::Undeclared {
                             at: nowhere,
                             kind: "subject role",
                             name: role.clone(),
-                        })?;
+                        }
+                    })?;
                     engine.assign_subject_role(subject, role_id)?;
                 }
             }
             Stmt::ObjectDecl { name, roles } => {
                 let object = engine.declare_object(name.clone())?;
                 for role in roles {
-                    let role_id = engine
-                        .roles()
-                        .find(RoleKind::Object, role)
-                        .map_err(|_| PolicyError::Undeclared {
+                    let role_id = engine.roles().find(RoleKind::Object, role).map_err(|_| {
+                        PolicyError::Undeclared {
                             at: nowhere,
                             kind: "object role",
                             name: role.clone(),
-                        })?;
+                        }
+                    })?;
                     engine.assign_object_role(object, role_id)?;
                 }
             }
@@ -131,13 +129,13 @@ pub fn compile_into(
                         name: first.clone(),
                     }
                 })?;
-                let second_id =
-                    engine.roles().find(RoleKind::Subject, second).map_err(|_| {
-                        PolicyError::Undeclared {
-                            at: nowhere,
-                            kind: "subject role",
-                            name: second.clone(),
-                        }
+                let second_id = engine
+                    .roles()
+                    .find(RoleKind::Subject, second)
+                    .map_err(|_| PolicyError::Undeclared {
+                        at: nowhere,
+                        kind: "subject role",
+                        name: second.clone(),
                     })?;
                 let constraint = grbac_core::sod::SodConstraint::mutual_exclusion(
                     format!("exclude {first} and {second}"),
@@ -153,21 +151,23 @@ pub fn compile_into(
                 depth,
             } => {
                 let delegator_id =
-                    engine.roles().find(RoleKind::Subject, delegator).map_err(|_| {
-                        PolicyError::Undeclared {
+                    engine
+                        .roles()
+                        .find(RoleKind::Subject, delegator)
+                        .map_err(|_| PolicyError::Undeclared {
                             at: nowhere,
                             kind: "subject role",
                             name: delegator.clone(),
-                        }
-                    })?;
+                        })?;
                 let delegable_id =
-                    engine.roles().find(RoleKind::Subject, delegable).map_err(|_| {
-                        PolicyError::Undeclared {
+                    engine
+                        .roles()
+                        .find(RoleKind::Subject, delegable)
+                        .map_err(|_| PolicyError::Undeclared {
                             at: nowhere,
                             kind: "subject role",
                             name: delegable.clone(),
-                        }
-                    })?;
+                        })?;
                 engine.add_delegation_rule(delegator_id, delegable_id, *depth)?;
             }
         }
@@ -185,25 +185,27 @@ fn lower_rule(rule: &RuleStmt, engine: &Grbac, nowhere: Position) -> Result<Rule
         def = def.named(label.clone());
     }
     if let Some(role) = &rule.subject_role {
-        let id = engine
-            .roles()
-            .find(RoleKind::Subject, role)
-            .map_err(|_| PolicyError::Undeclared {
-                at: nowhere,
-                kind: "subject role",
-                name: role.clone(),
-            })?;
+        let id =
+            engine
+                .roles()
+                .find(RoleKind::Subject, role)
+                .map_err(|_| PolicyError::Undeclared {
+                    at: nowhere,
+                    kind: "subject role",
+                    name: role.clone(),
+                })?;
         def = def.subject_role(id);
     }
     if let Some(role) = &rule.object_role {
-        let id = engine
-            .roles()
-            .find(RoleKind::Object, role)
-            .map_err(|_| PolicyError::Undeclared {
-                at: nowhere,
-                kind: "object role",
-                name: role.clone(),
-            })?;
+        let id =
+            engine
+                .roles()
+                .find(RoleKind::Object, role)
+                .map_err(|_| PolicyError::Undeclared {
+                    at: nowhere,
+                    kind: "object role",
+                    name: role.clone(),
+                })?;
         def = def.object_role(id);
     }
     if let Some(name) = &rule.transaction {
@@ -229,8 +231,11 @@ fn lower_rule(rule: &RuleStmt, engine: &Grbac, nowhere: Position) -> Result<Rule
         def = def.when(id);
     }
     if let Some(percent) = rule.confidence_percent {
-        let confidence = Confidence::new(percent / 100.0)
-            .map_err(|_| PolicyError::InvalidConfidence { at: nowhere, value: percent })?;
+        let confidence =
+            Confidence::new(percent / 100.0).map_err(|_| PolicyError::InvalidConfidence {
+                at: nowhere,
+                value: percent,
+            })?;
         def = def.min_confidence(confidence);
     }
     Ok(def)
@@ -315,7 +320,10 @@ mod tests {
     #[test]
     fn compiles_and_mediates_the_flagship_policy() {
         let program = parse(SECTION_51).unwrap();
-        let CompiledPolicy { mut engine, provider } = compile(&program).unwrap();
+        let CompiledPolicy {
+            mut engine,
+            provider,
+        } = compile(&program).unwrap();
 
         let bobby = engine.entities().find_subject("bobby").unwrap();
         let mom = engine.entities().find_subject("mom").unwrap();
@@ -361,10 +369,7 @@ mod tests {
         ";
         let compiled = compile(&parse(source).unwrap()).unwrap();
         let rule = &compiled.engine.rules()[0];
-        assert_eq!(
-            rule.min_confidence(),
-            Some(Confidence::new(0.9).unwrap())
-        );
+        assert_eq!(rule.min_confidence(), Some(Confidence::new(0.9).unwrap()));
     }
 
     #[test]

@@ -38,7 +38,11 @@ pub enum PolicyError {
     /// Input ended mid-statement.
     UnexpectedEnd { expected: &'static str },
     /// A name was referenced before being declared.
-    Undeclared { at: Position, kind: &'static str, name: String },
+    Undeclared {
+        at: Position,
+        kind: &'static str,
+        name: String,
+    },
     /// A confidence percentage outside 0–100.
     InvalidConfidence { at: Position, value: f64 },
     /// An unknown weekday name in `on <day>`.
@@ -59,7 +63,11 @@ impl std::fmt::Display for PolicyError {
             Self::InvalidTime { at, text } => {
                 write!(f, "{at}: invalid clock time {text:?} (expected HH:MM)")
             }
-            Self::UnexpectedToken { at, expected, found } => {
+            Self::UnexpectedToken {
+                at,
+                expected,
+                found,
+            } => {
                 write!(f, "{at}: expected {expected}, found {found}")
             }
             Self::UnexpectedEnd { expected } => {
@@ -109,7 +117,10 @@ mod tests {
 
     #[test]
     fn positions_display() {
-        let p = Position { line: 3, column: 14 };
+        let p = Position {
+            line: 3,
+            column: 14,
+        };
         assert_eq!(p.to_string(), "3:14");
     }
 

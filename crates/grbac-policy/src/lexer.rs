@@ -168,12 +168,14 @@ impl<'a> Lexer<'a> {
                     }
                 }
                 let text = format!("{digits}:{minutes}");
-                let hour: u8 = digits
-                    .parse()
-                    .map_err(|_| PolicyError::InvalidTime { at, text: text.clone() })?;
-                let minute: u8 = minutes
-                    .parse()
-                    .map_err(|_| PolicyError::InvalidTime { at, text: text.clone() })?;
+                let hour: u8 = digits.parse().map_err(|_| PolicyError::InvalidTime {
+                    at,
+                    text: text.clone(),
+                })?;
+                let minute: u8 = minutes.parse().map_err(|_| PolicyError::InvalidTime {
+                    at,
+                    text: text.clone(),
+                })?;
                 if minutes.len() != 2 || hour > 23 || minute > 59 {
                     return Err(PolicyError::InvalidTime { at, text });
                 }
@@ -217,7 +219,8 @@ mod tests {
 
     #[test]
     fn lexes_the_flagship_rule() {
-        let toks = kinds("allow child to operate entertainment_devices when weekdays and free_time;");
+        let toks =
+            kinds("allow child to operate entertainment_devices when weekdays and free_time;");
         assert_eq!(toks.len(), 10);
         assert_eq!(toks[0], TokenKind::Ident("allow".into()));
         assert_eq!(toks[4], TokenKind::Ident("entertainment_devices".into()));
@@ -229,7 +232,10 @@ mod tests {
         assert_eq!(
             kinds("19:00 90 87.5"),
             vec![
-                TokenKind::Time { hour: 19, minute: 0 },
+                TokenKind::Time {
+                    hour: 19,
+                    minute: 0
+                },
                 TokenKind::Number(90.0),
                 TokenKind::Number(87.5),
             ]
@@ -257,7 +263,10 @@ mod tests {
         let toks = kinds("# a comment\nallow # trailing\n deny");
         assert_eq!(
             toks,
-            vec![TokenKind::Ident("allow".into()), TokenKind::Ident("deny".into())]
+            vec![
+                TokenKind::Ident("allow".into()),
+                TokenKind::Ident("deny".into())
+            ]
         );
     }
 

@@ -154,7 +154,13 @@ impl Parser {
             loop {
                 let (parent, _) = self.ident("a role name")?;
                 extends.push(parent);
-                if matches!(self.peek(), Some(Token { kind: TokenKind::Comma, .. })) {
+                if matches!(
+                    self.peek(),
+                    Some(Token {
+                        kind: TokenKind::Comma,
+                        ..
+                    })
+                ) {
                     self.next(",")?;
                 } else {
                     break;
@@ -162,7 +168,13 @@ impl Parser {
             }
         }
         let mut binding = None;
-        if matches!(self.peek(), Some(Token { kind: TokenKind::Equals, .. })) {
+        if matches!(
+            self.peek(),
+            Some(Token {
+                kind: TokenKind::Equals,
+                ..
+            })
+        ) {
             let eq = self.next("=")?;
             if kind != RoleKind::Environment {
                 return Err(PolicyError::UnexpectedToken {
@@ -190,7 +202,13 @@ impl Parser {
         loop {
             let (role, _) = self.ident("a role name")?;
             roles.push(role);
-            if matches!(self.peek(), Some(Token { kind: TokenKind::Comma, .. })) {
+            if matches!(
+                self.peek(),
+                Some(Token {
+                    kind: TokenKind::Comma,
+                    ..
+                })
+            ) {
                 self.next(",")?;
             } else {
                 break;
@@ -212,7 +230,11 @@ impl Parser {
 
     fn rule(&mut self) -> Result<Stmt> {
         let mut label = None;
-        if let Some(Token { kind: TokenKind::Str(text), .. }) = self.peek() {
+        if let Some(Token {
+            kind: TokenKind::Str(text),
+            ..
+        }) = self.peek()
+        {
             label = Some(text.clone());
             self.next("a rule label")?;
             self.punct(&TokenKind::Colon, ":")?;
@@ -312,7 +334,10 @@ impl Parser {
             };
             self.punct(&TokenKind::Percent, "%")?;
             if !(0.0..=100.0).contains(&value) {
-                return Err(PolicyError::InvalidConfidence { at: token.at, value });
+                return Err(PolicyError::InvalidConfidence {
+                    at: token.at,
+                    value,
+                });
             }
             confidence_percent = Some(value);
         }
@@ -408,10 +433,9 @@ mod tests {
 
     #[test]
     fn parses_the_flagship_rule() {
-        let program = parse(
-            "allow child to operate entertainment_devices when weekdays and free_time;",
-        )
-        .unwrap();
+        let program =
+            parse("allow child to operate entertainment_devices when weekdays and free_time;")
+                .unwrap();
         assert_eq!(program.statements.len(), 1);
         let Stmt::Rule(rule) = &program.statements[0] else {
             panic!("expected a rule");
@@ -426,10 +450,9 @@ mod tests {
 
     #[test]
     fn parses_labels_wildcards_and_confidence() {
-        let program = parse(
-            "\"strict tv\": deny anyone to do anything anything with confidence 90%;",
-        )
-        .unwrap();
+        let program =
+            parse("\"strict tv\": deny anyone to do anything anything with confidence 90%;")
+                .unwrap();
         let Stmt::Rule(rule) = &program.statements[0] else {
             panic!("expected a rule");
         };
@@ -460,13 +483,18 @@ mod tests {
                 binding: None,
             }
         );
-        let Stmt::RoleDecl { binding: Some(TimeSpec::Between { start, end }), .. } =
-            &program.statements[2]
+        let Stmt::RoleDecl {
+            binding: Some(TimeSpec::Between { start, end }),
+            ..
+        } = &program.statements[2]
         else {
             panic!("expected a bound environment role");
         };
         assert_eq!((*start, *end), ((19, 0), (22, 0)));
-        let Stmt::RoleDecl { binding: Some(TimeSpec::All(atoms)), .. } = &program.statements[3]
+        let Stmt::RoleDecl {
+            binding: Some(TimeSpec::All(atoms)),
+            ..
+        } = &program.statements[3]
         else {
             panic!("expected a conjunction");
         };
@@ -518,7 +546,9 @@ mod tests {
             .statements
             .iter()
             .filter_map(|s| match s {
-                Stmt::RoleDecl { binding: Some(b), .. } => Some(b),
+                Stmt::RoleDecl {
+                    binding: Some(b), ..
+                } => Some(b),
                 _ => None,
             })
             .collect();

@@ -58,7 +58,11 @@ fn print_stmt(out: &mut String, stmt: &Stmt) {
             first,
             second,
         } => {
-            let kind = if *static_kind { "statically" } else { "dynamically" };
+            let kind = if *static_kind {
+                "statically"
+            } else {
+                "dynamically"
+            };
             let _ = writeln!(out, "exclude {first} and {second} {kind};");
         }
         Stmt::DelegationDecl {
@@ -66,7 +70,10 @@ fn print_stmt(out: &mut String, stmt: &Stmt) {
             delegable,
             depth,
         } => {
-            let _ = writeln!(out, "allow {delegator} to delegate {delegable} depth {depth};");
+            let _ = writeln!(
+                out,
+                "allow {delegator} to delegate {delegable} depth {depth};"
+            );
         }
     }
 }
@@ -126,9 +133,8 @@ mod tests {
     fn round_trip(source: &str) {
         let program = parse(source).unwrap();
         let printed = print(&program);
-        let reparsed = parse(&printed).unwrap_or_else(|e| {
-            panic!("printed policy failed to parse: {e}\n---\n{printed}")
-        });
+        let reparsed = parse(&printed)
+            .unwrap_or_else(|e| panic!("printed policy failed to parse: {e}\n---\n{printed}"));
         assert_eq!(program, reparsed, "round trip changed the AST:\n{printed}");
     }
 

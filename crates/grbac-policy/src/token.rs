@@ -66,7 +66,14 @@ mod tests {
     fn display() {
         assert_eq!(TokenKind::Ident("allow".into()).to_string(), "allow");
         assert_eq!(TokenKind::Str("x".into()).to_string(), "\"x\"");
-        assert_eq!(TokenKind::Time { hour: 19, minute: 0 }.to_string(), "19:00");
+        assert_eq!(
+            TokenKind::Time {
+                hour: 19,
+                minute: 0
+            }
+            .to_string(),
+            "19:00"
+        );
         assert_eq!(TokenKind::Percent.to_string(), "%");
     }
 }

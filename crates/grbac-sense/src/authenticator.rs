@@ -87,7 +87,10 @@ impl Authenticator {
 impl std::fmt::Debug for Authenticator {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Authenticator")
-            .field("sensors", &self.sensors.iter().map(|s| s.name()).collect::<Vec<_>>())
+            .field(
+                "sensors",
+                &self.sensors.iter().map(|s| s.name()).collect::<Vec<_>>(),
+            )
             .field("strategy", &self.strategy)
             .finish()
     }

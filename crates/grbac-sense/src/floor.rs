@@ -113,7 +113,11 @@ impl SmartFloor {
         if self.bands.iter().any(|b| b.role == role) {
             return Err(SenseError::DuplicateRoleBand(role));
         }
-        self.bands.push(RoleBand { role, min_kg, max_kg });
+        self.bands.push(RoleBand {
+            role,
+            min_kg,
+            max_kg,
+        });
         Ok(())
     }
 

@@ -80,7 +80,11 @@ mod tests {
         }
 
         fn observe(&self, presence: &Presence, _rng: &mut dyn RngCore) -> Vec<Evidence> {
-            vec![Evidence::identity("null", presence.subject, Confidence::ZERO)]
+            vec![Evidence::identity(
+                "null",
+                presence.subject,
+                Confidence::ZERO,
+            )]
         }
     }
 

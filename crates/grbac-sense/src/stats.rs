@@ -13,7 +13,8 @@ pub fn erf(x: f64) -> f64 {
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let poly = t
         * (0.254_829_592
-            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
     sign * (1.0 - poly * (-x * x).exp())
 }
 
@@ -102,7 +103,9 @@ mod tests {
     fn gaussian_sample_statistics() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(42);
         let n = 20_000;
-        let samples: Vec<f64> = (0..n).map(|_| gaussian_sample(&mut rng, 10.0, 2.0)).collect();
+        let samples: Vec<f64> = (0..n)
+            .map(|_| gaussian_sample(&mut rng, 10.0, 2.0))
+            .collect();
         let mean = samples.iter().sum::<f64>() / n as f64;
         let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
         assert!((mean - 10.0).abs() < 0.1, "mean was {mean}");

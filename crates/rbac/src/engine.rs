@@ -183,7 +183,10 @@ impl Rbac {
     /// Number of `(role, transaction)` authorization pairs (direct).
     #[must_use]
     pub fn authorization_count(&self) -> usize {
-        self.authorized_transactions.values().map(BTreeSet::len).sum()
+        self.authorized_transactions
+            .values()
+            .map(BTreeSet::len)
+            .sum()
     }
 
     // ------------------------------------------------------------------
@@ -205,7 +208,10 @@ impl Rbac {
         for candidate in self.hierarchy.closure(role) {
             self.sod.check(SodKind::Static, &held, candidate)?;
         }
-        self.authorized_roles.entry(subject).or_default().insert(role);
+        self.authorized_roles
+            .entry(subject)
+            .or_default()
+            .insert(role);
         Ok(())
     }
 
@@ -228,7 +234,11 @@ impl Rbac {
     /// # Errors
     ///
     /// Unknown ids.
-    pub fn authorize_transaction(&mut self, role: RoleId, transaction: TransactionId) -> Result<()> {
+    pub fn authorize_transaction(
+        &mut self,
+        role: RoleId,
+        transaction: TransactionId,
+    ) -> Result<()> {
         self.check_role(role)?;
         self.check_transaction(transaction)?;
         self.authorized_transactions
@@ -384,11 +394,7 @@ impl Rbac {
     /// # Errors
     ///
     /// Unknown session or transaction.
-    pub fn exec_in_session(
-        &self,
-        session: SessionId,
-        transaction: TransactionId,
-    ) -> Result<bool> {
+    pub fn exec_in_session(&self, session: SessionId, transaction: TransactionId) -> Result<bool> {
         self.check_transaction(transaction)?;
         let state = self
             .sessions
@@ -411,7 +417,14 @@ impl Rbac {
 mod tests {
     use super::*;
 
-    fn bank() -> (Rbac, SubjectId, RoleId, RoleId, TransactionId, TransactionId) {
+    fn bank() -> (
+        Rbac,
+        SubjectId,
+        RoleId,
+        RoleId,
+        TransactionId,
+        TransactionId,
+    ) {
         let mut b = Rbac::new();
         let teller = b.declare_role("teller").unwrap();
         let holder = b.declare_role("account_holder").unwrap();

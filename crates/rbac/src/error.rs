@@ -24,7 +24,11 @@ pub enum RbacError {
     /// A subject tried to activate a role it is not authorized for.
     RoleNotAuthorized { subject: SubjectId, role: RoleId },
     /// A separation-of-duty constraint has an impossible cardinality.
-    InvalidSodCardinality { constraint: String, max: usize, set: usize },
+    InvalidSodCardinality {
+        constraint: String,
+        max: usize,
+        set: usize,
+    },
 }
 
 impl std::fmt::Display for RbacError {
@@ -45,7 +49,11 @@ impl std::fmt::Display for RbacError {
             Self::RoleNotAuthorized { subject, role } => {
                 write!(f, "subject {subject} is not authorized for role {role}")
             }
-            Self::InvalidSodCardinality { constraint, max, set } => write!(
+            Self::InvalidSodCardinality {
+                constraint,
+                max,
+                set,
+            } => write!(
                 f,
                 "constraint {constraint:?} allows {max} of a {set}-role set"
             ),

@@ -84,8 +84,7 @@ impl SodConstraint {
     /// True if `held ∪ {candidate}` violates the constraint.
     #[must_use]
     pub fn violated_by(&self, held: &BTreeSet<RoleId>, candidate: RoleId) -> bool {
-        let mut constrained: BTreeSet<RoleId> =
-            held.intersection(&self.roles).copied().collect();
+        let mut constrained: BTreeSet<RoleId> = held.intersection(&self.roles).copied().collect();
         if self.roles.contains(&candidate) {
             constrained.insert(candidate);
         }
@@ -167,8 +166,12 @@ mod tests {
     fn policy_check_by_kind() {
         let mut p = SodPolicy::new();
         p.add(SodConstraint::mutual_exclusion("d", SodKind::Dynamic, r(0), r(1)).unwrap());
-        assert!(p.check(SodKind::Static, &BTreeSet::from([r(0)]), r(1)).is_ok());
-        assert!(p.check(SodKind::Dynamic, &BTreeSet::from([r(0)]), r(1)).is_err());
+        assert!(p
+            .check(SodKind::Static, &BTreeSet::from([r(0)]), r(1))
+            .is_ok());
+        assert!(p
+            .check(SodKind::Dynamic, &BTreeSet::from([r(0)]), r(1))
+            .is_err());
         assert!(!p.is_empty());
         assert_eq!(p.len(), 1);
     }

@@ -16,7 +16,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Monday, January 17, 2000 at 8:00 p.m.
     let mut home = paper_household()?;
     let vocab = *home.vocab();
-    println!("household: {} people, {} devices", home.people().count(), home.devices().count());
+    println!(
+        "household: {} people, {} devices",
+        home.people().count(),
+        home.devices().count()
+    );
     println!("time now : {}", home.now());
 
     let alice = home.person("alice")?.subject();
@@ -59,7 +63,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     fridge.stock("eggs", 12, 6);
 
     let inventory = fridge.inventory(&mut home, alice)?;
-    println!("\ncyberfridge: alice reads inventory     -> granted={}", inventory.is_granted());
+    println!(
+        "\ncyberfridge: alice reads inventory     -> granted={}",
+        inventory.is_granted()
+    );
     let proposals = fridge
         .reorder_proposals(&mut home, mom)?
         .granted()
@@ -69,7 +76,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     let tech = home.person("repair_technician")?.subject();
     let denied = fridge.inventory(&mut home, tech)?;
-    println!("cyberfridge: technician reads inventory-> granted={}", denied.is_granted());
+    println!(
+        "cyberfridge: technician reads inventory-> granted={}",
+        denied.is_granted()
+    );
 
     // --- Utility management (§2): occupancy-aware heating. ---
     home.engine_mut().add_rule(
@@ -82,14 +92,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let utility = UtilityManager::new(home.device("thermostat")?.object(), None)
         .with_preferences(Preferences::default());
     let plan = utility.plan(&home);
-    println!("\nutility: occupied home plan            -> target {}°C", plan.target_temp_c);
+    println!(
+        "\nutility: occupied home plan            -> target {}°C",
+        plan.target_temp_c
+    );
 
     let everyone: Vec<_> = home.people().map(|p| p.subject()).collect();
     for person in everyone {
         home.remove_from_home(person);
     }
     let plan = utility.plan(&home);
-    println!("utility: empty home plan               -> target {}°C", plan.target_temp_c);
+    println!(
+        "utility: empty home plan               -> target {}°C",
+        plan.target_temp_c
+    );
 
     // --- The audit trail saw everything. ---
     let audit = home.engine().audit();

@@ -76,10 +76,20 @@ fn main() -> Result<(), GrbacError> {
 
     // Mediation follows the session's active set.
     let env = EnvironmentSnapshot::new();
-    let d = bank.decide(&AccessRequest::by_session(work, execute, account, env.clone()))?;
+    let d = bank.decide(&AccessRequest::by_session(
+        work,
+        execute,
+        account,
+        env.clone(),
+    ))?;
     println!("work session: execute_deposit  -> {d}");
     assert!(d.is_permitted());
-    let d = bank.decide(&AccessRequest::by_session(work, authorize, account, env.clone()))?;
+    let d = bank.decide(&AccessRequest::by_session(
+        work,
+        authorize,
+        account,
+        env.clone(),
+    ))?;
     println!("work session: authorize_deposit -> {d}");
     assert!(!d.is_permitted());
 
@@ -88,7 +98,9 @@ fn main() -> Result<(), GrbacError> {
     // for him to abuse the system."
     let personal = bank.open_session(pat)?;
     bank.activate_role(personal, holder)?;
-    let d = bank.decide(&AccessRequest::by_session(personal, authorize, account, env))?;
+    let d = bank.decide(&AccessRequest::by_session(
+        personal, authorize, account, env,
+    ))?;
     println!("personal session: authorize_deposit -> {d}");
     assert!(d.is_permitted());
 

@@ -13,10 +13,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ward = SecurityLevel::new(Classification::Confidential);
     let psych = SecurityLevel::with_compartments(Classification::Secret, ["psych"]);
     let research = SecurityLevel::with_compartments(Classification::Secret, ["research"]);
-    let chief = SecurityLevel::with_compartments(
-        Classification::TopSecret,
-        ["psych", "research"],
-    );
+    let chief = SecurityLevel::with_compartments(Classification::TopSecret, ["psych", "research"]);
 
     let principals: [(&str, &SecurityLevel); 4] = [
         ("nurse", &ward),
@@ -70,8 +67,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert_eq!(mismatches, 0, "the GRBAC encoding is decision-equivalent");
 
     // Spot-check the famous properties:
-    assert!(!direct.decide("nurse", MlsOp::Read, "psych_eval"), "no read up");
-    assert!(direct.decide("nurse", MlsOp::Write, "psych_eval"), "write up ok");
+    assert!(
+        !direct.decide("nurse", MlsOp::Read, "psych_eval"),
+        "no read up"
+    );
+    assert!(
+        direct.decide("nurse", MlsOp::Write, "psych_eval"),
+        "write up ok"
+    );
     assert!(
         !direct.decide("chief_of_medicine", MlsOp::Write, "ward_chart"),
         "no write down — even the chief cannot leak into the ward chart"

@@ -30,7 +30,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let floor = paper_smart_floor(&home)?;
 
     // --- The deterministic heart of §5.2. ---
-    println!("Smart Floor reading at Alice's exact weight ({} kg):", weights::ALICE);
+    println!(
+        "Smart Floor reading at Alice's exact weight ({} kg):",
+        weights::ALICE
+    );
     let evidence = floor.evidence_for_measurement(weights::ALICE);
     let mut identity_ctx = AuthContext::new();
     let mut full_ctx = AuthContext::new();

@@ -66,7 +66,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let env = provider.snapshot(&EnvironmentContext::at(ts));
         let d = engine.check(&AccessRequest::by_subject(alice, operate, tv, env.clone()))?;
         println!("{label}: alice -> tv   : {d}");
-        let d = engine.check(&AccessRequest::by_subject(alice, operate, oven, env.clone()))?;
+        let d = engine.check(&AccessRequest::by_subject(
+            alice,
+            operate,
+            oven,
+            env.clone(),
+        ))?;
         println!("{label}: alice -> oven : {d}");
         let d = engine.check(&AccessRequest::by_subject(mom, operate, oven, env))?;
         println!("{label}: mom   -> oven : {d}");

@@ -64,8 +64,14 @@ fn main() -> Result<(), GrbacError> {
     assert!(!decision.is_permitted());
 
     println!("\nExplanation for the last decision:");
-    println!("  subject roles held : {:?}", decision.explanation().subject_roles);
-    println!("  rules matched      : {}", decision.explanation().matched.len());
+    println!(
+        "  subject roles held : {:?}",
+        decision.explanation().subject_roles
+    );
+    println!(
+        "  rules matched      : {}",
+        decision.explanation().matched.len()
+    );
     println!("  reason             : {:?}", decision.explanation().reason);
     Ok(())
 }

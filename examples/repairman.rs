@@ -31,7 +31,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 start: visit_day,
                 end: visit_day,
             }
-            .and(TimeExpr::between(TimeOfDay::hm(8, 0)?, TimeOfDay::hm(13, 0)?)),
+            .and(TimeExpr::between(
+                TimeOfDay::hm(8, 0)?,
+                TimeOfDay::hm(13, 0)?,
+            )),
         )
         .and(EnvCondition::SubjectInZone(home.home_zone())),
     )?;

@@ -140,23 +140,11 @@ fn workload_replay_is_consistent() {
     let stats_b = execute(&mut home_b, &events_b).unwrap();
 
     assert_eq!(stats_a, stats_b, "same seed, same outcome");
-    assert_eq!(
-        home_a.engine().audit().total_recorded(),
-        stats_a.requests
-    );
-    assert_eq!(
-        home_a.engine().audit().permit_count(),
-        stats_a.permits
-    );
+    assert_eq!(home_a.engine().audit().total_recorded(), stats_a.requests);
+    assert_eq!(home_a.engine().audit().permit_count(), stats_a.permits);
 
     let mut home_c = paper_household().unwrap();
-    let events_c = generate(
-        &home_c,
-        &WorkloadConfig {
-            seed: 32,
-            ..config
-        },
-    );
+    let events_c = generate(&home_c, &WorkloadConfig { seed: 32, ..config });
     let stats_c = execute(&mut home_c, &events_c).unwrap();
     assert_ne!(events_a, events_c, "different seed, different workload");
     // Totals still line up internally.
@@ -197,8 +185,7 @@ fn keypad_login_beats_weak_sensing() {
     let mut keypad = Keypad::new();
     keypad.enroll(nurse, "4711").unwrap();
     let evidence = keypad.enter_pin("4711");
-    let authenticator =
-        grbac::sense::Authenticator::new(grbac::sense::FusionStrategy::NoisyOr);
+    let authenticator = grbac::sense::Authenticator::new(grbac::sense::FusionStrategy::NoisyOr);
     let ctx = authenticator.context_from_evidence(&evidence);
     let outcome = app.check_in(&mut home, ctx).unwrap();
     assert_eq!(outcome.granted(), Some(CheckInQuality::LiveVideo));

@@ -35,7 +35,9 @@ fn babysitter_evening_with_revocable_authority() {
 
     // Parents hold and may delegate the role (no re-delegation).
     let mom = home.person("mom").unwrap().subject();
-    home.engine_mut().assign_subject_role(mom, supervisor).unwrap();
+    home.engine_mut()
+        .assign_subject_role(mom, supervisor)
+        .unwrap();
     home.engine_mut()
         .add_delegation_rule(vocab.parent, supervisor, 1)
         .unwrap();
@@ -49,10 +51,16 @@ fn babysitter_evening_with_revocable_authority() {
     let videophone = home.device("videophone").unwrap().object();
 
     // Before the delegation: a guest gets nothing.
-    assert!(!home.request(robin, vocab.operate, tv).unwrap().is_permitted());
+    assert!(!home
+        .request(robin, vocab.operate, tv)
+        .unwrap()
+        .is_permitted());
 
     let grant = home.engine_mut().delegate(mom, robin, supervisor).unwrap();
-    assert!(home.request(robin, vocab.operate, tv).unwrap().is_permitted());
+    assert!(home
+        .request(robin, vocab.operate, tv)
+        .unwrap()
+        .is_permitted());
     assert!(home
         .request(robin, vocab.operate, videophone)
         .unwrap()
@@ -69,9 +77,14 @@ fn babysitter_evening_with_revocable_authority() {
     // Parents come home; the grant is revoked; access stops at once,
     // even for a session Robin still has open.
     let session = home.engine_mut().open_session(robin).unwrap();
-    home.engine_mut().activate_role(session, supervisor).unwrap();
+    home.engine_mut()
+        .activate_role(session, supervisor)
+        .unwrap();
     home.engine_mut().revoke_delegation(grant).unwrap();
-    assert!(!home.request(robin, vocab.operate, tv).unwrap().is_permitted());
+    assert!(!home
+        .request(robin, vocab.operate, tv)
+        .unwrap()
+        .is_permitted());
     assert!(
         !home
             .engine()
@@ -103,7 +116,9 @@ fn delegation_to_a_service_agent_is_scoped_by_rules() {
         )
         .unwrap();
     let mom = home.person("mom").unwrap().subject();
-    home.engine_mut().assign_subject_role(mom, operator).unwrap();
+    home.engine_mut()
+        .assign_subject_role(mom, operator)
+        .unwrap();
     home.engine_mut()
         .add_delegation_rule(vocab.parent, operator, 1)
         .unwrap();
@@ -117,7 +132,10 @@ fn delegation_to_a_service_agent_is_scoped_by_rules() {
         .request(tech, vocab.operate, dishwasher)
         .unwrap()
         .is_permitted());
-    assert!(!home.request(tech, vocab.operate, tv).unwrap().is_permitted());
+    assert!(!home
+        .request(tech, vocab.operate, tv)
+        .unwrap()
+        .is_permitted());
 }
 
 #[test]
@@ -137,13 +155,17 @@ fn pets_cannot_receive_dangerous_delegations_under_sod() {
         )
         .unwrap();
     let mom = home.person("mom").unwrap().subject();
-    home.engine_mut().assign_subject_role(mom, operator).unwrap();
+    home.engine_mut()
+        .assign_subject_role(mom, operator)
+        .unwrap();
     home.engine_mut()
         .add_delegation_rule(vocab.parent, operator, 1)
         .unwrap();
 
     let rex = home.engine_mut().declare_subject("rex").unwrap();
-    home.engine_mut().assign_subject_role(rex, vocab.pet).unwrap();
+    home.engine_mut()
+        .assign_subject_role(rex, vocab.pet)
+        .unwrap();
     assert!(matches!(
         home.engine_mut().delegate(mom, rex, operator),
         Err(GrbacError::SodViolation { .. })

@@ -146,8 +146,14 @@ fn section_3_positive_and_negative_rights() {
     let oven = home.device("oven").unwrap().object();
     let fridge = home.device("fridge").unwrap().object();
 
-    assert!(home.request(mom, vocab.operate, oven).unwrap().is_permitted());
-    assert!(home.request(mom, vocab.operate, fridge).unwrap().is_permitted());
+    assert!(home
+        .request(mom, vocab.operate, oven)
+        .unwrap()
+        .is_permitted());
+    assert!(home
+        .request(mom, vocab.operate, fridge)
+        .unwrap()
+        .is_permitted());
     // Children: denied the oven; the fridge is a plain appliance and no
     // rule covers children operating appliances, so default-deny.
     let d = home.request(alice, vocab.operate, oven).unwrap();

@@ -31,8 +31,13 @@ fn section51_engine() -> (Grbac, AccessRequest, AccessRequest) {
             .min_confidence(Confidence::new(0.9).unwrap()),
     )
     .unwrap();
-    g.add_rule(RuleDef::deny().subject_role(family).object_role(entertainment).when(weekdays))
-        .unwrap();
+    g.add_rule(
+        RuleDef::deny()
+            .subject_role(family)
+            .object_role(entertainment)
+            .when(weekdays),
+    )
+    .unwrap();
     let auditor = g.declare_subject_role("auditor").unwrap();
     g.add_sod_constraint(
         SodConstraint::mutual_exclusion("demo", SodKind::Dynamic, child, auditor).unwrap(),

@@ -52,7 +52,10 @@ fn build(spec: &Spec) -> Built {
         .collect();
     for &(specific, general) in &spec.edges {
         engine
-            .specialize(subject_roles[specific as usize], subject_roles[general as usize])
+            .specialize(
+                subject_roles[specific as usize],
+                subject_roles[general as usize],
+            )
             .unwrap();
     }
     let object_roles: Vec<RoleId> = (0..OBJECT_ROLES)
@@ -63,7 +66,11 @@ fn build(spec: &Spec) -> Built {
         .collect();
     let transaction = engine.declare_transaction("t").unwrap();
     for (permit, subject, object, env) in &spec.rules {
-        let mut def = if *permit { RuleDef::permit() } else { RuleDef::deny() };
+        let mut def = if *permit {
+            RuleDef::permit()
+        } else {
+            RuleDef::deny()
+        };
         if let Some(r) = subject {
             def = def.subject_role(subject_roles[*r as usize]);
         }

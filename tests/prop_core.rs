@@ -171,13 +171,15 @@ fn policy_spec() -> impl Strategy<Value = PolicySpec> {
         0..OBJECT_ROLES,
         prop::collection::vec(0..ENV_ROLES, 0..3),
     )
-        .prop_map(|(chain_edges, rules, subject_role, object_role, env_active)| PolicySpec {
-            chain_edges,
-            rules,
-            subject_role,
-            object_role,
-            env_active,
-        })
+        .prop_map(
+            |(chain_edges, rules, subject_role, object_role, env_active)| PolicySpec {
+                chain_edges,
+                rules,
+                subject_role,
+                object_role,
+                env_active,
+            },
+        )
 }
 
 struct BuiltPolicy {
@@ -193,7 +195,10 @@ fn build_policy(spec: &PolicySpec) -> BuiltPolicy {
         .collect();
     for &(specific, general) in &spec.chain_edges {
         engine
-            .specialize(subject_roles[specific as usize], subject_roles[general as usize])
+            .specialize(
+                subject_roles[specific as usize],
+                subject_roles[general as usize],
+            )
             .unwrap();
     }
     let object_roles: Vec<RoleId> = (0..OBJECT_ROLES)

@@ -128,8 +128,7 @@ impl Bencher {
             black_box(routine());
             warmup_iters += 1;
         }
-        let per_iter_ns =
-            warmup_start.elapsed().as_nanos() as f64 / warmup_iters.max(1) as f64;
+        let per_iter_ns = warmup_start.elapsed().as_nanos() as f64 / warmup_iters.max(1) as f64;
 
         // Size batches so one sample lasts roughly SAMPLE_TARGET.
         let batch = (SAMPLE_TARGET.as_nanos() as f64 / per_iter_ns.max(1.0))

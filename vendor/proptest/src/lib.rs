@@ -667,12 +667,10 @@ macro_rules! prop_assert_ne {
     ($left:expr, $right:expr $(,)?) => {{
         let (__l, __r) = (&$left, &$right);
         if __l == __r {
-            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
-                format!(
-                    "assertion failed: `(left != right)`\n  both: `{:?}`",
-                    __l
-                ),
-            ));
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `(left != right)`\n  both: `{:?}`",
+                __l
+            )));
         }
     }};
 }
@@ -794,9 +792,7 @@ mod tests {
             9 => Just(true),
             1 => Just(false),
         ];
-        let trues = (0..1000)
-            .filter(|_| weighted.new_value(&mut rng))
-            .count();
+        let trues = (0..1000).filter(|_| weighted.new_value(&mut rng)).count();
         assert!((800..1000).contains(&trues), "trues={trues}");
     }
 

@@ -284,7 +284,9 @@ impl Serialize for char {
 
 impl Deserialize for char {
     fn from_value(value: &Value) -> Result<Self, Error> {
-        let s = value.as_str().ok_or_else(|| Error::expected("char", value))?;
+        let s = value
+            .as_str()
+            .ok_or_else(|| Error::expected("char", value))?;
         let mut chars = s.chars();
         match (chars.next(), chars.next()) {
             (Some(c), None) => Ok(c),

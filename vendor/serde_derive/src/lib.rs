@@ -36,14 +36,22 @@ struct Variant {
 }
 
 enum Item {
-    Struct { name: String, fields: Fields },
-    Enum { name: String, variants: Vec<Variant> },
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
 }
 
 #[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     match parse_item(input) {
-        Ok(item) => gen_serialize(&item).parse().expect("generated Serialize impl parses"),
+        Ok(item) => gen_serialize(&item)
+            .parse()
+            .expect("generated Serialize impl parses"),
         Err(msg) => compile_error(&msg),
     }
 }
@@ -59,7 +67,9 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
 }
 
 fn compile_error(msg: &str) -> TokenStream {
-    format!("compile_error!({msg:?});").parse().expect("compile_error parses")
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("compile_error parses")
 }
 
 // ---------------------------------------------------------------------
@@ -92,11 +102,7 @@ fn parse_item(input: TokenStream) -> Result<Item, String> {
                     parse_tuple_fields(g.stream())?
                 }
                 Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
-                other => {
-                    return Err(format!(
-                        "unsupported struct body for `{name}`: {other:?}"
-                    ))
-                }
+                other => return Err(format!("unsupported struct body for `{name}`: {other:?}")),
             };
             Ok(Item::Struct { name, fields })
         }
@@ -374,13 +380,10 @@ fn gen_serialize(item: &Item) -> String {
                         ));
                     }
                     Fields::Named(named) => {
-                        let binders: Vec<String> =
-                            named.iter().map(|(f, _)| f.clone()).collect();
+                        let binders: Vec<String> = named.iter().map(|(f, _)| f.clone()).collect();
                         let items: Vec<String> = named
                             .iter()
-                            .map(|(f, a)| {
-                                format!("({f:?}.to_string(), {})", ser_expr(f, a))
-                            })
+                            .map(|(f, a)| format!("({f:?}.to_string(), {})", ser_expr(f, a)))
                             .collect();
                         arms.push_str(&format!(
                             "{name}::{v} {{ {} }} => ::serde::Value::Map(vec![({v:?}.to_string(), ::serde::Value::Map(vec![{}]))]),\n",
@@ -397,11 +400,7 @@ fn gen_serialize(item: &Item) -> String {
     }
 }
 
-fn gen_named_constructor(
-    type_path: &str,
-    named: &[(String, FieldAttrs)],
-    source: &str,
-) -> String {
+fn gen_named_constructor(type_path: &str, named: &[(String, FieldAttrs)], source: &str) -> String {
     let mut fields = String::new();
     for (field, attrs) in named {
         if attrs.skip {
