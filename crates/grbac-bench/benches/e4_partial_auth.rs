@@ -48,6 +48,7 @@ fn bench(c: &mut Criterion) {
         transaction: vocab.operate,
         object: tv,
         environment,
+        env_health: grbac_core::degraded::EnvHealth::Fresh,
         timestamp: None,
     };
     let engine = home.engine();

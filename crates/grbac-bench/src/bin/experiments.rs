@@ -1,7 +1,7 @@
 //! The experiment harness: regenerates every table in EXPERIMENTS.md.
 //!
 //! ```text
-//! experiments [e1 e2 … e9 | all] [--json]
+//! experiments [e1 e2 … e11 | all] [--json]
 //! ```
 //!
 //! Each experiment prints one or more tables; `--json` emits the same
@@ -14,16 +14,20 @@ use std::time::Instant;
 use grbac_bench::fixtures::{deep_hierarchy, synthetic_grbac, synthetic_rbac, SyntheticConfig};
 use grbac_bench::table::Table;
 use grbac_core::confidence::{AuthContext, Confidence};
+use grbac_core::degraded::DegradedMode;
 use grbac_core::engine::{AccessRequest, Grbac};
 use grbac_core::environment::EnvironmentSnapshot;
 use grbac_core::precedence::ConflictStrategy;
 use grbac_core::rule::RuleDef;
 use grbac_env::calendar::TimeExpr;
 use grbac_env::events::EventBus;
+use grbac_env::fault::{FaultPlan, FaultRates};
 use grbac_env::load::LoadMonitor;
 use grbac_env::periodic::PeriodicExpr;
 use grbac_env::provider::{EnvCondition, EnvironmentContext, EnvironmentRoleProvider};
+use grbac_env::resilient::ResilienceConfig;
 use grbac_env::time::{Date, Duration, TimeOfDay, Timestamp};
+use grbac_home::chaos::run_chaos;
 use grbac_home::scenario::{
     paper_confidence_threshold, paper_household, paper_smart_floor, weights,
 };
@@ -76,6 +80,9 @@ fn main() {
     }
     if want("e10") {
         tables.extend(e10_telemetry_overhead());
+    }
+    if want("e11") {
+        tables.extend(e11_fault_tolerance());
     }
 
     if json {
@@ -933,4 +940,110 @@ fn e9_aware_home() -> Vec<Table> {
         ]);
     }
     vec![table, breakdown]
+}
+
+/// E11: fail-safe mediation under provider faults — availability stays
+/// at 100% while correctness degrades measurably against a fault-free
+/// oracle, and the cost depends on the degraded posture.
+fn e11_fault_tolerance() -> Vec<Table> {
+    let workload = WorkloadConfig {
+        days: 7,
+        requests_per_person_per_day: 50,
+        move_probability: 0.3,
+        seed: 2000,
+    };
+    let resilience = ResilienceConfig {
+        max_retries: 1,
+        failure_threshold: 3,
+        open_cooldown_s: 300,
+        ..ResilienceConfig::default()
+    };
+
+    // Sweep hard-failure rates under the default fail-closed posture.
+    let mut sweep = Table::new(
+        "E11: availability and correctness vs provider error rate (fail-closed)",
+        &[
+            "error_rate",
+            "requests",
+            "availability",
+            "degraded",
+            "agreement",
+            "false_denials",
+            "false_grants",
+            "stale_served",
+            "breaker_opened",
+        ],
+    );
+    for rate in [0.0, 0.1, 0.3] {
+        let mut faulty = paper_household().unwrap();
+        let mut oracle = paper_household().unwrap();
+        let events = generate(&faulty, &workload);
+        let report = run_chaos(
+            &mut faulty,
+            &mut oracle,
+            &events,
+            FaultPlan::random(FaultRates::errors_only(rate), 4100 + (rate * 100.0) as u64),
+            resilience,
+            DegradedMode::fail_closed(),
+        )
+        .unwrap();
+        sweep.row(&[
+            format!("{rate:.2}"),
+            report.requests.to_string(),
+            format!("{:.3}", report.availability()),
+            format!("{:.3}", report.degraded_rate()),
+            format!("{:.3}", report.agreement()),
+            report.false_denials.to_string(),
+            report.false_grants.to_string(),
+            report.stats.stale_served.to_string(),
+            report.stats.breaker_opened.to_string(),
+        ]);
+    }
+
+    // Compare degraded postures at a fixed 10% error rate.
+    let mut postures = Table::new(
+        "E11: degraded postures at a 10% provider error rate",
+        &[
+            "posture",
+            "degraded",
+            "agreement",
+            "false_denials",
+            "false_grants",
+        ],
+    );
+    let cases: [(&str, DegradedMode); 3] = [
+        ("fail_closed", DegradedMode::fail_closed()),
+        ("fail_open(half_life=30m)", DegradedMode::fail_open(1800)),
+        (
+            "last_known_good(max_age=1h)",
+            DegradedMode::last_known_good(3600),
+        ),
+    ];
+    for (name, posture) in cases {
+        let mut faulty = paper_household().unwrap();
+        let mut oracle = paper_household().unwrap();
+        let events = generate(&faulty, &workload);
+        let report = run_chaos(
+            &mut faulty,
+            &mut oracle,
+            &events,
+            FaultPlan::random(FaultRates::errors_only(0.1), 4110),
+            resilience,
+            posture,
+        )
+        .unwrap();
+        assert_eq!(
+            report.availability(),
+            1.0,
+            "the engine must answer every request under faults"
+        );
+        postures.row(&[
+            name.to_owned(),
+            report.degraded.to_string(),
+            format!("{:.3}", report.agreement()),
+            report.false_denials.to_string(),
+            report.false_grants.to_string(),
+        ]);
+    }
+    vec![sweep, postures]
 }

@@ -9,6 +9,7 @@ use std::collections::VecDeque;
 
 use serde::{Deserialize, Serialize};
 
+use crate::degraded::DegradedReason;
 use crate::id::{ObjectId, RuleId, SubjectId, TransactionId};
 use crate::rule::Effect;
 
@@ -30,6 +31,13 @@ pub struct AuditRecord {
     /// Caller-supplied timestamp (virtual seconds in the simulations);
     /// `None` for untimed requests.
     pub timestamp: Option<u64>,
+    /// Why the decision ran degraded — which staleness posture applied
+    /// and why environment roles were absent (or present despite a
+    /// failed provider). `None` for fully-fresh decisions, and
+    /// (via `#[serde(default)]`) for records serialized before the
+    /// field existed.
+    #[serde(default)]
+    pub degraded: Option<DegradedReason>,
 }
 
 /// Bounded, append-only log of [`AuditRecord`]s.
@@ -73,6 +81,7 @@ impl AuditLog {
 
     /// Appends a record, evicting the oldest when at capacity. Returns
     /// the assigned sequence number.
+    #[allow(clippy::too_many_arguments)]
     pub fn record(
         &mut self,
         subject: Option<SubjectId>,
@@ -81,6 +90,7 @@ impl AuditLog {
         effect: Effect,
         winning_rule: Option<RuleId>,
         timestamp: Option<u64>,
+        degraded: Option<DegradedReason>,
     ) -> u64 {
         let seq = self.next_seq;
         self.next_seq += 1;
@@ -101,6 +111,7 @@ impl AuditLog {
                 effect,
                 winning_rule,
                 timestamp,
+                degraded,
             });
         }
         seq
@@ -181,7 +192,7 @@ mod tests {
     #[test]
     fn records_and_counters() {
         let mut log = AuditLog::new();
-        let s0 = log.record(None, t(0), o(0), Effect::Permit, None, None);
+        let s0 = log.record(None, t(0), o(0), Effect::Permit, None, None, None);
         let s1 = log.record(
             None,
             t(0),
@@ -189,6 +200,7 @@ mod tests {
             Effect::Deny,
             Some(RuleId::from_raw(2)),
             Some(7),
+            None,
         );
         assert_eq!((s0, s1), (0, 1));
         assert_eq!(log.len(), 2);
@@ -201,11 +213,52 @@ mod tests {
     }
 
     #[test]
+    fn degraded_reason_is_retained_and_survives_serde() {
+        let mut log = AuditLog::new();
+        log.record(
+            None,
+            t(0),
+            o(0),
+            Effect::Deny,
+            None,
+            Some(12),
+            Some(DegradedReason::StaleRolesDropped {
+                age: 90,
+                dropped: 2,
+            }),
+        );
+        assert_eq!(
+            log.last().unwrap().degraded,
+            Some(DegradedReason::StaleRolesDropped {
+                age: 90,
+                dropped: 2
+            })
+        );
+
+        let json = serde_json::to_string(&log).unwrap();
+        let restored: AuditLog = serde_json::from_str(&json).unwrap();
+        assert_eq!(
+            restored.last().unwrap().degraded,
+            log.last().unwrap().degraded
+        );
+
+        // Records serialized before the field existed load as `None`.
+        let mut fresh = AuditLog::new();
+        fresh.record(None, t(0), o(0), Effect::Permit, None, None, None);
+        let legacy = serde_json::to_string(&fresh)
+            .unwrap()
+            .replace(",\"degraded\":null", "");
+        assert!(!legacy.contains("degraded"));
+        let restored: AuditLog = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(restored.last().unwrap().degraded, None);
+    }
+
+    #[test]
     fn ring_buffer_evicts_oldest() {
         let mut log = AuditLog::with_capacity(2);
-        log.record(None, t(0), o(0), Effect::Permit, None, None);
-        log.record(None, t(0), o(1), Effect::Permit, None, None);
-        log.record(None, t(0), o(2), Effect::Deny, None, None);
+        log.record(None, t(0), o(0), Effect::Permit, None, None, None);
+        log.record(None, t(0), o(1), Effect::Permit, None, None, None);
+        log.record(None, t(0), o(2), Effect::Deny, None, None, None);
         assert_eq!(log.len(), 2);
         let objects: Vec<ObjectId> = log.iter().map(|r| r.object).collect();
         assert_eq!(objects, vec![o(1), o(2)]);
@@ -218,8 +271,8 @@ mod tests {
     #[test]
     fn serde_round_trip_preserves_totals_past_eviction() {
         let mut log = AuditLog::with_capacity(2);
-        log.record(None, t(0), o(0), Effect::Permit, None, None);
-        log.record(None, t(0), o(1), Effect::Deny, None, Some(3));
+        log.record(None, t(0), o(0), Effect::Permit, None, None, None);
+        log.record(None, t(0), o(1), Effect::Deny, None, Some(3), None);
         log.record(
             None,
             t(1),
@@ -227,6 +280,7 @@ mod tests {
             Effect::Permit,
             Some(RuleId::from_raw(1)),
             Some(4),
+            None,
         );
         assert_eq!(log.evicted_count(), 1);
 
@@ -247,7 +301,7 @@ mod tests {
         // Sequence numbering continues where the original left off.
         let mut restored = restored;
         assert_eq!(
-            restored.record(None, t(0), o(0), Effect::Deny, None, None),
+            restored.record(None, t(0), o(0), Effect::Deny, None, None, None),
             3
         );
     }
@@ -255,7 +309,7 @@ mod tests {
     #[test]
     fn zero_capacity_counts_without_retaining() {
         let mut log = AuditLog::with_capacity(0);
-        log.record(None, t(0), o(0), Effect::Deny, None, None);
+        log.record(None, t(0), o(0), Effect::Deny, None, None, None);
         assert!(log.is_empty());
         assert_eq!(log.deny_count(), 1);
         assert_eq!(log.total_recorded(), 1);
@@ -264,7 +318,7 @@ mod tests {
     #[test]
     fn clear_keeps_totals() {
         let mut log = AuditLog::new();
-        log.record(None, t(0), o(0), Effect::Permit, None, None);
+        log.record(None, t(0), o(0), Effect::Permit, None, None, None);
         log.clear();
         assert!(log.is_empty());
         assert_eq!(log.total_recorded(), 1);
@@ -273,8 +327,8 @@ mod tests {
     #[test]
     fn sequence_numbers_survive_eviction() {
         let mut log = AuditLog::with_capacity(1);
-        log.record(None, t(0), o(0), Effect::Permit, None, None);
-        let seq = log.record(None, t(0), o(1), Effect::Permit, None, None);
+        log.record(None, t(0), o(0), Effect::Permit, None, None, None);
+        let seq = log.record(None, t(0), o(1), Effect::Permit, None, None, None);
         assert_eq!(seq, 1);
         assert_eq!(log.last().unwrap().seq, 1);
     }

@@ -83,6 +83,29 @@ impl Confidence {
         Confidence(1.0 - (1.0 - self.0) * (1.0 - other.0))
     }
 
+    /// Scales this confidence by a `[0, 1]` factor — the product of two
+    /// probabilities, so the result never exceeds either input. Used by
+    /// degraded-mode mediation (stale environments decay subject
+    /// confidence) and by faulty-sensor models.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use grbac_core::confidence::Confidence;
+    ///
+    /// # fn main() -> Result<(), grbac_core::GrbacError> {
+    /// let sensed = Confidence::new(0.9)?;
+    /// let decay = Confidence::new(0.5)?;
+    /// assert_eq!(sensed.scale(decay), Confidence::new(0.45)?);
+    /// assert_eq!(sensed.scale(Confidence::FULL), sensed);
+    /// # Ok(())
+    /// # }
+    /// ```
+    #[must_use]
+    pub fn scale(self, factor: Confidence) -> Confidence {
+        Confidence(self.0 * factor.0)
+    }
+
     /// The larger of two confidences.
     #[must_use]
     pub fn max(self, other: Confidence) -> Confidence {

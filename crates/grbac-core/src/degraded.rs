@@ -1,0 +1,364 @@
+//! Degraded-mode mediation: what the engine does when the environment
+//! substrate fails.
+//!
+//! GRBAC decisions hinge on environment roles, and environment roles
+//! come from sensors and providers that can hang, error, or serve stale
+//! state. A mediator that blocks on a dead provider is unavailable; one
+//! that silently trusts a frozen snapshot is unsafe. This module makes
+//! the trade-off explicit and auditable:
+//!
+//! * [`EnvHealth`] — the freshness of the environment snapshot a
+//!   request carries, as reported by the sensing layer (the
+//!   `ResilientProvider` in `grbac-env` produces it).
+//! * [`DegradedMode`] — the engine's policy: per-environment-role
+//!   staleness budgets plus a [`DegradedPosture`] deciding what happens
+//!   to roles whose snapshot has outlived its budget.
+//! * [`DegradedReason`] — the annotation a degraded decision carries,
+//!   surfaced on [`Decision`](crate::explain::Decision), in every
+//!   [`AuditRecord`](crate::audit::AuditRecord), and counted by the
+//!   `grbac_decisions_degraded_total` metric.
+//!
+//! The default mode is the fail-safe one: a zero staleness budget and
+//! [`DegradedPosture::FailClosed`], so un-fresh environment data can
+//! only *withhold* roles, never grant through them.
+//!
+//! # Examples
+//!
+//! A stale snapshot under the default fail-closed mode drops the
+//! over-budget roles and annotates the decision:
+//!
+//! ```
+//! use grbac_core::degraded::{DegradedReason, EnvHealth};
+//! use grbac_core::prelude::*;
+//!
+//! # fn main() -> Result<(), GrbacError> {
+//! let mut g = Grbac::new();
+//! let child = g.declare_subject_role("child")?;
+//! let tv_role = g.declare_object_role("entertainment")?;
+//! let free_time = g.declare_environment_role("free_time")?;
+//! let use_t = g.declare_transaction("use")?;
+//! let bobby = g.declare_subject("bobby")?;
+//! g.assign_subject_role(bobby, child)?;
+//! let tv = g.declare_object("tv")?;
+//! g.assign_object_role(tv, tv_role)?;
+//! g.add_rule(
+//!     RuleDef::permit()
+//!         .subject_role(child)
+//!         .object_role(tv_role)
+//!         .transaction(use_t)
+//!         .when(free_time),
+//! )?;
+//!
+//! let env = EnvironmentSnapshot::from_active([free_time]);
+//! let fresh = AccessRequest::by_subject(bobby, use_t, tv, env.clone());
+//! assert!(g.decide(&fresh)?.is_permitted());
+//!
+//! // The same snapshot, but 10 minutes old: fail-closed drops the
+//! // role, the request denies, and the decision says why.
+//! let stale = AccessRequest::by_subject(bobby, use_t, tv, env)
+//!     .with_env_health(EnvHealth::Stale { age: 600 });
+//! let decision = g.decide(&stale)?;
+//! assert!(!decision.is_permitted());
+//! assert!(matches!(
+//!     decision.degraded(),
+//!     Some(DegradedReason::StaleRolesDropped { age: 600, dropped: 1 })
+//! ));
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::confidence::Confidence;
+use crate::id::RoleId;
+
+/// Freshness of the environment snapshot attached to a request.
+///
+/// Produced by the sensing layer: `Fresh` for a live provider read,
+/// `Stale` when a resilience layer served its last-known-good snapshot
+/// (with the snapshot's age in virtual seconds), `Unavailable` when no
+/// environment data could be obtained at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum EnvHealth {
+    /// The snapshot was evaluated live; no degradation applies.
+    #[default]
+    Fresh,
+    /// The snapshot is a cached read, `age` virtual seconds old.
+    Stale {
+        /// Seconds since the snapshot was last refreshed.
+        age: u64,
+    },
+    /// No environment data is available; the attached snapshot (if any)
+    /// carries whatever the caller could supply.
+    Unavailable,
+}
+
+impl EnvHealth {
+    /// True for [`EnvHealth::Fresh`].
+    #[must_use]
+    pub fn is_fresh(self) -> bool {
+        self == EnvHealth::Fresh
+    }
+}
+
+/// What the engine does with environment roles whose snapshot has
+/// outlived its staleness budget.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum DegradedPosture {
+    /// Drop over-budget roles from the active set. Rules conditioned on
+    /// them stop matching, so stale data can only withhold access —
+    /// the fail-safe default.
+    FailClosed,
+    /// Keep over-budget roles active but decay the subject-role
+    /// confidence used against permit thresholds, halving it every
+    /// `half_life` seconds of snapshot age. Access stays available but
+    /// gets harder to obtain the longer the environment is blind.
+    FailOpen {
+        /// Snapshot age (seconds) at which subject confidence halves.
+        half_life: u64,
+    },
+    /// Serve over-budget roles verbatim while the snapshot is at most
+    /// `max_age` seconds old, then fall back to dropping them as
+    /// [`DegradedPosture::FailClosed`] would.
+    LastKnownGood {
+        /// Oldest snapshot age (seconds) still served verbatim.
+        max_age: u64,
+    },
+}
+
+/// Why a decision was reached under degraded environment data.
+///
+/// Carried by [`Decision::degraded`](crate::explain::Decision::degraded)
+/// and persisted in [`AuditRecord::degraded`](crate::audit::AuditRecord)
+/// so a review can tell *why* an environment role was absent (or
+/// present despite a dead provider) for any given decision.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum DegradedReason {
+    /// Stale roles past their budget were dropped before matching
+    /// (fail-closed, or last-known-good past its window).
+    StaleRolesDropped {
+        /// Snapshot age in seconds.
+        age: u64,
+        /// Environment roles removed from the active set.
+        dropped: u32,
+    },
+    /// Stale roles were kept but subject confidence was decayed
+    /// (fail-open posture).
+    StaleDecayed {
+        /// Snapshot age in seconds.
+        age: u64,
+        /// The multiplier applied to subject-role confidence.
+        decay: Confidence,
+    },
+    /// Stale roles were served verbatim inside the last-known-good
+    /// window.
+    LastKnownGood {
+        /// Snapshot age in seconds.
+        age: u64,
+    },
+    /// No environment data was available for the request.
+    EnvUnavailable,
+}
+
+impl std::fmt::Display for DegradedReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::StaleRolesDropped { age, dropped } => {
+                write!(f, "stale environment ({age}s): {dropped} role(s) dropped")
+            }
+            Self::StaleDecayed { age, decay } => {
+                write!(
+                    f,
+                    "stale environment ({age}s): confidence decayed to {decay}"
+                )
+            }
+            Self::LastKnownGood { age } => {
+                write!(f, "serving last-known-good environment ({age}s old)")
+            }
+            Self::EnvUnavailable => write!(f, "environment unavailable"),
+        }
+    }
+}
+
+/// The engine's degraded-mode policy: staleness budgets and a posture.
+///
+/// A role's *staleness budget* is how old (in virtual seconds) a
+/// snapshot may be while that role is still treated as trustworthy.
+/// Within budget, staleness is absorbed silently — that is what the
+/// budget is for. Past budget, the [`DegradedPosture`] decides, and the
+/// decision is annotated with a [`DegradedReason`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DegradedMode {
+    posture: DegradedPosture,
+    default_budget: u64,
+    #[serde(default)]
+    budgets: BTreeMap<RoleId, u64>,
+}
+
+impl Default for DegradedMode {
+    /// The fail-safe default: zero budget, fail-closed. Any non-fresh
+    /// snapshot immediately loses its roles.
+    fn default() -> Self {
+        Self::fail_closed()
+    }
+}
+
+impl DegradedMode {
+    /// Fail-closed with a zero staleness budget.
+    #[must_use]
+    pub fn fail_closed() -> Self {
+        Self {
+            posture: DegradedPosture::FailClosed,
+            default_budget: 0,
+            budgets: BTreeMap::new(),
+        }
+    }
+
+    /// Fail-open: over-budget roles stay active, subject confidence
+    /// halves every `half_life` seconds of snapshot age.
+    #[must_use]
+    pub fn fail_open(half_life: u64) -> Self {
+        Self {
+            posture: DegradedPosture::FailOpen {
+                half_life: half_life.max(1),
+            },
+            default_budget: 0,
+            budgets: BTreeMap::new(),
+        }
+    }
+
+    /// Last-known-good: over-budget roles are served verbatim until the
+    /// snapshot is `max_age` seconds old, then dropped.
+    #[must_use]
+    pub fn last_known_good(max_age: u64) -> Self {
+        Self {
+            posture: DegradedPosture::LastKnownGood { max_age },
+            default_budget: 0,
+            budgets: BTreeMap::new(),
+        }
+    }
+
+    /// Sets the staleness budget applied to roles without a per-role
+    /// override (builder style).
+    #[must_use]
+    pub fn with_default_budget(mut self, seconds: u64) -> Self {
+        self.default_budget = seconds;
+        self
+    }
+
+    /// Sets a per-role staleness budget (builder style). Roles carrying
+    /// slow-moving facts ("weekday") tolerate far more staleness than
+    /// fast ones ("home_occupied").
+    #[must_use]
+    pub fn with_role_budget(mut self, role: RoleId, seconds: u64) -> Self {
+        self.budgets.insert(role, seconds);
+        self
+    }
+
+    /// The configured posture.
+    #[must_use]
+    pub fn posture(&self) -> DegradedPosture {
+        self.posture
+    }
+
+    /// The staleness budget for `role` (the default budget unless
+    /// overridden).
+    #[must_use]
+    pub fn budget(&self, role: RoleId) -> u64 {
+        self.budgets
+            .get(&role)
+            .copied()
+            .unwrap_or(self.default_budget)
+    }
+
+    /// The confidence multiplier a fail-open posture applies at
+    /// snapshot age `age`: `0.5 ^ (age / half_life)`.
+    /// [`Confidence::FULL`] for the other postures.
+    #[must_use]
+    pub fn decay_at(&self, age: u64) -> Confidence {
+        match self.posture {
+            DegradedPosture::FailOpen { half_life } => {
+                Confidence::saturating(0.5f64.powf(age as f64 / half_life.max(1) as f64))
+            }
+            DegradedPosture::FailClosed | DegradedPosture::LastKnownGood { .. } => Confidence::FULL,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_fail_closed_zero_budget() {
+        let mode = DegradedMode::default();
+        assert_eq!(mode.posture(), DegradedPosture::FailClosed);
+        assert_eq!(mode.budget(RoleId::from_raw(0)), 0);
+    }
+
+    #[test]
+    fn per_role_budgets_override_the_default() {
+        let weekday = RoleId::from_raw(1);
+        let occupied = RoleId::from_raw(2);
+        let mode = DegradedMode::fail_closed()
+            .with_default_budget(30)
+            .with_role_budget(weekday, 3600);
+        assert_eq!(mode.budget(weekday), 3600);
+        assert_eq!(mode.budget(occupied), 30);
+    }
+
+    #[test]
+    fn fail_open_decay_halves_per_half_life() {
+        let mode = DegradedMode::fail_open(60);
+        assert_eq!(mode.decay_at(0), Confidence::FULL);
+        assert!((mode.decay_at(60).value() - 0.5).abs() < 1e-12);
+        assert!((mode.decay_at(120).value() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_fail_open_postures_never_decay() {
+        assert_eq!(
+            DegradedMode::fail_closed().decay_at(10_000),
+            Confidence::FULL
+        );
+        assert_eq!(
+            DegradedMode::last_known_good(300).decay_at(10_000),
+            Confidence::FULL
+        );
+    }
+
+    #[test]
+    fn fail_open_guards_zero_half_life() {
+        let mode = DegradedMode::fail_open(0);
+        // Clamped to one second rather than dividing by zero.
+        assert!(mode.decay_at(1) < Confidence::FULL);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mode = DegradedMode::fail_open(120)
+            .with_default_budget(10)
+            .with_role_budget(RoleId::from_raw(4), 900);
+        let json = serde_json::to_string(&mode).unwrap();
+        let back: DegradedMode = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, mode);
+    }
+
+    #[test]
+    fn reasons_render() {
+        let text = DegradedReason::StaleRolesDropped {
+            age: 90,
+            dropped: 2,
+        }
+        .to_string();
+        assert!(text.contains("90s") && text.contains("2"));
+        assert_eq!(
+            DegradedReason::EnvUnavailable.to_string(),
+            "environment unavailable"
+        );
+    }
+}

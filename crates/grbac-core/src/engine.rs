@@ -58,6 +58,7 @@ use serde::{Deserialize, Serialize};
 use crate::assignment::Assignments;
 use crate::audit::AuditLog;
 use crate::confidence::{AuthContext, Confidence};
+use crate::degraded::{DegradedMode, DegradedPosture, DegradedReason, EnvHealth};
 use crate::entity::EntityCatalog;
 use crate::environment::EnvironmentSnapshot;
 use crate::error::{GrbacError, Result};
@@ -100,6 +101,12 @@ pub struct AccessRequest {
     pub environment: EnvironmentSnapshot,
     /// Optional timestamp for the audit log (virtual seconds).
     pub timestamp: Option<u64>,
+    /// Freshness of the environment snapshot, as reported by the
+    /// sensing layer. Anything other than [`EnvHealth::Fresh`] engages
+    /// the engine's [`DegradedMode`] policy. Defaults to fresh (also
+    /// for requests serialized before the field existed).
+    #[serde(default)]
+    pub env_health: EnvHealth,
 }
 
 impl AccessRequest {
@@ -117,6 +124,7 @@ impl AccessRequest {
             object,
             environment,
             timestamp: None,
+            env_health: EnvHealth::Fresh,
         }
     }
 
@@ -134,6 +142,7 @@ impl AccessRequest {
             object,
             environment,
             timestamp: None,
+            env_health: EnvHealth::Fresh,
         }
     }
 
@@ -151,6 +160,7 @@ impl AccessRequest {
             object,
             environment,
             timestamp: None,
+            env_health: EnvHealth::Fresh,
         }
     }
 
@@ -158,6 +168,16 @@ impl AccessRequest {
     #[must_use]
     pub fn at(mut self, timestamp: u64) -> Self {
         self.timestamp = Some(timestamp);
+        self
+    }
+
+    /// Declares the freshness of the attached environment snapshot
+    /// (builder style). The sensing layer sets this from its
+    /// `PollOutcome`; anything other than [`EnvHealth::Fresh`] engages
+    /// the engine's [`DegradedMode`].
+    #[must_use]
+    pub fn with_env_health(mut self, health: EnvHealth) -> Self {
+        self.env_health = health;
         self
     }
 }
@@ -176,6 +196,11 @@ pub struct Grbac {
     default_effect: Effect,
     default_min_confidence: Confidence,
     audit: AuditLog,
+    /// Degraded-mode policy: staleness budgets and the posture applied
+    /// when a request's environment snapshot is not fresh (defaults to
+    /// fail-closed with zero budget).
+    #[serde(default)]
+    degraded: DegradedMode,
     #[serde(default)]
     delegation: crate::delegation::DelegationState,
     /// Bumped by every mutation that can change a decision (roles,
@@ -220,6 +245,7 @@ impl Grbac {
             default_effect: Effect::Deny,
             default_min_confidence: Confidence::FULL,
             audit: AuditLog::new(),
+            degraded: DegradedMode::default(),
             delegation: crate::delegation::DelegationState::default(),
             generation: 0,
             index: IndexCell::default(),
@@ -621,6 +647,58 @@ impl Grbac {
         self.default_min_confidence
     }
 
+    /// Sets the degraded-mode policy applied when a request's
+    /// environment snapshot is not fresh (see [`DegradedMode`]). The
+    /// default is fail-closed with a zero staleness budget.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use grbac_core::prelude::*;
+    ///
+    /// let mut g = Grbac::new();
+    /// let child = g.declare_subject_role("child")?;
+    /// let toys = g.declare_object_role("toys")?;
+    /// let daytime = g.declare_environment_role("daytime")?;
+    /// let play = g.declare_transaction("play")?;
+    /// let alice = g.declare_subject("alice")?;
+    /// g.assign_subject_role(alice, child)?;
+    /// let ball = g.declare_object("ball")?;
+    /// g.assign_object_role(ball, toys)?;
+    /// g.add_rule(
+    ///     RuleDef::permit()
+    ///         .subject_role(child)
+    ///         .object_role(toys)
+    ///         .transaction(play)
+    ///         .when(daytime),
+    /// )?;
+    ///
+    /// // Tolerate ten minutes of staleness; past that, fail closed.
+    /// g.set_degraded_mode(DegradedMode::fail_closed().with_default_budget(600));
+    ///
+    /// let env = EnvironmentSnapshot::from_active([daytime]);
+    /// let fresh = AccessRequest::by_subject(alice, play, ball, env.clone());
+    /// assert!(g.check(&fresh)?.is_permitted());
+    ///
+    /// // An hour-old snapshot is over budget: roles drop, access denies,
+    /// // and the decision says why.
+    /// let stale = AccessRequest::by_subject(alice, play, ball, env)
+    ///     .with_env_health(EnvHealth::Stale { age: 3_600 });
+    /// let decision = g.check(&stale)?;
+    /// assert!(!decision.is_permitted());
+    /// assert!(decision.is_degraded());
+    /// # Ok::<(), grbac_core::error::GrbacError>(())
+    /// ```
+    pub fn set_degraded_mode(&mut self, mode: DegradedMode) {
+        self.degraded = mode;
+    }
+
+    /// The current degraded-mode policy.
+    #[must_use]
+    pub fn degraded_mode(&self) -> &DegradedMode {
+        &self.degraded
+    }
+
     // ------------------------------------------------------------------
     // Accessors
     // ------------------------------------------------------------------
@@ -737,7 +815,7 @@ impl Grbac {
     /// counts) alongside the decision.
     ///
     /// The traced path is the *same* monomorphized mediation code as
-    /// [`decide`](Self::decide) — only the [`TraceSink`] differs — so
+    /// [`decide`](Self::decide) — only the trace sink differs — so
     /// the decision is identical on identical input; the
     /// `prop_telemetry` property suite holds the two equal.
     ///
@@ -823,11 +901,106 @@ impl Grbac {
                     request.transaction.as_raw(),
                     decision.explanation().matched.len() as u64,
                 );
+                if let Some(reason) = decision.degraded() {
+                    self.metrics.decisions_degraded.inc();
+                    if let DegradedReason::StaleRolesDropped { dropped, .. } = reason {
+                        self.metrics
+                            .env_roles_dropped_stale
+                            .add(u64::from(*dropped));
+                    }
+                }
             }
             Err(_) => self.metrics.decide_errors.inc(),
         }
         self.metrics.observe_decide_latency(timer);
         result
+    }
+
+    /// Applies the degraded-mode policy to a request's environment
+    /// snapshot: the effective active set, the subject-confidence decay
+    /// multiplier, and the annotation (if any) the decision will carry.
+    ///
+    /// Shared by the compiled path ([`Self::mediate`]) and the
+    /// reference scan ([`Self::decide_naive`]) so the differential
+    /// property suite holds under degraded inputs too. Fresh requests
+    /// borrow their snapshot untouched and decay by exactly 1.0, so the
+    /// fast path is unchanged.
+    fn degraded_env<'r>(
+        &self,
+        request: &'r AccessRequest,
+    ) -> (
+        Cow<'r, EnvironmentSnapshot>,
+        Confidence,
+        Option<DegradedReason>,
+    ) {
+        let drop_over_budget = |age: u64| {
+            let kept: EnvironmentSnapshot = request
+                .environment
+                .active()
+                .iter()
+                .copied()
+                .filter(|&role| age <= self.degraded.budget(role))
+                .collect();
+            let dropped = (request.environment.len() - kept.len()) as u32;
+            (
+                Cow::Owned(kept),
+                Confidence::FULL,
+                Some(DegradedReason::StaleRolesDropped { age, dropped }),
+            )
+        };
+        match request.env_health {
+            EnvHealth::Fresh => (Cow::Borrowed(&request.environment), Confidence::FULL, None),
+            EnvHealth::Stale { age } => {
+                let within_budget = request
+                    .environment
+                    .active()
+                    .iter()
+                    .all(|&role| age <= self.degraded.budget(role));
+                if within_budget {
+                    // Budgets exist to absorb exactly this much
+                    // staleness; the decision is not degraded.
+                    return (Cow::Borrowed(&request.environment), Confidence::FULL, None);
+                }
+                match self.degraded.posture() {
+                    DegradedPosture::FailClosed => drop_over_budget(age),
+                    DegradedPosture::FailOpen { .. } => {
+                        let decay = self.degraded.decay_at(age);
+                        (
+                            Cow::Borrowed(&request.environment),
+                            decay,
+                            Some(DegradedReason::StaleDecayed { age, decay }),
+                        )
+                    }
+                    DegradedPosture::LastKnownGood { max_age } => {
+                        if age <= max_age {
+                            (
+                                Cow::Borrowed(&request.environment),
+                                Confidence::FULL,
+                                Some(DegradedReason::LastKnownGood { age }),
+                            )
+                        } else {
+                            drop_over_budget(age)
+                        }
+                    }
+                }
+            }
+            EnvHealth::Unavailable => {
+                let environment = match self.degraded.posture() {
+                    // No data and fail-closed: no environment roles.
+                    DegradedPosture::FailClosed => Cow::Owned(EnvironmentSnapshot::new()),
+                    // The other postures trust whatever snapshot the
+                    // caller could still attach (possibly empty).
+                    DegradedPosture::FailOpen { .. } | DegradedPosture::LastKnownGood { .. } => {
+                        Cow::Borrowed(&request.environment)
+                    }
+                };
+                (
+                    environment,
+                    Confidence::FULL,
+                    Some(DegradedReason::EnvUnavailable),
+                )
+            }
+        }
     }
 
     /// The mediation algorithm itself, generic over a [`TraceSink`]:
@@ -873,9 +1046,10 @@ impl Grbac {
             },
         );
         let span = sink.enter(Stage::EnvironmentEvaluation);
+        let (effective_env, decay, degraded_reason) = self.degraded_env(request);
         let environment = index
             .closures
-            .expand(request.environment.active().iter().copied());
+            .expand(effective_env.active().iter().copied());
         self.metrics.closure_cache_misses.inc();
         sink.exit(
             Stage::EnvironmentEvaluation,
@@ -913,6 +1087,7 @@ impl Grbac {
                     let Some(confidence) = subject.confidence(rs) else {
                         continue;
                     };
+                    let confidence = confidence.scale(decay);
                     let distance = index.closures.min_distance(subject.direct(), rs);
                     if rule.effect() == Effect::Permit {
                         let required = rule.min_confidence().unwrap_or(self.default_min_confidence);
@@ -966,7 +1141,8 @@ impl Grbac {
                 winner: winner_id,
                 reason,
             },
-        ))
+        )
+        .with_degraded(degraded_reason))
     }
 
     /// Builds the requester's role view for the compiled path,
@@ -1041,7 +1217,8 @@ impl Grbac {
         // 2. Object and environment role sets, hierarchy-expanded.
         let direct_object = self.assignments.object_roles(request.object);
         let object_roles = self.roles.expand(&direct_object);
-        let environment_roles = self.roles.expand(request.environment.active());
+        let (effective_env, decay, degraded_reason) = self.degraded_env(request);
+        let environment_roles = self.roles.expand(effective_env.active());
 
         // 3. Match rules in policy order.
         let mut matched = Vec::new();
@@ -1074,6 +1251,7 @@ impl Grbac {
                     let Some(&confidence) = subject_conf.get(&rs) else {
                         continue;
                     };
+                    let confidence = confidence.scale(decay);
                     let distance = self.min_distance(RoleKind::Subject, &direct_subject, rs);
                     if rule.effect() == Effect::Permit {
                         let required = rule.min_confidence().unwrap_or(self.default_min_confidence);
@@ -1124,7 +1302,8 @@ impl Grbac {
                 winner: winner_id,
                 reason,
             },
-        ))
+        )
+        .with_degraded(degraded_reason))
     }
 
     /// Mediates a request and records the outcome in the audit log.
@@ -1146,6 +1325,7 @@ impl Grbac {
             decision.effect(),
             decision.winning_rule(),
             request.timestamp,
+            decision.degraded().copied(),
         );
         self.sync_audit_gauges();
         Ok(decision)
@@ -1175,6 +1355,7 @@ impl Grbac {
                     decision.effect(),
                     decision.winning_rule(),
                     request.timestamp,
+                    decision.degraded().copied(),
                 );
             }
         }
@@ -1234,6 +1415,9 @@ impl Grbac {
                     "reason: authentication confidence {achieved} below the required {required}\n"
                 ));
             }
+        }
+        if let Some(reason) = decision.degraded() {
+            out.push_str(&format!("degraded: {reason}\n"));
         }
         out
     }

@@ -11,6 +11,7 @@ use std::collections::BTreeSet;
 use serde::{Deserialize, Serialize};
 
 use crate::confidence::Confidence;
+use crate::degraded::DegradedReason;
 use crate::id::{RoleId, RuleId};
 use crate::precedence::ConflictStrategy;
 use crate::rule::Effect;
@@ -86,6 +87,11 @@ pub struct Explanation {
 pub struct Decision {
     effect: Effect,
     explanation: Explanation,
+    /// Present when the decision was reached under degraded environment
+    /// data (defaults to `None` for decisions serialized before the
+    /// field existed).
+    #[serde(default)]
+    degraded: Option<DegradedReason>,
 }
 
 impl Decision {
@@ -96,7 +102,30 @@ impl Decision {
         Self {
             effect,
             explanation,
+            degraded: None,
         }
+    }
+
+    /// Attaches a degraded-mode annotation (builder style). The engine
+    /// sets this when the request's environment health forced a
+    /// [`DegradedMode`](crate::degraded::DegradedMode) posture to apply.
+    #[must_use]
+    pub fn with_degraded(mut self, reason: Option<DegradedReason>) -> Self {
+        self.degraded = reason;
+        self
+    }
+
+    /// Why this decision ran degraded, if it did.
+    #[must_use]
+    pub fn degraded(&self) -> Option<&DegradedReason> {
+        self.degraded.as_ref()
+    }
+
+    /// True when the decision was reached under degraded environment
+    /// data.
+    #[must_use]
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.is_some()
     }
 
     /// Permit or Deny.
@@ -127,9 +156,13 @@ impl Decision {
 impl std::fmt::Display for Decision {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self.explanation.winner {
-            Some(rule) => write!(f, "{} (by {rule})", self.effect),
-            None => write!(f, "{} (default)", self.effect),
+            Some(rule) => write!(f, "{} (by {rule})", self.effect)?,
+            None => write!(f, "{} (default)", self.effect)?,
         }
+        if self.degraded.is_some() {
+            write!(f, " [degraded]")?;
+        }
+        Ok(())
     }
 }
 
@@ -165,6 +198,24 @@ mod tests {
         let d = Decision::new(Effect::Permit, e);
         assert!(d.is_permitted());
         assert_eq!(d.to_string(), "permit (by rule3)");
+    }
+
+    #[test]
+    fn degraded_annotation_round_trips() {
+        let d = Decision::new(Effect::Deny, sample_explanation())
+            .with_degraded(Some(DegradedReason::EnvUnavailable));
+        assert!(d.is_degraded());
+        assert_eq!(d.degraded(), Some(&DegradedReason::EnvUnavailable));
+        assert_eq!(d.to_string(), "deny (default) [degraded]");
+        let json = serde_json::to_string(&d).unwrap();
+        let back: Decision = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, d);
+        // Decisions serialized before the field existed still load.
+        let legacy = serde_json::to_string(&Decision::new(Effect::Deny, sample_explanation()))
+            .unwrap()
+            .replace(",\"degraded\":null", "");
+        let back: Decision = serde_json::from_str(&legacy).unwrap();
+        assert!(!back.is_degraded());
     }
 
     #[test]

@@ -72,6 +72,7 @@
 //! | [`explain`] | §3 (usability) | decisions with full explanations |
 //! | [`analysis`] | §4.2.4 | conflict/shadowing/dead-role detection |
 //! | [`audit`] | §3 | bounded decision log |
+//! | [`degraded`] | §3 (availability) | fail-safe postures for stale/absent environment data |
 //! | [`telemetry`] | §3 (operability) | metrics registry, decision traces, exporters |
 
 #![forbid(unsafe_code)]
@@ -82,6 +83,7 @@ pub mod assignment;
 pub mod audit;
 pub mod builder;
 pub mod confidence;
+pub mod degraded;
 pub mod delegation;
 pub mod engine;
 pub mod entity;
@@ -101,6 +103,7 @@ pub mod telemetry;
 
 pub use builder::GrbacBuilder;
 pub use confidence::{AuthContext, Confidence};
+pub use degraded::{DegradedMode, DegradedPosture, DegradedReason, EnvHealth};
 pub use engine::{AccessRequest, Actor, Grbac};
 pub use environment::EnvironmentSnapshot;
 pub use error::GrbacError;
@@ -115,6 +118,7 @@ pub use telemetry::{
 /// The most commonly needed items, importable with one `use`.
 pub mod prelude {
     pub use crate::confidence::{AuthContext, Confidence};
+    pub use crate::degraded::{DegradedMode, DegradedPosture, DegradedReason, EnvHealth};
     pub use crate::engine::{AccessRequest, Actor, Grbac};
     pub use crate::environment::EnvironmentSnapshot;
     pub use crate::error::GrbacError;

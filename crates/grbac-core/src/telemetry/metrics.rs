@@ -353,6 +353,33 @@ pub struct MetricsRegistry {
     pub env_role_activations: Counter,
     /// Environment roles that flipped active → inactive between polls.
     pub env_role_deactivations: Counter,
+    /// Decisions annotated with a degraded-mode reason (stale or
+    /// unavailable environment data).
+    pub decisions_degraded: Counter,
+    /// Active environment roles dropped because their snapshot outlived
+    /// its staleness budget (fail-closed and expired last-known-good).
+    pub env_roles_dropped_stale: Counter,
+    /// Provider polls that failed with a timeout (published by the
+    /// `grbac-env` resilience layer).
+    pub env_provider_timeouts: Counter,
+    /// Provider polls that failed with a transient error.
+    pub env_provider_errors: Counter,
+    /// Retry attempts made after a failed provider poll.
+    pub env_provider_retries: Counter,
+    /// Total virtual milliseconds of retry backoff (base + jitter).
+    pub env_backoff_ms: Counter,
+    /// Polls answered from the last-known-good snapshot.
+    pub env_stale_served: Counter,
+    /// Polls with no snapshot to serve at all.
+    pub env_unavailable: Counter,
+    /// Circuit-breaker transitions into the open state.
+    pub env_breaker_opened: Counter,
+    /// Circuit-breaker transitions into the half-open state.
+    pub env_breaker_half_open: Counter,
+    /// Circuit-breaker transitions back to the closed state.
+    pub env_breaker_closed: Counter,
+    /// Current circuit-breaker state: 0 closed, 1 half-open, 2 open.
+    pub env_breaker_state: Gauge,
     /// Round-robin sample selector for `decide_timer`.
     decide_sample: AtomicU64,
 }
@@ -387,6 +414,18 @@ impl MetricsRegistry {
             env_polls: Counter::new(),
             env_role_activations: Counter::new(),
             env_role_deactivations: Counter::new(),
+            decisions_degraded: Counter::new(),
+            env_roles_dropped_stale: Counter::new(),
+            env_provider_timeouts: Counter::new(),
+            env_provider_errors: Counter::new(),
+            env_provider_retries: Counter::new(),
+            env_backoff_ms: Counter::new(),
+            env_stale_served: Counter::new(),
+            env_unavailable: Counter::new(),
+            env_breaker_opened: Counter::new(),
+            env_breaker_half_open: Counter::new(),
+            env_breaker_closed: Counter::new(),
+            env_breaker_state: Gauge::new(),
             decide_sample: AtomicU64::new(0),
         }
     }
@@ -448,6 +487,29 @@ impl MetricsRegistry {
                 "grbac_env_role_deactivations_total",
                 &self.env_role_deactivations,
             ),
+            ("grbac_decisions_degraded_total", &self.decisions_degraded),
+            (
+                "grbac_env_roles_dropped_stale_total",
+                &self.env_roles_dropped_stale,
+            ),
+            (
+                "grbac_env_provider_timeouts_total",
+                &self.env_provider_timeouts,
+            ),
+            ("grbac_env_provider_errors_total", &self.env_provider_errors),
+            (
+                "grbac_env_provider_retries_total",
+                &self.env_provider_retries,
+            ),
+            ("grbac_env_backoff_ms_total", &self.env_backoff_ms),
+            ("grbac_env_stale_served_total", &self.env_stale_served),
+            ("grbac_env_unavailable_total", &self.env_unavailable),
+            ("grbac_env_breaker_opened_total", &self.env_breaker_opened),
+            (
+                "grbac_env_breaker_half_open_total",
+                &self.env_breaker_half_open,
+            ),
+            ("grbac_env_breaker_closed_total", &self.env_breaker_closed),
         ] {
             counters.insert(name.to_owned(), counter.get());
         }
@@ -461,6 +523,7 @@ impl MetricsRegistry {
             ("grbac_index_roles", &self.index_roles),
             ("grbac_index_rule_buckets", &self.index_rule_buckets),
             ("grbac_index_max_bucket", &self.index_max_bucket),
+            ("grbac_env_breaker_state", &self.env_breaker_state),
         ] {
             gauges.insert(name.to_owned(), gauge.get());
         }

@@ -179,6 +179,125 @@ fn exporters_render_the_same_live_snapshot() {
 }
 
 #[test]
+fn degraded_decisions_carry_their_reason_into_the_audit_log() {
+    let mut home = household();
+    home.g.set_degraded_mode(DegradedMode::fail_closed());
+    let evening = EnvironmentSnapshot::from_active([home.weekdays, home.free_time]);
+
+    let fresh = AccessRequest::by_subject(home.alice, home.use_t, home.tv, evening.clone()).at(0);
+    let stale = AccessRequest::by_subject(home.alice, home.use_t, home.tv, evening.clone())
+        .at(1)
+        .with_env_health(EnvHealth::Stale { age: 600 });
+    let dark = AccessRequest::by_subject(home.alice, home.use_t, home.tv, evening)
+        .at(2)
+        .with_env_health(EnvHealth::Unavailable);
+
+    let fresh_decision = home.g.check(&fresh).unwrap();
+    assert!(fresh_decision.is_permitted());
+    assert!(!fresh_decision.is_degraded());
+
+    let stale_decision = home.g.check(&stale).unwrap();
+    assert!(
+        !stale_decision.is_permitted(),
+        "fail-closed drops over-budget roles, so the rule cannot match"
+    );
+    assert_eq!(
+        stale_decision.degraded(),
+        Some(&DegradedReason::StaleRolesDropped {
+            age: 600,
+            dropped: 2
+        })
+    );
+
+    let dark_decision = home.g.check(&dark).unwrap();
+    assert!(!dark_decision.is_permitted());
+    assert_eq!(
+        dark_decision.degraded(),
+        Some(&DegradedReason::EnvUnavailable)
+    );
+
+    // The audit log retains each decision's reason, verbatim.
+    let records: Vec<_> = home.g.audit().iter().cloned().collect();
+    assert_eq!(records.len(), 3);
+    assert_eq!(records[0].degraded, None);
+    assert_eq!(records[1].degraded, stale_decision.degraded().copied());
+    assert_eq!(records[2].degraded, dark_decision.degraded().copied());
+
+    if telemetry::ENABLED {
+        let snapshot = home.g.metrics_snapshot();
+        assert_eq!(snapshot.counter("grbac_decisions_degraded_total"), 2);
+        assert_eq!(snapshot.counter("grbac_env_roles_dropped_stale_total"), 2);
+    }
+}
+
+#[test]
+fn degraded_audits_are_identical_across_check_and_check_batch() {
+    let mut sequential_home = household();
+    let mut batched_home = household();
+    for home in [&mut sequential_home, &mut batched_home] {
+        // A 15-minute budget: 10-minute staleness is absorbed silently,
+        // 30-minute staleness degrades.
+        home.g
+            .set_degraded_mode(DegradedMode::fail_closed().with_default_budget(900));
+    }
+    let evening =
+        EnvironmentSnapshot::from_active([sequential_home.weekdays, sequential_home.free_time]);
+    let batch: Vec<AccessRequest> = [
+        EnvHealth::Fresh,
+        EnvHealth::Stale { age: 600 },
+        EnvHealth::Stale { age: 1_800 },
+        EnvHealth::Unavailable,
+    ]
+    .into_iter()
+    .enumerate()
+    .map(|(i, health)| {
+        AccessRequest::by_subject(
+            sequential_home.alice,
+            sequential_home.use_t,
+            sequential_home.tv,
+            evening.clone(),
+        )
+        .at(i as u64)
+        .with_env_health(health)
+    })
+    .collect();
+
+    let sequential_decisions: Vec<Decision> = batch
+        .iter()
+        .map(|request| sequential_home.g.check(request).unwrap())
+        .collect();
+    let batched_decisions: Vec<Decision> = batched_home
+        .g
+        .check_batch(&batch)
+        .into_iter()
+        .map(Result::unwrap)
+        .collect();
+    assert_eq!(batched_decisions, sequential_decisions);
+
+    // Within-budget staleness is not a degradation; past-budget is.
+    assert!(sequential_decisions[0].is_permitted());
+    assert!(sequential_decisions[1].is_permitted());
+    assert!(!sequential_decisions[1].is_degraded());
+    assert!(sequential_decisions[2].is_degraded());
+    assert!(sequential_decisions[3].is_degraded());
+
+    // Audit parity extends to the degraded field.
+    let sequential_records: Vec<_> = sequential_home.g.audit().iter().cloned().collect();
+    let batched_records: Vec<_> = batched_home.g.audit().iter().cloned().collect();
+    assert_eq!(batched_records, sequential_records);
+    for (record, decision) in sequential_records.iter().zip(&sequential_decisions) {
+        assert_eq!(record.degraded, decision.degraded().copied());
+    }
+
+    if telemetry::ENABLED {
+        for home in [&sequential_home, &batched_home] {
+            let snapshot = home.g.metrics_snapshot();
+            assert_eq!(snapshot.counter("grbac_decisions_degraded_total"), 2);
+        }
+    }
+}
+
+#[test]
 fn traces_expose_the_pipeline() {
     let home = household();
     let evening = EnvironmentSnapshot::from_active([home.weekdays, home.free_time]);

@@ -1,0 +1,423 @@
+//! Deterministic fault injection for environment providers.
+//!
+//! The paper's environment roles are only as reliable as the sensors and
+//! services backing them, yet the mediation engine must answer *every*
+//! request. This module makes the unreliable part explicit and testable:
+//! an [`EnvironmentSource`] is anything that can be polled for an
+//! environment snapshot *and can fail*, and a [`FaultInjector`] wraps a
+//! source with a seeded, reproducible fault schedule — timeouts, errors,
+//! silently stale reads and role flaps — so the resilience layer (see
+//! [`crate::resilient`]) and the chaos experiments can be driven
+//! deterministically.
+//!
+//! Everything here is virtual-time: no thread sleeps, no wall clock. A
+//! "timeout" is a fault value, not elapsed time, which keeps the whole
+//! simulation reproducible from a seed.
+
+use std::collections::VecDeque;
+
+use grbac_core::environment::EnvironmentSnapshot;
+use grbac_core::id::RoleId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::provider::{EnvironmentContext, EnvironmentRoleProvider};
+
+/// Why a poll failed.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProviderFault {
+    /// The source did not answer within its deadline.
+    Timeout,
+    /// The source answered with an error.
+    Error(String),
+}
+
+impl std::fmt::Display for ProviderFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProviderFault::Timeout => write!(f, "provider timed out"),
+            ProviderFault::Error(msg) => write!(f, "provider error: {msg}"),
+        }
+    }
+}
+
+/// Anything that can be polled for an environment snapshot and can fail.
+///
+/// [`EnvironmentRoleProvider`] itself is an infallible source (condition
+/// evaluation cannot fail); the fallibility enters with wrappers like
+/// [`FaultInjector`], and is absorbed again by
+/// [`ResilientProvider`](crate::resilient::ResilientProvider).
+pub trait EnvironmentSource {
+    /// Produces the current active environment-role set, or a fault.
+    ///
+    /// # Errors
+    ///
+    /// A [`ProviderFault`] when the underlying source fails; the caller
+    /// decides whether to retry, serve stale data, or degrade.
+    fn poll(&mut self, ctx: &EnvironmentContext<'_>) -> Result<EnvironmentSnapshot, ProviderFault>;
+}
+
+impl EnvironmentSource for EnvironmentRoleProvider {
+    fn poll(&mut self, ctx: &EnvironmentContext<'_>) -> Result<EnvironmentSnapshot, ProviderFault> {
+        Ok(self.snapshot(ctx))
+    }
+}
+
+/// One scheduled fault (or its absence) for a single poll.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// The poll goes through untouched.
+    #[default]
+    Healthy,
+    /// The poll times out.
+    Timeout,
+    /// The poll fails with an error.
+    Error,
+    /// The poll silently returns the *previous* snapshot (a stale read
+    /// the caller cannot detect — this is what degrades correctness, not
+    /// availability).
+    Stale,
+    /// The poll succeeds but one role's activation is flipped (a
+    /// glitching sensor).
+    Flap,
+}
+
+/// Per-poll fault probabilities for [`FaultPlan::random`]. Rates are
+/// checked in declaration order (timeout, then error, then stale, then
+/// flap) against a single uniform draw, so their sum should stay ≤ 1.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultRates {
+    /// Probability a poll times out.
+    pub timeout: f64,
+    /// Probability a poll errors.
+    pub error: f64,
+    /// Probability a poll returns a silently stale snapshot.
+    pub stale: f64,
+    /// Probability one role flips in an otherwise-healthy poll.
+    pub flap: f64,
+}
+
+impl FaultRates {
+    /// A schedule where every kind of fault occurs with probability
+    /// `rate` (so total fault probability is `4 * rate`).
+    #[must_use]
+    pub fn uniform(rate: f64) -> Self {
+        Self {
+            timeout: rate,
+            error: rate,
+            stale: rate,
+            flap: rate,
+        }
+    }
+
+    /// Only hard failures (timeouts and errors), split evenly over
+    /// `rate` — the schedule used by experiment E11's availability
+    /// sweep.
+    #[must_use]
+    pub fn errors_only(rate: f64) -> Self {
+        Self {
+            timeout: rate / 2.0,
+            error: rate / 2.0,
+            stale: 0.0,
+            flap: 0.0,
+        }
+    }
+}
+
+/// How a [`FaultInjector`] decides what to inject on each poll.
+#[derive(Debug, Clone)]
+enum Schedule {
+    /// Seeded random draws against [`FaultRates`].
+    Random { rates: FaultRates, rng: StdRng },
+    /// A fixed script consumed front to back; polls past the end are
+    /// healthy. Exact control for unit and property tests.
+    Script(VecDeque<FaultKind>),
+}
+
+/// A deterministic fault plan: either seeded random rates or an explicit
+/// script.
+#[derive(Debug, Clone)]
+pub struct FaultPlan(Schedule);
+
+impl FaultPlan {
+    /// Faults drawn randomly per poll at the given rates, reproducible
+    /// from `seed`.
+    #[must_use]
+    pub fn random(rates: FaultRates, seed: u64) -> Self {
+        Self(Schedule::Random {
+            rates,
+            rng: StdRng::seed_from_u64(seed),
+        })
+    }
+
+    /// An explicit per-poll schedule; polls beyond the script's end are
+    /// healthy.
+    #[must_use]
+    pub fn script(faults: impl IntoIterator<Item = FaultKind>) -> Self {
+        Self(Schedule::Script(faults.into_iter().collect()))
+    }
+
+    /// A plan that never injects anything.
+    #[must_use]
+    pub fn healthy() -> Self {
+        Self::script([])
+    }
+
+    fn next(&mut self) -> FaultKind {
+        match &mut self.0 {
+            Schedule::Random { rates, rng } => {
+                let draw: f64 = rng.gen();
+                if draw < rates.timeout {
+                    FaultKind::Timeout
+                } else if draw < rates.timeout + rates.error {
+                    FaultKind::Error
+                } else if draw < rates.timeout + rates.error + rates.stale {
+                    FaultKind::Stale
+                } else if draw < rates.timeout + rates.error + rates.stale + rates.flap {
+                    FaultKind::Flap
+                } else {
+                    FaultKind::Healthy
+                }
+            }
+            Schedule::Script(script) => script.pop_front().unwrap_or_default(),
+        }
+    }
+}
+
+/// Wraps an [`EnvironmentSource`] with a deterministic fault schedule.
+///
+/// Holds the last snapshot the inner source produced so `Stale` faults
+/// can replay it, and a flap RNG (independent of the schedule RNG so a
+/// scripted plan still flaps deterministically).
+///
+/// # Examples
+///
+/// ```
+/// use grbac_core::id::RoleId;
+/// use grbac_env::fault::{
+///     EnvironmentSource, FaultInjector, FaultKind, FaultPlan, ProviderFault,
+/// };
+/// use grbac_env::provider::{EnvCondition, EnvironmentContext, EnvironmentRoleProvider};
+/// use grbac_env::time::Timestamp;
+///
+/// let mut provider = EnvironmentRoleProvider::new();
+/// provider.define(RoleId::from_raw(0), EnvCondition::Always).unwrap();
+/// let mut faulty = FaultInjector::new(
+///     provider,
+///     FaultPlan::script([FaultKind::Healthy, FaultKind::Timeout]),
+/// );
+/// let ctx = EnvironmentContext::at(Timestamp::EPOCH);
+/// assert!(faulty.poll(&ctx).is_ok());
+/// assert_eq!(faulty.poll(&ctx), Err(ProviderFault::Timeout));
+/// assert!(faulty.poll(&ctx).is_ok(), "past the script's end: healthy");
+/// ```
+#[derive(Debug, Clone)]
+pub struct FaultInjector<S> {
+    inner: S,
+    plan: FaultPlan,
+    flap_rng: StdRng,
+    last: Option<EnvironmentSnapshot>,
+    /// Every role ever seen active, so flaps can re-activate a role the
+    /// current snapshot dropped (not just deactivate one).
+    seen: Vec<RoleId>,
+    injected: u64,
+}
+
+impl<S: EnvironmentSource> FaultInjector<S> {
+    /// Wraps `inner` with `plan`. The flap RNG is derived from the plan
+    /// kind, so two injectors with the same plan inject identically.
+    #[must_use]
+    pub fn new(inner: S, plan: FaultPlan) -> Self {
+        Self {
+            inner,
+            plan,
+            flap_rng: StdRng::seed_from_u64(0x666c_6170), // "flap"
+            last: None,
+            seen: Vec::new(),
+            injected: 0,
+        }
+    }
+
+    /// The wrapped source.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// The wrapped source, mutably.
+    pub fn inner_mut(&mut self) -> &mut S {
+        &mut self.inner
+    }
+
+    /// Total faults injected so far (all kinds, including flaps).
+    #[must_use]
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+
+    fn remember(&mut self, snapshot: &EnvironmentSnapshot) {
+        for &role in snapshot.active() {
+            if !self.seen.contains(&role) {
+                self.seen.push(role);
+            }
+        }
+        self.last = Some(snapshot.clone());
+    }
+}
+
+impl<S: EnvironmentSource> EnvironmentSource for FaultInjector<S> {
+    fn poll(&mut self, ctx: &EnvironmentContext<'_>) -> Result<EnvironmentSnapshot, ProviderFault> {
+        match self.plan.next() {
+            FaultKind::Healthy => {
+                let snapshot = self.inner.poll(ctx)?;
+                self.remember(&snapshot);
+                Ok(snapshot)
+            }
+            FaultKind::Timeout => {
+                self.injected += 1;
+                Err(ProviderFault::Timeout)
+            }
+            FaultKind::Error => {
+                self.injected += 1;
+                Err(ProviderFault::Error("injected fault".to_owned()))
+            }
+            FaultKind::Stale => {
+                self.injected += 1;
+                match self.last.clone() {
+                    // Replay the previous snapshot; the caller cannot
+                    // tell this read is old.
+                    Some(stale) => Ok(stale),
+                    // Nothing to replay yet: degrade to a healthy poll.
+                    None => {
+                        let snapshot = self.inner.poll(ctx)?;
+                        self.remember(&snapshot);
+                        Ok(snapshot)
+                    }
+                }
+            }
+            FaultKind::Flap => {
+                let snapshot = self.inner.poll(ctx)?;
+                self.remember(&snapshot);
+                let mut flapped = snapshot;
+                if !self.seen.is_empty() {
+                    self.injected += 1;
+                    let pick = self.flap_rng.gen_range(0..self.seen.len());
+                    let role = self.seen[pick];
+                    if flapped.is_active(role) {
+                        flapped.deactivate(role);
+                    } else {
+                        flapped.activate(role);
+                    }
+                }
+                Ok(flapped)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::provider::EnvCondition;
+    use crate::time::Timestamp;
+
+    fn always_provider(roles: &[u64]) -> EnvironmentRoleProvider {
+        let mut p = EnvironmentRoleProvider::new();
+        for &n in roles {
+            p.define(RoleId::from_raw(n), EnvCondition::Always).unwrap();
+        }
+        p
+    }
+
+    fn ctx() -> EnvironmentContext<'static> {
+        EnvironmentContext::at(Timestamp::EPOCH)
+    }
+
+    #[test]
+    fn scripted_faults_fire_in_order_then_heal() {
+        let mut faulty = FaultInjector::new(
+            always_provider(&[0]),
+            FaultPlan::script([FaultKind::Timeout, FaultKind::Error, FaultKind::Healthy]),
+        );
+        assert_eq!(faulty.poll(&ctx()), Err(ProviderFault::Timeout));
+        assert!(matches!(faulty.poll(&ctx()), Err(ProviderFault::Error(_))));
+        assert!(faulty.poll(&ctx()).is_ok());
+        assert!(faulty.poll(&ctx()).is_ok(), "script exhausted: healthy");
+        assert_eq!(faulty.injected(), 2);
+    }
+
+    #[test]
+    fn stale_replays_the_previous_snapshot() {
+        let mut provider = always_provider(&[0]);
+        provider
+            .define(
+                RoleId::from_raw(1),
+                EnvCondition::Time(crate::calendar::TimeExpr::Never),
+            )
+            .unwrap();
+        let mut faulty = FaultInjector::new(
+            provider,
+            FaultPlan::script([FaultKind::Healthy, FaultKind::Stale]),
+        );
+        let first = faulty.poll(&ctx()).unwrap();
+        // Redefine role 1 to be active now; a healthy poll would see it.
+        faulty
+            .inner_mut()
+            .redefine(RoleId::from_raw(1), EnvCondition::Always);
+        let stale = faulty.poll(&ctx()).unwrap();
+        assert_eq!(stale, first, "stale read replays the old snapshot");
+        let fresh = faulty.poll(&ctx()).unwrap();
+        assert!(fresh.is_active(RoleId::from_raw(1)));
+    }
+
+    #[test]
+    fn stale_with_no_history_degrades_to_healthy() {
+        let mut faulty =
+            FaultInjector::new(always_provider(&[3]), FaultPlan::script([FaultKind::Stale]));
+        let snap = faulty.poll(&ctx()).unwrap();
+        assert!(snap.is_active(RoleId::from_raw(3)));
+    }
+
+    #[test]
+    fn flap_flips_exactly_one_seen_role() {
+        let mut faulty = FaultInjector::new(
+            always_provider(&[0, 1, 2]),
+            FaultPlan::script([FaultKind::Healthy, FaultKind::Flap]),
+        );
+        let healthy = faulty.poll(&ctx()).unwrap();
+        let flapped = faulty.poll(&ctx()).unwrap();
+        let diff = healthy
+            .active()
+            .symmetric_difference(flapped.active())
+            .count();
+        assert_eq!(diff, 1, "exactly one role flipped");
+    }
+
+    #[test]
+    fn random_plan_is_reproducible_per_seed() {
+        let run = |seed: u64| {
+            let mut faulty = FaultInjector::new(
+                always_provider(&[0]),
+                FaultPlan::random(FaultRates::uniform(0.2), seed),
+            );
+            (0..50)
+                .map(|_| faulty.poll(&ctx()).is_ok())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7), "same seed, same fault sequence");
+        assert_ne!(run(7), run(8), "different seed, different sequence");
+    }
+
+    #[test]
+    fn error_rates_inject_roughly_proportionally() {
+        let mut faulty = FaultInjector::new(
+            always_provider(&[0]),
+            FaultPlan::random(FaultRates::errors_only(0.2), 42),
+        );
+        let failures = (0..1000).filter(|_| faulty.poll(&ctx()).is_err()).count();
+        assert!(
+            (100..300).contains(&failures),
+            "~20% of 1000 polls should fail, got {failures}"
+        );
+    }
+}

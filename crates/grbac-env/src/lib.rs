@@ -56,10 +56,12 @@ pub mod calendar;
 pub mod clock;
 pub mod error;
 pub mod events;
+pub mod fault;
 pub mod load;
 pub mod location;
 pub mod periodic;
 pub mod provider;
+pub mod resilient;
 pub mod time;
 
 pub use cache::SnapshotCache;
@@ -67,8 +69,14 @@ pub use calendar::TimeExpr;
 pub use clock::VirtualClock;
 pub use error::EnvError;
 pub use events::{Event, EventBus, StateStore, Value};
+pub use fault::{
+    EnvironmentSource, FaultInjector, FaultKind, FaultPlan, FaultRates, ProviderFault,
+};
 pub use load::LoadMonitor;
 pub use location::{OccupancyTracker, Topology, ZoneId};
 pub use periodic::PeriodicExpr;
 pub use provider::{EnvCondition, EnvironmentContext, EnvironmentRoleProvider};
+pub use resilient::{
+    BreakerState, PollOutcome, ResilienceConfig, ResilienceStats, ResilientProvider,
+};
 pub use time::{Date, Duration, TimeOfDay, Timestamp, Weekday};

@@ -1,0 +1,273 @@
+//! Property suite for the resilience stack: under *any* fault schedule,
+//! [`ResilientProvider`] only ever serves a snapshot that is (a) exactly
+//! what the bare provider would report right now, (b) the last fresh
+//! snapshot it cached, or (c) empty — and its breaker counters agree
+//! with the state transitions an outside observer can see.
+//!
+//! The model here deliberately re-derives the breaker discipline from
+//! the *observable* surface (breaker state before/after each poll, the
+//! stats deltas, the outcome variant) rather than peeking at internals,
+//! so a refactor of `ResilientProvider` that changes observable
+//! behaviour fails these properties even if its own unit tests move
+//! with it.
+
+use std::sync::Arc;
+
+use grbac_core::degraded::EnvHealth;
+use grbac_core::environment::EnvironmentSnapshot;
+use grbac_core::id::RoleId;
+use grbac_core::telemetry::{self, MetricsRegistry};
+use grbac_env::calendar::TimeExpr;
+use grbac_env::fault::{FaultInjector, FaultKind, FaultPlan};
+use grbac_env::provider::{EnvCondition, EnvironmentContext, EnvironmentRoleProvider};
+use grbac_env::resilient::{BreakerState, PollOutcome, ResilienceConfig, ResilientProvider};
+use grbac_env::time::{Duration, TimeOfDay, Timestamp};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Two roles: one always active, one tied to daytime so the ground-truth
+/// snapshot actually changes as virtual time advances — otherwise a
+/// stale serve would be indistinguishable from a fresh one.
+fn provider() -> EnvironmentRoleProvider {
+    let mut p = EnvironmentRoleProvider::new();
+    p.define(RoleId::from_raw(0), EnvCondition::Always).unwrap();
+    p.define(
+        RoleId::from_raw(1),
+        EnvCondition::Time(TimeExpr::TimeOfDayRange {
+            start: TimeOfDay::hm(8, 0).unwrap(),
+            end: TimeOfDay::hm(20, 0).unwrap(),
+        }),
+    )
+    .unwrap();
+    p
+}
+
+/// Hard faults only: `Stale`/`Flap` return `Ok` from the injector and so
+/// are invisible to the resilience layer (covered separately below).
+fn hard_faults() -> impl Strategy<Value = FaultKind> {
+    prop_oneof![
+        2 => Just(FaultKind::Healthy),
+        1 => Just(FaultKind::Timeout),
+        1 => Just(FaultKind::Error),
+    ]
+}
+
+fn configs() -> impl Strategy<Value = ResilienceConfig> {
+    (0u32..3, 1u32..4, 1u64..1_800, 30u64..7_200, 0u64..1_000).prop_map(
+        |(max_retries, failure_threshold, open_cooldown_s, staleness_cap_s, jitter_seed)| {
+            ResilienceConfig {
+                max_retries,
+                failure_threshold,
+                open_cooldown_s,
+                staleness_cap_s,
+                jitter_seed,
+                ..ResilienceConfig::default()
+            }
+        },
+    )
+}
+
+/// Seconds between polls; up to ~25 h so schedules cross both the
+/// breaker cooldown and the staleness cap.
+fn steps() -> impl Strategy<Value = Vec<u64>> {
+    vec(1u64..90_000, 1..40)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The central safety property plus the breaker/metrics state
+    /// machine, checked poll by poll against an observational model.
+    #[test]
+    fn any_schedule_serves_only_fresh_lkg_or_nothing(
+        script in vec(hard_faults(), 0..60),
+        config in configs(),
+        deltas in steps(),
+    ) {
+        let mut r = ResilientProvider::new(
+            FaultInjector::new(provider(), FaultPlan::script(script)),
+            config,
+        );
+        let metrics = Arc::new(MetricsRegistry::default());
+        r.attach_metrics(Arc::clone(&metrics));
+        let bare = provider();
+
+        let mut now = Timestamp::EPOCH;
+        let mut last_good: Option<(EnvironmentSnapshot, Timestamp)> = None;
+        let mut consec: u32 = 0;
+
+        for delta in deltas {
+            now = now + Duration::seconds(delta as i64);
+            let ctx = EnvironmentContext::at(now);
+            let before = r.breaker();
+            let before_stats = r.stats();
+            let outcome = r.poll(&ctx);
+            let after = r.breaker();
+            let stats = r.stats();
+            let truth = bare.snapshot(&ctx);
+
+            // --- snapshot provenance and health labelling ---
+            let fresh = matches!(outcome, PollOutcome::Fresh(_));
+            match &outcome {
+                PollOutcome::Fresh(snapshot) => {
+                    prop_assert_eq!(snapshot, &truth, "fresh must match the bare provider");
+                    prop_assert_eq!(outcome.health(), EnvHealth::Fresh);
+                    last_good = Some((snapshot.clone(), now));
+                }
+                PollOutcome::Stale { snapshot, age } => {
+                    prop_assert!(last_good.is_some(), "stale with nothing cached");
+                    let (cached, taken_at) = last_good.clone().unwrap();
+                    prop_assert_eq!(snapshot, &cached, "stale must be the last fresh snapshot");
+                    prop_assert_eq!(*age, now.since(taken_at).as_seconds() as u64);
+                    prop_assert!(*age <= config.staleness_cap_s, "served past the cap");
+                    prop_assert_eq!(outcome.health(), EnvHealth::Stale { age: *age });
+                }
+                PollOutcome::Unavailable => {
+                    prop_assert!(outcome.snapshot().active().is_empty());
+                    if let Some((_, taken_at)) = &last_good {
+                        prop_assert!(
+                            now.since(*taken_at).as_seconds() as u64 > config.staleness_cap_s,
+                            "unavailable while a cache entry was still within the cap"
+                        );
+                    }
+                    prop_assert_eq!(outcome.health(), EnvHealth::Unavailable);
+                }
+            }
+
+            // --- breaker transitions vs. the transition counters ---
+            let d_opened = stats.breaker_opened - before_stats.breaker_opened;
+            let d_half = stats.breaker_half_open - before_stats.breaker_half_open;
+            let d_closed = stats.breaker_closed - before_stats.breaker_closed;
+            // Half-open always resolves within the poll that entered it.
+            prop_assert_ne!(after, BreakerState::HalfOpen);
+            match (before, after) {
+                (BreakerState::Closed, BreakerState::Closed) => {
+                    prop_assert_eq!((d_opened, d_half, d_closed), (0, 0, 0));
+                }
+                (BreakerState::Closed, BreakerState::Open { since }) => {
+                    prop_assert_eq!(since, now, "trip is stamped with the failing poll's time");
+                    prop_assert_eq!((d_opened, d_half, d_closed), (1, 0, 0));
+                }
+                (BreakerState::Open { since: a }, BreakerState::Open { since: b }) if a == b => {
+                    // Cooldown still running: the source was not touched.
+                    prop_assert_eq!((d_opened, d_half, d_closed), (0, 0, 0));
+                }
+                (BreakerState::Open { .. }, BreakerState::Open { since }) => {
+                    // Failed half-open probe re-trips with a fresh cooldown.
+                    prop_assert_eq!(since, now);
+                    prop_assert_eq!((d_opened, d_half, d_closed), (1, 1, 0));
+                }
+                (BreakerState::Open { .. }, BreakerState::Closed) => {
+                    prop_assert_eq!((d_opened, d_half, d_closed), (0, 1, 1));
+                }
+                (BreakerState::HalfOpen, _) | (_, BreakerState::HalfOpen) => {
+                    prop_assert!(false, "poll started or ended half-open");
+                }
+            }
+
+            // --- the breaker trips exactly at the failure threshold ---
+            let attempted = match before {
+                BreakerState::Open { since } => {
+                    now.since(since).as_seconds().max(0) as u64 >= config.open_cooldown_s
+                }
+                _ => true,
+            };
+            if attempted {
+                if fresh {
+                    consec = 0;
+                } else {
+                    consec += 1;
+                }
+            } else {
+                prop_assert!(!fresh, "an untouched source cannot produce a fresh snapshot");
+            }
+            if matches!(before, BreakerState::Closed) {
+                if matches!(after, BreakerState::Open { .. }) {
+                    prop_assert_eq!(consec, config.failure_threshold);
+                } else if !fresh {
+                    prop_assert!(consec < config.failure_threshold);
+                }
+            }
+
+            // --- per-poll fault, retry and serve accounting ---
+            let d_faults = (stats.timeouts + stats.errors)
+                - (before_stats.timeouts + before_stats.errors);
+            let d_retries = stats.retries - before_stats.retries;
+            if attempted {
+                let budget = if matches!(before, BreakerState::Open { .. }) {
+                    1 // half-open probes get a single attempt
+                } else {
+                    u64::from(config.max_retries) + 1
+                };
+                prop_assert!(d_faults <= budget);
+                // Every failed attempt except a poll's last one backs off.
+                let expected_retries = if fresh { d_faults } else { d_faults - 1 };
+                prop_assert_eq!(d_retries, expected_retries);
+            } else {
+                prop_assert_eq!((d_faults, d_retries), (0, 0));
+            }
+            let d_stale = stats.stale_served - before_stats.stale_served;
+            let d_unavail = stats.unavailable - before_stats.unavailable;
+            let expected = match outcome {
+                PollOutcome::Fresh(_) => (0, 0),
+                PollOutcome::Stale { .. } => (1, 0),
+                PollOutcome::Unavailable => (0, 1),
+            };
+            prop_assert_eq!((d_stale, d_unavail), expected);
+        }
+
+        // --- whole-run invariants ---
+        let s = r.stats();
+        prop_assert!(s.breaker_closed <= s.breaker_half_open, "close only after a probe");
+        prop_assert!(s.breaker_half_open <= s.breaker_opened, "probe only after a trip");
+
+        // The exported metrics are the local stats, verbatim.
+        if telemetry::ENABLED {
+            prop_assert_eq!(metrics.env_provider_timeouts.get(), s.timeouts);
+            prop_assert_eq!(metrics.env_provider_errors.get(), s.errors);
+            prop_assert_eq!(metrics.env_provider_retries.get(), s.retries);
+            prop_assert_eq!(metrics.env_backoff_ms.get(), s.backoff_ms);
+            prop_assert_eq!(metrics.env_stale_served.get(), s.stale_served);
+            prop_assert_eq!(metrics.env_unavailable.get(), s.unavailable);
+            prop_assert_eq!(metrics.env_breaker_opened.get(), s.breaker_opened);
+            prop_assert_eq!(metrics.env_breaker_half_open.get(), s.breaker_half_open);
+            prop_assert_eq!(metrics.env_breaker_closed.get(), s.breaker_closed);
+            prop_assert_eq!(metrics.env_breaker_state.get(), r.breaker().gauge_value());
+        }
+    }
+
+    /// Silently-wrong reads (`Stale` replays, `Flap` flips) come back as
+    /// `Ok` from the injector, so the resilience layer must treat them
+    /// as fresh: no retries, no breaker movement, no fault counters.
+    /// Catching those is the *engine's* job (degraded-mode budgets),
+    /// not this layer's — the test pins that boundary.
+    #[test]
+    fn silent_corruption_is_invisible_to_the_resilience_layer(
+        script in vec(
+            prop_oneof![
+                Just(FaultKind::Healthy),
+                Just(FaultKind::Stale),
+                Just(FaultKind::Flap),
+            ],
+            1..40,
+        ),
+        config in configs(),
+        deltas in steps(),
+    ) {
+        let mut r = ResilientProvider::new(
+            FaultInjector::new(provider(), FaultPlan::script(script)),
+            config,
+        );
+        let mut now = Timestamp::EPOCH;
+        for delta in deltas {
+            now = now + Duration::seconds(delta as i64);
+            let outcome = r.poll(&EnvironmentContext::at(now));
+            prop_assert!(matches!(outcome, PollOutcome::Fresh(_)));
+            prop_assert_eq!(outcome.health(), EnvHealth::Fresh);
+        }
+        let s = r.stats();
+        prop_assert_eq!(s.timeouts + s.errors + s.retries, 0);
+        prop_assert_eq!(s.breaker_opened + s.breaker_half_open + s.breaker_closed, 0);
+        prop_assert_eq!(r.breaker(), BreakerState::Closed);
+    }
+}

@@ -1,0 +1,202 @@
+//! Chaos replay: the same workload against a fault-injected home and a
+//! healthy oracle, in lockstep.
+//!
+//! The availability claim of the resilience stack is concrete: with a
+//! fault layer installed the engine answers **every** request — faults
+//! degrade decisions, they never prevent them. The correctness cost is
+//! equally concrete: each degraded decision is compared against what a
+//! fault-free oracle home decides for the identical request, and the
+//! disagreements are split into false denials (fail-safe) and false
+//! grants (the direction degraded postures are designed to avoid).
+//!
+//! Used by experiment E11 (`grbac-bench`), which sweeps provider error
+//! rates and degraded postures over the paper household's workload.
+
+use grbac_core::degraded::DegradedMode;
+use grbac_env::fault::FaultPlan;
+use grbac_env::resilient::{ResilienceConfig, ResilienceStats};
+
+use crate::error::Result;
+use crate::home::AwareHome;
+use crate::workload::WorkloadEvent;
+
+/// What one chaos replay observed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChaosReport {
+    /// Requests issued.
+    pub requests: u64,
+    /// Requests the faulty home answered (always equals `requests`:
+    /// the resilient chain never fails a poll, it degrades it).
+    pub answered: u64,
+    /// Decisions carrying a degraded annotation.
+    pub degraded: u64,
+    /// Decisions whose effect matched the oracle's.
+    pub agreements: u64,
+    /// Oracle permitted, faulty home denied (the fail-safe direction).
+    pub false_denials: u64,
+    /// Oracle denied, faulty home permitted (the dangerous direction —
+    /// fail-closed postures keep this at zero).
+    pub false_grants: u64,
+    /// The fault layer's resilience counters after the replay.
+    pub stats: ResilienceStats,
+}
+
+impl ChaosReport {
+    /// Fraction of requests answered (1.0 when the stack holds its
+    /// availability claim).
+    #[must_use]
+    pub fn availability(&self) -> f64 {
+        if self.requests == 0 {
+            1.0
+        } else {
+            self.answered as f64 / self.requests as f64
+        }
+    }
+
+    /// Fraction of answered requests matching the oracle.
+    #[must_use]
+    pub fn agreement(&self) -> f64 {
+        if self.answered == 0 {
+            1.0
+        } else {
+            self.agreements as f64 / self.answered as f64
+        }
+    }
+
+    /// Fraction of answered requests annotated as degraded.
+    #[must_use]
+    pub fn degraded_rate(&self) -> f64 {
+        if self.answered == 0 {
+            0.0
+        } else {
+            self.degraded as f64 / self.answered as f64
+        }
+    }
+}
+
+/// Replays `events` against `faulty` (which gets the fault layer and
+/// degraded-mode posture installed) and `oracle` (left untouched),
+/// advancing both clocks in lockstep and comparing every decision.
+///
+/// The two homes must be built identically (same builder calls in the
+/// same order) so ids line up; build both from the same scenario
+/// function, e.g. [`crate::scenario::paper_household`].
+///
+/// # Errors
+///
+/// Propagates mediation errors from either home (unknown ids — cannot
+/// happen for a workload generated against the same home).
+pub fn run_chaos(
+    faulty: &mut AwareHome,
+    oracle: &mut AwareHome,
+    events: &[WorkloadEvent],
+    plan: FaultPlan,
+    resilience: ResilienceConfig,
+    posture: DegradedMode,
+) -> Result<ChaosReport> {
+    faulty.install_fault_layer(plan, resilience);
+    faulty.engine_mut().set_degraded_mode(posture);
+
+    let mut report = ChaosReport::default();
+    for event in events {
+        faulty.advance_to(event.at());
+        oracle.advance_to(event.at());
+        match event {
+            WorkloadEvent::Move { subject, zone, .. } => {
+                faulty.place(*subject, *zone);
+                oracle.place(*subject, *zone);
+            }
+            WorkloadEvent::Request {
+                subject,
+                transaction,
+                object,
+                ..
+            } => {
+                report.requests += 1;
+                let observed = faulty.request(*subject, *transaction, *object)?;
+                let expected = oracle.request(*subject, *transaction, *object)?;
+                report.answered += 1;
+                if observed.is_degraded() {
+                    report.degraded += 1;
+                }
+                match (observed.is_permitted(), expected.is_permitted()) {
+                    (a, b) if a == b => report.agreements += 1,
+                    (false, true) => report.false_denials += 1,
+                    (true, false) => report.false_grants += 1,
+                    _ => unreachable!(),
+                }
+            }
+        }
+    }
+    report.stats = faulty
+        .fault_layer()
+        .map(|layer| layer.stats())
+        .unwrap_or_default();
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::paper_household;
+    use crate::workload::{generate, WorkloadConfig};
+    use grbac_env::fault::FaultRates;
+
+    fn config() -> WorkloadConfig {
+        WorkloadConfig {
+            days: 2,
+            requests_per_person_per_day: 4,
+            move_probability: 0.3,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn healthy_plan_agrees_with_oracle_everywhere() {
+        let mut faulty = paper_household().unwrap();
+        let mut oracle = paper_household().unwrap();
+        let events = generate(&faulty, &config());
+        let report = run_chaos(
+            &mut faulty,
+            &mut oracle,
+            &events,
+            FaultPlan::healthy(),
+            ResilienceConfig::default(),
+            DegradedMode::fail_closed(),
+        )
+        .unwrap();
+        assert!(report.requests > 0);
+        assert_eq!(report.availability(), 1.0);
+        assert_eq!(report.agreement(), 1.0);
+        assert_eq!(report.degraded, 0);
+        assert_eq!(report.false_grants + report.false_denials, 0);
+    }
+
+    #[test]
+    fn faulty_provider_degrades_but_answers_everything() {
+        let mut faulty = paper_household().unwrap();
+        let mut oracle = paper_household().unwrap();
+        let events = generate(&faulty, &config());
+        let report = run_chaos(
+            &mut faulty,
+            &mut oracle,
+            &events,
+            FaultPlan::random(FaultRates::errors_only(0.5), 23),
+            ResilienceConfig {
+                max_retries: 0,
+                failure_threshold: 2,
+                ..ResilienceConfig::default()
+            },
+            DegradedMode::fail_closed(),
+        )
+        .unwrap();
+        assert_eq!(report.availability(), 1.0, "every request answered");
+        assert!(report.degraded > 0, "faults surface as degraded decisions");
+        assert_eq!(
+            report.false_grants, 0,
+            "fail-closed never grants what the oracle denies"
+        );
+        let stats = report.stats;
+        assert!(stats.timeouts + stats.errors > 0);
+    }
+}

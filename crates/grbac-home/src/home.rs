@@ -16,6 +16,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use grbac_core::confidence::AuthContext;
+use grbac_core::degraded::EnvHealth;
 use grbac_core::engine::{AccessRequest, Actor, Grbac};
 use grbac_core::environment::EnvironmentSnapshot;
 use grbac_core::explain::Decision;
@@ -23,9 +24,11 @@ use grbac_core::id::{ObjectId, RoleId, SubjectId, TransactionId};
 use grbac_env::calendar::TimeExpr;
 use grbac_env::clock::VirtualClock;
 use grbac_env::events::EventBus;
+use grbac_env::fault::{FaultInjector, FaultPlan};
 use grbac_env::load::LoadMonitor;
 use grbac_env::location::{OccupancyTracker, Topology, ZoneId};
 use grbac_env::provider::{EnvCondition, EnvironmentContext, EnvironmentRoleProvider};
+use grbac_env::resilient::{ResilienceConfig, ResilientProvider};
 use grbac_env::time::{Duration, TimeOfDay, Timestamp};
 
 use crate::device::{Device, DeviceKind};
@@ -134,6 +137,11 @@ pub struct AwareHome {
     engine: Grbac,
     vocab: HomeVocabulary,
     provider: EnvironmentRoleProvider,
+    /// When installed (see [`install_fault_layer`]
+    /// (Self::install_fault_layer)), requests poll the environment
+    /// through this fault-injecting resilient chain instead of the bare
+    /// provider, and carry the resulting [`EnvHealth`].
+    resilience: Option<ResilientProvider<FaultInjector<EnvironmentRoleProvider>>>,
     topology: Topology,
     occupancy: OccupancyTracker,
     load: LoadMonitor,
@@ -309,6 +317,63 @@ impl AwareHome {
         self.provider.snapshot(&ctx)
     }
 
+    /// Routes environment polling through a fault-injecting resilient
+    /// chain: a clone of the current provider wrapped in a
+    /// [`FaultInjector`] driven by `plan`, wrapped in a
+    /// [`ResilientProvider`] tuned by `config` and publishing into the
+    /// engine's metrics registry. Subsequent [`request`](Self::request)
+    /// and [`request_sensed`](Self::request_sensed) calls attach the
+    /// observed [`EnvHealth`] so the engine's
+    /// [`DegradedMode`](grbac_core::degraded::DegradedMode) policy
+    /// applies. Installing again replaces the previous chain;
+    /// environment roles defined *after* installation are not seen by
+    /// the chain until it is reinstalled.
+    pub fn install_fault_layer(&mut self, plan: FaultPlan, config: ResilienceConfig) {
+        let faulty = FaultInjector::new(self.provider.clone(), plan);
+        let mut resilient = ResilientProvider::new(faulty, config);
+        resilient.attach_metrics(Arc::clone(self.engine.metrics()));
+        self.resilience = Some(resilient);
+    }
+
+    /// Removes the fault layer; requests poll the bare provider again.
+    pub fn clear_fault_layer(&mut self) {
+        self.resilience = None;
+    }
+
+    /// The installed fault layer, if any (its
+    /// [`stats`](ResilientProvider::stats) expose retry/breaker
+    /// activity).
+    #[must_use]
+    pub fn fault_layer(
+        &self,
+    ) -> Option<&ResilientProvider<FaultInjector<EnvironmentRoleProvider>>> {
+        self.resilience.as_ref()
+    }
+
+    /// The environment snapshot and its health for a request by
+    /// `subject` right now: fresh from the bare provider when no fault
+    /// layer is installed, otherwise whatever the resilient chain could
+    /// produce (possibly stale or unavailable).
+    pub fn environment_with_health(
+        &mut self,
+        subject: Option<SubjectId>,
+    ) -> (EnvironmentSnapshot, EnvHealth) {
+        let mut ctx = EnvironmentContext::at(self.clock.now())
+            .with_location(&self.topology, &self.occupancy)
+            .with_load(&self.load)
+            .with_state(self.events.state());
+        if let Some(s) = subject {
+            ctx = ctx.with_subject(s);
+        }
+        match &mut self.resilience {
+            Some(resilient) => {
+                let outcome = resilient.poll(&ctx);
+                (outcome.snapshot(), outcome.health())
+            }
+            None => (self.provider.snapshot(&ctx), EnvHealth::Fresh),
+        }
+    }
+
     /// Mediates a request from a fully-trusted subject, recording it in
     /// the audit log with the current simulated time.
     ///
@@ -321,12 +386,13 @@ impl AwareHome {
         transaction: TransactionId,
         object: ObjectId,
     ) -> Result<Decision> {
-        let environment = self.environment_for(Some(subject));
+        let (environment, env_health) = self.environment_with_health(Some(subject));
         let request = AccessRequest {
             actor: Actor::Subject(subject),
             transaction,
             object,
             environment,
+            env_health,
             timestamp: Some(self.clock.now().as_seconds().max(0) as u64),
         };
         Ok(self.engine.check(&request)?)
@@ -347,12 +413,13 @@ impl AwareHome {
         object: ObjectId,
     ) -> Result<Decision> {
         let subject = context.identity().map(|(s, _)| s);
-        let environment = self.environment_for(subject);
+        let (environment, env_health) = self.environment_with_health(subject);
         let request = AccessRequest {
             actor: Actor::Sensed(context),
             transaction,
             object,
             environment,
+            env_health,
             timestamp: Some(self.clock.now().as_seconds().max(0) as u64),
         };
         Ok(self.engine.check(&request)?)
@@ -601,6 +668,7 @@ impl HomeBuilder {
             engine,
             vocab,
             provider,
+            resilience: None,
             topology,
             occupancy,
             load: LoadMonitor::new(),

@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub mod apps;
+pub mod chaos;
 pub mod device;
 pub mod error;
 pub mod home;
@@ -43,6 +44,7 @@ pub mod person;
 pub mod scenario;
 pub mod workload;
 
+pub use chaos::{run_chaos, ChaosReport};
 pub use device::{Device, DeviceKind};
 pub use error::HomeError;
 pub use home::{AwareHome, HomeBuilder, HomeVocabulary};

@@ -246,11 +246,13 @@ pub fn execute_batched(
                 object,
                 ..
             } => {
+                let (environment, env_health) = home.environment_with_health(Some(*subject));
                 requests.push(AccessRequest {
                     actor: Actor::Subject(*subject),
                     transaction: *transaction,
                     object: *object,
-                    environment: home.environment_for(Some(*subject)),
+                    environment,
+                    env_health,
                     timestamp: Some(event.at().as_seconds().max(0) as u64),
                 });
                 keys.push((*subject, *transaction));

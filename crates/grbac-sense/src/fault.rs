@@ -1,0 +1,238 @@
+//! Sensor fault models: mapping authenticator faults to confidence
+//! decay.
+//!
+//! The environment side of the stack degrades through staleness (see
+//! `grbac_env::resilient`); the *authentication* side degrades through
+//! evidence quality. [`FaultySensor`] wraps any [`Sensor`] with a fault
+//! mode and translates it into exactly the currency the mediation engine
+//! already understands — fewer or weaker [`Evidence`] claims, never
+//! stronger ones:
+//!
+//! - [`SensorFault::Offline`]: no evidence at all. Mediation falls back
+//!   to whatever other sensors report (or denies, fail-safe).
+//! - [`SensorFault::Degraded`]: every claim's confidence is scaled down
+//!   by a retain factor — a fogged camera still sees *something*, it is
+//!   just worth less.
+//! - [`SensorFault::Flaky`]: each observation is dropped with a seeded
+//!   probability; surviving observations are untouched.
+//!
+//! Because confidence can only shrink, a faulty sensor can cause false
+//! *denials* but never false *grants* — the same fail-safe direction as
+//! the provider layer's fail-closed posture.
+
+use grbac_core::confidence::Confidence;
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+use crate::evidence::Evidence;
+use crate::sensor::{Presence, Sensor};
+
+/// How a wrapped sensor is failing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SensorFault {
+    /// The sensor produces no evidence at all.
+    Offline,
+    /// The sensor works but every claim's confidence is multiplied by
+    /// `retain` (clamped into `[0, 1]`).
+    Degraded {
+        /// Fraction of each claim's confidence that survives.
+        retain: f64,
+    },
+    /// Each observation is dropped entirely with probability
+    /// `drop_rate`; the draws come from the wrapper's own seeded RNG so
+    /// the schedule is reproducible and independent of the sensor's
+    /// noise stream.
+    Flaky {
+        /// Probability an observation yields nothing.
+        drop_rate: f64,
+    },
+}
+
+/// A [`Sensor`] wrapper that degrades its inner sensor's evidence
+/// according to a [`SensorFault`].
+///
+/// # Examples
+///
+/// ```
+/// use grbac_core::id::SubjectId;
+/// use grbac_sense::fault::{FaultySensor, SensorFault};
+/// use grbac_sense::floor::SmartFloor;
+/// use grbac_sense::sensor::{Presence, Sensor};
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let mut floor = SmartFloor::new(2.0).unwrap();
+/// floor.enroll(SubjectId::from_raw(0), 60.0).unwrap();
+/// let foggy = FaultySensor::new(floor, SensorFault::Degraded { retain: 0.5 }, 1);
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let evidence = foggy.observe(&Presence::walking(SubjectId::from_raw(0), 60.0), &mut rng);
+/// // Claims survive, but at half their usual confidence.
+/// assert!(evidence.iter().all(|e| e.confidence.value() <= 0.5));
+/// ```
+#[derive(Debug, Clone)]
+pub struct FaultySensor<S> {
+    inner: S,
+    fault: SensorFault,
+    /// Flaky-mode drop schedule, kept separate from the caller's noise
+    /// RNG so the drop pattern is reproducible from `seed` alone.
+    /// `RefCell` because [`Sensor::observe`] takes `&self`.
+    drop_rng: std::cell::RefCell<StdRng>,
+}
+
+impl<S: Sensor> FaultySensor<S> {
+    /// Wraps `inner` with a fault mode; `seed` drives the flaky-mode
+    /// drop schedule (unused by the other modes).
+    #[must_use]
+    pub fn new(inner: S, fault: SensorFault, seed: u64) -> Self {
+        Self {
+            inner,
+            fault,
+            drop_rng: std::cell::RefCell::new(StdRng::seed_from_u64(seed)),
+        }
+    }
+
+    /// The wrapped sensor.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// The active fault mode.
+    #[must_use]
+    pub fn fault(&self) -> SensorFault {
+        self.fault
+    }
+}
+
+impl<S: Sensor> Sensor for FaultySensor<S> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn observe(&self, presence: &Presence, rng: &mut dyn RngCore) -> Vec<Evidence> {
+        match self.fault {
+            SensorFault::Offline => Vec::new(),
+            SensorFault::Degraded { retain } => {
+                let retain = Confidence::saturating(retain);
+                self.inner
+                    .observe(presence, rng)
+                    .into_iter()
+                    .map(|mut evidence| {
+                        evidence.confidence = evidence.confidence.scale(retain);
+                        evidence
+                    })
+                    .collect()
+            }
+            SensorFault::Flaky { drop_rate } => {
+                let dropped = self.drop_rng.borrow_mut().gen::<f64>() < drop_rate;
+                if dropped {
+                    // Consume the inner observation anyway so the inner
+                    // sensor's noise stream advances identically whether
+                    // or not this draw dropped — the surviving
+                    // observations match a fault-free run's.
+                    let _ = self.inner.observe(presence, rng);
+                    Vec::new()
+                } else {
+                    self.inner.observe(presence, rng)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::floor::SmartFloor;
+    use grbac_core::id::SubjectId;
+
+    fn floor() -> SmartFloor {
+        let mut floor = SmartFloor::new(2.0).unwrap();
+        floor.enroll(SubjectId::from_raw(0), 60.0).unwrap();
+        floor
+    }
+
+    fn presence() -> Presence {
+        Presence::walking(SubjectId::from_raw(0), 60.0)
+    }
+
+    #[test]
+    fn offline_yields_nothing() {
+        let s = FaultySensor::new(floor(), SensorFault::Offline, 0);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(s.observe(&presence(), &mut rng).is_empty());
+        assert_eq!(s.name(), s.inner().name());
+    }
+
+    #[test]
+    fn degraded_scales_every_claim_down() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let healthy = floor().observe(&presence(), &mut rng);
+        let s = FaultySensor::new(floor(), SensorFault::Degraded { retain: 0.5 }, 0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let degraded = s.observe(&presence(), &mut rng);
+        assert_eq!(healthy.len(), degraded.len());
+        for (h, d) in healthy.iter().zip(&degraded) {
+            assert_eq!(
+                d.confidence,
+                h.confidence.scale(Confidence::saturating(0.5))
+            );
+            assert_eq!(d.claim, h.claim);
+        }
+    }
+
+    #[test]
+    fn degraded_retain_is_clamped() {
+        let s = FaultySensor::new(floor(), SensorFault::Degraded { retain: 7.0 }, 0);
+        let mut rng = StdRng::seed_from_u64(1);
+        for e in s.observe(&presence(), &mut rng) {
+            assert!(e.confidence.value() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn flaky_drops_are_seeded_and_leave_survivors_intact() {
+        let observe_n = |seed: u64, n: usize| {
+            let s = FaultySensor::new(floor(), SensorFault::Flaky { drop_rate: 0.5 }, seed);
+            let mut rng = StdRng::seed_from_u64(1);
+            (0..n)
+                .map(|_| s.observe(&presence(), &mut rng))
+                .collect::<Vec<_>>()
+        };
+        let a = observe_n(3, 40);
+        assert_eq!(a, observe_n(3, 40), "same seed, same drop schedule");
+        let dropped = a.iter().filter(|v| v.is_empty()).count();
+        assert!((8..=32).contains(&dropped), "~half dropped, got {dropped}");
+
+        // Survivors are exactly what a fault-free sensor would emit,
+        // because the inner noise stream advances on dropped draws too.
+        let mut rng = StdRng::seed_from_u64(1);
+        let reference = floor();
+        for obs in &a {
+            let healthy = reference.observe(&presence(), &mut rng);
+            if !obs.is_empty() {
+                assert_eq!(*obs, healthy);
+            }
+        }
+    }
+
+    #[test]
+    fn boxed_faulty_sensors_compose_with_authenticators() {
+        use crate::authenticator::Authenticator;
+        use crate::fusion::FusionStrategy;
+
+        let mut auth = Authenticator::new(FusionStrategy::Max);
+        auth.add_sensor(Box::new(FaultySensor::new(
+            floor(),
+            SensorFault::Degraded { retain: 0.6 },
+            0,
+        )));
+        let mut rng = StdRng::seed_from_u64(5);
+        let ctx = auth.authenticate(&presence(), &mut rng);
+        if let Some((_, confidence)) = ctx.identity() {
+            assert!(confidence.value() <= 0.6);
+        }
+        for (_, confidence) in ctx.role_claims() {
+            assert!(confidence.value() <= 0.6);
+        }
+    }
+}

@@ -52,6 +52,7 @@ pub mod authenticator;
 pub mod error;
 pub mod evidence;
 pub mod face;
+pub mod fault;
 pub mod floor;
 pub mod fusion;
 pub mod keypad;
@@ -63,6 +64,7 @@ pub use authenticator::Authenticator;
 pub use error::SenseError;
 pub use evidence::{Claim, Evidence};
 pub use face::FaceRecognizer;
+pub use fault::{FaultySensor, SensorFault};
 pub use floor::SmartFloor;
 pub use fusion::FusionStrategy;
 pub use keypad::Keypad;
