@@ -1,7 +1,7 @@
 //! The experiment harness: regenerates every table in EXPERIMENTS.md.
 //!
 //! ```text
-//! experiments [e1 e2 … e11 | all] [--json]
+//! experiments [e1 e2 … e12 | all] [--json]
 //! ```
 //!
 //! Each experiment prints one or more tables; `--json` emits the same
@@ -14,11 +14,12 @@ use std::time::Instant;
 use grbac_bench::fixtures::{deep_hierarchy, synthetic_grbac, synthetic_rbac, SyntheticConfig};
 use grbac_bench::table::Table;
 use grbac_core::confidence::{AuthContext, Confidence};
-use grbac_core::degraded::DegradedMode;
+use grbac_core::degraded::{DegradedMode, EnvHealth};
 use grbac_core::engine::{AccessRequest, Grbac};
 use grbac_core::environment::EnvironmentSnapshot;
 use grbac_core::precedence::ConflictStrategy;
-use grbac_core::rule::RuleDef;
+use grbac_core::provenance::{replay, replay_all, replay_with_health, ForensicQuery};
+use grbac_core::rule::{Effect, RuleDef};
 use grbac_env::calendar::TimeExpr;
 use grbac_env::events::EventBus;
 use grbac_env::fault::{FaultPlan, FaultRates};
@@ -83,6 +84,9 @@ fn main() {
     }
     if want("e11") {
         tables.extend(e11_fault_tolerance());
+    }
+    if want("e12") {
+        tables.extend(e12_provenance());
     }
 
     if json {
@@ -1046,4 +1050,182 @@ fn e11_fault_tolerance() -> Vec<Table> {
         ]);
     }
     vec![sweep, postures]
+}
+
+/// E12: flight-recorder overhead and forensic replay fidelity — the
+/// always-on provenance ring must cost almost nothing on the E9
+/// workload, replay must reproduce every recorded verdict against an
+/// unchanged policy (and expose an injected policy flip), and replay
+/// under E11 fault schedules must both stay deterministic and quantify
+/// what degradation cost via the counterfactual-fresh path.
+fn e12_provenance() -> Vec<Table> {
+    let workload = WorkloadConfig {
+        days: 7,
+        requests_per_person_per_day: 50,
+        move_probability: 0.3,
+        seed: 2000,
+    };
+
+    // Recorder overhead vs ring capacity. Each measurement replays the
+    // full workload on a fresh household (so the events and the policy
+    // state are identical) and takes the fastest of three runs;
+    // capacity 0 disables recording and is the baseline.
+    let mut overhead = Table::new(
+        "E12: recorder overhead vs ring capacity (E9 7-day workload)",
+        &["capacity", "requests", "ns_per_request", "overhead"],
+    );
+    let mut baseline_ns = None;
+    for capacity in [0usize, 1024, 4096, 16384] {
+        let mut best = f64::INFINITY;
+        let mut requests = 0u64;
+        for _ in 0..3 {
+            let mut home = paper_household().unwrap();
+            home.engine_mut().set_flight_recorder_capacity(capacity);
+            let events = generate(&home, &workload);
+            let start = Instant::now();
+            let stats = execute(&mut home, &events).unwrap();
+            let elapsed = start.elapsed();
+            requests = stats.requests;
+            best = best.min(ns_per_op(elapsed, stats.requests as usize));
+        }
+        if capacity == 0 {
+            baseline_ns = Some(best);
+        }
+        let overhead_pct = baseline_ns
+            .map(|base| (best - base) / base * 100.0)
+            .unwrap_or(0.0);
+        overhead.row(&[
+            capacity.to_string(),
+            requests.to_string(),
+            format!("{best:.0}"),
+            format!("{overhead_pct:+.2}%"),
+        ]);
+    }
+
+    // Replay fidelity: every retained record re-decided through the
+    // reference path, first against the unchanged policy (must be
+    // clean), then after flipping one permit rule out (must surface).
+    let mut fidelity = Table::new(
+        "E12: replay-diff counts over the retained E9 records",
+        &[
+            "policy",
+            "replayed",
+            "clean",
+            "verdict_flips",
+            "unreplayable",
+        ],
+    );
+    let mut home = paper_household().unwrap();
+    home.engine_mut().set_flight_recorder_capacity(4096);
+    let events = generate(&home, &workload);
+    execute(&mut home, &events).unwrap();
+    let records = home.flight_recorder().snapshot();
+    {
+        let (reports, unreplayable) = replay_all(home.engine(), &records, &ForensicQuery::any());
+        let clean = reports.iter().filter(|r| r.diff.is_clean()).count();
+        let flips = reports.iter().filter(|r| r.diff.verdict_flipped).count();
+        assert_eq!(flips, 0, "unchanged policy must replay every verdict");
+        fidelity.row(&[
+            "unchanged".to_owned(),
+            reports.len().to_string(),
+            clean.to_string(),
+            flips.to_string(),
+            unreplayable.to_string(),
+        ]);
+    }
+    let flipped_rule = home
+        .engine()
+        .rules()
+        .iter()
+        .find(|r| r.effect() == Effect::Permit)
+        .map(grbac_core::rule::Rule::id)
+        .expect("paper household has permit rules");
+    home.engine_mut().remove_rule(flipped_rule);
+    {
+        let (reports, unreplayable) = replay_all(home.engine(), &records, &ForensicQuery::any());
+        let clean = reports.iter().filter(|r| r.diff.is_clean()).count();
+        let flips = reports.iter().filter(|r| r.diff.verdict_flipped).count();
+        assert!(flips > 0, "removing a permit rule must flip some verdict");
+        fidelity.row(&[
+            "one permit rule removed".to_owned(),
+            reports.len().to_string(),
+            clean.to_string(),
+            flips.to_string(),
+            unreplayable.to_string(),
+        ]);
+    }
+
+    // Replay under the E11 fault schedules: with the recorded health
+    // the replay is deterministic (zero flips); forcing Fresh health on
+    // the degraded records counts the decisions degradation changed.
+    let mut faults = Table::new(
+        "E12: replay under E11 fault schedules (10% provider error rate)",
+        &[
+            "posture",
+            "records",
+            "degraded",
+            "replay_flips",
+            "counterfactual_flips",
+        ],
+    );
+    let resilience = ResilienceConfig {
+        max_retries: 1,
+        failure_threshold: 3,
+        open_cooldown_s: 300,
+        ..ResilienceConfig::default()
+    };
+    let cases: [(&str, DegradedMode); 3] = [
+        ("fail_closed", DegradedMode::fail_closed()),
+        ("fail_open(half_life=30m)", DegradedMode::fail_open(1800)),
+        (
+            "last_known_good(max_age=1h)",
+            DegradedMode::last_known_good(3600),
+        ),
+    ];
+    for (name, posture) in cases {
+        let mut faulty = paper_household().unwrap();
+        faulty.engine_mut().set_flight_recorder_capacity(4096);
+        let mut oracle = paper_household().unwrap();
+        let events = generate(&faulty, &workload);
+        run_chaos(
+            &mut faulty,
+            &mut oracle,
+            &events,
+            FaultPlan::random(FaultRates::errors_only(0.1), 4110),
+            resilience,
+            posture,
+        )
+        .unwrap();
+        let records = faulty.flight_recorder().snapshot();
+        let degraded: Vec<_> = records.iter().filter(|r| r.degraded.is_some()).collect();
+        let mut replay_flips = 0u64;
+        let mut counterfactual_flips = 0u64;
+        for record in &records {
+            let replayed = replay(faulty.engine(), record).expect("same policy");
+            if replayed.diff.verdict_flipped {
+                replay_flips += 1;
+            }
+        }
+        for record in &degraded {
+            let as_recorded = replay(faulty.engine(), record).expect("same policy");
+            let fresh =
+                replay_with_health(faulty.engine(), record, EnvHealth::Fresh).expect("same policy");
+            if fresh.replayed_effect != as_recorded.replayed_effect {
+                counterfactual_flips += 1;
+            }
+        }
+        assert_eq!(
+            replay_flips, 0,
+            "replay with the recorded health must be deterministic"
+        );
+        faults.row(&[
+            name.to_owned(),
+            records.len().to_string(),
+            degraded.len().to_string(),
+            replay_flips.to_string(),
+            counterfactual_flips.to_string(),
+        ]);
+    }
+
+    vec![overhead, fidelity, faults]
 }

@@ -4,8 +4,13 @@
 //! when (§3's "data theft" concern cuts both ways — the household also
 //! wants to review access). The log is a fixed-capacity ring buffer so a
 //! chatty sensor network cannot exhaust memory.
+//!
+//! Review tooling filters the log with [`AuditFilter`] (shared with the
+//! richer [`provenance`](crate::provenance) forensics engine) and
+//! exports it as JSON lines via [`AuditLog::write_jsonl`].
 
 use std::collections::VecDeque;
+use std::io::{self, Write};
 
 use serde::{Deserialize, Serialize};
 
@@ -38,6 +43,112 @@ pub struct AuditRecord {
     /// field existed.
     #[serde(default)]
     pub degraded: Option<DegradedReason>,
+}
+
+/// A conjunctive filter over audit (and provenance) records: every set
+/// field must match for a record to pass. The default filter matches
+/// everything.
+///
+/// The same filter drives [`AuditLog::iter_filtered`] and the forensic
+/// queries in [`provenance`](crate::provenance), so "the 3am denies for
+/// bobby" means the same thing against either store.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct AuditFilter {
+    /// Match only this requesting subject (records with no identified
+    /// subject never match a subject filter).
+    pub subject: Option<SubjectId>,
+    /// Match only this target object.
+    pub object: Option<ObjectId>,
+    /// Match only this transaction.
+    pub transaction: Option<TransactionId>,
+    /// Match only this outcome.
+    pub effect: Option<Effect>,
+    /// Match only degraded decisions.
+    pub degraded_only: bool,
+    /// Match only degraded decisions of this kind (see
+    /// [`DegradedReason::kind`]); implies `degraded_only`.
+    pub degraded_kind: Option<String>,
+    /// Match only records stamped at or after this virtual second
+    /// (unstamped records never match a time bound).
+    pub since: Option<u64>,
+    /// Match only records stamped at or before this virtual second.
+    pub until: Option<u64>,
+}
+
+impl AuditFilter {
+    /// A filter matching every record.
+    #[must_use]
+    pub fn any() -> Self {
+        Self::default()
+    }
+
+    /// Whether a record with these fields passes the filter. Exposed as
+    /// a by-parts check so stores with different record types (the
+    /// audit log, the provenance flight recorder) share one matching
+    /// semantics.
+    #[must_use]
+    pub fn matches_parts(
+        &self,
+        subject: Option<SubjectId>,
+        transaction: TransactionId,
+        object: ObjectId,
+        effect: Effect,
+        timestamp: Option<u64>,
+        degraded: Option<&DegradedReason>,
+    ) -> bool {
+        if let Some(want) = self.subject {
+            if subject != Some(want) {
+                return false;
+            }
+        }
+        if let Some(want) = self.object {
+            if object != want {
+                return false;
+            }
+        }
+        if let Some(want) = self.transaction {
+            if transaction != want {
+                return false;
+            }
+        }
+        if let Some(want) = self.effect {
+            if effect != want {
+                return false;
+            }
+        }
+        if (self.degraded_only || self.degraded_kind.is_some()) && degraded.is_none() {
+            return false;
+        }
+        if let (Some(want), Some(reason)) = (self.degraded_kind.as_deref(), degraded) {
+            if reason.kind() != want {
+                return false;
+            }
+        }
+        if let Some(since) = self.since {
+            if timestamp.is_none_or(|ts| ts < since) {
+                return false;
+            }
+        }
+        if let Some(until) = self.until {
+            if timestamp.is_none_or(|ts| ts > until) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Whether an audit record passes the filter.
+    #[must_use]
+    pub fn matches(&self, record: &AuditRecord) -> bool {
+        self.matches_parts(
+            record.subject,
+            record.transaction,
+            record.object,
+            record.effect,
+            record.timestamp,
+            record.degraded.as_ref(),
+        )
+    }
 }
 
 /// Bounded, append-only log of [`AuditRecord`]s.
@@ -122,6 +233,35 @@ impl AuditLog {
         self.records.iter()
     }
 
+    /// Retained records passing `filter`, oldest first.
+    pub fn iter_filtered<'a>(
+        &'a self,
+        filter: &'a AuditFilter,
+    ) -> impl Iterator<Item = &'a AuditRecord> + 'a {
+        self.records.iter().filter(|record| filter.matches(record))
+    }
+
+    /// Writes the retained records passing `filter` to `out` as JSON
+    /// lines (one object per record, oldest first). Returns the number
+    /// of records written.
+    ///
+    /// The encoding is hand-rolled — every field is numeric, an enum
+    /// tag, or absent, so no escaping is needed and the core crate
+    /// stays dependency-free.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any write error from `out`.
+    pub fn write_jsonl<W: Write>(&self, out: &mut W, filter: &AuditFilter) -> io::Result<u64> {
+        let mut written = 0;
+        for record in self.iter_filtered(filter) {
+            out.write_all(jsonl_line(record).as_bytes())?;
+            out.write_all(b"\n")?;
+            written += 1;
+        }
+        Ok(written)
+    }
+
     /// Number of retained records.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -152,9 +292,10 @@ impl AuditLog {
         self.denies
     }
 
-    /// Records evicted by the ring buffer (excludes records that were
-    /// never retained under a zero capacity, and records dropped by
-    /// [`clear`](Self::clear)).
+    /// Records dropped from retention, whether by the ring buffer or by
+    /// [`clear`](Self::clear) (excludes records that were never
+    /// retained under a zero capacity). For a non-zero capacity,
+    /// `len() + evicted_count() == total_recorded()` always holds.
     #[must_use]
     pub fn evicted_count(&self) -> u64 {
         self.evictions
@@ -166,10 +307,55 @@ impl AuditLog {
         self.records.back()
     }
 
-    /// Clears retained records (counters keep their totals).
+    /// Clears retained records. Counters keep their totals, and the
+    /// dropped records are added to [`evicted_count`](Self::evicted_count)
+    /// so retention accounting stays consistent.
     pub fn clear(&mut self) {
+        self.evictions += self.records.len() as u64;
         self.records.clear();
     }
+}
+
+/// One audit record as a single JSON object (no trailing newline).
+fn jsonl_line(record: &AuditRecord) -> String {
+    let mut line = String::with_capacity(160);
+    line.push_str(&format!("{{\"seq\":{}", record.seq));
+    if let Some(subject) = record.subject {
+        line.push_str(&format!(",\"subject\":{}", subject.as_raw()));
+    }
+    line.push_str(&format!(
+        ",\"transaction\":{},\"object\":{},\"effect\":\"{}\"",
+        record.transaction.as_raw(),
+        record.object.as_raw(),
+        match record.effect {
+            Effect::Permit => "permit",
+            Effect::Deny => "deny",
+        }
+    ));
+    if let Some(rule) = record.winning_rule {
+        line.push_str(&format!(",\"winning_rule\":{}", rule.as_raw()));
+    }
+    if let Some(ts) = record.timestamp {
+        line.push_str(&format!(",\"timestamp\":{ts}"));
+    }
+    if let Some(reason) = &record.degraded {
+        line.push_str(&format!(",\"degraded\":{{\"kind\":\"{}\"", reason.kind()));
+        match reason {
+            DegradedReason::StaleRolesDropped { age, dropped } => {
+                line.push_str(&format!(",\"age\":{age},\"dropped\":{dropped}"));
+            }
+            DegradedReason::StaleDecayed { age, decay } => {
+                line.push_str(&format!(",\"age\":{age},\"decay\":{}", decay.value()));
+            }
+            DegradedReason::LastKnownGood { age } => {
+                line.push_str(&format!(",\"age\":{age}"));
+            }
+            DegradedReason::EnvUnavailable => {}
+        }
+        line.push('}');
+    }
+    line.push('}');
+    line
 }
 
 impl Default for AuditLog {
@@ -322,6 +508,136 @@ mod tests {
         log.clear();
         assert!(log.is_empty());
         assert_eq!(log.total_recorded(), 1);
+    }
+
+    #[test]
+    fn clear_counts_as_eviction() {
+        let mut log = AuditLog::with_capacity(4);
+        log.record(None, t(0), o(0), Effect::Permit, None, None, None);
+        log.record(None, t(0), o(1), Effect::Deny, None, None, None);
+        log.clear();
+        assert_eq!(log.evicted_count(), 2);
+        log.record(None, t(0), o(2), Effect::Permit, None, None, None);
+        // retained + evicted always accounts for every record.
+        assert_eq!(log.len() as u64 + log.evicted_count(), log.total_recorded());
+    }
+
+    #[test]
+    fn filter_matches_conjunctively() {
+        let mut log = AuditLog::new();
+        let alice = SubjectId::from_raw(1);
+        log.record(
+            Some(alice),
+            t(0),
+            o(0),
+            Effect::Permit,
+            None,
+            Some(10),
+            None,
+        );
+        log.record(Some(alice), t(0), o(1), Effect::Deny, None, Some(20), None);
+        log.record(None, t(1), o(0), Effect::Deny, None, None, None);
+        log.record(
+            Some(alice),
+            t(1),
+            o(0),
+            Effect::Deny,
+            None,
+            Some(30),
+            Some(DegradedReason::EnvUnavailable),
+        );
+
+        assert_eq!(log.iter_filtered(&AuditFilter::any()).count(), 4);
+
+        let mine = AuditFilter {
+            subject: Some(alice),
+            ..AuditFilter::any()
+        };
+        assert_eq!(log.iter_filtered(&mine).count(), 3);
+
+        let denied_late = AuditFilter {
+            effect: Some(Effect::Deny),
+            since: Some(20),
+            ..AuditFilter::any()
+        };
+        // The untimed deny never matches a time bound.
+        assert_eq!(log.iter_filtered(&denied_late).count(), 2);
+
+        let degraded = AuditFilter {
+            degraded_kind: Some("env_unavailable".into()),
+            ..AuditFilter::any()
+        };
+        let hits: Vec<u64> = log.iter_filtered(&degraded).map(|r| r.seq).collect();
+        assert_eq!(hits, vec![3]);
+
+        let wrong_kind = AuditFilter {
+            degraded_kind: Some("stale_decayed".into()),
+            ..AuditFilter::any()
+        };
+        assert_eq!(log.iter_filtered(&wrong_kind).count(), 0);
+
+        let window = AuditFilter {
+            since: Some(10),
+            until: Some(20),
+            ..AuditFilter::any()
+        };
+        assert_eq!(log.iter_filtered(&window).count(), 2);
+    }
+
+    #[test]
+    fn jsonl_export_is_valid_json_lines() {
+        let mut log = AuditLog::new();
+        log.record(
+            Some(SubjectId::from_raw(5)),
+            t(2),
+            o(3),
+            Effect::Permit,
+            Some(RuleId::from_raw(7)),
+            Some(42),
+            None,
+        );
+        log.record(
+            None,
+            t(2),
+            o(3),
+            Effect::Deny,
+            None,
+            None,
+            Some(DegradedReason::StaleRolesDropped { age: 9, dropped: 1 }),
+        );
+        let mut buffer = Vec::new();
+        let written = log.write_jsonl(&mut buffer, &AuditFilter::any()).unwrap();
+        assert_eq!(written, 2);
+        let text = String::from_utf8(buffer).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        // Every line parses back as a JSON object with the raw ids.
+        let uint = |v: &serde_json::Value, key: &str| match v.get(key) {
+            Some(serde_json::Value::UInt(n)) => Some(*n),
+            Some(serde_json::Value::Int(n)) => u64::try_from(*n).ok(),
+            _ => None,
+        };
+        let first: serde_json::Value = serde_json::from_str(lines[0]).unwrap();
+        assert_eq!(uint(&first, "subject"), Some(5));
+        assert_eq!(first.get("effect").and_then(|v| v.as_str()), Some("permit"));
+        assert_eq!(uint(&first, "winning_rule"), Some(7));
+        assert_eq!(uint(&first, "timestamp"), Some(42));
+        let second: serde_json::Value = serde_json::from_str(lines[1]).unwrap();
+        let degraded = second.get("degraded").unwrap();
+        assert_eq!(
+            degraded.get("kind").and_then(|v| v.as_str()),
+            Some("stale_roles_dropped")
+        );
+        assert_eq!(uint(degraded, "dropped"), Some(1));
+        assert!(second.get("subject").is_none());
+
+        // Filters apply to the export too.
+        let mut buffer = Vec::new();
+        let filter = AuditFilter {
+            degraded_only: true,
+            ..AuditFilter::any()
+        };
+        assert_eq!(log.write_jsonl(&mut buffer, &filter).unwrap(), 1);
     }
 
     #[test]

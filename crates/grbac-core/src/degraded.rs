@@ -164,6 +164,21 @@ pub enum DegradedReason {
     EnvUnavailable,
 }
 
+impl DegradedReason {
+    /// A stable machine-readable name for the variant, used by audit
+    /// filters and metric labels ("stale_roles_dropped",
+    /// "stale_decayed", "last_known_good", "env_unavailable").
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Self::StaleRolesDropped { .. } => "stale_roles_dropped",
+            Self::StaleDecayed { .. } => "stale_decayed",
+            Self::LastKnownGood { .. } => "last_known_good",
+            Self::EnvUnavailable => "env_unavailable",
+        }
+    }
+}
+
 impl std::fmt::Display for DegradedReason {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {

@@ -66,6 +66,7 @@ use crate::explain::{Decision, Explanation, MatchedRule, Reason};
 use crate::id::{IdAllocator, ObjectId, RoleId, RuleId, SessionId, SubjectId, TransactionId};
 use crate::index::{CachedExpansion, CompiledIndex, IndexCell};
 use crate::precedence::ConflictStrategy;
+use crate::provenance::{env_fingerprint, FlightRecorder, ProvenanceRecord};
 use crate::role::{RoleCatalog, RoleKind};
 use crate::rule::{Effect, RoleSpec, Rule, RuleDef, TransactionSpec};
 use crate::session::SessionManager;
@@ -218,6 +219,11 @@ pub struct Grbac {
     /// `EnvironmentRoleProvider::attach_metrics`.
     #[serde(skip)]
     metrics: Arc<MetricsRegistry>,
+    /// Decision flight recorder (operational state — never serialized;
+    /// a deserialized engine starts with an empty ring). Shared by
+    /// engine clones and `decide_batch` workers like the registry.
+    #[serde(skip)]
+    recorder: Arc<FlightRecorder>,
 }
 
 impl Default for Grbac {
@@ -250,6 +256,7 @@ impl Grbac {
             generation: 0,
             index: IndexCell::default(),
             metrics: Arc::new(MetricsRegistry::new()),
+            recorder: Arc::new(FlightRecorder::new()),
         }
     }
 
@@ -762,6 +769,39 @@ impl Grbac {
         self.metrics = metrics;
     }
 
+    /// The decision flight recorder: every mediated decision
+    /// ([`decide`](Self::decide), [`decide_traced`](Self::decide_traced),
+    /// [`decide_batch`](Self::decide_batch), and the [`check`](Self::check)
+    /// family on top of them) appends a
+    /// [`ProvenanceRecord`] here. Engine clones and batch workers share
+    /// the same ring. The reference path
+    /// ([`decide_naive`](Self::decide_naive)) never records, so
+    /// forensic replays do not pollute the evidence they examine.
+    #[must_use]
+    pub fn flight_recorder(&self) -> &Arc<FlightRecorder> {
+        &self.recorder
+    }
+
+    /// Replaces the flight recorder with a fresh one of the given
+    /// capacity (0 disables provenance recording). Existing records
+    /// stay in the old ring — clone the `Arc` from
+    /// [`flight_recorder`](Self::flight_recorder) first to keep them.
+    /// Engine clones made before this call keep recording into the old
+    /// ring.
+    pub fn set_flight_recorder_capacity(&mut self, capacity: usize) {
+        self.recorder = Arc::new(FlightRecorder::with_capacity(capacity));
+    }
+
+    /// The current policy generation: bumped by every
+    /// decision-relevant mutation (roles, hierarchy edges, assignments,
+    /// rules). Stamped into every [`ProvenanceRecord`] so forensic
+    /// replay can tell whether the policy moved under a recorded
+    /// decision.
+    #[must_use]
+    pub fn policy_generation(&self) -> u64 {
+        self.generation
+    }
+
     /// A point-in-time snapshot of the registry with per-transaction
     /// series labelled by declared transaction names (raw ids for
     /// transactions no longer in the catalog). Export it with a
@@ -807,7 +847,7 @@ impl Grbac {
     /// Unknown session/subject/object/transaction ids in the request.
     pub fn decide(&self, request: &AccessRequest) -> Result<Decision> {
         let index = self.compiled();
-        self.decide_with_index(request, &index, &mut NoTrace)
+        self.decide_recorded(request, &index)
     }
 
     /// Mediates a request and records a stage-by-stage
@@ -827,7 +867,10 @@ impl Grbac {
         let started = Instant::now();
         let mut sink = TraceCollector::default();
         let decision = self.decide_with_index(request, &index, &mut sink)?;
-        Ok((decision, sink.finish(started)))
+        let trace = sink.finish(started);
+        self.metrics.observe_trace(&trace);
+        self.record_provenance(request, &decision, Some(&trace));
+        Ok((decision, trace))
     }
 
     /// Mediates a batch of requests against one snapshot of the
@@ -856,9 +899,7 @@ impl Grbac {
                         .map(|part| {
                             scope.spawn(move || {
                                 part.iter()
-                                    .map(|request| {
-                                        self.decide_with_index(request, index, &mut NoTrace)
-                                    })
+                                    .map(|request| self.decide_recorded(request, index))
                                     .collect::<Vec<_>>()
                             })
                         })
@@ -872,24 +913,94 @@ impl Grbac {
         }
         requests
             .iter()
-            .map(|request| self.decide_with_index(request, &index, &mut NoTrace))
+            .map(|request| self.decide_recorded(request, &index))
             .collect()
+    }
+
+    /// The recorded mediation path shared by [`decide`](Self::decide)
+    /// and [`decide_batch`](Self::decide_batch): runs the decision —
+    /// with a [`TraceCollector`] when this call won the latency sample,
+    /// with [`NoTrace`] otherwise — then feeds the continuous-profiling
+    /// series and the flight recorder. Sampling the *trace* (not just a
+    /// timer) is what keeps the per-stage quantile sketches fed without
+    /// taxing the common path with clock reads.
+    fn decide_recorded(&self, request: &AccessRequest, index: &CompiledIndex) -> Result<Decision> {
+        if let Some(started) = self.metrics.decide_timer() {
+            let mut sink = TraceCollector::default();
+            let result = self.decide_with_index(request, index, &mut sink);
+            let trace = sink.finish(started);
+            if let Ok(decision) = &result {
+                self.metrics.observe_trace(&trace);
+                self.record_provenance(request, decision, Some(&trace));
+            }
+            result
+        } else {
+            let result = self.decide_with_index(request, index, &mut NoTrace);
+            if let Ok(decision) = &result {
+                self.record_provenance(request, decision, None);
+            }
+            result
+        }
+    }
+
+    /// Appends one decision to the flight recorder (no-op when the
+    /// recorder capacity is 0).
+    fn record_provenance(
+        &self,
+        request: &AccessRequest,
+        decision: &Decision,
+        trace: Option<&DecisionTrace>,
+    ) {
+        if !self.recorder.is_enabled() {
+            return;
+        }
+        let explanation = decision.explanation();
+        let stage_nanos = trace.map(|trace| {
+            let mut nanos = [0u64; 5];
+            for record in &trace.stages {
+                if let Some(slot) = Stage::ALL.iter().position(|&s| s == record.stage) {
+                    nanos[slot] = record.nanos;
+                }
+            }
+            nanos
+        });
+        self.recorder.record(ProvenanceRecord {
+            // seq / writer / writer_seq are assigned by the recorder.
+            seq: 0,
+            writer: 0,
+            writer_seq: 0,
+            actor: request.actor.clone(),
+            transaction: request.transaction,
+            object: request.object,
+            timestamp: request.timestamp,
+            env_roles: request.environment.active().iter().copied().collect(),
+            env_hash: env_fingerprint(&request.environment),
+            env_health: request.env_health,
+            generation: self.generation,
+            effect: decision.effect(),
+            winning_rule: decision.winning_rule(),
+            matched_rules: explanation.matched.iter().map(|m| m.rule).collect(),
+            subject_role_count: u32::try_from(explanation.subject_roles.len()).unwrap_or(u32::MAX),
+            degraded: decision.degraded().copied(),
+            stage_nanos,
+            total_nanos: trace.map(|trace| trace.total_nanos),
+        });
     }
 
     /// The compiled mediation path shared by [`decide`](Self::decide),
     /// [`decide_batch`](Self::decide_batch) and
     /// [`decide_traced`](Self::decide_traced): runs [`Self::mediate`]
     /// and publishes the outcome (effect counters, per-transaction
-    /// rule-match counts, sampled latency) into the registry. All
-    /// counters are atomics, so parallel batch workers record exactly
-    /// what sequential calls would.
+    /// rule-match counts) into the registry. Latency observation lives
+    /// in [`Self::decide_recorded`], which decides per call whether to
+    /// trace. All counters are atomics, so parallel batch workers
+    /// record exactly what sequential calls would.
     fn decide_with_index<S: TraceSink>(
         &self,
         request: &AccessRequest,
         index: &CompiledIndex,
         sink: &mut S,
     ) -> Result<Decision> {
-        let timer = self.metrics.decide_timer();
         let result = self.mediate(request, index, sink);
         match &result {
             Ok(decision) => {
@@ -912,7 +1023,6 @@ impl Grbac {
             }
             Err(_) => self.metrics.decide_errors.inc(),
         }
-        self.metrics.observe_decide_latency(timer);
         result
     }
 

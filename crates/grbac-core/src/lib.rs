@@ -73,7 +73,8 @@
 //! | [`analysis`] | §4.2.4 | conflict/shadowing/dead-role detection |
 //! | [`audit`] | §3 | bounded decision log |
 //! | [`degraded`] | §3 (availability) | fail-safe postures for stale/absent environment data |
-//! | [`telemetry`] | §3 (operability) | metrics registry, decision traces, exporters |
+//! | [`telemetry`] | §3 (operability) | metrics registry, decision traces, quantile sketches, exporters |
+//! | [`provenance`] | §3 (explainability) | decision flight recorder, forensic query + replay |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -94,6 +95,7 @@ pub mod hierarchy;
 pub mod id;
 mod index;
 pub mod precedence;
+pub mod provenance;
 pub mod role;
 pub mod rule;
 pub mod serde_pairs;
@@ -109,6 +111,7 @@ pub use environment::EnvironmentSnapshot;
 pub use error::GrbacError;
 pub use explain::{Decision, Explanation, Reason};
 pub use precedence::ConflictStrategy;
+pub use provenance::{FlightRecorder, ForensicQuery, ProvenanceRecord, ReplayReport};
 pub use role::RoleKind;
 pub use rule::{Effect, Rule, RuleDef};
 pub use telemetry::{

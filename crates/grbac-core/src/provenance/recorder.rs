@@ -1,0 +1,377 @@
+//! The decision flight recorder: a bounded, concurrent ring buffer of
+//! [`ProvenanceRecord`]s.
+//!
+//! The recorder is a fixed-capacity multi-producer ring with
+//! drop-oldest semantics. Producers claim a global sequence number with
+//! one lock-free `fetch_add` — the sequence doubles as the slot index —
+//! then publish the record under that slot's own mutex. Because every
+//! claim maps to a distinct slot until the ring wraps a full lap, a
+//! slot mutex is only ever contended when two writers race a whole
+//! `capacity` of claims apart, so the publish step is uncontended in
+//! practice and the crate's `#![forbid(unsafe_code)]` stays intact (no
+//! seqlock tricks over raw memory).
+//!
+//! Each record also carries a per-writer sequence number: every thread
+//! that ever records is assigned a writer id, and its records are
+//! stamped from a counter private to that writer. A snapshot can
+//! therefore be audited for tears — per writer, the retained
+//! `writer_seq` values must be strictly increasing in global-sequence
+//! order — which the `prop_recorder` suite checks under concurrent
+//! `check_batch` writers.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+use serde::{Deserialize, Serialize};
+
+use crate::degraded::{DegradedReason, EnvHealth};
+use crate::engine::Actor;
+use crate::environment::EnvironmentSnapshot;
+use crate::id::{ObjectId, RoleId, RuleId, SubjectId, TransactionId};
+use crate::rule::Effect;
+
+/// Distinct per-writer sequence counters; writer ids beyond this share
+/// a counter (the per-writer monotonicity guarantee still holds, the
+/// sequences just interleave).
+const MAX_WRITERS: usize = 128;
+
+/// A stable fingerprint of an environment snapshot: FNV-1a over the
+/// sorted directly-active role ids. Two snapshots hash equal iff their
+/// active sets are equal, so forensic queries can group decisions by
+/// environment state without storing the full set twice.
+#[must_use]
+pub fn env_fingerprint(environment: &EnvironmentSnapshot) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for role in environment.active() {
+        for byte in role.as_raw().to_le_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    hash
+}
+
+/// Everything needed to answer "why was this granted at 3am?" after the
+/// fact: the request triple, what matched, under which policy
+/// generation and environment state, and — when the decision was
+/// latency-sampled or explicitly traced — where the nanoseconds went.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProvenanceRecord {
+    /// Global sequence number (the recorder's claim ticket; never
+    /// reused, survives drop-oldest eviction).
+    pub seq: u64,
+    /// The writer (producer thread) that recorded this decision.
+    pub writer: u32,
+    /// This writer's private sequence number (strictly increasing per
+    /// writer).
+    pub writer_seq: u64,
+    /// The requester exactly as mediated (sessions, trusted subjects
+    /// and sensed contexts alike), so the request can be rebuilt.
+    pub actor: Actor,
+    /// The requested transaction.
+    pub transaction: TransactionId,
+    /// The target object.
+    pub object: ObjectId,
+    /// Caller-supplied timestamp (virtual seconds), when present.
+    pub timestamp: Option<u64>,
+    /// The directly-active environment roles attached to the request.
+    pub env_roles: Vec<RoleId>,
+    /// [`env_fingerprint`] of the request's environment snapshot.
+    pub env_hash: u64,
+    /// Freshness of the environment snapshot as mediated.
+    pub env_health: EnvHealth,
+    /// The engine's role-closure generation at decision time (bumped by
+    /// every decision-relevant mutation; keys the compiled index).
+    pub generation: u64,
+    /// The outcome.
+    pub effect: Effect,
+    /// The rule that carried the decision, if any.
+    pub winning_rule: Option<RuleId>,
+    /// Every rule that matched, in policy order.
+    pub matched_rules: Vec<RuleId>,
+    /// Size of the hierarchy-expanded subject role closure.
+    pub subject_role_count: u32,
+    /// Why the decision ran degraded, if it did.
+    pub degraded: Option<DegradedReason>,
+    /// Per-stage wall-clock nanoseconds in [`Stage::ALL`] order, when
+    /// the decision was latency-sampled or traced.
+    ///
+    /// [`Stage::ALL`]: crate::telemetry::Stage::ALL
+    pub stage_nanos: Option<[u64; 5]>,
+    /// End-to-end wall-clock nanoseconds, when sampled or traced.
+    pub total_nanos: Option<u64>,
+}
+
+impl ProvenanceRecord {
+    /// The requesting subject, when the actor identifies one directly
+    /// (trusted subjects and sensed contexts with an identity; open
+    /// sessions would need the session table of the recording engine).
+    #[must_use]
+    pub fn subject(&self) -> Option<SubjectId> {
+        match &self.actor {
+            Actor::Subject(subject) => Some(*subject),
+            Actor::Sensed(context) => context.identity().map(|(subject, _)| subject),
+            Actor::Session(_) => None,
+        }
+    }
+
+    /// True when the record carries stage timings.
+    #[must_use]
+    pub fn is_traced(&self) -> bool {
+        self.stage_nanos.is_some()
+    }
+}
+
+/// A bounded multi-producer ring buffer of [`ProvenanceRecord`]s with
+/// drop-oldest semantics.
+///
+/// See the [module docs](crate::provenance) for the concurrency
+/// design. A capacity
+/// of zero disables recording entirely ([`record`](Self::record)
+/// returns `None` without touching any state).
+#[derive(Debug)]
+pub struct FlightRecorder {
+    slots: Vec<Mutex<Option<ProvenanceRecord>>>,
+    mask: u64,
+    next: AtomicU64,
+    writer_seqs: Vec<AtomicU64>,
+}
+
+impl FlightRecorder {
+    /// Default retention when none is specified (matches the audit
+    /// log's default).
+    pub const DEFAULT_CAPACITY: usize = 4096;
+
+    /// Creates a recorder retaining the most recent `capacity` records;
+    /// non-zero capacities are rounded up to the next power of two so
+    /// the slot index is a mask of the claim ticket.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        let capacity = if capacity == 0 {
+            0
+        } else {
+            capacity.next_power_of_two()
+        };
+        Self {
+            slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+            mask: (capacity as u64).wrapping_sub(1),
+            next: AtomicU64::new(0),
+            writer_seqs: (0..MAX_WRITERS).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Creates a recorder with [`Self::DEFAULT_CAPACITY`].
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_capacity(Self::DEFAULT_CAPACITY)
+    }
+
+    /// True when the recorder retains anything at all.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        !self.slots.is_empty()
+    }
+
+    /// Retention capacity (0 when disabled).
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Records a decision, overwriting the oldest record once the ring
+    /// is full. The record's `seq`, `writer` and `writer_seq` fields
+    /// are assigned here. Returns the assigned global sequence number,
+    /// or `None` when the recorder is disabled.
+    pub fn record(&self, mut record: ProvenanceRecord) -> Option<u64> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        let writer = current_writer_id();
+        record.writer = writer;
+        record.writer_seq =
+            self.writer_seqs[writer as usize % MAX_WRITERS].fetch_add(1, Ordering::Relaxed);
+        let seq = self.next.fetch_add(1, Ordering::Relaxed);
+        record.seq = seq;
+        let slot = &self.slots[(seq & self.mask) as usize];
+        let mut guard = slot.lock().unwrap_or_else(PoisonError::into_inner);
+        // Drop-oldest, not drop-newest: a writer that claimed this slot
+        // a full lap earlier but was descheduled before publishing must
+        // not overwrite the younger record that already landed.
+        if guard.as_ref().is_none_or(|existing| existing.seq <= seq) {
+            *guard = Some(record);
+        }
+        Some(seq)
+    }
+
+    /// Decisions ever recorded (including dropped ones).
+    #[must_use]
+    pub fn total_recorded(&self) -> u64 {
+        self.next.load(Ordering::Relaxed)
+    }
+
+    /// Records currently retained.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        usize::try_from(self.total_recorded())
+            .unwrap_or(usize::MAX)
+            .min(self.capacity())
+    }
+
+    /// True when nothing has been recorded (or retention is disabled).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Records dropped by the ring so far.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.total_recorded().saturating_sub(self.capacity() as u64)
+    }
+
+    /// A point-in-time copy of the retained records, oldest first.
+    ///
+    /// Taken while writers are active the copy is still well-formed
+    /// (each record is published atomically under its slot lock) but
+    /// may span a wrap boundary; quiesce writers first when the
+    /// sequence-contiguity guarantee matters.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<ProvenanceRecord> {
+        let mut records: Vec<ProvenanceRecord> = self
+            .slots
+            .iter()
+            .filter_map(|slot| slot.lock().unwrap_or_else(PoisonError::into_inner).clone())
+            .collect();
+        records.sort_by_key(|record| record.seq);
+        records
+    }
+
+    /// The most recent `n` retained records, oldest first.
+    #[must_use]
+    pub fn latest(&self, n: usize) -> Vec<ProvenanceRecord> {
+        let mut records = self.snapshot();
+        let keep = records.len().saturating_sub(n);
+        records.drain(..keep);
+        records
+    }
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The calling thread's writer id, assigned on first use from a
+/// process-wide counter.
+fn current_writer_id() -> u32 {
+    static NEXT_WRITER: AtomicU32 = AtomicU32::new(0);
+    thread_local! {
+        static WRITER_ID: Cell<u32> = const { Cell::new(u32::MAX) };
+    }
+    WRITER_ID.with(|cell| {
+        let mut id = cell.get();
+        if id == u32::MAX {
+            id = NEXT_WRITER.fetch_add(1, Ordering::Relaxed);
+            cell.set(id);
+        }
+        id
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(n: u64) -> ProvenanceRecord {
+        ProvenanceRecord {
+            seq: 0,
+            writer: 0,
+            writer_seq: 0,
+            actor: Actor::Subject(SubjectId::from_raw(n)),
+            transaction: TransactionId::from_raw(0),
+            object: ObjectId::from_raw(n),
+            timestamp: Some(n),
+            env_roles: vec![RoleId::from_raw(1)],
+            env_hash: 7,
+            env_health: EnvHealth::Fresh,
+            generation: 3,
+            effect: Effect::Permit,
+            winning_rule: Some(RuleId::from_raw(0)),
+            matched_rules: vec![RuleId::from_raw(0)],
+            subject_role_count: 2,
+            degraded: None,
+            stage_nanos: None,
+            total_nanos: None,
+        }
+    }
+
+    #[test]
+    fn retains_the_most_recent_capacity_records() {
+        let recorder = FlightRecorder::with_capacity(4);
+        for n in 0..10 {
+            recorder.record(sample(n));
+        }
+        assert_eq!(recorder.total_recorded(), 10);
+        assert_eq!(recorder.len(), 4);
+        assert_eq!(recorder.dropped(), 6);
+        let seqs: Vec<u64> = recorder.snapshot().iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn writer_sequences_increase_per_writer() {
+        let recorder = FlightRecorder::with_capacity(8);
+        for n in 0..5 {
+            recorder.record(sample(n));
+        }
+        let records = recorder.snapshot();
+        // Single-threaded: one writer, whose private sequence advances
+        // in lockstep with the global one.
+        let writer = records[0].writer;
+        for window in records.windows(2) {
+            assert_eq!(window[1].writer, writer);
+            assert_eq!(window[1].writer_seq, window[0].writer_seq + 1);
+        }
+    }
+
+    #[test]
+    fn zero_capacity_disables_recording() {
+        let recorder = FlightRecorder::with_capacity(0);
+        assert!(!recorder.is_enabled());
+        assert_eq!(recorder.record(sample(0)), None);
+        assert_eq!(recorder.total_recorded(), 0);
+        assert!(recorder.snapshot().is_empty());
+        assert!(recorder.is_empty());
+    }
+
+    #[test]
+    fn capacity_rounds_up_to_power_of_two() {
+        assert_eq!(FlightRecorder::with_capacity(5).capacity(), 8);
+        assert_eq!(FlightRecorder::with_capacity(4096).capacity(), 4096);
+    }
+
+    #[test]
+    fn latest_returns_the_tail() {
+        let recorder = FlightRecorder::with_capacity(8);
+        for n in 0..6 {
+            recorder.record(sample(n));
+        }
+        let tail: Vec<u64> = recorder.latest(2).iter().map(|r| r.seq).collect();
+        assert_eq!(tail, vec![4, 5]);
+    }
+
+    #[test]
+    fn fingerprint_depends_only_on_the_active_set() {
+        let a = EnvironmentSnapshot::from_active([RoleId::from_raw(1), RoleId::from_raw(2)]);
+        let b = EnvironmentSnapshot::from_active([RoleId::from_raw(2), RoleId::from_raw(1)]);
+        let c = EnvironmentSnapshot::from_active([RoleId::from_raw(3)]);
+        assert_eq!(env_fingerprint(&a), env_fingerprint(&b));
+        assert_ne!(env_fingerprint(&a), env_fingerprint(&c));
+        assert_ne!(
+            env_fingerprint(&a),
+            env_fingerprint(&EnvironmentSnapshot::new())
+        );
+    }
+}

@@ -20,12 +20,65 @@ pub trait Exporter {
     fn export(&self, snapshot: &MetricsSnapshot) -> String;
 }
 
+/// The `# HELP` text for a metric name (a generic fallback keeps
+/// unknown series conformant rather than silent).
+fn help_for(name: &str) -> &'static str {
+    match name {
+        "grbac_decisions_permit_total" => "Decisions that resolved to permit.",
+        "grbac_decisions_deny_total" => "Decisions that resolved to deny.",
+        "grbac_decide_errors_total" => "Mediation calls that failed (unknown ids in the request).",
+        "grbac_decide_sampled_total" => {
+            "Decisions that were latency-sampled into the latency series."
+        }
+        "grbac_index_rebuilds_total" => "Compiled-index rebuilds (generation misses).",
+        "grbac_index_rebuild_ns_total" => "Nanoseconds spent rebuilding the compiled index.",
+        "grbac_index_cache_hits_total" => "Mediations served by an already-built index.",
+        "grbac_closure_cache_hits_total" => "Role expansions served from the compiled index.",
+        "grbac_closure_cache_misses_total" => "Role expansions computed per request.",
+        "grbac_batch_calls_total" => "decide_batch() invocations.",
+        "grbac_env_polls_total" => "Environment-provider snapshot evaluations.",
+        "grbac_env_role_activations_total" => "Environment roles flipping inactive to active.",
+        "grbac_env_role_deactivations_total" => "Environment roles flipping active to inactive.",
+        "grbac_decisions_degraded_total" => "Decisions annotated with a degraded-mode reason.",
+        "grbac_env_roles_dropped_stale_total" => {
+            "Environment roles dropped past their staleness budget."
+        }
+        "grbac_env_provider_timeouts_total" => "Provider polls that failed with a timeout.",
+        "grbac_env_provider_errors_total" => "Provider polls that failed with a transient error.",
+        "grbac_env_provider_retries_total" => "Retry attempts after a failed provider poll.",
+        "grbac_env_backoff_ms_total" => "Virtual milliseconds of retry backoff.",
+        "grbac_env_stale_served_total" => "Polls answered from the last-known-good snapshot.",
+        "grbac_env_unavailable_total" => "Polls with no snapshot to serve at all.",
+        "grbac_env_breaker_opened_total" => "Circuit-breaker transitions into the open state.",
+        "grbac_env_breaker_half_open_total" => {
+            "Circuit-breaker transitions into the half-open state."
+        }
+        "grbac_env_breaker_closed_total" => "Circuit-breaker transitions back to closed.",
+        "grbac_audit_permit_total" => "Audit permits ever recorded.",
+        "grbac_audit_deny_total" => "Audit denies ever recorded.",
+        "grbac_audit_evictions" => "Audit records dropped from retention.",
+        "grbac_audit_retained" => "Audit records currently retained.",
+        "grbac_index_roles" => "Declared roles in the current compiled index.",
+        "grbac_index_rule_buckets" => "Transaction-keyed rule buckets in the compiled index.",
+        "grbac_index_max_bucket" => "Largest rule bucket in the compiled index.",
+        "grbac_env_breaker_state" => "Circuit-breaker state: 0 closed, 1 half-open, 2 open.",
+        "grbac_decide_sample_rate" => "Latency sampling rate: one sample per this many decisions.",
+        "grbac_decide_latency_ns" => "Sampled decide() latency in nanoseconds.",
+        "grbac_batch_size" => "Requests per decide_batch() call.",
+        "grbac_rule_matches_total" => "Matched rules per request, by transaction.",
+        "grbac_stage_latency_ns" => "Sampled per-stage mediation latency in nanoseconds.",
+        _ => "GRBAC mediation metric.",
+    }
+}
+
 /// The Prometheus text exposition format (version 0.0.4).
 ///
-/// Counters render as `# TYPE <name> counter` plus a sample; gauges
-/// likewise; histograms render cumulative `_bucket{le="…"}` samples
-/// plus `_sum` and `_count`; keyed families render one labelled sample
-/// per key.
+/// Every family renders `# HELP` and `# TYPE` metadata; counters and
+/// gauges follow with one sample, histograms with cumulative
+/// `_bucket{le="…"}` samples (including `+Inf`) plus `_sum` and
+/// `_count`, keyed families with one labelled sample per key, and
+/// quantile summaries with `{quantile="…"}` samples plus per-series
+/// `_sum` and `_count`.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct PrometheusExporter;
 
@@ -37,14 +90,17 @@ impl Exporter for PrometheusExporter {
     fn export(&self, snapshot: &MetricsSnapshot) -> String {
         let mut out = String::new();
         for (name, value) in &snapshot.counters {
+            let _ = writeln!(out, "# HELP {name} {}", help_for(name));
             let _ = writeln!(out, "# TYPE {name} counter");
             let _ = writeln!(out, "{name} {value}");
         }
         for (name, value) in &snapshot.gauges {
+            let _ = writeln!(out, "# HELP {name} {}", help_for(name));
             let _ = writeln!(out, "# TYPE {name} gauge");
             let _ = writeln!(out, "{name} {value}");
         }
         for (name, histogram) in &snapshot.histograms {
+            let _ = writeln!(out, "# HELP {name} {}", help_for(name));
             let _ = writeln!(out, "# TYPE {name} histogram");
             let mut cumulative = 0u64;
             for (bound, count) in histogram.bounds.iter().zip(&histogram.counts) {
@@ -58,7 +114,25 @@ impl Exporter for PrometheusExporter {
             let _ = writeln!(out, "{name}_sum {}", histogram.sum);
             let _ = writeln!(out, "{name}_count {}", histogram.count);
         }
+        for (name, family) in &snapshot.summaries {
+            let _ = writeln!(out, "# HELP {name} {}", help_for(name));
+            let _ = writeln!(out, "# TYPE {name} summary");
+            let label = &family.label;
+            for (key, quantiles) in &family.series {
+                let key = escape_label(key);
+                for (q, value) in [
+                    ("0.5", quantiles.p50),
+                    ("0.95", quantiles.p95),
+                    ("0.99", quantiles.p99),
+                ] {
+                    let _ = writeln!(out, "{name}{{{label}=\"{key}\",quantile=\"{q}\"}} {value}");
+                }
+                let _ = writeln!(out, "{name}_sum{{{label}=\"{key}\"}} {}", quantiles.sum);
+                let _ = writeln!(out, "{name}_count{{{label}=\"{key}\"}} {}", quantiles.count);
+            }
+        }
         for (name, family) in &snapshot.keyed {
+            let _ = writeln!(out, "# HELP {name} {}", help_for(name));
             let _ = writeln!(out, "# TYPE {name} counter");
             for (key, value) in &family.values {
                 let _ = writeln!(
@@ -77,7 +151,9 @@ impl Exporter for PrometheusExporter {
 ///
 /// The layout mirrors [`MetricsSnapshot`]'s fields: top-level objects
 /// `counters`, `gauges`, `histograms` (each with `bounds`, `counts`,
-/// `sum`, `count`), and `keyed` (each with `label` and `values`).
+/// `sum`, `count`), `summaries` (each with `label` and a `series`
+/// object of `count`/`sum`/`min`/`max`/`p50`/`p95`/`p99` readings),
+/// and `keyed` (each with `label` and `values`).
 /// Metric names are the JSON object keys — plain nested objects, not
 /// pair lists — so any JSON consumer can index straight into a series.
 /// Keys appear in sorted order, matching the snapshot's `BTreeMap`s.
@@ -122,6 +198,36 @@ impl Exporter for JsonExporter {
                     "],\"sum\":{},\"count\":{}}}",
                     histogram.sum, histogram.count
                 );
+            },
+        );
+        out.push_str("},");
+
+        out.push_str("\"summaries\":{");
+        push_entries(
+            &mut out,
+            snapshot.summaries.iter(),
+            |out, (name, family)| {
+                let _ = write!(
+                    out,
+                    "{}:{{\"label\":{},\"series\":{{",
+                    json_string(name),
+                    json_string(&family.label)
+                );
+                push_entries(out, family.series.iter(), |out, (key, q)| {
+                    let _ = write!(
+                    out,
+                    "{}:{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+                    json_string(key),
+                    q.count,
+                    q.sum,
+                    q.min,
+                    q.max,
+                    q.p50,
+                    q.p95,
+                    q.p99
+                );
+                });
+                out.push_str("}}");
             },
         );
         out.push_str("},");
@@ -199,6 +305,8 @@ mod tests {
         registry.audit_retained.set(4);
         registry.batch_size.observe(10);
         registry.rule_matches_by_transaction.add(2, 5);
+        registry.stage_latency[0].observe(250);
+        registry.decide_latency_sketch.observe(1_000);
         registry.snapshot_with(|raw| format!("tx{raw}"))
     }
 
@@ -206,6 +314,7 @@ mod tests {
     fn prometheus_renders_every_series() {
         let text = PrometheusExporter.export(&populated_snapshot());
         if crate::telemetry::ENABLED {
+            assert!(text.contains("# HELP grbac_decisions_permit_total "));
             assert!(text.contains("# TYPE grbac_decisions_permit_total counter"));
             assert!(text.contains("grbac_decisions_permit_total 3"));
             assert!(text.contains("grbac_audit_retained 4"));
@@ -213,6 +322,19 @@ mod tests {
             assert!(text.contains("grbac_batch_size_bucket{le=\"+Inf\"} 1"));
             assert!(text.contains("grbac_batch_size_sum 10"));
             assert!(text.contains("grbac_rule_matches_total{transaction=\"tx2\"} 5"));
+            assert!(text.contains("# TYPE grbac_stage_latency_ns summary"));
+            assert!(text
+                .contains("grbac_stage_latency_ns{stage=\"subject_expansion\",quantile=\"0.5\"}"));
+            assert!(text.contains("grbac_stage_latency_ns_count{stage=\"subject_expansion\"} 1"));
+            assert!(text.contains("grbac_stage_latency_ns_sum{stage=\"total\"} 1000"));
+        }
+        // Every series carries both metadata lines.
+        for line in text.lines().filter(|l| l.starts_with("# TYPE ")) {
+            let name = line.split_whitespace().nth(2).unwrap();
+            assert!(
+                text.contains(&format!("# HELP {name} ")),
+                "missing HELP for {name}"
+            );
         }
         // Every line is a comment or `name[{labels}] value`.
         for line in text.lines() {
@@ -264,6 +386,15 @@ mod tests {
             );
             let family = field(field(&parsed, "keyed"), "grbac_rule_matches_total");
             assert_eq!(uint(field(field(family, "values"), "tx2")), 5);
+            let stages = field(field(&parsed, "summaries"), "grbac_stage_latency_ns");
+            assert_eq!(
+                field(stages, "label"),
+                &serde_json::Value::Str("stage".to_owned())
+            );
+            let total = field(field(stages, "series"), "total");
+            assert_eq!(uint(field(total, "count")), 1);
+            assert_eq!(uint(field(total, "sum")), 1_000);
+            assert!(uint(field(total, "p99")) > 0);
         }
         // Same snapshot → the same counter values in both formats.
         let text = PrometheusExporter.export(&snapshot);

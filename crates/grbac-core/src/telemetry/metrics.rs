@@ -13,6 +13,8 @@ use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
 
+use super::sketch::{QuantileSketch, SketchSnapshot};
+use super::trace::{DecisionTrace, Stage};
 use super::ENABLED;
 
 /// A monotonically increasing counter (relaxed atomic).
@@ -311,9 +313,20 @@ pub struct MetricsRegistry {
     pub decisions_deny: Counter,
     /// Mediation calls that failed (unknown ids in the request).
     pub decide_errors: Counter,
+    /// Decisions that were latency-sampled (fed the latency histogram
+    /// and the per-stage quantile sketches). Read alongside
+    /// `decisions_*_total` to know what fraction of traffic the
+    /// latency series describe.
+    pub decisions_sampled: Counter,
     /// Sampled `decide()` latency in nanoseconds (one observation per
-    /// [`Self::LATENCY_SAMPLE`] decisions).
+    /// [`Self::latency_sample_rate`] decisions).
     pub decide_latency_ns: Histogram,
+    /// Streaming quantile sketch of sampled end-to-end decide latency
+    /// (p50/p95/p99 at fixed memory; complements the fixed-bucket
+    /// histogram).
+    pub decide_latency_sketch: QuantileSketch,
+    /// Per-stage latency sketches, indexed like [`Stage::ALL`].
+    pub stage_latency: [QuantileSketch; 5],
     /// Matched (applicable) rules per request transaction, keyed by
     /// raw transaction id.
     pub rule_matches_by_transaction: KeyedCounter,
@@ -382,11 +395,17 @@ pub struct MetricsRegistry {
     pub env_breaker_state: Gauge,
     /// Round-robin sample selector for `decide_timer`.
     decide_sample: AtomicU64,
+    /// `sample_rate - 1`, where the rate is a power of two; applied as
+    /// a mask over `decide_sample`. Runtime-configurable via
+    /// [`Self::set_latency_sample_rate`].
+    latency_sample_mask: AtomicU64,
 }
 
 impl MetricsRegistry {
-    /// One in this many decisions is latency-sampled (power of two).
-    pub const LATENCY_SAMPLE: u64 = 8;
+    /// Default latency sampling rate: one in this many decisions
+    /// (power of two). Change it at runtime with
+    /// [`Self::set_latency_sample_rate`].
+    pub const DEFAULT_LATENCY_SAMPLE: u64 = 8;
 
     /// A zeroed registry.
     #[must_use]
@@ -395,7 +414,10 @@ impl MetricsRegistry {
             decisions_permit: Counter::new(),
             decisions_deny: Counter::new(),
             decide_errors: Counter::new(),
+            decisions_sampled: Counter::new(),
             decide_latency_ns: Histogram::new(LATENCY_BOUNDS_NS),
+            decide_latency_sketch: QuantileSketch::new(),
+            stage_latency: std::array::from_fn(|_| QuantileSketch::new()),
             rule_matches_by_transaction: KeyedCounter::new(),
             index_rebuilds: Counter::new(),
             index_rebuild_ns: Counter::new(),
@@ -427,20 +449,38 @@ impl MetricsRegistry {
             env_breaker_closed: Counter::new(),
             env_breaker_state: Gauge::new(),
             decide_sample: AtomicU64::new(0),
+            latency_sample_mask: AtomicU64::new(Self::DEFAULT_LATENCY_SAMPLE - 1),
         }
     }
 
+    /// The current latency sampling rate: one in this many decisions is
+    /// timed and traced into the latency series.
+    #[must_use]
+    pub fn latency_sample_rate(&self) -> u64 {
+        self.latency_sample_mask.load(Ordering::Relaxed) + 1
+    }
+
+    /// Sets the latency sampling rate. `rate` is rounded up to a power
+    /// of two; a rate of 1 times every decision, larger rates shrink
+    /// tracing overhead at the cost of quantile coverage (reported by
+    /// the `grbac_decide_sampled_total` counter). A rate of 0 is
+    /// treated as 1.
+    pub fn set_latency_sample_rate(&self, rate: u64) {
+        let rate = rate.max(1).next_power_of_two();
+        self.latency_sample_mask.store(rate - 1, Ordering::Relaxed);
+    }
+
     /// Starts a latency sample for one decision: `Some(now)` for one
-    /// in [`Self::LATENCY_SAMPLE`] calls, `None` otherwise (and always
-    /// `None` with telemetry off). Sampling keeps the common decide
-    /// path free of clock reads.
+    /// in [`Self::latency_sample_rate`] calls, `None` otherwise (and
+    /// always `None` with telemetry off). Sampling keeps the common
+    /// decide path free of clock reads.
     #[must_use]
     pub fn decide_timer(&self) -> Option<Instant> {
         if !ENABLED {
             return None;
         }
-        (self.decide_sample.fetch_add(1, Ordering::Relaxed) & (Self::LATENCY_SAMPLE - 1) == 0)
-            .then(Instant::now)
+        let mask = self.latency_sample_mask.load(Ordering::Relaxed);
+        (self.decide_sample.fetch_add(1, Ordering::Relaxed) & mask == 0).then(Instant::now)
     }
 
     /// Completes a latency sample started by [`Self::decide_timer`].
@@ -448,6 +488,25 @@ impl MetricsRegistry {
         if let Some(start) = timer {
             self.decide_latency_ns
                 .observe(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        }
+    }
+
+    /// Feeds a completed decision trace into the continuous-profiling
+    /// series: the end-to-end latency histogram and sketch, one
+    /// quantile sketch per mediation stage, and the sampled-decision
+    /// counter. Called by the engine for every latency-sampled or
+    /// explicitly traced decision.
+    pub fn observe_trace(&self, trace: &DecisionTrace) {
+        if !ENABLED {
+            return;
+        }
+        self.decisions_sampled.inc();
+        self.decide_latency_ns.observe(trace.total_nanos);
+        self.decide_latency_sketch.observe(trace.total_nanos);
+        for record in &trace.stages {
+            if let Some(slot) = Stage::ALL.iter().position(|&s| s == record.stage) {
+                self.stage_latency[slot].observe(record.nanos);
+            }
         }
     }
 
@@ -469,6 +528,7 @@ impl MetricsRegistry {
             ("grbac_decisions_permit_total", &self.decisions_permit),
             ("grbac_decisions_deny_total", &self.decisions_deny),
             ("grbac_decide_errors_total", &self.decide_errors),
+            ("grbac_decide_sampled_total", &self.decisions_sampled),
             ("grbac_index_rebuilds_total", &self.index_rebuilds),
             ("grbac_index_rebuild_ns_total", &self.index_rebuild_ns),
             ("grbac_index_cache_hits_total", &self.index_cache_hits),
@@ -527,6 +587,14 @@ impl MetricsRegistry {
         ] {
             gauges.insert(name.to_owned(), gauge.get());
         }
+        gauges.insert(
+            "grbac_decide_sample_rate".to_owned(),
+            if ENABLED {
+                self.latency_sample_rate()
+            } else {
+                0
+            },
+        );
 
         let mut histograms = BTreeMap::new();
         histograms.insert(
@@ -534,6 +602,26 @@ impl MetricsRegistry {
             self.decide_latency_ns.snapshot(),
         );
         histograms.insert("grbac_batch_size".to_owned(), self.batch_size.snapshot());
+
+        let mut series = BTreeMap::new();
+        for (slot, &stage) in Stage::ALL.iter().enumerate() {
+            series.insert(
+                stage.name().to_owned(),
+                QuantileSnapshot::from_sketch(&self.stage_latency[slot].snapshot()),
+            );
+        }
+        series.insert(
+            "total".to_owned(),
+            QuantileSnapshot::from_sketch(&self.decide_latency_sketch.snapshot()),
+        );
+        let mut summaries = BTreeMap::new();
+        summaries.insert(
+            "grbac_stage_latency_ns".to_owned(),
+            SummaryFamily {
+                label: "stage".to_owned(),
+                series,
+            },
+        );
 
         let rule_matches = self
             .rule_matches_by_transaction
@@ -555,6 +643,7 @@ impl MetricsRegistry {
             gauges,
             histograms,
             keyed,
+            summaries,
         }
     }
 }
@@ -563,6 +652,53 @@ impl Default for MetricsRegistry {
     fn default() -> Self {
         Self::new()
     }
+}
+
+/// Compact quantile readings lifted from a [`SketchSnapshot`] for
+/// export: the three headline percentiles plus the exact scalar
+/// accumulators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuantileSnapshot {
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Smallest observed value (0 when empty).
+    pub min: u64,
+    /// Largest observed value (0 when empty).
+    pub max: u64,
+    /// Median.
+    pub p50: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// 99th percentile.
+    pub p99: u64,
+}
+
+impl QuantileSnapshot {
+    /// Reads the headline quantiles out of a full sketch snapshot.
+    #[must_use]
+    pub fn from_sketch(sketch: &SketchSnapshot) -> Self {
+        Self {
+            count: sketch.count,
+            sum: sketch.sum,
+            min: if sketch.count == 0 { 0 } else { sketch.min },
+            max: sketch.max,
+            p50: sketch.quantile(0.5),
+            p95: sketch.quantile(0.95),
+            p99: sketch.quantile(0.99),
+        }
+    }
+}
+
+/// One labelled family of quantile summaries in a snapshot (e.g.
+/// per-stage latency, labelled by stage name).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SummaryFamily {
+    /// The label key (e.g. `stage`).
+    pub label: String,
+    /// Label value → quantile readings.
+    pub series: BTreeMap<String, QuantileSnapshot>,
 }
 
 /// One labelled counter family in a snapshot.
@@ -586,12 +722,18 @@ pub struct MetricsSnapshot {
     pub histograms: BTreeMap<String, HistogramSnapshot>,
     /// Labelled counter families by name.
     pub keyed: BTreeMap<String, KeyedSnapshot>,
+    /// Quantile summary families by name (defaults to empty for
+    /// snapshots serialized before the field existed).
+    #[serde(default)]
+    pub summaries: BTreeMap<String, SummaryFamily>,
 }
 
 impl MetricsSnapshot {
     /// This snapshot minus an `earlier` one: counters, histograms and
-    /// keyed series subtract (saturating); gauges keep this snapshot's
-    /// value (a gauge is a level, not a rate).
+    /// keyed series subtract (saturating); gauges and quantile
+    /// summaries keep this snapshot's values (a gauge is a level, and
+    /// a quantile is not subtractable — diff the underlying
+    /// [`SketchSnapshot`]s for windowed quantiles).
     #[must_use]
     pub fn delta(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
         let counters = self
@@ -644,6 +786,7 @@ impl MetricsSnapshot {
             gauges: self.gauges.clone(),
             histograms,
             keyed,
+            summaries: self.summaries.clone(),
         }
     }
 
@@ -750,10 +893,77 @@ mod tests {
             })
             .count() as u64;
         if super::ENABLED {
-            assert_eq!(sampled, 64 / MetricsRegistry::LATENCY_SAMPLE);
+            assert_eq!(sampled, 64 / MetricsRegistry::DEFAULT_LATENCY_SAMPLE);
             assert_eq!(registry.decide_latency_ns.count(), sampled);
         } else {
             assert_eq!(sampled, 0);
+        }
+    }
+
+    #[test]
+    fn latency_sample_rate_is_runtime_configurable() {
+        let registry = MetricsRegistry::new();
+        assert_eq!(
+            registry.latency_sample_rate(),
+            MetricsRegistry::DEFAULT_LATENCY_SAMPLE
+        );
+        registry.set_latency_sample_rate(1);
+        assert_eq!(registry.latency_sample_rate(), 1);
+        let all = (0..10)
+            .filter(|_| registry.decide_timer().is_some())
+            .count();
+        if super::ENABLED {
+            assert_eq!(all, 10, "rate 1 samples every decision");
+        } else {
+            assert_eq!(all, 0);
+        }
+        // Non-power-of-two rates round up; zero clamps to one.
+        registry.set_latency_sample_rate(3);
+        assert_eq!(registry.latency_sample_rate(), 4);
+        registry.set_latency_sample_rate(0);
+        assert_eq!(registry.latency_sample_rate(), 1);
+    }
+
+    #[test]
+    fn observe_trace_feeds_every_stage_sketch() {
+        use super::super::trace::{DecisionTrace, Stage, StageRecord};
+        let registry = MetricsRegistry::new();
+        let trace = DecisionTrace {
+            stages: Stage::ALL
+                .iter()
+                .enumerate()
+                .map(|(i, &stage)| StageRecord {
+                    stage,
+                    nanos: (i as u64 + 1) * 100,
+                    items: 1,
+                })
+                .collect(),
+            total_nanos: 1_500,
+        };
+        registry.observe_trace(&trace);
+        registry.observe_trace(&trace);
+        let snap = registry.snapshot();
+        if super::ENABLED {
+            assert_eq!(snap.counter("grbac_decide_sampled_total"), 2);
+            assert_eq!(snap.histograms["grbac_decide_latency_ns"].count, 2);
+            let family = &snap.summaries["grbac_stage_latency_ns"];
+            assert_eq!(family.label, "stage");
+            assert_eq!(family.series.len(), 6, "five stages plus total");
+            for stage in Stage::ALL {
+                assert_eq!(family.series[stage.name()].count, 2);
+            }
+            let total = &family.series["total"];
+            assert_eq!(total.count, 2);
+            // Every observation was 1500 ns, so the quantiles agree.
+            assert!(total.p50.abs_diff(1_500) as f64 / 1_500.0 <= 0.07);
+            assert!(total.p99.abs_diff(1_500) as f64 / 1_500.0 <= 0.07);
+            assert_eq!(snap.gauge("grbac_decide_sample_rate"), 8);
+        } else {
+            assert_eq!(snap.counter("grbac_decide_sampled_total"), 0);
+            assert_eq!(
+                snap.summaries["grbac_stage_latency_ns"].series["total"].count,
+                0
+            );
         }
     }
 }

@@ -16,6 +16,11 @@
 //!   evaluation → rule candidate merge → precedence resolution) with
 //!   per-stage timings and item counts, produced by
 //!   [`Grbac::decide_traced`](crate::engine::Grbac::decide_traced).
+//! * [`QuantileSketch`] — a fixed-memory HDR-style streaming sketch
+//!   giving p50/p95/p99 for end-to-end decide latency and for each of
+//!   the five mediation stages, fed continuously by the sampled path
+//!   (see [`MetricsRegistry::observe_trace`]) and exported as summary
+//!   families.
 //! * [`Exporter`] — renders a [`MetricsSnapshot`] as Prometheus text
 //!   ([`PrometheusExporter`]) or JSON ([`JsonExporter`]); snapshots
 //!   support [`delta`](MetricsSnapshot::delta) for diffing two points
@@ -23,19 +28,24 @@
 //!
 //! Telemetry is **on by default and cheap**: every counter update is a
 //! single relaxed atomic operation, decision latency is sampled (one
-//! in [`MetricsRegistry::LATENCY_SAMPLE`] decisions pays for the two
-//! clock reads), and the whole subsystem compiles to no-ops under the
-//! `telemetry-off` feature. Experiment E10 in EXPERIMENTS.md holds the
-//! default-on overhead under 5% on the E5 1024-rule workload.
+//! in [`MetricsRegistry::latency_sample_rate`] decisions — default
+//! [`MetricsRegistry::DEFAULT_LATENCY_SAMPLE`], runtime-configurable —
+//! pays for the clock reads and the stage trace), and the whole
+//! subsystem compiles to no-ops under the `telemetry-off` feature.
+//! Experiment E10 in EXPERIMENTS.md holds the default-on overhead
+//! under 5% on the E5 1024-rule workload.
 
 mod export;
 mod metrics;
+mod sketch;
 mod trace;
 
 pub use export::{Exporter, JsonExporter, PrometheusExporter};
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, KeyedCounter, MetricsRegistry, MetricsSnapshot,
+    QuantileSnapshot, SummaryFamily,
 };
+pub use sketch::{QuantileSketch, SketchSnapshot};
 pub use trace::{DecisionTrace, Stage, StageRecord};
 
 pub(crate) use trace::{NoTrace, TraceCollector, TraceSink};

@@ -1,0 +1,117 @@
+//! Prometheus exposition-format conformance, pinned by a golden file.
+//!
+//! A deterministically-populated registry must render byte-for-byte
+//! the same scrape payload on every run: `# HELP`/`# TYPE` headers on
+//! every family, cumulative `_bucket` series with `le` labels ending
+//! in `+Inf`, `_sum`/`_count` for histograms and summaries, and the
+//! stage-quantile summary family. Regenerate the golden after an
+//! intentional format change with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p grbac-core --test golden_prometheus
+//! ```
+
+use grbac_core::telemetry::{self, Exporter, MetricsRegistry, PrometheusExporter};
+
+/// Fixed observations covering every metric kind the exporter renders.
+fn populated_registry() -> MetricsRegistry {
+    let registry = MetricsRegistry::new();
+    registry.decisions_permit.add(7);
+    registry.decisions_deny.add(3);
+    registry.decide_errors.inc();
+    registry.decisions_sampled.add(4);
+    registry.decisions_degraded.add(2);
+    registry.index_rebuilds.inc();
+    registry.index_rebuild_ns.add(52_000);
+    registry.index_cache_hits.add(9);
+    registry.closure_cache_hits.add(6);
+    registry.closure_cache_misses.add(2);
+    registry.batch_calls.inc();
+    registry.batch_size.observe(64);
+    registry.audit_permit_total.set(7);
+    registry.audit_deny_total.set(3);
+    registry.audit_retained.set(10);
+    registry.index_roles.set(12);
+    registry.index_rule_buckets.set(5);
+    registry.index_max_bucket.set(3);
+    registry.rule_matches_by_transaction.add(0, 5);
+    registry.rule_matches_by_transaction.add(1, 2);
+    for nanos in [800u64, 2_500, 21_000] {
+        registry.decide_latency_ns.observe(nanos);
+        registry.decide_latency_sketch.observe(nanos);
+    }
+    for (index, sketch) in registry.stage_latency.iter().enumerate() {
+        sketch.observe(100 * (index as u64 + 1));
+        sketch.observe(200 * (index as u64 + 1));
+    }
+    registry
+}
+
+#[test]
+fn scrape_payload_matches_the_golden_file() {
+    if !telemetry::ENABLED {
+        return; // all readings are zero under telemetry-off
+    }
+    let registry = populated_registry();
+    let snapshot = registry.snapshot_with(|key| format!("t{key}"));
+    let text = PrometheusExporter.export(&snapshot);
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/prometheus.txt");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(path, &text).expect("golden file writable");
+    }
+    let golden = std::fs::read_to_string(path).expect("golden file present");
+    assert_eq!(
+        text, golden,
+        "scrape payload drifted from the golden file; \
+         rerun with UPDATE_GOLDEN=1 if the change is intentional"
+    );
+}
+
+/// Structural conformance, independent of the pinned bytes: every
+/// sample family carries HELP and TYPE headers, histogram buckets are
+/// cumulative and close with `+Inf`, and histograms and summaries both
+/// expose `_sum` and `_count`.
+#[test]
+fn scrape_payload_is_structurally_conformant() {
+    if !telemetry::ENABLED {
+        return;
+    }
+    let registry = populated_registry();
+    let snapshot = registry.snapshot_with(|key| format!("t{key}"));
+    let text = PrometheusExporter.export(&snapshot);
+
+    let mut families: Vec<&str> = Vec::new();
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            families.push(rest.split_whitespace().next().expect("family name"));
+        }
+    }
+    assert!(!families.is_empty());
+    for family in &families {
+        assert!(
+            text.contains(&format!("# HELP {family} ")),
+            "family {family} is missing its HELP line"
+        );
+    }
+
+    // decide latency histogram: cumulative buckets ending in +Inf.
+    let buckets: Vec<u64> = text
+        .lines()
+        .filter(|l| l.starts_with("grbac_decide_latency_ns_bucket{le="))
+        .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+        .collect();
+    assert!(buckets.windows(2).all(|w| w[0] <= w[1]), "non-cumulative");
+    assert!(text.contains("grbac_decide_latency_ns_bucket{le=\"+Inf\"} 3"));
+    assert!(text.contains("grbac_decide_latency_ns_sum 24300"));
+    assert!(text.contains("grbac_decide_latency_ns_count 3"));
+
+    // stage summary: quantile labels plus per-series _sum/_count.
+    for quantile in ["0.5", "0.95", "0.99"] {
+        assert!(text.contains(&format!(
+            "grbac_stage_latency_ns{{stage=\"subject_expansion\",quantile=\"{quantile}\"}}"
+        )));
+    }
+    assert!(text.contains("grbac_stage_latency_ns_count{stage=\"subject_expansion\"} 2"));
+    assert!(text.contains("grbac_stage_latency_ns_count{stage=\"total\"} 3"));
+}

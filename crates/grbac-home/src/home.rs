@@ -172,6 +172,14 @@ impl AwareHome {
         &mut self.engine
     }
 
+    /// The engine's decision flight recorder: the last N mediation
+    /// outcomes with their environment snapshot hashes, ready for
+    /// forensic query and replay (see `grbac_core::provenance`).
+    #[must_use]
+    pub fn flight_recorder(&self) -> &std::sync::Arc<grbac_core::provenance::FlightRecorder> {
+        self.engine.flight_recorder()
+    }
+
     /// The standard vocabulary.
     #[must_use]
     pub fn vocab(&self) -> &HomeVocabulary {

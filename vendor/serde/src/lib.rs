@@ -377,6 +377,24 @@ impl<T: Serialize> Serialize for [T] {
     }
 }
 
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let items = value
+            .as_seq()
+            .ok_or_else(|| Error::expected("array", value))?;
+        if items.len() != N {
+            return Err(Error::custom(format!(
+                "expected array of length {N}, got {}",
+                items.len()
+            )));
+        }
+        let values: Vec<T> = items.iter().map(T::from_value).collect::<Result<_, _>>()?;
+        values
+            .try_into()
+            .map_err(|_| Error::custom("array length mismatch"))
+    }
+}
+
 impl<T: Serialize> Serialize for Vec<T> {
     fn to_value(&self) -> Value {
         self.as_slice().to_value()
