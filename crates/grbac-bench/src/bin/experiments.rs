@@ -1,13 +1,16 @@
 //! The experiment harness: regenerates every table in EXPERIMENTS.md.
 //!
 //! ```text
-//! experiments [e1 e2 … e12 | all] [--json]
+//! experiments [e1 e2 … e13 | all] [--json] [--bench-out DIR]
 //! ```
 //!
 //! Each experiment prints one or more tables; `--json` emits the same
-//! data as JSON for downstream tooling. Timings here use wall-clock
-//! loops sized for quick runs; the Criterion benches in `benches/`
-//! measure the same code paths with statistical rigor.
+//! data as JSON for downstream tooling. `--bench-out DIR` additionally
+//! writes the benchmark-bearing experiments (e5, e10, e12, e13) to
+//! `DIR/BENCH_<name>.json`, one JSON document per experiment, for CI
+//! artifact storage and cross-run comparison. Timings here use
+//! wall-clock loops sized for quick runs; the Criterion benches in
+//! `benches/` measure the same code paths with statistical rigor.
 
 use std::time::Instant;
 
@@ -43,52 +46,67 @@ use rand::SeedableRng;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let json = args.iter().any(|a| a == "--json");
+    let bench_out = args
+        .iter()
+        .position(|a| a == "--bench-out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let mut skip_next = false;
     let selected: Vec<&str> = args
         .iter()
-        .filter(|a| a.as_str() != "--json")
+        .filter(|a| {
+            if skip_next {
+                skip_next = false;
+                return false;
+            }
+            if a.as_str() == "--bench-out" {
+                skip_next = true;
+                return false;
+            }
+            a.as_str() != "--json"
+        })
         .map(String::as_str)
         .collect();
     let run_all = selected.is_empty() || selected.contains(&"all");
     let want = |name: &str| run_all || selected.contains(&name);
 
-    let mut tables = Vec::new();
-    if want("e1") {
-        tables.extend(e1_rbac_mediation());
-    }
-    if want("e2") {
-        tables.extend(e2_hierarchy());
-    }
-    if want("e3") {
-        tables.extend(e3_policy_size());
-    }
-    if want("e4") {
-        tables.extend(e4_partial_auth());
-    }
-    if want("e5") {
-        tables.extend(e5_mediation_scaling());
-    }
-    if want("e6") {
-        tables.extend(e6_precedence());
-    }
-    if want("e7") {
-        tables.extend(e7_expressiveness());
-    }
-    if want("e8") {
-        tables.extend(e8_env_events());
-    }
-    if want("e9") {
-        tables.extend(e9_aware_home());
-    }
-    if want("e10") {
-        tables.extend(e10_telemetry_overhead());
-    }
-    if want("e11") {
-        tables.extend(e11_fault_tolerance());
-    }
-    if want("e12") {
-        tables.extend(e12_provenance());
+    type Runner = fn() -> Vec<Table>;
+    let experiments: [(&str, Runner); 13] = [
+        ("e1", e1_rbac_mediation),
+        ("e2", e2_hierarchy),
+        ("e3", e3_policy_size),
+        ("e4", e4_partial_auth),
+        ("e5", e5_mediation_scaling),
+        ("e6", e6_precedence),
+        ("e7", e7_expressiveness),
+        ("e8", e8_env_events),
+        ("e9", e9_aware_home),
+        ("e10", e10_telemetry_overhead),
+        ("e11", e11_fault_tolerance),
+        ("e12", e12_provenance),
+        ("e13", e13_policy_health),
+    ];
+    let groups: Vec<(&str, Vec<Table>)> = experiments
+        .iter()
+        .filter(|(name, _)| want(name))
+        .map(|&(name, run)| (name, run()))
+        .collect();
+
+    // The benchmark-bearing experiments land as one JSON file each, so
+    // CI can store them and diffs can track timing drift across runs.
+    if let Some(dir) = bench_out {
+        std::fs::create_dir_all(&dir).expect("--bench-out directory creatable");
+        for (name, tables) in &groups {
+            if ["e5", "e10", "e12", "e13"].contains(name) {
+                let path = format!("{dir}/BENCH_{name}.json");
+                let body = serde_json::to_string_pretty(tables).expect("tables serialize");
+                std::fs::write(&path, body).expect("bench file writable");
+                eprintln!("wrote {path}");
+            }
+        }
     }
 
+    let tables: Vec<Table> = groups.into_iter().flat_map(|(_, tables)| tables).collect();
     if json {
         println!(
             "{}",
@@ -1228,4 +1246,262 @@ fn e12_provenance() -> Vec<Table> {
     }
 
     vec![overhead, fidelity, faults]
+}
+
+/// E13: policy heat and health — the per-rule heat table must cost
+/// nothing measurable at 4096 rules (toggled off at runtime as the
+/// baseline), the decision-stream watchdogs must stay silent on a
+/// fault-free run and fire when an E11 fault schedule switches on
+/// mid-workload, and the health report must flag an injected
+/// dead-in-practice rule that static analysis calls live.
+fn e13_policy_health() -> Vec<Table> {
+    let workload = WorkloadConfig {
+        days: 7,
+        requests_per_person_per_day: 50,
+        move_probability: 0.3,
+        seed: 2000,
+    };
+
+    // 1. Heat-tracking overhead at 4096 rules: same engine, same
+    // requests, the table toggled off (baseline) then on. Best-of-5
+    // minimum per configuration, as in E10.
+    let mut overhead = Table::new(
+        "E13: rule-heat overhead at 4096 rules (runtime toggle)",
+        &["heat", "rules", "ns_per_decision", "overhead"],
+    );
+    {
+        let system = synthetic_grbac(&SyntheticConfig {
+            rules: 4096,
+            subject_roles: 32,
+            object_roles: 32,
+            environment_roles: 16,
+            ..Default::default()
+        });
+        let requests = system.requests(20_000, 3, 3);
+        system.engine.decide(&requests[0]).expect("known ids");
+        let best_of = |f: &dyn Fn()| {
+            (0..5)
+                .map(|_| {
+                    let start = Instant::now();
+                    f();
+                    start.elapsed()
+                })
+                .min()
+                .expect("nonempty")
+        };
+        let measure = || {
+            ns_per_op(
+                best_of(&|| {
+                    for request in &requests {
+                        std::hint::black_box(system.engine.decide(request).expect("known ids"));
+                    }
+                }),
+                requests.len(),
+            )
+        };
+        system.engine.metrics().rule_heat.set_enabled(false);
+        let off_ns = measure();
+        system.engine.metrics().rule_heat.set_enabled(true);
+        let on_ns = measure();
+        overhead.row(&[
+            "off".to_owned(),
+            "4096".to_owned(),
+            format!("{off_ns:.0}"),
+            "baseline".to_owned(),
+        ]);
+        overhead.row(&[
+            "on".to_owned(),
+            "4096".to_owned(),
+            format!("{on_ns:.0}"),
+            format!("{:+.2}%", (on_ns - off_ns) / off_ns * 100.0),
+        ]);
+    }
+
+    // 2. Watchdogs under E11 fault schedules. Each run replays the E9
+    // workload with the watchdog ticking every 100 events; the fault
+    // layer switches on at the halfway mark, so the first half is the
+    // learned baseline and the second half is the anomaly. A fault-free
+    // run (rate 0.00) must raise zero alerts end to end.
+    let mut watchdogs = Table::new(
+        "E13: watchdog alerts when an E11 fault schedule switches on mid-run",
+        &[
+            "error_rate",
+            "ticks",
+            "pre_fault_alerts",
+            "fault_alerts",
+            "alert_kinds",
+        ],
+    );
+    for rate in [0.0, 0.1, 0.3] {
+        let mut home = paper_household().unwrap();
+        home.engine_mut()
+            .set_degraded_mode(DegradedMode::fail_closed());
+        // A tighter deviation floor than the default: degraded and
+        // staleness rates are near-constant zero on healthy traffic, so
+        // even the ~1% surge a 10% error rate produces is anomalous.
+        // The noisy signals (deny rate, flaps) are still governed by
+        // their learned deviation, which dominates this floor — and the
+        // longer warmup lets that deviation absorb the household's
+        // daily rhythm (morning role flips span ~3 ticks/day here)
+        // before alerts arm.
+        // min_decisions/min_polls at 60 skip the short remainder window
+        // the onset flush leaves behind: a ~40-decision window carries
+        // binomial sampling noise larger than any learned deviation.
+        home.install_watchdog(grbac_core::telemetry::WatchdogConfig {
+            deviation_floor: 0.002,
+            warmup_ticks: 8,
+            min_decisions: 60,
+            min_polls: 60,
+            ..grbac_core::telemetry::WatchdogConfig::default()
+        });
+        let events = generate(&home, &workload);
+        let onset = events.len() / 2;
+        let resilience = ResilienceConfig {
+            max_retries: 1,
+            failure_threshold: 3,
+            open_cooldown_s: 300,
+            ..ResilienceConfig::default()
+        };
+
+        let mut pre_fault_alerts = 0u64;
+        let mut fault_alerts = 0u64;
+        let mut kinds: std::collections::BTreeMap<&'static str, u64> =
+            std::collections::BTreeMap::new();
+        let mut ticks = 0u64;
+        for (i, event) in events.iter().enumerate() {
+            if i == onset {
+                // Close the window straddling the onset so pre-fault
+                // traffic cannot dilute the first faulty window.
+                ticks += 1;
+                pre_fault_alerts += home.watchdog_tick().len() as u64;
+                home.install_fault_layer(
+                    FaultPlan::random(FaultRates::errors_only(rate), 4100 + (rate * 100.0) as u64),
+                    resilience,
+                );
+            }
+            home.advance_to(event.at());
+            match event {
+                grbac_home::workload::WorkloadEvent::Move { subject, zone, .. } => {
+                    home.place(*subject, *zone);
+                }
+                grbac_home::workload::WorkloadEvent::Request {
+                    subject,
+                    transaction,
+                    object,
+                    ..
+                } => {
+                    home.request(*subject, *transaction, *object).unwrap();
+                }
+            }
+            if (i + 1) % 100 == 0 {
+                ticks += 1;
+                for alert in home.watchdog_tick() {
+                    if i < onset {
+                        pre_fault_alerts += 1;
+                    } else {
+                        fault_alerts += 1;
+                        *kinds.entry(alert.kind.name()).or_default() += 1;
+                    }
+                }
+            }
+        }
+        if grbac_core::telemetry::ENABLED {
+            assert_eq!(
+                pre_fault_alerts, 0,
+                "watchdogs must not alert on fault-free traffic (rate {rate})"
+            );
+            if rate == 0.0 {
+                assert_eq!(fault_alerts, 0, "a clean run must stay alert-free");
+            } else {
+                assert!(
+                    fault_alerts > 0,
+                    "fault onset at rate {rate} must raise at least one alert"
+                );
+            }
+        }
+        let kind_list = if kinds.is_empty() {
+            "-".to_owned()
+        } else {
+            kinds
+                .iter()
+                .map(|(kind, count)| format!("{kind}:{count}"))
+                .collect::<Vec<_>>()
+                .join(" ")
+        };
+        watchdogs.row(&[
+            format!("{rate:.2}"),
+            ticks.to_string(),
+            pre_fault_alerts.to_string(),
+            fault_alerts.to_string(),
+            kind_list,
+        ]);
+    }
+
+    // 3. Dead-in-practice detection: a permit rule gated on a declared
+    // environment role no provider definition ever activates. Static
+    // analysis calls it live (its subject role has members, nothing
+    // shadows it); the health report's heat join flags it.
+    let mut dead = Table::new(
+        "E13: health report vs static analysis on an injected dead rule",
+        &[
+            "decisions",
+            "rules",
+            "static_shadowed",
+            "static_memberless",
+            "dead_in_practice",
+            "injected_flagged",
+            "health_score",
+        ],
+    );
+    {
+        let mut home = paper_household().unwrap();
+        let vocab = *home.vocab();
+        let eclipse = home
+            .engine_mut()
+            .declare_environment_role("solar_eclipse")
+            .unwrap();
+        let injected = home
+            .engine_mut()
+            .add_rule(
+                RuleDef::permit()
+                    .named("eclipse viewing")
+                    .subject_role(vocab.child)
+                    .object_role(vocab.entertainment_device)
+                    .transaction(vocab.operate)
+                    .when(eclipse),
+            )
+            .unwrap();
+        let events = generate(&home, &workload);
+        execute(&mut home, &events).unwrap();
+
+        let report = grbac_core::analysis::health_report(home.engine());
+        let statically_flagged = report
+            .static_report
+            .shadowed
+            .iter()
+            .any(|s| s.rule == injected)
+            || report.static_report.memberless_rules.contains(&injected);
+        assert!(
+            !statically_flagged,
+            "the injected rule must look live to static analysis"
+        );
+        if grbac_core::telemetry::ENABLED {
+            assert!(
+                report.dead_in_practice.contains(&injected),
+                "the heat join must flag the injected rule as dead in practice"
+            );
+        }
+        dead.row(&[
+            report.decisions.to_string(),
+            report.traffic.len().to_string(),
+            report.static_report.shadowed.len().to_string(),
+            report.static_report.memberless_rules.len().to_string(),
+            report.dead_in_practice.len().to_string(),
+            (grbac_core::telemetry::ENABLED && report.dead_in_practice.contains(&injected))
+                .to_string(),
+            format!("{:.3}", report.score()),
+        ]);
+    }
+
+    vec![overhead, watchdogs, dead]
 }

@@ -1,0 +1,258 @@
+//! Policy health console: replays the E9 Aware Home workload with an
+//! injected dead-in-practice rule and a mid-run fault onset, then
+//! renders what the heat table, the health report, and the watchdog
+//! alert log saw.
+//!
+//! ```text
+//! health [--days N] [--top N] [--error-rate R] [--json]
+//! ```
+//!
+//! Four reports, as aligned tables or (`--json`) one JSON document:
+//!
+//! 1. **Heat table** — the top-N rules by matched decisions, with the
+//!    permit/deny win split and each rule's last-fired generation.
+//! 2. **Health report** — the static/runtime join: rule count, health
+//!    score, statically-flagged rules, dead-in-practice rules (always
+//!    including the injected one), heat-confirmed shadowing, drift.
+//! 3. **Role usage** — per declared role, how many rules reference it
+//!    and how much traffic those rules matched.
+//! 4. **Alert log** — every watchdog alert the run raised, with its
+//!    observed rate, learned baseline, and severity.
+
+use grbac_bench::table::Table;
+use grbac_core::analysis::health_report;
+use grbac_core::degraded::DegradedMode;
+use grbac_core::rule::RuleDef;
+use grbac_core::telemetry::WatchdogConfig;
+use grbac_env::fault::{FaultPlan, FaultRates};
+use grbac_env::resilient::ResilienceConfig;
+use grbac_home::scenario::paper_household;
+use grbac_home::workload::{generate, WorkloadConfig, WorkloadEvent};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name: &str| args.iter().any(|a| a == name);
+    let opt = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let days: u32 = opt("--days").map_or(7, |v| v.parse().expect("--days takes an integer"));
+    let top: usize = opt("--top").map_or(10, |v| v.parse().expect("--top takes an integer"));
+    let error_rate: f64 =
+        opt("--error-rate").map_or(0.1, |v| v.parse().expect("--error-rate takes a float"));
+    let json = flag("--json");
+
+    let mut home = paper_household().expect("paper household builds");
+    home.engine_mut()
+        .set_degraded_mode(DegradedMode::fail_closed());
+    let vocab = *home.vocab();
+
+    // The injected dead-in-practice rule: statically live (the child
+    // role has members, nothing shadows it), gated on an environment
+    // role no provider definition ever activates.
+    let eclipse = home
+        .engine_mut()
+        .declare_environment_role("solar_eclipse")
+        .expect("fresh role name");
+    let injected = home
+        .engine_mut()
+        .add_rule(
+            RuleDef::permit()
+                .named("eclipse viewing")
+                .subject_role(vocab.child)
+                .object_role(vocab.entertainment_device)
+                .transaction(vocab.operate)
+                .when(eclipse),
+        )
+        .expect("rule refers to declared ids");
+
+    // Same shape as experiment E13: watchdog ticking every 100 events,
+    // fault onset at the halfway mark.
+    home.install_watchdog(WatchdogConfig {
+        deviation_floor: 0.002,
+        warmup_ticks: 8,
+        min_decisions: 60,
+        min_polls: 60,
+        ..WatchdogConfig::default()
+    });
+    let events = generate(
+        &home,
+        &WorkloadConfig {
+            days,
+            requests_per_person_per_day: 50,
+            move_probability: 0.3,
+            seed: 2000,
+        },
+    );
+    let onset = events.len() / 2;
+    let mut requests = 0u64;
+    let mut permits = 0u64;
+    for (i, event) in events.iter().enumerate() {
+        if i == onset {
+            home.watchdog_tick();
+            home.install_fault_layer(
+                FaultPlan::random(FaultRates::errors_only(error_rate), 4110),
+                ResilienceConfig {
+                    max_retries: 1,
+                    failure_threshold: 3,
+                    open_cooldown_s: 300,
+                    ..ResilienceConfig::default()
+                },
+            );
+        }
+        home.advance_to(event.at());
+        match event {
+            WorkloadEvent::Move { subject, zone, .. } => home.place(*subject, *zone),
+            WorkloadEvent::Request {
+                subject,
+                transaction,
+                object,
+                ..
+            } => {
+                requests += 1;
+                if home
+                    .request(*subject, *transaction, *object)
+                    .expect("workload ids are declared")
+                    .is_permitted()
+                {
+                    permits += 1;
+                }
+            }
+        }
+        if (i + 1) % 100 == 0 {
+            home.watchdog_tick();
+        }
+    }
+    if !json {
+        eprintln!(
+            "mediated {requests} requests over {days} day(s): {permits} permits, {} denies; \
+             fault layer (error rate {error_rate}) from event {onset}",
+            requests - permits
+        );
+    }
+
+    let report = health_report(home.engine());
+    let mut tables = Vec::new();
+
+    // 1. Heat table: hottest rules first.
+    let mut heat = Table::new(
+        format!("Health: top-{top} rules by heat"),
+        &[
+            "rule",
+            "label",
+            "effect",
+            "matched",
+            "won_permit",
+            "won_deny",
+            "last_fired_gen",
+        ],
+    );
+    let mut traffic = report.traffic.clone();
+    traffic.sort_by(|a, b| b.matched.cmp(&a.matched).then(a.rule.cmp(&b.rule)));
+    for entry in traffic.iter().take(top) {
+        heat.row(&[
+            entry.rule.to_string(),
+            entry.label.clone(),
+            format!("{:?}", entry.effect),
+            entry.matched.to_string(),
+            entry.won_permit.to_string(),
+            entry.won_deny.to_string(),
+            entry
+                .last_fired_generation
+                .map_or_else(|| "-".to_owned(), |g| g.to_string()),
+        ]);
+    }
+    tables.push(heat);
+
+    // 2. The health report's verdict.
+    let mut verdict = Table::new(
+        "Health: static/runtime policy health report",
+        &["metric", "value"],
+    );
+    verdict.row(&["generation".into(), report.generation.to_string()]);
+    verdict.row(&["decisions".into(), report.decisions.to_string()]);
+    verdict.row(&["rules".into(), report.traffic.len().to_string()]);
+    verdict.row(&["health_score".into(), format!("{:.3}", report.score())]);
+    verdict.row(&["is_healthy".into(), report.is_healthy().to_string()]);
+    verdict.row(&[
+        "static_conflicts".into(),
+        report.static_report.conflicts.len().to_string(),
+    ]);
+    verdict.row(&[
+        "static_shadowed".into(),
+        report.static_report.shadowed.len().to_string(),
+    ]);
+    verdict.row(&[
+        "static_memberless".into(),
+        report.static_report.memberless_rules.len().to_string(),
+    ]);
+    verdict.row(&[
+        "dead_in_practice".into(),
+        report
+            .dead_in_practice
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(" "),
+    ]);
+    verdict.row(&[
+        "injected_dead_rule_flagged".into(),
+        report.dead_in_practice.contains(&injected).to_string(),
+    ]);
+    verdict.row(&[
+        "heat_confirmed_shadowed".into(),
+        report.heat_confirmed_shadowed.len().to_string(),
+    ]);
+    verdict.row(&["drifted".into(), report.drifted.len().to_string()]);
+    tables.push(verdict);
+
+    // 3. Role usage analytics.
+    let mut roles = Table::new(
+        "Health: per-role traffic",
+        &["role", "name", "kind", "referencing_rules", "matched"],
+    );
+    for usage in &report.role_usage {
+        roles.row(&[
+            usage.role.to_string(),
+            usage.name.clone(),
+            format!("{:?}", usage.kind),
+            usage.referencing_rules.to_string(),
+            usage.matched.to_string(),
+        ]);
+    }
+    tables.push(roles);
+
+    // 4. The watchdog's alert log.
+    let watchdog = home.watchdog().expect("installed above");
+    let mut alerts = Table::new(
+        "Health: watchdog alert log",
+        &[
+            "seq", "tick", "kind", "observed", "baseline", "window", "severity",
+        ],
+    );
+    for alert in watchdog.alerts() {
+        alerts.row(&[
+            alert.seq.to_string(),
+            alert.tick.to_string(),
+            alert.kind.name().to_owned(),
+            format!("{:.4}", alert.observed),
+            format!("{:.4}", alert.baseline),
+            alert.window.to_string(),
+            format!("{:.1}", alert.severity(watchdog.config())),
+        ]);
+    }
+    tables.push(alerts);
+
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&tables).expect("tables serialize")
+        );
+    } else {
+        for table in &tables {
+            println!("{}", table.render());
+        }
+    }
+}

@@ -1,4 +1,4 @@
-//! Static policy analysis.
+//! Static policy analysis — and its runtime-heat counterpart.
 //!
 //! The paper warns that GRBAC's generality "makes it even more
 //! susceptible to various types of policy conflicts and ambiguities"
@@ -6,6 +6,13 @@
 //! module provides the tooling: detecting permit/deny conflicts, rules
 //! shadowed under first-applicable resolution, and declared-but-unused
 //! roles — the "policy bugs" of §4.1.2.
+//!
+//! Static analysis finds rules that *cannot* fire; the per-rule heat
+//! table ([`RuleHeat`](crate::telemetry::RuleHeat)) records which rules
+//! *do* fire. [`health_report`] joins the two into a
+//! [`PolicyHealthReport`]: statically-live-but-cold rules ("dead in
+//! practice"), heat-confirmed shadowing, per-role traffic analytics,
+//! and rules that went cold after a policy edit.
 
 use std::collections::BTreeSet;
 
@@ -61,6 +68,31 @@ impl PolicyReport {
 }
 
 /// Runs every analysis over the engine's current policy.
+///
+/// # Examples
+///
+/// ```
+/// use grbac_core::analysis::analyze;
+/// use grbac_core::prelude::*;
+///
+/// # fn main() -> Result<(), GrbacError> {
+/// let mut g = Grbac::new();
+/// let family = g.declare_subject_role("family_member")?;
+/// let media = g.declare_object_role("media")?;
+/// let kid = g.declare_subject("kid")?;
+/// g.assign_subject_role(kid, family)?;
+/// g.add_rule(RuleDef::permit().subject_role(family).object_role(media))?;
+///
+/// assert!(analyze(&g).is_clean());
+///
+/// // A deny rule over the same positions is a conflict.
+/// g.add_rule(RuleDef::deny().subject_role(family).object_role(media))?;
+/// let report = analyze(&g);
+/// assert!(!report.is_clean());
+/// assert_eq!(report.conflicts.len(), 1);
+/// # Ok(())
+/// # }
+/// ```
 #[must_use]
 pub fn analyze(grbac: &Grbac) -> PolicyReport {
     PolicyReport {
@@ -79,6 +111,30 @@ pub fn analyze(grbac: &Grbac) -> PolicyReport {
 /// never exclude each other (any set of environment roles can be active
 /// together); transactions overlap when either is `Any` or they are
 /// equal.
+///
+/// # Examples
+///
+/// A permit on a generalization conflicts with a deny on its
+/// specialization — a child is also a family member:
+///
+/// ```
+/// use grbac_core::analysis::find_conflicts;
+/// use grbac_core::prelude::*;
+///
+/// # fn main() -> Result<(), GrbacError> {
+/// let mut g = Grbac::new();
+/// let family = g.declare_subject_role("family_member")?;
+/// let child = g.declare_subject_role("child")?;
+/// g.specialize(child, family)?;
+/// let permit = g.add_rule(RuleDef::permit().subject_role(family))?;
+/// let deny = g.add_rule(RuleDef::deny().subject_role(child))?;
+///
+/// let conflicts = find_conflicts(&g);
+/// assert_eq!(conflicts.len(), 1);
+/// assert_eq!((conflicts[0].permit, conflicts[0].deny), (permit, deny));
+/// # Ok(())
+/// # }
+/// ```
 #[must_use]
 pub fn find_conflicts(grbac: &Grbac) -> Vec<RuleConflict> {
     let rules = grbac.rules();
@@ -102,6 +158,28 @@ pub fn find_conflicts(grbac: &Grbac) -> Vec<RuleConflict> {
 }
 
 /// Finds rules that a strictly earlier rule completely covers.
+///
+/// # Examples
+///
+/// ```
+/// use grbac_core::analysis::find_shadowed;
+/// use grbac_core::prelude::*;
+///
+/// # fn main() -> Result<(), GrbacError> {
+/// let mut g = Grbac::new();
+/// let family = g.declare_subject_role("family_member")?;
+/// let child = g.declare_subject_role("child")?;
+/// g.specialize(child, family)?;
+/// // The broad rule matches everything the narrow one would.
+/// let broad = g.add_rule(RuleDef::permit().subject_role(family))?;
+/// let narrow = g.add_rule(RuleDef::permit().subject_role(child))?;
+///
+/// let shadowed = find_shadowed(&g);
+/// assert_eq!(shadowed.len(), 1);
+/// assert_eq!((shadowed[0].by, shadowed[0].rule), (broad, narrow));
+/// # Ok(())
+/// # }
+/// ```
 #[must_use]
 pub fn find_shadowed(grbac: &Grbac) -> Vec<ShadowedRule> {
     let rules = grbac.rules();
@@ -122,6 +200,25 @@ pub fn find_shadowed(grbac: &Grbac) -> Vec<ShadowedRule> {
 /// Roles (of any kind) referenced by no rule, directly or through the
 /// hierarchy: a role is "used" if some rule names it or names one of its
 /// generalizations (rules about `family_member` make `child` useful).
+///
+/// # Examples
+///
+/// ```
+/// use grbac_core::analysis::find_unused_roles;
+/// use grbac_core::prelude::*;
+///
+/// # fn main() -> Result<(), GrbacError> {
+/// let mut g = Grbac::new();
+/// let family = g.declare_subject_role("family_member")?;
+/// let lonely = g.declare_object_role("never_referenced")?;
+/// g.add_rule(RuleDef::permit().subject_role(family))?;
+///
+/// let unused = find_unused_roles(&g);
+/// assert!(unused.contains(&lonely));
+/// assert!(!unused.contains(&family));
+/// # Ok(())
+/// # }
+/// ```
 #[must_use]
 pub fn find_unused_roles(grbac: &Grbac) -> BTreeSet<RoleId> {
     let mut referenced = BTreeSet::new();
@@ -152,6 +249,26 @@ pub fn find_unused_roles(grbac: &Grbac) -> BTreeSet<RoleId> {
 
 /// Rules constrained to a subject role that currently has no members
 /// (considering hierarchy: members of specializations count).
+///
+/// # Examples
+///
+/// ```
+/// use grbac_core::analysis::find_memberless_rules;
+/// use grbac_core::prelude::*;
+///
+/// # fn main() -> Result<(), GrbacError> {
+/// let mut g = Grbac::new();
+/// let guest = g.declare_subject_role("guest")?;
+/// let rule = g.add_rule(RuleDef::permit().subject_role(guest))?;
+/// assert_eq!(find_memberless_rules(&g), vec![rule]);
+///
+/// // Assigning a member brings the rule alive.
+/// let visitor = g.declare_subject("visitor")?;
+/// g.assign_subject_role(visitor, guest)?;
+/// assert!(find_memberless_rules(&g).is_empty());
+/// # Ok(())
+/// # }
+/// ```
 #[must_use]
 pub fn find_memberless_rules(grbac: &Grbac) -> Vec<RuleId> {
     grbac
@@ -191,6 +308,29 @@ pub struct MatrixCell {
 ///
 /// Cells come out sorted by (subject, object, transaction). Intended
 /// for review tooling and tests; cost is the full cross product.
+///
+/// # Examples
+///
+/// ```
+/// use grbac_core::analysis::decision_matrix;
+/// use grbac_core::prelude::*;
+///
+/// # fn main() -> Result<(), GrbacError> {
+/// let mut g = Grbac::new();
+/// let family = g.declare_subject_role("family_member")?;
+/// let view = g.declare_transaction("view")?;
+/// let kid = g.declare_subject("kid")?;
+/// g.assign_subject_role(kid, family)?;
+/// let album = g.declare_object("album")?;
+/// g.add_rule(RuleDef::permit().subject_role(family).transaction(view))?;
+///
+/// let matrix = decision_matrix(&g, &EnvironmentSnapshot::new());
+/// // 1 subject × 1 object × 1 transaction.
+/// assert_eq!(matrix.len(), 1);
+/// assert_eq!(matrix[0].effect, Effect::Permit);
+/// # Ok(())
+/// # }
+/// ```
 #[must_use]
 pub fn decision_matrix(
     grbac: &Grbac,
@@ -224,6 +364,270 @@ pub fn decision_matrix(
         }
     }
     cells
+}
+
+/// One rule's runtime traffic, joined with its policy identity.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RuleTraffic {
+    /// The rule.
+    pub rule: RuleId,
+    /// Its human label (declared name, or `rule<id>`).
+    pub label: String,
+    /// The rule's effect.
+    pub effect: Effect,
+    /// Decisions in which the rule was applicable.
+    pub matched: u64,
+    /// Decisions the rule won with a permit.
+    pub won_permit: u64,
+    /// Decisions the rule won with a deny.
+    pub won_deny: u64,
+    /// Policy generation of the rule's most recent firing (`None` =
+    /// never fired).
+    pub last_fired_generation: Option<u64>,
+}
+
+/// How much traffic flows through one declared role.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoleUsage {
+    /// The role.
+    pub role: RoleId,
+    /// Its declared name.
+    pub name: String,
+    /// Subject, object, or environment.
+    pub kind: RoleKind,
+    /// Rules referencing the role directly (subject/object position or
+    /// environment conjunction).
+    pub referencing_rules: u64,
+    /// Heat (matches) summed over those referencing rules.
+    pub matched: u64,
+}
+
+/// The static analysis report joined with runtime heat: what the
+/// policy *could* do versus what it actually *does*. Produced by
+/// [`health_report`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PolicyHealthReport {
+    /// The policy generation the report was taken at.
+    pub generation: u64,
+    /// Decisions folded into the heat table since its last reset.
+    pub decisions: u64,
+    /// Times the heat table was reset (a cold rule right after a reset
+    /// is not evidence of anything).
+    pub heat_resets: u64,
+    /// The static analysis pass ([`analyze`]).
+    pub static_report: PolicyReport,
+    /// Per-rule traffic in policy order (every rule, including the
+    /// cold ones).
+    pub traffic: Vec<RuleTraffic>,
+    /// Rules static analysis considers live (not shadowed, not
+    /// memberless) that nevertheless matched zero decisions — dead in
+    /// practice. Empty until the heat table has seen traffic.
+    pub dead_in_practice: Vec<RuleId>,
+    /// Statically-shadowed rules whose heat agrees: they matched
+    /// decisions but never won one. (A statically-shadowed rule that
+    /// *did* win — possible under non-first-applicable strategies — is
+    /// excluded, heat having refuted the static call.)
+    pub heat_confirmed_shadowed: Vec<ShadowedRule>,
+    /// Rules that used to fire but have not fired under the current
+    /// generation even though newer decisions exist — candidates for a
+    /// policy edit having orphaned them.
+    pub drifted: Vec<RuleId>,
+    /// Per-role traffic analytics, in role-id order.
+    pub role_usage: Vec<RoleUsage>,
+}
+
+impl PolicyHealthReport {
+    /// Rules flagged by any signal (static or runtime), deduplicated.
+    #[must_use]
+    pub fn troubled_rules(&self) -> BTreeSet<RuleId> {
+        let mut out = BTreeSet::new();
+        for conflict in &self.static_report.conflicts {
+            out.insert(conflict.permit);
+            out.insert(conflict.deny);
+        }
+        for shadowed in &self.static_report.shadowed {
+            out.insert(shadowed.rule);
+        }
+        out.extend(self.static_report.memberless_rules.iter().copied());
+        out.extend(self.dead_in_practice.iter().copied());
+        out.extend(self.drifted.iter().copied());
+        out
+    }
+
+    /// Fraction of rules no signal flags, in `[0, 1]` (1.0 for an
+    /// empty policy).
+    #[must_use]
+    pub fn score(&self) -> f64 {
+        if self.traffic.is_empty() {
+            return 1.0;
+        }
+        let troubled = self.troubled_rules().len();
+        1.0 - troubled as f64 / self.traffic.len() as f64
+    }
+
+    /// True when nothing is flagged: the static report is clean, every
+    /// rule carries traffic, and none drifted cold.
+    #[must_use]
+    pub fn is_healthy(&self) -> bool {
+        self.static_report.is_clean() && self.dead_in_practice.is_empty() && self.drifted.is_empty()
+    }
+}
+
+/// Joins the static analysis pass with the engine's per-rule heat
+/// table into a [`PolicyHealthReport`].
+///
+/// Static analysis alone cannot see a rule that is *reachable in
+/// principle* but never exercised by real traffic; the heat join
+/// flags exactly those as [`dead_in_practice`](PolicyHealthReport::dead_in_practice).
+///
+/// # Examples
+///
+/// ```
+/// use grbac_core::analysis::{analyze, health_report};
+/// use grbac_core::prelude::*;
+///
+/// # fn main() -> Result<(), GrbacError> {
+/// let mut g = Grbac::new();
+/// let family = g.declare_subject_role("family_member")?;
+/// let use_t = g.declare_transaction("use")?;
+/// let kid = g.declare_subject("kid")?;
+/// g.assign_subject_role(kid, family)?;
+/// let tv = g.declare_object("tv")?;
+/// // An environment role no snapshot ever activates: the rule is
+/// // statically live but dead in practice.
+/// let eclipse = g.declare_environment_role("solar_eclipse")?;
+/// let hot = g.add_rule(RuleDef::permit().subject_role(family).transaction(use_t))?;
+/// let cold = g.add_rule(
+///     RuleDef::permit()
+///         .named("eclipse override")
+///         .subject_role(family)
+///         .when(eclipse),
+/// )?;
+///
+/// for _ in 0..10 {
+///     let request = AccessRequest::by_subject(kid, use_t, tv, EnvironmentSnapshot::new());
+///     g.decide(&request)?;
+/// }
+///
+/// // Static analysis sees nothing wrong with the eclipse rule...
+/// assert!(!analyze(&g).shadowed.iter().any(|s| s.rule == cold));
+/// // ...but the heat join knows it never fired.
+/// let report = health_report(&g);
+/// if grbac_core::telemetry::ENABLED {
+///     assert!(report.dead_in_practice.contains(&cold));
+///     assert!(!report.dead_in_practice.contains(&hot));
+///     assert!(!report.is_healthy());
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn health_report(grbac: &Grbac) -> PolicyHealthReport {
+    let static_report = analyze(grbac);
+    let heat = grbac.heat_snapshot();
+    let generation = grbac.policy_generation();
+
+    let traffic: Vec<RuleTraffic> = grbac
+        .rules()
+        .iter()
+        .map(|rule| {
+            let entry = heat.get(rule.id().as_raw());
+            RuleTraffic {
+                rule: rule.id(),
+                label: grbac.rule_label(rule.id()),
+                effect: rule.effect(),
+                matched: entry.matched,
+                won_permit: entry.won_permit,
+                won_deny: entry.won_deny,
+                last_fired_generation: entry.last_fired_generation,
+            }
+        })
+        .collect();
+
+    let statically_dead: BTreeSet<RuleId> = static_report
+        .shadowed
+        .iter()
+        .map(|s| s.rule)
+        .chain(static_report.memberless_rules.iter().copied())
+        .collect();
+    let dead_in_practice = if heat.decisions == 0 {
+        // No traffic yet: zero heat is not evidence.
+        Vec::new()
+    } else {
+        traffic
+            .iter()
+            .filter(|t| t.matched == 0 && !statically_dead.contains(&t.rule))
+            .map(|t| t.rule)
+            .collect()
+    };
+
+    let heat_confirmed_shadowed = static_report
+        .shadowed
+        .iter()
+        .filter(|s| {
+            let entry = heat.get(s.rule.as_raw());
+            entry.matched > 0 && entry.won_permit + entry.won_deny == 0
+        })
+        .cloned()
+        .collect();
+
+    // "Newer decisions exist" = some rule fired under the current
+    // generation; a rule with older heat then drifted cold across a
+    // policy edit.
+    let latest_fire = traffic.iter().filter_map(|t| t.last_fired_generation).max();
+    let drifted = if latest_fire == Some(generation) {
+        traffic
+            .iter()
+            .filter(|t| t.matched > 0 && t.last_fired_generation < Some(generation))
+            .map(|t| t.rule)
+            .collect()
+    } else {
+        Vec::new()
+    };
+
+    let role_usage = grbac
+        .roles()
+        .iter()
+        .map(|role| {
+            let mut referencing_rules = 0;
+            let mut matched = 0;
+            for t in &traffic {
+                let rule = grbac
+                    .rules()
+                    .iter()
+                    .find(|r| r.id() == t.rule)
+                    .expect("traffic is built from the rule list");
+                let references = match role.kind() {
+                    RoleKind::Subject => rule.subject_role() == RoleSpec::Is(role.id()),
+                    RoleKind::Object => rule.object_role() == RoleSpec::Is(role.id()),
+                    RoleKind::Environment => rule.environment_roles().contains(&role.id()),
+                };
+                if references {
+                    referencing_rules += 1;
+                    matched += t.matched;
+                }
+            }
+            RoleUsage {
+                role: role.id(),
+                name: role.name().to_owned(),
+                kind: role.kind(),
+                referencing_rules,
+                matched,
+            }
+        })
+        .collect();
+
+    PolicyHealthReport {
+        generation,
+        decisions: heat.decisions,
+        heat_resets: heat.resets,
+        static_report,
+        traffic,
+        dead_in_practice,
+        heat_confirmed_shadowed,
+        drifted,
+        role_usage,
+    }
 }
 
 fn rules_overlap(grbac: &Grbac, a: &Rule, b: &Rule) -> bool {
@@ -517,6 +921,150 @@ mod tests {
         assert!(!unused.contains(&family));
         assert!(!unused.contains(&child), "used via generalization");
         assert!(!unused.contains(&media));
+    }
+
+    #[test]
+    fn health_report_flags_dead_in_practice() {
+        let (mut g, family, child, media) = engine_with_hierarchy();
+        let kid = g.declare_subject("kid").unwrap();
+        g.assign_subject_role(kid, child).unwrap();
+        let tv = g.declare_object("tv").unwrap();
+        g.assign_object_role(tv, media).unwrap();
+        let use_t = g.declare_transaction("use").unwrap();
+        let eclipse = g.declare_environment_role("solar_eclipse").unwrap();
+        let hot = g
+            .add_rule(RuleDef::permit().subject_role(family).transaction(use_t))
+            .unwrap();
+        let cold = g
+            .add_rule(
+                RuleDef::permit()
+                    .named("eclipse override")
+                    .subject_role(family)
+                    .when(eclipse),
+            )
+            .unwrap();
+
+        // Before any traffic, zero heat is not evidence.
+        assert!(health_report(&g).dead_in_practice.is_empty());
+
+        for _ in 0..20 {
+            let request = crate::engine::AccessRequest::by_subject(
+                kid,
+                use_t,
+                tv,
+                crate::environment::EnvironmentSnapshot::new(),
+            );
+            g.decide(&request).unwrap();
+        }
+        let report = health_report(&g);
+        if crate::telemetry::ENABLED {
+            assert_eq!(report.decisions, 20);
+            assert_eq!(report.dead_in_practice, vec![cold]);
+            assert!(!report.is_healthy());
+            assert!(report.score() < 1.0);
+            assert!(report.troubled_rules().contains(&cold));
+            let hot_traffic = report.traffic.iter().find(|t| t.rule == hot).unwrap();
+            assert_eq!(hot_traffic.matched, 20);
+            assert_eq!(hot_traffic.won_permit, 20);
+            assert_eq!(hot_traffic.label, hot.to_string(), "anonymous rule");
+            let cold_traffic = report.traffic.iter().find(|t| t.rule == cold).unwrap();
+            assert_eq!(cold_traffic.label, "eclipse override");
+            assert_eq!(cold_traffic.last_fired_generation, None);
+            // Role analytics: the subject role carries the traffic, the
+            // eclipse role carries none.
+            let family_usage = report.role_usage.iter().find(|u| u.role == family).unwrap();
+            assert_eq!(family_usage.referencing_rules, 2);
+            assert_eq!(family_usage.matched, 20);
+            let eclipse_usage = report
+                .role_usage
+                .iter()
+                .find(|u| u.role == eclipse)
+                .unwrap();
+            assert_eq!(eclipse_usage.referencing_rules, 1);
+            assert_eq!(eclipse_usage.matched, 0);
+        } else {
+            assert_eq!(report.decisions, 0);
+            assert!(report.dead_in_practice.is_empty());
+        }
+    }
+
+    #[test]
+    fn health_report_confirms_shadowing_with_heat() {
+        let (mut g, family, child, media) = engine_with_hierarchy();
+        let kid = g.declare_subject("kid").unwrap();
+        g.assign_subject_role(kid, child).unwrap();
+        let tv = g.declare_object("tv").unwrap();
+        g.assign_object_role(tv, media).unwrap();
+        let use_t = g.declare_transaction("use").unwrap();
+        let broad = g.add_rule(RuleDef::permit().subject_role(family)).unwrap();
+        let narrow = g
+            .add_rule(RuleDef::permit().subject_role(child).object_role(media))
+            .unwrap();
+        g.set_strategy(crate::precedence::ConflictStrategy::FirstApplicable);
+
+        for _ in 0..10 {
+            let request = crate::engine::AccessRequest::by_subject(
+                kid,
+                use_t,
+                tv,
+                crate::environment::EnvironmentSnapshot::new(),
+            );
+            g.decide(&request).unwrap();
+        }
+        let report = health_report(&g);
+        if crate::telemetry::ENABLED {
+            assert_eq!(
+                report.heat_confirmed_shadowed,
+                vec![ShadowedRule {
+                    by: broad,
+                    rule: narrow
+                }]
+            );
+            // The shadowed rule matched but never won.
+            let t = report.traffic.iter().find(|t| t.rule == narrow).unwrap();
+            assert_eq!(t.matched, 10);
+            assert_eq!(t.won_permit + t.won_deny, 0);
+        }
+    }
+
+    #[test]
+    fn health_report_tracks_generation_drift() {
+        let (mut g, family, child, media) = engine_with_hierarchy();
+        let kid = g.declare_subject("kid").unwrap();
+        g.assign_subject_role(kid, child).unwrap();
+        let tv = g.declare_object("tv").unwrap();
+        g.assign_object_role(tv, media).unwrap();
+        let use_t = g.declare_transaction("use").unwrap();
+        let view = g.declare_transaction("view").unwrap();
+        let use_rule = g
+            .add_rule(RuleDef::permit().subject_role(family).transaction(use_t))
+            .unwrap();
+        let view_rule = g
+            .add_rule(RuleDef::permit().subject_role(family).transaction(view))
+            .unwrap();
+
+        let request = |t| {
+            crate::engine::AccessRequest::by_subject(
+                kid,
+                t,
+                tv,
+                crate::environment::EnvironmentSnapshot::new(),
+            )
+        };
+        g.decide(&request(use_t)).unwrap();
+        g.decide(&request(view)).unwrap();
+        assert!(health_report(&g).drifted.is_empty());
+
+        // A policy edit bumps the generation; only `view` traffic
+        // continues, so the use rule drifts cold.
+        g.declare_environment_role("post_edit_marker").unwrap();
+        g.decide(&request(view)).unwrap();
+        let report = health_report(&g);
+        if crate::telemetry::ENABLED {
+            assert_eq!(report.drifted, vec![use_rule]);
+            assert!(!report.drifted.contains(&view_rule));
+            assert!(!report.is_healthy());
+        }
     }
 
     #[test]

@@ -270,6 +270,12 @@ impl Grbac {
     /// mutation (or deserialization) invalidated the cached one.
     fn compiled(&self) -> Arc<CompiledIndex> {
         self.index.get_or_build(self.generation, &self.metrics, || {
+            // A rebuild is exactly when the rule-id ceiling can have
+            // moved: pre-size the heat table so steady-state decisions
+            // never widen it under a write lock.
+            self.metrics
+                .rule_heat
+                .reserve(self.rule_alloc.peek() as usize);
             CompiledIndex::build(&self.roles, &self.assignments, &self.rules)
         })
     }
@@ -804,17 +810,43 @@ impl Grbac {
 
     /// A point-in-time snapshot of the registry with per-transaction
     /// series labelled by declared transaction names (raw ids for
-    /// transactions no longer in the catalog). Export it with a
+    /// transactions no longer in the catalog) and per-rule heat series
+    /// labelled by rule names (`rule<id>` for anonymous or removed
+    /// rules). Export it with a
     /// [`PrometheusExporter`](crate::telemetry::PrometheusExporter) or
     /// [`JsonExporter`](crate::telemetry::JsonExporter), or diff two
     /// snapshots with [`MetricsSnapshot::delta`].
     #[must_use]
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
-        self.metrics.snapshot_with(|raw| {
-            self.entities
-                .transaction(TransactionId::from_raw(raw))
-                .map_or_else(|_| raw.to_string(), |t| t.name().to_owned())
-        })
+        self.metrics.snapshot_with_labels(
+            |raw| {
+                self.entities
+                    .transaction(TransactionId::from_raw(raw))
+                    .map_or_else(|_| raw.to_string(), |t| t.name().to_owned())
+            },
+            |raw| self.rule_label(RuleId::from_raw(raw)),
+        )
+    }
+
+    /// A stable human label for a rule: its declared name when it has
+    /// one, its id rendering (`rule<id>`) otherwise.
+    #[must_use]
+    pub fn rule_label(&self, rule: RuleId) -> String {
+        self.rules
+            .iter()
+            .find(|r| r.id() == rule)
+            .and_then(Rule::name)
+            .map_or_else(|| rule.to_string(), str::to_owned)
+    }
+
+    /// A point-in-time copy of the per-rule heat table (matches, wins
+    /// by effect, last-fired generation — see
+    /// [`RuleHeat`](crate::telemetry::RuleHeat)). Join it with the
+    /// static analysis report via
+    /// [`analysis::health_report`](crate::analysis::health_report).
+    #[must_use]
+    pub fn heat_snapshot(&self) -> crate::telemetry::RuleHeatSnapshot {
+        self.metrics.rule_heat.snapshot()
     }
 
     /// Mirrors the audit log's running totals into the registry's
@@ -1011,6 +1043,16 @@ impl Grbac {
                 self.metrics.rule_matches_by_transaction.add(
                     request.transaction.as_raw(),
                     decision.explanation().matched.len() as u64,
+                );
+                self.metrics.rule_heat.record_decision(
+                    decision
+                        .explanation()
+                        .matched
+                        .iter()
+                        .map(|m| m.rule.as_raw()),
+                    decision.winning_rule().map(RuleId::as_raw),
+                    decision.effect() == Effect::Permit,
+                    self.generation,
                 );
                 if let Some(reason) = decision.degraded() {
                     self.metrics.decisions_degraded.inc();

@@ -103,6 +103,7 @@ pub mod session;
 pub mod sod;
 pub mod telemetry;
 
+pub use analysis::{health_report, PolicyHealthReport};
 pub use builder::GrbacBuilder;
 pub use confidence::{AuthContext, Confidence};
 pub use degraded::{DegradedMode, DegradedPosture, DegradedReason, EnvHealth};
@@ -115,7 +116,8 @@ pub use provenance::{FlightRecorder, ForensicQuery, ProvenanceRecord, ReplayRepo
 pub use role::RoleKind;
 pub use rule::{Effect, Rule, RuleDef};
 pub use telemetry::{
-    DecisionTrace, Exporter, JsonExporter, MetricsRegistry, MetricsSnapshot, PrometheusExporter,
+    AlertKind, AlertRecord, DecisionTrace, DecisionWatchdog, Exporter, JsonExporter,
+    MetricsRegistry, MetricsSnapshot, PrometheusExporter, RuleHeatSnapshot, WatchdogConfig,
 };
 
 /// The most commonly needed items, importable with one `use`.

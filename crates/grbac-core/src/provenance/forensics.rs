@@ -19,7 +19,7 @@ use crate::environment::EnvironmentSnapshot;
 use crate::error::Result;
 use crate::id::RuleId;
 use crate::rule::Effect;
-use crate::telemetry::Stage;
+use crate::telemetry::{RuleHeatSnapshot, Stage};
 
 use super::recorder::ProvenanceRecord;
 
@@ -272,6 +272,42 @@ pub fn slowest_stages(records: &[ProvenanceRecord], n: usize) -> Vec<StageSample
     samples
 }
 
+/// Rebuilds a [`RuleHeatSnapshot`] from recorded decisions, as if the
+/// heat table had watched exactly these records: every rule in a
+/// record's matched set accrues a match, the winning rule accrues a win
+/// under the recorded effect, and `last_fired_generation` takes the
+/// newest recording generation per rule.
+///
+/// This is the forensic cross-check for the live table: over a window
+/// where the flight recorder dropped nothing and the heat table was
+/// neither reset nor disabled, the reconstruction and
+/// [`Grbac::heat_snapshot`](crate::engine::Grbac::heat_snapshot) agree
+/// on every per-rule count. A divergence localizes the evidence gap —
+/// ring-buffer eviction, a reset, or a disabled interval
+/// (reconstruction `resets` is always 0; it never witnesses one).
+#[must_use]
+pub fn reconstruct_heat<'a>(
+    records: impl IntoIterator<Item = &'a ProvenanceRecord>,
+) -> RuleHeatSnapshot {
+    let mut snapshot = RuleHeatSnapshot::default();
+    for record in records {
+        for rule in &record.matched_rules {
+            let entry = snapshot.rules.entry(rule.as_raw()).or_default();
+            entry.matched += 1;
+            entry.last_fired_generation = entry.last_fired_generation.max(Some(record.generation));
+        }
+        if let Some(winner) = record.winning_rule {
+            let entry = snapshot.rules.entry(winner.as_raw()).or_default();
+            match record.effect {
+                Effect::Permit => entry.won_permit += 1,
+                Effect::Deny => entry.won_deny += 1,
+            }
+        }
+        snapshot.decisions += 1;
+    }
+    snapshot
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -310,6 +346,28 @@ mod tests {
         let records = g.flight_recorder().snapshot();
         assert_eq!(records.len(), 2);
         (g, records)
+    }
+
+    #[test]
+    fn reconstructed_heat_matches_the_live_table() {
+        let (g, records) = recorded_engine();
+        let rebuilt = reconstruct_heat(records.iter());
+        assert_eq!(rebuilt.decisions, 2);
+        assert_eq!(rebuilt.resets, 0);
+        let rule = records[0].winning_rule.unwrap().as_raw();
+        // The permit matched and won; the degraded deny matched nothing.
+        let entry = rebuilt.get(rule);
+        assert_eq!(entry.matched, 1);
+        assert_eq!(entry.won_permit, 1);
+        assert_eq!(entry.won_deny, 0);
+        assert_eq!(entry.last_fired_generation, Some(records[0].generation));
+        if crate::telemetry::ENABLED {
+            // Nothing evicted, reset or disabled: the forensic
+            // reconstruction and the live table agree exactly.
+            let live = g.heat_snapshot();
+            assert_eq!(rebuilt.rules, live.rules);
+            assert_eq!(rebuilt.decisions, live.decisions);
+        }
     }
 
     #[test]

@@ -72,7 +72,7 @@ mod forensics;
 mod recorder;
 
 pub use forensics::{
-    rebuild_request, replay, replay_all, replay_with_health, slowest_stages, ClosureDelta,
-    ForensicQuery, ReplayDiff, ReplayReport, StageSample,
+    rebuild_request, reconstruct_heat, replay, replay_all, replay_with_health, slowest_stages,
+    ClosureDelta, ForensicQuery, ReplayDiff, ReplayReport, StageSample,
 };
 pub use recorder::{env_fingerprint, FlightRecorder, ProvenanceRecord};

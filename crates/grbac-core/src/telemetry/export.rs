@@ -66,6 +66,25 @@ fn help_for(name: &str) -> &'static str {
         "grbac_decide_latency_ns" => "Sampled decide() latency in nanoseconds.",
         "grbac_batch_size" => "Requests per decide_batch() call.",
         "grbac_rule_matches_total" => "Matched rules per request, by transaction.",
+        "grbac_rule_heat_matched_total" => "Decisions in which the rule was applicable, by rule.",
+        "grbac_rule_heat_won_permit_total" => "Decisions the rule won with a permit, by rule.",
+        "grbac_rule_heat_won_deny_total" => "Decisions the rule won with a deny, by rule.",
+        "grbac_rule_heat_resets_total" => "Times the per-rule heat table was reset.",
+        "grbac_rule_heat_enabled" => "Whether per-rule heat is being recorded (1) or not (0).",
+        "grbac_alerts_total" => "Watchdog anomaly alerts raised, by kind.",
+        "grbac_watchdog_ticks_total" => "Decision-stream watchdog evaluations.",
+        "grbac_watchdog_deny_baseline_ppm" => {
+            "Watchdog EWMA deny-rate baseline, parts per million."
+        }
+        "grbac_watchdog_degraded_baseline_ppm" => {
+            "Watchdog EWMA degraded-rate baseline, parts per million."
+        }
+        "grbac_watchdog_flap_baseline_ppm" => {
+            "Watchdog EWMA env-role flap-rate baseline, parts per million."
+        }
+        "grbac_watchdog_staleness_baseline_ppm" => {
+            "Watchdog EWMA staleness-burn baseline, parts per million."
+        }
         "grbac_stage_latency_ns" => "Sampled per-stage mediation latency in nanoseconds.",
         _ => "GRBAC mediation metric.",
     }

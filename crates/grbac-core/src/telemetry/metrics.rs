@@ -13,6 +13,8 @@ use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
 
+use super::health::AlertKind;
+use super::heat::RuleHeat;
 use super::sketch::{QuantileSketch, SketchSnapshot};
 use super::trace::{DecisionTrace, Stage};
 use super::ENABLED;
@@ -393,6 +395,28 @@ pub struct MetricsRegistry {
     pub env_breaker_closed: Counter,
     /// Current circuit-breaker state: 0 closed, 1 half-open, 2 open.
     pub env_breaker_state: Gauge,
+    /// Per-rule heat: matches, wins by effect, and last-fired
+    /// generation, fed by the compiled decide path (see
+    /// [`RuleHeat`]).
+    pub rule_heat: RuleHeat,
+    /// Watchdog evaluations ([`DecisionWatchdog::tick`]
+    /// calls).
+    ///
+    /// [`DecisionWatchdog::tick`]: super::DecisionWatchdog::tick
+    pub watchdog_ticks: Counter,
+    /// Anomaly alerts raised, keyed by [`AlertKind`] slot.
+    pub alerts_by_kind: KeyedCounter,
+    /// The watchdog's learned deny-rate baseline, in parts per million.
+    pub watchdog_deny_baseline_ppm: Gauge,
+    /// The watchdog's learned degraded-rate baseline, in parts per
+    /// million.
+    pub watchdog_degraded_baseline_ppm: Gauge,
+    /// The watchdog's learned env-role flap-rate baseline, in parts per
+    /// million.
+    pub watchdog_flap_baseline_ppm: Gauge,
+    /// The watchdog's learned staleness-burn baseline, in parts per
+    /// million.
+    pub watchdog_staleness_baseline_ppm: Gauge,
     /// Round-robin sample selector for `decide_timer`.
     decide_sample: AtomicU64,
     /// `sample_rate - 1`, where the rate is a power of two; applied as
@@ -448,6 +472,13 @@ impl MetricsRegistry {
             env_breaker_half_open: Counter::new(),
             env_breaker_closed: Counter::new(),
             env_breaker_state: Gauge::new(),
+            rule_heat: RuleHeat::new(),
+            watchdog_ticks: Counter::new(),
+            alerts_by_kind: KeyedCounter::new(),
+            watchdog_deny_baseline_ppm: Gauge::new(),
+            watchdog_degraded_baseline_ppm: Gauge::new(),
+            watchdog_flap_baseline_ppm: Gauge::new(),
+            watchdog_staleness_baseline_ppm: Gauge::new(),
             decide_sample: AtomicU64::new(0),
             latency_sample_mask: AtomicU64::new(Self::DEFAULT_LATENCY_SAMPLE - 1),
         }
@@ -510,19 +541,33 @@ impl MetricsRegistry {
         }
     }
 
-    /// A point-in-time snapshot with raw-id transaction labels.
+    /// A point-in-time snapshot with raw-id transaction and rule
+    /// labels.
     ///
     /// Use [`Grbac::metrics_snapshot`](crate::engine::Grbac::metrics_snapshot)
-    /// to resolve transaction ids to their declared names.
+    /// to resolve transaction and rule ids to their declared names.
     #[must_use]
     pub fn snapshot(&self) -> MetricsSnapshot {
         self.snapshot_with(|raw| raw.to_string())
     }
 
     /// Like [`Self::snapshot`], labelling per-transaction series with
-    /// `transaction_label(raw_id)`.
+    /// `transaction_label(raw_id)`. Per-rule series keep raw
+    /// `rule<id>` labels; see [`Self::snapshot_with_labels`].
     #[must_use]
     pub fn snapshot_with(&self, transaction_label: impl Fn(u64) -> String) -> MetricsSnapshot {
+        self.snapshot_with_labels(transaction_label, |raw| format!("rule{raw}"))
+    }
+
+    /// Like [`Self::snapshot`], labelling per-transaction series with
+    /// `transaction_label(raw_id)` and per-rule heat series with
+    /// `rule_label(raw_id)`.
+    #[must_use]
+    pub fn snapshot_with_labels(
+        &self,
+        transaction_label: impl Fn(u64) -> String,
+        rule_label: impl Fn(u64) -> String,
+    ) -> MetricsSnapshot {
         let mut counters = BTreeMap::new();
         for (name, counter) in [
             ("grbac_decisions_permit_total", &self.decisions_permit),
@@ -570,9 +615,14 @@ impl MetricsRegistry {
                 &self.env_breaker_half_open,
             ),
             ("grbac_env_breaker_closed_total", &self.env_breaker_closed),
+            ("grbac_watchdog_ticks_total", &self.watchdog_ticks),
         ] {
             counters.insert(name.to_owned(), counter.get());
         }
+        counters.insert(
+            "grbac_rule_heat_resets_total".to_owned(),
+            self.rule_heat.reset_count(),
+        );
 
         let mut gauges = BTreeMap::new();
         for (name, gauge) in [
@@ -584,9 +634,29 @@ impl MetricsRegistry {
             ("grbac_index_rule_buckets", &self.index_rule_buckets),
             ("grbac_index_max_bucket", &self.index_max_bucket),
             ("grbac_env_breaker_state", &self.env_breaker_state),
+            (
+                "grbac_watchdog_deny_baseline_ppm",
+                &self.watchdog_deny_baseline_ppm,
+            ),
+            (
+                "grbac_watchdog_degraded_baseline_ppm",
+                &self.watchdog_degraded_baseline_ppm,
+            ),
+            (
+                "grbac_watchdog_flap_baseline_ppm",
+                &self.watchdog_flap_baseline_ppm,
+            ),
+            (
+                "grbac_watchdog_staleness_baseline_ppm",
+                &self.watchdog_staleness_baseline_ppm,
+            ),
         ] {
             gauges.insert(name.to_owned(), gauge.get());
         }
+        gauges.insert(
+            "grbac_rule_heat_enabled".to_owned(),
+            u64::from(self.rule_heat.is_enabled()),
+        );
         gauges.insert(
             "grbac_decide_sample_rate".to_owned(),
             if ENABLED {
@@ -635,6 +705,42 @@ impl MetricsRegistry {
             KeyedSnapshot {
                 label: "transaction".to_owned(),
                 values: rule_matches,
+            },
+        );
+        let heat = self.rule_heat.snapshot();
+        let heat_family = |pick: fn(&super::heat::RuleHeatEntry) -> u64| KeyedSnapshot {
+            label: "rule".to_owned(),
+            values: heat
+                .rules
+                .iter()
+                .filter(|(_, entry)| pick(entry) > 0)
+                .map(|(&raw, entry)| (rule_label(raw), pick(entry)))
+                .collect(),
+        };
+        keyed.insert(
+            "grbac_rule_heat_matched_total".to_owned(),
+            heat_family(|entry| entry.matched),
+        );
+        keyed.insert(
+            "grbac_rule_heat_won_permit_total".to_owned(),
+            heat_family(|entry| entry.won_permit),
+        );
+        keyed.insert(
+            "grbac_rule_heat_won_deny_total".to_owned(),
+            heat_family(|entry| entry.won_deny),
+        );
+        keyed.insert(
+            "grbac_alerts_total".to_owned(),
+            KeyedSnapshot {
+                label: "kind".to_owned(),
+                values: self
+                    .alerts_by_kind
+                    .snapshot()
+                    .into_iter()
+                    .filter_map(|(slot, value)| {
+                        AlertKind::from_slot(slot).map(|kind| (kind.name().to_owned(), value))
+                    })
+                    .collect(),
             },
         );
 

@@ -25,6 +25,14 @@
 //!   ([`PrometheusExporter`]) or JSON ([`JsonExporter`]); snapshots
 //!   support [`delta`](MetricsSnapshot::delta) for diffing two points
 //!   in time.
+//! * [`RuleHeat`] — sharded per-rule heat counters (matches, wins by
+//!   effect, last-fired generation) fed by every compiled decision;
+//!   joined with the static [`analysis`](crate::analysis) report into
+//!   a [`PolicyHealthReport`](crate::analysis::PolicyHealthReport).
+//! * [`DecisionWatchdog`] — pull-model anomaly detection over the
+//!   registry's decision-stream counters (deny rate, degraded rate,
+//!   env-role flaps, staleness burn) with EWMA baselines and
+//!   structured [`AlertRecord`]s.
 //!
 //! Telemetry is **on by default and cheap**: every counter update is a
 //! single relaxed atomic operation, decision latency is sampled (one
@@ -36,14 +44,18 @@
 //! under 5% on the E5 1024-rule workload.
 
 mod export;
+mod health;
+mod heat;
 mod metrics;
 mod sketch;
 mod trace;
 
 pub use export::{Exporter, JsonExporter, PrometheusExporter};
+pub use health::{AlertKind, AlertRecord, DecisionWatchdog, WatchdogConfig};
+pub use heat::{RuleHeat, RuleHeatEntry, RuleHeatSnapshot};
 pub use metrics::{
-    Counter, Gauge, Histogram, HistogramSnapshot, KeyedCounter, MetricsRegistry, MetricsSnapshot,
-    QuantileSnapshot, SummaryFamily,
+    Counter, Gauge, Histogram, HistogramSnapshot, KeyedCounter, KeyedSnapshot, MetricsRegistry,
+    MetricsSnapshot, QuantileSnapshot, SummaryFamily,
 };
 pub use sketch::{QuantileSketch, SketchSnapshot};
 pub use trace::{DecisionTrace, Stage, StageRecord};

@@ -11,7 +11,7 @@
 //! UPDATE_GOLDEN=1 cargo test -p grbac-core --test golden_prometheus
 //! ```
 
-use grbac_core::telemetry::{self, Exporter, MetricsRegistry, PrometheusExporter};
+use grbac_core::telemetry::{self, AlertKind, Exporter, MetricsRegistry, PrometheusExporter};
 
 /// Fixed observations covering every metric kind the exporter renders.
 fn populated_registry() -> MetricsRegistry {
@@ -36,6 +36,24 @@ fn populated_registry() -> MetricsRegistry {
     registry.index_max_bucket.set(3);
     registry.rule_matches_by_transaction.add(0, 5);
     registry.rule_matches_by_transaction.add(1, 2);
+    registry.rule_heat.reset();
+    registry
+        .rule_heat
+        .record_decision([0u64, 1], Some(0), true, 4);
+    registry
+        .rule_heat
+        .record_decision([0u64, 2], Some(2), false, 4);
+    registry.watchdog_ticks.add(3);
+    registry
+        .alerts_by_kind
+        .add(AlertKind::DenyRateSpike.slot(), 2);
+    registry
+        .alerts_by_kind
+        .add(AlertKind::StalenessBurn.slot(), 1);
+    registry.watchdog_deny_baseline_ppm.set(50_000);
+    registry.watchdog_degraded_baseline_ppm.set(1_000);
+    registry.watchdog_flap_baseline_ppm.set(250_000);
+    registry.watchdog_staleness_baseline_ppm.set(0);
     for nanos in [800u64, 2_500, 21_000] {
         registry.decide_latency_ns.observe(nanos);
         registry.decide_latency_sketch.observe(nanos);
@@ -114,4 +132,20 @@ fn scrape_payload_is_structurally_conformant() {
     }
     assert!(text.contains("grbac_stage_latency_ns_count{stage=\"subject_expansion\"} 2"));
     assert!(text.contains("grbac_stage_latency_ns_count{stage=\"total\"} 3"));
+
+    // Heat families: rule-labelled counters with permit/deny split,
+    // plus the enablement gauge and reset counter.
+    assert!(text.contains("grbac_rule_heat_matched_total{rule=\"rule0\"} 2"));
+    assert!(text.contains("grbac_rule_heat_matched_total{rule=\"rule1\"} 1"));
+    assert!(text.contains("grbac_rule_heat_won_permit_total{rule=\"rule0\"} 1"));
+    assert!(text.contains("grbac_rule_heat_won_deny_total{rule=\"rule2\"} 1"));
+    assert!(text.contains("grbac_rule_heat_resets_total 1"));
+    assert!(text.contains("grbac_rule_heat_enabled 1"));
+
+    // Watchdog families: alert counters keyed by alert kind, tick
+    // counter, and ppm baseline gauges.
+    assert!(text.contains("grbac_alerts_total{kind=\"deny_rate_spike\"} 2"));
+    assert!(text.contains("grbac_alerts_total{kind=\"staleness_burn\"} 1"));
+    assert!(text.contains("grbac_watchdog_ticks_total 3"));
+    assert!(text.contains("grbac_watchdog_deny_baseline_ppm 50000"));
 }

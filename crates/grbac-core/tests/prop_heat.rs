@@ -1,0 +1,230 @@
+//! Differential static-vs-runtime property suite: rules the static
+//! analyzer calls unwinnable must accrue the corresponding *absence*
+//! of heat under randomized workloads.
+//!
+//! Two claims, each scoped to the preconditions the static pass
+//! actually makes:
+//!
+//! * A rule reported [`shadowed`](grbac_core::analysis::find_shadowed)
+//!   never *wins* under first-applicable resolution (it may still
+//!   match — that is what heat-confirmed shadowing reports). The
+//!   strategy is pinned because under `MostSpecific` a covered but
+//!   more specific rule legitimately can win.
+//! * A rule reported [`memberless`](grbac_core::analysis::find_memberless_rules)
+//!   never *matches* for subject- or session-authenticated actors (a
+//!   sensed actor may claim any declared role, member or not, so the
+//!   workload sticks to the postures the static pass reasons about).
+//!
+//! The suite also holds the heat table's own bookkeeping consistent:
+//! per-rule wins sum to at most the decision count, and matches mirror
+//! the decisions' explanations.
+
+use grbac_core::analysis::{find_memberless_rules, find_shadowed};
+use grbac_core::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+struct Model {
+    g: Grbac,
+    env_roles: Vec<RoleId>,
+    subjects: Vec<SubjectId>,
+    objects: Vec<ObjectId>,
+    transactions: Vec<TransactionId>,
+}
+
+fn pick<T: Copy>(rng: &mut StdRng, items: &[T]) -> T {
+    items[rng.gen_range(0..items.len())]
+}
+
+/// A random household under first-applicable resolution: random role
+/// DAGs, partial assignments, and a rule book dense enough to shadow.
+fn build_model(rng: &mut StdRng) -> Model {
+    let mut g = Grbac::new();
+
+    let subject_roles: Vec<RoleId> = (0..rng.gen_range(2..=5usize))
+        .map(|i| g.declare_subject_role(format!("sr{i}")).unwrap())
+        .collect();
+    let object_roles: Vec<RoleId> = (0..rng.gen_range(1..=4usize))
+        .map(|i| g.declare_object_role(format!("or{i}")).unwrap())
+        .collect();
+    let env_roles: Vec<RoleId> = (0..rng.gen_range(1..=3usize))
+        .map(|i| g.declare_environment_role(format!("er{i}")).unwrap())
+        .collect();
+    for roles in [&subject_roles, &object_roles, &env_roles] {
+        for _ in 0..rng.gen_range(0..=roles.len() * 2) {
+            let _ = g.specialize(pick(rng, roles), pick(rng, roles));
+        }
+    }
+
+    let transactions: Vec<TransactionId> = (0..rng.gen_range(1..=3usize))
+        .map(|i| g.declare_transaction(format!("t{i}")).unwrap())
+        .collect();
+    let subjects: Vec<SubjectId> = (0..rng.gen_range(1..=4usize))
+        .map(|i| g.declare_subject(format!("sub{i}")).unwrap())
+        .collect();
+    let objects: Vec<ObjectId> = (0..rng.gen_range(1..=3usize))
+        .map(|i| g.declare_object(format!("obj{i}")).unwrap())
+        .collect();
+
+    for &subject in &subjects {
+        for &role in &subject_roles {
+            // Sparse assignments keep memberless rules likely.
+            if rng.gen_bool(0.25) {
+                let _ = g.assign_subject_role(subject, role);
+            }
+        }
+    }
+    for &object in &objects {
+        for &role in &object_roles {
+            if rng.gen_bool(0.5) {
+                let _ = g.assign_object_role(object, role);
+            }
+        }
+    }
+
+    // Overlapping, loosely-constrained rules make shadowing common.
+    for _ in 0..rng.gen_range(2..=12usize) {
+        let mut def = if rng.gen_bool(0.5) {
+            RuleDef::permit()
+        } else {
+            RuleDef::deny()
+        };
+        if rng.gen_bool(0.8) {
+            def = def.subject_role(pick(rng, &subject_roles));
+        }
+        if rng.gen_bool(0.4) {
+            def = def.object_role(pick(rng, &object_roles));
+        }
+        if rng.gen_bool(0.4) {
+            def = def.transaction(pick(rng, &transactions));
+        }
+        for &env in &env_roles {
+            if rng.gen_bool(0.2) {
+                def = def.when(env);
+            }
+        }
+        g.add_rule(def).unwrap();
+    }
+
+    // Shadowing is a first-applicable notion; see the module docs.
+    g.set_strategy(ConflictStrategy::FirstApplicable);
+    if rng.gen_bool(0.3) {
+        g.set_default_effect(Effect::Permit);
+    }
+
+    Model {
+        g,
+        env_roles,
+        subjects,
+        objects,
+        transactions,
+    }
+}
+
+/// A subject- or session-authenticated request over declared ids (the
+/// postures the memberless analysis reasons about).
+fn random_request(rng: &mut StdRng, model: &mut Model) -> AccessRequest {
+    let environment = EnvironmentSnapshot::from_active(
+        model
+            .env_roles
+            .iter()
+            .copied()
+            .filter(|_| rng.gen_bool(0.5))
+            .collect::<Vec<_>>(),
+    );
+    let transaction = pick(rng, &model.transactions);
+    let object = pick(rng, &model.objects);
+    if rng.gen_bool(0.7) {
+        let subject = pick(rng, &model.subjects);
+        AccessRequest::by_subject(subject, transaction, object, environment)
+    } else {
+        let subject = pick(rng, &model.subjects);
+        let session = model.g.open_session(subject).unwrap();
+        for role in model.g.assignments().subject_roles(subject) {
+            if rng.gen_bool(0.6) {
+                let _ = model.g.activate_role(session, role);
+            }
+        }
+        AccessRequest::by_session(session, transaction, object, environment)
+    }
+}
+
+proptest! {
+    /// Statically-shadowed rules accrue zero wins and memberless rules
+    /// zero matches, no matter the workload.
+    fn static_verdicts_bound_runtime_heat(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut model = build_model(&mut rng);
+        let shadowed = find_shadowed(&model.g);
+        let memberless = find_memberless_rules(&model.g);
+
+        let mut decisions = 0u64;
+        for _ in 0..24 {
+            let request = random_request(&mut rng, &mut model);
+            if model.g.decide(&request).is_ok() {
+                decisions += 1;
+            }
+        }
+
+        let heat = model.g.heat_snapshot();
+        if grbac_core::telemetry::ENABLED {
+            prop_assert_eq!(heat.decisions, decisions);
+        } else {
+            prop_assert_eq!(heat.decisions, 0);
+        }
+        for s in &shadowed {
+            let entry = heat.get(s.rule.as_raw());
+            prop_assert_eq!(
+                entry.won_permit + entry.won_deny,
+                0,
+                "statically shadowed rule {} won a decision (shadowed by {})",
+                s.rule,
+                s.by
+            );
+        }
+        for &rule in &memberless {
+            let entry = heat.get(rule.as_raw());
+            prop_assert_eq!(
+                entry.matched,
+                0,
+                "memberless rule {} matched a subject/session request",
+                rule
+            );
+            prop_assert_eq!(entry.last_fired_generation, None);
+        }
+
+        // Table bookkeeping: every win is one decision's winner, and
+        // total wins can't exceed decisions (default-effect decisions
+        // have no winner).
+        let total_wins: u64 = heat.rules.values().map(|e| e.won_permit + e.won_deny).sum();
+        prop_assert!(total_wins <= heat.decisions);
+    }
+
+    /// The health report's heat join never contradicts the raw table:
+    /// dead-in-practice rules really have zero matches and are not
+    /// statically dead.
+    fn health_report_is_consistent_with_heat(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut model = build_model(&mut rng);
+        for _ in 0..16 {
+            let request = random_request(&mut rng, &mut model);
+            let _ = model.g.decide(&request);
+        }
+        let heat = model.g.heat_snapshot();
+        let report = grbac_core::analysis::health_report(&model.g);
+        prop_assert_eq!(report.decisions, heat.decisions);
+        for &rule in &report.dead_in_practice {
+            prop_assert_eq!(heat.get(rule.as_raw()).matched, 0);
+            prop_assert!(!report.static_report.memberless_rules.contains(&rule));
+            prop_assert!(report.static_report.shadowed.iter().all(|s| s.rule != rule));
+        }
+        for s in &report.heat_confirmed_shadowed {
+            let entry = heat.get(s.rule.as_raw());
+            prop_assert!(entry.matched > 0);
+            prop_assert_eq!(entry.won_permit + entry.won_deny, 0);
+        }
+        let score = report.score();
+        prop_assert!((0.0..=1.0).contains(&score));
+    }
+}

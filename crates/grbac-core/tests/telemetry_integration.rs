@@ -1,9 +1,13 @@
 //! Engine-level telemetry integration: audit parity between `check`
 //! and `check_batch`, audit gauges that survive eviction and clears,
-//! exporter agreement on a live engine's snapshot, and trace output.
+//! exporter agreement on a live engine's snapshot, rule-heat counters
+//! fed by the live mediation path, watchdog alerts surfacing in the
+//! scrape payload, and trace output.
 
 use grbac_core::prelude::*;
-use grbac_core::telemetry::{self, Exporter, JsonExporter, PrometheusExporter, Stage};
+use grbac_core::telemetry::{
+    self, DecisionWatchdog, Exporter, JsonExporter, PrometheusExporter, Stage, WatchdogConfig,
+};
 
 struct Home {
     g: Grbac,
@@ -295,6 +299,84 @@ fn degraded_audits_are_identical_across_check_and_check_batch() {
             assert_eq!(snapshot.counter("grbac_decisions_degraded_total"), 2);
         }
     }
+}
+
+#[test]
+fn rule_heat_follows_the_live_mediation_path() {
+    if !telemetry::ENABLED {
+        return;
+    }
+    let mut home = household();
+    for request in requests(&home) {
+        home.g.check(&request).unwrap();
+    }
+
+    // 8 evening requests match and win the single permit rule; the 8
+    // school and 8 mom requests fall through to the default deny, which
+    // has no winning rule.
+    let heat = home.g.heat_snapshot();
+    assert_eq!(heat.decisions, 24);
+    let rule = heat.get(0);
+    assert_eq!(rule.matched, 8);
+    assert_eq!(rule.won_permit, 8);
+    assert_eq!(rule.won_deny, 0);
+    assert!(rule.last_fired_generation.is_some());
+
+    // The scrape payload labels the series with the engine's rule label
+    // (display form, since the rule is unnamed).
+    let text = PrometheusExporter.export(&home.g.metrics_snapshot());
+    assert!(text.contains("grbac_rule_heat_matched_total{rule=\"rule0\"} 8"));
+    assert!(text.contains("grbac_rule_heat_won_permit_total{rule=\"rule0\"} 8"));
+    assert!(text.contains("grbac_rule_heat_enabled 1"));
+
+    // Disabling at runtime stops accrual without clearing history;
+    // resetting clears it and counts the reset.
+    home.g.metrics().rule_heat.set_enabled(false);
+    let evening = EnvironmentSnapshot::from_active([home.weekdays, home.free_time]);
+    home.g
+        .check(&AccessRequest::by_subject(
+            home.alice, home.use_t, home.tv, evening,
+        ))
+        .unwrap();
+    assert_eq!(home.g.heat_snapshot().decisions, 24);
+    home.g.metrics().rule_heat.set_enabled(true);
+    home.g.metrics().rule_heat.reset();
+    let cleared = home.g.heat_snapshot();
+    assert_eq!(cleared.decisions, 0);
+    assert_eq!(cleared.resets, 1);
+    assert_eq!(cleared.get(0).matched, 0);
+}
+
+#[test]
+fn watchdog_alerts_surface_in_the_scrape_payload() {
+    if !telemetry::ENABLED {
+        return;
+    }
+    let home = household();
+    let registry = home.g.metrics();
+    let mut watchdog = DecisionWatchdog::new(WatchdogConfig {
+        warmup_ticks: 3,
+        min_decisions: 1,
+        min_polls: 1,
+        ..WatchdogConfig::default()
+    });
+
+    // A calm baseline (5% denies) followed by a hostile tick (90%).
+    for _ in 0..6 {
+        registry.decisions_permit.add(95);
+        registry.decisions_deny.add(5);
+        assert!(watchdog.tick(registry).is_empty());
+    }
+    registry.decisions_permit.add(10);
+    registry.decisions_deny.add(90);
+    let alerts = watchdog.tick(registry);
+    assert_eq!(alerts.len(), 1);
+    assert_eq!(alerts[0].kind, telemetry::AlertKind::DenyRateSpike);
+
+    let text = PrometheusExporter.export(&home.g.metrics_snapshot());
+    assert!(text.contains("grbac_alerts_total{kind=\"deny_rate_spike\"} 1"));
+    assert!(text.contains("grbac_watchdog_ticks_total 7"));
+    assert!(text.contains("# HELP grbac_alerts_total"));
 }
 
 #[test]

@@ -21,6 +21,7 @@ use grbac_core::engine::{AccessRequest, Actor, Grbac};
 use grbac_core::environment::EnvironmentSnapshot;
 use grbac_core::explain::Decision;
 use grbac_core::id::{ObjectId, RoleId, SubjectId, TransactionId};
+use grbac_core::telemetry::{AlertRecord, DecisionWatchdog, WatchdogConfig};
 use grbac_env::calendar::TimeExpr;
 use grbac_env::clock::VirtualClock;
 use grbac_env::events::EventBus;
@@ -142,6 +143,10 @@ pub struct AwareHome {
     /// through this fault-injecting resilient chain instead of the bare
     /// provider, and carry the resulting [`EnvHealth`].
     resilience: Option<ResilientProvider<FaultInjector<EnvironmentRoleProvider>>>,
+    /// When installed (see [`install_watchdog`](Self::install_watchdog)),
+    /// [`watchdog_tick`](Self::watchdog_tick) folds the engine's metric
+    /// counters into EWMA baselines and raises anomaly alerts.
+    watchdog: Option<DecisionWatchdog>,
     topology: Topology,
     occupancy: OccupancyTracker,
     load: LoadMonitor,
@@ -356,6 +361,41 @@ impl AwareHome {
         &self,
     ) -> Option<&ResilientProvider<FaultInjector<EnvironmentRoleProvider>>> {
         self.resilience.as_ref()
+    }
+
+    /// Arms a decision-stream watchdog over the engine's metrics
+    /// registry. Call [`watchdog_tick`](Self::watchdog_tick) at a steady
+    /// cadence (e.g. once per simulated hour, or every N requests) to
+    /// fold the counters into EWMA baselines and collect anomaly
+    /// alerts. Installing again replaces the previous watchdog and its
+    /// learned baselines.
+    pub fn install_watchdog(&mut self, config: WatchdogConfig) {
+        self.watchdog = Some(DecisionWatchdog::new(config));
+    }
+
+    /// Removes the watchdog (its alert history goes with it; alert
+    /// counters already exported to the registry remain).
+    pub fn clear_watchdog(&mut self) {
+        self.watchdog = None;
+    }
+
+    /// The installed watchdog, if any (its
+    /// [`alerts`](DecisionWatchdog::alerts) expose the retained alert
+    /// log).
+    #[must_use]
+    pub fn watchdog(&self) -> Option<&DecisionWatchdog> {
+        self.watchdog.as_ref()
+    }
+
+    /// Advances the watchdog one observation window: reads the engine's
+    /// counters, updates the EWMA baselines, and returns any alerts the
+    /// window raised. Returns an empty vector when no watchdog is
+    /// installed.
+    pub fn watchdog_tick(&mut self) -> Vec<AlertRecord> {
+        match &mut self.watchdog {
+            Some(watchdog) => watchdog.tick(self.engine.metrics()),
+            None => Vec::new(),
+        }
     }
 
     /// The environment snapshot and its health for a request by
@@ -677,6 +717,7 @@ impl HomeBuilder {
             vocab,
             provider,
             resilience: None,
+            watchdog: None,
             topology,
             occupancy,
             load: LoadMonitor::new(),
@@ -933,6 +974,61 @@ mod tests {
                     + snapshot.counter("grbac_decisions_deny_total"),
                 2
             );
+        }
+    }
+
+    #[test]
+    fn watchdog_flags_a_deny_surge_over_live_requests() {
+        use grbac_core::telemetry::{self, AlertKind};
+
+        let mut home = small_home();
+        let vocab = *home.vocab();
+        home.engine_mut()
+            .add_rule(
+                RuleDef::permit()
+                    .subject_role(vocab.child)
+                    .object_role(vocab.entertainment_device)
+                    .when(vocab.free_time),
+            )
+            .unwrap();
+        home.install_watchdog(WatchdogConfig {
+            warmup_ticks: 3,
+            min_decisions: 1,
+            min_polls: 1,
+            ..WatchdogConfig::default()
+        });
+
+        let bobby = home.person("bobby").unwrap().subject();
+        let tv = home.device("tv").unwrap().object();
+
+        // A calm evening: all-permit windows build the baseline.
+        let mut calm_alerts = 0;
+        for _ in 0..6 {
+            for _ in 0..4 {
+                assert!(home
+                    .request(bobby, vocab.operate, tv)
+                    .unwrap()
+                    .is_permitted());
+            }
+            calm_alerts += home.watchdog_tick().len();
+        }
+        assert_eq!(calm_alerts, 0, "no alerts on a fault-free run");
+
+        // Past bedtime every request denies: the deny rate leaps from
+        // the learned 0 to 1.
+        home.advance(Duration::hours(3));
+        for _ in 0..4 {
+            assert!(!home
+                .request(bobby, vocab.operate, tv)
+                .unwrap()
+                .is_permitted());
+        }
+        let alerts = home.watchdog_tick();
+        if telemetry::ENABLED {
+            assert!(alerts.iter().any(|a| a.kind == AlertKind::DenyRateSpike));
+            assert!(home.watchdog().unwrap().alert_count() >= 1);
+        } else {
+            assert!(alerts.is_empty());
         }
     }
 
