@@ -1,12 +1,12 @@
 //! The experiment harness: regenerates every table in EXPERIMENTS.md.
 //!
 //! ```text
-//! experiments [e1 e2 … e13 | all] [--json] [--bench-out DIR]
+//! experiments [e1 e2 … e14 | all] [--json] [--bench-out DIR]
 //! ```
 //!
 //! Each experiment prints one or more tables; `--json` emits the same
 //! data as JSON for downstream tooling. `--bench-out DIR` additionally
-//! writes the benchmark-bearing experiments (e5, e10, e12, e13) to
+//! writes the benchmark-bearing experiments (e5, e10, e12, e13, e14) to
 //! `DIR/BENCH_<name>.json`, one JSON document per experiment, for CI
 //! artifact storage and cross-run comparison. Timings here use
 //! wall-clock loops sized for quick runs; the Criterion benches in
@@ -71,7 +71,7 @@ fn main() {
     let want = |name: &str| run_all || selected.contains(&name);
 
     type Runner = fn() -> Vec<Table>;
-    let experiments: [(&str, Runner); 13] = [
+    let experiments: [(&str, Runner); 14] = [
         ("e1", e1_rbac_mediation),
         ("e2", e2_hierarchy),
         ("e3", e3_policy_size),
@@ -85,6 +85,7 @@ fn main() {
         ("e11", e11_fault_tolerance),
         ("e12", e12_provenance),
         ("e13", e13_policy_health),
+        ("e14", e14_incremental_churn),
     ];
     let groups: Vec<(&str, Vec<Table>)> = experiments
         .iter()
@@ -97,7 +98,7 @@ fn main() {
     if let Some(dir) = bench_out {
         std::fs::create_dir_all(&dir).expect("--bench-out directory creatable");
         for (name, tables) in &groups {
-            if ["e5", "e10", "e12", "e13"].contains(name) {
+            if ["e5", "e10", "e12", "e13", "e14"].contains(name) {
                 let path = format!("{dir}/BENCH_{name}.json");
                 let body = serde_json::to_string_pretty(tables).expect("tables serialize");
                 std::fs::write(&path, body).expect("bench file writable");
@@ -1504,4 +1505,183 @@ fn e13_policy_health() -> Vec<Table> {
     }
 
     vec![overhead, watchdogs, dead]
+}
+
+/// E14 — incremental index maintenance under policy churn: single-edit
+/// repair latency (delta application vs from-scratch rebuild) and
+/// decide tail latency with edits interleaved into the decide stream.
+fn e14_incremental_churn() -> Vec<Table> {
+    let mut repair = Table::new(
+        "E14: index repair latency after a single policy edit",
+        &[
+            "rules",
+            "full_rebuild_ns",
+            "delta_apply_ns",
+            "speedup",
+            "delta_applies",
+            "full_rebuilds",
+        ],
+    );
+    let mut tail = Table::new(
+        "E14: decide p99 with edits interleaved into the decide stream",
+        &[
+            "rules",
+            "churn_free_p99_ns",
+            "churn_p99_ns",
+            "ratio",
+            "edits",
+        ],
+    );
+
+    for rules in [1024usize, 4096] {
+        let mut system = synthetic_grbac(&SyntheticConfig {
+            rules,
+            subject_roles: 32,
+            object_roles: 32,
+            environment_roles: 16,
+            ..Default::default()
+        });
+        // Spare role pairs declared up front so later edge edits touch
+        // an index that already contains both endpoints.
+        let spares: Vec<(grbac_core::id::RoleId, grbac_core::id::RoleId)> = (0..16)
+            .map(|i| {
+                let leaf = system
+                    .engine
+                    .declare_subject_role(format!("spare_leaf_{i}"))
+                    .expect("unique");
+                let parent = system
+                    .engine
+                    .declare_subject_role(format!("spare_parent_{i}"))
+                    .expect("unique");
+                (leaf, parent)
+            })
+            .collect();
+        let requests = system.requests(4_000, 2, 7);
+        system.engine.decide(&requests[0]).expect("known ids");
+
+        // 1. Full-rebuild baseline: force a from-scratch build per
+        // edit-equivalent and read the rebuild-time counter.
+        let rebuild_ns_before = system.engine.metrics().index_rebuild_ns.get();
+        let full_before = system.engine.metrics().index_full_rebuilds.get();
+        for i in 0..10 {
+            system.engine.invalidate_index();
+            system
+                .engine
+                .decide(&requests[i % requests.len()])
+                .expect("known ids");
+        }
+        let full_rebuilds = system.engine.metrics().index_full_rebuilds.get() - full_before;
+        let full_ns = (system.engine.metrics().index_rebuild_ns.get() - rebuild_ns_before) as f64
+            / full_rebuilds.max(1) as f64;
+
+        // 2. Delta path: single-rule adds/removes and single-edge
+        // specializations, each repaired by the next decide. The
+        // delta-apply sketch times exactly the planning + patching.
+        let apply_before = system.engine.metrics().index_delta_apply_ns.snapshot();
+        let tx = system.transactions[0];
+        let env = system.environment_roles[0];
+        for i in 0..20 {
+            let id = system
+                .engine
+                .add_rule(RuleDef::deny().transaction(tx).when(env))
+                .expect("valid ids");
+            system
+                .engine
+                .decide(&requests[i % requests.len()])
+                .expect("known ids");
+            assert!(system.engine.remove_rule(id));
+            system
+                .engine
+                .decide(&requests[(i + 1) % requests.len()])
+                .expect("known ids");
+        }
+        for (i, &(leaf, parent)) in spares.iter().enumerate() {
+            system.engine.specialize(leaf, parent).expect("acyclic");
+            system
+                .engine
+                .decide(&requests[i % requests.len()])
+                .expect("known ids");
+        }
+        let applied = system
+            .engine
+            .metrics()
+            .index_delta_apply_ns
+            .snapshot()
+            .delta(&apply_before);
+        let delta_ns = applied.sum as f64 / applied.count.max(1) as f64;
+
+        let speedup = full_ns / delta_ns.max(1.0);
+        if grbac_core::telemetry::ENABLED {
+            assert!(
+                applied.count >= 56,
+                "every single-edit repair must take the delta path (got {})",
+                applied.count
+            );
+            if rules == 4096 {
+                assert!(
+                    speedup >= 10.0,
+                    "single-edit delta application must be >=10x faster than \
+                     a full rebuild at 4096 rules (got {speedup:.1}x)"
+                );
+            }
+        }
+        repair.row(&[
+            rules.to_string(),
+            format!("{full_ns:.0}"),
+            format!("{delta_ns:.0}"),
+            format!("{speedup:.1}x"),
+            applied.count.to_string(),
+            full_rebuilds.to_string(),
+        ]);
+
+        // 3. Decide p99, churn-free vs one edit per 50 decides. The
+        // first decide after each edit pays the delta application, so
+        // the tail reflects exactly what a live mediator would see.
+        let p99 = |samples: &mut Vec<u64>| -> u64 {
+            samples.sort_unstable();
+            samples[(samples.len() - 1) * 99 / 100]
+        };
+        let mut churn_free: Vec<u64> = Vec::with_capacity(requests.len());
+        for request in &requests {
+            let start = Instant::now();
+            std::hint::black_box(system.engine.decide(request).expect("known ids"));
+            churn_free.push(start.elapsed().as_nanos() as u64);
+        }
+        let churn_free_p99 = p99(&mut churn_free);
+
+        let mut churned: Vec<u64> = Vec::with_capacity(requests.len());
+        let mut edits = 0u64;
+        let mut toggle: Option<grbac_core::id::RuleId> = None;
+        for (i, request) in requests.iter().enumerate() {
+            if i % 50 == 0 {
+                match toggle.take() {
+                    Some(id) => {
+                        assert!(system.engine.remove_rule(id));
+                    }
+                    None => {
+                        toggle = Some(
+                            system
+                                .engine
+                                .add_rule(RuleDef::deny().transaction(tx).when(env))
+                                .expect("valid ids"),
+                        );
+                    }
+                }
+                edits += 1;
+            }
+            let start = Instant::now();
+            std::hint::black_box(system.engine.decide(request).expect("known ids"));
+            churned.push(start.elapsed().as_nanos() as u64);
+        }
+        let churn_p99 = p99(&mut churned);
+        tail.row(&[
+            rules.to_string(),
+            churn_free_p99.to_string(),
+            churn_p99.to_string(),
+            format!("{:.2}x", churn_p99 as f64 / churn_free_p99.max(1) as f64),
+            edits.to_string(),
+        ]);
+    }
+
+    vec![repair, tail]
 }

@@ -131,6 +131,24 @@ impl Assignments {
         self.objects_in_role.get(&role).cloned().unwrap_or_default()
     }
 
+    /// Whether the subject has (or once had) a direct assignment —
+    /// i.e. whether [`subjects_with_roles`](Self::subjects_with_roles)
+    /// would yield it. The compiled index mirrors this set exactly so
+    /// an incremental patch converges on the same cache entries as a
+    /// from-scratch build.
+    #[must_use]
+    pub fn subject_is_tracked(&self, subject: SubjectId) -> bool {
+        self.subject_roles.contains_key(&subject)
+    }
+
+    /// Whether the object has (or once had) a direct assignment —
+    /// the object-side counterpart of
+    /// [`subject_is_tracked`](Self::subject_is_tracked).
+    #[must_use]
+    pub fn object_is_tracked(&self, object: ObjectId) -> bool {
+        self.object_roles.contains_key(&object)
+    }
+
     /// Iterates over every subject that has (or once had) a direct
     /// assignment, with its current direct role set. Order is
     /// unspecified; used by the compiled index to precompute

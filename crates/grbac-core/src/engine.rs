@@ -59,12 +59,13 @@ use crate::assignment::Assignments;
 use crate::audit::AuditLog;
 use crate::confidence::{AuthContext, Confidence};
 use crate::degraded::{DegradedMode, DegradedPosture, DegradedReason, EnvHealth};
+use crate::delta::{DeltaLog, PolicyDelta};
 use crate::entity::EntityCatalog;
 use crate::environment::EnvironmentSnapshot;
 use crate::error::{GrbacError, Result};
 use crate::explain::{Decision, Explanation, MatchedRule, Reason};
 use crate::id::{IdAllocator, ObjectId, RoleId, RuleId, SessionId, SubjectId, TransactionId};
-use crate::index::{CachedExpansion, CompiledIndex, IndexCell};
+use crate::index::{Advance, CachedExpansion, CompiledIndex, IndexCell};
 use crate::precedence::ConflictStrategy;
 use crate::provenance::{env_fingerprint, FlightRecorder, ProvenanceRecord};
 use crate::role::{RoleCatalog, RoleKind};
@@ -208,6 +209,13 @@ pub struct Grbac {
     /// hierarchy edges, assignments, rules); keys the compiled index.
     #[serde(skip)]
     generation: u64,
+    /// Bounded window of typed deltas, one per generation bump, letting
+    /// the next mediation patch the compiled index incrementally
+    /// instead of rebuilding it (derived-state bookkeeping — never
+    /// serialized; a fresh engine starts with an empty window and the
+    /// first mediation builds from scratch anyway).
+    #[serde(skip)]
+    deltas: DeltaLog,
     /// Lazily-built compiled mediation index (derived state — never
     /// serialized, rebuilt on demand after deserialization or cloning).
     #[serde(skip)]
@@ -254,6 +262,7 @@ impl Grbac {
             degraded: DegradedMode::default(),
             delegation: crate::delegation::DelegationState::default(),
             generation: 0,
+            deltas: DeltaLog::default(),
             index: IndexCell::default(),
             metrics: Arc::new(MetricsRegistry::new()),
             recorder: Arc::new(FlightRecorder::new()),
@@ -261,23 +270,68 @@ impl Grbac {
     }
 
     /// Marks decision-relevant state as changed so the next mediation
-    /// rebuilds the compiled index.
-    fn touch(&mut self) {
+    /// advances the compiled index, recording the typed delta that lets
+    /// the advance patch only the touched shards instead of rebuilding.
+    fn touch(&mut self, delta: PolicyDelta) {
         self.generation = self.generation.wrapping_add(1);
+        self.deltas.record(self.generation, delta);
     }
 
-    /// The compiled index for the current generation, building it if a
-    /// mutation (or deserialization) invalidated the cached one.
+    /// The compiled index for the current generation. A stale cached
+    /// index is patched forward through the recorded deltas when the
+    /// log still covers the gap and the damage is narrow enough;
+    /// otherwise (cold cell, trimmed history, widened bitsets, wide
+    /// damage) it is rebuilt from scratch.
     fn compiled(&self) -> Arc<CompiledIndex> {
-        self.index.get_or_build(self.generation, &self.metrics, || {
-            // A rebuild is exactly when the rule-id ceiling can have
-            // moved: pre-size the heat table so steady-state decisions
-            // never widen it under a write lock.
-            self.metrics
-                .rule_heat
-                .reserve(self.rule_alloc.peek() as usize);
-            CompiledIndex::build(&self.roles, &self.assignments, &self.rules)
-        })
+        self.index
+            .get_or_advance(self.generation, &self.metrics, |stale| {
+                // Any install — patch or rebuild — is exactly when the
+                // rule-id ceiling can have moved: pre-size the heat
+                // table so steady-state decisions never widen it under
+                // a write lock.
+                self.metrics
+                    .rule_heat
+                    .reserve(self.rule_alloc.peek() as usize);
+                if let Some((built_for, index)) = stale {
+                    if let Some(deltas) = self.deltas.entries_between(built_for, self.generation) {
+                        if let Some(next) =
+                            index.apply_deltas(deltas, &self.roles, &self.assignments)
+                        {
+                            for delta in deltas {
+                                self.metrics.index_delta_applied.add(delta.kind().slot(), 1);
+                            }
+                            return Advance::Patched(next);
+                        }
+                    }
+                }
+                Advance::Rebuilt(CompiledIndex::build(
+                    &self.roles,
+                    &self.assignments,
+                    &self.rules,
+                ))
+            })
+    }
+
+    /// Forces the next mediation to rebuild the compiled index from
+    /// scratch, discarding the incremental-delta history. Benchmark
+    /// and test hook (the rebuild-vs-patch baseline in experiment
+    /// E14); never needed in normal operation.
+    #[doc(hidden)]
+    pub fn invalidate_index(&mut self) {
+        self.generation = self.generation.wrapping_add(1);
+        self.deltas.reset(self.generation);
+    }
+
+    /// True when the current compiled index — however it was reached,
+    /// through any schedule of incremental patches — is structurally
+    /// identical to an index rebuilt from scratch at this generation.
+    /// Test hook backing the delta differential suite.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn compiled_matches_rebuild(&self) -> bool {
+        let current = self.compiled();
+        let fresh = CompiledIndex::build(&self.roles, &self.assignments, &self.rules);
+        *current == fresh
     }
 
     pub(crate) fn delegation(&self) -> &crate::delegation::DelegationState {
@@ -299,7 +353,7 @@ impl Grbac {
     /// [`GrbacError::DuplicateName`] on repeated names.
     pub fn declare_subject_role(&mut self, name: impl Into<String>) -> Result<RoleId> {
         let id = self.roles.declare(name, RoleKind::Subject)?;
-        self.touch();
+        self.touch(PolicyDelta::RoleDeclared { role: id });
         Ok(id)
     }
 
@@ -310,7 +364,7 @@ impl Grbac {
     /// [`GrbacError::DuplicateName`] on repeated names.
     pub fn declare_object_role(&mut self, name: impl Into<String>) -> Result<RoleId> {
         let id = self.roles.declare(name, RoleKind::Object)?;
-        self.touch();
+        self.touch(PolicyDelta::RoleDeclared { role: id });
         Ok(id)
     }
 
@@ -321,7 +375,7 @@ impl Grbac {
     /// [`GrbacError::DuplicateName`] on repeated names.
     pub fn declare_environment_role(&mut self, name: impl Into<String>) -> Result<RoleId> {
         let id = self.roles.declare(name, RoleKind::Environment)?;
-        self.touch();
+        self.touch(PolicyDelta::RoleDeclared { role: id });
         Ok(id)
     }
 
@@ -359,7 +413,8 @@ impl Grbac {
     /// See [`RoleCatalog::specialize`].
     pub fn specialize(&mut self, specific: RoleId, general: RoleId) -> Result<()> {
         self.roles.specialize(specific, general)?;
-        self.touch();
+        let kind = self.roles.role(specific)?.kind();
+        self.touch(PolicyDelta::EdgeAdded { kind, specific });
         Ok(())
     }
 
@@ -385,7 +440,7 @@ impl Grbac {
         // delegation-created assignment of the same pair, so revoking
         // that delegation later will not strip an administrator grant.
         self.delegation.release_ownership(subject, role);
-        self.touch();
+        self.touch(PolicyDelta::SubjectAssignment { subject });
         Ok(())
     }
 
@@ -414,7 +469,7 @@ impl Grbac {
                 session.deactivate(r);
             }
         }
-        self.touch();
+        self.touch(PolicyDelta::SubjectAssignment { subject });
         Ok(())
     }
 
@@ -427,7 +482,7 @@ impl Grbac {
         self.entities.object(object)?;
         self.roles.expect_kind(role, RoleKind::Object)?;
         self.assignments.assign_object(object, role);
-        self.touch();
+        self.touch(PolicyDelta::ObjectAssignment { object });
         Ok(())
     }
 
@@ -440,7 +495,7 @@ impl Grbac {
         self.entities.object(object)?;
         self.roles.role(role)?;
         self.assignments.revoke_object(object, role);
-        self.touch();
+        self.touch(PolicyDelta::ObjectAssignment { object });
         Ok(())
     }
 
@@ -601,19 +656,21 @@ impl Grbac {
         }
         let id = RuleId::from_raw(self.rule_alloc.next());
         self.rules.push(Rule::from_def(id, def));
-        self.touch();
+        let position = (self.rules.len() - 1) as u32;
+        let delta = self.rules[position as usize].added_delta(position);
+        self.touch(delta);
         Ok(id)
     }
 
     /// Removes a rule by id. Returns true if it existed.
     pub fn remove_rule(&mut self, id: RuleId) -> bool {
-        let before = self.rules.len();
-        self.rules.retain(|r| r.id() != id);
-        let removed = self.rules.len() != before;
-        if removed {
-            self.touch();
-        }
-        removed
+        let Some(position) = self.rules.iter().position(|r| r.id() == id) else {
+            return false;
+        };
+        let delta = self.rules[position].removed_delta(position as u32);
+        self.rules.remove(position);
+        self.touch(delta);
+        true
     }
 
     /// The registered rules in policy order.

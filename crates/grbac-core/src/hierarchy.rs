@@ -144,6 +144,21 @@ impl RoleHierarchy {
         out
     }
 
+    /// The roles whose *upward closures* change when `specific` gains
+    /// a generalization edge: `specific` itself plus every transitive
+    /// specialization below it. This is the frontier an incremental
+    /// closure delta must recompute (the `EdgeAdded` policy
+    /// delta); everything outside
+    /// it keeps its old closure row verbatim. Edges are never removed,
+    /// so evaluating the region against the *post-edit* hierarchy is
+    /// always a (safe) superset of the region at edit time.
+    #[must_use]
+    pub fn closure_dirty_region(&self, specific: RoleId) -> BTreeSet<RoleId> {
+        let mut region = self.descendants(specific);
+        region.insert(specific);
+        region
+    }
+
     /// The upward closure: `id` plus all its ancestors.
     ///
     /// This is the set of roles *possessed* by holding `id`. Unregistered

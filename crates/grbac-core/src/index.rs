@@ -24,17 +24,35 @@
 //! * [`CachedExpansion`] — hierarchy-expanded role sets (as both
 //!   `BTreeSet` and bitset) for every assigned subject and object.
 //!
-//! The index is **derived state**: it is rebuilt lazily (behind
+//! The index is **derived state**: it is maintained lazily (behind
 //! [`IndexCell`]) whenever the engine's generation counter says roles,
 //! assignments or rules changed, is skipped by serialization, and must
 //! never influence a decision — `tests/prop_index.rs` holds the engine
 //! to that by comparing every compiled decision against the retained
 //! naive scan.
+//!
+//! # Incremental maintenance
+//!
+//! The index is split into four independently `Arc`'d shards —
+//! closures, rule buckets, subject expansions, object expansions.
+//! When the engine's [`DeltaLog`](crate::delta::DeltaLog) still covers
+//! the gap between the cached generation and the current one,
+//! [`CompiledIndex::apply_deltas`] builds the next index by cloning
+//! and patching only the shards a delta touches and `Arc`-sharing the
+//! rest; publication is an RCU-style swap of the whole
+//! `Arc<CompiledIndex>` inside the cell, so in-flight decides keep
+//! their old snapshot and never observe a torn shard. Edge inserts
+//! frontier-propagate (the edge's lower endpoint plus all its
+//! specializations recompute their closure rows); past a damage
+//! threshold — or when the dense role space outgrows its bitset word
+//! budget — the planner falls back to a full rebuild.
 
 use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::sync::{Arc, RwLock};
 
 use crate::assignment::Assignments;
+use crate::delta::PolicyDelta;
+use crate::hierarchy::RoleHierarchy;
 use crate::id::{ObjectId, RoleId, SubjectId, TransactionId};
 use crate::role::RoleCatalog;
 use crate::rule::{Rule, TransactionSpec};
@@ -44,7 +62,7 @@ use crate::telemetry::MetricsRegistry;
 /// declared role, laid out over the dense role-id space (role ids are
 /// allocated sequentially and never retired, so `id.as_raw()` doubles
 /// as a dense index).
-#[derive(Debug)]
+#[derive(Debug, Clone, PartialEq)]
 pub(crate) struct RoleClosures {
     role_count: usize,
     /// Words per bitset row.
@@ -56,6 +74,31 @@ pub(crate) struct RoleClosures {
     ancestors: Vec<Vec<(u32, u32)>>,
 }
 
+/// BFS upward from `role`, recording the shortest distance to each
+/// ancestor — the same walk [`RoleHierarchy::distance_up`] does per
+/// query, performed once per (re)compiled closure row. Returns the
+/// `(ancestor_raw, distance)` row sorted by ancestor id.
+fn upward_row(hierarchy: &RoleHierarchy, role: RoleId) -> Vec<(u32, u32)> {
+    let mut dist: HashMap<RoleId, u32> = HashMap::new();
+    dist.insert(role, 0);
+    let mut frontier = VecDeque::from([role]);
+    while let Some(current) = frontier.pop_front() {
+        let next = dist[&current] + 1;
+        for general in hierarchy.direct_generalizations(current) {
+            dist.entry(general).or_insert_with(|| {
+                frontier.push_back(general);
+                next
+            });
+        }
+    }
+    let mut row: Vec<(u32, u32)> = dist
+        .into_iter()
+        .map(|(ancestor, d)| (ancestor.as_raw() as u32, d))
+        .collect();
+    row.sort_unstable();
+    row
+}
+
 impl RoleClosures {
     fn build(catalog: &RoleCatalog) -> Self {
         let role_count = catalog
@@ -64,43 +107,68 @@ impl RoleClosures {
             .max()
             .unwrap_or(0);
         let words = role_count.div_ceil(64);
-        let mut closure_bits = vec![0u64; role_count * words];
-        let mut ancestors = vec![Vec::new(); role_count];
-
-        for role in catalog.iter() {
-            let raw = role.id().as_raw() as usize;
-            let hierarchy = catalog.hierarchy(role.kind());
-            // BFS upward, recording the shortest distance to each
-            // ancestor — the same walk RoleHierarchy::distance_up does
-            // per query, performed once here.
-            let mut dist: HashMap<RoleId, u32> = HashMap::new();
-            dist.insert(role.id(), 0);
-            let mut frontier = VecDeque::from([role.id()]);
-            while let Some(current) = frontier.pop_front() {
-                let next = dist[&current] + 1;
-                for general in hierarchy.direct_generalizations(current) {
-                    dist.entry(general).or_insert_with(|| {
-                        frontier.push_back(general);
-                        next
-                    });
-                }
-            }
-            let mut row: Vec<(u32, u32)> = dist
-                .into_iter()
-                .map(|(ancestor, d)| (ancestor.as_raw() as u32, d))
-                .collect();
-            row.sort_unstable();
-            for &(ancestor, _) in &row {
-                closure_bits[raw * words + ancestor as usize / 64] |= 1 << (ancestor % 64);
-            }
-            ancestors[raw] = row;
-        }
-
-        Self {
+        let mut closures = Self {
             role_count,
             words,
-            closure_bits,
-            ancestors,
+            closure_bits: vec![0u64; role_count * words],
+            ancestors: vec![Vec::new(); role_count],
+        };
+        for role in catalog.iter() {
+            closures.set_row(
+                role.id().as_raw() as usize,
+                upward_row(catalog.hierarchy(role.kind()), role.id()),
+            );
+        }
+        closures
+    }
+
+    /// Installs a freshly-derived ancestor row, rewriting the role's
+    /// closure bitset to match.
+    fn set_row(&mut self, raw: usize, row: Vec<(u32, u32)>) {
+        let bits = &mut self.closure_bits[raw * self.words..(raw + 1) * self.words];
+        bits.fill(0);
+        for &(ancestor, _) in &row {
+            bits[ancestor as usize / 64] |= 1 << (ancestor % 64);
+        }
+        self.ancestors[raw] = row;
+    }
+
+    /// Grows the dense role space to `role_count` slots, each new slot
+    /// seeded with its reflexive closure (a fresh role has no edges).
+    /// Returns `false` when growth would widen the bitset rows — every
+    /// row and mask in the index would need re-laying, which is a full
+    /// rebuild's job.
+    fn try_extend(&mut self, role_count: usize) -> bool {
+        if role_count <= self.role_count {
+            return true;
+        }
+        if role_count.div_ceil(64) != self.words {
+            return false;
+        }
+        self.closure_bits.resize(role_count * self.words, 0);
+        self.ancestors.resize(role_count, Vec::new());
+        for raw in self.role_count..role_count {
+            self.set_row(raw, vec![(raw as u32, 0)]);
+        }
+        self.role_count = role_count;
+        true
+    }
+
+    /// Recomputes the closure rows of `dirty` from the current catalog
+    /// — the frontier-propagation step of an edge-insert delta, run on
+    /// the edge's lower endpoint and all its specializations.
+    fn recompute_rows(&mut self, catalog: &RoleCatalog, dirty: &BTreeSet<RoleId>) {
+        for &role in dirty {
+            let Ok(entry) = catalog.role(role) else {
+                continue;
+            };
+            if !self.is_declared(role) {
+                continue;
+            }
+            self.set_row(
+                role.as_raw() as usize,
+                upward_row(catalog.hierarchy(entry.kind()), role),
+            );
         }
     }
 
@@ -194,7 +262,7 @@ impl RoleClosures {
 /// A role set with its hierarchy expansion, in both ordered-set form
 /// (for explanations and confidence lookups) and bitset form (for
 /// subset tests against rule masks).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub(crate) struct CachedExpansion {
     /// The direct (unexpanded) roles.
     pub(crate) direct: BTreeSet<RoleId>,
@@ -224,7 +292,7 @@ impl CachedExpansion {
 /// Rule positions bucketed by transaction, plus per-rule environment
 /// masks, so `decide` visits only rules that could match the request's
 /// transaction and tests their environment guard in `O(words)`.
-#[derive(Debug)]
+#[derive(Debug, Clone, PartialEq)]
 pub(crate) struct RuleIndex {
     /// Positions of rules with `TransactionSpec::Is(t)`, keyed by raw
     /// transaction id, each ascending.
@@ -260,6 +328,74 @@ impl RuleIndex {
             env_masks,
             words,
         }
+    }
+
+    /// Patches in a rule appended at `position` (which must equal the
+    /// pre-push policy length): one push into its transaction bucket
+    /// plus one fresh environment-mask row. Returns `false` when the
+    /// delta does not line up with this index's shape or an
+    /// environment role falls outside the current word budget.
+    fn apply_add(
+        &mut self,
+        position: u32,
+        transaction: TransactionSpec,
+        environment: &[RoleId],
+    ) -> bool {
+        if position as usize * self.words != self.env_masks.len() {
+            return false;
+        }
+        match transaction {
+            TransactionSpec::Is(t) => self.exact.entry(t.as_raw()).or_default().push(position),
+            TransactionSpec::Any => self.any_bucket.push(position),
+        }
+        let offset = self.env_masks.len();
+        self.env_masks.resize(offset + self.words, 0);
+        for &env in environment {
+            let raw = env.as_raw() as usize;
+            if raw / 64 >= self.words {
+                return false;
+            }
+            self.env_masks[offset + raw / 64] |= 1 << (raw % 64);
+        }
+        true
+    }
+
+    /// Patches out the rule at `position`: drop it from its
+    /// transaction bucket, renumber every later position down by one
+    /// (the bounded cost of positional bucket encoding), and splice
+    /// its environment-mask row out. Returns `false` when the delta
+    /// does not line up with this index's shape.
+    fn apply_remove(&mut self, position: u32, transaction: TransactionSpec) -> bool {
+        let bucket = match transaction {
+            TransactionSpec::Is(t) => match self.exact.get_mut(&t.as_raw()) {
+                Some(bucket) => bucket,
+                None => return false,
+            },
+            TransactionSpec::Any => &mut self.any_bucket,
+        };
+        let Ok(slot) = bucket.binary_search(&position) else {
+            return false;
+        };
+        bucket.remove(slot);
+        if let TransactionSpec::Is(t) = transaction {
+            // Drained exact buckets vanish, matching a fresh build.
+            if self.exact.get(&t.as_raw()).is_some_and(Vec::is_empty) {
+                self.exact.remove(&t.as_raw());
+            }
+        }
+        for bucket in self.exact.values_mut().chain([&mut self.any_bucket]) {
+            for p in bucket.iter_mut() {
+                if *p > position {
+                    *p -= 1;
+                }
+            }
+        }
+        let start = position as usize * self.words;
+        if start + self.words > self.env_masks.len() {
+            return false;
+        }
+        self.env_masks.drain(start..start + self.words);
+        true
     }
 
     /// Rule positions that could match `transaction`, in policy order —
@@ -339,17 +475,24 @@ impl Iterator for Candidates<'_> {
 }
 
 /// Everything `decide` needs that depends only on roles, assignments
-/// and rules — rebuilt as a unit when any of those change.
-#[derive(Debug)]
+/// and rules. The four shards are individually `Arc`'d so an
+/// incremental advance clones and patches only the shards a delta
+/// touches and shares the rest with the previous generation.
+#[derive(Debug, Clone, PartialEq)]
 pub(crate) struct CompiledIndex {
-    pub(crate) closures: RoleClosures,
-    pub(crate) rules: RuleIndex,
-    subjects: HashMap<u64, CachedExpansion>,
-    objects: HashMap<u64, CachedExpansion>,
+    pub(crate) closures: Arc<RoleClosures>,
+    pub(crate) rules: Arc<RuleIndex>,
+    pub(crate) subjects: Arc<HashMap<u64, CachedExpansion>>,
+    pub(crate) objects: Arc<HashMap<u64, CachedExpansion>>,
     /// Returned for entities with no assignments, so lookups are
     /// infallible and bitset-sized correctly.
     empty: CachedExpansion,
 }
+
+/// Past this many dirty closure rows, recomputing the affected region
+/// stops beating a from-scratch rebuild (floor; scaled by role count
+/// in [`CompiledIndex::apply_deltas`]).
+const DAMAGE_FLOOR: usize = 8;
 
 impl CompiledIndex {
     pub(crate) fn build(catalog: &RoleCatalog, assignments: &Assignments, rules: &[Rule]) -> Self {
@@ -369,12 +512,146 @@ impl CompiledIndex {
             bits: vec![0u64; closures.words()],
         };
         Self {
-            closures,
-            rules: rule_index,
-            subjects,
-            objects,
+            closures: Arc::new(closures),
+            rules: Arc::new(rule_index),
+            subjects: Arc::new(subjects),
+            objects: Arc::new(objects),
             empty,
         }
+    }
+
+    /// Builds the index for the current engine state by patching this
+    /// (older-generation) index with `deltas`, touching only the
+    /// affected shards. Returns `None` when a full rebuild is the
+    /// better (or only safe) move: the dense role space outgrew its
+    /// bitset word budget, the dirty closure region crossed the damage
+    /// threshold, or a rule delta does not line up with this index.
+    ///
+    /// Region deltas recompute their targets from the *current*
+    /// catalog/assignments, so replaying a batch converges to exactly
+    /// the from-scratch index regardless of intra-batch ordering; rule
+    /// deltas are positional and are replayed in schedule order.
+    pub(crate) fn apply_deltas(
+        &self,
+        deltas: &[PolicyDelta],
+        catalog: &RoleCatalog,
+        assignments: &Assignments,
+    ) -> Option<CompiledIndex> {
+        // Plan: fold every delta into the dirty regions it invalidates.
+        let mut required_roles = self.closures.role_count();
+        let mut dirty_roles: BTreeSet<RoleId> = BTreeSet::new();
+        let mut dirty_subjects: BTreeSet<SubjectId> = BTreeSet::new();
+        let mut dirty_objects: BTreeSet<ObjectId> = BTreeSet::new();
+        let mut rule_edits = false;
+        for delta in deltas {
+            match delta {
+                PolicyDelta::RoleDeclared { role } => {
+                    required_roles = required_roles.max(role.as_raw() as usize + 1);
+                }
+                PolicyDelta::EdgeAdded { kind, specific } => {
+                    dirty_roles.extend(catalog.hierarchy(*kind).closure_dirty_region(*specific));
+                }
+                PolicyDelta::RuleAdded { .. } | PolicyDelta::RuleRemoved { .. } => {
+                    rule_edits = true;
+                }
+                PolicyDelta::SubjectAssignment { subject } => {
+                    dirty_subjects.insert(*subject);
+                }
+                PolicyDelta::ObjectAssignment { object } => {
+                    dirty_objects.insert(*object);
+                }
+            }
+        }
+        if required_roles.div_ceil(64) != self.closures.words() {
+            return None; // bitset rows would widen — full rebuild
+        }
+        if dirty_roles.len() > DAMAGE_FLOOR.max(required_roles / 4) {
+            return None; // damage threshold: recompute would not pay
+        }
+
+        // Closures shard: extend the dense space, then re-derive the
+        // dirty frontier from the current hierarchy.
+        let closures = if required_roles > self.closures.role_count() || !dirty_roles.is_empty() {
+            let mut next = RoleClosures::clone(&self.closures);
+            if !next.try_extend(required_roles) {
+                return None;
+            }
+            next.recompute_rows(catalog, &dirty_roles);
+            Arc::new(next)
+        } else {
+            Arc::clone(&self.closures)
+        };
+
+        // A changed closure row invalidates the cached expansion of
+        // every entity that *directly* holds the role.
+        for &role in &dirty_roles {
+            dirty_subjects.extend(assignments.subjects_in(role));
+            dirty_objects.extend(assignments.objects_in(role));
+        }
+
+        let subjects = if dirty_subjects.is_empty() {
+            Arc::clone(&self.subjects)
+        } else {
+            let mut next = HashMap::clone(&self.subjects);
+            for &subject in &dirty_subjects {
+                // Mirror `build` exactly: an entry exists iff the
+                // assignments map tracks the subject, even when every
+                // direct role has since been revoked.
+                if assignments.subject_is_tracked(subject) {
+                    let roles = assignments.subject_roles(subject);
+                    next.insert(subject.as_raw(), closures.expand(roles));
+                } else {
+                    next.remove(&subject.as_raw());
+                }
+            }
+            Arc::new(next)
+        };
+        let objects = if dirty_objects.is_empty() {
+            Arc::clone(&self.objects)
+        } else {
+            let mut next = HashMap::clone(&self.objects);
+            for &object in &dirty_objects {
+                if assignments.object_is_tracked(object) {
+                    let roles = assignments.object_roles(object);
+                    next.insert(object.as_raw(), closures.expand(roles));
+                } else {
+                    next.remove(&object.as_raw());
+                }
+            }
+            Arc::new(next)
+        };
+
+        let rules = if rule_edits {
+            let mut next = RuleIndex::clone(&self.rules);
+            for delta in deltas {
+                let applied = match delta {
+                    PolicyDelta::RuleAdded {
+                        position,
+                        transaction,
+                        environment,
+                    } => next.apply_add(*position, *transaction, environment),
+                    PolicyDelta::RuleRemoved {
+                        position,
+                        transaction,
+                    } => next.apply_remove(*position, *transaction),
+                    _ => true,
+                };
+                if !applied {
+                    return None;
+                }
+            }
+            Arc::new(next)
+        } else {
+            Arc::clone(&self.rules)
+        };
+
+        Some(CompiledIndex {
+            closures,
+            rules,
+            subjects,
+            objects,
+            empty: self.empty.clone(),
+        })
     }
 
     /// The cached expansion of a subject's authorized role set.
@@ -397,60 +674,98 @@ impl CompiledIndex {
     }
 }
 
-/// Lazily-built, generation-checked holder of the [`CompiledIndex`].
+/// How an [`IndexCell`] advance produced the next index.
+pub(crate) enum Advance {
+    /// Built from scratch (cold cell, trimmed delta history, widened
+    /// bitsets, or damage past the planner's threshold).
+    Rebuilt(CompiledIndex),
+    /// Patched incrementally from the previous generation's shards;
+    /// the planner has already counted the applied deltas.
+    Patched(CompiledIndex),
+}
+
+/// Lazily-maintained, generation-checked holder of the
+/// [`CompiledIndex`].
 ///
 /// The engine bumps its generation counter in every `&mut self` method
 /// that touches roles, assignments or rules; `decide` (`&self`) asks
-/// the cell for an index matching the current generation and rebuilds
-/// on mismatch. Interior mutability keeps mediation `&self`-pure, and
-/// the `Arc` lets `decide_batch` workers share one build.
+/// the cell for an index matching the current generation and advances
+/// on mismatch — incrementally when the delta log allows, from scratch
+/// otherwise. Publication is an RCU-style swap of the slot's `Arc`:
+/// in-flight decides keep the snapshot they cloned and never observe a
+/// torn shard. Interior mutability keeps mediation `&self`-pure, and
+/// the `Arc` lets `decide_batch` workers share one advance.
 pub(crate) struct IndexCell {
     slot: RwLock<Option<(u64, Arc<CompiledIndex>)>>,
 }
 
 impl IndexCell {
-    /// Returns the index for `generation`, building it at most once
-    /// per generation under contention. Generation hits count into
-    /// `index_cache_hits`; rebuilds count into `index_rebuilds` and
-    /// `index_rebuild_ns`.
-    pub(crate) fn get_or_build(
-        &self,
-        generation: u64,
-        metrics: &MetricsRegistry,
-        build: impl FnOnce() -> CompiledIndex,
-    ) -> Arc<CompiledIndex> {
-        if let Some((built_for, index)) = self
-            .slot
+    /// The cached index, if it matches `generation`.
+    fn cached(&self, generation: u64) -> Option<Arc<CompiledIndex>> {
+        self.slot
             .read()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
             .as_ref()
+            .filter(|(built_for, _)| *built_for == generation)
+            .map(|(_, index)| Arc::clone(index))
+    }
+
+    /// Returns the index for `generation`, advancing it at most once
+    /// per generation under contention. `advance` receives the stale
+    /// `(generation, index)` snapshot (if any) to patch from.
+    ///
+    /// Generation hits count into `index_cache_hits`; every install
+    /// counts into `index_rebuilds`, split into
+    /// `index_full_rebuilds` plus `index_rebuild_ns` (from-scratch)
+    /// and `index_delta_applied` plus `index_delta_apply_ns`
+    /// (incremental).
+    pub(crate) fn get_or_advance(
+        &self,
+        generation: u64,
+        metrics: &MetricsRegistry,
+        advance: impl FnOnce(Option<(u64, &CompiledIndex)>) -> Advance,
+    ) -> Arc<CompiledIndex> {
+        if let Some(index) = self.cached(generation) {
+            metrics.index_cache_hits.inc();
+            return index;
+        }
         {
-            if *built_for == generation {
-                metrics.index_cache_hits.inc();
-                return Arc::clone(index);
+            let mut slot = self
+                .slot
+                .write()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            // Double-check: another thread may have advanced while we
+            // waited for the write lock.
+            let raced = matches!(slot.as_ref(), Some((built_for, _)) if *built_for == generation);
+            if !raced {
+                let started = std::time::Instant::now();
+                let stale = slot
+                    .as_ref()
+                    .map(|(built_for, index)| (*built_for, &**index));
+                let (index, patched) = match advance(stale) {
+                    Advance::Patched(next) => (Arc::new(next), true),
+                    Advance::Rebuilt(next) => (Arc::new(next), false),
+                };
+                let elapsed = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                metrics.index_rebuilds.inc();
+                if patched {
+                    metrics.index_delta_apply_ns.observe(elapsed);
+                } else {
+                    metrics.index_full_rebuilds.inc();
+                    metrics.index_rebuild_ns.add(elapsed);
+                }
+                index.publish_shape(metrics);
+                *slot = Some((generation, Arc::clone(&index)));
+                return index;
             }
         }
-        let mut slot = self
-            .slot
-            .write()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
-        // Double-check: another thread may have rebuilt while we
-        // waited for the write lock.
-        if let Some((built_for, index)) = slot.as_ref() {
-            if *built_for == generation {
-                metrics.index_cache_hits.inc();
-                return Arc::clone(index);
-            }
-        }
-        let rebuild_started = std::time::Instant::now();
-        let index = Arc::new(build());
-        metrics.index_rebuilds.inc();
-        metrics
-            .index_rebuild_ns
-            .add(u64::try_from(rebuild_started.elapsed().as_nanos()).unwrap_or(u64::MAX));
-        index.publish_shape(metrics);
-        *slot = Some((generation, Arc::clone(&index)));
-        index
+        // Lost the race: the winner already published this generation.
+        // Serve it from the read path so the hot-path Arc clone never
+        // happens under the write lock. Mutations take `&mut self`, so
+        // no third thread can move the generation underneath us.
+        metrics.index_cache_hits.inc();
+        self.cached(generation)
+            .expect("racing advance published this generation")
     }
 }
 
@@ -577,21 +892,123 @@ mod tests {
         let assignments = Assignments::new();
         let cell = IndexCell::default();
         let metrics = MetricsRegistry::new();
-        let first = cell.get_or_build(3, &metrics, || {
-            CompiledIndex::build(&catalog, &assignments, &[])
+        let first = cell.get_or_advance(3, &metrics, |_| {
+            Advance::Rebuilt(CompiledIndex::build(&catalog, &assignments, &[]))
         });
-        let second = cell.get_or_build(3, &metrics, || {
+        let second = cell.get_or_advance(3, &metrics, |_| {
             panic!("same generation must reuse the index")
         });
         assert!(Arc::ptr_eq(&first, &second));
-        let third = cell.get_or_build(4, &metrics, || {
-            CompiledIndex::build(&catalog, &assignments, &[])
+        let third = cell.get_or_advance(4, &metrics, |stale| {
+            let (built_for, index) = stale.expect("previous generation cached");
+            assert_eq!(built_for, 3);
+            assert!(Arc::ptr_eq(&first.closures, &index.closures));
+            Advance::Rebuilt(CompiledIndex::build(&catalog, &assignments, &[]))
         });
         assert!(!Arc::ptr_eq(&first, &third));
         if crate::telemetry::ENABLED {
             assert_eq!(metrics.index_rebuilds.get(), 2);
+            assert_eq!(metrics.index_full_rebuilds.get(), 2);
             assert_eq!(metrics.index_cache_hits.get(), 1);
             assert_eq!(metrics.index_roles.get(), 4);
         }
+    }
+
+    #[test]
+    fn patched_installs_count_separately_from_rebuilds() {
+        let (catalog, [home_user, family, ..]) = catalog_with_chain();
+        let assignments = Assignments::new();
+        let cell = IndexCell::default();
+        let metrics = MetricsRegistry::new();
+        let first = cell.get_or_advance(1, &metrics, |_| {
+            Advance::Rebuilt(CompiledIndex::build(&catalog, &assignments, &[]))
+        });
+        let second = cell.get_or_advance(2, &metrics, |stale| {
+            let (_, index) = stale.expect("stale index available to patch");
+            let next = index
+                .apply_deltas(&[], &catalog, &assignments)
+                .expect("empty delta batch applies");
+            Advance::Patched(next)
+        });
+        // An untouched patch shares every shard with its predecessor.
+        assert!(Arc::ptr_eq(&first.closures, &second.closures));
+        assert!(Arc::ptr_eq(&first.rules, &second.rules));
+        assert_eq!(
+            second.closures.distance_up(family, home_user),
+            Some(1),
+            "patched index answers closure queries"
+        );
+        if crate::telemetry::ENABLED {
+            assert_eq!(metrics.index_rebuilds.get(), 2);
+            assert_eq!(metrics.index_full_rebuilds.get(), 1);
+            assert_eq!(metrics.index_delta_apply_ns.snapshot().count, 1);
+        }
+    }
+
+    #[test]
+    fn edge_delta_matches_rebuilt_closures() {
+        let (mut catalog, [home_user, _, parent, device]) = catalog_with_chain();
+        let assignments = Assignments::new();
+        let stale = CompiledIndex::build(&catalog, &assignments, &[]);
+        // New edge: parent specializes... device? Same-kind only — use
+        // a fresh subject role chain instead.
+        let guest = catalog.declare("guest", RoleKind::Subject).unwrap();
+        catalog.specialize(guest, home_user).unwrap();
+        let deltas = [
+            PolicyDelta::RoleDeclared { role: guest },
+            PolicyDelta::EdgeAdded {
+                kind: RoleKind::Subject,
+                specific: guest,
+            },
+        ];
+        let patched = stale
+            .apply_deltas(&deltas, &catalog, &assignments)
+            .expect("single edge insert is incremental");
+        let rebuilt = CompiledIndex::build(&catalog, &assignments, &[]);
+        assert_eq!(patched, rebuilt, "patched index must equal a rebuild");
+        assert_eq!(patched.closures.distance_up(guest, home_user), Some(1));
+        assert_eq!(patched.closures.distance_up(parent, home_user), Some(2));
+        assert!(patched.closures.is_declared(device));
+    }
+
+    #[test]
+    fn damage_threshold_falls_back_to_rebuild() {
+        let mut catalog = RoleCatalog::new();
+        let root = catalog.declare("root", RoleKind::Subject).unwrap();
+        let mut leaves = Vec::new();
+        for i in 0..40 {
+            let leaf = catalog
+                .declare(format!("leaf{i}"), RoleKind::Subject)
+                .unwrap();
+            catalog.specialize(leaf, root).unwrap();
+            leaves.push(leaf);
+        }
+        let assignments = Assignments::new();
+        let stale = CompiledIndex::build(&catalog, &assignments, &[]);
+        // An edge under `root` dirties root's entire specialization
+        // frontier (40 roles > max(8, 41/4)): the planner must refuse.
+        let deep = catalog.declare("deep", RoleKind::Subject).unwrap();
+        catalog.specialize(root, deep).unwrap();
+        let deltas = [
+            PolicyDelta::RoleDeclared { role: deep },
+            PolicyDelta::EdgeAdded {
+                kind: RoleKind::Subject,
+                specific: root,
+            },
+        ];
+        assert!(
+            stale
+                .apply_deltas(&deltas, &catalog, &assignments)
+                .is_none(),
+            "wide damage must fall back to a full rebuild"
+        );
+        // A narrow edge still patches.
+        let narrow = [PolicyDelta::EdgeAdded {
+            kind: RoleKind::Subject,
+            specific: leaves[0],
+        }];
+        assert!(stale
+            .apply_deltas(&narrow, &catalog, &assignments)
+            .is_some());
     }
 }

@@ -86,6 +86,7 @@ pub mod builder;
 pub mod confidence;
 pub mod degraded;
 pub mod delegation;
+mod delta;
 pub mod engine;
 pub mod entity;
 pub mod environment;

@@ -137,6 +137,28 @@ impl Rule {
         }
     }
 
+    /// Extracts the delta recorded when this rule is appended at
+    /// `position`: the transaction bucket it lands in and its direct
+    /// environment guard, which is everything the incremental
+    /// [`RuleIndex`](crate::index) patch needs.
+    pub(crate) fn added_delta(&self, position: u32) -> crate::delta::PolicyDelta {
+        crate::delta::PolicyDelta::RuleAdded {
+            position,
+            transaction: self.transaction,
+            environment: self.environment_roles.clone(),
+        }
+    }
+
+    /// Extracts the delta recorded when this rule is removed from
+    /// `position`: the policy no longer knows where the rule sat, so
+    /// the bucket spec travels with the delta.
+    pub(crate) fn removed_delta(&self, position: u32) -> crate::delta::PolicyDelta {
+        crate::delta::PolicyDelta::RuleRemoved {
+            position,
+            transaction: self.transaction,
+        }
+    }
+
     /// The rule's identifier.
     #[must_use]
     pub fn id(&self) -> RuleId {

@@ -30,8 +30,21 @@ fn help_for(name: &str) -> &'static str {
         "grbac_decide_sampled_total" => {
             "Decisions that were latency-sampled into the latency series."
         }
-        "grbac_index_rebuilds_total" => "Compiled-index rebuilds (generation misses).",
-        "grbac_index_rebuild_ns_total" => "Nanoseconds spent rebuilding the compiled index.",
+        "grbac_index_rebuilds_total" => {
+            "Compiled-index installs at a new generation (delta applications plus full rebuilds)."
+        }
+        "grbac_index_rebuild_ns_total" => {
+            "Nanoseconds spent on from-scratch compiled-index rebuilds."
+        }
+        "grbac_index_full_rebuilds_total" => {
+            "Index installs that fell back to a from-scratch rebuild."
+        }
+        "grbac_index_delta_applied_total" => {
+            "Policy deltas applied incrementally to the compiled index, by kind."
+        }
+        "grbac_index_delta_apply_ns" => {
+            "Incremental delta-application latency (planning plus shard patching) in nanoseconds."
+        }
         "grbac_index_cache_hits_total" => "Mediations served by an already-built index.",
         "grbac_closure_cache_hits_total" => "Role expansions served from the compiled index.",
         "grbac_closure_cache_misses_total" => "Role expansions computed per request.",

@@ -84,8 +84,20 @@ impl Shard {
         update(&cells[index]);
     }
 
-    /// Pre-sizes the slot table to at least `capacity` cells.
+    /// Pre-sizes the slot table to at least `capacity` cells. Called
+    /// on every index install — including cheap incremental delta
+    /// applications — so the already-sized case takes only a read
+    /// lock.
     fn reserve(&self, capacity: usize) {
+        let sized = self
+            .cells
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len()
+            >= capacity;
+        if sized {
+            return;
+        }
         let mut cells = self
             .cells
             .write()

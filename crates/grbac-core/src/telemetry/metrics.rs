@@ -18,6 +18,7 @@ use super::heat::RuleHeat;
 use super::sketch::{QuantileSketch, SketchSnapshot};
 use super::trace::{DecisionTrace, Stage};
 use super::ENABLED;
+use crate::delta::DeltaKind;
 
 /// A monotonically increasing counter (relaxed atomic).
 #[derive(Debug, Default)]
@@ -332,10 +333,25 @@ pub struct MetricsRegistry {
     /// Matched (applicable) rules per request transaction, keyed by
     /// raw transaction id.
     pub rule_matches_by_transaction: KeyedCounter,
-    /// Compiled-index rebuilds (generation misses).
+    /// Compiled-index installs at a new generation (generation
+    /// misses), by either the delta-apply or full-rebuild path; see
+    /// [`Self::index_full_rebuilds`] and [`Self::index_delta_applied`]
+    /// for the split.
     pub index_rebuilds: Counter,
-    /// Total nanoseconds spent rebuilding the compiled index.
+    /// Total nanoseconds spent on from-scratch index rebuilds
+    /// (incremental patches report into
+    /// [`Self::index_delta_apply_ns`] instead).
     pub index_rebuild_ns: Counter,
+    /// Index installs that fell back to a from-scratch build: cold
+    /// cell, trimmed delta history, bitset widening, or closure damage
+    /// past the planner's threshold.
+    pub index_full_rebuilds: Counter,
+    /// Policy deltas applied incrementally to the compiled index,
+    /// keyed by [`DeltaKind`](crate::telemetry::DeltaKind) slot.
+    pub index_delta_applied: KeyedCounter,
+    /// Streaming quantile sketch of incremental delta-application
+    /// latency (planning plus shard patching), in nanoseconds.
+    pub index_delta_apply_ns: QuantileSketch,
     /// Mediations served by an already-built index (generation hits).
     pub index_cache_hits: Counter,
     /// Role expansions served from the compiled index (trusted-subject
@@ -445,6 +461,9 @@ impl MetricsRegistry {
             rule_matches_by_transaction: KeyedCounter::new(),
             index_rebuilds: Counter::new(),
             index_rebuild_ns: Counter::new(),
+            index_full_rebuilds: Counter::new(),
+            index_delta_applied: KeyedCounter::new(),
+            index_delta_apply_ns: QuantileSketch::new(),
             index_cache_hits: Counter::new(),
             closure_cache_hits: Counter::new(),
             closure_cache_misses: Counter::new(),
@@ -576,6 +595,7 @@ impl MetricsRegistry {
             ("grbac_decide_sampled_total", &self.decisions_sampled),
             ("grbac_index_rebuilds_total", &self.index_rebuilds),
             ("grbac_index_rebuild_ns_total", &self.index_rebuild_ns),
+            ("grbac_index_full_rebuilds_total", &self.index_full_rebuilds),
             ("grbac_index_cache_hits_total", &self.index_cache_hits),
             ("grbac_closure_cache_hits_total", &self.closure_cache_hits),
             (
@@ -692,6 +712,16 @@ impl MetricsRegistry {
                 series,
             },
         );
+        summaries.insert(
+            "grbac_index_delta_apply_ns".to_owned(),
+            SummaryFamily {
+                label: "op".to_owned(),
+                series: BTreeMap::from([(
+                    "apply".to_owned(),
+                    QuantileSnapshot::from_sketch(&self.index_delta_apply_ns.snapshot()),
+                )]),
+            },
+        );
 
         let rule_matches = self
             .rule_matches_by_transaction
@@ -728,6 +758,20 @@ impl MetricsRegistry {
         keyed.insert(
             "grbac_rule_heat_won_deny_total".to_owned(),
             heat_family(|entry| entry.won_deny),
+        );
+        keyed.insert(
+            "grbac_index_delta_applied_total".to_owned(),
+            KeyedSnapshot {
+                label: "kind".to_owned(),
+                values: self
+                    .index_delta_applied
+                    .snapshot()
+                    .into_iter()
+                    .filter_map(|(slot, value)| {
+                        DeltaKind::from_slot(slot).map(|kind| (kind.name().to_owned(), value))
+                    })
+                    .collect(),
+            },
         );
         keyed.insert(
             "grbac_alerts_total".to_owned(),

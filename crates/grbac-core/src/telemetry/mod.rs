@@ -50,6 +50,7 @@ mod metrics;
 mod sketch;
 mod trace;
 
+pub use crate::delta::DeltaKind;
 pub use export::{Exporter, JsonExporter, PrometheusExporter};
 pub use health::{AlertKind, AlertRecord, DecisionWatchdog, WatchdogConfig};
 pub use heat::{RuleHeat, RuleHeatEntry, RuleHeatSnapshot};

@@ -11,7 +11,9 @@
 //! UPDATE_GOLDEN=1 cargo test -p grbac-core --test golden_prometheus
 //! ```
 
-use grbac_core::telemetry::{self, AlertKind, Exporter, MetricsRegistry, PrometheusExporter};
+use grbac_core::telemetry::{
+    self, AlertKind, DeltaKind, Exporter, MetricsRegistry, PrometheusExporter,
+};
 
 /// Fixed observations covering every metric kind the exporter renders.
 fn populated_registry() -> MetricsRegistry {
@@ -22,8 +24,18 @@ fn populated_registry() -> MetricsRegistry {
     registry.decisions_sampled.add(4);
     registry.decisions_degraded.add(2);
     registry.index_rebuilds.inc();
+    registry.index_full_rebuilds.inc();
     registry.index_rebuild_ns.add(52_000);
     registry.index_cache_hits.add(9);
+    registry
+        .index_delta_applied
+        .add(DeltaKind::RuleAdded.slot(), 3);
+    registry
+        .index_delta_applied
+        .add(DeltaKind::EdgeAdded.slot(), 1);
+    for nanos in [1_200u64, 4_800] {
+        registry.index_delta_apply_ns.observe(nanos);
+    }
     registry.closure_cache_hits.add(6);
     registry.closure_cache_misses.add(2);
     registry.batch_calls.inc();
@@ -148,4 +160,14 @@ fn scrape_payload_is_structurally_conformant() {
     assert!(text.contains("grbac_alerts_total{kind=\"staleness_burn\"} 1"));
     assert!(text.contains("grbac_watchdog_ticks_total 3"));
     assert!(text.contains("grbac_watchdog_deny_baseline_ppm 50000"));
+
+    // Incremental-maintenance families: install split (all installs vs
+    // from-scratch rebuilds), per-kind delta counters, and the
+    // delta-apply latency summary.
+    assert!(text.contains("grbac_index_rebuilds_total 1"));
+    assert!(text.contains("grbac_index_full_rebuilds_total 1"));
+    assert!(text.contains("grbac_index_delta_applied_total{kind=\"rule_added\"} 3"));
+    assert!(text.contains("grbac_index_delta_applied_total{kind=\"edge_added\"} 1"));
+    assert!(text.contains("grbac_index_delta_apply_ns_count{op=\"apply\"} 2"));
+    assert!(text.contains("grbac_index_delta_apply_ns_sum{op=\"apply\"} 6000"));
 }

@@ -300,6 +300,31 @@ proptest! {
         }
     }
 
+    /// Any interleaved delta schedule leaves the compiled index
+    /// structurally identical to a from-scratch rebuild at the same
+    /// generation — the incremental path must never drift, whether
+    /// the index is repaired after every edit or after a burst.
+    fn delta_schedule_matches_rebuild(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut model = build_model(&mut rng);
+        // Prime the index so subsequent edits exercise the delta path
+        // rather than the first from-scratch build.
+        let request = random_request(&mut rng, &mut model);
+        let _ = model.g.decide(&request);
+        for _ in 0..10 {
+            mutate(&mut rng, &mut model);
+            if rng.gen_bool(0.6) {
+                // Repair immediately: single-delta application.
+                prop_assert!(model.g.compiled_matches_rebuild());
+            }
+            // Otherwise let edits accumulate into a multi-delta batch
+            // resolved at the next check or decide.
+        }
+        prop_assert!(model.g.compiled_matches_rebuild());
+        let request = random_request(&mut rng, &mut model);
+        assert_paths_agree(&model.g, &request)?;
+    }
+
     /// decide_batch() returns exactly what per-request decide_naive()
     /// returns, in request order.
     fn batch_matches_naive(seed in any::<u64>()) {
