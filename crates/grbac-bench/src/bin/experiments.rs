@@ -1,12 +1,12 @@
 //! The experiment harness: regenerates every table in EXPERIMENTS.md.
 //!
 //! ```text
-//! experiments [e1 e2 … e14 | all] [--json] [--bench-out DIR]
+//! experiments [e1 e2 … e15 | all] [--json] [--bench-out DIR]
 //! ```
 //!
 //! Each experiment prints one or more tables; `--json` emits the same
 //! data as JSON for downstream tooling. `--bench-out DIR` additionally
-//! writes the benchmark-bearing experiments (e5, e10, e12, e13, e14) to
+//! writes the benchmark-bearing experiments (e5, e10, e12–e15) to
 //! `DIR/BENCH_<name>.json`, one JSON document per experiment, for CI
 //! artifact storage and cross-run comparison. Timings here use
 //! wall-clock loops sized for quick runs; the Criterion benches in
@@ -71,7 +71,7 @@ fn main() {
     let want = |name: &str| run_all || selected.contains(&name);
 
     type Runner = fn() -> Vec<Table>;
-    let experiments: [(&str, Runner); 14] = [
+    let experiments: [(&str, Runner); 15] = [
         ("e1", e1_rbac_mediation),
         ("e2", e2_hierarchy),
         ("e3", e3_policy_size),
@@ -86,6 +86,7 @@ fn main() {
         ("e12", e12_provenance),
         ("e13", e13_policy_health),
         ("e14", e14_incremental_churn),
+        ("e15", e15_obs_overhead),
     ];
     let groups: Vec<(&str, Vec<Table>)> = experiments
         .iter()
@@ -98,7 +99,7 @@ fn main() {
     if let Some(dir) = bench_out {
         std::fs::create_dir_all(&dir).expect("--bench-out directory creatable");
         for (name, tables) in &groups {
-            if ["e5", "e10", "e12", "e13", "e14"].contains(name) {
+            if ["e5", "e10", "e12", "e13", "e14", "e15"].contains(name) {
                 let path = format!("{dir}/BENCH_{name}.json");
                 let body = serde_json::to_string_pretty(tables).expect("tables serialize");
                 std::fs::write(&path, body).expect("bench file writable");
@@ -1140,7 +1141,7 @@ fn e12_provenance() -> Vec<Table> {
     execute(&mut home, &events).unwrap();
     let records = home.flight_recorder().snapshot();
     {
-        let (reports, unreplayable) = replay_all(home.engine(), &records, &ForensicQuery::any());
+        let (reports, unreplayable) = replay_all(&home.engine(), &records, &ForensicQuery::any());
         let clean = reports.iter().filter(|r| r.diff.is_clean()).count();
         let flips = reports.iter().filter(|r| r.diff.verdict_flipped).count();
         assert_eq!(flips, 0, "unchanged policy must replay every verdict");
@@ -1161,7 +1162,7 @@ fn e12_provenance() -> Vec<Table> {
         .expect("paper household has permit rules");
     home.engine_mut().remove_rule(flipped_rule);
     {
-        let (reports, unreplayable) = replay_all(home.engine(), &records, &ForensicQuery::any());
+        let (reports, unreplayable) = replay_all(&home.engine(), &records, &ForensicQuery::any());
         let clean = reports.iter().filter(|r| r.diff.is_clean()).count();
         let flips = reports.iter().filter(|r| r.diff.verdict_flipped).count();
         assert!(flips > 0, "removing a permit rule must flip some verdict");
@@ -1220,15 +1221,15 @@ fn e12_provenance() -> Vec<Table> {
         let mut replay_flips = 0u64;
         let mut counterfactual_flips = 0u64;
         for record in &records {
-            let replayed = replay(faulty.engine(), record).expect("same policy");
+            let replayed = replay(&faulty.engine(), record).expect("same policy");
             if replayed.diff.verdict_flipped {
                 replay_flips += 1;
             }
         }
         for record in &degraded {
-            let as_recorded = replay(faulty.engine(), record).expect("same policy");
-            let fresh =
-                replay_with_health(faulty.engine(), record, EnvHealth::Fresh).expect("same policy");
+            let as_recorded = replay(&faulty.engine(), record).expect("same policy");
+            let fresh = replay_with_health(&faulty.engine(), record, EnvHealth::Fresh)
+                .expect("same policy");
             if fresh.replayed_effect != as_recorded.replayed_effect {
                 counterfactual_flips += 1;
             }
@@ -1475,7 +1476,7 @@ fn e13_policy_health() -> Vec<Table> {
         let events = generate(&home, &workload);
         execute(&mut home, &events).unwrap();
 
-        let report = grbac_core::analysis::health_report(home.engine());
+        let report = grbac_core::analysis::health_report(&home.engine());
         let statically_flagged = report
             .static_report
             .shadowed
@@ -1684,4 +1685,144 @@ fn e14_incremental_churn() -> Vec<Table> {
     }
 
     vec![repair, tail]
+}
+
+/// E15 — observability-plane overhead: decide throughput with a live
+/// `grbac-obs` server being scraped at a Prometheus-like cadence vs
+/// the same loop with no server attached. Scrapes take only the
+/// engine's read lock, so the cost is snapshot + render CPU; the
+/// acceptance bound is ≤2% decide-throughput overhead.
+fn e15_obs_overhead() -> Vec<Table> {
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::{Arc, RwLock};
+
+    let mut table = Table::new(
+        "E15: decide throughput under concurrent /metrics scrapes",
+        &[
+            "rules",
+            "baseline_ns",
+            "scraped_ns",
+            "overhead_pct",
+            "scrapes",
+        ],
+    );
+    for rules in [1024usize] {
+        let system = synthetic_grbac(&SyntheticConfig {
+            rules,
+            subject_roles: 32,
+            object_roles: 32,
+            environment_roles: 16,
+            ..Default::default()
+        });
+        let requests = system.requests(20_000, 3, 3);
+        system.engine.decide(&requests[0]).expect("known ids");
+        let engine = Arc::new(RwLock::new(system.engine));
+
+        // One measured window: decide continuously for at least
+        // WINDOW wall-clock time, returning the mean ns per decide.
+        // Long windows (spanning several scrape intervals) make the
+        // mean capture the scraper's duty cycle honestly, where a
+        // minimum-of-short-passes estimator would either dodge every
+        // scrape or be swamped by scheduler noise on a small machine.
+        const WINDOW: std::time::Duration = std::time::Duration::from_millis(1_200);
+        let window = || {
+            let mut ops = 0usize;
+            let start = Instant::now();
+            loop {
+                for request in &requests {
+                    let g = engine.read().expect("engine lock");
+                    std::hint::black_box(g.decide(request).expect("known ids"));
+                }
+                ops += requests.len();
+                if start.elapsed() >= WINDOW {
+                    break;
+                }
+            }
+            ns_per_op(start.elapsed(), ops)
+        };
+
+        // The server and the scraper thread run for the WHOLE
+        // experiment, baseline windows included; only the `active`
+        // flag differs between conditions. That keeps thread count
+        // and wakeup pattern identical, so the comparison isolates
+        // the scrape work itself. Cadence is 500ms — 30x more
+        // aggressive than the default Prometheus interval of 15s —
+        // and on a single-core machine every scrape millisecond is
+        // stolen directly from the decide loop.
+        let server = grbac_obs::ObsServer::serve(
+            grbac_obs::EngineObs::new(Arc::clone(&engine)),
+            "127.0.0.1:0",
+        )
+        .expect("ephemeral bind");
+        let addr = server.addr();
+        let stop = Arc::new(AtomicBool::new(false));
+        let active = Arc::new(AtomicBool::new(false));
+        let scrapes = Arc::new(AtomicU64::new(0));
+        let scraper = {
+            let stop = Arc::clone(&stop);
+            let active = Arc::clone(&active);
+            let scrapes = Arc::clone(&scrapes);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Acquire) {
+                    if active.load(Ordering::Acquire) {
+                        let (status, body) = grbac_obs::get(addr, "/metrics").expect("scrape");
+                        assert_eq!(status, 200);
+                        std::hint::black_box(body.len());
+                        scrapes.fetch_add(1, Ordering::Relaxed);
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(500));
+                }
+            })
+        };
+
+        // Paired, interleaved rounds: each round measures a quiet
+        // window then a scraped window back to back, so slow drift
+        // (thermal, frequency scaling, background load) hits both
+        // sides of the ratio equally. The median ratio across rounds
+        // rejects the odd round that catches a machine-wide hiccup.
+        const ROUNDS: usize = 3;
+        std::hint::black_box(window()); // warmup, discarded
+        let mut baselines = Vec::with_capacity(ROUNDS);
+        let mut scraped = Vec::with_capacity(ROUNDS);
+        let mut ratios = Vec::with_capacity(ROUNDS);
+        for _ in 0..ROUNDS {
+            active.store(false, Ordering::Release);
+            let b = window();
+            active.store(true, Ordering::Release);
+            let s = window();
+            baselines.push(b);
+            scraped.push(s);
+            ratios.push(s / b);
+        }
+        stop.store(true, Ordering::Release);
+        scraper.join().expect("scraper joins");
+        let scrape_count = scrapes.load(Ordering::Relaxed);
+        server.shutdown();
+
+        let median = |values: &mut Vec<f64>| {
+            values.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            values[values.len() / 2]
+        };
+        let baseline_ns = median(&mut baselines);
+        let scraped_ns = median(&mut scraped);
+        let overhead_pct = ((median(&mut ratios) - 1.0) * 100.0).max(0.0);
+        assert!(
+            scrape_count > 0,
+            "the scraper must actually exercise the endpoint"
+        );
+        assert!(
+            overhead_pct <= 2.0,
+            "scrape overhead must stay within 2% of decide throughput \
+             (baseline {baseline_ns:.0}ns, scraped {scraped_ns:.0}ns, {overhead_pct:.2}%)"
+        );
+
+        table.row(&[
+            rules.to_string(),
+            format!("{baseline_ns:.0}"),
+            format!("{scraped_ns:.0}"),
+            format!("{overhead_pct:.2}"),
+            scrape_count.to_string(),
+        ]);
+    }
+    vec![table]
 }

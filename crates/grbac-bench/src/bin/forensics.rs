@@ -148,7 +148,7 @@ fn main() {
         ]);
         flips
     };
-    let unchanged_flips = replay_row("unchanged", home.engine());
+    let unchanged_flips = replay_row("unchanged", &home.engine());
     assert_eq!(
         unchanged_flips, 0,
         "replay against the unchanged policy must reproduce every verdict"
@@ -162,7 +162,7 @@ fn main() {
         .map(grbac_core::rule::Rule::id)
         .expect("paper household has permit rules");
     home.engine_mut().remove_rule(flipped);
-    replay_row("one permit rule removed", home.engine());
+    replay_row("one permit rule removed", &home.engine());
     tables.push(replay_table);
 
     // 4. Slowest stages across traced records.

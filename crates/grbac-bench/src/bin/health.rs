@@ -133,7 +133,7 @@ fn main() {
         );
     }
 
-    let report = health_report(home.engine());
+    let report = health_report(&home.engine());
     let mut tables = Vec::new();
 
     // 1. Heat table: hottest rules first.
@@ -225,24 +225,26 @@ fn main() {
     tables.push(roles);
 
     // 4. The watchdog's alert log.
-    let watchdog = home.watchdog().expect("installed above");
     let mut alerts = Table::new(
         "Health: watchdog alert log",
         &[
             "seq", "tick", "kind", "observed", "baseline", "window", "severity",
         ],
     );
-    for alert in watchdog.alerts() {
-        alerts.row(&[
-            alert.seq.to_string(),
-            alert.tick.to_string(),
-            alert.kind.name().to_owned(),
-            format!("{:.4}", alert.observed),
-            format!("{:.4}", alert.baseline),
-            alert.window.to_string(),
-            format!("{:.1}", alert.severity(watchdog.config())),
-        ]);
-    }
+    home.with_watchdog(|watchdog| {
+        for alert in watchdog.alerts() {
+            alerts.row(&[
+                alert.seq.to_string(),
+                alert.tick.to_string(),
+                alert.kind.name().to_owned(),
+                format!("{:.4}", alert.observed),
+                format!("{:.4}", alert.baseline),
+                alert.window.to_string(),
+                format!("{:.1}", alert.severity(watchdog.config())),
+            ]);
+        }
+    })
+    .expect("installed above");
     tables.push(alerts);
 
     if json {

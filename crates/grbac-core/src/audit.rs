@@ -15,14 +15,19 @@ use std::io::{self, Write};
 use serde::{Deserialize, Serialize};
 
 use crate::degraded::DegradedReason;
-use crate::id::{ObjectId, RuleId, SubjectId, TransactionId};
+use crate::id::{DecisionId, ObjectId, RuleId, SubjectId, TransactionId};
 use crate::rule::Effect;
 
 /// One mediated request.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct AuditRecord {
     /// Monotonic sequence number (never reused, survives eviction).
     pub seq: u64,
+    /// The correlation id minted for the decision
+    /// ([`DecisionId::UNASSIGNED`] for rows recorded outside the
+    /// minting path or loaded from logs older than the id scheme).
+    #[serde(default)]
+    pub decision_id: DecisionId,
     /// The requesting subject, when identified.
     pub subject: Option<SubjectId>,
     /// The requested transaction.
@@ -43,6 +48,24 @@ pub struct AuditRecord {
     /// field existed.
     #[serde(default)]
     pub degraded: Option<DegradedReason>,
+}
+
+/// Equality ignores [`AuditRecord::decision_id`]: the correlation id is
+/// per-engine metadata (its epoch differs across engine lifetimes), so
+/// two engines mediating the same requests still produce equal records.
+/// The differential suites rely on this when comparing sequential
+/// against batched audit trails.
+impl PartialEq for AuditRecord {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+            && self.subject == other.subject
+            && self.transaction == other.transaction
+            && self.object == other.object
+            && self.effect == other.effect
+            && self.winning_rule == other.winning_rule
+            && self.timestamp == other.timestamp
+            && self.degraded == other.degraded
+    }
 }
 
 /// A conjunctive filter over audit (and provenance) records: every set
@@ -191,10 +214,39 @@ impl AuditLog {
     }
 
     /// Appends a record, evicting the oldest when at capacity. Returns
-    /// the assigned sequence number.
+    /// the assigned sequence number. The row carries no correlation id
+    /// ([`DecisionId::UNASSIGNED`]); the engine's mediation paths use
+    /// [`record_with_id`](Self::record_with_id).
     #[allow(clippy::too_many_arguments)]
     pub fn record(
         &mut self,
+        subject: Option<SubjectId>,
+        transaction: TransactionId,
+        object: ObjectId,
+        effect: Effect,
+        winning_rule: Option<RuleId>,
+        timestamp: Option<u64>,
+        degraded: Option<DegradedReason>,
+    ) -> u64 {
+        self.record_with_id(
+            DecisionId::UNASSIGNED,
+            subject,
+            transaction,
+            object,
+            effect,
+            winning_rule,
+            timestamp,
+            degraded,
+        )
+    }
+
+    /// [`record`](Self::record), stamping the row with the decision's
+    /// correlation id so audit review joins against traces, recorder
+    /// entries and exemplars.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_with_id(
+        &mut self,
+        decision_id: DecisionId,
         subject: Option<SubjectId>,
         transaction: TransactionId,
         object: ObjectId,
@@ -216,6 +268,7 @@ impl AuditLog {
             }
             self.records.push_back(AuditRecord {
                 seq,
+                decision_id,
                 subject,
                 transaction,
                 object,
@@ -226,6 +279,18 @@ impl AuditLog {
             });
         }
         seq
+    }
+
+    /// The retained row carrying `decision_id`, if any — the audit leg
+    /// of a `/decision/<id>` correlation lookup.
+    #[must_use]
+    pub fn find_by_decision_id(&self, decision_id: DecisionId) -> Option<&AuditRecord> {
+        if !decision_id.is_assigned() {
+            return None;
+        }
+        self.records
+            .iter()
+            .find(|record| record.decision_id == decision_id)
     }
 
     /// Records currently retained, oldest first.
@@ -320,6 +385,9 @@ impl AuditLog {
 fn jsonl_line(record: &AuditRecord) -> String {
     let mut line = String::with_capacity(160);
     line.push_str(&format!("{{\"seq\":{}", record.seq));
+    if record.decision_id.is_assigned() {
+        line.push_str(&format!(",\"decision_id\":\"{}\"", record.decision_id));
+    }
     if let Some(subject) = record.subject {
         line.push_str(&format!(",\"subject\":{}", subject.as_raw()));
     }
@@ -396,6 +464,45 @@ mod tests {
         let last = log.last().unwrap();
         assert_eq!(last.winning_rule, Some(RuleId::from_raw(2)));
         assert_eq!(last.timestamp, Some(7));
+    }
+
+    #[test]
+    fn decision_ids_are_retained_queryable_and_exported() {
+        let mut log = AuditLog::new();
+        let id = DecisionId::from_parts(7, 3);
+        log.record(None, t(0), o(0), Effect::Permit, None, None, None);
+        log.record_with_id(
+            id,
+            Some(SubjectId::from_raw(1)),
+            t(0),
+            o(1),
+            Effect::Deny,
+            None,
+            Some(9),
+            None,
+        );
+        assert_eq!(log.last().unwrap().decision_id, id);
+        assert_eq!(log.find_by_decision_id(id).unwrap().seq, 1);
+        assert!(log
+            .find_by_decision_id(DecisionId::from_parts(7, 4))
+            .is_none());
+        assert!(log.find_by_decision_id(DecisionId::UNASSIGNED).is_none());
+
+        let mut buffer = Vec::new();
+        log.write_jsonl(&mut buffer, &AuditFilter::any()).unwrap();
+        let text = String::from_utf8(buffer).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(!lines[0].contains("decision_id"), "unassigned id omitted");
+        let second: serde_json::Value = serde_json::from_str(lines[1]).unwrap();
+        assert_eq!(
+            second.get("decision_id").and_then(|v| v.as_str()),
+            Some(id.to_string().as_str())
+        );
+
+        // Rows serialized before the field existed load as unassigned.
+        let json = serde_json::to_string(&log).unwrap();
+        let restored: AuditLog = serde_json::from_str(&json).unwrap();
+        assert_eq!(restored.last().unwrap().decision_id, id);
     }
 
     #[test]

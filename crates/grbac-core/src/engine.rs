@@ -64,7 +64,9 @@ use crate::entity::EntityCatalog;
 use crate::environment::EnvironmentSnapshot;
 use crate::error::{GrbacError, Result};
 use crate::explain::{Decision, Explanation, MatchedRule, Reason};
-use crate::id::{IdAllocator, ObjectId, RoleId, RuleId, SessionId, SubjectId, TransactionId};
+use crate::id::{
+    DecisionIdMint, IdAllocator, ObjectId, RoleId, RuleId, SessionId, SubjectId, TransactionId,
+};
 use crate::index::{Advance, CachedExpansion, CompiledIndex, IndexCell};
 use crate::precedence::ConflictStrategy;
 use crate::provenance::{env_fingerprint, FlightRecorder, ProvenanceRecord};
@@ -232,6 +234,12 @@ pub struct Grbac {
     /// engine clones and `decide_batch` workers like the registry.
     #[serde(skip)]
     recorder: Arc<FlightRecorder>,
+    /// Correlation-id mint (operational state — never serialized; a
+    /// deserialized engine draws a fresh epoch, so ids from different
+    /// engine lifetimes never collide). Shared by engine clones and
+    /// `decide_batch` workers like the registry and the recorder.
+    #[serde(skip)]
+    decision_ids: Arc<DecisionIdMint>,
 }
 
 impl Default for Grbac {
@@ -266,6 +274,7 @@ impl Grbac {
             index: IndexCell::default(),
             metrics: Arc::new(MetricsRegistry::new()),
             recorder: Arc::new(FlightRecorder::new()),
+            decision_ids: Arc::new(DecisionIdMint::new()),
         }
     }
 
@@ -953,10 +962,15 @@ impl Grbac {
     /// Same as [`decide`](Self::decide).
     pub fn decide_traced(&self, request: &AccessRequest) -> Result<(Decision, DecisionTrace)> {
         let index = self.compiled();
+        let id = self.decision_ids.mint();
         let started = Instant::now();
         let mut sink = TraceCollector::default();
-        let decision = self.decide_with_index(request, &index, &mut sink)?;
-        let trace = sink.finish(started);
+        let decision = self
+            .decide_with_index(request, &index, &mut sink)?
+            .with_decision_id(id);
+        let mut trace = sink.finish(started);
+        trace.decision_id = id;
+        self.metrics.note_decision(id);
         self.metrics.observe_trace(&trace);
         self.record_provenance(request, &decision, Some(&trace));
         Ok((decision, trace))
@@ -1014,18 +1028,26 @@ impl Grbac {
     /// timer) is what keeps the per-stage quantile sketches fed without
     /// taxing the common path with clock reads.
     fn decide_recorded(&self, request: &AccessRequest, index: &CompiledIndex) -> Result<Decision> {
+        let id = self.decision_ids.mint();
         if let Some(started) = self.metrics.decide_timer() {
             let mut sink = TraceCollector::default();
-            let result = self.decide_with_index(request, index, &mut sink);
-            let trace = sink.finish(started);
+            let result = self
+                .decide_with_index(request, index, &mut sink)
+                .map(|decision| decision.with_decision_id(id));
+            let mut trace = sink.finish(started);
+            trace.decision_id = id;
             if let Ok(decision) = &result {
+                self.metrics.note_decision(id);
                 self.metrics.observe_trace(&trace);
                 self.record_provenance(request, decision, Some(&trace));
             }
             result
         } else {
-            let result = self.decide_with_index(request, index, &mut NoTrace);
+            let result = self
+                .decide_with_index(request, index, &mut NoTrace)
+                .map(|decision| decision.with_decision_id(id));
             if let Ok(decision) = &result {
+                self.metrics.note_decision(id);
                 self.record_provenance(request, decision, None);
             }
             result
@@ -1058,6 +1080,7 @@ impl Grbac {
             seq: 0,
             writer: 0,
             writer_seq: 0,
+            decision_id: decision.decision_id(),
             actor: request.actor.clone(),
             transaction: request.transaction,
             object: request.object,
@@ -1527,7 +1550,8 @@ impl Grbac {
             Actor::Subject(s) => Some(*s),
             Actor::Sensed(ctx) => ctx.identity().map(|(s, _)| s),
         };
-        self.audit.record(
+        self.audit.record_with_id(
+            decision.decision_id(),
             subject,
             request.transaction,
             request.object,
@@ -1557,7 +1581,8 @@ impl Grbac {
                     Actor::Subject(s) => Some(*s),
                     Actor::Sensed(ctx) => ctx.identity().map(|(s, _)| s),
                 };
-                self.audit.record(
+                self.audit.record_with_id(
+                    decision.decision_id(),
                     subject,
                     request.transaction,
                     request.object,

@@ -83,7 +83,13 @@ pub struct Explanation {
 }
 
 /// The outcome of mediating one access request.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Equality compares decision *content* (effect, explanation, degraded
+/// annotation) and deliberately ignores the correlation
+/// [`DecisionId`](crate::id::DecisionId): the compiled and naive paths
+/// must produce equal decisions even though only the compiled entry
+/// points mint ids.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Decision {
     effect: Effect,
     explanation: Explanation,
@@ -92,6 +98,18 @@ pub struct Decision {
     /// field existed).
     #[serde(default)]
     degraded: Option<DegradedReason>,
+    /// Correlation id minted at the decide entry point (unassigned on
+    /// synthesized decisions, naive-path replays and older captures).
+    #[serde(default)]
+    decision_id: crate::id::DecisionId,
+}
+
+impl PartialEq for Decision {
+    fn eq(&self, other: &Self) -> bool {
+        self.effect == other.effect
+            && self.explanation == other.explanation
+            && self.degraded == other.degraded
+    }
 }
 
 impl Decision {
@@ -103,7 +121,25 @@ impl Decision {
             effect,
             explanation,
             degraded: None,
+            decision_id: crate::id::DecisionId::UNASSIGNED,
         }
+    }
+
+    /// Attaches the correlation id minted for this decision (builder
+    /// style). Set by the engine's minting entry points.
+    #[must_use]
+    pub fn with_decision_id(mut self, id: crate::id::DecisionId) -> Self {
+        self.decision_id = id;
+        self
+    }
+
+    /// The correlation id minted for this decision, or
+    /// [`DecisionId::UNASSIGNED`](crate::id::DecisionId::UNASSIGNED)
+    /// when the mediation path did not mint (naive replays, synthesized
+    /// decisions).
+    #[must_use]
+    pub fn decision_id(&self) -> crate::id::DecisionId {
+        self.decision_id
     }
 
     /// Attaches a degraded-mode annotation (builder style). The engine

@@ -95,6 +95,147 @@ define_id!(
     "dlg"
 );
 
+/// Correlation identifier minted for every mediated decision.
+///
+/// A `DecisionId` is a 128-bit value split into an *engine epoch*
+/// (upper 64 bits, drawn once per [`Grbac`](crate::engine::Grbac)
+/// instantiation so ids from different engine lifetimes never collide)
+/// and a *per-engine monotonic sequence* (lower 64 bits). The same id
+/// is threaded through every telemetry surface one decision touches —
+/// its [`DecisionTrace`](crate::telemetry::DecisionTrace), its
+/// [`ProvenanceRecord`](crate::provenance::ProvenanceRecord), its
+/// [`AuditRecord`](crate::audit::AuditRecord), the latency-sketch
+/// exemplars, and any watchdog
+/// [`AlertRecord`](crate::telemetry::AlertRecord) whose breaching
+/// window it fell inside — so one id resolves a decision's full story.
+///
+/// Ids render as (and parse from) 32 lowercase hex digits, the form
+/// used by exported exemplars and the `/decision/<id>` observability
+/// endpoint. [`DecisionId::UNASSIGNED`] (all zeros) marks surfaces the
+/// minting path never reached (e.g. a replay through
+/// [`decide_naive`](crate::engine::Grbac::decide_naive), which never
+/// mints — replays must not pollute the correlation space).
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct DecisionId {
+    epoch: u64,
+    seq: u64,
+}
+
+impl DecisionId {
+    /// The zero id: no decision was minted for this surface.
+    pub const UNASSIGNED: DecisionId = DecisionId { epoch: 0, seq: 0 };
+
+    /// Builds an id from its engine epoch and sequence parts.
+    #[must_use]
+    pub const fn from_parts(epoch: u64, seq: u64) -> Self {
+        Self { epoch, seq }
+    }
+
+    /// The engine-lifetime epoch (upper 64 bits).
+    #[must_use]
+    pub const fn epoch(self) -> u64 {
+        self.epoch
+    }
+
+    /// The per-engine monotonic sequence (lower 64 bits).
+    #[must_use]
+    pub const fn seq(self) -> u64 {
+        self.seq
+    }
+
+    /// The id as one 128-bit value (`epoch << 64 | seq`).
+    #[must_use]
+    pub const fn as_u128(self) -> u128 {
+        ((self.epoch as u128) << 64) | self.seq as u128
+    }
+
+    /// Rebuilds an id from its 128-bit form.
+    #[must_use]
+    pub const fn from_u128(raw: u128) -> Self {
+        Self {
+            epoch: (raw >> 64) as u64,
+            seq: raw as u64,
+        }
+    }
+
+    /// True when this id was actually minted (non-zero).
+    #[must_use]
+    pub const fn is_assigned(self) -> bool {
+        self.epoch != 0 || self.seq != 0
+    }
+}
+
+impl std::fmt::Display for DecisionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:032x}", self.as_u128())
+    }
+}
+
+impl std::str::FromStr for DecisionId {
+    type Err = std::num::ParseIntError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        u128::from_str_radix(s, 16).map(Self::from_u128)
+    }
+}
+
+/// The shared mint behind one engine's [`DecisionId`]s: an epoch drawn
+/// at construction plus a relaxed atomic sequence. Engine clones share
+/// the mint (like the metrics registry and the flight recorder), so a
+/// batch fanned out across threads still mints globally-unique,
+/// monotonically-claimed ids.
+#[derive(Debug)]
+pub(crate) struct DecisionIdMint {
+    epoch: u64,
+    next_seq: std::sync::atomic::AtomicU64,
+}
+
+impl Default for DecisionIdMint {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DecisionIdMint {
+    pub(crate) fn new() -> Self {
+        Self {
+            epoch: fresh_epoch(),
+            next_seq: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Claims the next id (sequence starts at 1 so the zero id stays
+    /// reserved for [`DecisionId::UNASSIGNED`]).
+    pub(crate) fn mint(&self) -> DecisionId {
+        let seq = self
+            .next_seq
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+            .wrapping_add(1);
+        DecisionId {
+            epoch: self.epoch,
+            seq,
+        }
+    }
+}
+
+/// A non-zero epoch unique within this process (a global counter) and
+/// overwhelmingly unique across processes (wall-clock nanoseconds
+/// folded in).
+fn fresh_epoch() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    let ordinal = NEXT.fetch_add(1, Ordering::Relaxed);
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    // Spread the ordinal across the high bits so epochs minted in the
+    // same nanosecond still differ; keep the result non-zero.
+    (nanos ^ ordinal.rotate_left(40)).max(1)
+}
+
 /// Monotonic id allocator used by the catalogs in this crate.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub(crate) struct IdAllocator {
@@ -167,5 +308,29 @@ mod tests {
         let json = serde_json::to_string(&id).expect("serialize");
         let back: SubjectId = serde_json::from_str(&json).expect("deserialize");
         assert_eq!(id, back);
+    }
+
+    #[test]
+    fn decision_id_round_trips_through_hex_and_u128() {
+        let id = DecisionId::from_parts(0xDEAD_BEEF, 42);
+        assert_eq!(id.to_string(), "00000000deadbeef000000000000002a");
+        let parsed: DecisionId = id.to_string().parse().expect("hex parses");
+        assert_eq!(parsed, id);
+        assert_eq!(DecisionId::from_u128(id.as_u128()), id);
+        assert!(id.is_assigned());
+        assert!(!DecisionId::UNASSIGNED.is_assigned());
+        assert_eq!(DecisionId::default(), DecisionId::UNASSIGNED);
+        assert!("not-hex".parse::<DecisionId>().is_err());
+    }
+
+    #[test]
+    fn mint_is_monotonic_and_never_unassigned() {
+        let mint = DecisionIdMint::new();
+        let a = mint.mint();
+        let b = mint.mint();
+        assert!(a.is_assigned());
+        assert_eq!(a.epoch(), mint.epoch);
+        assert_eq!(b.seq(), a.seq() + 1);
+        assert_ne!(DecisionIdMint::new().epoch, 0);
     }
 }

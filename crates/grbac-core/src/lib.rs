@@ -112,8 +112,11 @@ pub use engine::{AccessRequest, Actor, Grbac};
 pub use environment::EnvironmentSnapshot;
 pub use error::GrbacError;
 pub use explain::{Decision, Explanation, Reason};
+pub use id::DecisionId;
 pub use precedence::ConflictStrategy;
-pub use provenance::{FlightRecorder, ForensicQuery, ProvenanceRecord, ReplayReport};
+pub use provenance::{
+    decision_story, DecisionStory, FlightRecorder, ForensicQuery, ProvenanceRecord, ReplayReport,
+};
 pub use role::RoleKind;
 pub use rule::{Effect, Rule, RuleDef};
 pub use telemetry::{
@@ -129,7 +132,9 @@ pub mod prelude {
     pub use crate::environment::EnvironmentSnapshot;
     pub use crate::error::GrbacError;
     pub use crate::explain::{Decision, Reason};
-    pub use crate::id::{ObjectId, RoleId, RuleId, SessionId, SubjectId, TransactionId};
+    pub use crate::id::{
+        DecisionId, ObjectId, RoleId, RuleId, SessionId, SubjectId, TransactionId,
+    };
     pub use crate::precedence::ConflictStrategy;
     pub use crate::role::RoleKind;
     pub use crate::rule::{Effect, RuleDef};

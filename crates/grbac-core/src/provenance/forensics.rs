@@ -13,11 +13,11 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::audit::AuditFilter;
+use crate::audit::{AuditFilter, AuditRecord};
 use crate::engine::{AccessRequest, Grbac};
 use crate::environment::EnvironmentSnapshot;
 use crate::error::Result;
-use crate::id::RuleId;
+use crate::id::{DecisionId, RuleId};
 use crate::rule::Effect;
 use crate::telemetry::{RuleHeatSnapshot, Stage};
 
@@ -241,6 +241,61 @@ pub fn replay_all(
     (reports, unreplayable)
 }
 
+/// Everything one correlation id resolves to: the flight-recorder
+/// record, a fresh reference replay of it, and the audit row — the
+/// "full story" of a single decision, joined on its [`DecisionId`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecisionStory {
+    /// The id the story was resolved for.
+    pub decision_id: DecisionId,
+    /// The full recorded provenance (request, outcome, timings).
+    pub record: ProvenanceRecord,
+    /// A reference-path replay of the record against the engine's
+    /// *current* policy, when the policy can still express the request.
+    pub replay: Option<ReplayReport>,
+    /// The audit row the decision produced, if still retained by the
+    /// audit ring (open-session decisions never write one).
+    pub audit: Option<AuditRecord>,
+}
+
+impl DecisionStory {
+    /// True when every resolved source agrees structurally: the audit
+    /// row (if present) carries the same effect and winning rule as
+    /// the provenance record, and the replay (if it ran) started from
+    /// the recorded effect. A `false` localizes an evidence
+    /// inconsistency — eviction races aside, the three stores should
+    /// never disagree about one id.
+    #[must_use]
+    pub fn agrees(&self) -> bool {
+        let audit_agrees = self.audit.as_ref().is_none_or(|row| {
+            row.effect == self.record.effect && row.winning_rule == self.record.winning_rule
+        });
+        let replay_agrees = self
+            .replay
+            .as_ref()
+            .is_none_or(|report| report.recorded_effect == self.record.effect);
+        audit_agrees && replay_agrees
+    }
+}
+
+/// Resolves everything `engine` still knows about one decision id:
+/// finds the flight-recorder record minted under `decision_id`, replays
+/// it through the reference path, and joins the audit row. Returns
+/// `None` when the recorder no longer holds the id (ring eviction, or
+/// an id this engine never minted).
+#[must_use]
+pub fn decision_story(engine: &Grbac, decision_id: DecisionId) -> Option<DecisionStory> {
+    let record = engine.flight_recorder().find(decision_id)?;
+    let replay = replay(engine, &record).ok();
+    let audit = engine.audit().find_by_decision_id(decision_id).cloned();
+    Some(DecisionStory {
+        decision_id,
+        record,
+        replay,
+        audit,
+    })
+}
+
 /// One stage timing lifted from a traced record.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct StageSample {
@@ -446,6 +501,26 @@ mod tests {
             ..ForensicQuery::any()
         };
         assert_eq!(early.select(&records).len(), 1);
+    }
+
+    #[test]
+    fn decision_story_joins_record_replay_and_audit() {
+        let (g, records) = recorded_engine();
+        let id = records[0].decision_id;
+        assert!(id.is_assigned(), "decide() mints an id");
+        let story = decision_story(&g, id).expect("retained id resolves");
+        assert_eq!(story.decision_id, id);
+        assert_eq!(story.record.seq, records[0].seq);
+        let replay = story.replay.as_ref().expect("policy unchanged: replayable");
+        assert!(replay.diff.is_clean());
+        // decide() bypasses the audit layer; the story says so honestly
+        // and still agrees structurally.
+        assert!(story.audit.is_none());
+        assert!(story.agrees());
+        // Ids nobody minted — and the unassigned sentinel — resolve to
+        // nothing rather than somebody else's record.
+        assert!(decision_story(&g, DecisionId::from_parts(1, 1)).is_none());
+        assert!(decision_story(&g, DecisionId::UNASSIGNED).is_none());
     }
 
     #[test]

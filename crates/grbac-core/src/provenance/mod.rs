@@ -72,7 +72,8 @@ mod forensics;
 mod recorder;
 
 pub use forensics::{
-    rebuild_request, reconstruct_heat, replay, replay_all, replay_with_health, slowest_stages,
-    ClosureDelta, ForensicQuery, ReplayDiff, ReplayReport, StageSample,
+    decision_story, rebuild_request, reconstruct_heat, replay, replay_all, replay_with_health,
+    slowest_stages, ClosureDelta, DecisionStory, ForensicQuery, ReplayDiff, ReplayReport,
+    StageSample,
 };
 pub use recorder::{env_fingerprint, FlightRecorder, ProvenanceRecord};

@@ -28,7 +28,7 @@ use serde::{Deserialize, Serialize};
 use crate::degraded::{DegradedReason, EnvHealth};
 use crate::engine::Actor;
 use crate::environment::EnvironmentSnapshot;
-use crate::id::{ObjectId, RoleId, RuleId, SubjectId, TransactionId};
+use crate::id::{DecisionId, ObjectId, RoleId, RuleId, SubjectId, TransactionId};
 use crate::rule::Effect;
 
 /// Distinct per-writer sequence counters; writer ids beyond this share
@@ -66,6 +66,10 @@ pub struct ProvenanceRecord {
     /// This writer's private sequence number (strictly increasing per
     /// writer).
     pub writer_seq: u64,
+    /// The correlation id minted for the decision (unassigned only on
+    /// records deserialized from captures older than the id scheme).
+    #[serde(default)]
+    pub decision_id: DecisionId,
     /// The requester exactly as mediated (sessions, trusted subjects
     /// and sensed contexts alike), so the request can be rebuilt.
     pub actor: Actor,
@@ -255,6 +259,23 @@ impl FlightRecorder {
         records.drain(..keep);
         records
     }
+
+    /// The retained record carrying `decision_id`, if any — the
+    /// recorder leg of a `/decision/<id>` correlation lookup. A linear
+    /// scan over the ring (the ring is small and bounded; correlation
+    /// lookups are operator-paced, not decide-paced).
+    #[must_use]
+    pub fn find(&self, decision_id: DecisionId) -> Option<ProvenanceRecord> {
+        if !decision_id.is_assigned() {
+            return None;
+        }
+        self.slots.iter().find_map(|slot| {
+            slot.lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .clone()
+                .filter(|record| record.decision_id == decision_id)
+        })
+    }
 }
 
 impl Default for FlightRecorder {
@@ -289,6 +310,7 @@ mod tests {
             seq: 0,
             writer: 0,
             writer_seq: 0,
+            decision_id: DecisionId::from_parts(9, n + 1),
             actor: Actor::Subject(SubjectId::from_raw(n)),
             transaction: TransactionId::from_raw(0),
             object: ObjectId::from_raw(n),
@@ -360,6 +382,21 @@ mod tests {
         }
         let tail: Vec<u64> = recorder.latest(2).iter().map(|r| r.seq).collect();
         assert_eq!(tail, vec![4, 5]);
+    }
+
+    #[test]
+    fn find_resolves_retained_decision_ids_only() {
+        let recorder = FlightRecorder::with_capacity(4);
+        for n in 0..6 {
+            recorder.record(sample(n));
+        }
+        // n = 5 is retained; n = 0 was evicted by drop-oldest.
+        let hit = recorder
+            .find(DecisionId::from_parts(9, 6))
+            .expect("retained");
+        assert_eq!(hit.object, ObjectId::from_raw(5));
+        assert!(recorder.find(DecisionId::from_parts(9, 1)).is_none());
+        assert!(recorder.find(DecisionId::UNASSIGNED).is_none());
     }
 
     #[test]

@@ -79,6 +79,9 @@ fn help_for(name: &str) -> &'static str {
         "grbac_decide_latency_ns" => "Sampled decide() latency in nanoseconds.",
         "grbac_batch_size" => "Requests per decide_batch() call.",
         "grbac_rule_matches_total" => "Matched rules per request, by transaction.",
+        "grbac_labels_dropped_total" => {
+            "Keyed-counter updates folded into the `other` bucket by the label-cardinality cap."
+        }
         "grbac_rule_heat_matched_total" => "Decisions in which the rule was applicable, by rule.",
         "grbac_rule_heat_won_permit_total" => "Decisions the rule won with a permit, by rule.",
         "grbac_rule_heat_won_deny_total" => "Decisions the rule won with a deny, by rule.",
@@ -152,12 +155,24 @@ impl Exporter for PrometheusExporter {
             let label = &family.label;
             for (key, quantiles) in &family.series {
                 let key = escape_label(key);
-                for (q, value) in [
-                    ("0.5", quantiles.p50),
-                    ("0.95", quantiles.p95),
-                    ("0.99", quantiles.p99),
+                for (q, value, exemplar) in [
+                    ("0.5", quantiles.p50, quantiles.exemplar_p50),
+                    ("0.95", quantiles.p95, quantiles.exemplar_p95),
+                    ("0.99", quantiles.p99, quantiles.exemplar_p99),
                 ] {
-                    let _ = writeln!(out, "{name}{{{label}=\"{key}\",quantile=\"{q}\"}} {value}");
+                    let _ = write!(out, "{name}{{{label}=\"{key}\",quantile=\"{q}\"}} {value}");
+                    if let Some(exemplar) = exemplar {
+                        // OpenMetrics exemplar syntax; the id renders
+                        // as fixed-width hex but is escaped anyway so
+                        // the emission path stays safe by construction.
+                        let _ = write!(
+                            out,
+                            " # {{decision_id=\"{}\"}} {}",
+                            escape_label(&exemplar.decision_id.to_string()),
+                            exemplar.value
+                        );
+                    }
+                    out.push('\n');
                 }
                 let _ = writeln!(out, "{name}_sum{{{label}=\"{key}\"}} {}", quantiles.sum);
                 let _ = writeln!(out, "{name}_count{{{label}=\"{key}\"}} {}", quantiles.count);
@@ -184,7 +199,9 @@ impl Exporter for PrometheusExporter {
 /// The layout mirrors [`MetricsSnapshot`]'s fields: top-level objects
 /// `counters`, `gauges`, `histograms` (each with `bounds`, `counts`,
 /// `sum`, `count`), `summaries` (each with `label` and a `series`
-/// object of `count`/`sum`/`min`/`max`/`p50`/`p95`/`p99` readings),
+/// object of `count`/`sum`/`min`/`max`/`p50`/`p95`/`p99` readings,
+/// plus `exemplar_p50`/`exemplar_p95`/`exemplar_p99` objects of
+/// `decision_id` and `value` when an exemplar was retained),
 /// and `keyed` (each with `label` and `values`).
 /// Metric names are the JSON object keys — plain nested objects, not
 /// pair lists — so any JSON consumer can index straight into a series.
@@ -248,7 +265,7 @@ impl Exporter for JsonExporter {
                 push_entries(out, family.series.iter(), |out, (key, q)| {
                     let _ = write!(
                     out,
-                    "{}:{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+                    "{}:{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p95\":{},\"p99\":{}",
                     json_string(key),
                     q.count,
                     q.sum,
@@ -258,6 +275,22 @@ impl Exporter for JsonExporter {
                     q.p95,
                     q.p99
                 );
+                    for (field, exemplar) in [
+                        ("exemplar_p50", q.exemplar_p50),
+                        ("exemplar_p95", q.exemplar_p95),
+                        ("exemplar_p99", q.exemplar_p99),
+                    ] {
+                        if let Some(exemplar) = exemplar {
+                            let _ = write!(
+                                out,
+                                ",{}:{{\"decision_id\":{},\"value\":{}}}",
+                                json_string(field),
+                                json_string(&exemplar.decision_id.to_string()),
+                                exemplar.value
+                            );
+                        }
+                    }
+                    out.push('}');
                 });
                 out.push_str("}}");
             },
@@ -447,6 +480,100 @@ mod tests {
     fn json_escapes_hostile_labels() {
         assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
         assert_eq!(escape_label("say \"hi\"\n"), "say \\\"hi\\\"\\n");
+    }
+
+    #[test]
+    fn hostile_label_values_survive_both_exporters_end_to_end() {
+        // Transaction and rule display names are operator-controlled
+        // free text; a backslash, quote or newline must not corrupt the
+        // exposition format.
+        let registry = MetricsRegistry::new();
+        registry.rule_matches_by_transaction.add(0, 2);
+        registry.rule_heat.record_decision([7], None, false, 1);
+        let hostile = "tv \"lounge\"\\main\nset";
+        let snapshot =
+            registry.snapshot_with_labels(|_| hostile.to_owned(), |_| hostile.to_owned());
+
+        let text = PrometheusExporter.export(&snapshot);
+        if crate::telemetry::ENABLED {
+            assert!(
+                text.contains(
+                    "grbac_rule_matches_total{transaction=\"tv \\\"lounge\\\"\\\\main\\nset\"} 2"
+                ),
+                "transaction label not escaped:\n{text}"
+            );
+            assert!(
+                text.contains(
+                    "grbac_rule_heat_matched_total{rule=\"tv \\\"lounge\\\"\\\\main\\nset\"} 1"
+                ),
+                "rule label not escaped:\n{text}"
+            );
+        }
+        // The hostile newline never produced a malformed physical line.
+        for line in text.lines() {
+            assert!(
+                line.starts_with('#') || line.rsplit_once(' ').is_some(),
+                "malformed line: {line}"
+            );
+        }
+        assert!(
+            !text.contains("\nset\""),
+            "raw newline split a label across physical lines"
+        );
+
+        // The JSON exporter emits parseable output for the same labels.
+        let json = JsonExporter.export(&snapshot);
+        let parsed: serde_json::Value =
+            serde_json::from_str(&json).expect("hostile labels stay valid JSON");
+        if crate::telemetry::ENABLED {
+            let family = field(field(&parsed, "keyed"), "grbac_rule_matches_total");
+            assert_eq!(uint(field(field(family, "values"), hostile)), 2);
+        }
+    }
+
+    #[test]
+    fn exemplars_render_in_both_formats() {
+        use crate::id::DecisionId;
+        use crate::telemetry::{DecisionTrace, Stage, StageRecord};
+        let registry = MetricsRegistry::new();
+        let trace = DecisionTrace {
+            decision_id: DecisionId::from_parts(0xAB, 0x42),
+            stages: vec![StageRecord {
+                stage: Stage::SubjectExpansion,
+                nanos: 640,
+                items: 3,
+            }],
+            total_nanos: 1_000,
+        };
+        registry.observe_trace(&trace);
+        let snapshot = registry.snapshot();
+        let text = PrometheusExporter.export(&snapshot);
+        let json = JsonExporter.export(&snapshot);
+        let parsed: serde_json::Value =
+            serde_json::from_str(&json).expect("exemplars stay valid JSON");
+        if crate::telemetry::ENABLED {
+            let hex = DecisionId::from_parts(0xAB, 0x42).to_string();
+            let line = text
+                .lines()
+                .find(|l| {
+                    l.starts_with("grbac_stage_latency_ns{stage=\"total\",quantile=\"0.99\"}")
+                })
+                .expect("total p99 line present");
+            assert!(
+                line.contains(&format!(" # {{decision_id=\"{hex}\"}} 1000")),
+                "exemplar missing from: {line}"
+            );
+            let stages = field(field(&parsed, "summaries"), "grbac_stage_latency_ns");
+            let total = field(field(stages, "series"), "total");
+            let exemplar = field(total, "exemplar_p99");
+            assert_eq!(
+                field(exemplar, "decision_id"),
+                &serde_json::Value::Str(hex.clone())
+            );
+            assert_eq!(uint(field(exemplar, "value")), 1_000);
+        } else {
+            assert!(!text.contains("decision_id"));
+        }
     }
 
     #[test]

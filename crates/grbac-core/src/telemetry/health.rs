@@ -38,6 +38,7 @@ use serde::{Deserialize, Serialize};
 
 use super::metrics::MetricsRegistry;
 use super::ENABLED;
+use crate::id::DecisionId;
 
 /// The four decision-stream signals a watchdog baselines.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -90,7 +91,7 @@ impl AlertKind {
 }
 
 /// One anomaly, as observed by a watchdog tick.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct AlertRecord {
     /// Monotonic per-watchdog sequence number.
     pub seq: u64,
@@ -107,6 +108,14 @@ pub struct AlertRecord {
     /// The denominator behind `observed` (decisions or polls this
     /// tick).
     pub window: u64,
+    /// Correlation ids of decisions minted inside the breaching
+    /// window, newest-biased and capped at
+    /// [`DecisionWatchdog::MAX_ALERT_IDS`] — the starting points for a
+    /// forensic drill-down into what the engine was deciding when the
+    /// signal breached. Empty for alerts recorded before ids existed
+    /// and for poll-driven signals on an idle decide path.
+    #[serde(default)]
+    pub decision_ids: Vec<DecisionId>,
 }
 
 impl AlertRecord {
@@ -219,6 +228,9 @@ impl CounterCursor {
 pub struct DecisionWatchdog {
     config: WatchdogConfig,
     cursor: CounterCursor,
+    /// Read position in the registry's recent-decision-id ring, so
+    /// each tick sees only the ids minted since the previous tick.
+    id_cursor: u64,
     baselines: [Baseline; 4],
     ticks: u64,
     next_seq: u64,
@@ -239,12 +251,16 @@ impl DecisionWatchdog {
         Self {
             config,
             cursor: CounterCursor::default(),
+            id_cursor: 0,
             baselines: [Baseline::default(); 4],
             ticks: 0,
             next_seq: 0,
             alerts: VecDeque::new(),
         }
     }
+
+    /// Upper bound on the decision ids attached to one alert.
+    pub const MAX_ALERT_IDS: usize = 32;
 
     /// The active tuning.
     #[must_use]
@@ -283,6 +299,15 @@ impl DecisionWatchdog {
         registry.watchdog_ticks.inc();
         if !ENABLED {
             return Vec::new();
+        }
+
+        // Ids minted inside this tick's window; attached to any alert
+        // raised below so one alert resolves to concrete decisions.
+        let (mut window_ids, id_cursor) = registry.recent_decision_ids_since(self.id_cursor);
+        self.id_cursor = id_cursor;
+        if window_ids.len() > Self::MAX_ALERT_IDS {
+            // Keep the newest ids: closest to the breach the tick saw.
+            window_ids.drain(..window_ids.len() - Self::MAX_ALERT_IDS);
         }
 
         let decisions = now.decisions.saturating_sub(was.decisions);
@@ -324,10 +349,11 @@ impl DecisionWatchdog {
                     baseline,
                     deviation,
                     window,
+                    decision_ids: window_ids.clone(),
                 };
                 self.next_seq += 1;
                 registry.alerts_by_kind.add(kind.slot(), 1);
-                self.alerts.push_back(record);
+                self.alerts.push_back(record.clone());
                 while self.alerts.len() > self.config.max_alerts {
                     self.alerts.pop_front();
                 }
@@ -392,7 +418,7 @@ mod tests {
         let raised = drive(&mut watchdog, &registry, 20, 80);
         if ENABLED {
             assert_eq!(raised.len(), 1);
-            let alert = raised[0];
+            let alert = &raised[0];
             assert_eq!(alert.kind, AlertKind::DenyRateSpike);
             assert!(alert.observed > 0.7);
             assert!(alert.baseline < 0.1);
@@ -403,6 +429,37 @@ mod tests {
                 1
             );
             assert!(registry.watchdog_deny_baseline_ppm.get() > 0);
+        } else {
+            assert!(raised.is_empty());
+        }
+    }
+
+    #[test]
+    fn alerts_capture_window_decision_ids() {
+        let registry = MetricsRegistry::new();
+        let mut watchdog = DecisionWatchdog::default();
+        for _ in 0..10 {
+            drive(&mut watchdog, &registry, 95, 5);
+        }
+        // Ids minted during the breaching window — and a flood before
+        // it that a previous tick already consumed.
+        registry.note_decision(DecisionId::from_parts(5, 999));
+        watchdog.tick(&registry); // thin tick consumes the stray id
+        for seq in 1..=40u64 {
+            registry.note_decision(DecisionId::from_parts(5, seq));
+        }
+        let raised = drive(&mut watchdog, &registry, 20, 80);
+        if ENABLED {
+            assert_eq!(raised.len(), 1);
+            let ids = &raised[0].decision_ids;
+            assert_eq!(ids.len(), DecisionWatchdog::MAX_ALERT_IDS);
+            // Newest-biased: the tail of the window survives the cap,
+            // and the pre-window id does not reappear.
+            assert_eq!(ids.last().copied(), Some(DecisionId::from_parts(5, 40)));
+            assert!(!ids.contains(&DecisionId::from_parts(5, 999)));
+            // The retained log carries the same ids.
+            let logged = watchdog.alerts().last().expect("alert retained");
+            assert_eq!(&logged.decision_ids, ids);
         } else {
             assert!(raised.is_empty());
         }

@@ -15,10 +15,11 @@ use serde::{Deserialize, Serialize};
 
 use super::health::AlertKind;
 use super::heat::RuleHeat;
-use super::sketch::{QuantileSketch, SketchSnapshot};
+use super::sketch::{Exemplar, QuantileSketch, SketchSnapshot};
 use super::trace::{DecisionTrace, Stage};
 use super::ENABLED;
 use crate::delta::DeltaKind;
+use crate::id::DecisionId;
 
 /// A monotonically increasing counter (relaxed atomic).
 #[derive(Debug, Default)]
@@ -196,21 +197,86 @@ impl HistogramSnapshot {
 /// The update path takes the slot table's read lock and performs one
 /// relaxed atomic add; the write lock is taken only when a key beyond
 /// the current table length appears for the first time.
-#[derive(Debug, Default)]
+///
+/// Label cardinality is bounded: keys at or beyond the configured cap
+/// (default [`Self::DEFAULT_CARDINALITY_CAP`]) are folded into a single
+/// overflow bucket — exported as the `other` label — instead of
+/// widening the slot table without limit, and each folded update is
+/// counted toward `grbac_labels_dropped_total`.
+#[derive(Debug)]
 pub struct KeyedCounter {
     slots: RwLock<Vec<AtomicU64>>,
+    /// Maximum number of distinct key slots before folding into
+    /// `overflow`; runtime-configurable.
+    cap: AtomicU64,
+    /// Total count folded into the `other` bucket.
+    overflow: AtomicU64,
+    /// Number of updates redirected to the `other` bucket.
+    dropped: AtomicU64,
+}
+
+impl Default for KeyedCounter {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl KeyedCounter {
-    /// An empty keyed counter.
+    /// Default bound on distinct label slots per family.
+    pub const DEFAULT_CARDINALITY_CAP: u64 = 1_024;
+
+    /// An empty keyed counter with the default cardinality cap.
     #[must_use]
     pub fn new() -> Self {
-        Self::default()
+        Self::with_cap(Self::DEFAULT_CARDINALITY_CAP)
     }
 
-    /// Adds `n` to the counter for `key`.
+    /// An empty keyed counter bounded to `cap` distinct key slots
+    /// (0 is treated as 1: the overflow bucket always exists).
+    #[must_use]
+    pub fn with_cap(cap: u64) -> Self {
+        Self {
+            slots: RwLock::new(Vec::new()),
+            cap: AtomicU64::new(cap.max(1)),
+            overflow: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// The current cardinality cap.
+    #[must_use]
+    pub fn cap(&self) -> u64 {
+        self.cap.load(Ordering::Relaxed)
+    }
+
+    /// Reconfigures the cardinality cap. Lowering it does not shrink an
+    /// already-widened slot table; it only bounds future growth.
+    pub fn set_cap(&self, cap: u64) {
+        self.cap.store(cap.max(1), Ordering::Relaxed);
+    }
+
+    /// Total count folded into the `other` overflow bucket.
+    #[must_use]
+    pub fn overflow_total(&self) -> u64 {
+        self.overflow.load(Ordering::Relaxed)
+    }
+
+    /// Number of updates redirected to the overflow bucket because
+    /// their key lay beyond the cardinality cap.
+    #[must_use]
+    pub fn dropped_total(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Adds `n` to the counter for `key` (or to the overflow bucket
+    /// when `key` lies beyond the cardinality cap).
     pub fn add(&self, key: u64, n: u64) {
         if !ENABLED {
+            return;
+        }
+        if key >= self.cap.load(Ordering::Relaxed) {
+            self.overflow.fetch_add(n, Ordering::Relaxed);
+            self.dropped.fetch_add(1, Ordering::Relaxed);
             return;
         }
         let index = key as usize;
@@ -439,6 +505,13 @@ pub struct MetricsRegistry {
     /// a mask over `decide_sample`. Runtime-configurable via
     /// [`Self::set_latency_sample_rate`].
     latency_sample_mask: AtomicU64,
+    /// Epoch of the ids in the recent-decision ring (one engine, one
+    /// epoch; last-writer-wins under mixed registries).
+    recent_id_epoch: AtomicU64,
+    /// Ring of recently minted decision-id sequences (0 = empty slot).
+    recent_id_seqs: Vec<AtomicU64>,
+    /// Monotonic write cursor into `recent_id_seqs`.
+    recent_id_cursor: AtomicU64,
 }
 
 impl MetricsRegistry {
@@ -500,7 +573,53 @@ impl MetricsRegistry {
             watchdog_staleness_baseline_ppm: Gauge::new(),
             decide_sample: AtomicU64::new(0),
             latency_sample_mask: AtomicU64::new(Self::DEFAULT_LATENCY_SAMPLE - 1),
+            recent_id_epoch: AtomicU64::new(0),
+            recent_id_seqs: (0..Self::RECENT_IDS).map(|_| AtomicU64::new(0)).collect(),
+            recent_id_cursor: AtomicU64::new(0),
         }
+    }
+
+    /// Capacity of the recent-decision-id ring read by the watchdog.
+    pub const RECENT_IDS: usize = 256;
+
+    /// Publishes a freshly minted decision id into the recent-id ring.
+    /// Called by the engine's minting entry points on every decision;
+    /// three relaxed atomic operations, no locks.
+    pub fn note_decision(&self, id: DecisionId) {
+        if !ENABLED || !id.is_assigned() {
+            return;
+        }
+        self.recent_id_epoch.store(id.epoch(), Ordering::Relaxed);
+        let slot = self.recent_id_cursor.fetch_add(1, Ordering::Relaxed) as usize;
+        self.recent_id_seqs[slot % Self::RECENT_IDS].store(id.seq(), Ordering::Relaxed);
+    }
+
+    /// The current write cursor of the recent-id ring. Pass a saved
+    /// cursor to [`Self::recent_decision_ids_since`] to read the ids
+    /// published in between.
+    #[must_use]
+    pub fn recent_decision_cursor(&self) -> u64 {
+        self.recent_id_cursor.load(Ordering::Relaxed)
+    }
+
+    /// The decision ids published since `since` (a cursor previously
+    /// returned by [`Self::recent_decision_cursor`] or by this method),
+    /// oldest first, plus the new cursor. At most
+    /// [`Self::RECENT_IDS`] ids survive — older ones have been
+    /// overwritten by the ring.
+    #[must_use]
+    pub fn recent_decision_ids_since(&self, since: u64) -> (Vec<DecisionId>, u64) {
+        let now = self.recent_id_cursor.load(Ordering::Relaxed);
+        let epoch = self.recent_id_epoch.load(Ordering::Relaxed);
+        let span = now.saturating_sub(since).min(Self::RECENT_IDS as u64);
+        let ids = (now - span..now)
+            .filter_map(|position| {
+                let seq = self.recent_id_seqs[position as usize % Self::RECENT_IDS]
+                    .load(Ordering::Relaxed);
+                (seq != 0).then(|| DecisionId::from_parts(epoch, seq))
+            })
+            .collect();
+        (ids, now)
     }
 
     /// The current latency sampling rate: one in this many decisions is
@@ -546,16 +665,20 @@ impl MetricsRegistry {
     /// quantile sketch per mediation stage, and the sampled-decision
     /// counter. Called by the engine for every latency-sampled or
     /// explicitly traced decision.
+    /// When the trace carries an assigned [`DecisionId`], the id is
+    /// retained as an exemplar on the latency sketches, correlating the
+    /// exported quantiles back to one concrete decision.
     pub fn observe_trace(&self, trace: &DecisionTrace) {
         if !ENABLED {
             return;
         }
         self.decisions_sampled.inc();
         self.decide_latency_ns.observe(trace.total_nanos);
-        self.decide_latency_sketch.observe(trace.total_nanos);
+        self.decide_latency_sketch
+            .observe_with_exemplar(trace.total_nanos, trace.decision_id);
         for record in &trace.stages {
             if let Some(slot) = Stage::ALL.iter().position(|&s| s == record.stage) {
-                self.stage_latency[slot].observe(record.nanos);
+                self.stage_latency[slot].observe_with_exemplar(record.nanos, trace.decision_id);
             }
         }
     }
@@ -643,6 +766,12 @@ impl MetricsRegistry {
             "grbac_rule_heat_resets_total".to_owned(),
             self.rule_heat.reset_count(),
         );
+        counters.insert(
+            "grbac_labels_dropped_total".to_owned(),
+            self.rule_matches_by_transaction.dropped_total()
+                + self.index_delta_applied.dropped_total()
+                + self.alerts_by_kind.dropped_total(),
+        );
 
         let mut gauges = BTreeMap::new();
         for (name, gauge) in [
@@ -723,12 +852,16 @@ impl MetricsRegistry {
             },
         );
 
-        let rule_matches = self
+        let mut rule_matches: BTreeMap<String, u64> = self
             .rule_matches_by_transaction
             .snapshot()
             .into_iter()
             .map(|(raw, value)| (transaction_label(raw), value))
             .collect();
+        let overflow = self.rule_matches_by_transaction.overflow_total();
+        if overflow > 0 {
+            *rule_matches.entry("other".to_owned()).or_insert(0) += overflow;
+        }
         let mut keyed = BTreeMap::new();
         keyed.insert(
             "grbac_rule_matches_total".to_owned(),
@@ -823,10 +956,20 @@ pub struct QuantileSnapshot {
     pub p95: u64,
     /// 99th percentile.
     pub p99: u64,
+    /// Exemplar correlated with the median bucket, if one was retained.
+    #[serde(default)]
+    pub exemplar_p50: Option<Exemplar>,
+    /// Exemplar correlated with the p95 bucket.
+    #[serde(default)]
+    pub exemplar_p95: Option<Exemplar>,
+    /// Exemplar correlated with the p99 bucket.
+    #[serde(default)]
+    pub exemplar_p99: Option<Exemplar>,
 }
 
 impl QuantileSnapshot {
-    /// Reads the headline quantiles out of a full sketch snapshot.
+    /// Reads the headline quantiles — and the exemplars nearest each of
+    /// them — out of a full sketch snapshot.
     #[must_use]
     pub fn from_sketch(sketch: &SketchSnapshot) -> Self {
         Self {
@@ -837,6 +980,9 @@ impl QuantileSnapshot {
             p50: sketch.quantile(0.5),
             p95: sketch.quantile(0.95),
             p99: sketch.quantile(0.99),
+            exemplar_p50: sketch.exemplar_near(0.5),
+            exemplar_p95: sketch.exemplar_near(0.95),
+            exemplar_p99: sketch.exemplar_near(0.99),
         }
     }
 }
@@ -1013,6 +1159,87 @@ mod tests {
     }
 
     #[test]
+    fn keyed_counter_caps_cardinality_into_other() {
+        let keyed = KeyedCounter::with_cap(4);
+        keyed.add(0, 1);
+        keyed.add(3, 2);
+        keyed.add(4, 5); // at the cap: folded
+        keyed.add(1_000_000, 7); // far past it: folded, table untouched
+        if super::ENABLED {
+            assert_eq!(keyed.get(0), 1);
+            assert_eq!(keyed.get(3), 2);
+            assert_eq!(keyed.get(4), 0, "capped key never got a slot");
+            assert_eq!(keyed.overflow_total(), 12);
+            assert_eq!(keyed.dropped_total(), 2);
+            assert_eq!(keyed.snapshot(), BTreeMap::from([(0, 1), (3, 2)]));
+            // Raising the cap lets new keys through again.
+            keyed.set_cap(8);
+            keyed.add(4, 1);
+            assert_eq!(keyed.get(4), 1);
+            assert_eq!(keyed.dropped_total(), 2);
+        } else {
+            assert_eq!(keyed.overflow_total(), 0);
+        }
+    }
+
+    #[test]
+    fn registry_folds_capped_transaction_labels_into_other() {
+        let registry = MetricsRegistry::new();
+        registry.rule_matches_by_transaction.set_cap(2);
+        registry.rule_matches_by_transaction.add(0, 3);
+        registry.rule_matches_by_transaction.add(9, 4);
+        registry.rule_matches_by_transaction.add(7, 1);
+        let snap = registry.snapshot();
+        if super::ENABLED {
+            let family = &snap.keyed["grbac_rule_matches_total"];
+            assert_eq!(family.values["0"], 3);
+            assert_eq!(family.values["other"], 5);
+            assert_eq!(snap.counter("grbac_labels_dropped_total"), 2);
+        } else {
+            assert_eq!(snap.counter("grbac_labels_dropped_total"), 0);
+        }
+    }
+
+    #[test]
+    fn recent_id_ring_windows_between_cursors() {
+        let registry = MetricsRegistry::new();
+        let cursor = registry.recent_decision_cursor();
+        for seq in 1..=5u64 {
+            registry.note_decision(DecisionId::from_parts(11, seq));
+        }
+        registry.note_decision(DecisionId::UNASSIGNED); // ignored
+        let (ids, cursor) = registry.recent_decision_ids_since(cursor);
+        if super::ENABLED {
+            assert_eq!(
+                ids,
+                (1..=5)
+                    .map(|seq| DecisionId::from_parts(11, seq))
+                    .collect::<Vec<_>>()
+            );
+        } else {
+            assert!(ids.is_empty());
+        }
+        // Nothing new since the fresh cursor.
+        let (ids, _) = registry.recent_decision_ids_since(cursor);
+        assert!(ids.is_empty());
+        // Overflowing the ring keeps only the newest RECENT_IDS ids.
+        for seq in 6..=(MetricsRegistry::RECENT_IDS as u64 + 10) {
+            registry.note_decision(DecisionId::from_parts(11, seq));
+        }
+        let (ids, _) = registry.recent_decision_ids_since(0);
+        if super::ENABLED {
+            assert_eq!(ids.len(), MetricsRegistry::RECENT_IDS);
+            assert_eq!(
+                ids.last().copied(),
+                Some(DecisionId::from_parts(
+                    11,
+                    MetricsRegistry::RECENT_IDS as u64 + 10
+                ))
+            );
+        }
+    }
+
+    #[test]
     fn snapshot_delta_subtracts_counters_keeps_gauges() {
         let registry = MetricsRegistry::new();
         registry.decisions_permit.add(5);
@@ -1079,6 +1306,7 @@ mod tests {
         use super::super::trace::{DecisionTrace, Stage, StageRecord};
         let registry = MetricsRegistry::new();
         let trace = DecisionTrace {
+            decision_id: DecisionId::from_parts(3, 17),
             stages: Stage::ALL
                 .iter()
                 .enumerate()
@@ -1107,6 +1335,10 @@ mod tests {
             // Every observation was 1500 ns, so the quantiles agree.
             assert!(total.p50.abs_diff(1_500) as f64 / 1_500.0 <= 0.07);
             assert!(total.p99.abs_diff(1_500) as f64 / 1_500.0 <= 0.07);
+            // The traced decision's id survives as the p99 exemplar.
+            let exemplar = total.exemplar_p99.expect("exemplar retained");
+            assert_eq!(exemplar.decision_id, DecisionId::from_parts(3, 17));
+            assert_eq!(exemplar.value, 1_500);
             assert_eq!(snap.gauge("grbac_decide_sample_rate"), 8);
         } else {
             assert_eq!(snap.counter("grbac_decide_sampled_total"), 0);

@@ -58,7 +58,7 @@ pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, KeyedCounter, KeyedSnapshot, MetricsRegistry,
     MetricsSnapshot, QuantileSnapshot, SummaryFamily,
 };
-pub use sketch::{QuantileSketch, SketchSnapshot};
+pub use sketch::{Exemplar, QuantileSketch, SketchSnapshot};
 pub use trace::{DecisionTrace, Stage, StageRecord};
 
 pub(crate) use trace::{NoTrace, TraceCollector, TraceSink};

@@ -16,6 +16,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use serde::{Deserialize, Serialize};
 
 use super::ENABLED;
+use crate::id::DecisionId;
 
 /// Linear sub-buckets per power-of-two octave (4 significant bits).
 const SUB: u64 = 16;
@@ -58,6 +59,13 @@ pub struct QuantileSketch {
     sum: AtomicU64,
     min: AtomicU64,
     max: AtomicU64,
+    /// Last exemplar epoch seen (all ids minted by one engine share an
+    /// epoch, so one sketch-level slot suffices; last-writer-wins).
+    exemplar_epoch: AtomicU64,
+    /// Per-bucket last exemplar id sequence (0 = no exemplar yet).
+    exemplar_seq: Vec<AtomicU64>,
+    /// Per-bucket value observed alongside the last exemplar.
+    exemplar_value: Vec<AtomicU64>,
 }
 
 impl QuantileSketch {
@@ -70,6 +78,9 @@ impl QuantileSketch {
             sum: AtomicU64::new(0),
             min: AtomicU64::new(u64::MAX),
             max: AtomicU64::new(0),
+            exemplar_epoch: AtomicU64::new(0),
+            exemplar_seq: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            exemplar_value: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
         }
     }
 
@@ -85,6 +96,24 @@ impl QuantileSketch {
         self.max.fetch_max(value, Ordering::Relaxed);
     }
 
+    /// Records one observation and retains `exemplar` as the bucket's
+    /// last-seen correlated decision (Prometheus-exemplar style). The
+    /// exemplar slots are independent relaxed stores — concurrent
+    /// writers may interleave epoch/seq/value from different
+    /// observations, which is benign: any retained combination still
+    /// names a real recent decision in that latency bucket.
+    pub fn observe_with_exemplar(&self, value: u64, exemplar: DecisionId) {
+        self.observe(value);
+        if !ENABLED || !exemplar.is_assigned() {
+            return;
+        }
+        let slot = bucket_index(value);
+        self.exemplar_epoch
+            .store(exemplar.epoch(), Ordering::Relaxed);
+        self.exemplar_value[slot].store(value, Ordering::Relaxed);
+        self.exemplar_seq[slot].store(exemplar.seq(), Ordering::Relaxed);
+    }
+
     /// Observations recorded so far.
     #[must_use]
     pub fn count(&self) -> u64 {
@@ -94,6 +123,20 @@ impl QuantileSketch {
     /// A point-in-time copy of the sketch state.
     #[must_use]
     pub fn snapshot(&self) -> SketchSnapshot {
+        let epoch = self.exemplar_epoch.load(Ordering::Relaxed);
+        let exemplars = self
+            .exemplar_seq
+            .iter()
+            .enumerate()
+            .filter_map(|(bucket, seq)| {
+                let seq = seq.load(Ordering::Relaxed);
+                (seq != 0).then(|| Exemplar {
+                    bucket,
+                    decision_id: DecisionId::from_parts(epoch, seq),
+                    value: self.exemplar_value[bucket].load(Ordering::Relaxed),
+                })
+            })
+            .collect();
         SketchSnapshot {
             counts: self
                 .buckets
@@ -104,6 +147,7 @@ impl QuantileSketch {
             sum: self.sum.load(Ordering::Relaxed),
             min: self.min.load(Ordering::Relaxed),
             max: self.max.load(Ordering::Relaxed),
+            exemplars,
         }
     }
 }
@@ -112,6 +156,20 @@ impl Default for QuantileSketch {
     fn default() -> Self {
         Self::new()
     }
+}
+
+/// A correlated sample retained by a sketch bucket: the last
+/// [`DecisionId`] whose observation landed in that bucket, plus the
+/// observed value (Prometheus/OpenMetrics exemplar semantics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Exemplar {
+    /// The sketch bucket the exemplar belongs to.
+    pub bucket: usize,
+    /// The correlation id of the retained decision.
+    pub decision_id: DecisionId,
+    /// The value observed for that decision (nanoseconds for the
+    /// latency sketches).
+    pub value: u64,
 }
 
 /// A point-in-time copy of a [`QuantileSketch`], supporting quantile
@@ -128,9 +186,38 @@ pub struct SketchSnapshot {
     pub min: u64,
     /// Largest observed value (0 when empty).
     pub max: u64,
+    /// Retained exemplars, sparse and ascending by bucket (empty for
+    /// snapshots serialized before exemplars existed).
+    #[serde(default)]
+    pub exemplars: Vec<Exemplar>,
 }
 
 impl SketchSnapshot {
+    /// The exemplar whose bucket lies closest to the bucket holding
+    /// quantile `q`, if any exemplar was retained. This is the id a
+    /// text exporter attaches to the `q` quantile line: a real recent
+    /// decision whose latency is representative of that quantile.
+    #[must_use]
+    pub fn exemplar_near(&self, q: f64) -> Option<Exemplar> {
+        if self.exemplars.is_empty() || self.count == 0 {
+            return None;
+        }
+        #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        let mut target = self.counts.len().saturating_sub(1);
+        for (index, &bucket) in self.counts.iter().enumerate() {
+            cumulative += bucket;
+            if cumulative >= rank {
+                target = index;
+                break;
+            }
+        }
+        self.exemplars
+            .iter()
+            .min_by_key(|exemplar| exemplar.bucket.abs_diff(target))
+            .copied()
+    }
     /// The value at quantile `q` in `[0, 1]`: the midpoint of the
     /// bucket holding the rank-`⌈q·count⌉` observation, clamped to the
     /// observed `[min, max]` range. Returns 0 when empty.
@@ -162,9 +249,18 @@ impl SketchSnapshot {
     }
 
     /// The union of this snapshot and another (e.g. two engines'
-    /// sketches aggregated for one dashboard).
+    /// sketches aggregated for one dashboard). For buckets where both
+    /// sides retained an exemplar, `self`'s wins (exemplars are "a
+    /// recent representative", not an aggregate).
     #[must_use]
     pub fn merge(&self, other: &SketchSnapshot) -> SketchSnapshot {
+        let mut exemplars = self.exemplars.clone();
+        for exemplar in &other.exemplars {
+            if !exemplars.iter().any(|e| e.bucket == exemplar.bucket) {
+                exemplars.push(*exemplar);
+            }
+        }
+        exemplars.sort_by_key(|e| e.bucket);
         SketchSnapshot {
             counts: self
                 .counts
@@ -176,13 +272,14 @@ impl SketchSnapshot {
             sum: self.sum + other.sum,
             min: self.min.min(other.min),
             max: self.max.max(other.max),
+            exemplars,
         }
     }
 
     /// This snapshot minus an `earlier` one (saturating): the
-    /// observations that arrived in between. `min`/`max` keep this
-    /// snapshot's cumulative values — the sketch does not retain enough
-    /// to window them.
+    /// observations that arrived in between. `min`/`max` and the
+    /// exemplars keep this snapshot's cumulative values — the sketch
+    /// does not retain enough to window them.
     #[must_use]
     pub fn delta(&self, earlier: &SketchSnapshot) -> SketchSnapshot {
         SketchSnapshot {
@@ -196,6 +293,7 @@ impl SketchSnapshot {
             sum: self.sum.saturating_sub(earlier.sum),
             min: self.min,
             max: self.max,
+            exemplars: self.exemplars.clone(),
         }
     }
 }
@@ -302,6 +400,39 @@ mod tests {
         // Every windowed observation was 1000, so all quantiles agree.
         assert!(delta.quantile(0.5).abs_diff(1_000) as f64 / 1_000.0 <= 0.07);
         assert!(delta.quantile(0.99).abs_diff(1_000) as f64 / 1_000.0 <= 0.07);
+    }
+
+    #[test]
+    fn exemplars_track_buckets_and_resolve_near_quantiles() {
+        let sketch = QuantileSketch::new();
+        // Fast mode carries one exemplar, slow mode another.
+        let fast = DecisionId::from_parts(7, 100);
+        let slow = DecisionId::from_parts(7, 200);
+        for _ in 0..90 {
+            sketch.observe_with_exemplar(100, fast);
+        }
+        for _ in 0..10 {
+            sketch.observe_with_exemplar(100_000, slow);
+        }
+        // Unassigned ids never become exemplars.
+        sketch.observe_with_exemplar(100, DecisionId::UNASSIGNED);
+        let snap = sketch.snapshot();
+        if !ENABLED {
+            assert!(snap.exemplars.is_empty());
+            assert!(snap.exemplar_near(0.5).is_none());
+            return;
+        }
+        assert_eq!(snap.exemplars.len(), 2);
+        let p50 = snap.exemplar_near(0.5).unwrap();
+        assert_eq!(p50.decision_id, fast);
+        assert_eq!(p50.value, 100);
+        let p99 = snap.exemplar_near(0.99).unwrap();
+        assert_eq!(p99.decision_id, slow);
+        assert_eq!(p99.value, 100_000);
+        // Exemplars survive a snapshot round-trip through serde.
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: SketchSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
     }
 
     #[test]

@@ -11,6 +11,8 @@ use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
 
+use crate::id::DecisionId;
+
 /// The stages of one mediation, in pipeline order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum Stage {
@@ -67,6 +69,11 @@ pub struct StageRecord {
 /// A stage-by-stage account of one mediation.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DecisionTrace {
+    /// The correlation id minted for the traced decision
+    /// ([`DecisionId::UNASSIGNED`] on traces deserialized from older
+    /// captures).
+    #[serde(default)]
+    pub decision_id: DecisionId,
     /// The recorded stages, in execution order.
     pub stages: Vec<StageRecord>,
     /// Total wall-clock nanoseconds for the whole decision.
@@ -83,7 +90,11 @@ impl DecisionTrace {
     /// A plain-text table of the trace (one line per stage).
     #[must_use]
     pub fn render(&self) -> String {
-        let mut out = String::from("stage                    items        ns\n");
+        let mut out = String::new();
+        if self.decision_id.is_assigned() {
+            out.push_str(&format!("decision {}\n", self.decision_id));
+        }
+        out.push_str("stage                    items        ns\n");
         for record in &self.stages {
             out.push_str(&format!(
                 "{:<24} {:>5} {:>9}\n",
@@ -142,6 +153,7 @@ impl TraceCollector {
     /// Consumes the collector into a finished trace.
     pub(crate) fn finish(self, started: Instant) -> DecisionTrace {
         DecisionTrace {
+            decision_id: DecisionId::UNASSIGNED,
             stages: self.stages,
             total_nanos: u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX),
         }

@@ -115,6 +115,65 @@ fn racing_decides_see_old_or_new_policy_never_torn() {
     }
 }
 
+/// A mutation burst larger than the delta log's retention (128
+/// generations) between two decides trims the log past the compiled
+/// index's generation, so the next consumer cannot replay the gap and
+/// must fall back to a from-scratch rebuild: the full-rebuild counter
+/// increments and no per-kind delta counter moves.
+#[test]
+fn trimmed_delta_log_forces_a_full_rebuild() {
+    let mut home = household();
+    let request =
+        AccessRequest::by_subject(home.alice, home.use_t, home.tv, EnvironmentSnapshot::new());
+    // Prime the compiled index at the current generation.
+    assert!(home.g.decide(&request).unwrap().is_permitted());
+
+    let full_before = home.g.metrics().index_full_rebuilds.get();
+    let deltas_before: Vec<u64> = DeltaKind::ALL
+        .iter()
+        .map(|kind| home.g.metrics().index_delta_applied.get(kind.slot()))
+        .collect();
+
+    // 200 edits (> DeltaLog retention of 128) with no decide in
+    // between: the log trims its oldest entries, stranding the primed
+    // index behind the replayable window.
+    let burst: Vec<RuleId> = (0..200)
+        .map(|i| {
+            home.g
+                .add_rule(
+                    RuleDef::deny()
+                        .named(format!("burst{i}"))
+                        .subject_role(home.child)
+                        .object_role(home.entertainment)
+                        .transaction(home.use_t),
+                )
+                .unwrap()
+        })
+        .collect();
+    for id in burst {
+        assert!(home.g.remove_rule(id));
+    }
+
+    // Net policy is unchanged, so the verdict is too — but the index
+    // had to be rebuilt from scratch to get there.
+    assert!(home.g.decide(&request).unwrap().is_permitted());
+    assert!(home.g.compiled_matches_rebuild());
+    if telemetry::ENABLED {
+        assert_eq!(
+            home.g.metrics().index_full_rebuilds.get(),
+            full_before + 1,
+            "a trimmed delta span must force exactly one full rebuild"
+        );
+        for (kind, before) in DeltaKind::ALL.iter().zip(&deltas_before) {
+            assert_eq!(
+                home.g.metrics().index_delta_applied.get(kind.slot()),
+                *before,
+                "no delta may be counted as applied when the log was trimmed ({kind:?})"
+            );
+        }
+    }
+}
+
 /// A single hierarchy edit after the index is primed takes the delta
 /// path — no from-scratch rebuild — and the decision reflects the new
 /// edge immediately.

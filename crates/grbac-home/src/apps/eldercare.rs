@@ -84,7 +84,7 @@ impl ElderCare {
         let vocab = *home.vocab();
         let video_threshold = Confidence::saturating(Self::VIDEO_THRESHOLD);
         let still_threshold = Confidence::saturating(Self::STILL_THRESHOLD);
-        let engine = home.engine_mut();
+        let mut engine = home.engine_mut();
         for viewer in [vocab.care_specialist, vocab.parent] {
             engine.add_rule(
                 RuleDef::permit()

@@ -77,7 +77,7 @@ impl SecuritySystem {
     pub fn install_policy(&self, home: &mut AwareHome) -> Result<()> {
         let vocab = *home.vocab();
         let strong = Confidence::saturating(Self::DISARM_THRESHOLD);
-        let engine = home.engine_mut();
+        let mut engine = home.engine_mut();
         engine.add_rule(
             RuleDef::permit()
                 .named("family may lock doors")

@@ -13,7 +13,7 @@
 //! ```
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use grbac_core::confidence::AuthContext;
 use grbac_core::degraded::EnvHealth;
@@ -135,7 +135,11 @@ impl HomeVocabulary {
 /// The assembled smart home.
 #[derive(Debug)]
 pub struct AwareHome {
-    engine: Grbac,
+    /// Shared so an observability server (see
+    /// [`serve_observability`](Self::serve_observability)) can read the
+    /// engine concurrently with the home mediating requests. The home
+    /// itself takes the write lock only for mutation (`check` audits).
+    engine: Arc<RwLock<Grbac>>,
     vocab: HomeVocabulary,
     provider: EnvironmentRoleProvider,
     /// When installed (see [`install_fault_layer`]
@@ -145,8 +149,10 @@ pub struct AwareHome {
     resilience: Option<ResilientProvider<FaultInjector<EnvironmentRoleProvider>>>,
     /// When installed (see [`install_watchdog`](Self::install_watchdog)),
     /// [`watchdog_tick`](Self::watchdog_tick) folds the engine's metric
-    /// counters into EWMA baselines and raises anomaly alerts.
-    watchdog: Option<DecisionWatchdog>,
+    /// counters into EWMA baselines and raises anomaly alerts. Shared
+    /// behind a mutex so the observability `/health` endpoint can tick
+    /// the same baselines the home does.
+    watchdog: Arc<Mutex<Option<DecisionWatchdog>>>,
     topology: Topology,
     occupancy: OccupancyTracker,
     load: LoadMonitor,
@@ -166,23 +172,32 @@ impl AwareHome {
         HomeBuilder::new()
     }
 
-    /// The policy engine (read-only).
-    #[must_use]
-    pub fn engine(&self) -> &Grbac {
-        &self.engine
+    /// The policy engine (read-only). Holds the engine's read lock for
+    /// the guard's lifetime; drop it before calling any `&mut self`
+    /// method on the home.
+    pub fn engine(&self) -> RwLockReadGuard<'_, Grbac> {
+        self.engine.read().expect("engine lock poisoned")
     }
 
-    /// The policy engine, for adding rules and constraints.
-    pub fn engine_mut(&mut self) -> &mut Grbac {
-        &mut self.engine
+    /// The policy engine, for adding rules and constraints. Holds the
+    /// engine's write lock for the guard's lifetime.
+    pub fn engine_mut(&mut self) -> RwLockWriteGuard<'_, Grbac> {
+        self.engine.write().expect("engine lock poisoned")
+    }
+
+    /// A shared handle to the engine, for observers (like the
+    /// `grbac-obs` server) that outlive any single borrow of the home.
+    #[must_use]
+    pub fn engine_handle(&self) -> Arc<RwLock<Grbac>> {
+        Arc::clone(&self.engine)
     }
 
     /// The engine's decision flight recorder: the last N mediation
     /// outcomes with their environment snapshot hashes, ready for
     /// forensic query and replay (see `grbac_core::provenance`).
     #[must_use]
-    pub fn flight_recorder(&self) -> &std::sync::Arc<grbac_core::provenance::FlightRecorder> {
-        self.engine.flight_recorder()
+    pub fn flight_recorder(&self) -> std::sync::Arc<grbac_core::provenance::FlightRecorder> {
+        std::sync::Arc::clone(self.engine().flight_recorder())
     }
 
     /// The standard vocabulary.
@@ -301,7 +316,7 @@ impl AwareHome {
         name: &str,
         condition: EnvCondition,
     ) -> Result<RoleId> {
-        let role = self.engine.declare_environment_role(name)?;
+        let role = self.engine_mut().declare_environment_role(name)?;
         self.provider.define(role, condition)?;
         Ok(role)
     }
@@ -344,7 +359,7 @@ impl AwareHome {
     pub fn install_fault_layer(&mut self, plan: FaultPlan, config: ResilienceConfig) {
         let faulty = FaultInjector::new(self.provider.clone(), plan);
         let mut resilient = ResilientProvider::new(faulty, config);
-        resilient.attach_metrics(Arc::clone(self.engine.metrics()));
+        resilient.attach_metrics(Arc::clone(self.engine().metrics()));
         self.resilience = Some(resilient);
     }
 
@@ -370,21 +385,52 @@ impl AwareHome {
     /// alerts. Installing again replaces the previous watchdog and its
     /// learned baselines.
     pub fn install_watchdog(&mut self, config: WatchdogConfig) {
-        self.watchdog = Some(DecisionWatchdog::new(config));
+        *self.watchdog.lock().expect("watchdog lock poisoned") =
+            Some(DecisionWatchdog::new(config));
     }
 
     /// Removes the watchdog (its alert history goes with it; alert
     /// counters already exported to the registry remain).
     pub fn clear_watchdog(&mut self) {
-        self.watchdog = None;
+        *self.watchdog.lock().expect("watchdog lock poisoned") = None;
     }
 
-    /// The installed watchdog, if any (its
+    /// Runs `f` against the installed watchdog, if any (its
     /// [`alerts`](DecisionWatchdog::alerts) expose the retained alert
-    /// log).
+    /// log). Returns `None` when no watchdog is installed.
+    pub fn with_watchdog<R>(&self, f: impl FnOnce(&DecisionWatchdog) -> R) -> Option<R> {
+        self.watchdog
+            .lock()
+            .expect("watchdog lock poisoned")
+            .as_ref()
+            .map(f)
+    }
+
+    /// A shared handle to the watchdog slot, for observers (like the
+    /// `grbac-obs` `/health` endpoint) that tick the same baselines.
     #[must_use]
-    pub fn watchdog(&self) -> Option<&DecisionWatchdog> {
-        self.watchdog.as_ref()
+    pub fn watchdog_handle(&self) -> Arc<Mutex<Option<DecisionWatchdog>>> {
+        Arc::clone(&self.watchdog)
+    }
+
+    /// Starts a `grbac-obs` observability server over this home's
+    /// engine and watchdog (use port 0 in `addr` for an ephemeral
+    /// port). The server shares the live engine — scrapes see every
+    /// mediated decision immediately — and `/health` ticks the same
+    /// watchdog baselines [`watchdog_tick`](Self::watchdog_tick) does.
+    /// Shut it down with [`grbac_obs::ObsServer::shutdown`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn serve_observability(
+        &self,
+        addr: impl std::net::ToSocketAddrs,
+    ) -> std::io::Result<grbac_obs::ObsServer> {
+        grbac_obs::ObsServer::serve(
+            grbac_obs::EngineObs::with_watchdog(self.engine_handle(), self.watchdog_handle()),
+            addr,
+        )
     }
 
     /// Advances the watchdog one observation window: reads the engine's
@@ -392,8 +438,9 @@ impl AwareHome {
     /// window raised. Returns an empty vector when no watchdog is
     /// installed.
     pub fn watchdog_tick(&mut self) -> Vec<AlertRecord> {
-        match &mut self.watchdog {
-            Some(watchdog) => watchdog.tick(self.engine.metrics()),
+        let metrics = Arc::clone(self.engine().metrics());
+        match &mut *self.watchdog.lock().expect("watchdog lock poisoned") {
+            Some(watchdog) => watchdog.tick(&metrics),
             None => Vec::new(),
         }
     }
@@ -443,7 +490,7 @@ impl AwareHome {
             env_health,
             timestamp: Some(self.clock.now().as_seconds().max(0) as u64),
         };
-        Ok(self.engine.check(&request)?)
+        Ok(self.engine_mut().check(&request)?)
     }
 
     /// Mediates a request from sensor-authenticated evidence (§5.2).
@@ -470,7 +517,7 @@ impl AwareHome {
             env_health,
             timestamp: Some(self.clock.now().as_seconds().max(0) as u64),
         };
-        Ok(self.engine.check(&request)?)
+        Ok(self.engine_mut().check(&request)?)
     }
 }
 
@@ -713,11 +760,11 @@ impl HomeBuilder {
         }
 
         Ok(AwareHome {
-            engine,
+            engine: Arc::new(RwLock::new(engine)),
             vocab,
             provider,
             resilience: None,
-            watchdog: None,
+            watchdog: Arc::new(Mutex::new(None)),
             topology,
             occupancy,
             load: LoadMonitor::new(),
@@ -1026,10 +1073,53 @@ mod tests {
         let alerts = home.watchdog_tick();
         if telemetry::ENABLED {
             assert!(alerts.iter().any(|a| a.kind == AlertKind::DenyRateSpike));
-            assert!(home.watchdog().unwrap().alert_count() >= 1);
+            assert!(home.with_watchdog(|w| w.alert_count()).unwrap() >= 1);
         } else {
             assert!(alerts.is_empty());
         }
+    }
+
+    #[test]
+    fn observability_endpoint_serves_the_live_home() {
+        use grbac_core::telemetry;
+
+        let mut home = small_home();
+        let vocab = *home.vocab();
+        home.engine_mut()
+            .add_rule(
+                RuleDef::permit()
+                    .subject_role(vocab.child)
+                    .object_role(vocab.entertainment_device)
+                    .when(vocab.free_time),
+            )
+            .unwrap();
+        home.install_watchdog(WatchdogConfig::default());
+        let bobby = home.person("bobby").unwrap().subject();
+        let tv = home.device("tv").unwrap().object();
+        assert!(home
+            .request(bobby, vocab.operate, tv)
+            .unwrap()
+            .is_permitted());
+
+        let server = home.serve_observability("127.0.0.1:0").unwrap();
+        let (status, metrics) = grbac_obs::get(server.addr(), "/metrics").unwrap();
+        assert_eq!(status, 200);
+        if telemetry::ENABLED {
+            assert!(metrics.contains("grbac_decisions_permit_total 1"));
+        }
+        let (status, health) = grbac_obs::get(server.addr(), "/health").unwrap();
+        assert_eq!(status, 200);
+        assert!(health.contains("\"watchdog_installed\":true"));
+        // The scrape's tick advanced the same shared watchdog the home
+        // ticks, proving /health and watchdog_tick share baselines.
+        assert!(home.with_watchdog(|w| w.tick_count()).unwrap() >= 1);
+        server.shutdown();
+
+        // The home keeps mediating after the server is gone.
+        assert!(home
+            .request(bobby, vocab.operate, tv)
+            .unwrap()
+            .is_permitted());
     }
 
     #[test]

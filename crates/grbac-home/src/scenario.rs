@@ -107,7 +107,7 @@ pub fn paper_household() -> Result<AwareHome> {
         .and(EnvCondition::SubjectInZone(home.home_zone())),
     )?;
 
-    let engine = home.engine_mut();
+    let mut engine = home.engine_mut();
     engine.add_rule(
         RuleDef::permit()
             .named(rules::KIDS_ENTERTAINMENT)
@@ -137,6 +137,7 @@ pub fn paper_household() -> Result<AwareHome> {
             .transaction(vocab.repair)
             .when(repair_window),
     )?;
+    drop(engine);
 
     Ok(home)
 }

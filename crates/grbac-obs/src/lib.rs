@@ -1,0 +1,559 @@
+//! # grbac-obs — a live observability plane for GRBAC engines
+//!
+//! The engine's four telemetry surfaces — metrics, quantile sketches
+//! with exemplars, the decision flight recorder, and the audit log —
+//! are all in-process data structures. This crate makes them reachable
+//! over the network with **zero external dependencies**: a small
+//! threaded HTTP/1.1 server on std's [`TcpListener`] with a bounded
+//! worker pool and graceful shutdown.
+//!
+//! | Route | Body |
+//! |---|---|
+//! | `GET /metrics` | Prometheus text exposition (with OpenMetrics exemplars) |
+//! | `GET /metrics.json` | the same snapshot as JSON |
+//! | `GET /health` | watchdog tick + policy health score |
+//! | `GET /heat` | per-rule heat table |
+//! | `GET /alerts` | the watchdog's retained alert log |
+//! | `GET /decision/<id>` | cross-surface correlation lookup for one decision |
+//!
+//! `/decision/<id>` is the payoff of the decision-correlation scheme:
+//! the 32-hex-digit [`DecisionId`] scraped out of an exemplar on
+//! `/metrics` resolves here to the decision's flight-recorder entry, a
+//! structural replay diff against the current policy, and its audit
+//! row — one id, the full story.
+//!
+//! ```no_run
+//! use std::sync::{Arc, RwLock};
+//! use grbac_core::Grbac;
+//! use grbac_obs::{EngineObs, ObsServer};
+//!
+//! let engine = Arc::new(RwLock::new(Grbac::new()));
+//! let server = ObsServer::serve(EngineObs::new(engine), "127.0.0.1:0").unwrap();
+//! println!("scrape http://{}/metrics", server.addr());
+//! server.shutdown();
+//! ```
+//!
+//! The server never takes the engine's write lock and holds the read
+//! lock only while rendering one response, so a home mediating
+//! requests concurrently is delayed at most one snapshot per scrape
+//! (experiment E15 bounds the cost under sustained load at ≤2%
+//! decide throughput).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use grbac_core::analysis::health_report;
+use grbac_core::provenance::decision_story;
+use grbac_core::telemetry::{DecisionWatchdog, Exporter, JsonExporter, PrometheusExporter};
+use grbac_core::{DecisionId, Grbac};
+
+/// The engine-side state one observability server exposes: a shared
+/// engine plus an optional shared watchdog slot (`/health` ticks it,
+/// `/alerts` reads its retained log).
+#[derive(Debug, Clone)]
+pub struct EngineObs {
+    engine: Arc<RwLock<Grbac>>,
+    watchdog: Arc<Mutex<Option<DecisionWatchdog>>>,
+}
+
+impl EngineObs {
+    /// Observes `engine` with no watchdog (`/health` still reports the
+    /// policy health score; `/alerts` serves an empty log).
+    #[must_use]
+    pub fn new(engine: Arc<RwLock<Grbac>>) -> Self {
+        Self {
+            engine,
+            watchdog: Arc::new(Mutex::new(None)),
+        }
+    }
+
+    /// Observes `engine` and shares `watchdog` — pass the same handle
+    /// the mediating side ticks (e.g. `AwareHome::watchdog_handle`) so
+    /// `/health` scrapes advance the same EWMA baselines.
+    #[must_use]
+    pub fn with_watchdog(
+        engine: Arc<RwLock<Grbac>>,
+        watchdog: Arc<Mutex<Option<DecisionWatchdog>>>,
+    ) -> Self {
+        Self { engine, watchdog }
+    }
+
+    fn respond(&self, path: &str) -> Response {
+        match path {
+            "/metrics" => {
+                let snapshot = self.engine.read().expect("engine lock").metrics_snapshot();
+                Response::ok(
+                    "text/plain; version=0.0.4; charset=utf-8",
+                    PrometheusExporter.export(&snapshot),
+                )
+            }
+            "/metrics.json" => {
+                let snapshot = self.engine.read().expect("engine lock").metrics_snapshot();
+                Response::ok("application/json", JsonExporter.export(&snapshot))
+            }
+            "/health" => self.health(),
+            "/heat" => {
+                let heat = self.engine.read().expect("engine lock").heat_snapshot();
+                Response::json(&heat)
+            }
+            "/alerts" => {
+                let alerts: Vec<_> = self
+                    .watchdog
+                    .lock()
+                    .expect("watchdog lock")
+                    .as_ref()
+                    .map(|w| w.alerts().cloned().collect())
+                    .unwrap_or_default();
+                Response::json(&alerts)
+            }
+            _ => match path.strip_prefix("/decision/") {
+                Some(hex) => self.decision(hex),
+                None => Response::not_found("no such route"),
+            },
+        }
+    }
+
+    /// `/health`: tick the watchdog against the engine's registry, then
+    /// score the current policy. The registry `Arc` is cloned out of
+    /// the read guard and the guard dropped before the watchdog lock is
+    /// taken, so a concurrent `watchdog_tick` on the mediating side can
+    /// never deadlock against a scrape.
+    fn health(&self) -> Response {
+        let (metrics, report) = {
+            let engine = self.engine.read().expect("engine lock");
+            (Arc::clone(engine.metrics()), health_report(&engine))
+        };
+        let (installed, fresh_alerts, ticks) = {
+            let mut slot = self.watchdog.lock().expect("watchdog lock");
+            match slot.as_mut() {
+                Some(watchdog) => {
+                    let raised = watchdog.tick(&metrics);
+                    (true, raised.len(), watchdog.tick_count())
+                }
+                None => (false, 0, 0),
+            }
+        };
+        let healthy = report.is_healthy() && fresh_alerts == 0;
+        let body = format!(
+            "{{\"status\":\"{}\",\"policy_score\":{:.4},\"policy_healthy\":{},\"watchdog_installed\":{},\"watchdog_ticks\":{},\"alerts_this_tick\":{}}}",
+            if healthy { "ok" } else { "degraded" },
+            report.score(),
+            report.is_healthy(),
+            installed,
+            ticks,
+            fresh_alerts,
+        );
+        Response::ok("application/json", body)
+    }
+
+    /// `/decision/<id>`: the correlation lookup. 400 for unparseable
+    /// ids, 404 for ids the recorder no longer (or never) retained.
+    fn decision(&self, hex: &str) -> Response {
+        let id: DecisionId = match hex.parse() {
+            Ok(id) => id,
+            Err(_) => return Response::bad_request("decision id must be hex digits"),
+        };
+        let engine = self.engine.read().expect("engine lock");
+        match decision_story(&engine, id) {
+            Some(story) => Response::json(&story),
+            None => Response::not_found("decision not retained"),
+        }
+    }
+}
+
+struct Response {
+    status: u16,
+    reason: &'static str,
+    content_type: &'static str,
+    body: String,
+}
+
+impl Response {
+    fn ok(content_type: &'static str, body: String) -> Self {
+        Self {
+            status: 200,
+            reason: "OK",
+            content_type,
+            body,
+        }
+    }
+
+    fn json<T: serde::Serialize>(value: &T) -> Self {
+        match serde_json::to_string(value) {
+            Ok(body) => Self::ok("application/json", body),
+            Err(_) => Self {
+                status: 500,
+                reason: "Internal Server Error",
+                content_type: "text/plain; charset=utf-8",
+                body: "serialization failed".to_owned(),
+            },
+        }
+    }
+
+    fn bad_request(message: &str) -> Self {
+        Self {
+            status: 400,
+            reason: "Bad Request",
+            content_type: "text/plain; charset=utf-8",
+            body: message.to_owned(),
+        }
+    }
+
+    fn not_found(message: &str) -> Self {
+        Self {
+            status: 404,
+            reason: "Not Found",
+            content_type: "text/plain; charset=utf-8",
+            body: message.to_owned(),
+        }
+    }
+
+    fn method_not_allowed() -> Self {
+        Self {
+            status: 405,
+            reason: "Method Not Allowed",
+            content_type: "text/plain; charset=utf-8",
+            body: "only GET is served".to_owned(),
+        }
+    }
+
+    fn write_to(&self, stream: &mut TcpStream) -> std::io::Result<()> {
+        let head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.status,
+            self.reason,
+            self.content_type,
+            self.body.len(),
+        );
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(self.body.as_bytes())
+    }
+}
+
+/// Parses the request line of one HTTP/1.1 request, returning
+/// `(method, path)`. Headers are read and discarded (the server is
+/// GET-only and stateless). Query strings are stripped.
+fn parse_request(stream: &TcpStream) -> std::io::Result<Option<(String, String)>> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Ok(None);
+    }
+    let mut parts = line.split_whitespace();
+    let method = parts.next().unwrap_or_default().to_owned();
+    let target = parts.next().unwrap_or_default();
+    let path = target.split('?').next().unwrap_or(target).to_owned();
+    // Drain the headers so the peer sees the response after a clean
+    // request; bodies are ignored (GET has none).
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 || header == "\r\n" || header == "\n" {
+            break;
+        }
+    }
+    Ok(Some((method, path)))
+}
+
+fn handle_connection(obs: &EngineObs, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    let response = match parse_request(&stream) {
+        Ok(Some((method, path))) => {
+            if method == "GET" {
+                obs.respond(&path)
+            } else {
+                Response::method_not_allowed()
+            }
+        }
+        Ok(None) => return,
+        Err(_) => Response::bad_request("malformed request"),
+    };
+    let _ = response.write_to(&mut stream);
+    let _ = stream.flush();
+}
+
+fn worker(obs: EngineObs, jobs: Arc<Mutex<Receiver<TcpStream>>>) {
+    loop {
+        // Hold the receiver lock only to dequeue, not to serve.
+        let stream = match jobs.lock().expect("job queue lock").recv() {
+            Ok(stream) => stream,
+            Err(_) => return, // acceptor dropped the sender: shutdown
+        };
+        handle_connection(&obs, stream);
+    }
+}
+
+/// A running observability server: an acceptor thread feeding a
+/// bounded pool of worker threads. Dropping the handle without calling
+/// [`shutdown`](Self::shutdown) leaves the threads serving until the
+/// process exits (detached); shutdown joins them.
+#[derive(Debug)]
+pub struct ObsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ObsServer {
+    /// How many connections may queue behind busy workers before
+    /// accepts block (bounding memory under scrape storms).
+    pub const QUEUE_DEPTH: usize = 32;
+
+    /// Serves `obs` on `addr` (use port 0 for an ephemeral port; the
+    /// bound address is [`addr`](Self::addr)) with
+    /// [`DEFAULT_WORKERS`](Self::DEFAULT_WORKERS) workers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn serve(obs: EngineObs, addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        Self::serve_with_workers(obs, addr, Self::DEFAULT_WORKERS)
+    }
+
+    /// Worker threads serving requests concurrently; scrapes are
+    /// read-lock-only so a handful is plenty.
+    pub const DEFAULT_WORKERS: usize = 2;
+
+    /// Serves `obs` on `addr` with an explicit worker count (min 1).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn serve_with_workers(
+        obs: EngineObs,
+        addr: impl ToSocketAddrs,
+        workers: usize,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let (sender, receiver): (SyncSender<TcpStream>, Receiver<TcpStream>) =
+            sync_channel(Self::QUEUE_DEPTH);
+        let receiver = Arc::new(Mutex::new(receiver));
+
+        let pool: Vec<JoinHandle<()>> = (0..workers.max(1))
+            .map(|_| {
+                let obs = obs.clone();
+                let jobs = Arc::clone(&receiver);
+                std::thread::spawn(move || worker(obs, jobs))
+            })
+            .collect();
+
+        let acceptor = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if stop.load(Ordering::Acquire) {
+                        break; // the shutdown self-connect woke us
+                    }
+                    match stream {
+                        Ok(stream) => {
+                            if sender.send(stream).is_err() {
+                                break;
+                            }
+                        }
+                        Err(_) => continue,
+                    }
+                }
+                // Dropping `sender` here disconnects the channel, so
+                // workers drain the queue and exit.
+            })
+        };
+
+        Ok(Self {
+            addr,
+            stop,
+            acceptor: Some(acceptor),
+            workers: pool,
+        })
+    }
+
+    /// The bound address (resolves port 0 to the actual port).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, drains queued connections, and joins every
+    /// thread. In-flight responses finish; new connections are
+    /// refused once the listener closes.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Release);
+        // The acceptor blocks in `incoming()`; a throwaway connection
+        // wakes it so it observes the stop flag.
+        if let Ok(mut wake) = TcpStream::connect(self.addr) {
+            let _ = wake.write_all(b"");
+        }
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Blocking one-shot GET against a running server, for tests and
+/// smoke checks: returns `(status, body)`.
+///
+/// # Errors
+///
+/// Connection or protocol failures.
+pub fn get(addr: SocketAddr, path: &str) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: grbac-obs\r\nConnection: close\r\n\r\n"
+    )?;
+    stream.flush()?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|code| code.parse().ok())
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "no status line"))?;
+    let body = match raw.split_once("\r\n\r\n") {
+        Some((_, body)) => body.to_owned(),
+        None => String::new(),
+    };
+    Ok((status, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine_with_policy() -> Arc<RwLock<Grbac>> {
+        let mut g = Grbac::new();
+        let child = g.declare_subject_role("child").unwrap();
+        let toys = g.declare_object_role("toys").unwrap();
+        let use_t = g.declare_transaction("use").unwrap();
+        let bobby = g.declare_subject("bobby").unwrap();
+        g.assign_subject_role(bobby, child).unwrap();
+        let tv = g.declare_object("tv").unwrap();
+        g.assign_object_role(tv, toys).unwrap();
+        g.add_rule(
+            grbac_core::RuleDef::permit()
+                .subject_role(child)
+                .object_role(toys)
+                .transaction(use_t),
+        )
+        .unwrap();
+        Arc::new(RwLock::new(g))
+    }
+
+    fn decide_once(engine: &Arc<RwLock<Grbac>>) {
+        let g = engine.read().unwrap();
+        let request = {
+            let bobby = grbac_core::prelude::SubjectId::from_raw(0);
+            let tv = grbac_core::prelude::ObjectId::from_raw(0);
+            let use_t = grbac_core::prelude::TransactionId::from_raw(0);
+            grbac_core::AccessRequest::by_subject(
+                bobby,
+                use_t,
+                tv,
+                grbac_core::EnvironmentSnapshot::new(),
+            )
+        };
+        g.decide(&request).unwrap();
+    }
+
+    #[test]
+    fn routes_serve_and_shutdown_joins() {
+        let engine = engine_with_policy();
+        engine.read().unwrap().metrics().set_latency_sample_rate(1);
+        decide_once(&engine);
+        let server = ObsServer::serve(EngineObs::new(Arc::clone(&engine)), "127.0.0.1:0").unwrap();
+        let addr = server.addr();
+
+        let (status, metrics) = get(addr, "/metrics").unwrap();
+        assert_eq!(status, 200);
+        assert!(metrics.contains("grbac_decisions_permit_total"));
+
+        let (status, json) = get(addr, "/metrics.json").unwrap();
+        assert_eq!(status, 200);
+        let parsed: serde_json::Value = serde_json::from_str(&json).expect("metrics.json parses");
+        drop(parsed);
+
+        let (status, health) = get(addr, "/health").unwrap();
+        assert_eq!(status, 200);
+        assert!(health.contains("\"policy_score\""));
+        assert!(health.contains("\"watchdog_installed\":false"));
+
+        let (status, heat) = get(addr, "/heat").unwrap();
+        assert_eq!(status, 200);
+        let parsed: serde_json::Value = serde_json::from_str(&heat).expect("heat parses");
+        drop(parsed);
+
+        let (status, alerts) = get(addr, "/alerts").unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(alerts, "[]");
+
+        let (status, _) = get(addr, "/nope").unwrap();
+        assert_eq!(status, 404);
+        let (status, _) = get(addr, "/decision/zzz").unwrap();
+        assert_eq!(status, 400);
+        let (status, _) = get(addr, "/decision/ffffffffffffffffffffffffffffffff").unwrap();
+        assert_eq!(status, 404);
+
+        server.shutdown();
+        assert!(
+            get(addr, "/metrics").is_err() || get(addr, "/metrics").map(|r| r.0).unwrap_or(0) == 0,
+            "the listener must be closed after shutdown"
+        );
+    }
+
+    /// The acceptance-criterion round trip: a decision id scraped out
+    /// of an exported exemplar on `/metrics` resolves via
+    /// `/decision/<id>` to a recorder record, a replay diff, and an
+    /// audit-row slot that agree structurally.
+    #[test]
+    fn exemplar_id_resolves_to_a_full_story() {
+        if !grbac_core::telemetry::ENABLED {
+            return;
+        }
+        let engine = engine_with_policy();
+        engine.read().unwrap().metrics().set_latency_sample_rate(1);
+        for _ in 0..4 {
+            decide_once(&engine);
+        }
+        let server = ObsServer::serve(EngineObs::new(Arc::clone(&engine)), "127.0.0.1:0").unwrap();
+
+        let (status, metrics) = get(server.addr(), "/metrics").unwrap();
+        assert_eq!(status, 200);
+        let hex = metrics
+            .lines()
+            .find_map(|line| {
+                let (_, rest) = line.split_once("# {decision_id=\"")?;
+                rest.split('"').next().map(str::to_owned)
+            })
+            .expect("a sampled decide must export at least one exemplar");
+        let id: DecisionId = hex.parse().expect("exemplar ids are hex");
+        assert!(id.is_assigned());
+
+        let (status, story) = get(server.addr(), &format!("/decision/{hex}")).unwrap();
+        assert_eq!(status, 200, "the exemplar id must resolve: {story}");
+        let story: grbac_core::DecisionStory =
+            serde_json::from_str(&story).expect("story deserializes");
+        assert_eq!(story.decision_id, id);
+        assert_eq!(story.record.decision_id, id);
+        let replay = story.replay.as_ref().expect("same policy still replays");
+        assert_eq!(replay.recorded_effect, story.record.effect);
+        assert!(
+            story.agrees(),
+            "recorder, replay, and audit must agree structurally"
+        );
+
+        server.shutdown();
+    }
+}

@@ -108,7 +108,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // --- The audit trail saw everything. ---
-    let audit = home.engine().audit();
+    let engine = home.engine();
+    let audit = engine.audit();
     println!(
         "\naudit: {} requests recorded ({} permits, {} denies)",
         audit.total_recorded(),

@@ -1,0 +1,106 @@
+//! The observability plane, end to end: serve a living Aware Home
+//! over HTTP, scrape its metrics, pull a decision correlation id out
+//! of a latency exemplar, and resolve that id to the full story of
+//! the decision — flight-recorder record, fresh replay diff, and
+//! audit row.
+//!
+//! Also used as the CI endpoint smoke: every assertion here must hold
+//! on a clean build, so `cargo run --release --example observability`
+//! failing means the endpoints regressed.
+//!
+//! Run with: `cargo run --example observability`
+
+use grbac::core::telemetry::{self, WatchdogConfig};
+use grbac::core::DecisionStory;
+use grbac::home::scenario::paper_household;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The §5 household, with a watchdog installed and every decision
+    // sampled so exemplars appear immediately (the default 1-in-8
+    // sampling would need more traffic).
+    let mut home = paper_household()?;
+    home.install_watchdog(WatchdogConfig::default());
+    home.engine().metrics().set_latency_sample_rate(1);
+
+    let vocab = *home.vocab();
+    let alice = home.person("alice")?.subject();
+    let mom = home.person("mom")?.subject();
+    let tv = home.device("tv")?.object();
+    let oven = home.device("oven")?.object();
+    for _ in 0..4 {
+        home.request(alice, vocab.operate, tv)?;
+        home.request(alice, vocab.operate, oven)?;
+        home.request(mom, vocab.operate, oven)?;
+    }
+
+    // Serve the live home on an ephemeral port. The server shares the
+    // engine and watchdog with the home — nothing is copied.
+    let server = home.serve_observability("127.0.0.1:0")?;
+    let addr = server.addr();
+    println!("serving http://{addr}\n");
+
+    // Every endpoint answers 200 with a parseable body.
+    let (status, metrics) = grbac::obs::get(addr, "/metrics")?;
+    assert_eq!(status, 200, "/metrics");
+    println!(
+        "/metrics       {} lines of Prometheus text",
+        metrics.lines().count()
+    );
+
+    let (status, json) = grbac::obs::get(addr, "/metrics.json")?;
+    assert_eq!(status, 200, "/metrics.json");
+    serde_json::from_str::<serde_json::Value>(&json)?;
+    println!("/metrics.json  {} bytes of valid JSON", json.len());
+
+    let (status, health) = grbac::obs::get(addr, "/health")?;
+    assert_eq!(status, 200, "/health");
+    assert!(health.contains("\"watchdog_installed\":true"));
+    serde_json::from_str::<serde_json::Value>(&health)?;
+    println!("/health        {health}");
+
+    let (status, heat) = grbac::obs::get(addr, "/heat")?;
+    assert_eq!(status, 200, "/heat");
+    serde_json::from_str::<serde_json::Value>(&heat)?;
+    println!("/heat          {} bytes of valid JSON", heat.len());
+
+    let (status, alerts) = grbac::obs::get(addr, "/alerts")?;
+    assert_eq!(status, 200, "/alerts");
+    serde_json::from_str::<serde_json::Value>(&alerts)?;
+    println!("/alerts        {alerts}");
+
+    // The correlation round-trip: an exemplar in the scrape names a
+    // real decision; /decision/<id> tells its whole story.
+    if telemetry::ENABLED {
+        let exemplar = metrics
+            .lines()
+            .find(|l| l.contains("# {decision_id=\""))
+            .expect("sampled decisions leave exemplars");
+        let (_, rest) = exemplar.split_once("decision_id=\"").expect("exemplar id");
+        let (hex, _) = rest.split_once('"').expect("closing quote");
+
+        let (status, body) = grbac::obs::get(addr, &format!("/decision/{hex}"))?;
+        assert_eq!(status, 200, "/decision/{hex}");
+        let story: DecisionStory = serde_json::from_str(&body)?;
+        assert_eq!(story.decision_id.to_string(), hex);
+        assert!(story.agrees(), "replay agrees with the recorded verdict");
+        println!("\nexemplar id    {hex}");
+        println!(
+            "/decision/<id> effect={:?} replay_agrees={} audit_row={}",
+            story.record.effect,
+            story.agrees(),
+            story.audit.is_some(),
+        );
+    }
+
+    // Unknown and malformed ids answer 404/400, not 500.
+    let missing = "f".repeat(32);
+    let (status, _) = grbac::obs::get(addr, &format!("/decision/{missing}"))?;
+    assert_eq!(status, 404, "unknown id");
+    let (status, _) = grbac::obs::get(addr, "/decision/not-hex")?;
+    assert_eq!(status, 400, "malformed id");
+
+    server.shutdown();
+    println!("\nserver shut down cleanly; the home keeps mediating");
+    assert!(home.request(mom, vocab.operate, oven)?.is_permitted());
+    Ok(())
+}

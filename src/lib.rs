@@ -9,6 +9,8 @@
 //!   load, events),
 //! * [`sense`] — partial-authentication sensors and fusion,
 //! * [`home`] — the Aware Home simulation and motivating applications,
+//! * [`obs`] — the live HTTP observability plane (metrics, health,
+//!   heat, alerts, per-decision correlation lookup),
 //! * [`policy`] — the human-readable policy language,
 //! * [`mls`] — Bell–LaPadula multilevel security expressed in GRBAC.
 //!
@@ -21,6 +23,7 @@ pub use grbac_core as core;
 pub use grbac_env as env;
 pub use grbac_home as home;
 pub use grbac_mls as mls;
+pub use grbac_obs as obs;
 pub use grbac_policy as policy;
 pub use grbac_sense as sense;
 pub use rbac;

@@ -85,7 +85,7 @@ fn dsl_env_sense_core_pipeline() {
 #[test]
 fn analysis_over_paper_household() {
     let home = paper_household().unwrap();
-    let report = analysis::analyze(home.engine());
+    let report = analysis::analyze(&home.engine());
     // The fixture's deny rule (children / dangerous appliances)
     // conflicts with the parents-may-use-devices permit only if the
     // roles can coexist; parent and child have no common descendant,
@@ -114,7 +114,7 @@ fn analysis_detects_injected_conflict() {
                 .object_role(vocab.device),
         )
         .unwrap();
-    let report = analysis::analyze(home.engine());
+    let report = analysis::analyze(&home.engine());
     assert!(
         !report.conflicts.is_empty(),
         "the child deny overlaps the kids-entertainment permit"
@@ -214,7 +214,7 @@ fn dsl_layers_onto_existing_home() {
     )
     .unwrap();
     let mut provider = grbac::env::provider::EnvironmentRoleProvider::new();
-    grbac::policy::compile_into(&program, home.engine_mut(), &mut provider).unwrap();
+    grbac::policy::compile_into(&program, &mut home.engine_mut(), &mut provider).unwrap();
 
     let robin = home.engine().entities().find_subject("robin").unwrap();
     let tv = home.device("tv").unwrap().object();

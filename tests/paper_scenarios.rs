@@ -218,7 +218,8 @@ fn audit_log_reflects_mediated_evening() {
     home.advance(Duration::hours(3));
     home.request(alice, vocab.operate, tv).unwrap(); // deny (after hours)
 
-    let audit = home.engine().audit();
+    let engine = home.engine();
+    let audit = engine.audit();
     assert_eq!(audit.total_recorded(), 3);
     assert_eq!(audit.permit_count(), 1);
     assert_eq!(audit.deny_count(), 2);
