@@ -1,12 +1,12 @@
 //! The experiment harness: regenerates every table in EXPERIMENTS.md.
 //!
 //! ```text
-//! experiments [e1 e2 … e15 | all] [--json] [--bench-out DIR]
+//! experiments [e1 e2 … e16 | all] [--json] [--bench-out DIR]
 //! ```
 //!
 //! Each experiment prints one or more tables; `--json` emits the same
 //! data as JSON for downstream tooling. `--bench-out DIR` additionally
-//! writes the benchmark-bearing experiments (e5, e10, e12–e15) to
+//! writes the benchmark-bearing experiments (e5, e10, e12–e16) to
 //! `DIR/BENCH_<name>.json`, one JSON document per experiment, for CI
 //! artifact storage and cross-run comparison. Timings here use
 //! wall-clock loops sized for quick runs; the Criterion benches in
@@ -71,7 +71,7 @@ fn main() {
     let want = |name: &str| run_all || selected.contains(&name);
 
     type Runner = fn() -> Vec<Table>;
-    let experiments: [(&str, Runner); 15] = [
+    let experiments: [(&str, Runner); 16] = [
         ("e1", e1_rbac_mediation),
         ("e2", e2_hierarchy),
         ("e3", e3_policy_size),
@@ -87,6 +87,7 @@ fn main() {
         ("e13", e13_policy_health),
         ("e14", e14_incremental_churn),
         ("e15", e15_obs_overhead),
+        ("e16", e16_service_tenancy),
     ];
     let groups: Vec<(&str, Vec<Table>)> = experiments
         .iter()
@@ -99,7 +100,7 @@ fn main() {
     if let Some(dir) = bench_out {
         std::fs::create_dir_all(&dir).expect("--bench-out directory creatable");
         for (name, tables) in &groups {
-            if ["e5", "e10", "e12", "e13", "e14", "e15"].contains(name) {
+            if ["e5", "e10", "e12", "e13", "e14", "e15", "e16"].contains(name) {
                 let path = format!("{dir}/BENCH_{name}.json");
                 let body = serde_json::to_string_pretty(tables).expect("tables serialize");
                 std::fs::write(&path, body).expect("bench file writable");
@@ -1822,6 +1823,238 @@ fn e15_obs_overhead() -> Vec<Table> {
             format!("{scraped_ns:.0}"),
             format!("{overhead_pct:.2}"),
             scrape_count.to_string(),
+        ]);
+    }
+    vec![table]
+}
+
+/// E16 — multi-tenant policy service: decide p99 isolation under
+/// cross-tenant policy churn, measured at the wire.
+fn e16_service_tenancy() -> Vec<Table> {
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    use grbac_bench::serveload::{
+        parse_rule_id, percentile_us, remove_rule_line, LatencyRecorder, WireLoad,
+    };
+    use grbac_serve::{Client, PolicyService, ServeServer, ServiceConfig};
+
+    let mut table = Table::new(
+        "E16: wire decide p99 per tenant, quiet vs cross-tenant policy churn",
+        &[
+            "tenant",
+            "rules",
+            "quiet_p99_us",
+            "churn_p99_us",
+            "p99_ratio",
+            "decides_per_s",
+            "edits_per_s",
+        ],
+    );
+
+    const RULES: usize = 1_024;
+    const SUBJECT_ROLES: usize = 32;
+    const TENANTS: [&str; 2] = ["a", "b"];
+    const CONNS_PER_TENANT: usize = 2;
+
+    let service = Arc::new(PolicyService::new(ServiceConfig {
+        workers: TENANTS.len() * CONNS_PER_TENANT + 2,
+        ..ServiceConfig::default()
+    }));
+    for (i, tenant) in TENANTS.iter().enumerate() {
+        let system = synthetic_grbac(&SyntheticConfig {
+            rules: RULES,
+            subject_roles: SUBJECT_ROLES,
+            object_roles: 32,
+            environment_roles: 16,
+            seed: i as u64 + 1,
+            ..Default::default()
+        });
+        service
+            .create_tenant_with_engine(tenant, system.engine)
+            .expect("tenant provisioned");
+    }
+    let server = ServeServer::serve(Arc::clone(&service), "127.0.0.1:0").expect("ephemeral bind");
+    let addr = server.local_addr();
+
+    // Decide drivers run for the WHOLE experiment; recorders gate
+    // which windows contribute samples. Churn likewise runs on a
+    // persistent thread gated by `churn_active`, so thread count and
+    // connection state are identical in both conditions (the E15
+    // discipline) and the comparison isolates the churn work itself.
+    let stop = Arc::new(AtomicBool::new(false));
+    let churn_active = Arc::new(AtomicBool::new(false));
+    let edits = Arc::new(AtomicU64::new(0));
+    let recorders: Vec<Arc<LatencyRecorder>> = TENANTS
+        .iter()
+        .map(|_| Arc::new(LatencyRecorder::new()))
+        .collect();
+
+    let drivers: Vec<_> = TENANTS
+        .iter()
+        .enumerate()
+        .flat_map(|(t, tenant)| {
+            (0..CONNS_PER_TENANT)
+                .map(move |c| (t, *tenant, c))
+                .collect::<Vec<_>>()
+        })
+        .map(|(t, tenant, c)| {
+            let recorder = Arc::clone(&recorders[t]);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let load = WireLoad {
+                    tenant: tenant.to_owned(),
+                    subjects: 32,
+                    objects: 32,
+                    transactions: 4,
+                    environment_roles: 16,
+                    active_env: 3,
+                    seed: (t * 97 + c) as u64,
+                };
+                let lines = load.decide_lines(512);
+                let mut client = Client::connect(addr).expect("driver connect");
+                'drive: loop {
+                    for line in &lines {
+                        if stop.load(Ordering::Acquire) {
+                            break 'drive;
+                        }
+                        let sent = Instant::now();
+                        let response = client.request_line(line).expect("wire decide");
+                        assert!(response.contains("\"ok\":true"), "{response}");
+                        recorder.record(sent.elapsed().as_nanos() as u64);
+                    }
+                }
+            })
+        })
+        .collect();
+
+    let churner = {
+        let stop = Arc::clone(&stop);
+        let active = Arc::clone(&churn_active);
+        let edits = Arc::clone(&edits);
+        std::thread::spawn(move || {
+            let load = WireLoad {
+                tenant: "a".to_owned(),
+                subjects: 32,
+                objects: 32,
+                transactions: 4,
+                environment_roles: 16,
+                active_env: 3,
+                seed: 0,
+            };
+            let mut client = Client::connect(addr).expect("churn connect");
+            let mut i = 0usize;
+            while !stop.load(Ordering::Acquire) {
+                if active.load(Ordering::Acquire) {
+                    // Bounded bursts: 8 edit pairs, then a breath, so
+                    // churn is sustained but the policy never grows.
+                    for _ in 0..8 {
+                        let added = client
+                            .request_line(&load.add_rule_line(i, SUBJECT_ROLES))
+                            .expect("churn add");
+                        let rule = parse_rule_id(&added).expect("rule id in response");
+                        let removed = client
+                            .request_line(&remove_rule_line("a", rule))
+                            .expect("churn remove");
+                        assert!(removed.contains("\"removed\":true"), "{removed}");
+                        edits.fetch_add(2, Ordering::Relaxed);
+                        i += 1;
+                    }
+                }
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+        })
+    };
+
+    // Paired interleaved windows, median-of-ratios over rounds: slow
+    // machine-wide drift hits both sides of each pair equally, and the
+    // median rejects the odd round that catches a hiccup.
+    const WINDOW: std::time::Duration = std::time::Duration::from_millis(800);
+    const ROUNDS: usize = 3;
+    let window = |recorders: &[Arc<LatencyRecorder>]| -> Vec<Vec<u64>> {
+        for recorder in recorders {
+            let _ = recorder.drain();
+            recorder.set_recording(true);
+        }
+        std::thread::sleep(WINDOW);
+        for recorder in recorders {
+            recorder.set_recording(false);
+        }
+        recorders.iter().map(|r| r.drain()).collect()
+    };
+
+    std::thread::sleep(WINDOW); // warmup, discarded
+    let generation_before = service.handle_line(r#"{"op":"status","tenant":"b"}"#);
+    let mut quiet_rounds: Vec<Vec<Vec<u64>>> = Vec::with_capacity(ROUNDS);
+    let mut churn_rounds: Vec<Vec<Vec<u64>>> = Vec::with_capacity(ROUNDS);
+    let mut churn_edits = 0u64;
+    for _ in 0..ROUNDS {
+        churn_active.store(false, Ordering::Release);
+        quiet_rounds.push(window(&recorders));
+        churn_active.store(true, Ordering::Release);
+        let edits_before = edits.load(Ordering::Relaxed);
+        churn_rounds.push(window(&recorders));
+        churn_edits += edits.load(Ordering::Relaxed) - edits_before;
+    }
+    churn_active.store(false, Ordering::Release);
+    let generation_after = service.handle_line(r#"{"op":"status","tenant":"b"}"#);
+    stop.store(true, Ordering::Release);
+    for driver in drivers {
+        driver.join().expect("driver joins");
+    }
+    churner.join().expect("churner joins");
+    server.shutdown();
+
+    assert!(
+        churn_edits > 0,
+        "the churn thread must actually edit policy"
+    );
+    assert_eq!(
+        generation_before, generation_after,
+        "tenant-b policy state changed under tenant-a churn"
+    );
+
+    let median = |values: &mut Vec<f64>| {
+        values.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        values[values.len() / 2]
+    };
+    let churn_secs = WINDOW.as_secs_f64() * ROUNDS as f64;
+    for (t, tenant) in TENANTS.iter().enumerate() {
+        let mut quiet_p99s: Vec<f64> = Vec::with_capacity(ROUNDS);
+        let mut churn_p99s: Vec<f64> = Vec::with_capacity(ROUNDS);
+        let mut ratios: Vec<f64> = Vec::with_capacity(ROUNDS);
+        let mut churn_decides = 0usize;
+        for round in 0..ROUNDS {
+            let mut quiet = quiet_rounds[round][t].clone();
+            let mut churn = churn_rounds[round][t].clone();
+            churn_decides += churn.len();
+            let q = percentile_us(&mut quiet, 99.0);
+            let c = percentile_us(&mut churn, 99.0);
+            quiet_p99s.push(q);
+            churn_p99s.push(c);
+            ratios.push(if q > 0.0 { c / q } else { 1.0 });
+        }
+        let ratio = median(&mut ratios);
+        if *tenant == "b" {
+            // The isolation claim: tenant-a churn may cost tenant a
+            // itself, but tenant b's wire p99 stays within 1.5x of
+            // its own quiet windows.
+            assert!(
+                ratio <= 1.5,
+                "tenant-b decide p99 degraded {ratio:.2}x under tenant-a churn \
+                 (quiet {:.1}us, churn {:.1}us)",
+                median(&mut quiet_p99s.clone()),
+                median(&mut churn_p99s.clone()),
+            );
+        }
+        table.row(&[
+            (*tenant).to_owned(),
+            RULES.to_string(),
+            format!("{:.1}", median(&mut quiet_p99s)),
+            format!("{:.1}", median(&mut churn_p99s)),
+            format!("{ratio:.2}"),
+            format!("{:.0}", churn_decides as f64 / churn_secs),
+            format!("{:.0}", churn_edits as f64 / churn_secs),
         ]);
     }
     vec![table]

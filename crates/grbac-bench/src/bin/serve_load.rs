@@ -1,0 +1,185 @@
+//! Load generator for the `grbac-serve` policy service.
+//!
+//! ```text
+//! serve_load [--addr HOST:PORT] [--tenants N] [--conns N]
+//!            [--requests N] [--rules N] [--churn]
+//! ```
+//!
+//! Without `--addr` the harness self-hosts: it builds `--tenants`
+//! synthetic policy domains (seeded differently, `--rules` rules
+//! each), starts an in-process server on a loopback port, and drives
+//! it — so a single command produces wire-level numbers on any
+//! machine. With `--addr` it targets an already-running server whose
+//! tenants `t0 .. tN-1` were provisioned with the same synthetic
+//! shape (as `examples/serve.rs` + this harness's fixtures do).
+//!
+//! Each tenant gets `--conns` client connections, each sending
+//! `--requests` decides and recording per-request wall latency.
+//! `--churn` adds one connection on tenant `t0` that interleaves
+//! `add_rule`/`remove_rule` pairs for the duration, exercising the
+//! isolation claim E16 quantifies. Output is one row per tenant:
+//! decides, throughput, p50/p99.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use grbac_bench::fixtures::{synthetic_grbac, SyntheticConfig};
+use grbac_bench::serveload::{
+    parse_rule_id, percentile_us, remove_rule_line, LatencyRecorder, WireLoad,
+};
+use grbac_bench::table::Table;
+use grbac_serve::{Client, PolicyService, ServeServer, ServiceConfig};
+
+const SUBJECT_ROLES: usize = 32;
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let tenants: usize =
+        flag_value(&args, "--tenants").map_or(2, |v| v.parse().expect("--tenants N"));
+    let conns: usize = flag_value(&args, "--conns").map_or(2, |v| v.parse().expect("--conns N"));
+    let requests: usize =
+        flag_value(&args, "--requests").map_or(2_000, |v| v.parse().expect("--requests N"));
+    let rules: usize =
+        flag_value(&args, "--rules").map_or(1_024, |v| v.parse().expect("--rules N"));
+    let churn = args.iter().any(|a| a == "--churn");
+    let external = flag_value(&args, "--addr");
+
+    // Self-host unless an external server was named.
+    let hosted = external.is_none().then(|| {
+        let service = Arc::new(PolicyService::new(ServiceConfig {
+            workers: (tenants * conns + 2).max(4),
+            ..ServiceConfig::default()
+        }));
+        for t in 0..tenants {
+            let system = synthetic_grbac(&SyntheticConfig {
+                rules,
+                subject_roles: SUBJECT_ROLES,
+                object_roles: 32,
+                environment_roles: 16,
+                seed: t as u64,
+                ..Default::default()
+            });
+            service
+                .create_tenant_with_engine(&format!("t{t}"), system.engine)
+                .expect("tenant provisioned");
+        }
+        ServeServer::serve(service, "127.0.0.1:0").expect("ephemeral bind")
+    });
+    let addr = hosted.as_ref().map_or_else(
+        || external.clone().expect("addr"),
+        |server| server.local_addr().to_string(),
+    );
+    eprintln!("driving {addr}: {tenants} tenants x {conns} conns x {requests} requests");
+
+    // Churn connection on t0, running for the whole drive.
+    let stop_churn = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let edits = Arc::new(std::sync::atomic::AtomicU64::new(0));
+    let churner = churn.then(|| {
+        let addr = addr.clone();
+        let stop = Arc::clone(&stop_churn);
+        let edits = Arc::clone(&edits);
+        std::thread::spawn(move || {
+            let load = WireLoad {
+                tenant: "t0".to_owned(),
+                subjects: 32,
+                objects: 32,
+                transactions: 4,
+                environment_roles: 16,
+                active_env: 3,
+                seed: 0,
+            };
+            let mut client = Client::connect(&addr).expect("churn connect");
+            let mut i = 0usize;
+            while !stop.load(std::sync::atomic::Ordering::Acquire) {
+                let added = client
+                    .request_line(&load.add_rule_line(i, SUBJECT_ROLES))
+                    .expect("churn add");
+                if let Some(rule) = parse_rule_id(&added) {
+                    let _ = client.request_line(&remove_rule_line("t0", rule));
+                }
+                edits.fetch_add(2, std::sync::atomic::Ordering::Relaxed);
+                i += 1;
+                if i.is_multiple_of(8) {
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                }
+            }
+        })
+    });
+
+    // One recorder per tenant, shared by that tenant's connections.
+    let recorders: Vec<Arc<LatencyRecorder>> = (0..tenants)
+        .map(|_| {
+            let recorder = Arc::new(LatencyRecorder::new());
+            recorder.set_recording(true);
+            recorder
+        })
+        .collect();
+    let start = Instant::now();
+    let drivers: Vec<_> = (0..tenants)
+        .flat_map(|t| (0..conns).map(move |c| (t, c)).collect::<Vec<_>>())
+        .map(|(t, c)| {
+            let addr = addr.clone();
+            let recorder = Arc::clone(&recorders[t]);
+            std::thread::spawn(move || {
+                let load = WireLoad {
+                    tenant: format!("t{t}"),
+                    subjects: 32,
+                    objects: 32,
+                    transactions: 4,
+                    environment_roles: 16,
+                    active_env: 3,
+                    seed: (t * 97 + c) as u64,
+                };
+                let lines = load.decide_lines(requests);
+                let mut client = Client::connect(&addr).expect("driver connect");
+                for line in &lines {
+                    let sent = Instant::now();
+                    let response = client.request_line(line).expect("decide");
+                    assert!(response.contains("\"ok\":true"), "{response}");
+                    recorder.record(sent.elapsed().as_nanos() as u64);
+                }
+            })
+        })
+        .collect();
+    for driver in drivers {
+        driver.join().expect("driver thread");
+    }
+    let elapsed = start.elapsed();
+    stop_churn.store(true, std::sync::atomic::Ordering::Release);
+    if let Some(churner) = churner {
+        churner.join().expect("churn thread");
+    }
+
+    let mut table = Table::new(
+        "serve_load: wire decide latency per tenant",
+        &["tenant", "decides", "decides_per_s", "p50_us", "p99_us"],
+    );
+    for (t, recorder) in recorders.iter().enumerate() {
+        let mut samples = recorder.drain();
+        let total = samples.len();
+        table.row(&[
+            format!("t{t}"),
+            total.to_string(),
+            format!("{:.0}", total as f64 / elapsed.as_secs_f64()),
+            format!("{:.1}", percentile_us(&mut samples, 50.0)),
+            format!("{:.1}", percentile_us(&mut samples, 99.0)),
+        ]);
+    }
+    println!("{}", table.render());
+    if churn {
+        println!(
+            "churn edits applied on t0: {}",
+            edits.load(std::sync::atomic::Ordering::Relaxed)
+        );
+    }
+    if let Some(server) = hosted {
+        server.shutdown();
+    }
+}

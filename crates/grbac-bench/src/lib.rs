@@ -9,4 +9,5 @@
 #![warn(missing_docs)]
 
 pub mod fixtures;
+pub mod serveload;
 pub mod table;

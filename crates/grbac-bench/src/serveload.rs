@@ -1,0 +1,214 @@
+//! Wire-level load generation for the `grbac-serve` policy service:
+//! deterministic NDJSON request streams against the names
+//! [`synthetic_grbac`](crate::fixtures::synthetic_grbac) declares, a
+//! latency recorder for windowed measurements, and the percentile
+//! arithmetic E16 and the `serve_load` binary share.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Shape of a decide-traffic stream against one tenant whose engine
+/// was built by [`synthetic_grbac`](crate::fixtures::synthetic_grbac):
+/// the name pools (`s_{i}`, `o_{i}`, `t_{i}`, `er_{i}`) mirror the
+/// fixture's deterministic naming, so a stream generated from the
+/// same counts always resolves.
+#[derive(Debug, Clone)]
+pub struct WireLoad {
+    /// Target tenant name.
+    pub tenant: String,
+    /// Subjects in the tenant (`s_0 .. s_{n-1}`).
+    pub subjects: usize,
+    /// Objects in the tenant (`o_0 .. o_{n-1}`).
+    pub objects: usize,
+    /// Transactions in the tenant (`t_0 .. t_{n-1}`).
+    pub transactions: usize,
+    /// Environment roles in the tenant (`er_0 .. er_{n-1}`).
+    pub environment_roles: usize,
+    /// Environment roles activated per request.
+    pub active_env: usize,
+    /// Stream seed (vary per client thread for distinct streams).
+    pub seed: u64,
+}
+
+impl WireLoad {
+    /// `n` decide request lines, deterministic under the seed.
+    #[must_use]
+    pub fn decide_lines(&self, n: usize) -> Vec<String> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
+        let pick = |pool: usize, rng: &mut rand::rngs::StdRng| -> usize {
+            let indices: Vec<usize> = (0..pool).collect();
+            *indices.choose(rng).expect("nonempty pool")
+        };
+        (0..n)
+            .map(|_| {
+                let s = pick(self.subjects, &mut rng);
+                let o = pick(self.objects, &mut rng);
+                let t = pick(self.transactions, &mut rng);
+                let env: Vec<String> = (0..self.environment_roles)
+                    .collect::<Vec<_>>()
+                    .choose_multiple(&mut rng, self.active_env.min(self.environment_roles))
+                    .map(|i| format!("\"er_{i}\""))
+                    .collect();
+                format!(
+                    r#"{{"op":"decide","tenant":"{}","subject":"s_{s}","transaction":"t_{t}","object":"o_{o}","env":[{}]}}"#,
+                    self.tenant,
+                    env.join(",")
+                )
+            })
+            .collect()
+    }
+
+    /// An `add_rule` churn line (cycles through the tenant's subject
+    /// roles and transactions). Pair with [`remove_rule_line`] on the
+    /// id parsed from the response to keep the policy size bounded.
+    #[must_use]
+    pub fn add_rule_line(&self, i: usize, subject_roles: usize) -> String {
+        format!(
+            r#"{{"op":"add_rule","tenant":"{}","effect":"permit","name":"churn_{i}","subject_role":"sr_{}","transaction":"t_{}"}}"#,
+            self.tenant,
+            i % subject_roles.max(1),
+            i % self.transactions.max(1),
+        )
+    }
+}
+
+/// A `remove_rule` line for the given tenant and rule id.
+#[must_use]
+pub fn remove_rule_line(tenant: &str, rule: u64) -> String {
+    format!(r#"{{"op":"remove_rule","tenant":"{tenant}","rule":{rule}}}"#)
+}
+
+/// Extracts the `"rule":N` id from an `add_rule` response line.
+#[must_use]
+pub fn parse_rule_id(response: &str) -> Option<u64> {
+    let tail = &response[response.find("\"rule\":")? + 7..];
+    let digits: String = tail.chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+/// Gated latency sink shared between load threads and the measuring
+/// thread: threads always run (so thread count and connection state
+/// are identical across measurement conditions) but samples are kept
+/// only while `recording` is on — the same discipline as E15's
+/// always-running scraper.
+#[derive(Debug, Default)]
+pub struct LatencyRecorder {
+    samples: Mutex<Vec<u64>>,
+    recording: AtomicBool,
+    total: AtomicU64,
+}
+
+impl LatencyRecorder {
+    /// A recorder that starts muted.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one latency (ns) if recording is on; always counts the
+    /// operation toward the lifetime total.
+    pub fn record(&self, ns: u64) {
+        self.total.fetch_add(1, Ordering::Relaxed);
+        if self.recording.load(Ordering::Acquire) {
+            self.samples
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .push(ns);
+        }
+    }
+
+    /// Turns sample collection on or off.
+    pub fn set_recording(&self, on: bool) {
+        self.recording.store(on, Ordering::Release);
+    }
+
+    /// Takes the collected samples, leaving the recorder empty.
+    #[must_use]
+    pub fn drain(&self) -> Vec<u64> {
+        std::mem::take(
+            &mut self
+                .samples
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        )
+    }
+
+    /// Operations recorded over the recorder's lifetime (on or off).
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+}
+
+/// The `p`-th percentile (0..=100) of `samples`, in microseconds.
+/// Sorts in place; returns 0.0 for an empty slice.
+#[must_use]
+pub fn percentile_us(samples: &mut [u64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.sort_unstable();
+    let rank = ((p / 100.0) * (samples.len() - 1) as f64).round() as usize;
+    samples[rank.min(samples.len() - 1)] as f64 / 1_000.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decide_lines_are_deterministic_and_resolvable_names() {
+        let load = WireLoad {
+            tenant: "a".to_owned(),
+            subjects: 4,
+            objects: 4,
+            transactions: 2,
+            environment_roles: 3,
+            active_env: 2,
+            seed: 7,
+        };
+        let first = load.decide_lines(8);
+        let second = load.decide_lines(8);
+        assert_eq!(first, second);
+        for line in &first {
+            assert!(line.contains("\"op\":\"decide\""));
+            assert!(line.contains("\"tenant\":\"a\""));
+            assert!(line.contains("\"subject\":\"s_"));
+        }
+    }
+
+    #[test]
+    fn rule_id_round_trips_through_the_envelope() {
+        let response = r#"{"ok":true,"op":"add_rule","result":{"rule":41}}"#;
+        assert_eq!(parse_rule_id(response), Some(41));
+        assert_eq!(parse_rule_id(r#"{"ok":false}"#), None);
+        assert_eq!(
+            remove_rule_line("a", 41),
+            r#"{"op":"remove_rule","tenant":"a","rule":41}"#
+        );
+    }
+
+    #[test]
+    fn recorder_gates_samples_but_counts_everything() {
+        let recorder = LatencyRecorder::new();
+        recorder.record(10);
+        recorder.set_recording(true);
+        recorder.record(20);
+        recorder.record(30);
+        recorder.set_recording(false);
+        recorder.record(40);
+        assert_eq!(recorder.drain(), vec![20, 30]);
+        assert_eq!(recorder.total(), 4);
+    }
+
+    #[test]
+    fn percentiles_hit_the_expected_ranks() {
+        let mut samples: Vec<u64> = (1..=100).map(|i| i * 1_000).collect();
+        assert!((percentile_us(&mut samples, 50.0) - 50.0).abs() <= 1.0);
+        assert!((percentile_us(&mut samples, 99.0) - 99.0).abs() <= 1.0);
+        assert_eq!(percentile_us(&mut [], 99.0), 0.0);
+    }
+}

@@ -117,6 +117,165 @@ fn help_for(name: &str) -> &'static str {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct PrometheusExporter;
 
+impl PrometheusExporter {
+    /// Renders several snapshots — one per policy domain — as a single
+    /// merged exposition, stamping `label="<group>"` onto every sample.
+    ///
+    /// This is the multi-tenant hook used by `grbac-serve`: each
+    /// tenant's engine keeps its own registry (so per-rule heat and
+    /// per-transaction series never collide across tenants), and one
+    /// scrape renders them side by side. Family metadata (`# HELP` /
+    /// `# TYPE`) is emitted once per family across all groups, as the
+    /// exposition format requires, and group names are escaped like
+    /// any other label value.
+    ///
+    /// ```
+    /// use grbac_core::telemetry::{MetricsRegistry, PrometheusExporter};
+    ///
+    /// let alpha = MetricsRegistry::new();
+    /// let beta = MetricsRegistry::new();
+    /// alpha.decisions_permit.inc();
+    /// let groups = vec![
+    ///     ("alpha".to_owned(), alpha.snapshot()),
+    ///     ("beta".to_owned(), beta.snapshot()),
+    /// ];
+    /// let text = PrometheusExporter.export_grouped("tenant", &groups);
+    /// assert!(text.contains("grbac_decisions_permit_total{tenant=\"alpha\"}"));
+    /// assert!(text.contains("grbac_decisions_permit_total{tenant=\"beta\"}"));
+    /// ```
+    #[must_use]
+    pub fn export_grouped(&self, label: &str, groups: &[(String, MetricsSnapshot)]) -> String {
+        use std::collections::BTreeSet;
+        let mut out = String::new();
+        let escaped: Vec<String> = groups.iter().map(|(name, _)| escape_label(name)).collect();
+
+        let counter_names: BTreeSet<&String> =
+            groups.iter().flat_map(|(_, s)| s.counters.keys()).collect();
+        for name in counter_names {
+            let _ = writeln!(out, "# HELP {name} {}", help_for(name));
+            let _ = writeln!(out, "# TYPE {name} counter");
+            for ((_, snapshot), group) in groups.iter().zip(&escaped) {
+                if let Some(value) = snapshot.counters.get(name) {
+                    let _ = writeln!(out, "{name}{{{label}=\"{group}\"}} {value}");
+                }
+            }
+        }
+
+        let gauge_names: BTreeSet<&String> =
+            groups.iter().flat_map(|(_, s)| s.gauges.keys()).collect();
+        for name in gauge_names {
+            let _ = writeln!(out, "# HELP {name} {}", help_for(name));
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            for ((_, snapshot), group) in groups.iter().zip(&escaped) {
+                if let Some(value) = snapshot.gauges.get(name) {
+                    let _ = writeln!(out, "{name}{{{label}=\"{group}\"}} {value}");
+                }
+            }
+        }
+
+        let histogram_names: BTreeSet<&String> = groups
+            .iter()
+            .flat_map(|(_, s)| s.histograms.keys())
+            .collect();
+        for name in histogram_names {
+            let _ = writeln!(out, "# HELP {name} {}", help_for(name));
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            for ((_, snapshot), group) in groups.iter().zip(&escaped) {
+                let Some(histogram) = snapshot.histograms.get(name) else {
+                    continue;
+                };
+                let mut cumulative = 0u64;
+                for (bound, count) in histogram.bounds.iter().zip(&histogram.counts) {
+                    cumulative += count;
+                    let le = if *bound == u64::MAX {
+                        "+Inf".to_owned()
+                    } else {
+                        bound.to_string()
+                    };
+                    let _ = writeln!(
+                        out,
+                        "{name}_bucket{{{label}=\"{group}\",le=\"{le}\"}} {cumulative}"
+                    );
+                }
+                let _ = writeln!(out, "{name}_sum{{{label}=\"{group}\"}} {}", histogram.sum);
+                let _ = writeln!(
+                    out,
+                    "{name}_count{{{label}=\"{group}\"}} {}",
+                    histogram.count
+                );
+            }
+        }
+
+        let summary_names: BTreeSet<&String> = groups
+            .iter()
+            .flat_map(|(_, s)| s.summaries.keys())
+            .collect();
+        for name in summary_names {
+            let _ = writeln!(out, "# HELP {name} {}", help_for(name));
+            let _ = writeln!(out, "# TYPE {name} summary");
+            for ((_, snapshot), group) in groups.iter().zip(&escaped) {
+                let Some(family) = snapshot.summaries.get(name) else {
+                    continue;
+                };
+                let inner = &family.label;
+                for (key, quantiles) in &family.series {
+                    let key = escape_label(key);
+                    for (q, value, exemplar) in [
+                        ("0.5", quantiles.p50, quantiles.exemplar_p50),
+                        ("0.95", quantiles.p95, quantiles.exemplar_p95),
+                        ("0.99", quantiles.p99, quantiles.exemplar_p99),
+                    ] {
+                        let _ = write!(
+                            out,
+                            "{name}{{{label}=\"{group}\",{inner}=\"{key}\",quantile=\"{q}\"}} {value}"
+                        );
+                        if let Some(exemplar) = exemplar {
+                            let _ = write!(
+                                out,
+                                " # {{decision_id=\"{}\"}} {}",
+                                escape_label(&exemplar.decision_id.to_string()),
+                                exemplar.value
+                            );
+                        }
+                        out.push('\n');
+                    }
+                    let _ = writeln!(
+                        out,
+                        "{name}_sum{{{label}=\"{group}\",{inner}=\"{key}\"}} {}",
+                        quantiles.sum
+                    );
+                    let _ = writeln!(
+                        out,
+                        "{name}_count{{{label}=\"{group}\",{inner}=\"{key}\"}} {}",
+                        quantiles.count
+                    );
+                }
+            }
+        }
+
+        let keyed_names: BTreeSet<&String> =
+            groups.iter().flat_map(|(_, s)| s.keyed.keys()).collect();
+        for name in keyed_names {
+            let _ = writeln!(out, "# HELP {name} {}", help_for(name));
+            let _ = writeln!(out, "# TYPE {name} counter");
+            for ((_, snapshot), group) in groups.iter().zip(&escaped) {
+                let Some(family) = snapshot.keyed.get(name) else {
+                    continue;
+                };
+                for (key, value) in &family.values {
+                    let _ = writeln!(
+                        out,
+                        "{name}{{{label}=\"{group}\",{}=\"{}\"}} {value}",
+                        family.label,
+                        escape_label(key)
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
 impl Exporter for PrometheusExporter {
     fn content_type(&self) -> &'static str {
         "text/plain; version=0.0.4"
@@ -573,6 +732,77 @@ mod tests {
             assert_eq!(uint(field(exemplar, "value")), 1_000);
         } else {
             assert!(!text.contains("decision_id"));
+        }
+    }
+
+    #[test]
+    fn grouped_export_emits_metadata_once_and_labels_every_sample() {
+        let alpha = MetricsRegistry::new();
+        let beta = MetricsRegistry::new();
+        alpha.decisions_permit.add(7);
+        beta.decisions_permit.add(2);
+        alpha.batch_size.observe(4);
+        alpha.rule_matches_by_transaction.add(1, 3);
+        beta.stage_latency[0].observe(500);
+        let groups = vec![
+            ("alpha".to_owned(), alpha.snapshot()),
+            ("bad\"tenant\nname".to_owned(), beta.snapshot()),
+        ];
+        let text = PrometheusExporter.export_grouped("tenant", &groups);
+
+        // Family metadata appears exactly once per family even though
+        // two groups carry the family.
+        let type_lines: Vec<&str> = text
+            .lines()
+            .filter(|l| *l == "# TYPE grbac_decisions_permit_total counter")
+            .collect();
+        assert_eq!(type_lines.len(), 1, "duplicate TYPE metadata:\n{text}");
+        for line in text.lines().filter(|l| l.starts_with("# TYPE ")) {
+            let name = line.split_whitespace().nth(2).unwrap();
+            assert_eq!(
+                text.lines()
+                    .filter(|l| l.starts_with(&format!("# TYPE {name} ")))
+                    .count(),
+                1,
+                "family {name} has duplicate metadata"
+            );
+        }
+
+        if crate::telemetry::ENABLED {
+            assert!(text.contains("grbac_decisions_permit_total{tenant=\"alpha\"} 7"));
+            assert!(
+                text.contains("grbac_decisions_permit_total{tenant=\"bad\\\"tenant\\nname\"} 2"),
+                "hostile group name not escaped:\n{text}"
+            );
+            assert!(text.contains("grbac_batch_size_bucket{tenant=\"alpha\",le=\"4\"} 1"));
+            assert!(text.contains("grbac_batch_size_sum{tenant=\"alpha\"} 4"));
+            assert!(text.contains("grbac_rule_matches_total{tenant=\"alpha\",transaction=\"1\"} 3"));
+            assert!(text.contains(
+                "grbac_stage_latency_ns{tenant=\"bad\\\"tenant\\nname\",stage=\"subject_expansion\",quantile=\"0.5\"}"
+            ));
+        }
+        // Every physical line stays well-formed despite the hostile name.
+        for line in text.lines() {
+            assert!(
+                line.starts_with('#') || line.rsplit_once(' ').is_some(),
+                "malformed line: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn grouped_export_of_one_group_matches_flat_sample_values() {
+        let snapshot = populated_snapshot();
+        let flat = PrometheusExporter.export(&snapshot);
+        let grouped =
+            PrometheusExporter.export_grouped("tenant", &[("only".to_owned(), snapshot.clone())]);
+        // Every flat counter sample has a labelled twin with the same value.
+        for (name, value) in &snapshot.counters {
+            assert!(flat.contains(&format!("{name} {value}")));
+            assert!(
+                grouped.contains(&format!("{name}{{tenant=\"only\"}} {value}")),
+                "missing labelled sample for {name}"
+            );
         }
     }
 

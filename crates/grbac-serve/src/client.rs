@@ -1,0 +1,87 @@
+//! A small blocking client for the NDJSON policy protocol: one
+//! request line out, one response line back. Used by the examples,
+//! the load harness, and the docs conformance suite — and usable as a
+//! reference implementation for clients in other languages.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use serde::Value;
+
+/// A connected protocol client.
+///
+/// ```no_run
+/// use grbac_serve::Client;
+///
+/// let mut client = Client::connect("127.0.0.1:7471").unwrap();
+/// let pong = client.request_line(r#"{"op":"ping"}"#).unwrap();
+/// assert!(pong.contains("\"ok\":true"));
+/// ```
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects and applies a 30-second read timeout.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connect failure.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Self {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Sends one raw request line and reads one response line (both
+    /// without trailing newlines).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, or an unexpected EOF before a response line
+    /// arrived (e.g. the server closed the connection after
+    /// `line_too_long`).
+    pub fn request_line(&mut self, line: &str) -> std::io::Result<String> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        while response.ends_with('\n') || response.ends_with('\r') {
+            response.pop();
+        }
+        Ok(response)
+    }
+
+    /// Sends a request value and parses the response envelope.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures as in [`Self::request_line`], or
+    /// `InvalidData` if the response line is not valid JSON.
+    pub fn request(&mut self, request: &Value) -> std::io::Result<Value> {
+        let line = serde_json::to_string(request).map_err(|err| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, format!("{err:?}"))
+        })?;
+        let response = self.request_line(&line)?;
+        serde_json::from_str(&response).map_err(|err| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("invalid response JSON: {err:?}"),
+            )
+        })
+    }
+}

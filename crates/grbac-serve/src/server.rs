@@ -1,0 +1,341 @@
+//! The threaded TCP front end: acceptor thread → bounded channel →
+//! worker pool, the same shape as `grbac_obs::ObsServer`, but speaking
+//! the NDJSON policy protocol instead of HTTP and holding connections
+//! open across many requests.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::proto::{err_envelope, ErrorCode, WireError};
+use crate::service::PolicyService;
+
+/// Pending connections the acceptor may queue before it blocks.
+const QUEUE_DEPTH: usize = 32;
+
+/// Per-connection read timeout. Generous: clients legitimately idle
+/// between requests, and the shutdown path wakes blocked reads by
+/// closing the listener-side socket anyway.
+const READ_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// A running policy service endpoint.
+///
+/// One worker serves one connection at a time, request by request, so
+/// responses on a connection always come back in request order. Size
+/// [`ServiceConfig::workers`](crate::ServiceConfig) at or above the
+/// expected number of concurrent clients.
+///
+/// ```
+/// use grbac_serve::{Client, PolicyService, ServeServer};
+/// use std::sync::Arc;
+///
+/// let service = Arc::new(PolicyService::with_defaults());
+/// let server = ServeServer::serve(Arc::clone(&service), "127.0.0.1:0").unwrap();
+/// let mut client = Client::connect(server.local_addr()).unwrap();
+/// let pong = client.request_line(r#"{"op":"ping"}"#).unwrap();
+/// assert!(pong.contains("\"ok\":true"));
+/// server.shutdown();
+/// ```
+#[derive(Debug)]
+pub struct ServeServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    live: Live,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// The set of connections currently being served, so `shutdown` can
+/// unblock workers parked in a read instead of waiting out the idle
+/// timeout. Entries unregister themselves when the connection ends.
+type Live = Arc<Mutex<HashMap<u64, TcpStream>>>;
+
+impl ServeServer {
+    /// Binds `addr` and starts the acceptor plus the worker pool sized
+    /// by the service's [`ServiceConfig`](crate::ServiceConfig).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn serve(service: Arc<PolicyService>, addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let workers = service.config().workers.max(1);
+        let max_line = service.config().max_line_bytes;
+
+        let live: Live = Arc::new(Mutex::new(HashMap::new()));
+        let next_conn = Arc::new(AtomicU64::new(0));
+        let (tx, rx): (SyncSender<TcpStream>, Receiver<TcpStream>) =
+            std::sync::mpsc::sync_channel(QUEUE_DEPTH);
+        let rx = Arc::new(Mutex::new(rx));
+        let worker_handles: Vec<JoinHandle<()>> = (0..workers)
+            .map(|_| {
+                let service = Arc::clone(&service);
+                let rx = Arc::clone(&rx);
+                let stop = Arc::clone(&stop);
+                let live = Arc::clone(&live);
+                let next_conn = Arc::clone(&next_conn);
+                std::thread::spawn(move || loop {
+                    let stream = {
+                        let guard = rx.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                        guard.recv()
+                    };
+                    match stream {
+                        Ok(stream) => {
+                            if stop.load(Ordering::SeqCst) {
+                                break;
+                            }
+                            let conn = next_conn.fetch_add(1, Ordering::Relaxed);
+                            if let Ok(clone) = stream.try_clone() {
+                                lock(&live).insert(conn, clone);
+                            }
+                            serve_connection(&service, stream, max_line);
+                            lock(&live).remove(&conn);
+                        }
+                        Err(_) => break,
+                    }
+                })
+            })
+            .collect();
+
+        let acceptor_stop = Arc::clone(&stop);
+        let acceptor = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if acceptor_stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                if let Ok(stream) = stream {
+                    if tx.send(stream).is_err() {
+                        break;
+                    }
+                }
+            }
+            // Dropping `tx` disconnects the channel and releases any
+            // worker blocked in `recv`.
+        });
+
+        Ok(Self {
+            addr,
+            stop,
+            live,
+            acceptor: Some(acceptor),
+            workers: worker_handles,
+        })
+    }
+
+    /// The bound address (useful after binding port 0).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, disconnects open connections, and joins every
+    /// thread. A request already being handled finishes and its
+    /// response is written before the connection closes.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // The acceptor blocks in `incoming()`; a throwaway connection
+        // wakes it so it can observe the stop flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        // Workers parked in a read on an open connection see EOF
+        // immediately instead of waiting out the idle timeout.
+        for (_, stream) in lock(&self.live).drain() {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl Drop for ServeServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+        for (_, stream) in lock(&self.live).drain() {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+    }
+}
+
+/// Serves one connection to completion: read a line, answer a line,
+/// until EOF, timeout, or an unrecoverable framing error.
+fn serve_connection(service: &PolicyService, stream: TcpStream, max_line: usize) {
+    service.metrics().connections_total.inc();
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(clone) => clone,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        match read_line_limited(&mut reader, max_line) {
+            Ok(None) => break, // clean EOF
+            Ok(Some(line)) => {
+                let line = line.trim();
+                if line.is_empty() {
+                    continue; // blank keep-alive lines are fine
+                }
+                let response = service.handle_line(line);
+                if writer
+                    .write_all(response.as_bytes())
+                    .and_then(|()| writer.write_all(b"\n"))
+                    .is_err()
+                {
+                    break;
+                }
+            }
+            Err(ReadError::TooLong) => {
+                // Framing is lost: we cannot tell where the oversized
+                // line ends, so answer once and drop the connection.
+                let error = err_envelope(
+                    None,
+                    None,
+                    &WireError::new(
+                        ErrorCode::LineTooLong,
+                        format!("request line exceeds {max_line} bytes"),
+                    ),
+                );
+                let _ = writer
+                    .write_all(serde_json::to_string(&error).unwrap_or_default().as_bytes())
+                    .and_then(|()| writer.write_all(b"\n"));
+                break;
+            }
+            Err(ReadError::Io) => break,
+        }
+    }
+}
+
+enum ReadError {
+    /// The line exceeded the cap before a newline appeared.
+    TooLong,
+    /// Timeout, reset, or any other transport failure.
+    Io,
+}
+
+/// Reads one `\n`-terminated line of at most `max` bytes, without ever
+/// buffering more than `max` bytes for it. Returns `None` on clean EOF
+/// at a line boundary.
+fn read_line_limited(
+    reader: &mut BufReader<TcpStream>,
+    max: usize,
+) -> Result<Option<String>, ReadError> {
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        let buf = match reader.fill_buf() {
+            Ok(buf) => buf,
+            Err(_) => return Err(ReadError::Io),
+        };
+        if buf.is_empty() {
+            // EOF. A clean close lands exactly between lines.
+            return if line.is_empty() {
+                Ok(None)
+            } else {
+                Err(ReadError::Io)
+            };
+        }
+        if let Some(newline) = buf.iter().position(|&b| b == b'\n') {
+            if line.len() + newline > max {
+                return Err(ReadError::TooLong);
+            }
+            line.extend_from_slice(&buf[..newline]);
+            reader.consume(newline + 1);
+            return Ok(Some(String::from_utf8_lossy(&line).into_owned()));
+        }
+        if line.len() + buf.len() > max {
+            return Err(ReadError::TooLong);
+        }
+        line.extend_from_slice(buf);
+        let consumed = buf.len();
+        reader.consume(consumed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+
+    fn service_with_tenant() -> Arc<PolicyService> {
+        let service = Arc::new(PolicyService::with_defaults());
+        service.create_tenant("t").unwrap();
+        service
+    }
+
+    #[test]
+    fn round_trips_requests_in_order() {
+        let server = ServeServer::serve(service_with_tenant(), "127.0.0.1:0").unwrap();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        for seq in 0..16 {
+            let response = client
+                .request_line(&format!(r#"{{"op":"ping","seq":{seq}}}"#))
+                .unwrap();
+            assert!(response.contains(&format!("\"seq\":{seq}")), "{response}");
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn oversized_line_answers_and_closes() {
+        let service = Arc::new(PolicyService::new(crate::ServiceConfig {
+            max_line_bytes: 256,
+            ..crate::ServiceConfig::default()
+        }));
+        let server = ServeServer::serve(service, "127.0.0.1:0").unwrap();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        let huge = format!(r#"{{"op":"ping","pad":"{}"}}"#, "x".repeat(512));
+        let response = client.request_line(&huge).unwrap();
+        assert!(response.contains("\"line_too_long\""), "{response}");
+        // The connection is gone; the next request fails.
+        assert!(client.request_line(r#"{"op":"ping"}"#).is_err());
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_line_keeps_the_connection() {
+        let server = ServeServer::serve(service_with_tenant(), "127.0.0.1:0").unwrap();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        let response = client.request_line("this is not json").unwrap();
+        assert!(response.contains("\"malformed_request\""), "{response}");
+        let response = client.request_line(r#"{"op":"ping"}"#).unwrap();
+        assert!(response.contains("\"ok\":true"), "{response}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn concurrent_connections_are_served() {
+        let server = ServeServer::serve(service_with_tenant(), "127.0.0.1:0").unwrap();
+        let addr = server.local_addr();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    let mut client = Client::connect(addr).unwrap();
+                    for _ in 0..32 {
+                        let response = client.request_line(r#"{"op":"ping"}"#).unwrap();
+                        assert!(response.contains("\"ok\":true"));
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        server.shutdown();
+    }
+}

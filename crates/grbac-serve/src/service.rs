@@ -1,0 +1,1052 @@
+//! The multi-tenant policy service: tenant registry, op dispatch, and
+//! service-level telemetry.
+//!
+//! Each tenant owns a fully isolated [`Grbac`] engine behind its own
+//! `Arc<RwLock>` — the same shared-state shape `grbac-obs` serves —
+//! so policy churn on one tenant contends only on that tenant's lock
+//! and never stalls decides on another. The tenant map itself is a
+//! second `RwLock` taken only long enough to clone the tenant's
+//! handles out (reads) or to provision/drop a tenant (writes).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+use grbac_core::telemetry::{
+    Counter, DecisionWatchdog, KeyedCounter, PrometheusExporter, WatchdogConfig,
+};
+use grbac_core::{AccessRequest, Decision, Effect, EnvironmentSnapshot, Grbac, RoleKind, RuleDef};
+use serde::Value;
+
+use crate::proto::{
+    bad_request, err_envelope, obj, ok_envelope, op_slot, str_field, str_seq_field, u64_field,
+    ErrorCode, WireError, OPS, PROTOCOL_VERSION,
+};
+
+/// Service-wide limits and defaults.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Maximum number of concurrently provisioned tenants; must stay
+    /// within the telemetry label-cardinality cap so every tenant gets
+    /// its own label slot (see `docs/operations.md`).
+    pub max_tenants: usize,
+    /// Maximum request-line length in bytes; overlong lines answer
+    /// `line_too_long` and close the connection.
+    pub max_line_bytes: usize,
+    /// Worker threads in the connection pool. One worker serves one
+    /// connection at a time, so size this at or above the expected
+    /// number of concurrent clients.
+    pub workers: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            max_tenants: 64,
+            max_line_bytes: 1 << 20,
+            workers: 8,
+        }
+    }
+}
+
+/// One tenant's shared handles: the engine and its watchdog slot —
+/// exactly the pair [`grbac_obs::EngineObs::with_watchdog`] serves, so
+/// any tenant can be put on the observability plane without copying.
+#[derive(Debug, Clone)]
+pub struct Tenant {
+    /// Dense per-service tenant index (the key in the tenant-labelled
+    /// keyed counters).
+    id: u64,
+    /// The tenant's isolated policy engine.
+    pub engine: Arc<RwLock<Grbac>>,
+    /// The tenant's watchdog slot (`tick` installs a default-config
+    /// watchdog on first use; `/health` scrapes share it).
+    pub watchdog: Arc<Mutex<Option<DecisionWatchdog>>>,
+}
+
+impl Tenant {
+    fn new(id: u64, engine: Grbac) -> Self {
+        Self {
+            id,
+            engine: Arc::new(RwLock::new(engine)),
+            watchdog: Arc::new(Mutex::new(None)),
+        }
+    }
+}
+
+/// Service-level telemetry, kept with the same primitives as the
+/// engine registry. The tenant-keyed families are bounded by the
+/// keyed-counter cardinality cap, so a runaway tenant-provisioning
+/// loop folds into the `other` bucket instead of growing label sets
+/// without limit.
+#[derive(Debug)]
+pub struct ServiceMetrics {
+    /// Connections accepted.
+    pub connections_total: Counter,
+    /// Request lines handled (ok or error).
+    pub requests_total: Counter,
+    /// Requests answered with an error envelope.
+    pub protocol_errors_total: Counter,
+    /// Requests by operation (slot = index in [`OPS`]).
+    pub requests_by_op: KeyedCounter,
+    /// Mediation requests (`decide`, `decide_batch` items, `explain`)
+    /// by tenant slot.
+    pub decides_by_tenant: KeyedCounter,
+    /// Policy mutations (declare/specialize/assign/revoke/rule edits)
+    /// by tenant slot.
+    pub mutations_by_tenant: KeyedCounter,
+}
+
+impl ServiceMetrics {
+    fn new() -> Self {
+        Self {
+            connections_total: Counter::new(),
+            requests_total: Counter::new(),
+            protocol_errors_total: Counter::new(),
+            requests_by_op: KeyedCounter::new(),
+            decides_by_tenant: KeyedCounter::new(),
+            mutations_by_tenant: KeyedCounter::new(),
+        }
+    }
+}
+
+/// The service: a named registry of isolated tenant engines plus the
+/// stateless op dispatcher that [`ServeServer`](crate::ServeServer)
+/// drives one NDJSON line at a time.
+///
+/// ```
+/// use grbac_serve::PolicyService;
+///
+/// let service = PolicyService::with_defaults();
+/// service.create_tenant("home").unwrap();
+/// let response = service.handle_line(
+///     r#"{"op":"decide","tenant":"home","subject":"alice","transaction":"use","object":"tv"}"#,
+/// );
+/// assert!(response.contains("\"unknown_name\"")); // empty tenant: nothing declared yet
+/// ```
+#[derive(Debug)]
+pub struct PolicyService {
+    tenants: RwLock<BTreeMap<String, Tenant>>,
+    next_tenant_id: AtomicU64,
+    metrics: ServiceMetrics,
+    config: ServiceConfig,
+}
+
+impl Default for PolicyService {
+    fn default() -> Self {
+        Self::with_defaults()
+    }
+}
+
+impl PolicyService {
+    /// A service with explicit limits.
+    #[must_use]
+    pub fn new(config: ServiceConfig) -> Self {
+        Self {
+            tenants: RwLock::new(BTreeMap::new()),
+            next_tenant_id: AtomicU64::new(0),
+            metrics: ServiceMetrics::new(),
+            config,
+        }
+    }
+
+    /// A service with [`ServiceConfig::default`] limits.
+    #[must_use]
+    pub fn with_defaults() -> Self {
+        Self::new(ServiceConfig::default())
+    }
+
+    /// The configured limits.
+    #[must_use]
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// The service-level telemetry.
+    #[must_use]
+    pub fn metrics(&self) -> &ServiceMetrics {
+        &self.metrics
+    }
+
+    /// Provisions an empty tenant.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorCode::TenantExists`], [`ErrorCode::TenantCap`], or
+    /// [`ErrorCode::BadRequest`] for an invalid name.
+    pub fn create_tenant(&self, name: &str) -> Result<(), WireError> {
+        self.create_tenant_with_engine(name, Grbac::new())
+    }
+
+    /// Provisions a tenant around an already-populated engine (used by
+    /// embedders and the load harness to install large policies
+    /// without walking the wire protocol).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::create_tenant`].
+    pub fn create_tenant_with_engine(&self, name: &str, engine: Grbac) -> Result<(), WireError> {
+        validate_tenant_name(name)?;
+        let mut tenants = lock_write(&self.tenants);
+        if tenants.contains_key(name) {
+            return Err(WireError::new(
+                ErrorCode::TenantExists,
+                format!("tenant `{name}` already exists"),
+            ));
+        }
+        if tenants.len() >= self.config.max_tenants {
+            return Err(WireError::new(
+                ErrorCode::TenantCap,
+                format!("tenant cap {} reached", self.config.max_tenants),
+            ));
+        }
+        let id = self.next_tenant_id.fetch_add(1, Ordering::Relaxed);
+        tenants.insert(name.to_owned(), Tenant::new(id, engine));
+        Ok(())
+    }
+
+    /// Drops a tenant. In-flight requests holding the tenant's handles
+    /// finish against the dropped engine; new requests see
+    /// `unknown_tenant`.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorCode::UnknownTenant`].
+    pub fn drop_tenant(&self, name: &str) -> Result<(), WireError> {
+        match lock_write(&self.tenants).remove(name) {
+            Some(_) => Ok(()),
+            None => Err(unknown_tenant(name)),
+        }
+    }
+
+    /// The tenant's shared handles, if provisioned.
+    #[must_use]
+    pub fn tenant(&self, name: &str) -> Option<Tenant> {
+        lock_read(&self.tenants).get(name).cloned()
+    }
+
+    /// Provisioned tenant names, sorted.
+    #[must_use]
+    pub fn tenant_names(&self) -> Vec<String> {
+        lock_read(&self.tenants).keys().cloned().collect()
+    }
+
+    /// Puts one tenant on the HTTP observability plane: the returned
+    /// [`grbac_obs::ObsServer`] shares the tenant's engine and
+    /// watchdog, so `/metrics`, `/health`, `/heat`, `/alerts` and
+    /// `/decision/<id>` all read live state.
+    ///
+    /// # Errors
+    ///
+    /// `NotFound` for an unknown tenant; otherwise the bind failure.
+    pub fn serve_observability(
+        &self,
+        tenant: &str,
+        addr: impl std::net::ToSocketAddrs,
+    ) -> std::io::Result<grbac_obs::ObsServer> {
+        let tenant = self
+            .tenant(tenant)
+            .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::NotFound, "no such tenant"))?;
+        grbac_obs::ObsServer::serve(
+            grbac_obs::EngineObs::with_watchdog(tenant.engine, tenant.watchdog),
+            addr,
+        )
+    }
+
+    /// Handles one request line, returning one response line (without
+    /// the trailing newline). Never panics on hostile input: malformed
+    /// lines answer an error envelope.
+    #[must_use]
+    pub fn handle_line(&self, line: &str) -> String {
+        self.metrics.requests_total.inc();
+        let envelope = match serde_json::from_str::<Value>(line) {
+            Err(err) => err_envelope(
+                None,
+                None,
+                &WireError::new(
+                    ErrorCode::MalformedRequest,
+                    format!("invalid JSON: {err:?}"),
+                ),
+            ),
+            Ok(request) => {
+                let seq = request.get("seq").cloned();
+                match request.get("op").and_then(Value::as_str) {
+                    None => err_envelope(
+                        None,
+                        seq.as_ref(),
+                        &WireError::new(
+                            ErrorCode::MalformedRequest,
+                            "request must be an object with a string `op` field",
+                        ),
+                    ),
+                    Some(op) => {
+                        let op = op.to_owned();
+                        match self.dispatch(&op, &request) {
+                            Ok(result) => ok_envelope(&op, seq.as_ref(), result),
+                            Err(error) => err_envelope(Some(&op), seq.as_ref(), &error),
+                        }
+                    }
+                }
+            }
+        };
+        if !matches!(envelope.get("ok"), Some(Value::Bool(true))) {
+            self.metrics.protocol_errors_total.inc();
+        }
+        serde_json::to_string(&envelope).unwrap_or_else(|_| {
+            r#"{"ok":false,"op":null,"error":{"code":"malformed_request","message":"response serialization failed"}}"#.to_owned()
+        })
+    }
+
+    fn dispatch(&self, op: &str, request: &Value) -> Result<Value, WireError> {
+        let Some(slot) = op_slot(op) else {
+            return Err(WireError::new(
+                ErrorCode::UnknownOp,
+                format!("unknown op `{op}` (known: {})", OPS.join(", ")),
+            ));
+        };
+        self.metrics.requests_by_op.add(slot, 1);
+        match op {
+            "ping" => Ok(obj(vec![
+                ("protocol", Value::UInt(PROTOCOL_VERSION)),
+                ("server", Value::Str("grbac-serve".to_owned())),
+                (
+                    "tenants",
+                    Value::UInt(lock_read(&self.tenants).len() as u64),
+                ),
+            ])),
+            "create_tenant" => {
+                let name = str_field(request, "tenant")?;
+                self.create_tenant(name)?;
+                Ok(obj(vec![
+                    ("tenant", Value::Str(name.to_owned())),
+                    ("created", Value::Bool(true)),
+                ]))
+            }
+            "drop_tenant" => {
+                let name = str_field(request, "tenant")?;
+                self.drop_tenant(name)?;
+                Ok(obj(vec![
+                    ("tenant", Value::Str(name.to_owned())),
+                    ("dropped", Value::Bool(true)),
+                ]))
+            }
+            "list_tenants" => Ok(obj(vec![(
+                "tenants",
+                Value::Seq(self.tenant_names().into_iter().map(Value::Str).collect()),
+            )])),
+            "metrics" => self.op_metrics(request),
+            _ => {
+                // Everything else is tenant-scoped.
+                let name = str_field(request, "tenant")?;
+                let tenant = self.tenant(name).ok_or_else(|| unknown_tenant(name))?;
+                match op {
+                    "declare" => self.op_declare(&tenant, request),
+                    "specialize" => self.op_specialize(&tenant, request),
+                    "assign" => self.op_assignment(&tenant, request, true),
+                    "revoke" => self.op_assignment(&tenant, request, false),
+                    "add_rule" => self.op_add_rule(&tenant, request),
+                    "remove_rule" => self.op_remove_rule(&tenant, request),
+                    "decide" => self.op_decide(&tenant, request),
+                    "decide_batch" => self.op_decide_batch(&tenant, request),
+                    "explain" => self.op_explain(&tenant, request),
+                    "status" => Ok(Self::op_status(name, &tenant)),
+                    "tick" => Ok(Self::op_tick(&tenant)),
+                    _ => unreachable!("op {op} is in OPS but not dispatched"),
+                }
+            }
+        }
+    }
+
+    fn op_declare(&self, tenant: &Tenant, request: &Value) -> Result<Value, WireError> {
+        let kind = str_field(request, "kind")?;
+        let name = str_field(request, "name")?;
+        let mut engine = lock_write(&tenant.engine);
+        let id = match kind {
+            "subject_role" => engine.declare_subject_role(name).map(u64::from),
+            "object_role" => engine.declare_object_role(name).map(u64::from),
+            "environment_role" => engine.declare_environment_role(name).map(u64::from),
+            "subject" => engine.declare_subject(name).map(u64::from),
+            "object" => engine.declare_object(name).map(u64::from),
+            "transaction" => engine.declare_transaction(name).map(u64::from),
+            other => {
+                return Err(bad_request(format!(
+                    "unknown declare kind `{other}` (subject_role, object_role, \
+                     environment_role, subject, object, transaction)"
+                )))
+            }
+        }
+        .map_err(policy_error)?;
+        drop(engine);
+        self.metrics.mutations_by_tenant.add(tenant.id, 1);
+        Ok(obj(vec![
+            ("kind", Value::Str(kind.to_owned())),
+            ("name", Value::Str(name.to_owned())),
+            ("id", Value::UInt(id)),
+        ]))
+    }
+
+    fn op_specialize(&self, tenant: &Tenant, request: &Value) -> Result<Value, WireError> {
+        let kind = role_kind(str_field(request, "kind")?)?;
+        let specific = str_field(request, "specific")?;
+        let general = str_field(request, "general")?;
+        let mut engine = lock_write(&tenant.engine);
+        let specific_id = find_role(&engine, kind, specific)?;
+        let general_id = find_role(&engine, kind, general)?;
+        engine
+            .specialize(specific_id, general_id)
+            .map_err(policy_error)?;
+        drop(engine);
+        self.metrics.mutations_by_tenant.add(tenant.id, 1);
+        Ok(obj(vec![("specialized", Value::Bool(true))]))
+    }
+
+    fn op_assignment(
+        &self,
+        tenant: &Tenant,
+        request: &Value,
+        assign: bool,
+    ) -> Result<Value, WireError> {
+        let kind = str_field(request, "kind")?;
+        let entity = str_field(request, "entity")?;
+        let role = str_field(request, "role")?;
+        let mut engine = lock_write(&tenant.engine);
+        match kind {
+            "subject_role" => {
+                let subject = engine
+                    .entities()
+                    .find_subject(entity)
+                    .map_err(|_| unknown_name("subject", entity))?;
+                let role = find_role(&engine, RoleKind::Subject, role)?;
+                if assign {
+                    engine.assign_subject_role(subject, role)
+                } else {
+                    engine.revoke_subject_role(subject, role)
+                }
+            }
+            "object_role" => {
+                let object = engine
+                    .entities()
+                    .find_object(entity)
+                    .map_err(|_| unknown_name("object", entity))?;
+                let role = find_role(&engine, RoleKind::Object, role)?;
+                if assign {
+                    engine.assign_object_role(object, role)
+                } else {
+                    engine.revoke_object_role(object, role)
+                }
+            }
+            other => {
+                return Err(bad_request(format!(
+                    "unknown assignment kind `{other}` (subject_role, object_role)"
+                )))
+            }
+        }
+        .map_err(policy_error)?;
+        drop(engine);
+        self.metrics.mutations_by_tenant.add(tenant.id, 1);
+        Ok(obj(vec![(
+            if assign { "assigned" } else { "revoked" },
+            Value::Bool(true),
+        )]))
+    }
+
+    fn op_add_rule(&self, tenant: &Tenant, request: &Value) -> Result<Value, WireError> {
+        let effect = match str_field(request, "effect")? {
+            "permit" => Effect::Permit,
+            "deny" => Effect::Deny,
+            other => {
+                return Err(bad_request(format!(
+                    "unknown effect `{other}` (permit, deny)"
+                )))
+            }
+        };
+        let mut engine = lock_write(&tenant.engine);
+        let mut def = RuleDef::new(effect);
+        if let Some(name) = crate::proto::opt_str_field(request, "name")? {
+            def = def.named(name);
+        }
+        if let Some(role) = crate::proto::opt_str_field(request, "subject_role")? {
+            def = def.subject_role(find_role(&engine, RoleKind::Subject, role)?);
+        }
+        if let Some(role) = crate::proto::opt_str_field(request, "object_role")? {
+            def = def.object_role(find_role(&engine, RoleKind::Object, role)?);
+        }
+        let transaction = str_field(request, "transaction")?;
+        def = def.transaction(
+            engine
+                .entities()
+                .find_transaction(transaction)
+                .map_err(|_| unknown_name("transaction", transaction))?,
+        );
+        for role in str_seq_field(request, "when")? {
+            def = def.when(find_role(&engine, RoleKind::Environment, role)?);
+        }
+        let rule = engine.add_rule(def).map_err(policy_error)?;
+        drop(engine);
+        self.metrics.mutations_by_tenant.add(tenant.id, 1);
+        Ok(obj(vec![("rule", Value::UInt(rule.into()))]))
+    }
+
+    fn op_remove_rule(&self, tenant: &Tenant, request: &Value) -> Result<Value, WireError> {
+        let rule = u64_field(request, "rule")?;
+        let removed =
+            lock_write(&tenant.engine).remove_rule(grbac_core::prelude::RuleId::from_raw(rule));
+        self.metrics.mutations_by_tenant.add(tenant.id, 1);
+        Ok(obj(vec![("removed", Value::Bool(removed))]))
+    }
+
+    fn op_decide(&self, tenant: &Tenant, request: &Value) -> Result<Value, WireError> {
+        let engine = lock_read(&tenant.engine);
+        let access = resolve_request(&engine, request)?;
+        let decision = engine.decide(&access).map_err(policy_error)?;
+        drop(engine);
+        self.metrics.decides_by_tenant.add(tenant.id, 1);
+        Ok(decision_value(&decision))
+    }
+
+    fn op_decide_batch(&self, tenant: &Tenant, request: &Value) -> Result<Value, WireError> {
+        let Some(Value::Seq(items)) = request.get("requests") else {
+            return Err(bad_request("field `requests` must be an array"));
+        };
+        let engine = lock_read(&tenant.engine);
+        // Resolve every item first; unresolvable items keep their slot
+        // and answer an inline error object.
+        let resolved: Vec<Result<AccessRequest, WireError>> = items
+            .iter()
+            .map(|item| resolve_request(&engine, item))
+            .collect();
+        let batch: Vec<AccessRequest> = resolved
+            .iter()
+            .filter_map(|r| r.as_ref().ok().cloned())
+            .collect();
+        let mut decisions = engine.decide_batch(&batch).into_iter();
+        drop(engine);
+        self.metrics
+            .decides_by_tenant
+            .add(tenant.id, batch.len() as u64);
+        let results: Vec<Value> = resolved
+            .into_iter()
+            .map(|item| match item {
+                Err(error) => obj(vec![(
+                    "error",
+                    obj(vec![
+                        ("code", Value::Str(error.code.as_str().to_owned())),
+                        ("message", Value::Str(error.message)),
+                    ]),
+                )]),
+                Ok(_) => match decisions.next().expect("one decision per resolved item") {
+                    Ok(decision) => decision_value(&decision),
+                    Err(err) => obj(vec![(
+                        "error",
+                        obj(vec![
+                            ("code", Value::Str(ErrorCode::Policy.as_str().to_owned())),
+                            ("message", Value::Str(err.to_string())),
+                        ]),
+                    )]),
+                },
+            })
+            .collect();
+        Ok(obj(vec![("results", Value::Seq(results))]))
+    }
+
+    fn op_explain(&self, tenant: &Tenant, request: &Value) -> Result<Value, WireError> {
+        let engine = lock_read(&tenant.engine);
+        let access = resolve_request(&engine, request)?;
+        let decision = engine.decide(&access).map_err(policy_error)?;
+        let matched: Vec<Value> = decision
+            .explanation()
+            .matched
+            .iter()
+            .map(|m| {
+                obj(vec![
+                    ("rule", Value::UInt(m.rule.into())),
+                    ("effect", Value::Str(effect_str(m.effect).to_owned())),
+                ])
+            })
+            .collect();
+        let rendered = engine.render_decision(&decision);
+        drop(engine);
+        self.metrics.decides_by_tenant.add(tenant.id, 1);
+        let mut fields = match decision_value(&decision) {
+            Value::Map(fields) => fields,
+            _ => unreachable!("decision_value returns an object"),
+        };
+        fields.push(("matched".to_owned(), Value::Seq(matched)));
+        fields.push(("rendered".to_owned(), Value::Str(rendered)));
+        Ok(Value::Map(fields))
+    }
+
+    fn op_status(name: &str, tenant: &Tenant) -> Value {
+        let engine = lock_read(&tenant.engine);
+        let watchdog_installed = tenant
+            .watchdog
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .is_some();
+        obj(vec![
+            ("tenant", Value::Str(name.to_owned())),
+            ("generation", Value::UInt(engine.policy_generation())),
+            ("rules", Value::UInt(engine.rules().len() as u64)),
+            ("roles", Value::UInt(engine.roles().len() as u64)),
+            (
+                "subjects",
+                Value::UInt(engine.entities().subject_count() as u64),
+            ),
+            (
+                "objects",
+                Value::UInt(engine.entities().object_count() as u64),
+            ),
+            (
+                "transactions",
+                Value::UInt(engine.entities().transaction_count() as u64),
+            ),
+            ("watchdog_installed", Value::Bool(watchdog_installed)),
+        ])
+    }
+
+    /// Ticks the tenant's watchdog against its engine registry,
+    /// installing a default-config watchdog on first use.
+    fn op_tick(tenant: &Tenant) -> Value {
+        let registry = Arc::clone(lock_read(&tenant.engine).metrics());
+        let mut slot = tenant
+            .watchdog
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let watchdog = slot.get_or_insert_with(|| DecisionWatchdog::new(WatchdogConfig::default()));
+        let raised = watchdog.tick(&registry);
+        obj(vec![
+            ("ticks", Value::UInt(watchdog.tick_count())),
+            ("alerts", Value::UInt(raised.len() as u64)),
+            ("alert_log", Value::UInt(watchdog.alerts().count() as u64)),
+        ])
+    }
+
+    fn op_metrics(&self, request: &Value) -> Result<Value, WireError> {
+        let only = crate::proto::opt_str_field(request, "tenant")?;
+        if let Some(name) = only {
+            if self.tenant(name).is_none() {
+                return Err(unknown_tenant(name));
+            }
+        }
+        Ok(obj(vec![
+            (
+                "content_type",
+                Value::Str("text/plain; version=0.0.4".to_owned()),
+            ),
+            ("exposition", Value::Str(self.prometheus_exposition(only))),
+        ]))
+    }
+
+    /// The merged Prometheus exposition: service-level series first
+    /// (requests, protocol errors, per-tenant decide/mutation counts),
+    /// then every tenant engine's registry rendered side by side with
+    /// a `tenant` label via
+    /// [`PrometheusExporter::export_grouped`]. Pass `Some(name)` to
+    /// restrict the engine section to one tenant.
+    #[must_use]
+    pub fn prometheus_exposition(&self, only: Option<&str>) -> String {
+        use std::fmt::Write as _;
+        let tenants: Vec<(String, Tenant)> = lock_read(&self.tenants)
+            .iter()
+            .filter(|(name, _)| only.is_none_or(|o| o == name.as_str()))
+            .map(|(name, tenant)| (name.clone(), tenant.clone()))
+            .collect();
+
+        let mut out = String::new();
+        for (name, help, counter) in [
+            (
+                "grbac_serve_connections_total",
+                "Connections accepted by the policy service.",
+                &self.metrics.connections_total,
+            ),
+            (
+                "grbac_serve_requests_total",
+                "Request lines handled by the policy service.",
+                &self.metrics.requests_total,
+            ),
+            (
+                "grbac_serve_protocol_errors_total",
+                "Requests answered with an error envelope.",
+                &self.metrics.protocol_errors_total,
+            ),
+        ] {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {}", counter.get());
+        }
+        let _ = writeln!(
+            out,
+            "# HELP grbac_serve_tenants Provisioned tenants.\n# TYPE grbac_serve_tenants gauge\ngrbac_serve_tenants {}",
+            lock_read(&self.tenants).len()
+        );
+
+        let _ = writeln!(
+            out,
+            "# HELP grbac_serve_requests_by_op_total Requests by operation.\n# TYPE grbac_serve_requests_by_op_total counter"
+        );
+        for (slot, value) in self.metrics.requests_by_op.snapshot() {
+            let op = OPS.get(slot as usize).copied().unwrap_or("other");
+            let _ = writeln!(
+                out,
+                "grbac_serve_requests_by_op_total{{op=\"{op}\"}} {value}"
+            );
+        }
+
+        // Tenant-keyed service series. Labels come from the live
+        // tenant map; slots whose tenant has been dropped (or that
+        // overflowed the cardinality cap) render as `other`.
+        let slot_names: BTreeMap<u64, &str> = tenants
+            .iter()
+            .map(|(name, tenant)| (tenant.id, name.as_str()))
+            .collect();
+        for (name, help, keyed) in [
+            (
+                "grbac_serve_decides_total",
+                "Mediation requests served, by tenant.",
+                &self.metrics.decides_by_tenant,
+            ),
+            (
+                "grbac_serve_mutations_total",
+                "Policy mutations applied, by tenant.",
+                &self.metrics.mutations_by_tenant,
+            ),
+        ] {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let mut other = keyed.overflow_total();
+            for (slot, value) in keyed.snapshot() {
+                match slot_names.get(&slot) {
+                    Some(label) => {
+                        let _ = writeln!(out, "{name}{{tenant=\"{}\"}} {value}", escape(label));
+                    }
+                    None => other += value,
+                }
+            }
+            if other > 0 {
+                let _ = writeln!(out, "{name}{{tenant=\"other\"}} {other}");
+            }
+        }
+        let dropped = self.metrics.decides_by_tenant.dropped_total()
+            + self.metrics.mutations_by_tenant.dropped_total();
+        let _ = writeln!(
+            out,
+            "# HELP grbac_serve_labels_dropped_total Tenant-keyed updates folded into `other` by the cardinality cap.\n# TYPE grbac_serve_labels_dropped_total counter\ngrbac_serve_labels_dropped_total {dropped}"
+        );
+
+        // Per-tenant engine registries, side by side.
+        let groups: Vec<(String, grbac_core::MetricsSnapshot)> = tenants
+            .iter()
+            .map(|(name, tenant)| (name.clone(), lock_read(&tenant.engine).metrics_snapshot()))
+            .collect();
+        out.push_str(&PrometheusExporter.export_grouped("tenant", &groups));
+        out
+    }
+}
+
+/// Renders a decision as its wire shape.
+fn decision_value(decision: &Decision) -> Value {
+    obj(vec![
+        (
+            "effect",
+            Value::Str(effect_str(decision.effect()).to_owned()),
+        ),
+        (
+            "decision_id",
+            Value::Str(decision.decision_id().to_string()),
+        ),
+        ("degraded", Value::Bool(decision.is_degraded())),
+        (
+            "winner",
+            decision
+                .winning_rule()
+                .map_or(Value::Null, |rule| Value::UInt(rule.into())),
+        ),
+    ])
+}
+
+fn effect_str(effect: Effect) -> &'static str {
+    match effect {
+        Effect::Permit => "permit",
+        Effect::Deny => "deny",
+    }
+}
+
+/// Resolves one decide/explain item (`subject`, `transaction`,
+/// `object`, optional `env` names) against the tenant's catalogs.
+fn resolve_request(engine: &Grbac, item: &Value) -> Result<AccessRequest, WireError> {
+    let subject_name = str_field(item, "subject")?;
+    let transaction_name = str_field(item, "transaction")?;
+    let object_name = str_field(item, "object")?;
+    let subject = engine
+        .entities()
+        .find_subject(subject_name)
+        .map_err(|_| unknown_name("subject", subject_name))?;
+    let transaction = engine
+        .entities()
+        .find_transaction(transaction_name)
+        .map_err(|_| unknown_name("transaction", transaction_name))?;
+    let object = engine
+        .entities()
+        .find_object(object_name)
+        .map_err(|_| unknown_name("object", object_name))?;
+    let mut active = Vec::new();
+    for role in str_seq_field(item, "env")? {
+        active.push(find_role(engine, RoleKind::Environment, role)?);
+    }
+    Ok(AccessRequest::by_subject(
+        subject,
+        transaction,
+        object,
+        EnvironmentSnapshot::from_active(active),
+    ))
+}
+
+fn find_role(
+    engine: &Grbac,
+    kind: RoleKind,
+    name: &str,
+) -> Result<grbac_core::prelude::RoleId, WireError> {
+    engine
+        .roles()
+        .find(kind, name)
+        .map_err(|_| unknown_name(&format!("{kind:?} role").to_lowercase(), name))
+}
+
+fn role_kind(kind: &str) -> Result<RoleKind, WireError> {
+    match kind {
+        "subject_role" => Ok(RoleKind::Subject),
+        "object_role" => Ok(RoleKind::Object),
+        "environment_role" => Ok(RoleKind::Environment),
+        other => Err(bad_request(format!(
+            "unknown role kind `{other}` (subject_role, object_role, environment_role)"
+        ))),
+    }
+}
+
+fn unknown_tenant(name: &str) -> WireError {
+    WireError::new(ErrorCode::UnknownTenant, format!("no tenant `{name}`"))
+}
+
+fn unknown_name(what: &str, name: &str) -> WireError {
+    WireError::new(ErrorCode::UnknownName, format!("unknown {what} `{name}`"))
+}
+
+fn policy_error(err: grbac_core::GrbacError) -> WireError {
+    WireError::new(ErrorCode::Policy, err.to_string())
+}
+
+/// Tenant names become metric label values and map keys; keep them to
+/// a conservative charset so no downstream surface needs escaping.
+fn validate_tenant_name(name: &str) -> Result<(), WireError> {
+    let ok = !name.is_empty()
+        && name.len() <= 64
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '-' | '.'));
+    if ok {
+        Ok(())
+    } else {
+        Err(bad_request("tenant names are 1-64 chars of [A-Za-z0-9_.-]"))
+    }
+}
+
+fn escape(raw: &str) -> String {
+    raw.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn lock_read<T>(lock: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
+    lock.read()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn lock_write<T>(lock: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
+    lock.write()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn provisioned() -> PolicyService {
+        let service = PolicyService::with_defaults();
+        service.create_tenant("home").unwrap();
+        for line in [
+            r#"{"op":"declare","tenant":"home","kind":"subject_role","name":"child"}"#,
+            r#"{"op":"declare","tenant":"home","kind":"object_role","name":"toys"}"#,
+            r#"{"op":"declare","tenant":"home","kind":"environment_role","name":"daytime"}"#,
+            r#"{"op":"declare","tenant":"home","kind":"transaction","name":"use"}"#,
+            r#"{"op":"declare","tenant":"home","kind":"subject","name":"bobby"}"#,
+            r#"{"op":"declare","tenant":"home","kind":"object","name":"tv"}"#,
+            r#"{"op":"assign","tenant":"home","kind":"subject_role","entity":"bobby","role":"child"}"#,
+            r#"{"op":"assign","tenant":"home","kind":"object_role","entity":"tv","role":"toys"}"#,
+            r#"{"op":"add_rule","tenant":"home","effect":"permit","name":"kids tv","subject_role":"child","object_role":"toys","transaction":"use","when":["daytime"]}"#,
+        ] {
+            let response = service.handle_line(line);
+            assert!(response.contains("\"ok\":true"), "{line} -> {response}");
+        }
+        service
+    }
+
+    #[test]
+    fn full_session_decides_and_explains() {
+        let service = provisioned();
+        let permit = service.handle_line(
+            r#"{"op":"decide","tenant":"home","subject":"bobby","transaction":"use","object":"tv","env":["daytime"]}"#,
+        );
+        assert!(permit.contains("\"effect\":\"permit\""), "{permit}");
+        assert!(permit.contains("\"winner\":0"), "{permit}");
+        let deny = service.handle_line(
+            r#"{"op":"decide","tenant":"home","subject":"bobby","transaction":"use","object":"tv"}"#,
+        );
+        assert!(deny.contains("\"effect\":\"deny\""), "{deny}");
+        let explain = service.handle_line(
+            r#"{"op":"explain","tenant":"home","subject":"bobby","transaction":"use","object":"tv","env":["daytime"]}"#,
+        );
+        assert!(
+            explain.contains("\"rendered\":\"decision: permit"),
+            "{explain}"
+        );
+        assert!(explain.contains("\"matched\":[{\"rule\":0,\"effect\":\"permit\"}]"));
+    }
+
+    #[test]
+    fn batch_mixes_decisions_and_inline_errors() {
+        let service = provisioned();
+        let response = service.handle_line(
+            r#"{"op":"decide_batch","tenant":"home","requests":[
+                {"subject":"bobby","transaction":"use","object":"tv","env":["daytime"]},
+                {"subject":"nobody","transaction":"use","object":"tv"},
+                {"subject":"bobby","transaction":"use","object":"tv"}
+            ]}"#,
+        );
+        let parsed: Value = serde_json::from_str(&response).unwrap();
+        let results = parsed
+            .get("result")
+            .and_then(|r| r.get("results"))
+            .and_then(Value::as_seq)
+            .expect("results array");
+        assert_eq!(results.len(), 3);
+        assert_eq!(
+            results[0].get("effect").and_then(Value::as_str),
+            Some("permit")
+        );
+        assert!(results[1].get("error").is_some(), "{response}");
+        assert_eq!(
+            results[2].get("effect").and_then(Value::as_str),
+            Some("deny")
+        );
+    }
+
+    #[test]
+    fn error_codes_cover_the_documented_classes() {
+        let service = provisioned();
+        for (line, code) in [
+            ("not json", "malformed_request"),
+            ("[1,2]", "malformed_request"),
+            (r#"{"op":"warp"}"#, "unknown_op"),
+            (
+                r#"{"op":"decide","tenant":"nope","subject":"a","transaction":"b","object":"c"}"#,
+                "unknown_tenant",
+            ),
+            (r#"{"op":"create_tenant","tenant":"home"}"#, "tenant_exists"),
+            (
+                r#"{"op":"create_tenant","tenant":"bad name!"}"#,
+                "bad_request",
+            ),
+            (
+                r#"{"op":"decide","tenant":"home","subject":"ghost","transaction":"use","object":"tv"}"#,
+                "unknown_name",
+            ),
+            (
+                r#"{"op":"declare","tenant":"home","kind":"subject_role","name":"child"}"#,
+                "policy",
+            ),
+            (r#"{"op":"decide","tenant":"home"}"#, "bad_request"),
+        ] {
+            let response = service.handle_line(line);
+            assert!(
+                response.contains(&format!("\"code\":\"{code}\"")),
+                "{line} -> {response}"
+            );
+        }
+    }
+
+    #[test]
+    fn seq_is_echoed_verbatim() {
+        let service = PolicyService::with_defaults();
+        let response = service.handle_line(r#"{"op":"ping","seq":41}"#);
+        assert!(response.contains("\"seq\":41"), "{response}");
+        let response = service.handle_line(r#"{"op":"nope","seq":"tag-9"}"#);
+        assert!(response.contains("\"seq\":\"tag-9\""), "{response}");
+    }
+
+    #[test]
+    fn tenant_cap_and_lifecycle() {
+        let service = PolicyService::new(ServiceConfig {
+            max_tenants: 2,
+            ..ServiceConfig::default()
+        });
+        service.create_tenant("a").unwrap();
+        service.create_tenant("b").unwrap();
+        assert_eq!(
+            service.create_tenant("c").unwrap_err().code,
+            ErrorCode::TenantCap
+        );
+        service.drop_tenant("a").unwrap();
+        service.create_tenant("c").unwrap();
+        assert_eq!(service.tenant_names(), vec!["b", "c"]);
+        assert_eq!(
+            service.drop_tenant("a").unwrap_err().code,
+            ErrorCode::UnknownTenant
+        );
+    }
+
+    #[test]
+    fn metrics_exposition_is_tenant_labelled() {
+        let service = provisioned();
+        service.create_tenant("beta").unwrap();
+        let _ = service.handle_line(
+            r#"{"op":"decide","tenant":"home","subject":"bobby","transaction":"use","object":"tv","env":["daytime"]}"#,
+        );
+        let response = service.handle_line(r#"{"op":"metrics"}"#);
+        let parsed: Value = serde_json::from_str(&response).unwrap();
+        let text = parsed
+            .get("result")
+            .and_then(|r| r.get("exposition"))
+            .and_then(Value::as_str)
+            .expect("exposition string");
+        assert!(text.contains("grbac_serve_requests_total"));
+        assert!(text.contains("grbac_serve_tenants 2"));
+        if grbac_core::telemetry::ENABLED {
+            assert!(
+                text.contains("grbac_serve_decides_total{tenant=\"home\"} 1"),
+                "{text}"
+            );
+            assert!(text.contains("grbac_decisions_permit_total{tenant=\"home\"} 1"));
+            assert!(text.contains("grbac_decisions_permit_total{tenant=\"beta\"} 0"));
+        }
+        // Restricting to one tenant drops the other's engine series.
+        let response = service.handle_line(r#"{"op":"metrics","tenant":"beta"}"#);
+        let parsed: Value = serde_json::from_str(&response).unwrap();
+        let text = parsed
+            .get("result")
+            .and_then(|r| r.get("exposition"))
+            .and_then(Value::as_str)
+            .unwrap();
+        assert!(!text.contains("{tenant=\"home\"} "), "{text}");
+    }
+
+    #[test]
+    fn tick_installs_and_advances_a_watchdog() {
+        let service = provisioned();
+        let first = service.handle_line(r#"{"op":"tick","tenant":"home"}"#);
+        assert!(first.contains("\"ticks\":1"), "{first}");
+        let second = service.handle_line(r#"{"op":"tick","tenant":"home"}"#);
+        assert!(second.contains("\"ticks\":2"), "{second}");
+        let status = service.handle_line(r#"{"op":"status","tenant":"home"}"#);
+        assert!(status.contains("\"watchdog_installed\":true"), "{status}");
+    }
+}

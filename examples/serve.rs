@@ -1,0 +1,144 @@
+//! The multi-tenant policy service, end to end: start a server on a
+//! loopback port, provision two tenants over the wire, build a small
+//! household policy in one and a workplace policy in the other,
+//! mediate requests against both, explain a decision, and scrape the
+//! tenant-labelled metrics — all through the NDJSON protocol a
+//! non-Rust client would speak.
+//!
+//! Also used as the CI service smoke: every assertion here must hold
+//! on a clean build, so `cargo run --release --example serve` failing
+//! means the wire protocol regressed. The request/response shapes are
+//! documented in `docs/service.md`, whose examples are executed
+//! verbatim by `tests/service_conformance.rs`.
+//!
+//! Run with: `cargo run --example serve`
+//!
+//! Pass `--listen` to keep the provisioned server running on
+//! `127.0.0.1:7471` after the walkthrough, so you can speak the
+//! protocol to it by hand (see the quickstart in `docs/service.md`):
+//!
+//! ```text
+//! cargo run --example serve -- --listen
+//! printf '%s\n' '{"op":"ping"}' | nc 127.0.0.1 7471
+//! ```
+
+use std::sync::Arc;
+
+use grbac::serve::{Client, PolicyService, ServeServer};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let listen = std::env::args().any(|a| a == "--listen");
+    let service = Arc::new(PolicyService::with_defaults());
+    let bind = if listen {
+        "127.0.0.1:7471"
+    } else {
+        "127.0.0.1:0"
+    };
+    let server = ServeServer::serve(Arc::clone(&service), bind)?;
+    let addr = server.local_addr();
+    println!("policy service listening on {addr}");
+
+    let mut client = Client::connect(addr)?;
+
+    // Liveness and protocol version.
+    let pong = client.request_line(r#"{"op":"ping"}"#)?;
+    println!("ping -> {pong}");
+    assert!(pong.contains("\"protocol\":1"));
+
+    // Two tenants: the §5 household and an office, fully isolated.
+    for line in [
+        r#"{"op":"create_tenant","tenant":"home"}"#,
+        r#"{"op":"create_tenant","tenant":"office"}"#,
+        // The household: children may use entertainment devices, but
+        // only during the day.
+        r#"{"op":"declare","tenant":"home","kind":"subject_role","name":"child"}"#,
+        r#"{"op":"declare","tenant":"home","kind":"object_role","name":"entertainment"}"#,
+        r#"{"op":"declare","tenant":"home","kind":"environment_role","name":"daytime"}"#,
+        r#"{"op":"declare","tenant":"home","kind":"transaction","name":"use"}"#,
+        r#"{"op":"declare","tenant":"home","kind":"subject","name":"bobby"}"#,
+        r#"{"op":"declare","tenant":"home","kind":"object","name":"tv"}"#,
+        r#"{"op":"assign","tenant":"home","kind":"subject_role","entity":"bobby","role":"child"}"#,
+        r#"{"op":"assign","tenant":"home","kind":"object_role","entity":"tv","role":"entertainment"}"#,
+        r#"{"op":"add_rule","tenant":"home","effect":"permit","name":"kids daytime tv","subject_role":"child","object_role":"entertainment","transaction":"use","when":["daytime"]}"#,
+        // The office: clerks may read records.
+        r#"{"op":"declare","tenant":"office","kind":"subject_role","name":"clerk"}"#,
+        r#"{"op":"declare","tenant":"office","kind":"transaction","name":"read"}"#,
+        r#"{"op":"declare","tenant":"office","kind":"subject","name":"dana"}"#,
+        r#"{"op":"declare","tenant":"office","kind":"object","name":"ledger"}"#,
+        r#"{"op":"assign","tenant":"office","kind":"subject_role","entity":"dana","role":"clerk"}"#,
+        r#"{"op":"add_rule","tenant":"office","effect":"permit","subject_role":"clerk","transaction":"read"}"#,
+    ] {
+        let response = client.request_line(line)?;
+        assert!(response.contains("\"ok\":true"), "{line} -> {response}");
+    }
+
+    // Mediation: daytime permits, night denies (environment roles are
+    // per-request snapshots, exactly as in the paper's model).
+    let day = client.request_line(
+        r#"{"op":"decide","tenant":"home","subject":"bobby","transaction":"use","object":"tv","env":["daytime"]}"#,
+    )?;
+    println!("home daytime -> {day}");
+    assert!(day.contains("\"effect\":\"permit\""));
+
+    let night = client.request_line(
+        r#"{"op":"decide","tenant":"home","subject":"bobby","transaction":"use","object":"tv"}"#,
+    )?;
+    println!("home night   -> {night}");
+    assert!(night.contains("\"effect\":\"deny\""));
+
+    // Tenant isolation: the office has never heard of bobby.
+    let cross = client.request_line(
+        r#"{"op":"decide","tenant":"office","subject":"bobby","transaction":"read","object":"ledger"}"#,
+    )?;
+    assert!(cross.contains("\"unknown_name\""), "{cross}");
+
+    // Batched mediation keeps one engine pass and one response line.
+    let batch = client.request_line(
+        r#"{"op":"decide_batch","tenant":"office","requests":[{"subject":"dana","transaction":"read","object":"ledger"},{"subject":"dana","transaction":"read","object":"ledger"}]}"#,
+    )?;
+    assert_eq!(batch.matches("\"effect\":\"permit\"").count(), 2, "{batch}");
+
+    // Explanation carries the matched rules and the rendered story.
+    let why = client.request_line(
+        r#"{"op":"explain","tenant":"home","subject":"bobby","transaction":"use","object":"tv","env":["daytime"]}"#,
+    )?;
+    println!("explain      -> {why}");
+    assert!(why.contains("\"matched\""));
+    assert!(why.contains("kids daytime tv"));
+
+    // Policy churn on one tenant bumps only that tenant's generation.
+    let office_before = client.request_line(r#"{"op":"status","tenant":"office"}"#)?;
+    let edit = client
+        .request_line(r#"{"op":"add_rule","tenant":"home","effect":"deny","transaction":"use"}"#)?;
+    assert!(edit.contains("\"ok\":true"), "{edit}");
+    let office_after = client.request_line(r#"{"op":"status","tenant":"office"}"#)?;
+    assert_eq!(office_before, office_after);
+
+    // The merged exposition labels every engine series by tenant.
+    let metrics = client.request_line(r#"{"op":"metrics"}"#)?;
+    assert!(
+        metrics.contains("grbac_serve_tenants 2"),
+        "metrics exposition lost a tenant"
+    );
+    if grbac::core::telemetry::ENABLED {
+        assert!(
+            metrics.contains("tenant=\\\"home\\\""),
+            "missing home tenant label"
+        );
+        assert!(
+            metrics.contains("tenant=\\\"office\\\""),
+            "missing office tenant label"
+        );
+    }
+    println!("metrics exposition covers both tenants");
+
+    println!("serve example: all assertions passed");
+    if listen {
+        println!("serving on {addr} until interrupted (tenants: home, office)");
+        loop {
+            std::thread::sleep(std::time::Duration::from_secs(60));
+        }
+    }
+    server.shutdown();
+    Ok(())
+}

@@ -11,6 +11,9 @@
 //! * [`home`] — the Aware Home simulation and motivating applications,
 //! * [`obs`] — the live HTTP observability plane (metrics, health,
 //!   heat, alerts, per-decision correlation lookup),
+//! * [`serve`] — the multi-tenant NDJSON policy service (decide,
+//!   explain, and policy mutation over TCP with per-tenant isolated
+//!   engines),
 //! * [`policy`] — the human-readable policy language,
 //! * [`mls`] — Bell–LaPadula multilevel security expressed in GRBAC.
 //!
@@ -26,6 +29,7 @@ pub use grbac_mls as mls;
 pub use grbac_obs as obs;
 pub use grbac_policy as policy;
 pub use grbac_sense as sense;
+pub use grbac_serve as serve;
 pub use rbac;
 
 /// The most commonly needed items from every crate in the suite.

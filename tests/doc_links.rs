@@ -1,0 +1,119 @@
+//! Reference integrity for the prose documentation: every relative
+//! markdown link in `docs/*.md`, `README.md`, and the top-level
+//! reference files must resolve to a real file, and every backticked
+//! `crates/…` path citation must point at something that exists.
+//! Docs that name dead files are worse than no docs — this gate makes
+//! renames and deletions fail loudly instead of silently rotting the
+//! handbook.
+
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+fn doc_files() -> Vec<PathBuf> {
+    let root = repo_root();
+    let mut files: Vec<PathBuf> = std::fs::read_dir(root.join("docs"))
+        .expect("docs/ directory present")
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "md"))
+        .collect();
+    for name in ["README.md", "EXPERIMENTS.md", "ROADMAP.md", "PAPER.md"] {
+        let path = root.join(name);
+        if path.exists() {
+            files.push(path);
+        }
+    }
+    files.sort();
+    files
+}
+
+/// `[label](target)` targets, with surrounding context stripped.
+fn markdown_links(text: &str) -> Vec<String> {
+    let mut links = Vec::new();
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    while let Some(open) = text[i..].find("](") {
+        let start = i + open + 2;
+        let Some(close) = text[start..].find(')') else {
+            break;
+        };
+        links.push(text[start..start + close].to_owned());
+        i = start + close + 1;
+        if i >= bytes.len() {
+            break;
+        }
+    }
+    links
+}
+
+/// Backticked `crates/...` path citations (restricted to that prefix
+/// so ordinary inline code is not misread as a path claim).
+fn crate_path_citations(text: &str) -> Vec<String> {
+    let mut cites = Vec::new();
+    for piece in text.split('`').skip(1).step_by(2) {
+        if piece.starts_with("crates/") && !piece.contains(char::is_whitespace) {
+            cites.push(piece.to_owned());
+        }
+    }
+    cites
+}
+
+#[test]
+fn relative_links_in_docs_resolve() {
+    let mut broken = Vec::new();
+    let mut checked = 0usize;
+    for file in doc_files() {
+        let text = std::fs::read_to_string(&file).expect("doc readable");
+        let dir = file.parent().expect("doc has a parent");
+        for target in markdown_links(&text) {
+            if target.starts_with("http://")
+                || target.starts_with("https://")
+                || target.starts_with("mailto:")
+                || target.starts_with('#')
+            {
+                continue;
+            }
+            let path = target.split('#').next().unwrap_or(&target);
+            if path.is_empty() {
+                continue;
+            }
+            checked += 1;
+            if !dir.join(path).exists() {
+                broken.push(format!("{}: {target}", file.display()));
+            }
+        }
+    }
+    assert!(checked > 10, "the link checker should find links to check");
+    assert!(
+        broken.is_empty(),
+        "broken relative links:\n{}",
+        broken.join("\n")
+    );
+}
+
+#[test]
+fn cited_crate_paths_exist() {
+    let root = repo_root();
+    let mut broken = Vec::new();
+    let mut checked = 0usize;
+    for file in doc_files() {
+        let text = std::fs::read_to_string(&file).expect("doc readable");
+        for cite in crate_path_citations(&text) {
+            checked += 1;
+            // A citation may name a file, a directory, or a module
+            // path rendered without extension.
+            let cited = root.join(&cite);
+            if !cited.exists() && !Path::new(&format!("{}.rs", cited.display())).exists() {
+                broken.push(format!("{}: {cite}", file.display()));
+            }
+        }
+    }
+    assert!(checked > 0, "the citation checker should find citations");
+    assert!(
+        broken.is_empty(),
+        "dead crate-path citations:\n{}",
+        broken.join("\n")
+    );
+}

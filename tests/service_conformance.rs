@@ -1,0 +1,142 @@
+//! Executes every `jsonl` example in `docs/service.md` verbatim
+//! against a live policy server, in document order, over a real TCP
+//! connection. `C:` lines are sent as-is; `S:` lines are matched
+//! structurally against the actual response, with the documented
+//! `"<...>"` placeholder matching any value. The protocol reference
+//! cannot drift from the implementation without failing this test.
+
+use std::sync::Arc;
+
+use grbac::serve::{Client, PolicyService, ServeServer};
+use serde_json::Value;
+
+/// One C/S exchange, with the doc line number of the `C:` line for
+/// failure messages.
+struct Exchange {
+    line_no: usize,
+    request: String,
+    expected: String,
+}
+
+fn doc_exchanges() -> Vec<Exchange> {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/docs/service.md");
+    let doc = std::fs::read_to_string(path).expect("docs/service.md readable");
+    let mut exchanges = Vec::new();
+    let mut in_block = false;
+    let mut pending: Option<(usize, String)> = None;
+    for (i, raw) in doc.lines().enumerate() {
+        let line = raw.trim();
+        if line.starts_with("```") {
+            assert!(
+                pending.is_none(),
+                "docs/service.md line {}: C: line without a following S: line",
+                i + 1
+            );
+            in_block = !in_block && line.trim_start_matches('`').trim() == "jsonl";
+            continue;
+        }
+        if !in_block {
+            continue;
+        }
+        if let Some(request) = line.strip_prefix("C: ") {
+            assert!(
+                pending.is_none(),
+                "docs/service.md line {}: two C: lines in a row",
+                i + 1
+            );
+            pending = Some((i + 1, request.to_owned()));
+        } else if let Some(expected) = line.strip_prefix("S: ") {
+            let (line_no, request) = pending.take().unwrap_or_else(|| {
+                panic!("docs/service.md line {}: S: line without a C: line", i + 1)
+            });
+            exchanges.push(Exchange {
+                line_no,
+                request,
+                expected: expected.to_owned(),
+            });
+        } else if !line.is_empty() {
+            panic!(
+                "docs/service.md line {}: jsonl blocks may only hold C:/S: lines, got {line}",
+                i + 1
+            );
+        }
+    }
+    exchanges
+}
+
+/// Structural match: `"<...>"` in the expectation matches any actual
+/// value; objects compare by exact key set (order-insensitive);
+/// arrays element-wise.
+fn matches(expected: &Value, actual: &Value) -> bool {
+    match (expected, actual) {
+        (Value::Str(s), _) if s == "<...>" => true,
+        (Value::Map(e), Value::Map(a)) => {
+            e.len() == a.len()
+                && e.iter()
+                    .all(|(key, ev)| actual.get(key).is_some_and(|av| matches(ev, av)))
+                && a.iter().all(|(key, _)| expected.get(key).is_some())
+        }
+        (Value::Seq(e), Value::Seq(a)) => {
+            e.len() == a.len() && e.iter().zip(a).all(|(ev, av)| matches(ev, av))
+        }
+        _ => expected == actual,
+    }
+}
+
+#[test]
+fn every_documented_exchange_round_trips_against_a_live_server() {
+    let exchanges = doc_exchanges();
+    assert!(
+        exchanges.len() >= 30,
+        "docs/service.md should document substantially more of the protocol \
+         ({} exchanges found)",
+        exchanges.len()
+    );
+
+    let service = Arc::new(PolicyService::with_defaults());
+    let server = ServeServer::serve(service, "127.0.0.1:0").expect("ephemeral bind");
+    let mut client = Client::connect(server.local_addr()).expect("client connects");
+
+    for exchange in &exchanges {
+        let response = client
+            .request_line(&exchange.request)
+            .unwrap_or_else(|err| {
+                panic!(
+                    "docs/service.md line {}: transport error for {}: {err}",
+                    exchange.line_no, exchange.request
+                )
+            });
+        let expected: Value = serde_json::from_str(&exchange.expected).unwrap_or_else(|_| {
+            panic!(
+                "docs/service.md line {}: S: line is not valid JSON: {}",
+                exchange.line_no, exchange.expected
+            )
+        });
+        let actual: Value = serde_json::from_str(&response).unwrap_or_else(|_| {
+            panic!(
+                "docs/service.md line {}: server response is not valid JSON: {response}",
+                exchange.line_no
+            )
+        });
+        assert!(
+            matches(&expected, &actual),
+            "docs/service.md line {} drifted from the implementation.\n\
+             request:  {}\nexpected: {}\nactual:   {response}",
+            exchange.line_no,
+            exchange.request,
+            exchange.expected
+        );
+    }
+    server.shutdown();
+}
+
+#[test]
+fn placeholder_matching_is_structural_and_order_insensitive() {
+    let expected: Value = serde_json::from_str(r#"{"a":1,"b":"<...>","c":[{"d":true}]}"#).unwrap();
+    let actual: Value =
+        serde_json::from_str(r#"{"c":[{"d":true}],"b":{"any":"thing"},"a":1}"#).unwrap();
+    assert!(matches(&expected, &actual));
+    // Extra or missing keys are drift, not a pass.
+    let narrower: Value = serde_json::from_str(r#"{"a":1}"#).unwrap();
+    assert!(!matches(&narrower, &actual));
+}
