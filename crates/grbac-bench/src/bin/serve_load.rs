@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! serve_load [--addr HOST:PORT] [--tenants N] [--conns N]
-//!            [--requests N] [--rules N] [--churn]
+//!            [--requests N] [--rules N] [--churn] [--trace]
 //! ```
 //!
 //! Without `--addr` the harness self-hosts: it builds `--tenants`
@@ -19,6 +19,12 @@
 //! `add_rule`/`remove_rule` pairs for the duration, exercising the
 //! isolation claim E16 quantifies. Output is one row per tenant:
 //! decides, throughput, p50/p99.
+//!
+//! `--trace` attaches a sampled `trace` propagation context to every
+//! request and — when self-hosting — reports a per-stage breakdown
+//! (queue wait, tenant-map lock, engine lock, engine call) from the
+//! server's span store after the drive, showing where wire latency
+//! actually went.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -49,9 +55,12 @@ fn main() {
     let rules: usize =
         flag_value(&args, "--rules").map_or(1_024, |v| v.parse().expect("--rules N"));
     let churn = args.iter().any(|a| a == "--churn");
+    let trace = args.iter().any(|a| a == "--trace");
     let external = flag_value(&args, "--addr");
 
-    // Self-host unless an external server was named.
+    // Self-host unless an external server was named. The service
+    // handle is kept so `--trace` can read the span store afterwards.
+    let mut self_service: Option<Arc<PolicyService>> = None;
     let hosted = external.is_none().then(|| {
         let service = Arc::new(PolicyService::new(ServiceConfig {
             workers: (tenants * conns + 2).max(4),
@@ -70,6 +79,7 @@ fn main() {
                 .create_tenant_with_engine(&format!("t{t}"), system.engine)
                 .expect("tenant provisioned");
         }
+        self_service = Some(Arc::clone(&service));
         ServeServer::serve(service, "127.0.0.1:0").expect("ephemeral bind")
     });
     let addr = hosted.as_ref().map_or_else(
@@ -137,7 +147,11 @@ fn main() {
                     active_env: 3,
                     seed: (t * 97 + c) as u64,
                 };
-                let lines = load.decide_lines(requests);
+                let lines = if trace {
+                    load.traced_decide_lines(requests, 1)
+                } else {
+                    load.decide_lines(requests)
+                };
                 let mut client = Client::connect(&addr).expect("driver connect");
                 for line in &lines {
                     let sent = Instant::now();
@@ -178,6 +192,53 @@ fn main() {
             "churn edits applied on t0: {}",
             edits.load(std::sync::atomic::Ordering::Relaxed)
         );
+    }
+    // With `--trace` against a self-hosted server, report where the
+    // wire time went: every stage child recorded in the span store,
+    // charged against the server spans' total.
+    if trace {
+        if let Some(service) = &self_service {
+            let spans = service.span_store().snapshot();
+            let server_total: u64 = spans
+                .iter()
+                .filter(|span| span.kind == grbac_core::telemetry::SpanKind::Server)
+                .map(grbac_core::telemetry::Span::duration_ns)
+                .sum();
+            let mut stages: Vec<(String, (usize, u64))> = Vec::new();
+            for span in &spans {
+                if span.kind == grbac_core::telemetry::SpanKind::Server {
+                    continue;
+                }
+                match stages.iter_mut().find(|(name, _)| *name == span.name) {
+                    Some((_, (count, total))) => {
+                        *count += 1;
+                        *total += span.duration_ns();
+                    }
+                    None => stages.push((span.name.clone(), (1, span.duration_ns()))),
+                }
+            }
+            let mut breakdown = Table::new(
+                "serve_load --trace: per-stage breakdown (retained spans)",
+                &["stage", "spans", "mean_us", "share_pct"],
+            );
+            for (name, (count, total)) in &stages {
+                breakdown.row(&[
+                    name.clone(),
+                    count.to_string(),
+                    format!("{:.1}", *total as f64 / *count as f64 / 1_000.0),
+                    format!("{:.1}", 100.0 * *total as f64 / server_total.max(1) as f64),
+                ]);
+            }
+            println!("{}", breakdown.render());
+            println!(
+                "spans recorded: {} (retained {}, dropped {})",
+                service.span_store().total_recorded(),
+                service.span_store().len(),
+                service.span_store().dropped(),
+            );
+        } else {
+            eprintln!("--trace breakdown needs the self-hosted span store (no --addr)");
+        }
     }
     if let Some(server) = hosted {
         server.shutdown();

@@ -61,6 +61,41 @@ impl WireLoad {
             .collect()
     }
 
+    /// Like [`Self::decide_lines`] but one line in `every` carries a
+    /// sampled `trace` propagation context (`trace_id-span_id-01`)
+    /// with a deterministic per-line trace id. `every = 1` traces
+    /// every request (the harshest posture, `serve_load --trace`);
+    /// `every = 8` mirrors the span store's default self-sampling
+    /// rate (the posture E17 asserts on).
+    #[must_use]
+    pub fn traced_decide_lines(&self, n: usize, every: usize) -> Vec<String> {
+        let every = every.max(1);
+        self.decide_lines(n)
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut line)| {
+                if i % every != 0 {
+                    return line;
+                }
+                // Distinct non-zero ids per line; the exact values are
+                // irrelevant, only that they parse and never collide
+                // with another driver's stream (the seed is mixed in).
+                let hi = (self.seed ^ 0xe17_0000)
+                    .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                    .wrapping_add(i as u64)
+                    | 1;
+                let lo = (i as u64).wrapping_mul(0xbf58_476d_1ce4_e5b9) | 1;
+                let span = (hi.rotate_left(17) ^ lo) | 1;
+                let closing = line.pop();
+                debug_assert_eq!(closing, Some('}'));
+                line.push_str(&format!(
+                    r#","trace":"{hi:016x}{lo:016x}-{span:016x}-01"}}"#
+                ));
+                line
+            })
+            .collect()
+    }
+
     /// An `add_rule` churn line (cycles through the tenant's subject
     /// roles and transactions). Pair with [`remove_rule_line`] on the
     /// id parsed from the response to keep the policy size bounded.

@@ -121,7 +121,8 @@ pub use role::RoleKind;
 pub use rule::{Effect, Rule, RuleDef};
 pub use telemetry::{
     AlertKind, AlertRecord, DecisionTrace, DecisionWatchdog, Exporter, JsonExporter,
-    MetricsRegistry, MetricsSnapshot, PrometheusExporter, RuleHeatSnapshot, WatchdogConfig,
+    MetricsRegistry, MetricsSnapshot, PrometheusExporter, RuleHeatSnapshot, Span, SpanId, SpanKind,
+    SpanStatus, SpanStore, SpanTree, TraceContext, TraceId, WatchdogConfig,
 };
 
 /// The most commonly needed items, importable with one `use`.

@@ -16,6 +16,15 @@
 //!   evaluation → rule candidate merge → precedence resolution) with
 //!   per-stage timings and item counts, produced by
 //!   [`Grbac::decide_traced`](crate::engine::Grbac::decide_traced).
+//! * [`Span`] / [`SpanStore`] / [`TraceContext`] — wire-propagated
+//!   request tracing: `traceparent`-style context parsed from (and
+//!   echoed onto) the serve protocol, spans covering queue wait, lock
+//!   acquisition and the engine call, collected in a sharded
+//!   drop-oldest ring with counted evictions and a runtime sampling
+//!   rate. Engine-call spans are stamped with the decision's
+//!   [`DecisionId`](crate::id::DecisionId), joining traces to the
+//!   flight-recorder/audit/exemplar evidence. Deliberately *not*
+//!   compiled out by `telemetry-off` (propagation is a wire contract).
 //! * [`QuantileSketch`] — a fixed-memory HDR-style streaming sketch
 //!   giving p50/p95/p99 for end-to-end decide latency and for each of
 //!   the five mediation stages, fed continuously by the sampled path
@@ -48,6 +57,7 @@ mod health;
 mod heat;
 mod metrics;
 mod sketch;
+mod span;
 mod trace;
 
 pub use crate::delta::DeltaKind;
@@ -59,6 +69,10 @@ pub use metrics::{
     MetricsSnapshot, QuantileSnapshot, SummaryFamily,
 };
 pub use sketch::{Exemplar, QuantileSketch, SketchSnapshot};
+pub use span::{
+    assemble_trace, monotonic_nanos, otlp_value, unix_nanos_at, Span, SpanId, SpanKind, SpanStatus,
+    SpanStore, SpanTree, TraceContext, TraceId,
+};
 pub use trace::{DecisionTrace, Stage, StageRecord};
 
 pub(crate) use trace::{NoTrace, TraceCollector, TraceSink};

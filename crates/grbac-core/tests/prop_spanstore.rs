@@ -1,0 +1,190 @@
+//! Span-store property suite (mirror of the flight recorder's
+//! `prop_recorder`): under concurrent writers the sharded ring must
+//! account for every span (retained + dropped = recorded), retain no
+//! more than its capacity, hold no torn spans, keep per-writer
+//! sequence numbers strictly monotone, and count evictions exactly.
+
+use std::collections::BTreeMap;
+use std::sync::Barrier;
+
+use grbac_core::telemetry::{Span, SpanKind, SpanStore, TraceId};
+use proptest::prelude::*;
+
+/// Each writer `t` records spans whose every field encodes `(t, i)`;
+/// a torn span shows up as fields that disagree about who wrote it.
+fn span_for(t: usize, i: usize) -> Span {
+    let trace = TraceId::from_parts(0xace0_0000 + t as u64, 0xbeef);
+    let mut span = Span::start(trace, None, SpanKind::Internal, format!("w{t}-{i}"));
+    span.tenant = Some(format!("tenant{t}"));
+    span.op = Some(format!("op{i}"));
+    span.finish();
+    span
+}
+
+/// Parses the `(t, i)` identity back out of a span's name.
+fn identity(span: &Span) -> (usize, usize) {
+    let (t, i) = span
+        .name
+        .strip_prefix('w')
+        .and_then(|rest| rest.split_once('-'))
+        .expect("span name is w<t>-<i>");
+    (t.parse().expect("t"), i.parse().expect("i"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Race `threads` writers, each recording `per_writer` spans, at
+    /// one shared store. Afterwards every span is accounted for,
+    /// retention stays within capacity, the eviction counter matches
+    /// the overwritten count exactly, no span is torn, and per-writer
+    /// sequence numbers climb strictly.
+    fn concurrent_writers_never_tear_the_store(
+        capacity_pow in 3u32..8,
+        threads in 2usize..5,
+        per_writer in 1usize..48,
+    ) {
+        let capacity = 1usize << capacity_pow;
+        let store = SpanStore::with_capacity(capacity);
+        let barrier = Barrier::new(threads);
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let store = &store;
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    barrier.wait();
+                    for i in 0..per_writer {
+                        store.record(span_for(t, i)).expect("enabled store records");
+                    }
+                });
+            }
+        });
+
+        let total = (threads * per_writer) as u64;
+        prop_assert_eq!(store.total_recorded(), total);
+
+        // Exact accounting: every span ever recorded is either still
+        // retained or counted as dropped — the eviction counter cannot
+        // over- or under-report.
+        prop_assert_eq!(store.len() as u64 + store.dropped(), total);
+        prop_assert!(store.len() <= store.capacity(),
+            "len {} exceeds capacity {}", store.len(), store.capacity());
+
+        let spans = store.snapshot();
+        prop_assert_eq!(spans.len(), store.len());
+
+        // No tears: every retained span's fields agree on one (t, i).
+        for span in &spans {
+            let (t, i) = identity(span);
+            prop_assert!(t < threads && i < per_writer);
+            prop_assert_eq!(span.trace_id, TraceId::from_parts(0xace0_0000 + t as u64, 0xbeef));
+            prop_assert_eq!(span.tenant.clone(), Some(format!("tenant{t}")));
+            prop_assert_eq!(span.op.clone(), Some(format!("op{i}")));
+            prop_assert!(span.end_ns >= span.start_ns);
+        }
+
+        // Claim tickets are unique (the snapshot is seq-sorted).
+        for pair in spans.windows(2) {
+            prop_assert!(pair[0].seq < pair[1].seq);
+        }
+
+        // Per-writer monotonicity, twice over: the store-assigned
+        // writer_seq and the writer's own payload counter `i` both
+        // climb strictly within the retained window.
+        let mut last_by_writer: BTreeMap<u32, (u64, usize)> = BTreeMap::new();
+        for span in &spans {
+            let (_, i) = identity(span);
+            if let Some(&(previous_seq, previous_i)) = last_by_writer.get(&span.writer) {
+                prop_assert!(
+                    span.writer_seq > previous_seq,
+                    "writer {} writer_seq went {} -> {}",
+                    span.writer, previous_seq, span.writer_seq
+                );
+                prop_assert!(
+                    i > previous_i,
+                    "writer {} payload went {} -> {}",
+                    span.writer, previous_i, i
+                );
+            }
+            last_by_writer.insert(span.writer, (span.writer_seq, i));
+        }
+    }
+
+    /// Self-sampling fires exactly once per `rate` calls regardless of
+    /// the requested rate (rounded up to a power of two).
+    fn sampling_rate_is_exact(rate in 1u64..100, calls in 1usize..400) {
+        let store = SpanStore::with_capacity(64);
+        store.set_sample_rate(rate);
+        let effective = store.sample_rate();
+        prop_assert!(effective.is_power_of_two() && effective >= rate.max(1));
+        let sampled = (0..calls).filter(|_| store.should_sample()).count() as u64;
+        prop_assert_eq!(sampled, (calls as u64).div_ceil(effective));
+    }
+}
+
+/// The master switch: a disabled store records nothing, samples
+/// nothing, and re-enabling resumes cleanly.
+#[test]
+fn disabled_store_is_inert() {
+    let store = SpanStore::with_capacity(32);
+    store.set_enabled(false);
+    assert!(!store.is_enabled());
+    assert!(store.record(span_for(0, 0)).is_none());
+    assert!(!store.should_sample());
+    assert_eq!(store.total_recorded(), 0);
+    assert!(store.is_empty());
+
+    store.set_enabled(true);
+    assert!(store.record(span_for(0, 1)).is_some());
+    assert_eq!(store.total_recorded(), 1);
+    assert_eq!(store.len(), 1);
+}
+
+/// Zero capacity disables the store at construction — recording is
+/// refused rather than panicking on an empty shard list.
+#[test]
+fn zero_capacity_store_never_records() {
+    let store = SpanStore::with_capacity(0);
+    assert_eq!(store.capacity(), 0);
+    assert!(!store.is_enabled());
+    assert!(store.record(span_for(0, 0)).is_none());
+    assert!(store.snapshot().is_empty());
+    assert_eq!(store.dropped(), 0);
+}
+
+/// `trace` and `roots` reassemble exactly the spans of one trace from
+/// the retained window, even with other traces interleaved.
+#[test]
+fn trace_lookup_filters_and_orders() {
+    let store = SpanStore::with_capacity(128);
+    let wanted = TraceId::from_parts(0x1111, 0x2222);
+    let noise = TraceId::from_parts(0x3333, 0x4444);
+
+    let mut root = Span::start(wanted, None, SpanKind::Server, "decide");
+    for round in 0..3 {
+        let mut child = Span::start(
+            wanted,
+            Some(root.span_id),
+            SpanKind::Engine,
+            format!("stage{round}"),
+        );
+        child.finish();
+        store.record(child);
+        let mut other = Span::start(noise, None, SpanKind::Internal, "noise");
+        other.finish();
+        store.record(other);
+    }
+    root.finish();
+    store.record(root);
+
+    let spans = store.trace(wanted);
+    assert_eq!(spans.len(), 4);
+    assert!(spans.iter().all(|span| span.trace_id == wanted));
+    // Ordered by start time: the root opened first.
+    assert_eq!(spans[0].name, "decide");
+
+    let roots = store.roots();
+    assert_eq!(roots.len(), 4, "one wanted root + three noise roots");
+    // Newest first: the wanted root was recorded last.
+    assert_eq!(roots[0].name, "decide");
+}

@@ -15,12 +15,23 @@
 //! | `GET /heat` | per-rule heat table |
 //! | `GET /alerts` | the watchdog's retained alert log |
 //! | `GET /decision/<id>` | cross-surface correlation lookup for one decision |
+//! | `GET /trace/<trace_id>` | assembled span tree for one wire trace, decide spans joined with their decision story |
+//! | `GET /traces` | recent trace roots (`?tenant=`, `?op=`, `?min_duration_us=`, `?limit=`) |
+//! | `GET /traces.json` | every retained span as OTLP-shaped JSON |
 //!
 //! `/decision/<id>` is the payoff of the decision-correlation scheme:
 //! the 32-hex-digit [`DecisionId`] scraped out of an exemplar on
 //! `/metrics` resolves here to the decision's flight-recorder entry, a
 //! structural replay diff against the current policy, and its audit
-//! row — one id, the full story.
+//! row — one id, the full story. The trace routes extend that story
+//! upstream of the engine: attach a
+//! [`SpanStore`] with
+//! [`EngineObs::with_spans`] (or serve through
+//! `PolicyService::serve_observability`, which attaches the service's
+//! store) and a `trace` id echoed on the wire resolves to the full
+//! queue → lock → engine breakdown, with each decide span joined to its
+//! decision story by the stamped `DecisionId`. All routes are GET-only;
+//! other methods answer `405` with an `Allow: GET` header.
 //!
 //! ```no_run
 //! use std::sync::{Arc, RwLock};
@@ -52,16 +63,22 @@ use std::time::Duration;
 
 use grbac_core::analysis::health_report;
 use grbac_core::provenance::decision_story;
-use grbac_core::telemetry::{DecisionWatchdog, Exporter, JsonExporter, PrometheusExporter};
+use grbac_core::telemetry::{
+    assemble_trace, otlp_value, DecisionWatchdog, Exporter, JsonExporter, PrometheusExporter,
+    SpanStore, SpanTree, TraceId,
+};
 use grbac_core::{DecisionId, Grbac};
+use serde::Value;
 
 /// The engine-side state one observability server exposes: a shared
 /// engine plus an optional shared watchdog slot (`/health` ticks it,
-/// `/alerts` reads its retained log).
+/// `/alerts` reads its retained log) and an optional shared span store
+/// (the `/trace*` routes; absent, they answer 404).
 #[derive(Debug, Clone)]
 pub struct EngineObs {
     engine: Arc<RwLock<Grbac>>,
     watchdog: Arc<Mutex<Option<DecisionWatchdog>>>,
+    spans: Option<Arc<SpanStore>>,
 }
 
 impl EngineObs {
@@ -72,6 +89,7 @@ impl EngineObs {
         Self {
             engine,
             watchdog: Arc::new(Mutex::new(None)),
+            spans: None,
         }
     }
 
@@ -83,10 +101,23 @@ impl EngineObs {
         engine: Arc<RwLock<Grbac>>,
         watchdog: Arc<Mutex<Option<DecisionWatchdog>>>,
     ) -> Self {
-        Self { engine, watchdog }
+        Self {
+            engine,
+            watchdog,
+            spans: None,
+        }
     }
 
-    fn respond(&self, path: &str) -> Response {
+    /// Attaches a span store, enabling `/trace/<trace_id>`, `/traces`
+    /// and `/traces.json` — pass the same store the serving side
+    /// records into (e.g. `PolicyService::span_store`).
+    #[must_use]
+    pub fn with_spans(mut self, spans: Arc<SpanStore>) -> Self {
+        self.spans = Some(spans);
+        self
+    }
+
+    fn respond(&self, path: &str, query: &str) -> Response {
         match path {
             "/metrics" => {
                 let snapshot = self.engine.read().expect("engine lock").metrics_snapshot();
@@ -114,10 +145,20 @@ impl EngineObs {
                     .unwrap_or_default();
                 Response::json(&alerts)
             }
-            _ => match path.strip_prefix("/decision/") {
-                Some(hex) => self.decision(hex),
-                None => Response::not_found("no such route"),
+            "/traces" => self.traces(query),
+            "/traces.json" => match &self.spans {
+                Some(spans) => Response::json_value(&otlp_value("grbac", &spans.snapshot())),
+                None => Response::not_found("tracing not enabled on this plane"),
             },
+            _ => {
+                if let Some(hex) = path.strip_prefix("/decision/") {
+                    self.decision(hex)
+                } else if let Some(hex) = path.strip_prefix("/trace/") {
+                    self.trace(hex)
+                } else {
+                    Response::not_found("no such route")
+                }
+            }
         }
     }
 
@@ -167,6 +208,117 @@ impl EngineObs {
             None => Response::not_found("decision not retained"),
         }
     }
+
+    /// `/trace/<trace_id>`: the assembled span tree for one wire
+    /// trace. Spans stamped with an assigned `DecisionId` (the engine
+    /// children of decide/explain requests) are joined with their
+    /// [`decision_story`] inline, so one echoed trace id resolves both
+    /// *where the time went* and *why the answer was what it was*. 400
+    /// for unparseable ids, 404 when no span of the trace is retained.
+    fn trace(&self, hex: &str) -> Response {
+        let Some(store) = &self.spans else {
+            return Response::not_found("tracing not enabled on this plane");
+        };
+        let id: TraceId = match hex.parse() {
+            Ok(id) => id,
+            Err(_) => return Response::bad_request("trace id must be 32 hex digits"),
+        };
+        let spans = store.trace(id);
+        if spans.is_empty() {
+            return Response::not_found("trace not retained");
+        }
+        let count = spans.len();
+        let trees = assemble_trace(spans);
+        let engine = self.engine.read().expect("engine lock");
+        let rendered: Vec<Value> = trees
+            .iter()
+            .map(|tree| tree_with_stories(tree, &engine))
+            .collect();
+        drop(engine);
+        Response::json_value(&Value::Map(vec![
+            ("trace_id".to_owned(), Value::Str(id.to_string())),
+            ("span_count".to_owned(), Value::UInt(count as u64)),
+            ("spans".to_owned(), Value::Seq(rendered)),
+        ]))
+    }
+
+    /// `/traces`: recent trace roots, newest first. Query filters:
+    /// `tenant=<name>`, `op=<op>`, `min_duration_us=<n>`, `limit=<n>`
+    /// (default 64). Unknown keys are ignored (forward compatibility);
+    /// unparseable numeric values answer 400.
+    fn traces(&self, query: &str) -> Response {
+        let Some(store) = &self.spans else {
+            return Response::not_found("tracing not enabled on this plane");
+        };
+        let mut tenant: Option<&str> = None;
+        let mut op: Option<&str> = None;
+        let mut min_duration_ns: u64 = 0;
+        let mut limit: usize = 64;
+        for (key, value) in query
+            .split('&')
+            .filter(|pair| !pair.is_empty())
+            .map(|pair| pair.split_once('=').unwrap_or((pair, "")))
+        {
+            match key {
+                "tenant" => tenant = Some(value),
+                "op" => op = Some(value),
+                "min_duration_us" => match value.parse::<u64>() {
+                    Ok(us) => min_duration_ns = us.saturating_mul(1_000),
+                    Err(_) => return Response::bad_request("min_duration_us must be an integer"),
+                },
+                "limit" => match value.parse::<usize>() {
+                    Ok(n) => limit = n,
+                    Err(_) => return Response::bad_request("limit must be an integer"),
+                },
+                _ => {}
+            }
+        }
+        let roots: Vec<Value> = store
+            .roots()
+            .into_iter()
+            .filter(|span| tenant.is_none_or(|t| span.tenant.as_deref() == Some(t)))
+            .filter(|span| op.is_none_or(|o| span.op.as_deref() == Some(o)))
+            .filter(|span| span.duration_ns() >= min_duration_ns)
+            .take(limit)
+            .map(|span| span.to_value())
+            .collect();
+        Response::json_value(&Value::Map(vec![
+            ("traces".to_owned(), Value::Seq(roots)),
+            (
+                "total_recorded".to_owned(),
+                Value::UInt(store.total_recorded()),
+            ),
+            ("dropped".to_owned(), Value::UInt(store.dropped())),
+            ("sample_rate".to_owned(), Value::UInt(store.sample_rate())),
+        ]))
+    }
+}
+
+/// Renders a span tree as JSON, attaching `decision_story` to any span
+/// whose stamped decision id still resolves against the engine's
+/// correlation surfaces.
+fn tree_with_stories(tree: &SpanTree, engine: &Grbac) -> Value {
+    let mut value = tree.span.to_value();
+    if let Value::Map(fields) = &mut value {
+        if tree.span.decision_id.is_assigned() {
+            if let Some(story) = decision_story(engine, tree.span.decision_id) {
+                fields.push((
+                    "decision_story".to_owned(),
+                    serde::Serialize::to_value(&story),
+                ));
+            }
+        }
+        fields.push((
+            "children".to_owned(),
+            Value::Seq(
+                tree.children
+                    .iter()
+                    .map(|child| tree_with_stories(child, engine))
+                    .collect(),
+            ),
+        ));
+    }
+    value
 }
 
 struct Response {
@@ -174,6 +326,8 @@ struct Response {
     reason: &'static str,
     content_type: &'static str,
     body: String,
+    /// Extra `Allow:` header — RFC 9110 requires one on a 405.
+    allow: Option<&'static str>,
 }
 
 impl Response {
@@ -183,6 +337,7 @@ impl Response {
             reason: "OK",
             content_type,
             body,
+            allow: None,
         }
     }
 
@@ -194,8 +349,16 @@ impl Response {
                 reason: "Internal Server Error",
                 content_type: "text/plain; charset=utf-8",
                 body: "serialization failed".to_owned(),
+                allow: None,
             },
         }
+    }
+
+    /// Like [`Response::json`] but named for an already-assembled
+    /// [`Value`] (the trace handlers build composite bodies no single
+    /// type serializes to).
+    fn json_value(value: &Value) -> Self {
+        Self::json(value)
     }
 
     fn bad_request(message: &str) -> Self {
@@ -204,6 +367,7 @@ impl Response {
             reason: "Bad Request",
             content_type: "text/plain; charset=utf-8",
             body: message.to_owned(),
+            allow: None,
         }
     }
 
@@ -213,6 +377,7 @@ impl Response {
             reason: "Not Found",
             content_type: "text/plain; charset=utf-8",
             body: message.to_owned(),
+            allow: None,
         }
     }
 
@@ -222,16 +387,22 @@ impl Response {
             reason: "Method Not Allowed",
             content_type: "text/plain; charset=utf-8",
             body: "only GET is served".to_owned(),
+            allow: Some("GET"),
         }
     }
 
     fn write_to(&self, stream: &mut TcpStream) -> std::io::Result<()> {
+        let allow = match self.allow {
+            Some(methods) => format!("Allow: {methods}\r\n"),
+            None => String::new(),
+        };
         let head = format!(
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n{}Connection: close\r\n\r\n",
             self.status,
             self.reason,
             self.content_type,
             self.body.len(),
+            allow,
         );
         stream.write_all(head.as_bytes())?;
         stream.write_all(self.body.as_bytes())
@@ -239,9 +410,10 @@ impl Response {
 }
 
 /// Parses the request line of one HTTP/1.1 request, returning
-/// `(method, path)`. Headers are read and discarded (the server is
-/// GET-only and stateless). Query strings are stripped.
-fn parse_request(stream: &TcpStream) -> std::io::Result<Option<(String, String)>> {
+/// `(method, path, query)`. Headers are read and discarded (the server
+/// is GET-only and stateless). The query string (without the `?`) is
+/// preserved for the routes that filter, empty when absent.
+fn parse_request(stream: &TcpStream) -> std::io::Result<Option<(String, String, String)>> {
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut line = String::new();
     if reader.read_line(&mut line)? == 0 {
@@ -250,7 +422,10 @@ fn parse_request(stream: &TcpStream) -> std::io::Result<Option<(String, String)>
     let mut parts = line.split_whitespace();
     let method = parts.next().unwrap_or_default().to_owned();
     let target = parts.next().unwrap_or_default();
-    let path = target.split('?').next().unwrap_or(target).to_owned();
+    let (path, query) = match target.split_once('?') {
+        Some((path, query)) => (path.to_owned(), query.to_owned()),
+        None => (target.to_owned(), String::new()),
+    };
     // Drain the headers so the peer sees the response after a clean
     // request; bodies are ignored (GET has none).
     loop {
@@ -259,15 +434,15 @@ fn parse_request(stream: &TcpStream) -> std::io::Result<Option<(String, String)>
             break;
         }
     }
-    Ok(Some((method, path)))
+    Ok(Some((method, path, query)))
 }
 
 fn handle_connection(obs: &EngineObs, mut stream: TcpStream) {
     let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
     let response = match parse_request(&stream) {
-        Ok(Some((method, path))) => {
+        Ok(Some((method, path, query))) => {
             if method == "GET" {
-                obs.respond(&path)
+                obs.respond(&path, &query)
             } else {
                 Response::method_not_allowed()
             }
@@ -432,6 +607,34 @@ pub fn get(addr: SocketAddr, path: &str) -> std::io::Result<(u16, String)> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use grbac_core::telemetry::{Span, SpanKind};
+
+    /// Like [`get`] but with an arbitrary method and the raw response
+    /// head preserved, so tests can assert on headers.
+    fn request(
+        addr: SocketAddr,
+        method: &str,
+        path: &str,
+    ) -> std::io::Result<(u16, String, String)> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+        write!(
+            stream,
+            "{method} {path} HTTP/1.1\r\nHost: grbac-obs\r\nConnection: close\r\n\r\n"
+        )?;
+        stream.flush()?;
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw)?;
+        let status: u16 = raw
+            .split_whitespace()
+            .nth(1)
+            .and_then(|code| code.parse().ok())
+            .ok_or_else(|| {
+                std::io::Error::new(std::io::ErrorKind::InvalidData, "no status line")
+            })?;
+        let (head, body) = raw.split_once("\r\n\r\n").unwrap_or((raw.as_str(), ""));
+        Ok((status, head.to_owned(), body.to_owned()))
+    }
 
     fn engine_with_policy() -> Arc<RwLock<Grbac>> {
         let mut g = Grbac::new();
@@ -506,11 +709,106 @@ mod tests {
         let (status, _) = get(addr, "/decision/ffffffffffffffffffffffffffffffff").unwrap();
         assert_eq!(status, 404);
 
+        // Non-GET methods are refused with 405 and the RFC-required
+        // `Allow` header, alongside the 400/404 cases above.
+        for method in ["POST", "PUT", "DELETE", "HEAD"] {
+            let (status, head, _) = request(addr, method, "/metrics").unwrap();
+            assert_eq!(status, 405, "{method} must be refused");
+            assert!(
+                head.contains("Allow: GET"),
+                "405 must carry `Allow: GET`, got: {head}"
+            );
+        }
+        // GET itself never sees the Allow header.
+        let (_, head, _) = request(addr, "GET", "/metrics").unwrap();
+        assert!(!head.contains("Allow:"));
+
+        // Without a span store attached, the trace routes 404 rather
+        // than pretending an empty plane is a quiet one.
+        let (status, _) = get(addr, "/traces").unwrap();
+        assert_eq!(status, 404);
+        let (status, _) = get(addr, "/traces.json").unwrap();
+        assert_eq!(status, 404);
+
         server.shutdown();
         assert!(
             get(addr, "/metrics").is_err() || get(addr, "/metrics").map(|r| r.0).unwrap_or(0) == 0,
             "the listener must be closed after shutdown"
         );
+    }
+
+    /// The trace routes over a hand-built trace: `/traces` lists the
+    /// root (and filters by tenant/op/duration), `/trace/<id>` returns
+    /// the assembled tree, `/traces.json` is OTLP-shaped, and bad
+    /// inputs answer 400/404.
+    #[test]
+    fn trace_routes_serve_span_trees() {
+        let engine = engine_with_policy();
+        let spans = Arc::new(SpanStore::new());
+
+        let trace_id = TraceId::from_parts(0x1234_5678_9abc_def0, 0x0fed_cba9_8765_4321);
+        let mut root = Span::start(trace_id, None, SpanKind::Server, "decide");
+        root.tenant = Some("acme".to_owned());
+        root.op = Some("decide".to_owned());
+        let mut engine_child =
+            Span::start(trace_id, Some(root.span_id), SpanKind::Engine, "decide");
+        engine_child.finish();
+        spans.record(engine_child);
+        let mut queue_child =
+            Span::start(trace_id, Some(root.span_id), SpanKind::Queue, "queue_wait");
+        queue_child.finish();
+        spans.record(queue_child);
+        root.finish();
+        spans.record(root);
+
+        let obs = EngineObs::new(Arc::clone(&engine)).with_spans(Arc::clone(&spans));
+        let server = ObsServer::serve(obs, "127.0.0.1:0").unwrap();
+        let addr = server.addr();
+
+        let (status, body) = get(addr, "/traces").unwrap();
+        assert_eq!(status, 200, "{body}");
+        let listed: serde_json::Value = serde_json::from_str(&body).expect("traces parses");
+        drop(listed);
+        assert!(body.contains(&trace_id.to_string()));
+        assert!(body.contains("\"total_recorded\":3"));
+
+        // Filters: matching tenant+op keeps the root; a wrong tenant
+        // filters it out; an absurd duration floor filters it out.
+        let (_, body) = get(addr, "/traces?tenant=acme&op=decide").unwrap();
+        assert!(body.contains(&trace_id.to_string()));
+        let (_, body) = get(addr, "/traces?tenant=other").unwrap();
+        assert!(!body.contains(&trace_id.to_string()));
+        let (_, body) = get(addr, "/traces?min_duration_us=86400000000").unwrap();
+        assert!(!body.contains(&trace_id.to_string()));
+        let (status, _) = get(addr, "/traces?limit=zero").unwrap();
+        assert_eq!(status, 400);
+        let (status, _) = get(addr, "/traces?min_duration_us=-3").unwrap();
+        assert_eq!(status, 400);
+
+        // The assembled tree: one root holding both children.
+        let (status, body) = get(addr, &format!("/trace/{trace_id}")).unwrap();
+        assert_eq!(status, 200, "{body}");
+        let tree: serde_json::Value = serde_json::from_str(&body).expect("trace parses");
+        drop(tree);
+        assert!(body.contains("\"span_count\":3"));
+        assert!(body.contains("queue_wait"));
+        assert!(body.contains("\"kind\":\"engine\""));
+
+        let (status, _) = get(addr, "/trace/zzz").unwrap();
+        assert_eq!(status, 400);
+        let (status, _) = get(addr, "/trace/ffffffffffffffffffffffffffffffff").unwrap();
+        assert_eq!(status, 404);
+
+        // OTLP export: resourceSpans shape with stringified nanos.
+        let (status, body) = get(addr, "/traces.json").unwrap();
+        assert_eq!(status, 200);
+        let otlp: serde_json::Value = serde_json::from_str(&body).expect("otlp parses");
+        drop(otlp);
+        assert!(body.contains("resourceSpans"));
+        assert!(body.contains("scopeSpans"));
+        assert!(body.contains("startTimeUnixNano"));
+
+        server.shutdown();
     }
 
     /// The acceptance-criterion round trip: a decision id scraped out

@@ -10,7 +10,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::proto::{err_envelope, ErrorCode, WireError};
 use crate::service::PolicyService;
@@ -55,6 +55,11 @@ pub struct ServeServer {
 /// timeout. Entries unregister themselves when the connection ends.
 type Live = Arc<Mutex<HashMap<u64, TcpStream>>>;
 
+/// A connection handed from the acceptor to a worker, stamped at
+/// enqueue time so the dispatch-queue wait can be charged to the
+/// connection's first traced request.
+type Dispatched = (TcpStream, Instant);
+
 impl ServeServer {
     /// Binds `addr` and starts the acceptor plus the worker pool sized
     /// by the service's [`ServiceConfig`](crate::ServiceConfig).
@@ -71,7 +76,7 @@ impl ServeServer {
 
         let live: Live = Arc::new(Mutex::new(HashMap::new()));
         let next_conn = Arc::new(AtomicU64::new(0));
-        let (tx, rx): (SyncSender<TcpStream>, Receiver<TcpStream>) =
+        let (tx, rx): (SyncSender<Dispatched>, Receiver<Dispatched>) =
             std::sync::mpsc::sync_channel(QUEUE_DEPTH);
         let rx = Arc::new(Mutex::new(rx));
         let worker_handles: Vec<JoinHandle<()>> = (0..workers)
@@ -87,15 +92,16 @@ impl ServeServer {
                         guard.recv()
                     };
                     match stream {
-                        Ok(stream) => {
+                        Ok((stream, enqueued)) => {
                             if stop.load(Ordering::SeqCst) {
                                 break;
                             }
+                            let queue_wait_ns = enqueued.elapsed().as_nanos() as u64;
                             let conn = next_conn.fetch_add(1, Ordering::Relaxed);
                             if let Ok(clone) = stream.try_clone() {
                                 lock(&live).insert(conn, clone);
                             }
-                            serve_connection(&service, stream, max_line);
+                            serve_connection(&service, stream, max_line, queue_wait_ns);
                             lock(&live).remove(&conn);
                         }
                         Err(_) => break,
@@ -111,7 +117,7 @@ impl ServeServer {
                     break;
                 }
                 if let Ok(stream) = stream {
-                    if tx.send(stream).is_err() {
+                    if tx.send((stream, Instant::now())).is_err() {
                         break;
                     }
                 }
@@ -174,8 +180,15 @@ impl Drop for ServeServer {
 }
 
 /// Serves one connection to completion: read a line, answer a line,
-/// until EOF, timeout, or an unrecoverable framing error.
-fn serve_connection(service: &PolicyService, stream: TcpStream, max_line: usize) {
+/// until EOF, timeout, or an unrecoverable framing error. The measured
+/// dispatch-queue wait is charged to the first request only; later
+/// requests on the connection never sat in the accept queue.
+fn serve_connection(
+    service: &PolicyService,
+    stream: TcpStream,
+    max_line: usize,
+    mut queue_wait_ns: u64,
+) {
     service.metrics().connections_total.inc();
     let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
     let _ = stream.set_nodelay(true);
@@ -192,7 +205,8 @@ fn serve_connection(service: &PolicyService, stream: TcpStream, max_line: usize)
                 if line.is_empty() {
                     continue; // blank keep-alive lines are fine
                 }
-                let response = service.handle_line(line);
+                let response = service.handle_line_queued(line, queue_wait_ns);
+                queue_wait_ns = 0;
                 if writer
                     .write_all(response.as_bytes())
                     .and_then(|()| writer.write_all(b"\n"))

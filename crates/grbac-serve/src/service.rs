@@ -13,9 +13,12 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
 use grbac_core::telemetry::{
-    Counter, DecisionWatchdog, KeyedCounter, PrometheusExporter, WatchdogConfig,
+    Counter, DecisionWatchdog, KeyedCounter, PrometheusExporter, Span, SpanId, SpanKind,
+    SpanStatus, SpanStore, TraceContext, TraceId, WatchdogConfig,
 };
-use grbac_core::{AccessRequest, Decision, Effect, EnvironmentSnapshot, Grbac, RoleKind, RuleDef};
+use grbac_core::{
+    AccessRequest, Decision, DecisionId, Effect, EnvironmentSnapshot, Grbac, RoleKind, RuleDef,
+};
 use serde::Value;
 
 use crate::proto::{
@@ -129,7 +132,104 @@ pub struct PolicyService {
     tenants: RwLock<BTreeMap<String, Tenant>>,
     next_tenant_id: AtomicU64,
     metrics: ServiceMetrics,
+    spans: Arc<SpanStore>,
     config: ServiceConfig,
+}
+
+/// The span scope of one in-flight request: the open server span plus
+/// its finished children, or nothing when the request is not being
+/// traced (the untraced path costs one `Option` check per stage).
+#[derive(Debug, Default)]
+struct RequestSpans {
+    active: Option<ActiveTrace>,
+}
+
+#[derive(Debug)]
+struct ActiveTrace {
+    server: Span,
+    children: Vec<Span>,
+    /// True when the client propagated the context (so the response
+    /// echoes the server span id back); false for self-sampled traces,
+    /// which stay server-side.
+    echo: bool,
+}
+
+impl RequestSpans {
+    /// An untraced scope: every stage hook is a no-op.
+    fn none() -> Self {
+        Self::default()
+    }
+
+    /// Opens the server span (child of `parent` when the client
+    /// propagated one) plus the dispatch-queue child, backdated by
+    /// `queue_wait_ns` so the tree shows time spent before any worker
+    /// looked at the connection.
+    fn open(
+        op: &str,
+        trace_id: TraceId,
+        parent: Option<SpanId>,
+        echo: bool,
+        queue_wait_ns: u64,
+    ) -> Self {
+        let mut server = Span::start(trace_id, parent, SpanKind::Server, op);
+        server.op = Some(op.to_owned());
+        let mut queue = Span::start(
+            trace_id,
+            Some(server.span_id),
+            SpanKind::Queue,
+            "queue_wait",
+        );
+        queue.start_ns = server.start_ns.saturating_sub(queue_wait_ns);
+        queue.end_ns = server.start_ns;
+        Self {
+            active: Some(ActiveTrace {
+                server,
+                children: vec![queue],
+                echo,
+            }),
+        }
+    }
+
+    /// Times `f` as a child span of the server span (or just runs it
+    /// when untraced).
+    fn time<R>(&mut self, kind: SpanKind, name: &str, f: impl FnOnce() -> R) -> R {
+        let Some(active) = &mut self.active else {
+            return f();
+        };
+        let mut child = Span::start(
+            active.server.trace_id,
+            Some(active.server.span_id),
+            kind,
+            name,
+        );
+        let result = f();
+        child.finish();
+        active.children.push(child);
+        result
+    }
+
+    /// Stamps the most recent engine child with the decision the engine
+    /// minted, joining the trace to the flight-recorder/audit/exemplar
+    /// evidence.
+    fn stamp_decision(&mut self, id: DecisionId) {
+        if let Some(active) = &mut self.active {
+            if let Some(engine) = active
+                .children
+                .iter_mut()
+                .rev()
+                .find(|child| child.kind == SpanKind::Engine)
+            {
+                engine.decision_id = id;
+            }
+        }
+    }
+
+    /// Labels the server span with the tenant the request addressed.
+    fn set_tenant(&mut self, tenant: &str) {
+        if let Some(active) = &mut self.active {
+            active.server.tenant = Some(tenant.to_owned());
+        }
+    }
 }
 
 impl Default for PolicyService {
@@ -146,6 +246,7 @@ impl PolicyService {
             tenants: RwLock::new(BTreeMap::new()),
             next_tenant_id: AtomicU64::new(0),
             metrics: ServiceMetrics::new(),
+            spans: Arc::new(SpanStore::new()),
             config,
         }
     }
@@ -166,6 +267,16 @@ impl PolicyService {
     #[must_use]
     pub fn metrics(&self) -> &ServiceMetrics {
         &self.metrics
+    }
+
+    /// The wire-tracing span store: spans recorded for requests that
+    /// carried a sampled `trace` context (plus self-sampled requests at
+    /// the store's [`sample_rate`](SpanStore::sample_rate)). Shared
+    /// with [`serve_observability`](Self::serve_observability), whose
+    /// `/trace`, `/traces` and `/traces.json` routes read it live.
+    #[must_use]
+    pub fn span_store(&self) -> &Arc<SpanStore> {
+        &self.spans
     }
 
     /// Provisions an empty tenant.
@@ -232,9 +343,10 @@ impl PolicyService {
     }
 
     /// Puts one tenant on the HTTP observability plane: the returned
-    /// [`grbac_obs::ObsServer`] shares the tenant's engine and
-    /// watchdog, so `/metrics`, `/health`, `/heat`, `/alerts` and
-    /// `/decision/<id>` all read live state.
+    /// [`grbac_obs::ObsServer`] shares the tenant's engine, watchdog
+    /// and the service's span store, so `/metrics`, `/health`, `/heat`,
+    /// `/alerts`, `/decision/<id>`, `/trace/<id>` and `/traces` all
+    /// read live state.
     ///
     /// # Errors
     ///
@@ -248,7 +360,8 @@ impl PolicyService {
             .tenant(tenant)
             .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::NotFound, "no such tenant"))?;
         grbac_obs::ObsServer::serve(
-            grbac_obs::EngineObs::with_watchdog(tenant.engine, tenant.watchdog),
+            grbac_obs::EngineObs::with_watchdog(tenant.engine, tenant.watchdog)
+                .with_spans(Arc::clone(&self.spans)),
             addr,
         )
     }
@@ -258,37 +371,18 @@ impl PolicyService {
     /// lines answer an error envelope.
     #[must_use]
     pub fn handle_line(&self, line: &str) -> String {
+        self.handle_line_queued(line, 0)
+    }
+
+    /// [`handle_line`](Self::handle_line) with a known dispatch-queue
+    /// wait: the time between the acceptor enqueuing the connection and
+    /// a worker picking it up, charged to the connection's first
+    /// request as its `queue_wait` child span (later requests on the
+    /// connection pass 0 — they never waited in the accept queue).
+    #[must_use]
+    pub fn handle_line_queued(&self, line: &str, queue_wait_ns: u64) -> String {
         self.metrics.requests_total.inc();
-        let envelope = match serde_json::from_str::<Value>(line) {
-            Err(err) => err_envelope(
-                None,
-                None,
-                &WireError::new(
-                    ErrorCode::MalformedRequest,
-                    format!("invalid JSON: {err:?}"),
-                ),
-            ),
-            Ok(request) => {
-                let seq = request.get("seq").cloned();
-                match request.get("op").and_then(Value::as_str) {
-                    None => err_envelope(
-                        None,
-                        seq.as_ref(),
-                        &WireError::new(
-                            ErrorCode::MalformedRequest,
-                            "request must be an object with a string `op` field",
-                        ),
-                    ),
-                    Some(op) => {
-                        let op = op.to_owned();
-                        match self.dispatch(&op, &request) {
-                            Ok(result) => ok_envelope(&op, seq.as_ref(), result),
-                            Err(error) => err_envelope(Some(&op), seq.as_ref(), &error),
-                        }
-                    }
-                }
-            }
-        };
+        let envelope = self.handle_request(line, queue_wait_ns);
         if !matches!(envelope.get("ok"), Some(Value::Bool(true))) {
             self.metrics.protocol_errors_total.inc();
         }
@@ -297,7 +391,114 @@ impl PolicyService {
         })
     }
 
-    fn dispatch(&self, op: &str, request: &Value) -> Result<Value, WireError> {
+    fn handle_request(&self, line: &str, queue_wait_ns: u64) -> Value {
+        let request = match serde_json::from_str::<Value>(line) {
+            Err(err) => {
+                return err_envelope(
+                    None,
+                    None,
+                    &WireError::new(
+                        ErrorCode::MalformedRequest,
+                        format!("invalid JSON: {err:?}"),
+                    ),
+                )
+            }
+            Ok(request) => request,
+        };
+        let seq = request.get("seq").cloned();
+        let Some(op) = request.get("op").and_then(Value::as_str).map(str::to_owned) else {
+            return err_envelope(
+                None,
+                seq.as_ref(),
+                &WireError::new(
+                    ErrorCode::MalformedRequest,
+                    "request must be an object with a string `op` field",
+                ),
+            );
+        };
+        // The optional `trace` propagation context. The field is part
+        // of the protocol contract, so a malformed value is a
+        // `bad_request`, not silently ignored.
+        let context = match crate::proto::opt_str_field(&request, "trace") {
+            Ok(None) => None,
+            Ok(Some(raw)) => match TraceContext::parse(raw) {
+                Some(context) => Some(context),
+                None => return err_envelope(
+                    Some(&op),
+                    seq.as_ref(),
+                    &bad_request(
+                        "field `trace` must be `<trace_id:32hex>-<span_id:16hex>-<flags:2hex>` \
+                             with non-zero ids",
+                    ),
+                ),
+            },
+            Err(error) => return err_envelope(Some(&op), seq.as_ref(), &error),
+        };
+        let mut spans = self.open_request_spans(&op, context, queue_wait_ns);
+        let envelope = match self.dispatch(&op, &request, &mut spans) {
+            Ok(result) => ok_envelope(&op, seq.as_ref(), result),
+            Err(error) => err_envelope(Some(&op), seq.as_ref(), &error),
+        };
+        self.finish_request_spans(spans, envelope)
+    }
+
+    /// Decides whether this request records spans: a client context
+    /// with the sampled flag set always does (the client asked); an
+    /// unsampled context never does (the client opted out); no context
+    /// self-samples at the store's rate, minting a fresh root that
+    /// stays server-side.
+    fn open_request_spans(
+        &self,
+        op: &str,
+        context: Option<TraceContext>,
+        queue_wait_ns: u64,
+    ) -> RequestSpans {
+        match context {
+            Some(context) if context.sampled && self.spans.is_enabled() => RequestSpans::open(
+                op,
+                context.trace_id,
+                Some(context.span_id),
+                true,
+                queue_wait_ns,
+            ),
+            Some(_) => RequestSpans::none(),
+            None if self.spans.should_sample() => {
+                RequestSpans::open(op, TraceId::mint(), None, false, queue_wait_ns)
+            }
+            None => RequestSpans::none(),
+        }
+    }
+
+    /// Finishes and records the request's spans and — for
+    /// client-propagated contexts — appends the `trace` echo
+    /// (`trace_id-server_span_id-01`) to the response envelope.
+    fn finish_request_spans(&self, spans: RequestSpans, mut envelope: Value) -> Value {
+        let Some(mut active) = spans.active else {
+            return envelope;
+        };
+        if !matches!(envelope.get("ok"), Some(Value::Bool(true))) {
+            active.server.status = SpanStatus::Error;
+        }
+        active.server.finish();
+        let echo = active
+            .echo
+            .then(|| TraceContext::sampled(active.server.trace_id, active.server.span_id).render());
+        for child in active.children {
+            self.spans.record(child);
+        }
+        self.spans.record(active.server);
+        if let (Some(trace), Value::Map(fields)) = (echo, &mut envelope) {
+            fields.push(("trace".to_owned(), Value::Str(trace)));
+        }
+        envelope
+    }
+
+    fn dispatch(
+        &self,
+        op: &str,
+        request: &Value,
+        spans: &mut RequestSpans,
+    ) -> Result<Value, WireError> {
         let Some(slot) = op_slot(op) else {
             return Err(WireError::new(
                 ErrorCode::UnknownOp,
@@ -338,7 +539,10 @@ impl PolicyService {
             _ => {
                 // Everything else is tenant-scoped.
                 let name = str_field(request, "tenant")?;
-                let tenant = self.tenant(name).ok_or_else(|| unknown_tenant(name))?;
+                spans.set_tenant(name);
+                let tenant = spans
+                    .time(SpanKind::Lock, "tenant_map", || self.tenant(name))
+                    .ok_or_else(|| unknown_tenant(name))?;
                 match op {
                     "declare" => self.op_declare(&tenant, request),
                     "specialize" => self.op_specialize(&tenant, request),
@@ -346,9 +550,9 @@ impl PolicyService {
                     "revoke" => self.op_assignment(&tenant, request, false),
                     "add_rule" => self.op_add_rule(&tenant, request),
                     "remove_rule" => self.op_remove_rule(&tenant, request),
-                    "decide" => self.op_decide(&tenant, request),
-                    "decide_batch" => self.op_decide_batch(&tenant, request),
-                    "explain" => self.op_explain(&tenant, request),
+                    "decide" => self.op_decide(&tenant, request, spans),
+                    "decide_batch" => self.op_decide_batch(&tenant, request, spans),
+                    "explain" => self.op_explain(&tenant, request, spans),
                     "status" => Ok(Self::op_status(name, &tenant)),
                     "tick" => Ok(Self::op_tick(&tenant)),
                     _ => unreachable!("op {op} is in OPS but not dispatched"),
@@ -495,20 +699,33 @@ impl PolicyService {
         Ok(obj(vec![("removed", Value::Bool(removed))]))
     }
 
-    fn op_decide(&self, tenant: &Tenant, request: &Value) -> Result<Value, WireError> {
-        let engine = lock_read(&tenant.engine);
+    fn op_decide(
+        &self,
+        tenant: &Tenant,
+        request: &Value,
+        spans: &mut RequestSpans,
+    ) -> Result<Value, WireError> {
+        let engine = spans.time(SpanKind::Lock, "engine_lock", || lock_read(&tenant.engine));
         let access = resolve_request(&engine, request)?;
-        let decision = engine.decide(&access).map_err(policy_error)?;
+        let decision = spans
+            .time(SpanKind::Engine, "decide", || engine.decide(&access))
+            .map_err(policy_error)?;
+        spans.stamp_decision(decision.decision_id());
         drop(engine);
         self.metrics.decides_by_tenant.add(tenant.id, 1);
         Ok(decision_value(&decision))
     }
 
-    fn op_decide_batch(&self, tenant: &Tenant, request: &Value) -> Result<Value, WireError> {
+    fn op_decide_batch(
+        &self,
+        tenant: &Tenant,
+        request: &Value,
+        spans: &mut RequestSpans,
+    ) -> Result<Value, WireError> {
         let Some(Value::Seq(items)) = request.get("requests") else {
             return Err(bad_request("field `requests` must be an array"));
         };
-        let engine = lock_read(&tenant.engine);
+        let engine = spans.time(SpanKind::Lock, "engine_lock", || lock_read(&tenant.engine));
         // Resolve every item first; unresolvable items keep their slot
         // and answer an inline error object.
         let resolved: Vec<Result<AccessRequest, WireError>> = items
@@ -519,7 +736,13 @@ impl PolicyService {
             .iter()
             .filter_map(|r| r.as_ref().ok().cloned())
             .collect();
-        let mut decisions = engine.decide_batch(&batch).into_iter();
+        let decided = spans.time(SpanKind::Engine, "decide_batch", || {
+            engine.decide_batch(&batch)
+        });
+        if let Some(first) = decided.iter().find_map(|d| d.as_ref().ok()) {
+            spans.stamp_decision(first.decision_id());
+        }
+        let mut decisions = decided.into_iter();
         drop(engine);
         self.metrics
             .decides_by_tenant
@@ -549,10 +772,18 @@ impl PolicyService {
         Ok(obj(vec![("results", Value::Seq(results))]))
     }
 
-    fn op_explain(&self, tenant: &Tenant, request: &Value) -> Result<Value, WireError> {
-        let engine = lock_read(&tenant.engine);
+    fn op_explain(
+        &self,
+        tenant: &Tenant,
+        request: &Value,
+        spans: &mut RequestSpans,
+    ) -> Result<Value, WireError> {
+        let engine = spans.time(SpanKind::Lock, "engine_lock", || lock_read(&tenant.engine));
         let access = resolve_request(&engine, request)?;
-        let decision = engine.decide(&access).map_err(policy_error)?;
+        let decision = spans
+            .time(SpanKind::Engine, "decide", || engine.decide(&access))
+            .map_err(policy_error)?;
+        spans.stamp_decision(decision.decision_id());
         let matched: Vec<Value> = decision
             .explanation()
             .matched

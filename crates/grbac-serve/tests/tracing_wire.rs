@@ -1,0 +1,247 @@
+//! The wire-tracing acceptance round trip (ISSUE acceptance
+//! criterion): a client sends a `traceparent`-style `trace` field on a
+//! decide over real TCP, the response echoes the server's span id
+//! under the same trace id, and `GET /trace/<trace_id>` on the
+//! observability plane returns the span tree — queue wait, lock
+//! acquisition and the engine call as children — whose decide span
+//! carries the minted `DecisionId` and resolves to the full
+//! `decision_story` from the wire alone.
+
+use std::sync::Arc;
+
+use grbac_serve::{Client, PolicyService, ServeServer};
+use serde_json::Value;
+
+/// Provision one tenant with the standing example policy: sam (a
+/// worker) may read doc.
+fn provision(service: &PolicyService, tenant: &str) {
+    service.create_tenant(tenant).unwrap();
+    for line in [
+        format!(r#"{{"op":"declare","tenant":"{tenant}","kind":"subject_role","name":"worker"}}"#),
+        format!(r#"{{"op":"declare","tenant":"{tenant}","kind":"transaction","name":"read"}}"#),
+        format!(r#"{{"op":"declare","tenant":"{tenant}","kind":"subject","name":"sam"}}"#),
+        format!(r#"{{"op":"declare","tenant":"{tenant}","kind":"object","name":"doc"}}"#),
+        format!(
+            r#"{{"op":"assign","tenant":"{tenant}","kind":"subject_role","entity":"sam","role":"worker"}}"#
+        ),
+        format!(
+            r#"{{"op":"add_rule","tenant":"{tenant}","effect":"permit","subject_role":"worker","transaction":"read"}}"#
+        ),
+    ] {
+        let response = service.handle_line(&line);
+        assert!(response.contains("\"ok\":true"), "{line} -> {response}");
+    }
+}
+
+fn u64_field(value: &Value, key: &str) -> u64 {
+    match value.get(key) {
+        Some(Value::UInt(n)) => *n,
+        Some(Value::Int(n)) => *n as u64,
+        other => panic!("expected integer `{key}`, got {other:?}"),
+    }
+}
+
+fn str_field<'a>(value: &'a Value, key: &str) -> &'a str {
+    value
+        .get(key)
+        .and_then(Value::as_str)
+        .unwrap_or_else(|| panic!("expected string `{key}` in {value:?}"))
+}
+
+/// Depth-first search of a `/trace/<id>` span tree for a span with the
+/// given name, returning the node.
+fn find_span<'a>(nodes: &'a [Value], name: &str) -> Option<&'a Value> {
+    for node in nodes {
+        if node.get("name").and_then(Value::as_str) == Some(name) {
+            return Some(node);
+        }
+        if let Some(Value::Seq(children)) = node.get("children") {
+            if let Some(found) = find_span(children, name) {
+                return Some(found);
+            }
+        }
+    }
+    None
+}
+
+#[test]
+fn trace_context_round_trips_from_wire_to_span_tree_to_decision_story() {
+    let service = Arc::new(PolicyService::with_defaults());
+    provision(&service, "acme");
+    let server = ServeServer::serve(Arc::clone(&service), "127.0.0.1:0").unwrap();
+    let obs = service
+        .serve_observability("acme", "127.0.0.1:0")
+        .expect("obs plane binds");
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    // A fixed client-minted context, sampled flag set.
+    let trace_id = "aaaabbbbccccdddd1111222233334444";
+    let client_span = "f0e1d2c3b4a59687";
+    let request = format!(
+        r#"{{"op":"decide","tenant":"acme","seq":7,"subject":"sam","transaction":"read","object":"doc","trace":"{trace_id}-{client_span}-01"}}"#
+    );
+    let response: Value = serde_json::from_str(&client.request_line(&request).unwrap()).unwrap();
+    assert_eq!(response.get("ok"), Some(&Value::Bool(true)));
+    let result = response.get("result").expect("decide result");
+    assert_eq!(str_field(result, "effect"), "permit");
+    let decision_id = str_field(result, "decision_id").to_owned();
+
+    // The echo: same trace id, the *server's* span id (not ours),
+    // sampled flag preserved.
+    let echo = str_field(&response, "trace");
+    let mut parts = echo.split('-');
+    assert_eq!(parts.next(), Some(trace_id));
+    let server_span = parts.next().expect("span id in echo");
+    assert_eq!(server_span.len(), 16);
+    assert_ne!(server_span, client_span, "echo must be the server span");
+    assert_eq!(parts.next(), Some("01"));
+    assert_eq!(parts.next(), None);
+
+    // The wire-only triage step: resolve the trace id we sent against
+    // the observability plane.
+    let (status, body) = grbac_obs::get(obs.addr(), &format!("/trace/{trace_id}")).unwrap();
+    assert_eq!(status, 200, "{body}");
+    let tree: Value = serde_json::from_str(&body).unwrap();
+    assert_eq!(str_field(&tree, "trace_id"), trace_id);
+    let Some(Value::Seq(roots)) = tree.get("spans") else {
+        panic!("trace body must hold a spans array: {body}");
+    };
+
+    // The server span is a child of the client's context span — the
+    // client span itself lives in the *client's* tracer, so our root
+    // here is the server span whose parent link names it.
+    let server_node = find_span(roots, "decide").expect("server span present");
+    assert_eq!(str_field(server_node, "span_id"), server_span);
+    assert_eq!(str_field(server_node, "parent_span_id"), client_span);
+    assert_eq!(str_field(server_node, "kind"), "server");
+    assert_eq!(str_field(server_node, "tenant"), "acme");
+    assert_eq!(str_field(server_node, "op"), "decide");
+
+    // All three instrumented stages hang off the server span.
+    let Some(Value::Seq(children)) = server_node.get("children") else {
+        panic!("server span must have children: {body}");
+    };
+    let queue = find_span(children, "queue_wait").expect("queue-wait child");
+    assert_eq!(str_field(queue, "kind"), "queue");
+    let tenant_map = find_span(children, "tenant_map").expect("tenant-map lock child");
+    assert_eq!(str_field(tenant_map, "kind"), "lock");
+    let engine_lock = find_span(children, "engine_lock").expect("engine-lock child");
+    assert_eq!(str_field(engine_lock, "kind"), "lock");
+
+    // The engine child joins the decision evidence: same DecisionId as
+    // the wire response, and the full decision_story embedded inline.
+    let engine = children
+        .iter()
+        .find(|node| node.get("kind").and_then(Value::as_str) == Some("engine"))
+        .expect("engine child");
+    assert_eq!(str_field(engine, "decision_id"), decision_id);
+    let story = engine.get("decision_story").expect("story joined inline");
+    // The story serializes its id structurally ({epoch, seq}), the
+    // same shape `/decision/<id>` serves; rebuild the hex to compare.
+    let story_id = story.get("decision_id").expect("story id");
+    let epoch = u64_field(story_id, "epoch");
+    let seq = u64_field(story_id, "seq");
+    assert_eq!(format!("{epoch:016x}{seq:016x}"), decision_id);
+
+    obs.shutdown();
+    server.shutdown();
+}
+
+#[test]
+fn malformed_trace_field_is_a_bad_request() {
+    let service = Arc::new(PolicyService::with_defaults());
+    provision(&service, "t");
+    for bad in [
+        r#""zzz""#,                                                  // not the grammar
+        r#""00000000000000000000000000000000-1111222233334444-01""#, // zero trace id
+        r#""aaaabbbbccccdddd1111222233334444-0000000000000000-01""#, // zero span id
+        r#""aaaabbbbccccdddd1111222233334444-1111222233334444""#,    // missing flags
+        "7",                                                         // wrong type
+    ] {
+        let response: Value = serde_json::from_str(
+            &service.handle_line(&format!(r#"{{"op":"ping","trace":{bad}}}"#)),
+        )
+        .unwrap();
+        assert_eq!(
+            response.get("ok"),
+            Some(&Value::Bool(false)),
+            "trace={bad} must be rejected: {response:?}"
+        );
+        assert_eq!(
+            response.get("error").map(|e| str_field(e, "code")),
+            Some("bad_request"),
+            "trace={bad}: {response:?}"
+        );
+    }
+}
+
+#[test]
+fn unsampled_context_is_neither_recorded_nor_echoed() {
+    let service = Arc::new(PolicyService::with_defaults());
+    provision(&service, "t");
+    let before = service.span_store().total_recorded();
+    let response: Value = serde_json::from_str(&service.handle_line(
+        r#"{"op":"decide","tenant":"t","subject":"sam","transaction":"read","object":"doc","trace":"aaaabbbbccccdddd1111222233334444-1111222233334444-00"}"#,
+    ))
+    .unwrap();
+    assert_eq!(response.get("ok"), Some(&Value::Bool(true)));
+    assert!(
+        response.get("trace").is_none(),
+        "an unsampled context must not be echoed: {response:?}"
+    );
+    assert_eq!(
+        service.span_store().total_recorded(),
+        before,
+        "an unsampled context must not record spans"
+    );
+}
+
+#[test]
+fn disabled_store_suppresses_recording_but_not_responses() {
+    let service = Arc::new(PolicyService::with_defaults());
+    provision(&service, "t");
+    service.span_store().set_enabled(false);
+    let before = service.span_store().total_recorded();
+    let response: Value = serde_json::from_str(&service.handle_line(
+        r#"{"op":"decide","tenant":"t","subject":"sam","transaction":"read","object":"doc","trace":"aaaabbbbccccdddd1111222233334444-1111222233334444-01"}"#,
+    ))
+    .unwrap();
+    assert_eq!(response.get("ok"), Some(&Value::Bool(true)));
+    assert!(response.get("trace").is_none());
+    assert_eq!(service.span_store().total_recorded(), before);
+}
+
+/// Satellite: every mediation surface carries the minted `DecisionId`
+/// on the wire — single decide, every batch item, and explain.
+#[test]
+fn decision_ids_are_present_on_every_mediation_surface() {
+    let service = Arc::new(PolicyService::with_defaults());
+    provision(&service, "t");
+
+    let decide: Value = serde_json::from_str(&service.handle_line(
+        r#"{"op":"decide","tenant":"t","subject":"sam","transaction":"read","object":"doc"}"#,
+    ))
+    .unwrap();
+    let id = str_field(decide.get("result").unwrap(), "decision_id");
+    assert_eq!(id.len(), 32, "decision ids are 32 hex digits: {id}");
+
+    let batch: Value = serde_json::from_str(&service.handle_line(
+        r#"{"op":"decide_batch","tenant":"t","requests":[{"subject":"sam","transaction":"read","object":"doc"},{"subject":"sam","transaction":"read","object":"doc"}]}"#,
+    ))
+    .unwrap();
+    let Some(Value::Seq(results)) = batch.get("result").and_then(|r| r.get("results")).cloned()
+    else {
+        panic!("decide_batch must return results: {batch:?}");
+    };
+    assert_eq!(results.len(), 2);
+    for item in &results {
+        assert_eq!(str_field(item, "decision_id").len(), 32, "{item:?}");
+    }
+
+    let explain: Value = serde_json::from_str(&service.handle_line(
+        r#"{"op":"explain","tenant":"t","subject":"sam","transaction":"read","object":"doc"}"#,
+    ))
+    .unwrap();
+    let result = explain.get("result").expect("explain result");
+    assert_eq!(str_field(result, "decision_id").len(), 32, "{result:?}");
+}

@@ -106,6 +106,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert!(why.contains("\"matched\""));
     assert!(why.contains("kids daytime tv"));
 
+    // Wire tracing: a request carrying a sampled trace context gets the
+    // server's span id echoed back, and the span tree — queue wait, lock
+    // stages, the engine call — is retrievable on the obs plane by the
+    // trace id alone (grammar in docs/service.md, workflow in
+    // docs/operations.md).
+    let obs = service.serve_observability("home", "127.0.0.1:0")?;
+    let traced = client.request_line(
+        r#"{"op":"decide","tenant":"home","subject":"bobby","transaction":"use","object":"tv","env":["daytime"],"trace":"aaaabbbbccccdddd1111222233334444-00f067aa0ba902b7-01"}"#,
+    )?;
+    println!("traced       -> {traced}");
+    assert!(
+        traced.contains("\"trace\":\"aaaabbbbccccdddd1111222233334444-"),
+        "traced decide did not echo the server span: {traced}"
+    );
+    let (status, tree) = grbac::obs::get(obs.addr(), "/trace/aaaabbbbccccdddd1111222233334444")?;
+    assert_eq!(status, 200, "trace lookup failed: {tree}");
+    for stage in ["queue_wait", "engine_lock", "\"decision_story\""] {
+        assert!(tree.contains(stage), "span tree missing {stage}: {tree}");
+    }
+    println!("trace tree resolved on the obs plane (stages + decision story)");
+    obs.shutdown();
+
     // Policy churn on one tenant bumps only that tenant's generation.
     let office_before = client.request_line(r#"{"op":"status","tenant":"office"}"#)?;
     let edit = client
