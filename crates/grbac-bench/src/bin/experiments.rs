@@ -1,12 +1,12 @@
 //! The experiment harness: regenerates every table in EXPERIMENTS.md.
 //!
 //! ```text
-//! experiments [e1 e2 … e17 | all] [--json] [--bench-out DIR]
+//! experiments [e1 e2 … e18 | all] [--json] [--bench-out DIR]
 //! ```
 //!
 //! Each experiment prints one or more tables; `--json` emits the same
 //! data as JSON for downstream tooling. `--bench-out DIR` additionally
-//! writes the benchmark-bearing experiments (e5, e10, e12–e17) to
+//! writes the benchmark-bearing experiments (e5, e10, e12–e18) to
 //! `DIR/BENCH_<name>.json`, one JSON document per experiment, for CI
 //! artifact storage and cross-run comparison. Timings here use
 //! wall-clock loops sized for quick runs; the Criterion benches in
@@ -71,7 +71,7 @@ fn main() {
     let want = |name: &str| run_all || selected.contains(&name);
 
     type Runner = fn() -> Vec<Table>;
-    let experiments: [(&str, Runner); 17] = [
+    let experiments: [(&str, Runner); 18] = [
         ("e1", e1_rbac_mediation),
         ("e2", e2_hierarchy),
         ("e3", e3_policy_size),
@@ -89,6 +89,7 @@ fn main() {
         ("e15", e15_obs_overhead),
         ("e16", e16_service_tenancy),
         ("e17", e17_tracing_overhead),
+        ("e18", e18_live_telemetry),
     ];
     let groups: Vec<(&str, Vec<Table>)> = experiments
         .iter()
@@ -101,7 +102,7 @@ fn main() {
     if let Some(dir) = bench_out {
         std::fs::create_dir_all(&dir).expect("--bench-out directory creatable");
         for (name, tables) in &groups {
-            if ["e5", "e10", "e12", "e13", "e14", "e15", "e16", "e17"].contains(name) {
+            if ["e5", "e10", "e12", "e13", "e14", "e15", "e16", "e17", "e18"].contains(name) {
                 let path = format!("{dir}/BENCH_{name}.json");
                 let body = serde_json::to_string_pretty(tables).expect("tables serialize");
                 std::fs::write(&path, body).expect("bench file writable");
@@ -2317,4 +2318,325 @@ fn e17_tracing_overhead() -> Vec<Table> {
     obs.shutdown();
     server.shutdown();
     vec![table, stage_table]
+}
+
+/// E18 — live telemetry: (1) decide throughput with a never-draining
+/// event-bus subscriber attached vs the nobody-listening fast path,
+/// (2) how fast a deny surge becomes visible on a wire subscription
+/// compared to the obs plane's 500 ms scrape cadence, and (3) exact
+/// backpressure accounting when a wire subscriber stalls.
+fn e18_live_telemetry() -> Vec<Table> {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    use grbac_bench::serveload::{LatencyRecorder, WireLoad};
+    use grbac_core::telemetry::EventFilter;
+    use grbac_serve::{Client, PolicyService, ServeServer, ServiceConfig};
+
+    const RULES: usize = 1_024;
+    const CONNS: usize = 2;
+    /// The obs plane's metrics-history capture cadence — the pull-side
+    /// latency floor the push plane is measured against.
+    const SCRAPE_INTERVAL_MS: u64 = 500;
+
+    let service = Arc::new(PolicyService::new(ServiceConfig {
+        workers: CONNS + 3,
+        ..ServiceConfig::default()
+    }));
+    let system = synthetic_grbac(&SyntheticConfig {
+        rules: RULES,
+        subject_roles: 32,
+        object_roles: 32,
+        environment_roles: 16,
+        seed: 1,
+        ..Default::default()
+    });
+    service
+        .create_tenant_with_engine("t", system.engine)
+        .expect("tenant provisioned");
+    let server = ServeServer::serve(Arc::clone(&service), "127.0.0.1:0").expect("ephemeral bind");
+    let addr = server.local_addr();
+    let tenant = service.tenant("t").expect("tenant exists");
+    let registry = Arc::clone(tenant.engine.read().expect("engine lock").metrics());
+
+    // ---- (1) publish-path cost under sustained wire decides ----
+    //
+    // The same E15/E16/E17 discipline: drivers send identical lines
+    // continuously; paired interleaved 800ms windows differ ONLY in
+    // whether a subscriber is registered on the tenant's bus. The
+    // subscriber is the worst realistic consumer — it never drains, so
+    // every publish pays ring push + drop-oldest eviction forever.
+    const WINDOW: std::time::Duration = std::time::Duration::from_millis(800);
+    const ROUNDS: usize = 3;
+    let median = |values: &mut Vec<f64>| {
+        values.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        values[values.len() / 2]
+    };
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let recorder = Arc::new(LatencyRecorder::new());
+    let drivers: Vec<_> = (0..CONNS)
+        .map(|c| {
+            let recorder = Arc::clone(&recorder);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let load = WireLoad {
+                    tenant: "t".to_owned(),
+                    subjects: 32,
+                    objects: 32,
+                    transactions: 4,
+                    environment_roles: 16,
+                    active_env: 3,
+                    seed: c as u64 + 1,
+                };
+                let lines = load.decide_lines(512);
+                let mut client = Client::connect(addr).expect("driver connect");
+                'drive: loop {
+                    for line in &lines {
+                        if stop.load(Ordering::Acquire) {
+                            break 'drive;
+                        }
+                        let sent = Instant::now();
+                        let response = client.request_line(line).expect("wire decide");
+                        assert!(response.contains("\"ok\":true"), "{response}");
+                        recorder.record(sent.elapsed().as_nanos() as u64);
+                    }
+                }
+            })
+        })
+        .collect();
+
+    let window = || -> Vec<u64> {
+        let _ = recorder.drain();
+        recorder.set_recording(true);
+        std::thread::sleep(WINDOW);
+        recorder.set_recording(false);
+        recorder.drain()
+    };
+
+    std::thread::sleep(WINDOW); // warmup, discarded
+    let mut off_counts: Vec<f64> = Vec::new();
+    let mut on_counts: Vec<f64> = Vec::new();
+    let mut ratios: Vec<f64> = Vec::new();
+    let mut published: u64 = 0;
+    let mut ring_dropped: u64 = 0;
+    // Escalate on a noisy median exactly as E17 does: more rounds add
+    // evidence, the 0.95 bar never moves.
+    const MAX_ROUNDS: usize = 4 * ROUNDS;
+    while ratios.len() < MAX_ROUNDS {
+        let off = window();
+        let subscriber = registry.events.subscribe(
+            grbac_core::telemetry::EventBus::DEFAULT_CAPACITY,
+            EventFilter::all(),
+        );
+        let on = window();
+        published += subscriber.published();
+        ring_dropped += subscriber.dropped();
+        drop(subscriber);
+        off_counts.push(off.len() as f64);
+        on_counts.push(on.len() as f64);
+        ratios.push(if off.is_empty() {
+            1.0
+        } else {
+            on.len() as f64 / off.len() as f64
+        });
+        if ratios.len() >= ROUNDS && median(&mut ratios) >= 0.95 {
+            break;
+        }
+    }
+    let throughput_ratio = median(&mut ratios);
+    assert!(
+        throughput_ratio >= 0.95,
+        "decide throughput with a live bus subscriber must stay within \
+         5% of the nobody-listening fast path (ratio {throughput_ratio:.3})"
+    );
+    if grbac_core::telemetry::ENABLED {
+        assert!(
+            published > 0,
+            "the subscribed windows must actually publish events"
+        );
+    }
+    let per_s = WINDOW.as_secs_f64();
+    let mut bus_table = Table::new(
+        "E18: wire decide throughput, event-bus subscriber on vs off",
+        &[
+            "subscriber",
+            "off_per_s",
+            "on_per_s",
+            "throughput_ratio",
+            "published",
+            "ring_dropped",
+        ],
+    );
+    bus_table.row(&[
+        "never-draining".to_owned(),
+        format!("{:.0}", median(&mut off_counts) / per_s),
+        format!("{:.0}", median(&mut on_counts) / per_s),
+        format!("{throughput_ratio:.3}"),
+        published.to_string(),
+        ring_dropped.to_string(),
+    ]);
+    stop.store(true, Ordering::Release);
+    for driver in drivers {
+        driver.join().expect("driver joins");
+    }
+
+    // ---- (2) deny-surge propagation: push plane vs scrape cadence ----
+    //
+    // A pull-based dashboard sees a deny surge at its next scrape — up
+    // to 500ms later. The claim here: a wire subscription surfaces the
+    // first deny strictly inside that budget. The surge is a burst of
+    // decides by a subject holding no roles (default deny).
+    let mut surge_table = Table::new(
+        "E18: deny-surge propagation, wire subscription vs scrape cadence",
+        &[
+            "burst",
+            "first_deny_frame_ms",
+            "scrape_interval_ms",
+            "frames_before_deny",
+        ],
+    );
+    let mut pressure_table = Table::new(
+        "E18: stalled-subscriber backpressure (capacity 8)",
+        &["decides", "decides_ok", "delivered", "dropped"],
+    );
+    if grbac_core::telemetry::ENABLED {
+        let mut admin = Client::connect(addr).expect("admin connect");
+        let declared = admin
+            .request_line(r#"{"op":"declare","tenant":"t","kind":"subject","name":"intruder"}"#)
+            .expect("declare");
+        assert!(declared.contains("\"ok\":true"), "{declared}");
+
+        let mut watcher = Client::connect(addr).expect("watcher connect");
+        let subscribed = watcher
+            .request_line(r#"{"op":"subscribe","tenants":["t"],"kinds":["decision"]}"#)
+            .expect("subscribe");
+        assert!(subscribed.contains("\"streaming\":true"), "{subscribed}");
+        watcher
+            .set_read_timeout(Some(std::time::Duration::from_secs(2)))
+            .expect("timeout set");
+
+        const BURST: usize = 64;
+        let surge = {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("surge connect");
+                for _ in 0..BURST {
+                    let response = client
+                        .request_line(
+                            r#"{"op":"decide","tenant":"t","subject":"intruder","transaction":"t_0","object":"o_0"}"#,
+                        )
+                        .expect("deny decide");
+                    assert!(response.contains("\"effect\":\"deny\""), "{response}");
+                }
+            })
+        };
+        let surge_start = Instant::now();
+        let mut frames_before_deny = 0u64;
+        let first_deny_ms = loop {
+            let frame = watcher.next_frame().expect("event frame within budget");
+            let event = frame.get("event").expect("event frames only");
+            let is_deny = matches!(
+                event.get("effect"),
+                Some(serde::Value::Str(effect)) if effect == "deny"
+            );
+            if is_deny {
+                break surge_start.elapsed().as_secs_f64() * 1_000.0;
+            }
+            frames_before_deny += 1;
+            assert!(
+                surge_start.elapsed() < std::time::Duration::from_secs(10),
+                "no deny frame arrived"
+            );
+        };
+        surge.join().expect("surge joins");
+        let (_, _) = watcher.unsubscribe().expect("unsubscribe");
+        assert!(
+            first_deny_ms < SCRAPE_INTERVAL_MS as f64,
+            "the wire subscription must surface the deny surge before \
+             the next scrape could ({first_deny_ms:.1}ms >= {SCRAPE_INTERVAL_MS}ms)"
+        );
+        surge_table.row(&[
+            BURST.to_string(),
+            format!("{first_deny_ms:.1}"),
+            SCRAPE_INTERVAL_MS.to_string(),
+            frames_before_deny.to_string(),
+        ]);
+
+        // ---- (3) stalled wire subscriber: drops counted, decides unblocked ----
+        //
+        // A tiny ring (capacity 8) and a reader that never reads while
+        // a full decide burst lands: the decide path must finish every
+        // request, and the unsubscribe receipt must account the loss.
+        let mut stalled = Client::connect(addr).expect("stalled connect");
+        let subscribed = stalled
+            .request_line(r#"{"op":"subscribe","tenants":["t"],"kinds":["decision"],"capacity":8}"#)
+            .expect("subscribe");
+        assert!(subscribed.contains("\"streaming\":true"), "{subscribed}");
+
+        const PRESSURE_DECIDES: usize = 2_048;
+        let load = WireLoad {
+            tenant: "t".to_owned(),
+            subjects: 32,
+            objects: 32,
+            transactions: 4,
+            environment_roles: 16,
+            active_env: 3,
+            seed: 99,
+        };
+        let lines = load.decide_lines(PRESSURE_DECIDES);
+        let mut blaster = Client::connect(addr).expect("blaster connect");
+        let mut decides_ok = 0usize;
+        for line in &lines {
+            let response = blaster.request_line(line).expect("decide under pressure");
+            assert!(
+                response.contains("\"ok\":true"),
+                "a stalled subscriber must never fail a decide: {response}"
+            );
+            decides_ok += 1;
+        }
+        stalled
+            .set_read_timeout(Some(std::time::Duration::from_millis(500)))
+            .expect("timeout set");
+        let (receipt, _) = stalled.unsubscribe().expect("unsubscribe receipt");
+        let count = |key: &str| -> u64 {
+            match receipt.get("result").and_then(|r| r.get(key)) {
+                Some(serde::Value::UInt(n)) => *n,
+                Some(serde::Value::Int(n)) => *n as u64,
+                other => panic!("unsubscribe receipt missing {key}: {other:?}"),
+            }
+        };
+        let delivered = count("delivered");
+        let dropped = count("dropped");
+        assert_eq!(
+            decides_ok, PRESSURE_DECIDES,
+            "every decide must complete while the subscriber stalls"
+        );
+        assert!(
+            dropped > 0,
+            "a capacity-8 ring under {PRESSURE_DECIDES} decides must shed \
+             events (delivered {delivered}, dropped {dropped})"
+        );
+        pressure_table.row(&[
+            PRESSURE_DECIDES.to_string(),
+            decides_ok.to_string(),
+            delivered.to_string(),
+            dropped.to_string(),
+        ]);
+    } else {
+        surge_table.row(&[
+            "0".to_owned(),
+            "0.0".to_owned(),
+            SCRAPE_INTERVAL_MS.to_string(),
+            "0".to_owned(),
+        ]);
+        pressure_table.row(&[
+            "0".to_owned(),
+            "0".to_owned(),
+            "0".to_owned(),
+            "0".to_owned(),
+        ]);
+    }
+
+    server.shutdown();
+    vec![bus_table, surge_table, pressure_table]
 }

@@ -3,6 +3,7 @@
 //! ```text
 //! serve_load [--addr HOST:PORT] [--tenants N] [--conns N]
 //!            [--requests N] [--rules N] [--churn] [--trace]
+//!            [--subscribe]
 //! ```
 //!
 //! Without `--addr` the harness self-hosts: it builds `--tenants`
@@ -25,6 +26,12 @@
 //! (queue wait, tenant-map lock, engine lock, engine call) from the
 //! server's span store after the drive, showing where wire latency
 //! actually went.
+//!
+//! `--subscribe` adds one live-telemetry watcher connection that
+//! subscribes to every tenant's event stream for the whole drive and
+//! reports frames received plus the unsubscribe receipt's exact
+//! `delivered`/`dropped` accounting — measuring decide throughput
+//! with the push plane actually consuming.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -56,6 +63,7 @@ fn main() {
         flag_value(&args, "--rules").map_or(1_024, |v| v.parse().expect("--rules N"));
     let churn = args.iter().any(|a| a == "--churn");
     let trace = args.iter().any(|a| a == "--trace");
+    let subscribe = args.iter().any(|a| a == "--subscribe");
     let external = flag_value(&args, "--addr");
 
     // Self-host unless an external server was named. The service
@@ -123,6 +131,52 @@ fn main() {
         })
     });
 
+    // Live-telemetry watcher: one connection streaming every tenant's
+    // events for the whole drive, drained continuously.
+    let stop_watch = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let watcher = subscribe.then(|| {
+        let addr = addr.clone();
+        let stop = Arc::clone(&stop_watch);
+        std::thread::spawn(move || -> (u64, u64, u64) {
+            let mut client = Client::connect(&addr).expect("watcher connect");
+            let subscribed = client
+                .request_line(r#"{"op":"subscribe","tenants":[]}"#)
+                .expect("subscribe");
+            assert!(
+                subscribed.contains("\"streaming\":true"),
+                "subscribe refused: {subscribed}"
+            );
+            client
+                .set_read_timeout(Some(std::time::Duration::from_millis(50)))
+                .expect("timeout set");
+            let mut frames = 0u64;
+            while !stop.load(std::sync::atomic::Ordering::Acquire) {
+                match client.next_frame() {
+                    Ok(_) => frames += 1,
+                    Err(err)
+                        if matches!(
+                            err.kind(),
+                            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                        ) => {}
+                    Err(err) => panic!("watcher stream failed: {err}"),
+                }
+            }
+            client
+                .set_read_timeout(Some(std::time::Duration::from_secs(5)))
+                .expect("timeout set");
+            let (receipt, tail) = client.unsubscribe().expect("unsubscribe receipt");
+            frames += tail.len() as u64;
+            let count = |key: &str| -> u64 {
+                match receipt.get("result").and_then(|r| r.get(key)) {
+                    Some(serde_json::Value::UInt(n)) => *n,
+                    Some(serde_json::Value::Int(n)) => *n as u64,
+                    _ => 0,
+                }
+            };
+            (frames, count("delivered"), count("dropped"))
+        })
+    });
+
     // One recorder per tenant, shared by that tenant's connections.
     let recorders: Vec<Arc<LatencyRecorder>> = (0..tenants)
         .map(|_| {
@@ -170,6 +224,8 @@ fn main() {
     if let Some(churner) = churner {
         churner.join().expect("churn thread");
     }
+    stop_watch.store(true, std::sync::atomic::Ordering::Release);
+    let watched = watcher.map(|handle| handle.join().expect("watcher thread"));
 
     let mut table = Table::new(
         "serve_load: wire decide latency per tenant",
@@ -191,6 +247,12 @@ fn main() {
         println!(
             "churn edits applied on t0: {}",
             edits.load(std::sync::atomic::Ordering::Relaxed)
+        );
+    }
+    if let Some((frames, delivered, dropped)) = watched {
+        println!(
+            "subscription: {frames} event frames received \
+             (bus accounting: delivered {delivered}, dropped {dropped})"
         );
     }
     // With `--trace` against a self-hosted server, report where the

@@ -973,6 +973,9 @@ impl Grbac {
         self.metrics.note_decision(id);
         self.metrics.observe_trace(&trace);
         self.record_provenance(request, &decision, Some(&trace));
+        self.metrics
+            .events
+            .publish_decision(id, decision.effect(), decision.degraded().is_some());
         Ok((decision, trace))
     }
 
@@ -1040,6 +1043,11 @@ impl Grbac {
                 self.metrics.note_decision(id);
                 self.metrics.observe_trace(&trace);
                 self.record_provenance(request, decision, Some(&trace));
+                self.metrics.events.publish_decision(
+                    id,
+                    decision.effect(),
+                    decision.degraded().is_some(),
+                );
             }
             result
         } else {
@@ -1049,6 +1057,11 @@ impl Grbac {
             if let Ok(decision) = &result {
                 self.metrics.note_decision(id);
                 self.record_provenance(request, decision, None);
+                self.metrics.events.publish_decision(
+                    id,
+                    decision.effect(),
+                    decision.degraded().is_some(),
+                );
             }
             result
         }

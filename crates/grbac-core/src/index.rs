@@ -755,6 +755,13 @@ impl IndexCell {
                     metrics.index_rebuild_ns.add(elapsed);
                 }
                 index.publish_shape(metrics);
+                metrics
+                    .events
+                    .publish(crate::telemetry::EventData::DeltaApplied {
+                        generation,
+                        patched,
+                        install_ns: elapsed,
+                    });
                 *slot = Some((generation, Arc::clone(&index)));
                 return index;
             }

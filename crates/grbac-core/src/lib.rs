@@ -120,9 +120,10 @@ pub use provenance::{
 pub use role::RoleKind;
 pub use rule::{Effect, Rule, RuleDef};
 pub use telemetry::{
-    AlertKind, AlertRecord, DecisionTrace, DecisionWatchdog, Exporter, JsonExporter,
-    MetricsRegistry, MetricsSnapshot, PrometheusExporter, RuleHeatSnapshot, Span, SpanId, SpanKind,
-    SpanStatus, SpanStore, SpanTree, TraceContext, TraceId, WatchdogConfig,
+    AlertKind, AlertRecord, DecisionTrace, DecisionWatchdog, EventBus, EventData, EventFilter,
+    EventKind, EventSubscription, Exporter, JsonExporter, MetricsHistory, MetricsRegistry,
+    MetricsSnapshot, PrometheusExporter, RuleHeatSnapshot, Severity, Span, SpanId, SpanKind,
+    SpanStatus, SpanStore, SpanTree, TelemetryEvent, TraceContext, TraceId, WatchdogConfig,
 };
 
 /// The most commonly needed items, importable with one `use`.

@@ -102,6 +102,12 @@ fn help_for(name: &str) -> &'static str {
             "Watchdog EWMA staleness-burn baseline, parts per million."
         }
         "grbac_stage_latency_ns" => "Sampled per-stage mediation latency in nanoseconds.",
+        "grbac_events_published_total" => "Telemetry events broadcast on the event bus, by kind.",
+        "grbac_events_dropped_total" => {
+            "Telemetry events evicted from slow subscribers' drop-oldest rings."
+        }
+        "grbac_event_subscribers" => "Event-bus subscriptions currently active.",
+        "grbac_events_enabled" => "Whether the event bus is broadcasting (1) or killed (0).",
         _ => "GRBAC mediation metric.",
     }
 }

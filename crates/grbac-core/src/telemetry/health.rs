@@ -353,6 +353,9 @@ impl DecisionWatchdog {
                 };
                 self.next_seq += 1;
                 registry.alerts_by_kind.add(kind.slot(), 1);
+                registry
+                    .events
+                    .publish(super::events::EventData::Alert(record.clone()));
                 self.alerts.push_back(record.clone());
                 while self.alerts.len() > self.config.max_alerts {
                     self.alerts.pop_front();

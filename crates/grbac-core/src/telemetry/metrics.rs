@@ -13,6 +13,7 @@ use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
 
+use super::events::{EventBus, EventKind};
 use super::health::AlertKind;
 use super::heat::RuleHeat;
 use super::sketch::{Exemplar, QuantileSketch, SketchSnapshot};
@@ -499,6 +500,14 @@ pub struct MetricsRegistry {
     /// The watchdog's learned staleness-burn baseline, in parts per
     /// million.
     pub watchdog_staleness_baseline_ppm: Gauge,
+    /// The live-telemetry broadcast bus (see
+    /// [`EventBus`](super::EventBus)): the engine's decide path, the
+    /// watchdog, and the index installer publish typed events here,
+    /// and the serve/obs streaming surfaces subscribe. Snapshots
+    /// export its publish/drop accounting as
+    /// `grbac_events_published_total{kind}`,
+    /// `grbac_events_dropped_total`, and the subscriber gauge.
+    pub events: EventBus,
     /// Round-robin sample selector for `decide_timer`.
     decide_sample: AtomicU64,
     /// `sample_rate - 1`, where the rate is a power of two; applied as
@@ -571,6 +580,7 @@ impl MetricsRegistry {
             watchdog_degraded_baseline_ppm: Gauge::new(),
             watchdog_flap_baseline_ppm: Gauge::new(),
             watchdog_staleness_baseline_ppm: Gauge::new(),
+            events: EventBus::new(),
             decide_sample: AtomicU64::new(0),
             latency_sample_mask: AtomicU64::new(Self::DEFAULT_LATENCY_SAMPLE - 1),
             recent_id_epoch: AtomicU64::new(0),
@@ -772,6 +782,10 @@ impl MetricsRegistry {
                 + self.index_delta_applied.dropped_total()
                 + self.alerts_by_kind.dropped_total(),
         );
+        counters.insert(
+            "grbac_events_dropped_total".to_owned(),
+            self.events.dropped_total(),
+        );
 
         let mut gauges = BTreeMap::new();
         for (name, gauge) in [
@@ -813,6 +827,14 @@ impl MetricsRegistry {
             } else {
                 0
             },
+        );
+        gauges.insert(
+            "grbac_event_subscribers".to_owned(),
+            self.events.subscriber_count(),
+        );
+        gauges.insert(
+            "grbac_events_enabled".to_owned(),
+            u64::from(self.events.is_enabled()),
         );
 
         let mut histograms = BTreeMap::new();
@@ -902,6 +924,19 @@ impl MetricsRegistry {
                     .into_iter()
                     .filter_map(|(slot, value)| {
                         DeltaKind::from_slot(slot).map(|kind| (kind.name().to_owned(), value))
+                    })
+                    .collect(),
+            },
+        );
+        keyed.insert(
+            "grbac_events_published_total".to_owned(),
+            KeyedSnapshot {
+                label: "kind".to_owned(),
+                values: EventKind::ALL
+                    .iter()
+                    .filter_map(|&kind| {
+                        let value = self.events.published_total(kind);
+                        (value > 0).then(|| (kind.name().to_owned(), value))
                     })
                     .collect(),
             },

@@ -42,6 +42,17 @@
 //!   registry's decision-stream counters (deny rate, degraded rate,
 //!   env-role flaps, staleness burn) with EWMA baselines and
 //!   structured [`AlertRecord`]s.
+//! * [`EventBus`] — the push plane: a bounded multi-subscriber
+//!   broadcast of typed [`TelemetryEvent`]s (decisions with their
+//!   effect and id, watchdog alerts, degraded-mode edges, policy-delta
+//!   installs, completed spans) with per-subscriber drop-oldest rings,
+//!   exact `delivered + dropped == published` accounting, and a
+//!   runtime kill switch. Publishing with nobody subscribed is a
+//!   couple of relaxed loads.
+//! * [`MetricsHistory`] — the time-series plane: a bounded ring of
+//!   periodic [`MetricsSnapshot`] deltas with windowed rate queries
+//!   (deny rate, decide throughput, degraded ppm) feeding the obs
+//!   server's `/timeseries` endpoint and dashboard sparklines.
 //!
 //! Telemetry is **on by default and cheap**: every counter update is a
 //! single relaxed atomic operation, decision latency is sampled (one
@@ -52,18 +63,24 @@
 //! Experiment E10 in EXPERIMENTS.md holds the default-on overhead
 //! under 5% on the E5 1024-rule workload.
 
+mod events;
 mod export;
 mod health;
 mod heat;
+mod history;
 mod metrics;
 mod sketch;
 mod span;
 mod trace;
 
 pub use crate::delta::DeltaKind;
+pub use events::{
+    EventBus, EventData, EventFilter, EventKind, EventSubscription, Severity, TelemetryEvent,
+};
 pub use export::{Exporter, JsonExporter, PrometheusExporter};
 pub use health::{AlertKind, AlertRecord, DecisionWatchdog, WatchdogConfig};
 pub use heat::{RuleHeat, RuleHeatEntry, RuleHeatSnapshot};
+pub use history::{HistoryWindow, MetricsHistory};
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, KeyedCounter, KeyedSnapshot, MetricsRegistry,
     MetricsSnapshot, QuantileSnapshot, SummaryFamily,

@@ -12,8 +12,10 @@
 //! ```
 
 use grbac_core::telemetry::{
-    self, AlertKind, DeltaKind, Exporter, MetricsRegistry, PrometheusExporter,
+    self, AlertKind, DeltaKind, EventData, EventFilter, Exporter, MetricsRegistry,
+    PrometheusExporter,
 };
+use grbac_core::{DecisionId, Effect};
 
 /// Fixed observations covering every metric kind the exporter renders.
 fn populated_registry() -> MetricsRegistry {
@@ -74,6 +76,28 @@ fn populated_registry() -> MetricsRegistry {
         sketch.observe(100 * (index as u64 + 1));
         sketch.observe(200 * (index as u64 + 1));
     }
+    // Event bus: one live subscriber with a 2-event ring, three
+    // decision events (so one drops) plus one delta install. The
+    // subscription is leaked on purpose so the subscriber gauge reads
+    // 1 at snapshot time.
+    let subscription = registry.events.subscribe(2, EventFilter::all());
+    for seq in 1..=3u64 {
+        registry.events.publish_decision(
+            DecisionId::from_parts(1, seq),
+            if seq == 3 {
+                Effect::Deny
+            } else {
+                Effect::Permit
+            },
+            false,
+        );
+    }
+    registry.events.publish(EventData::DeltaApplied {
+        generation: 4,
+        patched: true,
+        install_ns: 1_200,
+    });
+    std::mem::forget(subscription);
     registry
 }
 
@@ -170,4 +194,13 @@ fn scrape_payload_is_structurally_conformant() {
     assert!(text.contains("grbac_index_delta_applied_total{kind=\"edge_added\"} 1"));
     assert!(text.contains("grbac_index_delta_apply_ns_count{op=\"apply\"} 2"));
     assert!(text.contains("grbac_index_delta_apply_ns_sum{op=\"apply\"} 6000"));
+
+    // Event-bus families: per-kind publish counters, the drop counter
+    // fed by slow subscribers' ring evictions, and the subscriber /
+    // kill-switch gauges.
+    assert!(text.contains("grbac_events_published_total{kind=\"decision\"} 3"));
+    assert!(text.contains("grbac_events_published_total{kind=\"delta_applied\"} 1"));
+    assert!(text.contains("grbac_events_dropped_total 2"));
+    assert!(text.contains("grbac_event_subscribers 1"));
+    assert!(text.contains("grbac_events_enabled 1"));
 }

@@ -428,7 +428,8 @@ impl AwareHome {
         addr: impl std::net::ToSocketAddrs,
     ) -> std::io::Result<grbac_obs::ObsServer> {
         grbac_obs::ObsServer::serve(
-            grbac_obs::EngineObs::with_watchdog(self.engine_handle(), self.watchdog_handle()),
+            grbac_obs::EngineObs::with_watchdog(self.engine_handle(), self.watchdog_handle())
+                .with_live_telemetry(),
             addr,
         )
     }

@@ -18,6 +18,9 @@
 //! | `GET /trace/<trace_id>` | assembled span tree for one wire trace, decide spans joined with their decision story |
 //! | `GET /traces` | recent trace roots (`?tenant=`, `?op=`, `?min_duration_us=`, `?limit=`) |
 //! | `GET /traces.json` | every retained span as OTLP-shaped JSON |
+//! | `GET /events` | live telemetry events as Server-Sent Events (`?kinds=`, `?min_severity=`, `?since=`; `Last-Event-ID` resumes) |
+//! | `GET /timeseries` | windowed metrics series (`?series=`, `?windows=`) |
+//! | `GET /dashboard` | self-contained live HTML dashboard (sparklines + event feed) |
 //!
 //! `/decision/<id>` is the payoff of the decision-correlation scheme:
 //! the 32-hex-digit [`DecisionId`] scraped out of an exemplar on
@@ -32,6 +35,20 @@
 //! queue → lock → engine breakdown, with each decide span joined to its
 //! decision story by the stamped `DecisionId`. All routes are GET-only;
 //! other methods answer `405` with an `Allow: GET` header.
+//!
+//! The three live routes require [`EngineObs::with_live_telemetry`]
+//! (absent, they answer 404): it subscribes the plane to the engine's
+//! [`EventBus`](grbac_core::telemetry::EventBus) and starts — once
+//! served — a background pump that drains events into a bounded
+//! replayable ring and records a [`MetricsHistory`] window every
+//! ~500 ms. `/events` streams the ring as SSE (`id:` is the bus seq,
+//! so `Last-Event-ID` reconnects resume exactly where the client left
+//! off) with `: heartbeat` comments while quiet; `/timeseries` answers
+//! windowed rate series for dashboards; `/dashboard` is a single
+//! self-contained HTML page consuming both. A streaming `/events`
+//! connection occupies one worker for its lifetime — size the pool
+//! with [`ObsServer::serve_with_workers`] when you expect several
+//! concurrent watchers.
 //!
 //! ```no_run
 //! use std::sync::{Arc, RwLock};
@@ -53,32 +70,141 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use grbac_core::analysis::health_report;
 use grbac_core::provenance::decision_story;
 use grbac_core::telemetry::{
-    assemble_trace, otlp_value, DecisionWatchdog, Exporter, JsonExporter, PrometheusExporter,
-    SpanStore, SpanTree, TraceId,
+    assemble_trace, otlp_value, DecisionWatchdog, EventFilter, EventKind, EventSubscription,
+    Exporter, JsonExporter, MetricsHistory, PrometheusExporter, Severity, SpanStore, SpanTree,
+    TelemetryEvent, TraceId,
 };
 use grbac_core::{DecisionId, Grbac};
 use serde::Value;
 
+/// The obs plane's own tap on the engine's event bus plus its metrics
+/// time series: a long-lived bus subscription drained into a bounded
+/// replayable ring (so SSE reconnects can resume by seq) and a
+/// [`MetricsHistory`] recorded on a ~500 ms cadence.
+///
+/// Pull-fed like the history itself: [`EngineObs::live_tick`] does one
+/// pump-and-maybe-scrape step. [`ObsServer`] runs a background ticker
+/// whenever the plane it serves has live telemetry attached, and every
+/// `/events` stream ticks on its own poll loop too, so events reach
+/// watchers within one tick even between scrapes.
+#[derive(Debug)]
+pub struct LiveTelemetry {
+    subscription: EventSubscription,
+    ring: Mutex<VecDeque<Arc<TelemetryEvent>>>,
+    history: MetricsHistory,
+    last_scrape: Mutex<Option<Instant>>,
+}
+
+impl LiveTelemetry {
+    /// Events the replay ring retains for `Last-Event-ID` resume (and
+    /// the bus-side ring capacity of the plane's subscription).
+    pub const RETAINED_EVENTS: usize = 1_024;
+
+    /// Target cadence between metrics-history captures.
+    pub const SCRAPE_INTERVAL: Duration = Duration::from_millis(500);
+
+    fn new(engine: &Arc<RwLock<Grbac>>) -> Self {
+        let subscription = engine
+            .read()
+            .expect("engine lock")
+            .metrics()
+            .events
+            .subscribe(Self::RETAINED_EVENTS, EventFilter::all());
+        Self {
+            subscription,
+            ring: Mutex::new(VecDeque::new()),
+            history: MetricsHistory::new(MetricsHistory::DEFAULT_CAPACITY),
+            last_scrape: Mutex::new(None),
+        }
+    }
+
+    /// The metrics time series behind `/timeseries`.
+    #[must_use]
+    pub fn history(&self) -> &MetricsHistory {
+        &self.history
+    }
+
+    /// Moves everything the bus delivered since the last pump into the
+    /// retained ring, evicting oldest beyond
+    /// [`RETAINED_EVENTS`](Self::RETAINED_EVENTS).
+    fn pump(&self) {
+        let events = self.subscription.drain();
+        if events.is_empty() {
+            return;
+        }
+        let mut ring = self
+            .ring
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        for event in events {
+            if ring.len() >= Self::RETAINED_EVENTS {
+                ring.pop_front();
+            }
+            ring.push_back(event);
+        }
+    }
+
+    /// Retained events with a bus seq strictly greater than `cursor`,
+    /// oldest first.
+    fn events_after(&self, cursor: u64) -> Vec<Arc<TelemetryEvent>> {
+        let ring = self
+            .ring
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        ring.iter()
+            .filter(|event| event.seq > cursor)
+            .cloned()
+            .collect()
+    }
+
+    /// Unconditionally captures one history window from the engine's
+    /// current counters.
+    fn scrape(&self, engine: &Arc<RwLock<Grbac>>) {
+        let snapshot = engine.read().expect("engine lock").metrics_snapshot();
+        self.history.record(snapshot);
+    }
+
+    /// [`Self::scrape`] gated to the [`SCRAPE_INTERVAL`](Self::SCRAPE_INTERVAL)
+    /// cadence — callers can tick as often as they like.
+    fn maybe_scrape(&self, engine: &Arc<RwLock<Grbac>>) {
+        {
+            let mut last = self
+                .last_scrape
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            if last.is_some_and(|at| at.elapsed() < Self::SCRAPE_INTERVAL) {
+                return;
+            }
+            *last = Some(Instant::now());
+        }
+        self.scrape(engine);
+    }
+}
+
 /// The engine-side state one observability server exposes: a shared
 /// engine plus an optional shared watchdog slot (`/health` ticks it,
-/// `/alerts` reads its retained log) and an optional shared span store
-/// (the `/trace*` routes; absent, they answer 404).
+/// `/alerts` reads its retained log), an optional shared span store
+/// (the `/trace*` routes; absent, they answer 404), and optional live
+/// telemetry (the `/events`, `/timeseries` and `/dashboard` routes;
+/// absent, they answer 404).
 #[derive(Debug, Clone)]
 pub struct EngineObs {
     engine: Arc<RwLock<Grbac>>,
     watchdog: Arc<Mutex<Option<DecisionWatchdog>>>,
     spans: Option<Arc<SpanStore>>,
+    live: Option<Arc<LiveTelemetry>>,
 }
 
 impl EngineObs {
@@ -90,6 +216,7 @@ impl EngineObs {
             engine,
             watchdog: Arc::new(Mutex::new(None)),
             spans: None,
+            live: None,
         }
     }
 
@@ -105,6 +232,7 @@ impl EngineObs {
             engine,
             watchdog,
             spans: None,
+            live: None,
         }
     }
 
@@ -115,6 +243,34 @@ impl EngineObs {
     pub fn with_spans(mut self, spans: Arc<SpanStore>) -> Self {
         self.spans = Some(spans);
         self
+    }
+
+    /// Attaches live telemetry, enabling `/events`, `/timeseries` and
+    /// `/dashboard`: subscribes this plane to the engine's event bus
+    /// (which flips the bus out of its nobody-listening fast path) and
+    /// allocates the metrics-history ring. [`ObsServer::serve`] starts
+    /// the background ticker automatically when it sees live telemetry
+    /// attached.
+    #[must_use]
+    pub fn with_live_telemetry(mut self) -> Self {
+        self.live = Some(Arc::new(LiveTelemetry::new(&self.engine)));
+        self
+    }
+
+    /// The attached live telemetry, when enabled.
+    #[must_use]
+    pub fn live(&self) -> Option<&Arc<LiveTelemetry>> {
+        self.live.as_ref()
+    }
+
+    /// One live-telemetry step: drain the bus subscription into the
+    /// replay ring and, if the scrape interval elapsed, record a
+    /// metrics-history window. No-op without live telemetry.
+    pub fn live_tick(&self) {
+        if let Some(live) = &self.live {
+            live.pump();
+            live.maybe_scrape(&self.engine);
+        }
     }
 
     fn respond(&self, path: &str, query: &str) -> Response {
@@ -150,6 +306,14 @@ impl EngineObs {
                 Some(spans) => Response::json_value(&otlp_value("grbac", &spans.snapshot())),
                 None => Response::not_found("tracing not enabled on this plane"),
             },
+            "/timeseries" => self.timeseries(query),
+            "/dashboard" => {
+                if self.live.is_some() {
+                    Response::ok("text/html; charset=utf-8", DASHBOARD_HTML.to_owned())
+                } else {
+                    Response::not_found("live telemetry not enabled on this plane")
+                }
+            }
             _ => {
                 if let Some(hex) = path.strip_prefix("/decision/") {
                     self.decision(hex)
@@ -292,7 +456,128 @@ impl EngineObs {
             ("sample_rate".to_owned(), Value::UInt(store.sample_rate())),
         ]))
     }
+
+    /// `/timeseries`: named per-window metrics series, oldest first.
+    /// Query: `series=<name,...>` (default the three derived rate
+    /// series), `windows=<n>` (default 32). Unknown series names and
+    /// unparseable counts answer 400.
+    fn timeseries(&self, query: &str) -> Response {
+        let Some(live) = &self.live else {
+            return Response::not_found("live telemetry not enabled on this plane");
+        };
+        // Serve fresh data even when scraped between ticker beats.
+        self.live_tick();
+        let mut names = vec![
+            "deny_rate_ppm".to_owned(),
+            "decide_per_sec".to_owned(),
+            "degraded_ppm".to_owned(),
+        ];
+        let mut windows: usize = 32;
+        for (key, value) in query
+            .split('&')
+            .filter(|pair| !pair.is_empty())
+            .map(|pair| pair.split_once('=').unwrap_or((pair, "")))
+        {
+            match key {
+                "series" => {
+                    names = value
+                        .split(',')
+                        .filter(|name| !name.is_empty())
+                        .map(str::to_owned)
+                        .collect();
+                }
+                "windows" => match value.parse::<usize>() {
+                    Ok(n) if n > 0 => windows = n,
+                    _ => return Response::bad_request("windows must be a positive integer"),
+                },
+                _ => {}
+            }
+        }
+        let recent = live.history.windows(windows);
+        let mut series = Vec::with_capacity(names.len());
+        for name in names {
+            let Some(points) = live.history.series(&name, windows) else {
+                return Response::bad_request("unknown series (derived names: deny_rate_ppm, decide_per_sec, degraded_ppm; otherwise any exported counter or gauge)");
+            };
+            series.push((
+                name,
+                Value::Seq(points.into_iter().map(Value::Float).collect()),
+            ));
+        }
+        Response::json_value(&Value::Map(vec![
+            ("windows".to_owned(), Value::UInt(recent.len() as u64)),
+            (
+                "elapsed_ns".to_owned(),
+                Value::Seq(recent.iter().map(|w| Value::UInt(w.elapsed_ns)).collect()),
+            ),
+            ("series".to_owned(), Value::Map(series)),
+        ]))
+    }
 }
+
+/// The `/dashboard` page: one self-contained HTML document — inline
+/// CSS, inline JS, SVG sparklines — polling `/timeseries` and tailing
+/// `/events` over `EventSource`. No external assets, so it renders on
+/// an air-gapped network exactly as it does here.
+const DASHBOARD_HTML: &str = r##"<!doctype html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>grbac live telemetry</title>
+<style>
+ body { font: 14px/1.4 system-ui, sans-serif; margin: 2rem; background: #11151a; color: #d8dee6; }
+ h1 { font-size: 1.3rem; } h2 { font-size: 1rem; margin: 1.2rem 0 .4rem; color: #8fa3b8; }
+ .spark { display: inline-block; margin-right: 2rem; }
+ .spark svg { background: #1a2129; border: 1px solid #2a3543; }
+ .spark .val { font-size: 1.2rem; font-variant-numeric: tabular-nums; }
+ #events li { list-style: none; font: 12px/1.5 ui-monospace, monospace; white-space: nowrap; overflow: hidden; text-overflow: ellipsis; }
+ #events li.warning { color: #e6c07b; } #events li.critical { color: #e06c75; }
+ #events { padding: 0; max-width: 72rem; }
+</style>
+</head>
+<body>
+<h1>grbac live telemetry</h1>
+<div id="sparks"></div>
+<h2>event stream</h2>
+<ul id="events"></ul>
+<script>
+const SERIES = ["deny_rate_ppm", "decide_per_sec", "degraded_ppm"];
+const W = 240, H = 48;
+function sparkline(points) {
+  if (!points.length) return "";
+  const max = Math.max(...points, 1e-9);
+  const step = points.length > 1 ? W / (points.length - 1) : 0;
+  const path = points
+    .map((p, i) => `${(i * step).toFixed(1)},${(H - 4 - (p / max) * (H - 8)).toFixed(1)}`)
+    .join(" ");
+  return `<svg width="${W}" height="${H}"><polyline fill="none" stroke="#61afef" stroke-width="1.5" points="${path}"/></svg>`;
+}
+async function refresh() {
+  try {
+    const body = await (await fetch("/timeseries?windows=64")).json();
+    document.getElementById("sparks").innerHTML = SERIES.map(name => {
+      const points = body.series[name] || [];
+      const last = points.length ? points[points.length - 1] : 0;
+      return `<div class="spark"><h2>${name}</h2>${sparkline(points)}<div class="val">${last.toFixed(1)}</div></div>`;
+    }).join("");
+  } catch (e) { /* plane restarting; retry on the next beat */ }
+}
+refresh();
+setInterval(refresh, 1000);
+const feed = document.getElementById("events");
+const source = new EventSource("/events");
+source.onmessage = frame => {
+  const event = JSON.parse(frame.data);
+  const row = document.createElement("li");
+  row.className = event.severity;
+  row.textContent = `#${event.seq} ${event.kind} ` + JSON.stringify(event);
+  feed.prepend(row);
+  while (feed.children.length > 50) feed.removeChild(feed.lastChild);
+};
+</script>
+</body>
+</html>
+"##;
 
 /// Renders a span tree as JSON, attaching `decision_story` to any span
 /// whose stamped decision id still resolves against the engine's
@@ -409,11 +694,20 @@ impl Response {
     }
 }
 
-/// Parses the request line of one HTTP/1.1 request, returning
-/// `(method, path, query)`. Headers are read and discarded (the server
-/// is GET-only and stateless). The query string (without the `?`) is
+/// One parsed HTTP/1.1 request head.
+struct ParsedRequest {
+    method: String,
+    path: String,
+    query: String,
+    /// The SSE resume cursor, when the client sent `Last-Event-ID`.
+    last_event_id: Option<u64>,
+}
+
+/// Parses the request line of one HTTP/1.1 request. Headers are read
+/// and discarded except `Last-Event-ID` (the server is otherwise
+/// GET-only and stateless). The query string (without the `?`) is
 /// preserved for the routes that filter, empty when absent.
-fn parse_request(stream: &TcpStream) -> std::io::Result<Option<(String, String, String)>> {
+fn parse_request(stream: &TcpStream) -> std::io::Result<Option<ParsedRequest>> {
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut line = String::new();
     if reader.read_line(&mut line)? == 0 {
@@ -428,40 +722,177 @@ fn parse_request(stream: &TcpStream) -> std::io::Result<Option<(String, String, 
     };
     // Drain the headers so the peer sees the response after a clean
     // request; bodies are ignored (GET has none).
+    let mut last_event_id = None;
     loop {
         let mut header = String::new();
         if reader.read_line(&mut header)? == 0 || header == "\r\n" || header == "\n" {
             break;
         }
-    }
-    Ok(Some((method, path, query)))
-}
-
-fn handle_connection(obs: &EngineObs, mut stream: TcpStream) {
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
-    let response = match parse_request(&stream) {
-        Ok(Some((method, path, query))) => {
-            if method == "GET" {
-                obs.respond(&path, &query)
-            } else {
-                Response::method_not_allowed()
+        if let Some((name, value)) = header.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("last-event-id") {
+                last_event_id = value.trim().parse::<u64>().ok();
             }
         }
+    }
+    Ok(Some(ParsedRequest {
+        method,
+        path,
+        query,
+        last_event_id,
+    }))
+}
+
+/// How often a streaming `/events` connection polls the live plane for
+/// fresh events (and checks the server's stop flag).
+const SSE_POLL: Duration = Duration::from_millis(50);
+
+/// Quiet polls before a `: heartbeat` comment goes out (~2 s at
+/// [`SSE_POLL`]) — keeps proxies from timing out the stream and lets
+/// the server notice a dead client.
+const SSE_HEARTBEAT_POLLS: u32 = 40;
+
+/// `/events`: the SSE stream. Each frame is `id: <bus seq>` plus a
+/// `data:` line holding the event's flat JSON; the cursor starts at
+/// `Last-Event-ID` (or `?since=`), so reconnects replay exactly the
+/// retained events the client missed. Runs until the client hangs up
+/// or the server shuts down.
+fn stream_events(
+    obs: &EngineObs,
+    stream: &mut TcpStream,
+    query: &str,
+    last_event_id: Option<u64>,
+    stop: &AtomicBool,
+) {
+    let Some(live) = obs.live.as_ref() else {
+        let _ = Response::not_found("live telemetry not enabled on this plane").write_to(stream);
+        return;
+    };
+    let mut filter = EventFilter::all();
+    let mut cursor = 0u64;
+    for (key, value) in query
+        .split('&')
+        .filter(|pair| !pair.is_empty())
+        .map(|pair| pair.split_once('=').unwrap_or((pair, "")))
+    {
+        match key {
+            "kinds" => {
+                for name in value.split(',').filter(|name| !name.is_empty()) {
+                    match EventKind::from_name(name) {
+                        Some(kind) => filter = filter.kind(kind),
+                        None => {
+                            let _ = Response::bad_request("unknown event kind").write_to(stream);
+                            return;
+                        }
+                    }
+                }
+            }
+            "min_severity" => match Severity::from_name(value) {
+                Some(severity) => filter = filter.min_severity(severity),
+                None => {
+                    let _ = Response::bad_request("unknown severity").write_to(stream);
+                    return;
+                }
+            },
+            "since" => match value.parse::<u64>() {
+                Ok(seq) => cursor = seq,
+                Err(_) => {
+                    let _ = Response::bad_request("since must be an integer seq").write_to(stream);
+                    return;
+                }
+            },
+            _ => {}
+        }
+    }
+    // The SSE spec's reconnect header wins over the query cursor.
+    if let Some(seq) = last_event_id {
+        cursor = seq;
+    }
+    if stream
+        .write_all(
+            b"HTTP/1.1 200 OK\r\nContent-Type: text/event-stream\r\nCache-Control: no-store\r\nConnection: close\r\n\r\nretry: 2000\n\n",
+        )
+        .is_err()
+    {
+        return;
+    }
+    let mut quiet_polls = 0u32;
+    loop {
+        if stop.load(Ordering::Acquire) {
+            return;
+        }
+        obs.live_tick();
+        let mut wrote = false;
+        for event in live.events_after(cursor) {
+            cursor = event.seq;
+            if !filter.matches(&event) {
+                continue;
+            }
+            let frame = format!(
+                "id: {}\ndata: {}\n\n",
+                event.seq,
+                serde_json::to_string(&event.to_value()).unwrap_or_default()
+            );
+            if stream.write_all(frame.as_bytes()).is_err() {
+                return;
+            }
+            wrote = true;
+        }
+        if wrote {
+            quiet_polls = 0;
+            let _ = stream.flush();
+        } else {
+            quiet_polls += 1;
+            if quiet_polls >= SSE_HEARTBEAT_POLLS {
+                quiet_polls = 0;
+                if stream.write_all(b": heartbeat\n\n").is_err() {
+                    return;
+                }
+                let _ = stream.flush();
+            }
+        }
+        std::thread::sleep(SSE_POLL);
+    }
+}
+
+fn handle_connection(obs: &EngineObs, mut stream: TcpStream, stop: &AtomicBool) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    let request = match parse_request(&stream) {
+        Ok(Some(request)) => request,
         Ok(None) => return,
-        Err(_) => Response::bad_request("malformed request"),
+        Err(_) => {
+            let _ = Response::bad_request("malformed request").write_to(&mut stream);
+            let _ = stream.flush();
+            return;
+        }
+    };
+    if request.method == "GET" && request.path == "/events" {
+        stream_events(
+            obs,
+            &mut stream,
+            &request.query,
+            request.last_event_id,
+            stop,
+        );
+        let _ = stream.flush();
+        return;
+    }
+    let response = if request.method == "GET" {
+        obs.respond(&request.path, &request.query)
+    } else {
+        Response::method_not_allowed()
     };
     let _ = response.write_to(&mut stream);
     let _ = stream.flush();
 }
 
-fn worker(obs: EngineObs, jobs: Arc<Mutex<Receiver<TcpStream>>>) {
+fn worker(obs: EngineObs, jobs: Arc<Mutex<Receiver<TcpStream>>>, stop: Arc<AtomicBool>) {
     loop {
         // Hold the receiver lock only to dequeue, not to serve.
         let stream = match jobs.lock().expect("job queue lock").recv() {
             Ok(stream) => stream,
             Err(_) => return, // acceptor dropped the sender: shutdown
         };
-        handle_connection(&obs, stream);
+        handle_connection(&obs, stream, &stop);
     }
 }
 
@@ -475,6 +906,7 @@ pub struct ObsServer {
     stop: Arc<AtomicBool>,
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    ticker: Option<JoinHandle<()>>,
 }
 
 impl ObsServer {
@@ -518,9 +950,24 @@ impl ObsServer {
             .map(|_| {
                 let obs = obs.clone();
                 let jobs = Arc::clone(&receiver);
-                std::thread::spawn(move || worker(obs, jobs))
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || worker(obs, jobs, stop))
             })
             .collect();
+
+        // With live telemetry attached, a background ticker keeps the
+        // event ring and the metrics history fed even while nobody is
+        // watching — so the first dashboard load already has a past.
+        let ticker = obs.live.is_some().then(|| {
+            let obs = obs.clone();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Acquire) {
+                    obs.live_tick();
+                    std::thread::sleep(Self::TICKER_POLL);
+                }
+            })
+        });
 
         let acceptor = {
             let stop = Arc::clone(&stop);
@@ -548,8 +995,14 @@ impl ObsServer {
             stop,
             acceptor: Some(acceptor),
             workers: pool,
+            ticker,
         })
     }
+
+    /// How often the live-telemetry ticker wakes (the history scrape
+    /// itself is gated to [`LiveTelemetry::SCRAPE_INTERVAL`]; events
+    /// move to the replay ring on every beat).
+    const TICKER_POLL: Duration = Duration::from_millis(100);
 
     /// The bound address (resolves port 0 to the actual port).
     #[must_use]
@@ -572,6 +1025,9 @@ impl ObsServer {
         }
         for worker in self.workers.drain(..) {
             let _ = worker.join();
+        }
+        if let Some(ticker) = self.ticker.take() {
+            let _ = ticker.join();
         }
     }
 }
@@ -853,5 +1309,233 @@ mod tests {
         );
 
         server.shutdown();
+    }
+
+    /// Opens `path` as an SSE stream (optionally resuming with
+    /// `Last-Event-ID`) and reads raw bytes until `until` matches or
+    /// the deadline passes. The connection is then dropped — which is
+    /// exactly how real SSE clients leave.
+    fn sse_read(
+        addr: SocketAddr,
+        path: &str,
+        last_event_id: Option<u64>,
+        until: &str,
+        deadline: Duration,
+    ) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_millis(100)))
+            .unwrap();
+        let resume = match last_event_id {
+            Some(id) => format!("Last-Event-ID: {id}\r\n"),
+            None => String::new(),
+        };
+        write!(
+            stream,
+            "GET {path} HTTP/1.1\r\nHost: grbac-obs\r\nAccept: text/event-stream\r\n{resume}\r\n"
+        )
+        .unwrap();
+        stream.flush().unwrap();
+        let started = std::time::Instant::now();
+        let mut raw = Vec::new();
+        let mut buf = [0u8; 4096];
+        loop {
+            match stream.read(&mut buf) {
+                Ok(0) => break,
+                Ok(n) => raw.extend_from_slice(&buf[..n]),
+                Err(err)
+                    if matches!(
+                        err.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) => {}
+                Err(_) => break,
+            }
+            let text = String::from_utf8_lossy(&raw);
+            if text.contains(until) || started.elapsed() > deadline {
+                break;
+            }
+        }
+        String::from_utf8_lossy(&raw).into_owned()
+    }
+
+    /// Satellite: every route answers with the exact media type its
+    /// consumers key on — Prometheus scrapers, JSON dashboards, and
+    /// EventSource all sniff `Content-Type` strictly.
+    #[test]
+    fn header_conformance_across_all_routes() {
+        let engine = engine_with_policy();
+        let obs = EngineObs::new(Arc::clone(&engine))
+            .with_spans(Arc::new(SpanStore::new()))
+            .with_live_telemetry();
+        let server = ObsServer::serve(obs, "127.0.0.1:0").unwrap();
+        let addr = server.addr();
+
+        let expectations = [
+            ("/metrics", 200, "text/plain; version=0.0.4; charset=utf-8"),
+            ("/metrics.json", 200, "application/json"),
+            ("/health", 200, "application/json"),
+            ("/heat", 200, "application/json"),
+            ("/alerts", 200, "application/json"),
+            ("/traces", 200, "application/json"),
+            ("/traces.json", 200, "application/json"),
+            ("/timeseries", 200, "application/json"),
+            ("/dashboard", 200, "text/html; charset=utf-8"),
+            ("/nope", 404, "text/plain; charset=utf-8"),
+            ("/decision/zzz", 400, "text/plain; charset=utf-8"),
+        ];
+        for (path, want_status, want_type) in expectations {
+            let (status, head, _) = request(addr, "GET", path).unwrap();
+            assert_eq!(status, want_status, "{path}");
+            assert!(
+                head.contains(&format!("Content-Type: {want_type}")),
+                "{path} must answer `{want_type}`, got: {head}"
+            );
+        }
+
+        // The SSE stream: correct media type plus the no-store cache
+        // directive (a cached event stream is a frozen dashboard).
+        let raw = sse_read(addr, "/events", None, "\r\n\r\n", Duration::from_secs(3));
+        assert!(
+            raw.contains("Content-Type: text/event-stream"),
+            "SSE head was: {raw}"
+        );
+        assert!(
+            raw.contains("Cache-Control: no-store"),
+            "SSE head was: {raw}"
+        );
+
+        server.shutdown();
+    }
+
+    /// The live tentpole round trip: decisions publish onto the bus,
+    /// the plane's pump retains them, `/events` streams them as SSE
+    /// frames, and a `Last-Event-ID` reconnect resumes past everything
+    /// already seen.
+    #[test]
+    fn events_stream_delivers_and_resumes_by_seq() {
+        let engine = engine_with_policy();
+        let obs = EngineObs::new(Arc::clone(&engine)).with_live_telemetry();
+        let server = ObsServer::serve(obs, "127.0.0.1:0").unwrap();
+        let addr = server.addr();
+
+        for _ in 0..3 {
+            decide_once(&engine);
+        }
+        if !grbac_core::telemetry::ENABLED {
+            // No events exist under telemetry-off; the stream is just
+            // a well-formed head (heartbeats only). Covered above.
+            server.shutdown();
+            return;
+        }
+
+        let raw = sse_read(addr, "/events", Some(0), "\ndata:", Duration::from_secs(5));
+        assert!(raw.contains("\ndata:"), "no event frame arrived: {raw}");
+        assert!(raw.contains("\"kind\""), "frames carry the event JSON");
+        let max_seq = raw
+            .lines()
+            .filter_map(|line| line.strip_prefix("id: "))
+            .filter_map(|seq| seq.trim().parse::<u64>().ok())
+            .max()
+            .expect("id: lines accompany every frame");
+
+        // New decisions land after the cursor; a resumed stream must
+        // start strictly past everything acknowledged.
+        for _ in 0..2 {
+            decide_once(&engine);
+        }
+        let resumed = sse_read(
+            addr,
+            "/events",
+            Some(max_seq),
+            "\ndata:",
+            Duration::from_secs(5),
+        );
+        let first_resumed = resumed
+            .lines()
+            .filter_map(|line| line.strip_prefix("id: "))
+            .filter_map(|seq| seq.trim().parse::<u64>().ok())
+            .next()
+            .expect("resumed stream must deliver the new events");
+        assert!(
+            first_resumed > max_seq,
+            "resume replayed seq {first_resumed} <= cursor {max_seq}"
+        );
+
+        // A kind filter suppresses decision frames entirely; bad
+        // filter values fail fast as one-shot 400s.
+        let filtered = sse_read(
+            addr,
+            "/events?kinds=alert",
+            Some(0),
+            "never-matches",
+            Duration::from_millis(600),
+        );
+        assert!(
+            !filtered.contains("\"kind\":\"decision\""),
+            "kind filter leaked: {filtered}"
+        );
+        let (status, _, _) = request(addr, "GET", "/events?kinds=bogus").unwrap();
+        assert_eq!(status, 400);
+        let (status, _, _) = request(addr, "GET", "/events?min_severity=loud").unwrap();
+        assert_eq!(status, 400);
+
+        server.shutdown();
+    }
+
+    /// `/timeseries` serves windowed series out of the scraped
+    /// history; `/dashboard` is the self-contained page wired to both
+    /// live routes. Without live telemetry all three routes 404.
+    #[test]
+    fn timeseries_and_dashboard_serve_live_plane() {
+        let engine = engine_with_policy();
+        let obs = EngineObs::new(Arc::clone(&engine)).with_live_telemetry();
+        let live = Arc::clone(obs.live().expect("live telemetry attached"));
+        let server = ObsServer::serve(obs.clone(), "127.0.0.1:0").unwrap();
+        let addr = server.addr();
+
+        // Drive two captures by hand (the background ticker is gated
+        // to its real 500 ms cadence; tests shouldn't sleep for it).
+        live.scrape(&engine);
+        decide_once(&engine);
+        live.scrape(&engine);
+
+        let (status, body) = get(addr, "/timeseries").unwrap();
+        assert_eq!(status, 200, "{body}");
+        let parsed: serde_json::Value = serde_json::from_str(&body).expect("timeseries parses");
+        let series = parsed.get("series").expect("series object");
+        for name in ["deny_rate_ppm", "decide_per_sec", "degraded_ppm"] {
+            assert!(series.get(name).is_some(), "default series {name} missing");
+        }
+        let windows = match parsed.get("windows") {
+            Some(serde_json::Value::UInt(n)) => *n,
+            Some(serde_json::Value::Int(n)) => u64::try_from(*n).unwrap(),
+            other => panic!("windows must be an unsigned count, got {other:?}"),
+        };
+        assert!(windows >= 1, "two captures must yield a window");
+
+        let (status, body) = get(addr, "/timeseries?series=decide_per_sec&windows=4").unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("decide_per_sec"));
+        assert!(!body.contains("deny_rate_ppm"));
+        let (status, _) = get(addr, "/timeseries?series=no_such_series").unwrap();
+        assert_eq!(status, 400);
+        let (status, _) = get(addr, "/timeseries?windows=zero").unwrap();
+        assert_eq!(status, 400);
+
+        let (status, page) = get(addr, "/dashboard").unwrap();
+        assert_eq!(status, 200);
+        assert!(page.contains("EventSource"), "dashboard tails /events");
+        assert!(page.contains("/timeseries"), "dashboard polls the series");
+        assert!(!page.contains("http://"), "the page must be self-contained");
+
+        server.shutdown();
+
+        // A plane without live telemetry refuses the live routes.
+        let bare = ObsServer::serve(EngineObs::new(Arc::clone(&engine)), "127.0.0.1:0").unwrap();
+        for path in ["/timeseries", "/dashboard", "/events"] {
+            let (status, _) = get(bare.addr(), path).unwrap();
+            assert_eq!(status, 404, "{path} must 404 without live telemetry");
+        }
+        bare.shutdown();
     }
 }

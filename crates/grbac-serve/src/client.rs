@@ -84,4 +84,61 @@ impl Client {
             )
         })
     }
+
+    /// Replaces the read timeout (the default from
+    /// [`Self::connect`] is 30 seconds). While streaming a
+    /// subscription, set this to how long you are willing to wait for
+    /// the next event frame.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket-option failure.
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.writer.set_read_timeout(timeout)
+    }
+
+    /// Reads one frame off a streaming connection — either an event
+    /// frame (has an `event` key) or a response envelope (has an `ok`
+    /// key) — without sending anything.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures (including the read timeout elapsing with no
+    /// frame buffered), EOF, or invalid JSON on the line.
+    pub fn next_frame(&mut self) -> std::io::Result<Value> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        serde_json::from_str(line.trim()).map_err(|err| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("invalid frame JSON: {err:?}"),
+            )
+        })
+    }
+
+    /// Sends `unsubscribe` and reads until the response envelope comes
+    /// back, returning `(response, in_flight_event_frames)` — frames
+    /// the server pumped out before it processed the unsubscribe are
+    /// collected, not lost.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures as in [`Self::next_frame`].
+    pub fn unsubscribe(&mut self) -> std::io::Result<(Value, Vec<Value>)> {
+        self.writer.write_all(b"{\"op\":\"unsubscribe\"}\n")?;
+        let mut events = Vec::new();
+        loop {
+            let frame = self.next_frame()?;
+            if frame.get("ok").is_some() {
+                return Ok((frame, events));
+            }
+            events.push(frame);
+        }
+    }
 }

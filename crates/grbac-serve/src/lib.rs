@@ -26,6 +26,17 @@
 //! | `status` | tenant catalog sizes + policy generation |
 //! | `tick` | advance the tenant's decision watchdog |
 //! | `metrics` | Prometheus exposition, tenant-labelled |
+//! | `subscribe` | flip the connection into live event streaming |
+//! | `unsubscribe` | stop streaming, back to request/response |
+//!
+//! A subscribed connection receives NDJSON **event frames** —
+//! `{"event":{…},"tenant":…,"subscription":…}` — interleaved with its
+//! responses as the selected tenants' engines publish telemetry events
+//! (decisions, watchdog alerts, degraded-mode transitions, policy
+//! delta installs, completed spans). Slow consumers lose their own
+//! oldest events to a bounded drop-oldest ring (counted in the
+//! `unsubscribe` response and `grbac_events_dropped_total`) and never
+//! block the decide path.
 //!
 //! The complete wire reference — request/response shapes, error
 //! codes, a client quickstart — lives in `docs/service.md`; every
@@ -70,4 +81,4 @@ mod service;
 pub use client::Client;
 pub use proto::{ErrorCode, WireError, OPS, PROTOCOL_VERSION};
 pub use server::ServeServer;
-pub use service::{PolicyService, ServiceConfig, ServiceMetrics, Tenant};
+pub use service::{PolicyService, ServiceConfig, ServiceMetrics, Tenant, WireSubscription};

@@ -34,6 +34,8 @@ pub const OPS: &[&str] = &[
     "status",
     "tick",
     "metrics",
+    "subscribe",
+    "unsubscribe",
 ];
 
 /// The slot of `op` in [`OPS`], if it names a known operation.
@@ -217,7 +219,10 @@ mod tests {
     #[test]
     fn op_slots_are_dense_and_stable() {
         assert_eq!(op_slot("ping"), Some(0));
-        assert_eq!(op_slot("metrics"), Some(OPS.len() as u64 - 1));
+        // Slots are append-only: `metrics` keeps the slot it had before
+        // the streaming ops landed, and new ops go at the end.
+        assert_eq!(op_slot("metrics"), Some(15));
+        assert_eq!(op_slot("unsubscribe"), Some(OPS.len() as u64 - 1));
         assert_eq!(op_slot("no_such_op"), None);
         // Slots are unique by construction; spell out the contract.
         for (i, op) in OPS.iter().enumerate() {

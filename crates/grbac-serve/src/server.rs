@@ -13,7 +13,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crate::proto::{err_envelope, ErrorCode, WireError};
-use crate::service::PolicyService;
+use crate::service::{PolicyService, WireSubscription};
 
 /// Pending connections the acceptor may queue before it blocks.
 const QUEUE_DEPTH: usize = 32;
@@ -22,6 +22,11 @@ const QUEUE_DEPTH: usize = 32;
 /// between requests, and the shutdown path wakes blocked reads by
 /// closing the listener-side socket anyway.
 const READ_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Read timeout while a connection is streaming a subscription: each
+/// expiry is a pump tick that drains buffered events to the client, so
+/// this bounds event delivery latency, not connection lifetime.
+const STREAM_POLL: Duration = Duration::from_millis(25);
 
 /// A running policy service endpoint.
 ///
@@ -183,6 +188,13 @@ impl Drop for ServeServer {
 /// until EOF, timeout, or an unrecoverable framing error. The measured
 /// dispatch-queue wait is charged to the first request only; later
 /// requests on the connection never sat in the accept queue.
+///
+/// While the connection holds a live subscription the loop switches to
+/// a short-poll cadence: each [`STREAM_POLL`] read timeout drains the
+/// subscription's rings into NDJSON event frames between request
+/// lines. The connection (and its worker) stays dedicated to the
+/// stream until `unsubscribe` or disconnect; either path drops the
+/// [`WireSubscription`], freeing its slot.
 fn serve_connection(
     service: &PolicyService,
     stream: TcpStream,
@@ -197,15 +209,20 @@ fn serve_connection(
         Err(_) => return,
     };
     let mut reader = BufReader::new(stream);
+    let mut subscription: Option<WireSubscription> = None;
+    // Partial-line carry: a streaming pump tick may interrupt a read
+    // mid-line, so the accumulator lives outside the loop.
+    let mut partial: Vec<u8> = Vec::new();
     loop {
-        match read_line_limited(&mut reader, max_line) {
+        let was_streaming = subscription.is_some();
+        match read_line_limited(&mut reader, max_line, &mut partial) {
             Ok(None) => break, // clean EOF
             Ok(Some(line)) => {
                 let line = line.trim();
                 if line.is_empty() {
                     continue; // blank keep-alive lines are fine
                 }
-                let response = service.handle_line_queued(line, queue_wait_ns);
+                let response = service.handle_stream_line(line, queue_wait_ns, &mut subscription);
                 queue_wait_ns = 0;
                 if writer
                     .write_all(response.as_bytes())
@@ -213,6 +230,32 @@ fn serve_connection(
                     .is_err()
                 {
                     break;
+                }
+                if subscription.is_some() != was_streaming {
+                    let timeout = if subscription.is_some() {
+                        STREAM_POLL
+                    } else {
+                        READ_TIMEOUT
+                    };
+                    let _ = reader.get_ref().set_read_timeout(Some(timeout));
+                }
+                if let Some(live) = &subscription {
+                    if !pump_events(service, &mut writer, live) {
+                        break;
+                    }
+                }
+            }
+            Err(ReadError::Timeout) => {
+                // Streaming: the poll tick; drain events and wait on.
+                // Idle request/response connection: disconnect, as the
+                // 60-second timeout always has.
+                match &subscription {
+                    Some(live) => {
+                        if !pump_events(service, &mut writer, live) {
+                            break;
+                        }
+                    }
+                    None => break,
                 }
             }
             Err(ReadError::TooLong) => {
@@ -236,24 +279,58 @@ fn serve_connection(
     }
 }
 
+/// Writes every buffered event frame to the client. Returns false
+/// when the client is gone (any write failure), which ends the
+/// connection and drops the subscription.
+fn pump_events(service: &PolicyService, writer: &mut TcpStream, live: &WireSubscription) -> bool {
+    for frame in live.drain_frames() {
+        let line = match serde_json::to_string(&frame) {
+            Ok(line) => line,
+            Err(_) => continue,
+        };
+        if writer
+            .write_all(line.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .is_err()
+        {
+            return false;
+        }
+        service.metrics().event_frames_total.inc();
+    }
+    true
+}
+
 enum ReadError {
     /// The line exceeded the cap before a newline appeared.
     TooLong,
-    /// Timeout, reset, or any other transport failure.
+    /// The read timed out; any bytes already read stay in the caller's
+    /// accumulator, so the line resumes on the next call.
+    Timeout,
+    /// Reset, EOF mid-line, or any other transport failure.
     Io,
 }
 
 /// Reads one `\n`-terminated line of at most `max` bytes, without ever
 /// buffering more than `max` bytes for it. Returns `None` on clean EOF
-/// at a line boundary.
+/// at a line boundary. `line` is the caller-owned accumulator: bytes
+/// of an incomplete line survive a [`ReadError::Timeout`] in it, so a
+/// streaming pump tick never corrupts framing.
 fn read_line_limited(
     reader: &mut BufReader<TcpStream>,
     max: usize,
+    line: &mut Vec<u8>,
 ) -> Result<Option<String>, ReadError> {
-    let mut line: Vec<u8> = Vec::new();
     loop {
         let buf = match reader.fill_buf() {
             Ok(buf) => buf,
+            Err(err)
+                if matches!(
+                    err.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                return Err(ReadError::Timeout)
+            }
             Err(_) => return Err(ReadError::Io),
         };
         if buf.is_empty() {
@@ -270,7 +347,9 @@ fn read_line_limited(
             }
             line.extend_from_slice(&buf[..newline]);
             reader.consume(newline + 1);
-            return Ok(Some(String::from_utf8_lossy(&line).into_owned()));
+            let text = String::from_utf8_lossy(line).into_owned();
+            line.clear();
+            return Ok(Some(text));
         }
         if line.len() + buf.len() > max {
             return Err(ReadError::TooLong);
@@ -329,6 +408,118 @@ mod tests {
         assert!(response.contains("\"malformed_request\""), "{response}");
         let response = client.request_line(r#"{"op":"ping"}"#).unwrap();
         assert!(response.contains("\"ok\":true"), "{response}");
+        server.shutdown();
+    }
+
+    /// A tenant with enough policy for decides to succeed (and
+    /// therefore publish decision events).
+    fn service_with_policy() -> Arc<PolicyService> {
+        let service = Arc::new(PolicyService::with_defaults());
+        service.create_tenant("t").unwrap();
+        for line in [
+            r#"{"op":"declare","tenant":"t","kind":"subject_role","name":"child"}"#,
+            r#"{"op":"declare","tenant":"t","kind":"transaction","name":"use"}"#,
+            r#"{"op":"declare","tenant":"t","kind":"subject","name":"bobby"}"#,
+            r#"{"op":"declare","tenant":"t","kind":"object","name":"tv"}"#,
+            r#"{"op":"add_rule","tenant":"t","effect":"permit","subject_role":"child","transaction":"use"}"#,
+            r#"{"op":"assign","tenant":"t","kind":"subject_role","entity":"bobby","role":"child"}"#,
+        ] {
+            assert!(service.handle_line(line).contains("\"ok\":true"), "{line}");
+        }
+        service
+    }
+
+    #[test]
+    fn subscription_streams_decision_events_then_unsubscribes() {
+        let service = service_with_policy();
+        let server = ServeServer::serve(Arc::clone(&service), "127.0.0.1:0").unwrap();
+        let mut watcher = Client::connect(server.local_addr()).unwrap();
+        let sub = watcher
+            .request_line(r#"{"op":"subscribe","tenants":["t"]}"#)
+            .unwrap();
+        assert!(sub.contains("\"streaming\":true"), "{sub}");
+        assert_eq!(service.active_subscriptions(), 1);
+
+        let mut driver = Client::connect(server.local_addr()).unwrap();
+        let decision = driver
+            .request_line(
+                r#"{"op":"decide","tenant":"t","subject":"bobby","transaction":"use","object":"tv"}"#,
+            )
+            .unwrap();
+        assert!(decision.contains("\"effect\":\"permit\""), "{decision}");
+        let status = driver
+            .request_line(r#"{"op":"status","tenant":"t"}"#)
+            .unwrap();
+        assert!(status.contains("\"subscriptions\":1"), "{status}");
+
+        if grbac_core::telemetry::ENABLED {
+            watcher
+                .set_read_timeout(Some(Duration::from_secs(5)))
+                .unwrap();
+            // The first decide also publishes the index install
+            // (`delta_applied`) and possibly a sampled span; read
+            // until the decision frame itself arrives.
+            let mut decision_frame = None;
+            for _ in 0..8 {
+                let frame = watcher.next_frame().unwrap();
+                assert!(frame.get("event").is_some(), "expected an event frame");
+                assert_eq!(
+                    frame.get("tenant").and_then(serde::Value::as_str),
+                    Some("t")
+                );
+                let event = frame.get("event").unwrap();
+                if event.get("kind").and_then(serde::Value::as_str) == Some("decision") {
+                    decision_frame = Some(event.clone());
+                    break;
+                }
+            }
+            let event = decision_frame.expect("a decision event frame");
+            assert_eq!(
+                event.get("effect").and_then(serde::Value::as_str),
+                Some("permit")
+            );
+        }
+
+        let (response, _in_flight) = watcher.unsubscribe().unwrap();
+        assert!(
+            matches!(response.get("ok"), Some(serde::Value::Bool(true))),
+            "{response:?}"
+        );
+        assert_eq!(service.active_subscriptions(), 0);
+        // The connection is back in request/response mode.
+        let pong = watcher.request_line(r#"{"op":"ping"}"#).unwrap();
+        assert!(pong.contains("\"ok\":true"), "{pong}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn killed_subscriber_frees_its_worker_slot() {
+        // One worker: if the dead subscriber's worker were not
+        // reclaimed, the follow-up client could never be served.
+        let service = Arc::new(PolicyService::new(crate::ServiceConfig {
+            workers: 1,
+            ..crate::ServiceConfig::default()
+        }));
+        service.create_tenant("t").unwrap();
+        let server = ServeServer::serve(Arc::clone(&service), "127.0.0.1:0").unwrap();
+        let mut watcher = Client::connect(server.local_addr()).unwrap();
+        let sub = watcher
+            .request_line(r#"{"op":"subscribe","tenants":["t"]}"#)
+            .unwrap();
+        assert!(sub.contains("\"streaming\":true"), "{sub}");
+        assert_eq!(service.active_subscriptions(), 1);
+        drop(watcher); // kill the stream mid-subscription
+
+        // The worker notices EOF on its next poll tick, drops the
+        // subscription, and picks up the queued connection.
+        let mut next = Client::connect(server.local_addr()).unwrap();
+        let pong = next.request_line(r#"{"op":"ping"}"#).unwrap();
+        assert!(pong.contains("\"ok\":true"), "{pong}");
+        assert_eq!(service.active_subscriptions(), 0);
+        let status = next
+            .request_line(r#"{"op":"status","tenant":"t"}"#)
+            .unwrap();
+        assert!(status.contains("\"subscriptions\":0"), "{status}");
         server.shutdown();
     }
 

@@ -13,8 +13,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
 use grbac_core::telemetry::{
-    Counter, DecisionWatchdog, KeyedCounter, PrometheusExporter, Span, SpanId, SpanKind,
-    SpanStatus, SpanStore, TraceContext, TraceId, WatchdogConfig,
+    Counter, DecisionWatchdog, EventBus, EventData, EventFilter, EventKind, EventSubscription,
+    KeyedCounter, PrometheusExporter, Severity, Span, SpanId, SpanKind, SpanStatus, SpanStore,
+    TelemetryEvent, TraceContext, TraceId, WatchdogConfig,
 };
 use grbac_core::{
     AccessRequest, Decision, DecisionId, Effect, EnvironmentSnapshot, Grbac, RoleKind, RuleDef,
@@ -98,6 +99,10 @@ pub struct ServiceMetrics {
     /// Policy mutations (declare/specialize/assign/revoke/rule edits)
     /// by tenant slot.
     pub mutations_by_tenant: KeyedCounter,
+    /// Wire subscriptions ever opened via the `subscribe` op.
+    pub subscriptions_total: Counter,
+    /// Event frames written to streaming connections.
+    pub event_frames_total: Counter,
 }
 
 impl ServiceMetrics {
@@ -109,7 +114,87 @@ impl ServiceMetrics {
             requests_by_op: KeyedCounter::new(),
             decides_by_tenant: KeyedCounter::new(),
             mutations_by_tenant: KeyedCounter::new(),
+            subscriptions_total: Counter::new(),
+            event_frames_total: Counter::new(),
         }
+    }
+}
+
+/// One connection's live wire subscription: a core
+/// [`EventSubscription`] per selected tenant bus, merged into one
+/// frame stream. Created by the `subscribe` op, held by the
+/// connection's worker, and torn down by `unsubscribe` or the
+/// connection closing — either way the [`Drop`] impl decrements the
+/// service's active-subscription count, so a killed client can never
+/// leak a slot.
+#[derive(Debug)]
+pub struct WireSubscription {
+    id: u64,
+    feeds: Vec<TenantFeed>,
+    active: Arc<AtomicU64>,
+}
+
+#[derive(Debug)]
+struct TenantFeed {
+    tenant: String,
+    subscription: EventSubscription,
+}
+
+impl WireSubscription {
+    /// The service-unique subscription id (1-based).
+    #[must_use]
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The tenants this subscription streams, in subscribe order.
+    #[must_use]
+    pub fn tenants(&self) -> Vec<&str> {
+        self.feeds.iter().map(|f| f.tenant.as_str()).collect()
+    }
+
+    /// Drains every buffered event across all tenant feeds into wire
+    /// frames, merged oldest-first by capture time. Each frame is
+    /// `{"event":{…},"tenant":…,"subscription":…}` — the `event` key
+    /// (vs `ok` on responses) is what lets a client demux the stream.
+    #[must_use]
+    pub fn drain_frames(&self) -> Vec<Value> {
+        let mut merged: Vec<(u64, &str, Arc<TelemetryEvent>)> = Vec::new();
+        for feed in &self.feeds {
+            for event in feed.subscription.drain() {
+                merged.push((event.nanos, feed.tenant.as_str(), event));
+            }
+        }
+        merged.sort_by_key(|(nanos, _, _)| *nanos);
+        merged
+            .into_iter()
+            .map(|(_, tenant, event)| {
+                obj(vec![
+                    ("event", event.to_value()),
+                    ("tenant", Value::Str(tenant.to_owned())),
+                    ("subscription", Value::UInt(self.id)),
+                ])
+            })
+            .collect()
+    }
+
+    /// Events handed to the connection so far, across all feeds.
+    #[must_use]
+    pub fn delivered(&self) -> u64 {
+        self.feeds.iter().map(|f| f.subscription.delivered()).sum()
+    }
+
+    /// Events evicted from this subscription's rings because the
+    /// client drained too slowly, across all feeds.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.feeds.iter().map(|f| f.subscription.dropped()).sum()
+    }
+}
+
+impl Drop for WireSubscription {
+    fn drop(&mut self) {
+        self.active.fetch_sub(1, Ordering::Relaxed);
     }
 }
 
@@ -131,6 +216,11 @@ impl ServiceMetrics {
 pub struct PolicyService {
     tenants: RwLock<BTreeMap<String, Tenant>>,
     next_tenant_id: AtomicU64,
+    next_subscription_id: AtomicU64,
+    /// Live wire subscriptions. A plain atomic (not a telemetry
+    /// counter) on purpose: `status` must report it even under the
+    /// `telemetry-off` feature.
+    subscriptions_active: Arc<AtomicU64>,
     metrics: ServiceMetrics,
     spans: Arc<SpanStore>,
     config: ServiceConfig,
@@ -245,6 +335,8 @@ impl PolicyService {
         Self {
             tenants: RwLock::new(BTreeMap::new()),
             next_tenant_id: AtomicU64::new(0),
+            next_subscription_id: AtomicU64::new(0),
+            subscriptions_active: Arc::new(AtomicU64::new(0)),
             metrics: ServiceMetrics::new(),
             spans: Arc::new(SpanStore::new()),
             config,
@@ -361,7 +453,8 @@ impl PolicyService {
             .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::NotFound, "no such tenant"))?;
         grbac_obs::ObsServer::serve(
             grbac_obs::EngineObs::with_watchdog(tenant.engine, tenant.watchdog)
-                .with_spans(Arc::clone(&self.spans)),
+                .with_spans(Arc::clone(&self.spans))
+                .with_live_telemetry(),
             addr,
         )
     }
@@ -381,8 +474,27 @@ impl PolicyService {
     /// connection pass 0 — they never waited in the accept queue).
     #[must_use]
     pub fn handle_line_queued(&self, line: &str, queue_wait_ns: u64) -> String {
+        // Without a connection to stream to, a `subscribe` registers
+        // and is torn down again as the scope ends — harmless, and it
+        // keeps the op's validation behavior identical everywhere.
+        let mut subscription = None;
+        self.handle_stream_line(line, queue_wait_ns, &mut subscription)
+    }
+
+    /// [`handle_line_queued`](Self::handle_line_queued) with the
+    /// connection's streaming slot: `subscribe` installs a
+    /// [`WireSubscription`] into `subscription`, `unsubscribe` takes
+    /// it back out, and every other op leaves it alone. The connection
+    /// loop owns the slot and pumps its frames between request lines.
+    #[must_use]
+    pub fn handle_stream_line(
+        &self,
+        line: &str,
+        queue_wait_ns: u64,
+        subscription: &mut Option<WireSubscription>,
+    ) -> String {
         self.metrics.requests_total.inc();
-        let envelope = self.handle_request(line, queue_wait_ns);
+        let envelope = self.handle_request(line, queue_wait_ns, subscription);
         if !matches!(envelope.get("ok"), Some(Value::Bool(true))) {
             self.metrics.protocol_errors_total.inc();
         }
@@ -391,7 +503,19 @@ impl PolicyService {
         })
     }
 
-    fn handle_request(&self, line: &str, queue_wait_ns: u64) -> Value {
+    /// Live wire subscriptions right now, service-wide (also reported
+    /// by the `status` op and the Prometheus exposition).
+    #[must_use]
+    pub fn active_subscriptions(&self) -> u64 {
+        self.subscriptions_active.load(Ordering::Relaxed)
+    }
+
+    fn handle_request(
+        &self,
+        line: &str,
+        queue_wait_ns: u64,
+        subscription: &mut Option<WireSubscription>,
+    ) -> Value {
         let request = match serde_json::from_str::<Value>(line) {
             Err(err) => {
                 return err_envelope(
@@ -435,7 +559,7 @@ impl PolicyService {
             Err(error) => return err_envelope(Some(&op), seq.as_ref(), &error),
         };
         let mut spans = self.open_request_spans(&op, context, queue_wait_ns);
-        let envelope = match self.dispatch(&op, &request, &mut spans) {
+        let envelope = match self.dispatch(&op, &request, &mut spans, subscription) {
             Ok(result) => ok_envelope(&op, seq.as_ref(), result),
             Err(error) => err_envelope(Some(&op), seq.as_ref(), &error),
         };
@@ -480,6 +604,25 @@ impl PolicyService {
             active.server.status = SpanStatus::Error;
         }
         active.server.finish();
+        // Traced requests announce their completion on the tenant's
+        // event bus, so a live subscriber sees span durations without
+        // polling the span store. Only the sampled path pays the
+        // tenant-map lookup.
+        if let Some(tenant) = active
+            .server
+            .tenant
+            .as_deref()
+            .and_then(|name| self.tenant(name))
+        {
+            let nanos = active.server.end_ns.saturating_sub(active.server.start_ns);
+            lock_read(&tenant.engine)
+                .metrics()
+                .events
+                .publish(EventData::SpanCompleted {
+                    name: active.server.name.clone(),
+                    nanos,
+                });
+        }
         let echo = active
             .echo
             .then(|| TraceContext::sampled(active.server.trace_id, active.server.span_id).render());
@@ -498,6 +641,7 @@ impl PolicyService {
         op: &str,
         request: &Value,
         spans: &mut RequestSpans,
+        subscription: &mut Option<WireSubscription>,
     ) -> Result<Value, WireError> {
         let Some(slot) = op_slot(op) else {
             return Err(WireError::new(
@@ -536,6 +680,8 @@ impl PolicyService {
                 Value::Seq(self.tenant_names().into_iter().map(Value::Str).collect()),
             )])),
             "metrics" => self.op_metrics(request),
+            "subscribe" => self.op_subscribe(request, subscription),
+            "unsubscribe" => Self::op_unsubscribe(subscription),
             _ => {
                 // Everything else is tenant-scoped.
                 let name = str_field(request, "tenant")?;
@@ -553,7 +699,7 @@ impl PolicyService {
                     "decide" => self.op_decide(&tenant, request, spans),
                     "decide_batch" => self.op_decide_batch(&tenant, request, spans),
                     "explain" => self.op_explain(&tenant, request, spans),
-                    "status" => Ok(Self::op_status(name, &tenant)),
+                    "status" => Ok(self.op_status(name, &tenant)),
                     "tick" => Ok(Self::op_tick(&tenant)),
                     _ => unreachable!("op {op} is in OPS but not dispatched"),
                 }
@@ -807,7 +953,7 @@ impl PolicyService {
         Ok(Value::Map(fields))
     }
 
-    fn op_status(name: &str, tenant: &Tenant) -> Value {
+    fn op_status(&self, name: &str, tenant: &Tenant) -> Value {
         let engine = lock_read(&tenant.engine);
         let watchdog_installed = tenant
             .watchdog
@@ -832,6 +978,10 @@ impl PolicyService {
                 Value::UInt(engine.entities().transaction_count() as u64),
             ),
             ("watchdog_installed", Value::Bool(watchdog_installed)),
+            (
+                "subscriptions",
+                Value::UInt(self.subscriptions_active.load(Ordering::Relaxed)),
+            ),
         ])
     }
 
@@ -865,6 +1015,124 @@ impl PolicyService {
                 Value::Str("text/plain; version=0.0.4".to_owned()),
             ),
             ("exposition", Value::Str(self.prometheus_exposition(only))),
+        ]))
+    }
+
+    /// Creates a [`WireSubscription`] outside the wire protocol, for
+    /// embedders and the load harness: same tenant/kind/severity
+    /// semantics as the `subscribe` op.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorCode::UnknownTenant`] for an unresolved tenant name, or
+    /// [`ErrorCode::BadRequest`] when no tenant is provisioned.
+    pub fn subscribe_events(
+        &self,
+        tenants: &[&str],
+        filter: EventFilter,
+        capacity: usize,
+    ) -> Result<WireSubscription, WireError> {
+        let selected: Vec<(String, Tenant)> = if tenants.is_empty() {
+            lock_read(&self.tenants)
+                .iter()
+                .map(|(name, tenant)| (name.clone(), tenant.clone()))
+                .collect()
+        } else {
+            tenants
+                .iter()
+                .map(|name| {
+                    self.tenant(name)
+                        .map(|tenant| ((*name).to_owned(), tenant))
+                        .ok_or_else(|| unknown_tenant(name))
+                })
+                .collect::<Result<_, _>>()?
+        };
+        if selected.is_empty() {
+            return Err(bad_request(
+                "no tenants to subscribe to (provision one first)",
+            ));
+        }
+        let feeds = selected
+            .into_iter()
+            .map(|(tenant, handles)| {
+                let registry = Arc::clone(lock_read(&handles.engine).metrics());
+                TenantFeed {
+                    tenant,
+                    subscription: registry.events.subscribe(capacity, filter),
+                }
+            })
+            .collect();
+        let id = self.next_subscription_id.fetch_add(1, Ordering::Relaxed) + 1;
+        self.subscriptions_active.fetch_add(1, Ordering::Relaxed);
+        self.metrics.subscriptions_total.inc();
+        Ok(WireSubscription {
+            id,
+            feeds,
+            active: Arc::clone(&self.subscriptions_active),
+        })
+    }
+
+    fn op_subscribe(
+        &self,
+        request: &Value,
+        subscription: &mut Option<WireSubscription>,
+    ) -> Result<Value, WireError> {
+        if subscription.is_some() {
+            return Err(bad_request(
+                "this connection is already streaming; `unsubscribe` first",
+            ));
+        }
+        let mut filter = EventFilter::all();
+        for name in str_seq_field(request, "kinds")? {
+            let kind = EventKind::from_name(name).ok_or_else(|| {
+                bad_request(format!(
+                    "unknown event kind `{name}` (known: {})",
+                    EventKind::ALL.map(EventKind::name).join(", ")
+                ))
+            })?;
+            filter = filter.kind(kind);
+        }
+        if let Some(name) = crate::proto::opt_str_field(request, "min_severity")? {
+            let severity = Severity::from_name(name).ok_or_else(|| {
+                bad_request(format!(
+                    "unknown severity `{name}` (known: {})",
+                    Severity::ALL.map(Severity::name).join(", ")
+                ))
+            })?;
+            filter = filter.min_severity(severity);
+        }
+        let capacity = match request.get("capacity") {
+            None | Some(Value::Null) => EventBus::DEFAULT_CAPACITY as u64,
+            Some(_) => u64_field(request, "capacity")?.clamp(1, 65_536),
+        } as usize;
+        let tenants = str_seq_field(request, "tenants")?;
+        let wire = self.subscribe_events(&tenants, filter, capacity)?;
+        let result = obj(vec![
+            ("subscription", Value::UInt(wire.id())),
+            (
+                "tenants",
+                Value::Seq(
+                    wire.tenants()
+                        .into_iter()
+                        .map(|t| Value::Str(t.to_owned()))
+                        .collect(),
+                ),
+            ),
+            ("streaming", Value::Bool(true)),
+        ]);
+        *subscription = Some(wire);
+        Ok(result)
+    }
+
+    fn op_unsubscribe(subscription: &mut Option<WireSubscription>) -> Result<Value, WireError> {
+        let Some(wire) = subscription.take() else {
+            return Err(bad_request("no active subscription on this connection"));
+        };
+        Ok(obj(vec![
+            ("unsubscribed", Value::Bool(true)),
+            ("subscription", Value::UInt(wire.id())),
+            ("delivered", Value::UInt(wire.delivered())),
+            ("dropped", Value::UInt(wire.dropped())),
         ]))
     }
 
@@ -909,6 +1177,21 @@ impl PolicyService {
             out,
             "# HELP grbac_serve_tenants Provisioned tenants.\n# TYPE grbac_serve_tenants gauge\ngrbac_serve_tenants {}",
             lock_read(&self.tenants).len()
+        );
+        let _ = writeln!(
+            out,
+            "# HELP grbac_serve_subscriptions_total Wire subscriptions ever opened.\n# TYPE grbac_serve_subscriptions_total counter\ngrbac_serve_subscriptions_total {}",
+            self.metrics.subscriptions_total.get()
+        );
+        let _ = writeln!(
+            out,
+            "# HELP grbac_serve_event_frames_total Event frames written to streaming connections.\n# TYPE grbac_serve_event_frames_total counter\ngrbac_serve_event_frames_total {}",
+            self.metrics.event_frames_total.get()
+        );
+        let _ = writeln!(
+            out,
+            "# HELP grbac_serve_subscriptions_active Wire subscriptions live right now.\n# TYPE grbac_serve_subscriptions_active gauge\ngrbac_serve_subscriptions_active {}",
+            self.subscriptions_active.load(Ordering::Relaxed)
         );
 
         let _ = writeln!(
@@ -1268,6 +1551,90 @@ mod tests {
             .and_then(Value::as_str)
             .unwrap();
         assert!(!text.contains("{tenant=\"home\"} "), "{text}");
+    }
+
+    #[test]
+    fn subscribe_validates_tenants_kinds_and_severity() {
+        let service = provisioned();
+        let mut slot = None;
+        for (line, code) in [
+            (
+                r#"{"op":"subscribe","tenants":["ghost"]}"#,
+                "unknown_tenant",
+            ),
+            (
+                r#"{"op":"subscribe","tenants":["home"],"kinds":["warp"]}"#,
+                "bad_request",
+            ),
+            (
+                r#"{"op":"subscribe","tenants":["home"],"min_severity":"loud"}"#,
+                "bad_request",
+            ),
+        ] {
+            let response = service.handle_stream_line(line, 0, &mut slot);
+            assert!(
+                response.contains(&format!("\"code\":\"{code}\"")),
+                "{line} -> {response}"
+            );
+            assert!(slot.is_none(), "failed subscribe must not install");
+        }
+        assert_eq!(service.active_subscriptions(), 0);
+
+        let response = service.handle_stream_line(
+            r#"{"op":"subscribe","tenants":["home"],"kinds":["alert"],"min_severity":"warning"}"#,
+            0,
+            &mut slot,
+        );
+        assert!(response.contains("\"streaming\":true"), "{response}");
+        assert!(slot.is_some());
+        assert_eq!(service.active_subscriptions(), 1);
+
+        // A second subscribe on the same connection is refused.
+        let again =
+            service.handle_stream_line(r#"{"op":"subscribe","tenants":["home"]}"#, 0, &mut slot);
+        assert!(again.contains("\"bad_request\""), "{again}");
+        assert_eq!(service.active_subscriptions(), 1);
+
+        let bye = service.handle_stream_line(r#"{"op":"unsubscribe"}"#, 0, &mut slot);
+        assert!(bye.contains("\"unsubscribed\":true"), "{bye}");
+        assert!(slot.is_none());
+        assert_eq!(service.active_subscriptions(), 0);
+
+        // Unsubscribe with nothing active is an error, not a panic.
+        let nothing = service.handle_stream_line(r#"{"op":"unsubscribe"}"#, 0, &mut slot);
+        assert!(nothing.contains("\"bad_request\""), "{nothing}");
+    }
+
+    #[test]
+    fn subscribe_with_no_named_tenants_streams_all_of_them() {
+        let service = provisioned();
+        service.create_tenant("beta").unwrap();
+        let subscription = service
+            .subscribe_events(&[], EventFilter::all(), 16)
+            .unwrap();
+        assert_eq!(subscription.tenants(), vec!["beta", "home"]);
+        let _ = service.handle_line(
+            r#"{"op":"decide","tenant":"home","subject":"bobby","transaction":"use","object":"tv","env":["daytime"]}"#,
+        );
+        if grbac_core::telemetry::ENABLED {
+            let frames = subscription.drain_frames();
+            assert!(!frames.is_empty(), "decision event should stream");
+            for frame in &frames {
+                assert_eq!(frame.get("tenant").and_then(Value::as_str), Some("home"));
+                assert!(frame.get("event").is_some());
+            }
+        }
+        drop(subscription);
+        assert_eq!(service.active_subscriptions(), 0);
+        // An empty service has nothing to stream.
+        let empty = PolicyService::with_defaults();
+        assert_eq!(
+            empty
+                .subscribe_events(&[], EventFilter::all(), 16)
+                .unwrap_err()
+                .code,
+            ErrorCode::BadRequest
+        );
     }
 
     #[test]

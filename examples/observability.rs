@@ -68,6 +68,60 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     serde_json::from_str::<serde_json::Value>(&alerts)?;
     println!("/alerts        {alerts}");
 
+    // The live-telemetry plane: a windowed time series over repeated
+    // scrapes, and the self-contained dashboard that consumes it.
+    let (status, series) = grbac::obs::get(addr, "/timeseries")?;
+    assert_eq!(status, 200, "/timeseries");
+    serde_json::from_str::<serde_json::Value>(&series)?;
+    println!("/timeseries    {} bytes of valid JSON", series.len());
+
+    let (status, dashboard) = grbac::obs::get(addr, "/dashboard")?;
+    assert_eq!(status, 200, "/dashboard");
+    assert!(dashboard.contains("EventSource"), "dashboard streams live");
+    println!("/dashboard     {} bytes of HTML", dashboard.len());
+
+    // /events streams Server-Sent Events and never ends on its own, so
+    // read it off a raw socket: mediate a few live requests first (the
+    // plane retains their events), then expect the SSE head — and,
+    // with telemetry compiled in, a replayed event frame.
+    for _ in 0..4 {
+        home.request(mom, vocab.operate, oven)?;
+    }
+    let sse = {
+        use std::io::{Read, Write};
+        let mut stream = std::net::TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(std::time::Duration::from_millis(200)))?;
+        write!(stream, "GET /events HTTP/1.1\r\nHost: grbac-obs\r\n\r\n")?;
+        stream.flush()?;
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        let mut raw = String::new();
+        let mut buf = [0u8; 4096];
+        while std::time::Instant::now() < deadline {
+            match stream.read(&mut buf) {
+                Ok(0) => break,
+                Ok(n) => {
+                    raw.push_str(&String::from_utf8_lossy(&buf[..n]));
+                    if raw.contains("\ndata: ") || (!telemetry::ENABLED && raw.contains("retry:")) {
+                        break;
+                    }
+                }
+                Err(ref err)
+                    if matches!(
+                        err.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) => {}
+                Err(err) => return Err(err.into()),
+            }
+        }
+        raw
+    };
+    assert!(sse.contains("200 OK"), "/events answers");
+    assert!(sse.contains("text/event-stream"), "/events is SSE");
+    if telemetry::ENABLED {
+        assert!(sse.contains("\ndata: "), "live requests become frames");
+    }
+    println!("/events        SSE head + frames, {} bytes read", sse.len());
+
     // The correlation round-trip: an exemplar in the scrape names a
     // real decision; /decision/<id> tells its whole story.
     if telemetry::ENABLED {
